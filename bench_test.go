@@ -1,0 +1,381 @@
+package qfw
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benchmarks for the design choices
+// DESIGN.md calls out. The figure benchmarks run the same experiment
+// runners as cmd/qfwbench at laptop-scale sizes; run
+//
+//	go test -bench=. -benchmem
+//
+// for the quick suite and `go run ./cmd/qfwbench -exp all` for the
+// paper-scale sweep with full size lists.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qfw/internal/bench"
+	"qfw/internal/cluster"
+	"qfw/internal/core"
+	"qfw/internal/defw"
+	"qfw/internal/dqaoa"
+	"qfw/internal/mpi"
+	"qfw/internal/mps"
+	"qfw/internal/qaoa"
+	"qfw/internal/qubo"
+	"qfw/internal/stabilizer"
+	"qfw/internal/statevec"
+	"qfw/internal/tensornet"
+	"qfw/internal/workloads"
+
+	"math/rand"
+)
+
+// benchHarness boots a quick-mode session shared by one benchmark.
+func benchHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	s, err := core.Launch(core.Config{
+		Machine:      cluster.Frontier(3),
+		CloudLatency: time.Millisecond,
+		CloudJitter:  time.Millisecond,
+		Seed:         9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Teardown)
+	h := bench.NewHarness(s)
+	h.Quick = true
+	h.Repeats = 1
+	h.Shots = 64
+	return h
+}
+
+func BenchmarkTable1Capabilities(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RunCapabilityTable(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Catalog(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if exp := h.RunBenchmarkCatalog(); exp.Text == "" {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+func benchWorkloadFigure(b *testing.B, id, workload string) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp, err := h.RunWorkloadFigure(id, workload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(exp.Series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFig3aGHZ(b *testing.B)  { benchWorkloadFigure(b, "fig3a", "ghz") }
+func BenchmarkFig3bHAM(b *testing.B)  { benchWorkloadFigure(b, "fig3b", "ham") }
+func BenchmarkFig3cTFIM(b *testing.B) { benchWorkloadFigure(b, "fig3c", "tfim") }
+func BenchmarkFig3dHHL(b *testing.B)  { benchWorkloadFigure(b, "fig3d", "hhl") }
+
+func BenchmarkFig3cStrongScaling(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RunStrongScaling(12, []int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3eQAOA(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, _, err := h.RunQAOAFigure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rt.Series) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+func BenchmarkFig3fQAOAFidelity(b *testing.B) {
+	h := benchHarness(b)
+	var minFid float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, fid, err := h.RunQAOAFigure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		minFid = 100.0
+		for _, s := range fid.Series {
+			for _, p := range s.Points {
+				if p.Err == "" && p.Fidelity < minFid {
+					minFid = p.Fidelity
+				}
+			}
+		}
+	}
+	b.ReportMetric(minFid, "min-fidelity-%")
+}
+
+func BenchmarkFig4DQAOA(b *testing.B) {
+	h := benchHarness(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp, err := h.RunDQAOAFigure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(exp.Series) != 2 {
+			b.Fatal("want local + cloud series")
+		}
+	}
+}
+
+func BenchmarkFig5Timeline(b *testing.B) {
+	h := benchHarness(b)
+	var conc int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, recs, err := h.RunTimelineFigure(bench.DQAOAConfig{QUBOSize: 14, SubQSize: 6, NSubQ: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		conc = recs["NWQ-Sim"].MaxConcurrency("subqaoa")
+	}
+	b.ReportMetric(float64(conc), "max-concurrent-subqaoas")
+}
+
+// ---- Ablation benchmarks -----------------------------------------------
+
+// BenchmarkAblationAsyncDispatch compares concurrent vs serialized
+// sub-QUBO dispatch in DQAOA — the paper's asynchronous orchestration claim.
+func BenchmarkAblationAsyncDispatch(b *testing.B) {
+	q := qubo.Metamaterial(16, rand.New(rand.NewSource(1)))
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := dqaoa.Solve(q, qaoa.LocalRunner{}, dqaoa.Config{
+					SubQSize: 6, NSubQ: 4, MaxIter: 2, Patience: 3,
+					Async: async, Seed: 2, Shots: 128, MaxEvals: 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBondDim sweeps the MPS truncation bond over a TFIM
+// evolution — the accuracy/speed dial behind Aer-MPS's Fig. 3c win.
+func BenchmarkAblationBondDim(b *testing.B) {
+	c := workloads.TFIM(16, 6, 0.5, 1.0)
+	for _, bond := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("bond%d", bond), func(b *testing.B) {
+			var truncErr float64
+			for i := 0; i < b.N; i++ {
+				_, te, err := mps.Simulate(c, 64, bond, 1e-10, rand.New(rand.NewSource(3)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				truncErr = te
+			}
+			b.ReportMetric(truncErr, "trunc-err")
+		})
+	}
+}
+
+// BenchmarkAblationRankSweep runs the distributed state-vector engine at
+// several rank counts on a fixed circuit: the computation shrinks per rank
+// while the pair-exchange communication grows.
+func BenchmarkAblationRankSweep(b *testing.B) {
+	c := workloads.GHZ(16)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := mpi.NewWorld(ranks)
+				err := w.Run(func(comm *mpi.Comm) error {
+					_, err := statevec.RunDistributed(comm, c, 64, 5)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecomposition compares random vs impact-factor QUBO
+// decomposition quality and cost.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	q := qubo.Metamaterial(18, rand.New(rand.NewSource(6)))
+	for _, dec := range []dqaoa.Decomposer{dqaoa.DecomposeRandom, dqaoa.DecomposeImpact} {
+		b.Run(string(dec), func(b *testing.B) {
+			var quality float64
+			for i := 0; i < b.N; i++ {
+				res, err := dqaoa.Solve(q, qaoa.LocalRunner{}, dqaoa.Config{
+					SubQSize: 6, NSubQ: 3, MaxIter: 2, Patience: 3,
+					Decomposer: dec, Seed: 7, Shots: 128, MaxEvals: 10, Async: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				quality = res.Quality
+			}
+			b.ReportMetric(quality*100, "quality-%")
+		})
+	}
+}
+
+// BenchmarkAblationTransport compares the DEFw RPC transports: in-process
+// pipes vs TCP loopback.
+func BenchmarkAblationTransport(b *testing.B) {
+	for _, useTCP := range []bool{false, true} {
+		name := "pipe"
+		if useTCP {
+			name = "tcp"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := core.Launch(core.Config{
+				Machine:  cluster.Frontier(2),
+				Backends: []string{"aer"},
+				UseTCP:   useTCP,
+				Seed:     8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Teardown()
+			f, err := s.Frontend(core.Properties{Backend: "aer", Subbackend: "statevector"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := workloads.GHZ(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(c, core.RunOptions{Shots: 64, Seed: 9}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLLCPlacement contrasts LLC-aware round-robin placement
+// with packing every rank into one LLC domain, using the interconnect cost
+// model: the packed layout minimizes modelled latency for small messages,
+// while spreading across domains is what the reservation policy needs for
+// OS-noise isolation (the paper's Sec. 7 system-level optimization).
+func BenchmarkAblationLLCPlacement(b *testing.B) {
+	machine := cluster.Frontier(1)
+	node := machine.Nodes[0]
+	spread, err := node.PlaceProcs(8) // round-robin: 8 procs on 8 LLC domains
+	if err != nil {
+		b.Fatal(err)
+	}
+	packed := make([]cluster.CorePlace, 8)
+	for i := range packed {
+		packed[i] = cluster.CorePlace{Node: 0, LLC: 0, Core: i}
+	}
+	layouts := map[string][]cluster.CorePlace{"spread": spread, "packed": packed}
+	for name, places := range layouts {
+		b.Run(name, func(b *testing.B) {
+			var modelled time.Duration
+			w := mpi.NewWorld(8,
+				mpi.WithPlacement(places, machine.Net),
+				mpi.WithSleeper(func(d time.Duration) { modelled += d }))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				err := w.Run(func(comm *mpi.Comm) error {
+					for k := 0; k < 50; k++ {
+						comm.AllreduceSum(1)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(modelled.Microseconds())/float64(b.N), "modelled-comm-us/op")
+		})
+	}
+}
+
+// BenchmarkRPCRoundTrip measures the raw DEFw call overhead that dominates
+// very small sub-QUBOs (the paper's observation that tiny sub-problems lose
+// efficiency to RPC and scheduling).
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	server := defw.NewServer()
+	server.Register("echo", defw.HandlerFunc(func(m string, p []byte) ([]byte, error) { return p, nil }))
+	client := defw.NewPipeClient(server)
+	defer func() { client.Close(); server.Close() }()
+	payload := []byte(`{"x":1}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call("echo", "run", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorKernels gives per-engine gate throughput context for
+// the figure benchmarks.
+func BenchmarkSimulatorKernels(b *testing.B) {
+	c := workloads.TFIM(14, 4, 0.5, 1.0)
+	b.Run("statevec", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			statevec.Simulate(c, 64, 1, rand.New(rand.NewSource(1)))
+		}
+	})
+	b.Run("statevec-4workers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			statevec.Simulate(c, 64, 4, rand.New(rand.NewSource(1)))
+		}
+	})
+	b.Run("mps", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mps.Simulate(c, 64, 0, 0, rand.New(rand.NewSource(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ghz := workloads.GHZ(14)
+	b.Run("stabilizer-ghz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stabilizer.Simulate(ghz, 64, rand.New(rand.NewSource(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tensornet-ghz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tensornet.Simulate(ghz, 64, rand.New(rand.NewSource(1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

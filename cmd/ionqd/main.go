@@ -1,0 +1,55 @@
+// Command ionqd runs the simulated IonQ cloud service standalone: a REST
+// endpoint with job queueing, network latency injection, and a state-vector
+// emulator — useful for exercising the remote-backend path from separate
+// processes or with curl.
+//
+// Usage:
+//
+//	ionqd -latency 60ms -concurrency 1
+//	curl -X POST http://<addr>/v0.3/jobs -d '{"shots":100,"input":{"format":"qasm","qasm":"..."}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qfw/internal/ionq"
+)
+
+func main() {
+	var (
+		latency     = flag.Duration("latency", 60*time.Millisecond, "mean network+service latency per API call")
+		jitter      = flag.Duration("jitter", 30*time.Millisecond, "uniform latency jitter")
+		queueDelay  = flag.Duration("queue", 100*time.Millisecond, "mean cloud queue wait per job")
+		concurrency = flag.Int("concurrency", 1, "concurrent job executions")
+		maxQubits   = flag.Int("max-qubits", 29, "device qubit cap")
+		seed        = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	svc, err := ionq.Start(ionq.Config{
+		Latency:     *latency,
+		Jitter:      *jitter,
+		QueueDelay:  *queueDelay,
+		Concurrency: *concurrency,
+		MaxQubits:   *maxQubits,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ionqd: %v\n", err)
+		os.Exit(1)
+	}
+	defer svc.Close()
+	fmt.Printf("ionqd: serving at %s (latency %v, jitter %v, queue %v, concurrency %d)\n",
+		svc.URL(), *latency, *jitter, *queueDelay, *concurrency)
+	fmt.Println("ionqd: Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nionqd: shutting down")
+}

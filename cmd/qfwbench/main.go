@@ -1,0 +1,160 @@
+// Command qfwbench regenerates the paper's evaluation: every figure and
+// table, printed as aligned text series (and optionally CSV files). By
+// default it uses laptop-scale "quick" sizes; pass -full for the paper's
+// size lists, where configurations over the memory budget are reported as
+// infeasible (the paper's red-X points).
+//
+// Usage:
+//
+//	qfwbench -exp all                      # quick sizes, every experiment
+//	qfwbench -exp fig3a,fig3c -full        # paper sizes for two figures
+//	qfwbench -exp fig4 -csv out/           # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"qfw/internal/bench"
+	"qfw/internal/cluster"
+	"qfw/internal/core"
+
+	_ "qfw/internal/backends"
+)
+
+func main() {
+	var (
+		expList  = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5 or 'all'")
+		full     = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
+		repeats  = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
+		shots    = flag.Int("shots", 256, "shots per circuit execution")
+		nodes    = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
+		memGiB   = flag.Int("mem", 1, "state-vector memory budget per execution (GiB)")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		cloudLat = flag.Duration("cloud-latency", 40*time.Millisecond, "simulated cloud network latency")
+		sizes    = flag.String("sizes", "", "comma-separated size override for workload figures (e.g. 5,7,9,11)")
+	)
+	flag.Parse()
+
+	session, err := core.Launch(core.Config{
+		Machine:        cluster.Frontier(*nodes),
+		MemBudgetBytes: int64(*memGiB) << 30,
+		CloudLatency:   *cloudLat,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal("launch: %v", err)
+	}
+	defer session.Teardown()
+
+	h := bench.NewHarness(session)
+	h.Quick = !*full
+	h.Repeats = *repeats
+	h.Shots = *shots
+	h.Seed = *seed
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil || n <= 0 {
+				fatal("bad -sizes entry %q", tok)
+			}
+			h.SizeOverride = append(h.SizeOverride, n)
+		}
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+
+	run := func(id string, f func() (*bench.Experiment, error)) {
+		if !all && !wanted[id] {
+			return
+		}
+		start := time.Now()
+		exp, err := f()
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		fmt.Print(bench.Render(exp))
+		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal("csv dir: %v", err)
+			}
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := os.WriteFile(path, []byte(bench.CSV(exp)), 0o644); err != nil {
+				fatal("csv write: %v", err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	run("table1", h.RunCapabilityTable)
+	run("table2", func() (*bench.Experiment, error) { return h.RunBenchmarkCatalog(), nil })
+	run("fig3a", func() (*bench.Experiment, error) { return h.RunWorkloadFigure("fig3a", "ghz") })
+	run("fig3b", func() (*bench.Experiment, error) { return h.RunWorkloadFigure("fig3b", "ham") })
+	run("fig3c", func() (*bench.Experiment, error) { return h.RunWorkloadFigure("fig3c", "tfim") })
+	run("fig3c-strong", func() (*bench.Experiment, error) {
+		n := 12
+		procs := []int{1, 2, 4, 8}
+		if *full {
+			n = 22 // TFIM-28 needs 4 GiB amplitudes; 22 fits the default budget
+			procs = []int{1, 2, 4, 8, 16}
+		}
+		return h.RunStrongScaling(n, procs)
+	})
+	run("fig3d", func() (*bench.Experiment, error) { return h.RunWorkloadFigure("fig3d", "hhl") })
+	if all || wanted["fig3e"] || wanted["fig3f"] {
+		rt, fid, err := h.RunQAOAFigure()
+		if err != nil {
+			fatal("fig3e/f: %v", err)
+		}
+		if all || wanted["fig3e"] {
+			fmt.Print(bench.Render(rt))
+			writeCSV(*csvDir, rt)
+		}
+		if all || wanted["fig3f"] {
+			fmt.Print(bench.Render(fid))
+			writeCSV(*csvDir, fid)
+		}
+	}
+	run("fig4", h.RunDQAOAFigure)
+	if all || wanted["fig5"] {
+		cfg := bench.DQAOAConfig{QUBOSize: 16, SubQSize: 6, NSubQ: 4}
+		if *full {
+			cfg = bench.DQAOAConfig{QUBOSize: 40, SubQSize: 12, NSubQ: 4}
+		}
+		exp, _, err := h.RunTimelineFigure(cfg)
+		if err != nil {
+			fatal("fig5: %v", err)
+		}
+		fmt.Print(bench.Render(exp))
+		writeCSV(*csvDir, exp)
+	}
+}
+
+func writeCSV(dir string, exp *bench.Experiment) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal("csv dir: %v", err)
+	}
+	path := filepath.Join(dir, exp.ID+".csv")
+	if err := os.WriteFile(path, []byte(bench.CSV(exp)), 0o644); err != nil {
+		fatal("csv write: %v", err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qfwbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command qfwd runs the QFw services as a long-lived daemon: it submits the
+// SLURM heterogeneous job, boots the DVM and one QPM per backend, exposes
+// the DEFw RPC endpoint over TCP, and serves until interrupted — the
+// deployment mode where applications connect from separate processes.
+//
+// Usage:
+//
+//	qfwd -nodes 4 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qfw/internal/cluster"
+	"qfw/internal/core"
+
+	_ "qfw/internal/backends"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
+		appNodes = flag.Int("app-nodes", 1, "hetgroup-0 (application) nodes")
+		workers  = flag.Int("workers", 8, "QRC worker threads per QPM (paper: 8)")
+		memGiB   = flag.Int("mem", 1, "state-vector memory budget (GiB)")
+		walltime = flag.Duration("walltime", 2*time.Hour, "SLURM walltime (paper cutoff: 2h)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	session, err := core.Launch(core.Config{
+		Machine:        cluster.Frontier(*nodes),
+		AppNodes:       *appNodes,
+		Workers:        *workers,
+		Walltime:       *walltime,
+		UseTCP:         true,
+		MemBudgetBytes: int64(*memGiB) << 30,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qfwd: launch: %v\n", err)
+		os.Exit(1)
+	}
+	defer session.Teardown()
+
+	fmt.Printf("qfwd: SLURM job %d running (hetgroup-0: %d nodes, hetgroup-1: %d nodes)\n",
+		session.Job.ID, *appNodes, *nodes-*appNodes)
+	fmt.Printf("qfwd: DVM %s\n", session.DVM.URI)
+	fmt.Printf("qfwd: DEFw endpoint %s\n", session.Addr)
+	fmt.Printf("qfwd: backends: %v\n", session.Backends())
+	fmt.Println("qfwd: serving; Ctrl-C to tear down")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("\nqfwd: signal received, tearing down")
+	case <-session.Job.Done():
+		fmt.Printf("qfwd: SLURM job ended (%s)\n", session.Job.State())
+	}
+}

@@ -1,0 +1,56 @@
+// Backend sweep: run one TFIM evolution circuit across every integrated
+// backend and sub-backend and print a runtime comparison table — the
+// single-workload slice of the paper's Fig. 3c, showing the MPS engines'
+// advantage on nearest-neighbour low-entanglement circuits.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qfw"
+)
+
+func main() {
+	session, err := qfw.Launch(qfw.Config{
+		Machine:      qfw.Frontier(3),
+		CloudLatency: 30 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Teardown()
+
+	const n = 14
+	circuit := qfw.TFIM(n, 4, 0.5, 1.0)
+	fmt.Printf("TFIM-%d (%d gates, depth %d) across all backends\n\n", n, len(circuit.Gates), circuit.Depth())
+	fmt.Printf("%-10s %-24s %12s %10s\n", "backend", "sub-backend", "exec (ms)", "trunc-err")
+
+	selections := []qfw.Properties{
+		{Backend: "nwqsim", Subbackend: "MPI"},
+		{Backend: "nwqsim", Subbackend: "OpenMP"},
+		{Backend: "aer", Subbackend: "statevector"},
+		{Backend: "aer", Subbackend: "matrix_product_state"},
+		{Backend: "aer", Subbackend: "automatic"},
+		{Backend: "tnqvm", Subbackend: "exatn-mps"},
+		{Backend: "qtensor", Subbackend: "numpy"},
+		{Backend: "ionq", Subbackend: "simulator"},
+	}
+	for _, props := range selections {
+		backend, err := session.Frontend(props)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := backend.Run(circuit, qfw.RunOptions{
+			Shots: 512, Seed: 3, Nodes: 2, ProcsPerNode: 4,
+		})
+		if err != nil {
+			fmt.Printf("%-10s %-24s %12s   (%v)\n", props.Backend, props.Subbackend, "—", err)
+			continue
+		}
+		fmt.Printf("%-10s %-24s %12.2f %10.2g\n", props.Backend, props.Subbackend, res.Timings.ExecMS, res.TruncErr)
+	}
+	fmt.Println("\nMPS engines stay fast on this structured, low-entanglement evolution;")
+	fmt.Println("the cloud backend pays network latency and queue time on every call.")
+}

@@ -1,0 +1,60 @@
+// DQAOA metamaterial optimization: decompose a layered-stack QUBO into
+// sub-QUBOs, solve them concurrently through the framework on a local MPI
+// backend and on the simulated IonQ cloud, and compare total times and the
+// iteration-level timeline — the paper's Figs. 4 and 5 as an application.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qfw"
+)
+
+func main() {
+	session, err := qfw.Launch(qfw.Config{
+		Machine:      qfw.Frontier(3),
+		CloudLatency: 25 * time.Millisecond,
+		CloudJitter:  15 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Teardown()
+
+	// A 24-layer metamaterial stack: variable i decides layer i's material.
+	problem := qfw.MetamaterialQUBO(24, 42)
+	fmt.Println("DQAOA metamaterial optimization: 24 variables, (subqsize=8, nsubq=4)")
+
+	for _, props := range []qfw.Properties{
+		{Backend: "nwqsim", Subbackend: "OpenMP"},
+		{Backend: "ionq", Subbackend: "simulator"},
+	} {
+		backend, err := session.Frontend(props)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recorder := qfw.NewRecorder()
+		res, err := qfw.SolveDQAOA(problem, backend, qfw.DQAOAConfig{
+			SubQSize: 8,
+			NSubQ:    4,
+			MaxIter:  3,
+			Async:    true,
+			Seed:     7,
+			Shots:    256,
+			MaxEvals: 15,
+			Recorder: recorder,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s/%s ---\n", props.Backend, props.Subbackend)
+		fmt.Printf("total time %v | energy %.4f | quality %.1f%% | %d sub-solves over %d iterations\n",
+			res.Elapsed.Round(time.Millisecond), res.Energy, 100*res.Quality, res.SubSolves, res.Iterations)
+		fmt.Printf("max concurrent sub-QAOAs: %d\n", recorder.MaxConcurrency("subqaoa"))
+		fmt.Print(recorder.Timeline(72))
+	}
+	fmt.Println("\nThe local backend completes iterations faster and more uniformly;")
+	fmt.Println("the cloud path adds internet latency and queue waits (paper Fig. 5).")
+}

@@ -1,0 +1,134 @@
+package backends
+
+import (
+	"math"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/core"
+)
+
+// TestDiagonalObservableAllBackends checks that every backend returns a
+// consistent <H> for a diagonal Ising observable over the same state.
+func TestDiagonalObservableAllBackends(t *testing.T) {
+	s := launch(t)
+	// Prepare a biased product state: P(1) per qubit = sin^2(0.4/2).
+	c := circuit.New(4)
+	for q := 0; q < 4; q++ {
+		c.RY(q, circuit.Bound(0.8))
+	}
+	c.MeasureAll()
+	c.Name = "obs-test"
+	obs := &core.Observable{
+		Fields:    []float64{0.5, -0.25, 0.75, 0},
+		Couplings: []core.Coupling{{I: 0, J: 1, V: 0.3}, {I: 2, J: 3, V: -0.6}},
+	}
+	// Exact value: <Z> per qubit = cos(0.8); couplings: cos^2(0.8).
+	z := math.Cos(0.8)
+	want := 0.5*z - 0.25*z + 0.75*z + 0.3*z*z - 0.6*z*z
+
+	cases := []struct {
+		props core.Properties
+		exact bool // local simulators compute exactly; cloud estimates
+	}{
+		{core.Properties{Backend: "nwqsim", Subbackend: "MPI"}, true},
+		{core.Properties{Backend: "nwqsim", Subbackend: "CPU"}, true},
+		{core.Properties{Backend: "aer", Subbackend: "statevector"}, true},
+		{core.Properties{Backend: "aer", Subbackend: "matrix_product_state"}, true},
+		{core.Properties{Backend: "tnqvm", Subbackend: "exatn-mps"}, true},
+		{core.Properties{Backend: "qtensor", Subbackend: "numpy"}, true},
+		{core.Properties{Backend: "qtensor", Subbackend: "mpi"}, true},
+		{core.Properties{Backend: "ionq", Subbackend: "simulator"}, false},
+	}
+	for _, tc := range cases {
+		f, err := s.Frontend(tc.props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(c, core.RunOptions{Shots: 4000, Seed: 7, Nodes: 2, ProcsPerNode: 2, Observable: obs})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.props.Backend, tc.props.Subbackend, err)
+		}
+		if res.ExpVal == nil {
+			t.Fatalf("%s/%s: no expectation value", tc.props.Backend, tc.props.Subbackend)
+		}
+		tol := 1e-9
+		if !tc.exact {
+			tol = 0.08 // shot noise at 4000 shots
+		}
+		if math.Abs(*res.ExpVal-want) > tol {
+			t.Fatalf("%s/%s: <H> = %g, want %g (tol %g)", tc.props.Backend, tc.props.Subbackend, *res.ExpVal, want, tol)
+		}
+	}
+}
+
+// TestGeneralPauliObservableLocalOnly checks general Pauli sums: exact on
+// local simulator backends, rejected cleanly on cloud/stabilizer/MPI paths.
+func TestGeneralPauliObservableLocalOnly(t *testing.T) {
+	s := launch(t)
+	c := circuit.New(2)
+	c.H(0).CX(0, 1) // Bell state: <XX> = 1, <ZZ> = 1, <XI> = 0
+	c.MeasureAll()
+	c.Name = "pauli-obs"
+	obs := &core.Observable{Paulis: []core.PauliTerm{
+		{Coeff: 0.5, Ops: "XX"},
+		{Coeff: 0.25, Ops: "ZZ"},
+		{Coeff: 3.0, Ops: "XI"},
+	}}
+	want := 0.5 + 0.25
+
+	for _, props := range []core.Properties{
+		{Backend: "aer", Subbackend: "statevector"},
+		{Backend: "aer", Subbackend: "matrix_product_state"},
+		{Backend: "nwqsim", Subbackend: "OpenMP"},
+		{Backend: "qtensor", Subbackend: "numpy"},
+	} {
+		f, err := s.Frontend(props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(c, core.RunOptions{Shots: 64, Seed: 1, Observable: obs})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", props.Backend, props.Subbackend, err)
+		}
+		if res.ExpVal == nil || math.Abs(*res.ExpVal-want) > 1e-9 {
+			t.Fatalf("%s/%s: <H> = %v, want %g", props.Backend, props.Subbackend, res.ExpVal, want)
+		}
+	}
+	for _, props := range []core.Properties{
+		{Backend: "ionq", Subbackend: "simulator"},
+		{Backend: "nwqsim", Subbackend: "MPI"},
+	} {
+		f, err := s.Frontend(props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(c, core.RunOptions{Shots: 64, Seed: 1, Observable: obs}); err == nil {
+			t.Fatalf("%s/%s accepted a general Pauli observable", props.Backend, props.Subbackend)
+		}
+	}
+}
+
+// TestAutoBackendThroughSession exercises the auto QPM over RPC.
+func TestAutoBackendThroughSession(t *testing.T) {
+	s := launch(t)
+	f, err := s.Frontend(core.Properties{Backend: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run(ghz(6), core.RunOptions{Shots: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route == "" {
+		t.Fatal("auto run missing route annotation")
+	}
+	checkGHZ(t, res.Counts, 6, 100)
+	caps, err := f.Capabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.Backend != "auto" {
+		t.Fatalf("caps %+v", caps)
+	}
+}

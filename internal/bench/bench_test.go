@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	_ "qfw/internal/backends" // register all backends
+	"qfw/internal/cluster"
+	"qfw/internal/core"
+)
+
+func quickHarness(t *testing.T) *Harness {
+	t.Helper()
+	s, err := core.Launch(core.Config{
+		Machine:      cluster.Frontier(3),
+		CloudLatency: time.Millisecond,
+		CloudJitter:  time.Millisecond,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Teardown)
+	h := NewHarness(s)
+	h.Quick = true
+	h.Repeats = 1
+	h.Shots = 64
+	return h
+}
+
+func TestCatalogMatchesTable2(t *testing.T) {
+	// The catalog must carry the paper's exact size lists.
+	byName := map[string]WorkloadSpec{}
+	for _, spec := range Catalog {
+		byName[spec.Name] = spec
+	}
+	ghz := byName["ghz"]
+	if len(ghz.Sizes) != 9 || ghz.Sizes[0] != 4 || ghz.Sizes[8] != 32 {
+		t.Fatalf("ghz sizes %v", ghz.Sizes)
+	}
+	hhl := byName["hhl"]
+	if len(hhl.Sizes) != 7 || hhl.Sizes[0] != 5 || hhl.Sizes[6] != 17 {
+		t.Fatalf("hhl sizes %v", hhl.Sizes)
+	}
+	if len(DQAOAConfigs) != 5 {
+		t.Fatalf("dqaoa configs %v", DQAOAConfigs)
+	}
+}
+
+func TestPlacementSchedule(t *testing.T) {
+	if p := PlacementFor(4); p.Nodes != 1 || p.Procs != 4 {
+		t.Fatalf("placement(4) = %v", p)
+	}
+	if p := PlacementFor(24); p.Nodes != 2 {
+		t.Fatalf("placement(24) = %v", p)
+	}
+	if p := PlacementFor(32); p.Procs != 16 {
+		t.Fatalf("placement(32) = %v", p)
+	}
+}
+
+func TestWorkloadFigureGHZ(t *testing.T) {
+	h := quickHarness(t)
+	exp, err := h.RunWorkloadFigure("fig3a", "ghz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Series) != len(Figure3Backends) {
+		t.Fatalf("series %d, want %d", len(exp.Series), len(Figure3Backends))
+	}
+	for _, s := range exp.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Err != "" && !p.Infeasible {
+				t.Fatalf("%s size %d failed: %s", s.Label, p.X, p.Err)
+			}
+			if p.Err == "" && p.RuntimeMS <= 0 {
+				t.Fatalf("%s size %d has zero runtime", s.Label, p.X)
+			}
+		}
+	}
+	out := Render(exp)
+	if !strings.Contains(out, "NWQ-Sim") || !strings.Contains(out, "IonQ (Simulator)") {
+		t.Fatalf("render missing series:\n%s", out)
+	}
+	if csv := CSV(exp); !strings.HasPrefix(csv, "series,") {
+		t.Fatal("csv header missing")
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	h := quickHarness(t)
+	exp, err := h.RunStrongScaling(12, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Series) != 3 {
+		t.Fatalf("series %d", len(exp.Series))
+	}
+	for _, s := range exp.Series {
+		for _, p := range s.Points {
+			if p.Err != "" {
+				t.Fatalf("%s procs=%d: %s", s.Label, p.X, p.Err)
+			}
+		}
+	}
+}
+
+func TestQAOAFigure(t *testing.T) {
+	h := quickHarness(t)
+	rt, fid, err := h.RunQAOAFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Series) != len(QAOABackends) || len(fid.Series) != len(QAOABackends) {
+		t.Fatalf("series %d/%d", len(rt.Series), len(fid.Series))
+	}
+	for _, s := range fid.Series {
+		for _, p := range s.Points {
+			if p.Err != "" {
+				t.Fatalf("%s size %d: %s", s.Label, p.X, p.Err)
+			}
+			if p.Fidelity < 90 {
+				t.Fatalf("%s size %d fidelity %.1f%% — paper reports >=95%%", s.Label, p.X, p.Fidelity)
+			}
+		}
+	}
+}
+
+func TestDQAOAFigureCloudSlower(t *testing.T) {
+	h := quickHarness(t)
+	exp, err := h.RunDQAOAFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := SeriesByLabel(exp, "NWQ-Sim")
+	cloud := SeriesByLabel(exp, "IonQ (Simulator)")
+	if local == nil || cloud == nil {
+		t.Fatalf("missing series in %v", exp.Series)
+	}
+	// Fig. 4 shape: the cloud path is slower for every configuration.
+	for i := range local.Points {
+		lp, cp := local.Points[i], cloud.Points[i]
+		if lp.Err != "" || cp.Err != "" {
+			t.Fatalf("errors: %q %q", lp.Err, cp.Err)
+		}
+		if cp.RuntimeMS <= lp.RuntimeMS {
+			t.Fatalf("config %s: cloud %.1fms not slower than local %.1fms",
+				lp.Placement, cp.RuntimeMS, lp.RuntimeMS)
+		}
+	}
+}
+
+func TestTimelineFigure(t *testing.T) {
+	h := quickHarness(t)
+	exp, recs, err := h.RunTimelineFigure(DQAOAConfig{QUBOSize: 14, SubQSize: 6, NSubQ: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "max concurrent") {
+		t.Fatalf("timeline text missing:\n%s", exp.Text)
+	}
+	rec := recs["NWQ-Sim"]
+	if rec == nil || rec.Len() == 0 {
+		t.Fatal("no local recorder events")
+	}
+	// Fig. 5's concurrency observation: multiple sub-QAOAs in flight.
+	if c := rec.MaxConcurrency("subqaoa"); c < 2 {
+		t.Fatalf("local concurrency %d, want >= 2", c)
+	}
+}
+
+func TestCapabilityAndCatalogTables(t *testing.T) {
+	h := quickHarness(t)
+	t1, err := h.RunCapabilityTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nwqsim", "aer", "tnqvm", "qtensor", "ionq"} {
+		if !strings.Contains(t1.Text, name) {
+			t.Fatalf("table1 missing %s:\n%s", name, t1.Text)
+		}
+	}
+	t2 := h.RunBenchmarkCatalog()
+	if !strings.Contains(t2.Text, "dqaoa") || !strings.Contains(t2.Text, "30:(16,2)") {
+		t.Fatalf("table2 wrong:\n%s", t2.Text)
+	}
+}
+
+func TestWinnersAndXs(t *testing.T) {
+	e := &Experiment{
+		Series: []Series{
+			{Label: "A", Points: []Point{{X: 4, RuntimeMS: 10}, {X: 8, RuntimeMS: 50}}},
+			{Label: "B", Points: []Point{{X: 4, RuntimeMS: 20}, {X: 8, RuntimeMS: 30}}},
+		},
+	}
+	w := Winners(e)
+	if w[4] != "A" || w[8] != "B" {
+		t.Fatalf("winners %v", w)
+	}
+	xs := SortedXs(e)
+	if len(xs) != 2 || xs[0] != 4 || xs[1] != 8 {
+		t.Fatalf("xs %v", xs)
+	}
+}

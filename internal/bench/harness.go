@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qfw/internal/core"
+	"qfw/internal/dqaoa"
+	"qfw/internal/optimize"
+	"qfw/internal/qaoa"
+	"qfw/internal/qubo"
+	"qfw/internal/trace"
+	"qfw/internal/workloads"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	X          int     `json:"x"` // qubits or QUBO size
+	Placement  string  `json:"placement"`
+	RuntimeMS  float64 `json:"runtime_ms"`
+	StdMS      float64 `json:"std_ms"`
+	Fidelity   float64 `json:"fidelity,omitempty"`
+	Infeasible bool    `json:"infeasible,omitempty"`
+	Err        string  `json:"err,omitempty"`
+}
+
+// Series is one backend line of a figure.
+type Series struct {
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
+}
+
+// Experiment is a reproduced table or figure.
+type Experiment struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	Series []Series `json:"series"`
+	Notes  string   `json:"notes,omitempty"`
+	Text   string   `json:"text,omitempty"` // pre-rendered body (timelines, tables)
+}
+
+// Harness drives experiments against a running QFw session.
+type Harness struct {
+	Session *core.Session
+	Repeats int // paper: 3
+	Shots   int
+	Seed    int64
+	Quick   bool // laptop-scale size lists
+
+	// SizeOverride, when non-empty, replaces the workload size list
+	// (cmd/qfwbench -sizes) for partial paper-scale sweeps.
+	SizeOverride []int
+}
+
+// NewHarness wraps a session with the paper's defaults.
+func NewHarness(s *core.Session) *Harness {
+	return &Harness{Session: s, Repeats: 3, Shots: 256, Seed: 1}
+}
+
+func (h *Harness) sizes(spec WorkloadSpec) []int {
+	if len(h.SizeOverride) > 0 {
+		return h.SizeOverride
+	}
+	if h.Quick {
+		return spec.Quick
+	}
+	return spec.Sizes
+}
+
+func (h *Harness) specFor(name string) WorkloadSpec {
+	for _, spec := range Catalog {
+		if spec.Name == name {
+			return spec
+		}
+	}
+	panic("bench: unknown workload " + name)
+}
+
+// timedRun executes a circuit `repeats` times and returns mean/std in ms.
+func (h *Harness) timedRun(sel BackendSel, build func() (*core.Result, error)) (mean, std float64, err error) {
+	var samples []float64
+	for r := 0; r < h.Repeats; r++ {
+		start := time.Now()
+		if _, err := build(); err != nil {
+			return 0, 0, err
+		}
+		samples = append(samples, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		std += (s - mean) * (s - mean)
+	}
+	std = math.Sqrt(std / float64(len(samples)))
+	return mean, std, nil
+}
+
+// RunWorkloadFigure reproduces one of Figs. 3a-3d: runtime vs size for a
+// non-variational workload across the full backend legend.
+func (h *Harness) RunWorkloadFigure(figID, workload string) (*Experiment, error) {
+	spec := h.specFor(workload)
+	exp := &Experiment{
+		ID:    figID,
+		Title: fmt.Sprintf("%s runtime scaling (%s)", workload, spec.Describe),
+		Notes: "Weak-scaling style sweep: size and (#N,#P) grow together, as in the paper.",
+	}
+	for _, sel := range Figure3Backends {
+		front, err := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Label: sel.Label()}
+		for _, n := range h.sizes(spec) {
+			pl := PlacementFor(n)
+			circ, err := workloads.ByName(workload, n)
+			if err != nil {
+				return nil, err
+			}
+			opts := core.RunOptions{
+				Shots: h.Shots, Seed: h.Seed,
+				Nodes: pl.Nodes, ProcsPerNode: pl.Procs,
+			}
+			mean, std, runErr := h.timedRun(sel, func() (*core.Result, error) {
+				return front.Run(circ, opts)
+			})
+			pt := Point{X: n, Placement: pl.String(), RuntimeMS: mean, StdMS: std}
+			if runErr != nil {
+				pt.Infeasible = core.IsInfeasible(runErr)
+				pt.Err = runErr.Error()
+				pt.RuntimeMS, pt.StdMS = 0, 0
+			}
+			series.Points = append(series.Points, pt)
+		}
+		exp.Series = append(exp.Series, series)
+	}
+	return exp, nil
+}
+
+// RunStrongScaling reproduces the Fig. 3c inset: a fixed-size TFIM across
+// growing process counts, contrasting state-vector engines (which improve)
+// with MPS (which does not).
+func (h *Harness) RunStrongScaling(n int, procCounts []int) (*Experiment, error) {
+	if len(procCounts) == 0 {
+		procCounts = []int{1, 2, 4, 8}
+	}
+	exp := &Experiment{
+		ID:    "fig3c-strong",
+		Title: fmt.Sprintf("TFIM-%d approximate strong scaling", n),
+		Notes: "State-vector simulators benefit from added processes; MPS-based approaches do not scale as effectively (paper Sec. 6).",
+	}
+	sels := []BackendSel{
+		{Backend: "nwqsim", Subbackend: "mpi"},
+		{Backend: "aer", Subbackend: "statevector"},
+		{Backend: "aer", Subbackend: "matrix_product_state"},
+	}
+	circ := workloads.TFIM(n, 4, 0.5, 1.0)
+	for _, sel := range sels {
+		front, err := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Label: sel.Label()}
+		for _, p := range procCounts {
+			nodes := 1
+			if p > 8 {
+				nodes = 2
+			}
+			opts := core.RunOptions{Shots: h.Shots, Seed: h.Seed, Nodes: nodes, ProcsPerNode: p / nodes}
+			mean, std, runErr := h.timedRun(sel, func() (*core.Result, error) {
+				return front.Run(circ, opts)
+			})
+			pt := Point{X: p, Placement: fmt.Sprintf("(%d,%d)", nodes, p/nodes), RuntimeMS: mean, StdMS: std}
+			if runErr != nil {
+				pt.Infeasible = core.IsInfeasible(runErr)
+				pt.Err = runErr.Error()
+			}
+			series.Points = append(series.Points, pt)
+		}
+		exp.Series = append(exp.Series, series)
+	}
+	return exp, nil
+}
+
+// RunQAOAFigure reproduces Figs. 3e (runtime) and 3f (fidelity): QAOA over
+// growing QUBO sizes. Infeasible sizes (over the memory budget) appear as
+// the paper's red-X missing points.
+func (h *Harness) RunQAOAFigure() (runtimeExp, fidelityExp *Experiment, err error) {
+	spec := h.specFor("qaoa")
+	runtimeExp = &Experiment{ID: "fig3e", Title: "QAOA runtime vs QUBO size"}
+	fidelityExp = &Experiment{
+		ID: "fig3f", Title: "QAOA solution fidelity vs QUBO size",
+		Notes: "Fidelity vs the classical reference solver (exact/simulated annealing, the D-Wave stand-in); the paper reports >=95% throughout.",
+	}
+	for _, sel := range QAOABackends {
+		front, ferr := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		rt := Series{Label: sel.Label()}
+		fid := Series{Label: sel.Label()}
+		for _, n := range h.sizes(spec) {
+			pl := PlacementFor(n)
+			rng := rand.New(rand.NewSource(h.Seed + int64(n)))
+			q := qubo.Random(n, 0.5, 1.0, rng)
+			start := time.Now()
+			res, qerr := qaoa.Solve(q, front, qaoa.Options{
+				P: 1, Shots: h.Shots, MaxEvals: 30, Seed: h.Seed + int64(n),
+				Run: core.RunOptions{Nodes: pl.Nodes, ProcsPerNode: pl.Procs},
+			})
+			elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+			rpt := Point{X: n, Placement: pl.String(), RuntimeMS: elapsed}
+			fpt := Point{X: n, Placement: pl.String()}
+			if qerr != nil {
+				rpt.Infeasible = core.IsInfeasible(qerr)
+				rpt.Err = qerr.Error()
+				rpt.RuntimeMS = 0
+				fpt.Infeasible = rpt.Infeasible
+				fpt.Err = rpt.Err
+			} else {
+				_, best := optimize.Reference(q, rng)
+				worst := -best
+				if worst <= best {
+					worst = best + 1
+				}
+				fpt.Fidelity = 100 * optimize.SolutionQuality(res.Energy, best, worst)
+			}
+			rt.Points = append(rt.Points, rpt)
+			fid.Points = append(fid.Points, fpt)
+		}
+		runtimeExp.Series = append(runtimeExp.Series, rt)
+		fidelityExp.Series = append(fidelityExp.Series, fid)
+	}
+	return runtimeExp, fidelityExp, nil
+}
+
+// RunDQAOAFigure reproduces Fig. 4: total DQAOA time per (QUBO size,
+// subqsize, nsubq) configuration on the local MPI backend vs the cloud.
+func (h *Harness) RunDQAOAFigure() (*Experiment, error) {
+	configs := DQAOAConfigs
+	if h.Quick {
+		configs = DQAOAQuickConfigs
+	}
+	exp := &Experiment{
+		ID:    "fig4",
+		Title: "DQAOA total time per configuration (NWQ-Sim vs IonQ)",
+		Notes: "X axis is QUBO size with (subqsize, nsubq) as the secondary label.",
+	}
+	sels := []BackendSel{
+		{Backend: "nwqsim", Subbackend: "openmp"},
+		{Backend: "ionq", Subbackend: "simulator"},
+	}
+	for _, sel := range sels {
+		front, err := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if err != nil {
+			return nil, err
+		}
+		series := Series{Label: sel.Label()}
+		for _, cfgSpec := range configs {
+			rng := rand.New(rand.NewSource(h.Seed + int64(cfgSpec.QUBOSize)))
+			q := qubo.Metamaterial(cfgSpec.QUBOSize, rng)
+			res, err := dqaoa.Solve(q, front, dqaoa.Config{
+				SubQSize: cfgSpec.SubQSize,
+				NSubQ:    cfgSpec.NSubQ,
+				MaxIter:  3,
+				Patience: 3,
+				Async:    true,
+				Seed:     h.Seed + 31,
+				Shots:    h.Shots,
+				MaxEvals: 15,
+			})
+			pt := Point{
+				X:         cfgSpec.QUBOSize,
+				Placement: fmt.Sprintf("(%d,%d)", cfgSpec.SubQSize, cfgSpec.NSubQ),
+			}
+			if err != nil {
+				pt.Infeasible = core.IsInfeasible(err)
+				pt.Err = err.Error()
+			} else {
+				pt.RuntimeMS = float64(res.Elapsed) / float64(time.Millisecond)
+				pt.Fidelity = 100 * res.Quality
+			}
+			series.Points = append(series.Points, pt)
+		}
+		exp.Series = append(exp.Series, series)
+	}
+	return exp, nil
+}
+
+// RunTimelineFigure reproduces Fig. 5: the iteration-level timing of one
+// DQAOA configuration on both backends, rendered as an ASCII Gantt chart.
+// It returns the experiment plus the two recorders for inspection.
+func (h *Harness) RunTimelineFigure(cfgSpec DQAOAConfig) (*Experiment, map[string]*trace.Recorder, error) {
+	exp := &Experiment{
+		ID:    "fig5",
+		Title: fmt.Sprintf("DQAOA-%d (subqsize=%d, nsubq=%d) sub-QAOA timeline", cfgSpec.QUBOSize, cfgSpec.SubQSize, cfgSpec.NSubQ),
+		Notes: "Local MPI backend iterations are faster and more uniform; the cloud path adds internet latency and queue waits (paper Fig. 5).",
+	}
+	recorders := map[string]*trace.Recorder{}
+	sels := []BackendSel{
+		{Backend: "nwqsim", Subbackend: "openmp"},
+		{Backend: "ionq", Subbackend: "simulator"},
+	}
+	text := ""
+	for _, sel := range sels {
+		front, err := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(h.Seed + 99))
+		q := qubo.Metamaterial(cfgSpec.QUBOSize, rng)
+		rec := trace.NewRecorder()
+		res, err := dqaoa.Solve(q, front, dqaoa.Config{
+			SubQSize: cfgSpec.SubQSize,
+			NSubQ:    cfgSpec.NSubQ,
+			MaxIter:  2,
+			Patience: 3,
+			Async:    true,
+			Seed:     h.Seed + 99,
+			Shots:    h.Shots,
+			MaxEvals: 10,
+			Recorder: rec,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		recorders[sel.Label()] = rec
+		series := Series{Label: sel.Label()}
+		series.Points = append(series.Points, Point{
+			X:         cfgSpec.QUBOSize,
+			Placement: fmt.Sprintf("(%d,%d)", cfgSpec.SubQSize, cfgSpec.NSubQ),
+			RuntimeMS: float64(res.Elapsed) / float64(time.Millisecond),
+		})
+		exp.Series = append(exp.Series, series)
+		text += fmt.Sprintf("\n%s (max concurrent sub-QAOAs: %d)\n%s",
+			sel.Label(), rec.MaxConcurrency("subqaoa"), rec.Timeline(72))
+	}
+	exp.Text = text
+	return exp, recorders, nil
+}
+
+// RunCapabilityTable reproduces Table 1 from the live backend registry.
+func (h *Harness) RunCapabilityTable() (*Experiment, error) {
+	exp := &Experiment{ID: "table1", Title: "Backends used with QFw"}
+	text := fmt.Sprintf("%-10s %-42s %-4s %-4s %-10s %s\n", "Backend", "Sub-backends", "CPU", "GPU", "NativeMPI", "Notes")
+	for _, backend := range h.Session.Backends() {
+		front, err := h.Session.Frontend(core.Properties{Backend: backend})
+		if err != nil {
+			return nil, err
+		}
+		caps, err := front.Capabilities()
+		if err != nil {
+			return nil, err
+		}
+		text += fmt.Sprintf("%-10s %-42s %-4v %-4v %-10v %s\n",
+			caps.Backend, fmt.Sprintf("%v", caps.Subbackends), caps.CPU, caps.GPU, caps.NativeMPI, caps.Notes)
+	}
+	exp.Text = text
+	return exp, nil
+}
+
+// RunBenchmarkCatalog reproduces Table 2.
+func (h *Harness) RunBenchmarkCatalog() *Experiment {
+	exp := &Experiment{ID: "table2", Title: "Benchmarks and problem sizes grouped by category"}
+	text := fmt.Sprintf("%-8s %-16s %-30s %s\n", "Name", "Category", "Sizes", "Description")
+	for _, spec := range Catalog {
+		text += fmt.Sprintf("%-8s %-16s %-30s %s\n", spec.Name, spec.Variant, fmt.Sprint(spec.Sizes), spec.Describe)
+	}
+	text += "\nDQAOA configurations (QUBO size : (subqsize, nsubq)):\n"
+	for _, cfgSpec := range DQAOAConfigs {
+		text += "  " + cfgSpec.String() + "\n"
+	}
+	exp.Text = text
+	return exp
+}

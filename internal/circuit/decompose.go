@@ -1,0 +1,137 @@
+package circuit
+
+// GateSet describes the gate kinds a backend natively executes. Transpile
+// rewrites a circuit into an equivalent one using only supported kinds.
+type GateSet map[Kind]bool
+
+// BasicGateSet is the lowest common denominator used by the distributed
+// state-vector engine: single-qubit gates plus singly-controlled ones.
+func BasicGateSet() GateSet {
+	return GateSet{
+		KindI: true, KindH: true, KindX: true, KindY: true, KindZ: true,
+		KindS: true, KindSdg: true, KindT: true, KindTdg: true, KindSX: true,
+		KindRX: true, KindRY: true, KindRZ: true, KindP: true,
+		KindCX: true, KindCY: true, KindCZ: true,
+		KindCRX: true, KindCRY: true, KindCRZ: true, KindCP: true,
+		KindMeasure: true, KindBarrier: true, KindReset: true,
+	}
+}
+
+// CliffordGateSet is what the stabilizer engine executes natively.
+func CliffordGateSet() GateSet {
+	return GateSet{
+		KindI: true, KindH: true, KindX: true, KindY: true, KindZ: true,
+		KindS: true, KindSdg: true, KindCX: true, KindCZ: true,
+		KindMeasure: true, KindBarrier: true, KindReset: true,
+	}
+}
+
+// Transpile returns an equivalent circuit using only gates in the set.
+// Unsupported gates are expanded by textbook identities; gates with no
+// expansion rule (e.g. dense unitaries on an engine without dense support)
+// cause a panic, surfacing an integration bug rather than silent corruption.
+func Transpile(c *Circuit, set GateSet) *Circuit {
+	out := New(c.NQubits)
+	out.Name = c.Name
+	for _, g := range c.Gates {
+		emit(out, g, set, 0)
+	}
+	return out
+}
+
+const maxExpandDepth = 16
+
+func emit(out *Circuit, g Gate, set GateSet, depth int) {
+	if depth > maxExpandDepth {
+		panic("circuit: transpile recursion limit (missing rule?)")
+	}
+	if set[g.Kind] {
+		out.Append(g)
+		return
+	}
+	q := g.Qubits
+	p := g.Params
+	sub := func(gs ...Gate) {
+		for _, s := range gs {
+			emit(out, s, set, depth+1)
+		}
+	}
+	neg := func(pp Param) Param { return Param{Name: pp.Name, Coeff: -pp.Coeff, Const: -pp.Const} }
+	half := func(pp Param) Param { return Param{Name: pp.Name, Coeff: pp.Coeff / 2, Const: pp.Const / 2} }
+	switch g.Kind {
+	case KindSWAP:
+		sub(Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindCX, Qubits: []int{q[1], q[0]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}})
+	case KindRZZ:
+		sub(Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindRZ, Qubits: []int{q[1]}, Params: []Param{p[0]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}})
+	case KindRXX:
+		sub(Gate{Kind: KindH, Qubits: []int{q[0]}},
+			Gate{Kind: KindH, Qubits: []int{q[1]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindRZ, Qubits: []int{q[1]}, Params: []Param{p[0]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindH, Qubits: []int{q[0]}},
+			Gate{Kind: KindH, Qubits: []int{q[1]}})
+	case KindCY:
+		sub(Gate{Kind: KindSdg, Qubits: []int{q[1]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindS, Qubits: []int{q[1]}})
+	case KindCZ:
+		sub(Gate{Kind: KindH, Qubits: []int{q[1]}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindH, Qubits: []int{q[1]}})
+	case KindCRZ:
+		sub(Gate{Kind: KindRZ, Qubits: []int{q[1]}, Params: []Param{half(p[0])}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindRZ, Qubits: []int{q[1]}, Params: []Param{neg(half(p[0]))}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}})
+	case KindCRY:
+		sub(Gate{Kind: KindRY, Qubits: []int{q[1]}, Params: []Param{half(p[0])}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindRY, Qubits: []int{q[1]}, Params: []Param{neg(half(p[0]))}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}})
+	case KindCRX:
+		// X = H Z H, so CRX = (I⊗H) CRZ (I⊗H).
+		sub(Gate{Kind: KindH, Qubits: []int{q[1]}},
+			Gate{Kind: KindCRZ, Qubits: []int{q[0], q[1]}, Params: []Param{p[0]}},
+			Gate{Kind: KindH, Qubits: []int{q[1]}})
+	case KindCP:
+		sub(Gate{Kind: KindP, Qubits: []int{q[0]}, Params: []Param{half(p[0])}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindP, Qubits: []int{q[1]}, Params: []Param{neg(half(p[0]))}},
+			Gate{Kind: KindCX, Qubits: []int{q[0], q[1]}},
+			Gate{Kind: KindP, Qubits: []int{q[1]}, Params: []Param{half(p[0])}})
+	case KindCCX:
+		a, b, t := q[0], q[1], q[2]
+		sub(Gate{Kind: KindH, Qubits: []int{t}},
+			Gate{Kind: KindCX, Qubits: []int{b, t}},
+			Gate{Kind: KindTdg, Qubits: []int{t}},
+			Gate{Kind: KindCX, Qubits: []int{a, t}},
+			Gate{Kind: KindT, Qubits: []int{t}},
+			Gate{Kind: KindCX, Qubits: []int{b, t}},
+			Gate{Kind: KindTdg, Qubits: []int{t}},
+			Gate{Kind: KindCX, Qubits: []int{a, t}},
+			Gate{Kind: KindT, Qubits: []int{b}},
+			Gate{Kind: KindT, Qubits: []int{t}},
+			Gate{Kind: KindH, Qubits: []int{t}},
+			Gate{Kind: KindCX, Qubits: []int{a, b}},
+			Gate{Kind: KindT, Qubits: []int{a}},
+			Gate{Kind: KindTdg, Qubits: []int{b}},
+			Gate{Kind: KindCX, Qubits: []int{a, b}})
+	case KindCSWAP:
+		c1, x, y := q[0], q[1], q[2]
+		sub(Gate{Kind: KindCX, Qubits: []int{y, x}},
+			Gate{Kind: KindCCX, Qubits: []int{c1, x, y}},
+			Gate{Kind: KindCX, Qubits: []int{y, x}})
+	case KindSX:
+		// SX = e^{iπ/4} RX(π/2); global phase is irrelevant for simulation.
+		sub(Gate{Kind: KindRX, Qubits: []int{q[0]}, Params: []Param{Bound(1.5707963267948966)}})
+	case KindI, KindBarrier:
+		// Droppable when unsupported.
+	default:
+		panic("circuit: no transpile rule for " + g.Kind.Name())
+	}
+}

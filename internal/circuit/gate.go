@@ -1,0 +1,332 @@
+// Package circuit defines the quantum circuit intermediate representation
+// shared by every frontend and backend in the framework: gate set, parameter
+// binding for variational ansätze, circuit construction and analysis, and
+// OpenQASM 2.0 serialization (the wire format QFw QPMs exchange).
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"qfw/internal/linalg"
+)
+
+// Kind enumerates the supported gate operations.
+type Kind int
+
+// Gate kinds. The set covers the needs of every workload in the paper:
+// Clifford generators, parameterized rotations for variational circuits,
+// controlled rotations for QPE/HHL, and measurement.
+const (
+	KindI Kind = iota
+	KindH
+	KindX
+	KindY
+	KindZ
+	KindS
+	KindSdg
+	KindT
+	KindTdg
+	KindSX
+	KindRX
+	KindRY
+	KindRZ
+	KindP // phase gate: diag(1, e^{iθ})
+	KindCX
+	KindCY
+	KindCZ
+	KindCRX
+	KindCRY
+	KindCRZ
+	KindCP
+	KindSWAP
+	KindRZZ
+	KindRXX
+	KindCCX
+	KindCSWAP
+	KindUnitary // dense unitary on Qubits (matrix attached)
+	KindMeasure
+	KindBarrier
+	KindReset
+)
+
+var kindNames = map[Kind]string{
+	KindI: "id", KindH: "h", KindX: "x", KindY: "y", KindZ: "z",
+	KindS: "s", KindSdg: "sdg", KindT: "t", KindTdg: "tdg", KindSX: "sx",
+	KindRX: "rx", KindRY: "ry", KindRZ: "rz", KindP: "p",
+	KindCX: "cx", KindCY: "cy", KindCZ: "cz",
+	KindCRX: "crx", KindCRY: "cry", KindCRZ: "crz", KindCP: "cp",
+	KindSWAP: "swap", KindRZZ: "rzz", KindRXX: "rxx",
+	KindCCX: "ccx", KindCSWAP: "cswap", KindUnitary: "unitary",
+	KindMeasure: "measure", KindBarrier: "barrier", KindReset: "reset",
+}
+
+// Name returns the lowercase OpenQASM-style mnemonic for the kind.
+func (k Kind) Name() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// NumParams returns how many angle parameters a gate kind takes.
+func (k Kind) NumParams() int {
+	switch k {
+	case KindRX, KindRY, KindRZ, KindP, KindCRX, KindCRY, KindCRZ, KindCP, KindRZZ, KindRXX:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// NumQubits returns the arity of the gate kind (0 means variable, e.g. barrier).
+func (k Kind) NumQubits() int {
+	switch k {
+	case KindCX, KindCY, KindCZ, KindCRX, KindCRY, KindCRZ, KindCP, KindSWAP, KindRZZ, KindRXX:
+		return 2
+	case KindCCX, KindCSWAP:
+		return 3
+	case KindBarrier, KindUnitary:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// IsClifford reports whether the gate kind is a Clifford operation for all
+// parameter values (rotations are not, even at special angles; the automatic
+// backend selector treats them conservatively).
+func (k Kind) IsClifford() bool {
+	switch k {
+	case KindI, KindH, KindX, KindY, KindZ, KindS, KindSdg, KindCX, KindCY, KindCZ, KindSWAP, KindMeasure, KindBarrier, KindReset:
+		return true
+	default:
+		return false
+	}
+}
+
+// Param is a (possibly symbolic) gate angle: Value = Coeff*θ(Name) + Const.
+// A Param with empty Name is fully bound.
+type Param struct {
+	Name  string  `json:"name,omitempty"`
+	Coeff float64 `json:"coeff,omitempty"`
+	Const float64 `json:"const"`
+}
+
+// Bound returns a fully bound parameter with the given value.
+func Bound(v float64) Param { return Param{Const: v} }
+
+// Sym returns the symbolic parameter coeff*θ(name).
+func Sym(name string, coeff float64) Param { return Param{Name: name, Coeff: coeff} }
+
+// IsBound reports whether the parameter has a concrete value.
+func (p Param) IsBound() bool { return p.Name == "" }
+
+// Value resolves the parameter against a binding map; it panics on unbound
+// symbols so that backends never silently execute half-bound circuits.
+func (p Param) Value(binding map[string]float64) float64 {
+	if p.Name == "" {
+		return p.Const
+	}
+	v, ok := binding[p.Name]
+	if !ok {
+		panic(fmt.Sprintf("circuit: unbound parameter %q", p.Name))
+	}
+	return p.Coeff*v + p.Const
+}
+
+// Gate is one operation in a circuit. Qubits holds control qubits before
+// target qubits for controlled kinds (e.g. CX: [control, target]).
+type Gate struct {
+	Kind   Kind           `json:"kind"`
+	Qubits []int          `json:"qubits"`
+	Params []Param        `json:"params,omitempty"`
+	Matrix *linalg.Matrix `json:"matrix,omitempty"` // only for KindUnitary
+	Cbit   int            `json:"cbit,omitempty"`   // classical bit for KindMeasure
+}
+
+// Angle returns the single bound angle of the gate (panics if symbolic).
+func (g Gate) Angle() float64 {
+	if len(g.Params) != 1 {
+		panic("circuit: Angle on gate without exactly one parameter")
+	}
+	return g.Params[0].Value(nil)
+}
+
+// IsBound reports whether all parameters of the gate are bound.
+func (g Gate) IsBound() bool {
+	for _, p := range g.Params {
+		if !p.IsBound() {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix1Q returns the 2x2 matrix of a bound single-qubit gate kind.
+func Matrix1Q(k Kind, theta float64) [2][2]complex128 {
+	i := complex(0, 1)
+	switch k {
+	case KindI:
+		return [2][2]complex128{{1, 0}, {0, 1}}
+	case KindH:
+		s := complex(1/math.Sqrt2, 0)
+		return [2][2]complex128{{s, s}, {s, -s}}
+	case KindX:
+		return [2][2]complex128{{0, 1}, {1, 0}}
+	case KindY:
+		return [2][2]complex128{{0, -i}, {i, 0}}
+	case KindZ:
+		return [2][2]complex128{{1, 0}, {0, -1}}
+	case KindS:
+		return [2][2]complex128{{1, 0}, {0, i}}
+	case KindSdg:
+		return [2][2]complex128{{1, 0}, {0, -i}}
+	case KindT:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(i * math.Pi / 4)}}
+	case KindTdg:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(-i * math.Pi / 4)}}
+	case KindSX:
+		return [2][2]complex128{{0.5 + 0.5*i, 0.5 - 0.5*i}, {0.5 - 0.5*i, 0.5 + 0.5*i}}
+	case KindRX:
+		c, s := complex(math.Cos(theta/2), 0), complex(0, -math.Sin(theta/2))
+		return [2][2]complex128{{c, s}, {s, c}}
+	case KindRY:
+		c, s := math.Cos(theta/2), math.Sin(theta/2)
+		return [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}
+	case KindRZ:
+		return [2][2]complex128{{cmplx.Exp(complex(0, -theta/2)), 0}, {0, cmplx.Exp(complex(0, theta/2))}}
+	case KindP:
+		return [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, theta))}}
+	default:
+		panic(fmt.Sprintf("circuit: Matrix1Q on non-1q kind %s", k.Name()))
+	}
+}
+
+// baseOf maps a controlled kind to its target single-qubit kind.
+func baseOf(k Kind) (Kind, bool) {
+	switch k {
+	case KindCX:
+		return KindX, true
+	case KindCY:
+		return KindY, true
+	case KindCZ:
+		return KindZ, true
+	case KindCRX:
+		return KindRX, true
+	case KindCRY:
+		return KindRY, true
+	case KindCRZ:
+		return KindRZ, true
+	case KindCP:
+		return KindP, true
+	}
+	return KindI, false
+}
+
+// ControlledTarget returns the 2x2 matrix applied to the target when the
+// controls of a controlled gate are satisfied.
+func ControlledTarget(k Kind, theta float64) ([2][2]complex128, bool) {
+	if b, ok := baseOf(k); ok {
+		return Matrix1Q(b, theta), true
+	}
+	if k == KindCCX {
+		return Matrix1Q(KindX, 0), true
+	}
+	return [2][2]complex128{}, false
+}
+
+// Matrix2Q returns the 4x4 matrix (basis |q0 q1> with q0 the first listed
+// qubit as the most significant bit) of a bound two-qubit gate.
+func Matrix2Q(k Kind, theta float64) *linalg.Matrix {
+	m := linalg.New(4, 4)
+	set := func(vals [16]complex128) {
+		copy(m.Data, vals[:])
+	}
+	i := complex(0, 1)
+	switch k {
+	case KindCX:
+		set([16]complex128{
+			1, 0, 0, 0,
+			0, 1, 0, 0,
+			0, 0, 0, 1,
+			0, 0, 1, 0})
+	case KindCY:
+		set([16]complex128{
+			1, 0, 0, 0,
+			0, 1, 0, 0,
+			0, 0, 0, -i,
+			0, 0, i, 0})
+	case KindCZ:
+		set([16]complex128{
+			1, 0, 0, 0,
+			0, 1, 0, 0,
+			0, 0, 1, 0,
+			0, 0, 0, -1})
+	case KindSWAP:
+		set([16]complex128{
+			1, 0, 0, 0,
+			0, 0, 1, 0,
+			0, 1, 0, 0,
+			0, 0, 0, 1})
+	case KindCRX, KindCRY, KindCRZ, KindCP:
+		b, _ := baseOf(k)
+		t := Matrix1Q(b, theta)
+		set([16]complex128{
+			1, 0, 0, 0,
+			0, 1, 0, 0,
+			0, 0, t[0][0], t[0][1],
+			0, 0, t[1][0], t[1][1]})
+	case KindRZZ:
+		e0 := cmplx.Exp(complex(0, -theta/2))
+		e1 := cmplx.Exp(complex(0, theta/2))
+		set([16]complex128{
+			e0, 0, 0, 0,
+			0, e1, 0, 0,
+			0, 0, e1, 0,
+			0, 0, 0, e0})
+	case KindRXX:
+		c := complex(math.Cos(theta/2), 0)
+		s := complex(0, -math.Sin(theta/2))
+		set([16]complex128{
+			c, 0, 0, s,
+			0, c, s, 0,
+			0, s, c, 0,
+			s, 0, 0, c})
+	default:
+		panic(fmt.Sprintf("circuit: Matrix2Q on kind %s", k.Name()))
+	}
+	return m
+}
+
+// FromMat2 converts a 2x2 gate matrix into a dense linalg.Matrix.
+func FromMat2(m [2][2]complex128) *linalg.Matrix {
+	out := linalg.New(2, 2)
+	out.Set(0, 0, m[0][0])
+	out.Set(0, 1, m[0][1])
+	out.Set(1, 0, m[1][0])
+	out.Set(1, 1, m[1][1])
+	return out
+}
+
+// DaggerKind returns the kind and angle transform implementing the adjoint of
+// a gate; rotations negate their angle, S/T swap with their daggers.
+func DaggerKind(k Kind) (Kind, bool /*negate angle*/) {
+	switch k {
+	case KindS:
+		return KindSdg, false
+	case KindSdg:
+		return KindS, false
+	case KindT:
+		return KindTdg, false
+	case KindTdg:
+		return KindT, false
+	case KindRX, KindRY, KindRZ, KindP, KindCRX, KindCRY, KindCRZ, KindCP, KindRZZ, KindRXX:
+		return k, true
+	case KindSX:
+		return KindUnitary, false // handled specially in Inverse
+	default:
+		return k, false
+	}
+}

@@ -1,0 +1,184 @@
+// Package cluster models the compute platform of the paper's evaluation: a
+// Frontier test system whose nodes have one 64-core EPYC CPU organized as 8
+// last-level-cache (LLC) domains of 8 cores, 512 GiB of DRAM, 4 MI250X GPUs
+// exposing 8 logical GCDs, and a Slingshot interconnect. The model carries
+// exactly the structure the orchestration layer depends on: core counts,
+// LLC domains with per-domain core reservation for OS noise isolation,
+// memory budgets, and a three-tier communication cost hierarchy
+// (intra-LLC < intra-node < inter-node).
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Node is one compute node of the machine model.
+type Node struct {
+	ID         int
+	Cores      int
+	LLCDomains int
+	MemBytes   int64
+	GPUs       int // logical GPUs (GCDs on Frontier)
+
+	// ReservedPerLLC cores are held back for kernel/system processes —
+	// the paper reserves one core per LLC domain, leaving 56 usable.
+	ReservedPerLLC int
+}
+
+// UsableCores returns the cores available to applications after reservation.
+func (n *Node) UsableCores() int {
+	u := n.Cores - n.LLCDomains*n.ReservedPerLLC
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// CoresPerLLC returns the core count of each LLC domain.
+func (n *Node) CoresPerLLC() int {
+	if n.LLCDomains == 0 {
+		return n.Cores
+	}
+	return n.Cores / n.LLCDomains
+}
+
+// CorePlace identifies a core slot on the machine: which node, which LLC
+// domain, and which core within the domain.
+type CorePlace struct {
+	Node int
+	LLC  int
+	Core int
+}
+
+// PlaceProcs assigns p process slots on the node, round-robin across LLC
+// domains (the placement QFw's QPM uses), skipping reserved cores. It
+// returns an error if the node cannot host p processes.
+func (n *Node) PlaceProcs(p int) ([]CorePlace, error) {
+	usablePerLLC := n.CoresPerLLC() - n.ReservedPerLLC
+	if usablePerLLC <= 0 {
+		return nil, fmt.Errorf("cluster: node %d has no usable cores", n.ID)
+	}
+	if p > usablePerLLC*n.LLCDomains {
+		return nil, fmt.Errorf("cluster: node %d cannot host %d procs (%d usable cores)", n.ID, p, n.UsableCores())
+	}
+	places := make([]CorePlace, 0, p)
+	next := make([]int, n.LLCDomains)
+	llc := 0
+	for len(places) < p {
+		if next[llc] < usablePerLLC {
+			places = append(places, CorePlace{Node: n.ID, LLC: llc, Core: next[llc]})
+			next[llc]++
+		}
+		llc = (llc + 1) % n.LLCDomains
+	}
+	return places, nil
+}
+
+// Interconnect is the three-tier communication cost model.
+type Interconnect struct {
+	IntraLLCLatency  time.Duration
+	IntraNodeLatency time.Duration
+	InterNodeLatency time.Duration
+	// BandwidthBytesPerSec is the per-link injection bandwidth.
+	BandwidthBytesPerSec float64
+}
+
+// Transfer returns the modelled time to move `bytes` between two core slots.
+func (ic Interconnect) Transfer(a, b CorePlace, bytes int) time.Duration {
+	var lat time.Duration
+	switch {
+	case a.Node != b.Node:
+		lat = ic.InterNodeLatency
+	case a.LLC != b.LLC:
+		lat = ic.IntraNodeLatency
+	default:
+		lat = ic.IntraLLCLatency
+	}
+	if ic.BandwidthBytesPerSec > 0 && bytes > 0 {
+		lat += time.Duration(float64(bytes) / ic.BandwidthBytesPerSec * float64(time.Second))
+	}
+	return lat
+}
+
+// Machine is a set of nodes plus the interconnect model.
+type Machine struct {
+	Name  string
+	Nodes []*Node
+	Net   Interconnect
+}
+
+// Frontier returns the paper's test platform with the requested node count:
+// 64-core nodes, 8 LLC domains, 1 reserved core per domain (56 usable),
+// 512 GiB of memory, 8 logical GPUs, Slingshot-200-class interconnect
+// (800 Gbit/s aggregate node injection).
+func Frontier(nodes int) *Machine {
+	if nodes < 1 {
+		panic("cluster: need at least one node")
+	}
+	m := &Machine{
+		Name: "frontier-borg",
+		Net: Interconnect{
+			IntraLLCLatency:      200 * time.Nanosecond,
+			IntraNodeLatency:     800 * time.Nanosecond,
+			InterNodeLatency:     2 * time.Microsecond,
+			BandwidthBytesPerSec: 100e9, // 800 Gbit/s
+		},
+	}
+	for i := 0; i < nodes; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:             i,
+			Cores:          64,
+			LLCDomains:     8,
+			MemBytes:       512 << 30,
+			GPUs:           8,
+			ReservedPerLLC: 1,
+		})
+	}
+	return m
+}
+
+// Laptop returns a small machine model used by tests and examples so that
+// the full stack runs anywhere: 1+ nodes of 8 cores in 2 LLC domains.
+func Laptop(nodes int) *Machine {
+	if nodes < 1 {
+		nodes = 1
+	}
+	m := &Machine{
+		Name: "laptop",
+		Net: Interconnect{
+			IntraLLCLatency:  0,
+			IntraNodeLatency: 0,
+			InterNodeLatency: 0,
+		},
+	}
+	for i := 0; i < nodes; i++ {
+		m.Nodes = append(m.Nodes, &Node{
+			ID:         i,
+			Cores:      8,
+			LLCDomains: 2,
+			MemBytes:   8 << 30,
+			GPUs:       0,
+		})
+	}
+	return m
+}
+
+// TotalUsableCores sums usable cores over all nodes.
+func (m *Machine) TotalUsableCores() int {
+	total := 0
+	for _, n := range m.Nodes {
+		total += n.UsableCores()
+	}
+	return total
+}
+
+// String summarizes the machine.
+func (m *Machine) String() string {
+	if len(m.Nodes) == 0 {
+		return m.Name + ": empty"
+	}
+	n := m.Nodes[0]
+	return fmt.Sprintf("%s: %d nodes x (%d cores, %d LLC domains, %d GPUs, %d GiB)",
+		m.Name, len(m.Nodes), n.Cores, n.LLCDomains, n.GPUs, n.MemBytes>>30)
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFrontierShape(t *testing.T) {
+	m := Frontier(32)
+	if len(m.Nodes) != 32 {
+		t.Fatalf("nodes %d", len(m.Nodes))
+	}
+	n := m.Nodes[0]
+	if n.Cores != 64 || n.LLCDomains != 8 || n.GPUs != 8 {
+		t.Fatalf("node shape %+v", n)
+	}
+	// The paper: one core per LLC reserved -> 56 usable.
+	if u := n.UsableCores(); u != 56 {
+		t.Fatalf("usable cores %d, want 56", u)
+	}
+	if m.TotalUsableCores() != 32*56 {
+		t.Fatalf("total usable %d", m.TotalUsableCores())
+	}
+}
+
+func TestPlaceProcsRoundRobin(t *testing.T) {
+	n := Frontier(1).Nodes[0]
+	places, err := n.PlaceProcs(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(places) != 16 {
+		t.Fatalf("placed %d", len(places))
+	}
+	// Round-robin: the first 8 procs land on 8 distinct LLC domains.
+	seen := map[int]bool{}
+	for _, p := range places[:8] {
+		seen[p.LLC] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("first 8 procs on %d LLCs, want 8", len(seen))
+	}
+}
+
+func TestPlaceProcsOverflow(t *testing.T) {
+	n := Frontier(1).Nodes[0]
+	if _, err := n.PlaceProcs(57); err == nil {
+		t.Fatal("expected overflow error at 57 procs (56 usable cores)")
+	}
+	if _, err := n.PlaceProcs(56); err != nil {
+		t.Fatalf("56 procs should fit: %v", err)
+	}
+}
+
+func TestInterconnectTiers(t *testing.T) {
+	m := Frontier(2)
+	a := CorePlace{Node: 0, LLC: 0, Core: 0}
+	sameLLC := CorePlace{Node: 0, LLC: 0, Core: 1}
+	sameNode := CorePlace{Node: 0, LLC: 3, Core: 0}
+	otherNode := CorePlace{Node: 1, LLC: 0, Core: 0}
+	t1 := m.Net.Transfer(a, sameLLC, 0)
+	t2 := m.Net.Transfer(a, sameNode, 0)
+	t3 := m.Net.Transfer(a, otherNode, 0)
+	if !(t1 < t2 && t2 < t3) {
+		t.Fatalf("latency hierarchy violated: %v %v %v", t1, t2, t3)
+	}
+}
+
+func TestTransferBandwidthTerm(t *testing.T) {
+	net := Interconnect{InterNodeLatency: time.Microsecond, BandwidthBytesPerSec: 1e9}
+	a := CorePlace{Node: 0}
+	b := CorePlace{Node: 1}
+	small := net.Transfer(a, b, 0)
+	big := net.Transfer(a, b, 100<<20) // 100 MiB at 1 GB/s ~ 100 ms
+	if big-small < 90*time.Millisecond {
+		t.Fatalf("bandwidth term missing: %v vs %v", small, big)
+	}
+}
+
+func TestLaptopModel(t *testing.T) {
+	m := Laptop(2)
+	if m.TotalUsableCores() != 16 {
+		t.Fatalf("laptop usable cores %d", m.TotalUsableCores())
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AutoExecutor implements the paper's stated future-work extension:
+// automated workload-driven backend selection. It inspects the submitted
+// circuit's structure and routes it to the most suitable registered backend:
+//
+//   - Clifford-only circuits      → aer/stabilizer (polynomial simulation),
+//   - nearest-neighbour circuits  → aer/matrix_product_state (low
+//     entanglement growth; the paper's TFIM observation),
+//   - shallow circuits            → qtensor/numpy (cheap TN contraction),
+//   - small dense circuits        → aer/statevector (single-node dominance),
+//   - everything else             → nwqsim/mpi (distributed state vector).
+//
+// Rules consult only the routed backends that are actually present, so the
+// selector works on sessions launched with a backend subset.
+type AutoExecutor struct {
+	execs map[string]Executor
+}
+
+// NewAutoExecutor wraps the live executors of a session.
+func NewAutoExecutor(execs map[string]Executor) *AutoExecutor {
+	return &AutoExecutor{execs: execs}
+}
+
+// Name implements Executor.
+func (a *AutoExecutor) Name() string { return "auto" }
+
+// Capabilities implements Executor.
+func (a *AutoExecutor) Capabilities() Capabilities {
+	var targets []string
+	for name := range a.execs {
+		targets = append(targets, name)
+	}
+	sort.Strings(targets)
+	return Capabilities{
+		Backend:     "auto",
+		Subbackends: []string{"workload-driven"},
+		CPU:         true,
+		GPU:         true,
+		NativeMPI:   true,
+		Notes: fmt.Sprintf("Workload-driven backend selection (paper future work): routes by circuit structure across %v.",
+			targets),
+	}
+}
+
+// routing is a selected (backend, sub-backend) pair plus the rule that fired.
+type routing struct {
+	backend string
+	sub     string
+	rule    string
+}
+
+// selectRoute applies the structural rules against the available executors.
+func (a *AutoExecutor) selectRoute(spec CircuitSpec) (routing, error) {
+	c, err := spec.Circuit()
+	if err != nil {
+		return routing{}, err
+	}
+	has := func(name string) bool {
+		_, ok := a.execs[name]
+		return ok
+	}
+	n := c.NQubits
+	depth := c.Depth()
+	switch {
+	case c.IsClifford() && has("aer"):
+		return routing{"aer", "stabilizer", "clifford"}, nil
+	case c.InteractionDistance() <= 1 && n >= 12 && has("aer"):
+		return routing{"aer", "matrix_product_state", "nearest-neighbour"}, nil
+	case c.InteractionDistance() <= 1 && n >= 12 && has("tnqvm"):
+		return routing{"tnqvm", "exatn-mps", "nearest-neighbour"}, nil
+	case depth <= 8 && n <= 16 && has("qtensor"):
+		return routing{"qtensor", "numpy", "shallow"}, nil
+	case n <= 18 && has("aer"):
+		return routing{"aer", "statevector", "small-dense"}, nil
+	case has("nwqsim"):
+		return routing{"nwqsim", "mpi", "large-dense"}, nil
+	}
+	// Fall back to any local executor, preferring deterministic order.
+	var names []string
+	for name := range a.execs {
+		if name != "ionq" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return routing{}, fmt.Errorf("auto: no local backend available to route to")
+	}
+	return routing{names[0], "", "fallback"}, nil
+}
+
+// Execute implements Executor: select, delegate, and annotate the result
+// path in Extra/notes via the error or the delegated executor's output.
+func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	route, err := a.selectRoute(spec)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	target, ok := a.execs[route.backend]
+	if !ok {
+		return ExecResult{}, fmt.Errorf("auto: selected backend %q not available", route.backend)
+	}
+	opts.Subbackend = route.sub
+	res, err := target.Execute(spec, opts)
+	if err != nil {
+		return res, fmt.Errorf("auto[%s->%s/%s]: %w", route.rule, route.backend, route.sub, err)
+	}
+	if res.Extra == nil {
+		res.Extra = map[string]float64{}
+	}
+	res.Extra["auto_routed"] = 1
+	res.Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
+	return res, nil
+}
+
+// RouteFor exposes the selection decision for inspection (tests, tooling).
+func (a *AutoExecutor) RouteFor(spec CircuitSpec) (backend, sub, rule string, err error) {
+	r, err := a.selectRoute(spec)
+	return r.backend, r.sub, r.rule, err
+}

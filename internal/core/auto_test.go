@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qfw/internal/circuit"
+)
+
+// routeSpec builds a spec from a circuit for routing tests.
+func routeSpec(t *testing.T, c *circuit.Circuit) CircuitSpec {
+	t.Helper()
+	spec, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func allFakeExecs() map[string]Executor {
+	return map[string]Executor{
+		"aer":     &fakeExec{name: "aer"},
+		"nwqsim":  &fakeExec{name: "nwqsim"},
+		"qtensor": &fakeExec{name: "qtensor"},
+		"tnqvm":   &fakeExec{name: "tnqvm"},
+		"ionq":    &fakeExec{name: "ionq"},
+	}
+}
+
+func TestAutoRoutesClifford(t *testing.T) {
+	a := NewAutoExecutor(allFakeExecs())
+	c := circuit.New(4)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()
+	backend, sub, rule, err := a.RouteFor(routeSpec(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "aer" || sub != "stabilizer" || rule != "clifford" {
+		t.Fatalf("routed to %s/%s (%s)", backend, sub, rule)
+	}
+}
+
+func TestAutoRoutesNearestNeighbour(t *testing.T) {
+	a := NewAutoExecutor(allFakeExecs())
+	c := circuit.New(14)
+	for i := 0; i+1 < 14; i++ {
+		c.RZZ(i, i+1, circuit.Bound(0.3))
+		c.RX(i, circuit.Bound(0.2))
+	}
+	backend, sub, _, err := a.RouteFor(routeSpec(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "aer" || sub != "matrix_product_state" {
+		t.Fatalf("routed to %s/%s", backend, sub)
+	}
+	// Without aer, tnqvm's MPS takes the rule.
+	execs := allFakeExecs()
+	delete(execs, "aer")
+	a2 := NewAutoExecutor(execs)
+	backend, sub, _, err = a2.RouteFor(routeSpec(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "tnqvm" || sub != "exatn-mps" {
+		t.Fatalf("fallback routed to %s/%s", backend, sub)
+	}
+}
+
+func TestAutoRoutesLargeDenseToNWQSim(t *testing.T) {
+	a := NewAutoExecutor(allFakeExecs())
+	c := circuit.New(22)
+	// Dense long-range non-Clifford circuit, deep enough to skip qtensor.
+	for d := 0; d < 4; d++ {
+		for i := 0; i < 22; i++ {
+			c.T(i)
+			c.CX(i, (i+7)%22)
+		}
+	}
+	backend, sub, rule, err := a.RouteFor(routeSpec(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != "nwqsim" || sub != "mpi" || rule != "large-dense" {
+		t.Fatalf("routed to %s/%s (%s)", backend, sub, rule)
+	}
+}
+
+func TestAutoNeverRoutesToCloud(t *testing.T) {
+	execs := map[string]Executor{"ionq": &fakeExec{name: "ionq"}}
+	a := NewAutoExecutor(execs)
+	c := circuit.New(4)
+	c.T(0)
+	if _, _, _, err := a.RouteFor(routeSpec(t, c)); err == nil {
+		t.Fatal("auto routed to the cloud with no local backend")
+	}
+}
+
+func TestAutoExecuteAnnotatesRoute(t *testing.T) {
+	a := NewAutoExecutor(allFakeExecs())
+	c := circuit.New(3)
+	c.H(0).CX(0, 1).MeasureAll()
+	spec := routeSpec(t, c)
+	res, err := a.Execute(spec, RunOptions{Shots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Route, "aer/stabilizer") {
+		t.Fatalf("route %q", res.Route)
+	}
+	if res.Extra["auto_routed"] != 1 {
+		t.Fatalf("extra %v", res.Extra)
+	}
+}
+
+func TestObservableEnergy(t *testing.T) {
+	obs := &Observable{
+		Fields:    []float64{1, -0.5},
+		Couplings: []Coupling{{I: 0, J: 1, V: 2}},
+	}
+	// |00>: z=(+1,+1): 1 - 0.5 + 2 = 2.5
+	if e := obs.EnergyOfIndex(0); math.Abs(e-2.5) > 1e-12 {
+		t.Fatalf("E(00)=%g", e)
+	}
+	// |01> (qubit0=1): -1 - 0.5 - 2 = -3.5
+	if e := obs.EnergyOfIndex(1); math.Abs(e+3.5) > 1e-12 {
+		t.Fatalf("E(01)=%g", e)
+	}
+	if e := obs.EnergyOfKey("01"); math.Abs(e+3.5) > 1e-12 {
+		t.Fatalf("key E(01)=%g", e)
+	}
+	counts := map[string]int{"00": 3, "01": 1}
+	want := (3*2.5 + 1*(-3.5)) / 4
+	if e := obs.FromCounts(counts); math.Abs(e-want) > 1e-12 {
+		t.Fatalf("FromCounts=%g want %g", e, want)
+	}
+	if e := obs.FromCounts(nil); e != 0 {
+		t.Fatalf("empty counts %g", e)
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/defw"
+	"qfw/internal/trace"
+)
+
+// fakeExec counts executions and can be told to fail, stall, or echo.
+type fakeExec struct {
+	name  string
+	mu    sync.Mutex
+	calls int
+	delay time.Duration
+	fail  bool
+}
+
+func (f *fakeExec) Name() string { return f.name }
+func (f *fakeExec) Capabilities() Capabilities {
+	return Capabilities{Backend: f.name, Subbackends: []string{"default"}, CPU: true}
+}
+func (f *fakeExec) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.fail {
+		return ExecResult{}, fmt.Errorf("fake failure")
+	}
+	return ExecResult{Counts: map[string]int{"00": opts.Shots}}, nil
+}
+func (f *fakeExec) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func bell(t *testing.T) CircuitSpec {
+	t.Helper()
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).MeasureAll()
+	c.Name = "bell"
+	spec, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec := bell(t)
+	c, err := spec.Circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NQubits != 2 || len(c.Gates) != 4 {
+		t.Fatalf("round trip wrong: %d qubits %d gates", c.NQubits, len(c.Gates))
+	}
+	if c.Name != "bell" {
+		t.Fatalf("name lost: %q", c.Name)
+	}
+}
+
+func TestQPMLifecycle(t *testing.T) {
+	exec := &fakeExec{name: "fake"}
+	q := NewQPM(exec, 2, trace.NewRecorder())
+	defer q.Close()
+	spec := bell(t)
+
+	id, err := q.Create(spec, RunOptions{Shots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.Status(id); st != StatusQueued {
+		t.Fatalf("status %s, want queued", st)
+	}
+	if err := q.Run(id); err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["00"] != 7 || res.Backend != "fake" {
+		t.Fatalf("result %+v", res)
+	}
+	if res.Timings.TotalMS < 0 || res.Timings.ExecMS < 0 {
+		t.Fatalf("timings %+v", res.Timings)
+	}
+	if st, _ := q.Status(id); st != StatusDone {
+		t.Fatalf("status %s, want done", st)
+	}
+	if err := q.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Status(id); err == nil {
+		t.Fatal("deleted task still visible")
+	}
+}
+
+func TestQPMFailurePropagates(t *testing.T) {
+	q := NewQPM(&fakeExec{name: "bad", fail: true}, 1, nil)
+	defer q.Close()
+	id, err := q.Submit(bell(t), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(id); err == nil || !strings.Contains(err.Error(), "fake failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if st, _ := q.Status(id); st != StatusFailed {
+		t.Fatalf("status %s", st)
+	}
+}
+
+func TestQPMConcurrentWorkers(t *testing.T) {
+	exec := &fakeExec{name: "slow", delay: 30 * time.Millisecond}
+	q := NewQPM(exec, 8, nil)
+	defer q.Close()
+	spec := bell(t)
+	start := time.Now()
+	var ids []string
+	for i := 0; i < 8; i++ {
+		id, err := q.Submit(spec, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := q.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > 150*time.Millisecond {
+		t.Fatalf("8 tasks on 8 workers took %v (serialized?)", el)
+	}
+	if exec.callCount() != 8 {
+		t.Fatalf("calls %d", exec.callCount())
+	}
+}
+
+func TestQPMOverRPC(t *testing.T) {
+	q := NewQPM(&fakeExec{name: "rpc"}, 2, nil)
+	defer q.Close()
+	server := defw.NewServer()
+	server.Register(ServiceName("rpc"), q)
+	client := defw.NewPipeClient(server)
+	defer func() { client.Close(); server.Close() }()
+
+	f, err := NewFrontend(client, Properties{Backend: "rpc", Subbackend: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).MeasureAll()
+	res, err := f.Run(c, RunOptions{Shots: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["00"] != 11 {
+		t.Fatalf("counts %v", res.Counts)
+	}
+	if res.Subbackend != "default" {
+		t.Fatalf("subbackend not forwarded from properties: %q", res.Subbackend)
+	}
+	caps, err := f.Capabilities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.Backend != "rpc" {
+		t.Fatalf("caps %+v", caps)
+	}
+	list, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Fatalf("list %v", list)
+	}
+}
+
+func TestAsyncPendingStatus(t *testing.T) {
+	q := NewQPM(&fakeExec{name: "async", delay: 50 * time.Millisecond}, 1, nil)
+	defer q.Close()
+	server := defw.NewServer()
+	server.Register(ServiceName("async"), q)
+	client := defw.NewPipeClient(server)
+	defer func() { client.Close(); server.Close() }()
+	f, _ := NewFrontend(client, Properties{Backend: "async"})
+	c := circuit.New(1)
+	c.H(0).MeasureAll()
+	p, err := f.RunAsync(c, RunOptions{Shots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While running, status should be queued or running, not done.
+	st, err := p.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == StatusDone {
+		t.Fatal("task done implausibly fast")
+	}
+	res, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["00"] != 3 {
+		t.Fatalf("counts %v", res.Counts)
+	}
+}
+
+func TestInfeasibleDetection(t *testing.T) {
+	err := Infeasible("state vector of %d qubits", 40)
+	if !IsInfeasible(err) {
+		t.Fatal("direct detection failed")
+	}
+	// After crossing an RPC boundary the error is a plain string.
+	flat := fmt.Errorf("%s", err.Error())
+	if !IsInfeasible(flat) {
+		t.Fatal("string detection failed")
+	}
+	if IsInfeasible(nil) || IsInfeasible(fmt.Errorf("other")) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestUnknownMethodAndBadPayload(t *testing.T) {
+	q := NewQPM(&fakeExec{name: "x"}, 1, nil)
+	defer q.Close()
+	if _, err := q.Handle("nope", nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := q.Handle("submit", []byte("not json")); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	if _, err := q.Create(CircuitSpec{}, RunOptions{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestFrontendRequiresBackend(t *testing.T) {
+	if _, err := NewFrontend(nil, Properties{}); err == nil {
+		t.Fatal("empty backend accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"qfw/internal/circuit"
+	"qfw/internal/defw"
+)
+
+// Properties selects a backend and sub-backend, mirroring the paper's
+// runtime-property mechanism:
+//
+//	backend := session.Frontend(core.Properties{Backend: "nwqsim", Subbackend: "MPI"})
+type Properties struct {
+	Backend    string `json:"backend"`
+	Subbackend string `json:"subbackend,omitempty"`
+}
+
+// ServiceName returns the DEFw service a backend's QPM registers under.
+func ServiceName(backend string) string { return "qpm." + backend }
+
+// Frontend is the application-side handle (the QFwBackend analog): it
+// serializes circuits, issues RPCs to the selected QPM, and unmarshals the
+// unified results. It is safe for concurrent use.
+type Frontend struct {
+	client *defw.Client
+	props  Properties
+}
+
+// NewFrontend builds a frontend over an existing DEFw client connection.
+func NewFrontend(client *defw.Client, props Properties) (*Frontend, error) {
+	if props.Backend == "" {
+		return nil, fmt.Errorf("core: Properties.Backend is required")
+	}
+	return &Frontend{client: client, props: props}, nil
+}
+
+// Properties returns the frontend's backend selection.
+func (f *Frontend) Properties() Properties { return f.props }
+
+func (f *Frontend) prepare(c *circuit.Circuit, opts RunOptions) ([]byte, error) {
+	spec, err := SpecFromCircuit(c)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Subbackend == "" {
+		opts.Subbackend = f.props.Subbackend
+	}
+	return json.Marshal(submitReq{Spec: spec, Opts: opts})
+}
+
+// Run executes a circuit synchronously and returns the unified result.
+func (f *Frontend) Run(c *circuit.Circuit, opts RunOptions) (*Result, error) {
+	pending, err := f.RunAsync(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pending.Result()
+}
+
+// Pending is an in-flight asynchronous execution.
+type Pending struct {
+	front  *Frontend
+	TaskID string
+}
+
+// Result blocks until the task finishes and returns the unified result.
+func (p *Pending) Result() (*Result, error) {
+	payload, err := json.Marshal(idMsg{ID: p.TaskID})
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.front.client.Call(ServiceName(p.front.props.Backend), "wait", payload)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Status polls the task state without blocking.
+func (p *Pending) Status() (Status, error) {
+	payload, _ := json.Marshal(idMsg{ID: p.TaskID})
+	out, err := p.front.client.Call(ServiceName(p.front.props.Backend), "status", payload)
+	if err != nil {
+		return "", err
+	}
+	var st statusMsg
+	if err := json.Unmarshal(out, &st); err != nil {
+		return "", err
+	}
+	return st.Status, nil
+}
+
+// RunAsync submits a circuit and returns immediately with a handle — the
+// non-blocking path variational workloads use to keep many circuit
+// evaluations in flight per optimizer iteration.
+func (f *Frontend) RunAsync(c *circuit.Circuit, opts RunOptions) (*Pending, error) {
+	payload, err := f.prepare(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	out, err := f.client.Call(ServiceName(f.props.Backend), "submit", payload)
+	if err != nil {
+		return nil, err
+	}
+	var id idMsg
+	if err := json.Unmarshal(out, &id); err != nil {
+		return nil, err
+	}
+	return &Pending{front: f, TaskID: id.ID}, nil
+}
+
+// Capabilities fetches the backend's Table-1 capability row.
+func (f *Frontend) Capabilities() (Capabilities, error) {
+	out, err := f.client.Call(ServiceName(f.props.Backend), "capabilities", nil)
+	if err != nil {
+		return Capabilities{}, err
+	}
+	var caps Capabilities
+	if err := json.Unmarshal(out, &caps); err != nil {
+		return Capabilities{}, err
+	}
+	return caps, nil
+}
+
+// Delete removes a finished task from the QPM.
+func (f *Frontend) Delete(taskID string) error {
+	payload, _ := json.Marshal(idMsg{ID: taskID})
+	_, err := f.client.Call(ServiceName(f.props.Backend), "delete", payload)
+	return err
+}
+
+// List fetches the QPM's task table.
+func (f *Frontend) List() (map[string]Status, error) {
+	out, err := f.client.Call(ServiceName(f.props.Backend), "list", nil)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Status
+	if err := json.Unmarshal(out, &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

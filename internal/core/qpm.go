@@ -1,0 +1,328 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qfw/internal/trace"
+)
+
+// task is one circuit-execution job tracked by a QPM.
+type task struct {
+	id   string
+	spec CircuitSpec
+	opts RunOptions
+
+	mu       sync.Mutex
+	status   Status
+	result   *Result
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+func (t *task) snapshotStatus() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// QPM is a Quantum Platform Manager service instance for one backend: it
+// owns the task queue and circuit lifecycle and dispatches work round-robin
+// to its QRC worker threads.
+type QPM struct {
+	backend  string
+	exec     Executor
+	rec      *trace.Recorder
+	queue    chan *task
+	nextID   atomic.Int64
+	mu       sync.Mutex
+	tasks    map[string]*task
+	closed   bool
+	workers  int
+	workerWG sync.WaitGroup
+}
+
+// NewQPM starts a QPM with the given number of QRC worker threads (the paper
+// uses eight per QPM process).
+func NewQPM(exec Executor, workers int, rec *trace.Recorder) *QPM {
+	if workers <= 0 {
+		workers = 8
+	}
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	q := &QPM{
+		backend: exec.Name(),
+		exec:    exec,
+		rec:     rec,
+		queue:   make(chan *task, 1024),
+		tasks:   make(map[string]*task),
+		workers: workers,
+	}
+	for w := 0; w < workers; w++ {
+		q.workerWG.Add(1)
+		go q.qrcWorker(w)
+	}
+	return q
+}
+
+// Backend returns the backend name this QPM serves.
+func (q *QPM) Backend() string { return q.backend }
+
+// Recorder exposes the timing instrumentation.
+func (q *QPM) Recorder() *trace.Recorder { return q.rec }
+
+// qrcWorker is one Quantum Resource Controller thread: it pulls queued
+// tasks and triggers backend executions (MPI runs for local simulators,
+// REST calls for cloud backends).
+func (q *QPM) qrcWorker(id int) {
+	defer q.workerWG.Done()
+	worker := fmt.Sprintf("%s/qrc-%d", q.backend, id)
+	for t := range q.queue {
+		t.mu.Lock()
+		t.status = StatusRunning
+		t.started = time.Now()
+		t.mu.Unlock()
+
+		finish := q.rec.Span("exec:"+t.spec.Name, worker)
+		res, err := q.exec.Execute(t.spec, t.opts)
+		finish()
+
+		t.mu.Lock()
+		t.finished = time.Now()
+		if err != nil {
+			t.status = StatusFailed
+			t.errMsg = err.Error()
+		} else {
+			t.status = StatusDone
+			t.result = &Result{
+				TaskID:     t.id,
+				Backend:    q.backend,
+				Subbackend: t.opts.Subbackend,
+				Counts:     res.Counts,
+				ExpVal:     res.ExpVal,
+				TruncErr:   res.TruncErr,
+				Extra:      res.Extra,
+				Route:      res.Route,
+				Timings: Timings{
+					QueueMS: float64(t.started.Sub(t.created)) / float64(time.Millisecond),
+					ExecMS:  float64(t.finished.Sub(t.started)) / float64(time.Millisecond),
+					TotalMS: float64(t.finished.Sub(t.created)) / float64(time.Millisecond),
+				},
+			}
+		}
+		close(t.done)
+		t.mu.Unlock()
+	}
+}
+
+// Close drains the queue and stops the workers.
+func (q *QPM) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.queue)
+	q.mu.Unlock()
+	q.workerWG.Wait()
+}
+
+// Create registers a circuit+options as a new task without running it.
+func (q *QPM) Create(spec CircuitSpec, opts RunOptions) (string, error) {
+	if spec.QASM == "" {
+		return "", fmt.Errorf("qpm[%s]: empty circuit spec", q.backend)
+	}
+	id := fmt.Sprintf("%s-%d", q.backend, q.nextID.Add(1))
+	t := &task{
+		id:      id,
+		spec:    spec,
+		opts:    opts,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
+	}
+	q.tasks[id] = t
+	q.mu.Unlock()
+	return id, nil
+}
+
+// Run enqueues a previously created task.
+func (q *QPM) Run(id string) error {
+	t, err := q.lookup(id)
+	if err != nil {
+		return err
+	}
+	select {
+	case q.queue <- t:
+		return nil
+	default:
+		return fmt.Errorf("qpm[%s]: queue full", q.backend)
+	}
+}
+
+// Submit is Create followed by Run.
+func (q *QPM) Submit(spec CircuitSpec, opts RunOptions) (string, error) {
+	id, err := q.Create(spec, opts)
+	if err != nil {
+		return "", err
+	}
+	return id, q.Run(id)
+}
+
+// Status returns the task state.
+func (q *QPM) Status(id string) (Status, error) {
+	t, err := q.lookup(id)
+	if err != nil {
+		return "", err
+	}
+	return t.snapshotStatus(), nil
+}
+
+// Wait blocks until the task completes and returns its result.
+func (q *QPM) Wait(id string) (*Result, error) {
+	t, err := q.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.status == StatusFailed {
+		return nil, fmt.Errorf("%s", t.errMsg)
+	}
+	return t.result, nil
+}
+
+// Delete removes a completed (or never-run) task.
+func (q *QPM) Delete(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[id]
+	if !ok {
+		return fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
+	}
+	st := t.snapshotStatus()
+	if st == StatusRunning {
+		return fmt.Errorf("qpm[%s]: task %s is running", q.backend, id)
+	}
+	delete(q.tasks, id)
+	return nil
+}
+
+// List returns all task IDs with their states.
+func (q *QPM) List() map[string]Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]Status, len(q.tasks))
+	for id, t := range q.tasks {
+		out[id] = t.snapshotStatus()
+	}
+	return out
+}
+
+func (q *QPM) lookup(id string) (*task, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
+	}
+	return t, nil
+}
+
+// ---- DEFw RPC surface -------------------------------------------------
+
+// submitReq is the payload of "create"/"submit" calls.
+type submitReq struct {
+	Spec CircuitSpec `json:"spec"`
+	Opts RunOptions  `json:"opts"`
+}
+
+type idMsg struct {
+	ID string `json:"id"`
+}
+
+type statusMsg struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+}
+
+// Handle implements defw.Handler, exposing the QPM API over RPC:
+// create, run, submit, status, wait, delete, list, capabilities.
+func (q *QPM) Handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "create", "submit":
+		var req submitReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("qpm[%s]: bad payload: %w", q.backend, err)
+		}
+		var id string
+		var err error
+		if method == "create" {
+			id, err = q.Create(req.Spec, req.Opts)
+		} else {
+			id, err = q.Submit(req.Spec, req.Opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(idMsg{ID: id})
+	case "run":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := q.Run(req.ID); err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct{}{})
+	case "status":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		st, err := q.Status(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(statusMsg{ID: req.ID, Status: st})
+	case "wait":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		res, err := q.Wait(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	case "delete":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := q.Delete(req.ID); err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct{}{})
+	case "list":
+		return json.Marshal(q.List())
+	case "capabilities":
+		return json.Marshal(q.exec.Capabilities())
+	default:
+		return nil, fmt.Errorf("qpm[%s]: unknown method %q", q.backend, method)
+	}
+}

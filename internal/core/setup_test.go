@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/cluster"
+)
+
+// registerFake registers a throwaway backend factory for setup tests.
+func registerFake(name string) {
+	RegisterBackend(name, func(env *Env) (Executor, error) {
+		return &fakeExec{name: name}, nil
+	})
+}
+
+func TestLaunchSessionLifecycle(t *testing.T) {
+	registerFake("fake-a")
+	registerFake("fake-b")
+	s, err := Launch(Config{
+		Machine:  cluster.Frontier(3),
+		AppNodes: 1,
+		QFwNodes: 2,
+		Workers:  2,
+		Backends: []string{"fake-a", "fake-b"},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Teardown()
+
+	// Het groups: job holds all three nodes, split 1 + 2.
+	if len(s.Alloc.Group(0).Nodes) != 1 || len(s.Alloc.Group(1).Nodes) != 2 {
+		t.Fatalf("het group sizes %d/%d", len(s.Alloc.Group(0).Nodes), len(s.Alloc.Group(1).Nodes))
+	}
+	if !strings.HasPrefix(s.DVM.URI, "prte://") {
+		t.Fatalf("DVM URI %q", s.DVM.URI)
+	}
+	// Both backends plus the auto selector are served.
+	got := s.Backends()
+	if len(got) != 3 || got[0] != "auto" {
+		t.Fatalf("backends %v", got)
+	}
+	// A frontend runs a circuit end to end.
+	f, err := s.Frontend(Properties{Backend: "fake-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(2)
+	c.H(0).MeasureAll()
+	res, err := f.Run(c, RunOptions{Shots: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts["00"] != 9 {
+		t.Fatalf("counts %v", res.Counts)
+	}
+	// Unknown backends are rejected at frontend creation.
+	if _, err := s.Frontend(Properties{Backend: "nope"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// The session's scheduler is exposed and fully allocated.
+	if s.Scheduler().FreeNodes() != 0 {
+		t.Fatalf("free nodes %d", s.Scheduler().FreeNodes())
+	}
+}
+
+func TestLaunchTCPAndTeardownReleasesNodes(t *testing.T) {
+	registerFake("fake-tcp")
+	s, err := Launch(Config{
+		Machine:  cluster.Frontier(2),
+		Backends: []string{"fake-tcp"},
+		UseTCP:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr == "" {
+		t.Fatal("no TCP address")
+	}
+	f, err := s.Frontend(Properties{Backend: "fake-tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(1)
+	c.X(0).MeasureAll()
+	if _, err := f.Run(c, RunOptions{Shots: 3}); err != nil {
+		t.Fatal(err)
+	}
+	sched := s.Scheduler()
+	s.Teardown()
+	if sched.FreeNodes() != 2 {
+		t.Fatalf("teardown did not release nodes: %d free", sched.FreeNodes())
+	}
+	// Teardown is idempotent.
+	s.Teardown()
+}
+
+func TestLaunchErrors(t *testing.T) {
+	if _, err := Launch(Config{Machine: cluster.Frontier(1)}); err == nil {
+		t.Fatal("1-node machine cannot host two het groups")
+	}
+	if _, err := Launch(Config{Machine: cluster.Frontier(2), Backends: []string{"not-registered"}}); err == nil {
+		t.Fatal("unregistered backend accepted")
+	}
+}
+
+func TestLaunchWalltime(t *testing.T) {
+	registerFake("fake-wt")
+	s, err := Launch(Config{
+		Machine:  cluster.Frontier(2),
+		Backends: []string{"fake-wt"},
+		Walltime: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Teardown()
+	select {
+	case <-s.Job.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("walltime not enforced on the session job")
+	}
+}

@@ -1,0 +1,264 @@
+// Package core implements the Quantum Framework's orchestration layer — the
+// paper's primary contribution. It contains:
+//
+//   - the standardized circuit/task descriptions exchanged between frontends
+//     and backends (CircuitSpec, RunOptions, Result),
+//   - the Quantum Platform Manager (QPM): the central dispatcher owning task
+//     queues and circuit lifecycle (create / run / status / result / delete),
+//   - the Quantum Resource Controller (QRC): the worker threads that launch
+//     backend executions across the allocation,
+//   - the QFwBackend frontend used by applications, speaking to QPMs over
+//     the DEFw RPC layer with synchronous and asynchronous calls,
+//   - the deployment bootstrap (Launch) that reproduces the paper's Fig. 1
+//     flow: SLURM heterogeneous job → DVM → QPM services → teardown.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"qfw/internal/circuit"
+)
+
+// CircuitSpec is the standardized circuit description every backend QPM
+// accepts: OpenQASM 2.0 text plus metadata. Using a serialized exchange
+// format (rather than in-memory pointers) keeps the frontend and backends
+// decoupled exactly as in the paper.
+type CircuitSpec struct {
+	Name    string `json:"name,omitempty"`
+	NQubits int    `json:"nqubits"`
+	QASM    string `json:"qasm"`
+}
+
+// SpecFromCircuit serializes a bound circuit.
+func SpecFromCircuit(c *circuit.Circuit) (CircuitSpec, error) {
+	qasm, err := c.ToQASM()
+	if err != nil {
+		return CircuitSpec{}, err
+	}
+	return CircuitSpec{Name: c.Name, NQubits: c.NQubits, QASM: qasm}, nil
+}
+
+// Circuit parses the spec back into the IR.
+func (s CircuitSpec) Circuit() (*circuit.Circuit, error) {
+	c, err := circuit.ParseQASM(s.QASM)
+	if err != nil {
+		return nil, err
+	}
+	c.Name = s.Name
+	return c, nil
+}
+
+// RunOptions configure one execution request.
+type RunOptions struct {
+	Shots      int    `json:"shots,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Subbackend string `json:"subbackend,omitempty"`
+
+	// Placement is the (#N, #P) layout from the paper's secondary x-axes.
+	Nodes        int `json:"nodes,omitempty"`
+	ProcsPerNode int `json:"procs_per_node,omitempty"`
+
+	// MPS/TN engine knobs.
+	MaxBond int     `json:"max_bond,omitempty"`
+	Cutoff  float64 `json:"cutoff,omitempty"`
+
+	// Observable, when set, asks the backend to also return the expectation
+	// value of this diagonal operator over the final state.
+	Observable *Observable `json:"observable,omitempty"`
+}
+
+// Timings carries the per-task timing instrumentation QFw unifies across
+// backends (milliseconds).
+type Timings struct {
+	QueueMS float64 `json:"queue_ms"`
+	ExecMS  float64 `json:"exec_ms"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// Result is QFw's unified return format.
+type Result struct {
+	TaskID     string             `json:"task_id"`
+	Backend    string             `json:"backend"`
+	Subbackend string             `json:"subbackend,omitempty"`
+	Counts     map[string]int     `json:"counts,omitempty"`
+	ExpVal     *float64           `json:"expval,omitempty"` // set when an Observable was requested
+	TruncErr   float64            `json:"trunc_err,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+	Route      string             `json:"route,omitempty"` // "backend/sub (rule)" when auto-routed
+	Timings    Timings            `json:"timings"`
+}
+
+// Status is the lifecycle state of a QPM task.
+type Status string
+
+// Task states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// ErrInfeasible marks configurations that exceed the platform budget
+// (memory, size caps, walltime). The benchmark harness renders these as the
+// paper's red-X missing points rather than failures.
+var ErrInfeasible = errors.New("infeasible")
+
+// Infeasible wraps a formatted message with ErrInfeasible.
+func Infeasible(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInfeasible, fmt.Sprintf(format, args...))
+}
+
+// IsInfeasible detects ErrInfeasible even after the error has crossed an
+// RPC boundary and been flattened to a string.
+func IsInfeasible(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrInfeasible) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrInfeasible.Error())
+}
+
+// ErrPending marks sub-backends that are integrated but blocked (Table 1's
+// "TTN pending" entry); ErrPlanned marks announced-but-unimplemented ones.
+var (
+	ErrPending = errors.New("sub-backend pending")
+	ErrPlanned = errors.New("sub-backend planned")
+)
+
+// ExecResult is what a backend executor returns to the QPM, which then
+// marshals it into the unified Result.
+type ExecResult struct {
+	Counts   map[string]int
+	ExpVal   *float64
+	TruncErr float64
+	Extra    map[string]float64
+	Route    string
+}
+
+// Coupling is one quadratic term of a diagonal observable.
+type Coupling struct {
+	I int     `json:"i"`
+	J int     `json:"j"`
+	V float64 `json:"v"`
+}
+
+// PauliTerm is one general Pauli-string term: Coeff * P(Ops), with Ops[q]
+// in {'I','X','Y','Z'} for qubit q.
+type PauliTerm struct {
+	Coeff float64 `json:"coeff"`
+	Ops   string  `json:"ops"`
+}
+
+// Observable is an observable attached to a run request:
+// H = Σ Fields[i] Z_i + Σ Couplings V Z_i Z_j + Σ Paulis Coeff·P.
+// Diagonal observables (no Paulis) are evaluable on every backend (exactly
+// on local simulators, from counts on the cloud path); general Pauli terms
+// need a local simulator backend.
+type Observable struct {
+	Fields    []float64   `json:"fields"`
+	Couplings []Coupling  `json:"couplings,omitempty"`
+	Paulis    []PauliTerm `json:"paulis,omitempty"`
+}
+
+// IsDiagonal reports whether the observable is computational-basis diagonal
+// (evaluable from measurement counts alone). Pauli terms containing only I
+// and Z still count as diagonal.
+func (o *Observable) IsDiagonal() bool {
+	for _, t := range o.Paulis {
+		for i := 0; i < len(t.Ops); i++ {
+			if t.Ops[i] == 'X' || t.Ops[i] == 'Y' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromCounts estimates <H> from a measurement histogram (the only option
+// for hardware and cloud backends).
+func (o *Observable) FromCounts(counts map[string]int) float64 {
+	var total int
+	var acc float64
+	for key, n := range counts {
+		acc += float64(n) * o.EnergyOfKey(key)
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / float64(total)
+}
+
+// EnergyOfKey evaluates a diagonal observable on one bitstring key (qubit 0
+// is the rightmost character; Z|0> = +|0>). Panics on X/Y Pauli terms —
+// callers must check IsDiagonal first.
+func (o *Observable) EnergyOfKey(key string) float64 {
+	return o.diagonalEnergy(func(q int) float64 {
+		if key[len(key)-1-q] == '1' {
+			return -1
+		}
+		return 1
+	})
+}
+
+// EnergyOfIndex evaluates a diagonal observable on a basis-state index
+// (bit q of idx is qubit q).
+func (o *Observable) EnergyOfIndex(idx int) float64 {
+	return o.diagonalEnergy(func(q int) float64 {
+		if idx&(1<<uint(q)) != 0 {
+			return -1
+		}
+		return 1
+	})
+}
+
+func (o *Observable) diagonalEnergy(z func(q int) float64) float64 {
+	var e float64
+	for i, f := range o.Fields {
+		if f != 0 {
+			e += f * z(i)
+		}
+	}
+	for _, c := range o.Couplings {
+		e += c.V * z(c.I) * z(c.J)
+	}
+	for _, t := range o.Paulis {
+		v := t.Coeff
+		for q := 0; q < len(t.Ops); q++ {
+			switch t.Ops[q] {
+			case 'Z':
+				v *= z(q)
+			case 'I':
+			default:
+				panic("core: non-diagonal Pauli term in diagonal evaluation")
+			}
+		}
+		e += v
+	}
+	return e
+}
+
+// Capabilities describes a backend for Table 1.
+type Capabilities struct {
+	Backend     string   `json:"backend"`
+	Subbackends []string `json:"subbackends"`
+	CPU         bool     `json:"cpu"`
+	GPU         bool     `json:"gpu"`
+	NativeMPI   bool     `json:"native_mpi"`
+	Notes       string   `json:"notes"`
+}
+
+// Executor is the interface a backend QPM implementation provides: accept a
+// standardized circuit description with runtime parameters, execute (via
+// PRTE/MPI locally or REST remotely), and marshal results into the unified
+// format.
+type Executor interface {
+	Name() string
+	Capabilities() Capabilities
+	Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error)
+}

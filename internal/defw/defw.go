@@ -1,0 +1,369 @@
+// Package defw implements the Distributed Execution Framework: the
+// lightweight RPC layer QFw uses between the application frontend and the
+// Quantum Platform Manager services. It offers a TCP transport
+// (length-prefixed JSON frames) for cross-process deployment and an
+// in-process pipe transport for single-binary runs, with synchronous calls
+// and asynchronous calls with correlation IDs — the mechanism behind QFw's
+// non-blocking execution of variational workloads.
+package defw
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// request is the wire format of a call.
+type request struct {
+	ID      uint64          `json:"id"`
+	Service string          `json:"service"`
+	Method  string          `json:"method"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// response is the wire format of a reply.
+type response struct {
+	ID      uint64          `json:"id"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// Handler serves the methods of one registered service.
+type Handler interface {
+	Handle(method string, payload []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(method string, payload []byte) ([]byte, error)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(method string, payload []byte) ([]byte, error) {
+	return f(method, payload)
+}
+
+// Server hosts services and serves connections.
+type Server struct {
+	mu       sync.RWMutex
+	services map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{services: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Register exposes a service under a name; re-registering replaces it.
+func (s *Server) Register(name string, h Handler) {
+	s.mu.Lock()
+	s.services[name] = h
+	s.mu.Unlock()
+}
+
+// Services lists registered service names.
+func (s *Server) Services() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.services))
+	for n := range s.services {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ListenTCP starts accepting connections on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) ListenTCP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.trackConn(conn)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) trackConn(c net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+}
+
+// ServeConn synchronously serves one connection until it closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			break
+		}
+		var req request
+		if err := json.Unmarshal(frame, &req); err != nil {
+			break
+		}
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			resp := s.dispatch(req)
+			data, err := json.Marshal(resp)
+			if err != nil {
+				return
+			}
+			writeMu.Lock()
+			writeFrame(conn, data)
+			writeMu.Unlock()
+		}(req)
+	}
+	handlers.Wait()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) dispatch(req request) response {
+	s.mu.RLock()
+	h, ok := s.services[req.Service]
+	s.mu.RUnlock()
+	if !ok {
+		return response{ID: req.ID, Err: fmt.Sprintf("defw: unknown service %q", req.Service)}
+	}
+	defer func() {
+		// Handler panics become RPC errors at the caller, not crashes here;
+		// recovery happens in the wrapper below.
+	}()
+	payload, err := safeHandle(h, req.Method, req.Payload)
+	if err != nil {
+		return response{ID: req.ID, Err: err.Error()}
+	}
+	return response{ID: req.ID, Payload: payload}
+}
+
+func safeHandle(h Handler, method string, payload []byte) (out []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("defw: handler panic: %v", p)
+		}
+	}()
+	return h.Handle(method, payload)
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > 1<<28 {
+		return nil, fmt.Errorf("defw: frame too large (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, data []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// Call is an in-flight asynchronous RPC.
+type Call struct {
+	Done    chan struct{}
+	payload []byte
+	err     error
+}
+
+// Result blocks until completion and returns the reply.
+func (c *Call) Result() ([]byte, error) {
+	<-c.Done
+	return c.payload, c.err
+}
+
+// Client is one connection to a DEFw server.
+type Client struct {
+	conn   net.Conn
+	nextID atomic.Uint64
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	closed  bool
+}
+
+// Dial connects to a DEFw server over TCP.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(conn), nil
+}
+
+// NewPipeClient connects to a server in-process through net.Pipe — the
+// transport used when the whole stack runs in one binary (and the baseline
+// for the RPC-transport ablation benchmark).
+func NewPipeClient(s *Server) *Client {
+	cliConn, srvConn := net.Pipe()
+	s.trackConn(srvConn)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.ServeConn(srvConn)
+	}()
+	return newClient(cliConn)
+}
+
+func newClient(conn net.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]*Call)}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		frame, err := readFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var resp response
+		if err := json.Unmarshal(frame, &resp); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if call == nil {
+			continue
+		}
+		if resp.Err != "" {
+			call.err = errors.New(resp.Err)
+		} else {
+			call.payload = resp.Payload
+		}
+		close(call.Done)
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	for id, call := range c.pending {
+		call.err = fmt.Errorf("defw: connection lost: %w", err)
+		close(call.Done)
+		delete(c.pending, id)
+	}
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Go issues an asynchronous call.
+func (c *Client) Go(service, method string, payload []byte) *Call {
+	call := &Call{Done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		call.err = errors.New("defw: client closed")
+		close(call.Done)
+		return call
+	}
+	id := c.nextID.Add(1)
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	req := request{ID: id, Service: service, Method: method, Payload: payload}
+	data, err := json.Marshal(req)
+	if err == nil {
+		c.writeMu.Lock()
+		err = writeFrame(c.conn, data)
+		c.writeMu.Unlock()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		call.err = err
+		close(call.Done)
+	}
+	return call
+}
+
+// Call issues a synchronous call.
+func (c *Client) Call(service, method string, payload []byte) ([]byte, error) {
+	return c.Go(service, method, payload).Result()
+}
+
+// Close tears the connection down, failing outstanding calls.
+func (c *Client) Close() {
+	c.conn.Close()
+}
+
+// CallJSON marshals req, performs a synchronous call, and unmarshals into resp.
+func CallJSON(c *Client, service, method string, req, resp any) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	out, err := c.Call(service, method, payload)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.Unmarshal(out, resp)
+}

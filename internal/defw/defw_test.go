@@ -1,0 +1,204 @@
+package defw
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler returns its payload; method "fail" errors; "panic" panics;
+// "slow" sleeps briefly to exercise async overlap.
+func echoHandler(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "fail":
+		return nil, fmt.Errorf("intentional failure")
+	case "panic":
+		panic("handler exploded")
+	case "slow":
+		time.Sleep(30 * time.Millisecond)
+		return payload, nil
+	default:
+		return payload, nil
+	}
+}
+
+func startTCP(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := NewServer()
+	s.Register("echo", HandlerFunc(echoHandler))
+	addr, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return s, c
+}
+
+func TestSyncCallTCP(t *testing.T) {
+	_, c := startTCP(t)
+	out, err := c.Call("echo", "run", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"x":1}` {
+		t.Fatalf("echo got %s", out)
+	}
+}
+
+func TestSyncCallPipe(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", HandlerFunc(echoHandler))
+	c := NewPipeClient(s)
+	defer func() { c.Close(); s.Close() }()
+	out, err := c.Call("echo", "run", []byte(`"hi"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"hi"` {
+		t.Fatalf("got %s", out)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	_, c := startTCP(t)
+	_, err := c.Call("echo", "fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "intentional failure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	_, c := startTCP(t)
+	_, err := c.Call("echo", "panic", nil)
+	if err == nil || !strings.Contains(err.Error(), "handler panic") {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection must survive a handler panic.
+	if _, err := c.Call("echo", "ok", []byte(`1`)); err != nil {
+		t.Fatalf("connection dead after panic: %v", err)
+	}
+}
+
+func TestUnknownService(t *testing.T) {
+	_, c := startTCP(t)
+	_, err := c.Call("nope", "run", nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncCallsOverlap(t *testing.T) {
+	_, c := startTCP(t)
+	start := time.Now()
+	var calls []*Call
+	for i := 0; i < 8; i++ {
+		calls = append(calls, c.Go("echo", "slow", []byte(`1`)))
+	}
+	for _, call := range calls {
+		if _, err := call.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 8 x 30ms serialized would be 240ms; concurrent handling must be far less.
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("async calls appear serialized: %v", elapsed)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", HandlerFunc(echoHandler))
+	addr, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				msg := fmt.Sprintf(`{"i":%d,"j":%d}`, i, j)
+				out, err := c.Call("echo", "run", []byte(msg))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(out) != msg {
+					t.Errorf("got %s want %s", out, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCallJSON(t *testing.T) {
+	_, c := startTCP(t)
+	type point struct {
+		X, Y int
+	}
+	var out point
+	if err := CallJSON(c, "echo", "run", point{X: 3, Y: 4}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X != 3 || out.Y != 4 {
+		t.Fatalf("round trip %+v", out)
+	}
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", HandlerFunc(echoHandler))
+	addr, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := c.Go("echo", "slow", nil)
+	c.Close()
+	if _, err := call.Result(); err == nil {
+		t.Fatal("expected pending call to fail on close")
+	}
+	// Calls after close fail fast.
+	if _, err := c.Call("echo", "run", nil); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestMalformedPayloadIsJSON(t *testing.T) {
+	// The wire format is JSON; verify a response round-trips through the
+	// declared structs.
+	r := response{ID: 9, Payload: json.RawMessage(`{"ok":true}`)}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back response
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != 9 {
+		t.Fatalf("id %d", back.ID)
+	}
+}

@@ -1,0 +1,77 @@
+package defw
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	// Length prefix claiming 1 GiB must be refused before allocation.
+	buf.Write([]byte{0x40, 0x00, 0x00, 0x00})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte(`{"hello":"world"}`)
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("round trip %q", got)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 10, 'x', 'y'}) // claims 10 bytes, has 2
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestLargePayloadThroughRPC(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", HandlerFunc(func(m string, p []byte) ([]byte, error) { return p, nil }))
+	c := NewPipeClient(s)
+	defer func() { c.Close(); s.Close() }()
+	// A ~1 MiB JSON payload (quoted string).
+	big := `"` + strings.Repeat("a", 1<<20) + `"`
+	out, err := c.Call("echo", "run", []byte(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(big) {
+		t.Fatalf("size %d vs %d", len(out), len(big))
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := NewServer()
+	s.Register("echo", HandlerFunc(echoHandler))
+	addr, err := s.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := c.Go("echo", "slow", nil)
+	s.Close()
+	if _, err := call.Result(); err == nil {
+		// The slow handler may have finished before close; that's fine too —
+		// but a second call must now fail.
+		if _, err := c.Call("echo", "run", nil); err == nil {
+			t.Fatal("call succeeded after server close")
+		}
+	}
+}

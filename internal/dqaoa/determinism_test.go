@@ -1,0 +1,62 @@
+package dqaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"qfw/internal/qaoa"
+	"qfw/internal/qubo"
+)
+
+func TestSyncSolveIsDeterministic(t *testing.T) {
+	// With a fixed seed and synchronous dispatch, two solves must agree
+	// bit-for-bit (reproducibility is a core claim of the framework).
+	rng := rand.New(rand.NewSource(11))
+	q := qubo.Metamaterial(14, rng)
+	cfg := Config{
+		SubQSize: 6, NSubQ: 3, MaxIter: 3, Patience: 3,
+		Async: false, Seed: 7, Shots: 128, MaxEvals: 12,
+	}
+	a, err := Solve(q, qaoa.LocalRunner{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(q, qaoa.LocalRunner{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Fatalf("non-deterministic energies: %g vs %g", a.Energy, b.Energy)
+	}
+	for i := range a.Bits {
+		if a.Bits[i] != b.Bits[i] {
+			t.Fatalf("non-deterministic bits at %d", i)
+		}
+	}
+	if a.Iterations != b.Iterations || a.SubSolves != b.SubSolves {
+		t.Fatalf("non-deterministic loop structure: %d/%d vs %d/%d",
+			a.Iterations, a.SubSolves, b.Iterations, b.SubSolves)
+	}
+}
+
+func TestPatienceStopsEarly(t *testing.T) {
+	// A trivially optimal QUBO (all-zero couplings, positive diagonal) is
+	// solved immediately; patience must end the loop before MaxIter.
+	q := qubo.New(8)
+	for i := 0; i < 8; i++ {
+		q.Q[i][i] = 1 // optimum is all zeros
+	}
+	res, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 4, NSubQ: 2, MaxIter: 50, Patience: 2,
+		Seed: 3, Shots: 64, MaxEvals: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 50 {
+		t.Fatalf("patience did not stop the loop: %d iterations", res.Iterations)
+	}
+	if res.Energy > 1e-9 {
+		t.Fatalf("trivial QUBO not solved: %g", res.Energy)
+	}
+}

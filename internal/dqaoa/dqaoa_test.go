@@ -1,0 +1,123 @@
+package dqaoa
+
+import (
+	"math/rand"
+	"testing"
+
+	"qfw/internal/optimize"
+	"qfw/internal/qaoa"
+	"qfw/internal/qubo"
+	"qfw/internal/trace"
+)
+
+func TestSolveTable2Config(t *testing.T) {
+	// QUBO-20 with (subqsize=8, nsubq=3): unit-scale version of Fig. 4.
+	rng := rand.New(rand.NewSource(1))
+	q := qubo.Metamaterial(20, rng)
+	res, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 8, NSubQ: 3, MaxIter: 6, Seed: 2,
+		Shots: 256, MaxEvals: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bits) != 20 {
+		t.Fatalf("solution width %d", len(res.Bits))
+	}
+	_, exact := optimize.BruteForce(q)
+	fid := res.Quality
+	if fid < 0.85 {
+		t.Fatalf("DQAOA quality %.3f too low (E=%g exact=%g)", fid, res.Energy, exact)
+	}
+	if res.SubSolves < 3 {
+		t.Fatalf("sub-solves %d", res.SubSolves)
+	}
+}
+
+func TestAsyncMatchesSyncQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := qubo.Metamaterial(16, rng)
+	syncRes, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 6, NSubQ: 3, MaxIter: 4, Seed: 5, Async: false, Shots: 200, MaxEvals: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncRes, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 6, NSubQ: 3, MaxIter: 4, Seed: 5, Async: true, Shots: 200, MaxEvals: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncRes.Quality < syncRes.Quality-0.15 {
+		t.Fatalf("async quality %.3f much worse than sync %.3f", asyncRes.Quality, syncRes.Quality)
+	}
+}
+
+func TestImpactDecomposerRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := qubo.Metamaterial(18, rng)
+	res, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 6, NSubQ: 3, MaxIter: 4, Seed: 6,
+		Decomposer: DecomposeImpact, Shots: 200, MaxEvals: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < 0.7 {
+		t.Fatalf("impact decomposition quality %.3f", res.Quality)
+	}
+}
+
+func TestRecorderCapturesConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := qubo.Metamaterial(16, rng)
+	rec := trace.NewRecorder()
+	_, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 5, NSubQ: 4, MaxIter: 2, Patience: 5, Seed: 8, Async: true,
+		Shots: 128, MaxEvals: 12, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	// With async dispatch of 4 sub-QUBOs, concurrency must exceed 1 — the
+	// Fig. 5 observation ("about four concurrently").
+	if got := rec.MaxConcurrency("subqaoa"); got < 2 {
+		t.Fatalf("max concurrency %d, want >= 2", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	q := qubo.New(4)
+	if _, err := Solve(q, qaoa.LocalRunner{}, Config{SubQSize: 1, NSubQ: 2}); err == nil {
+		t.Fatal("subqsize 1 accepted")
+	}
+	if _, err := Solve(q, qaoa.LocalRunner{}, Config{SubQSize: 2, NSubQ: 0}); err == nil {
+		t.Fatal("nsubq 0 accepted")
+	}
+}
+
+func TestAggregationNeverWorsens(t *testing.T) {
+	// The greedy aggregation must end at an energy no worse than the
+	// initial random assignment's energy.
+	rng := rand.New(rand.NewSource(9))
+	q := qubo.Random(14, 0.6, 1, rng)
+	initRng := rand.New(rand.NewSource(10))
+	initBits := make([]int, q.N)
+	for i := range initBits {
+		initBits[i] = initRng.Intn(2)
+	}
+	initE := q.Energy(initBits)
+	res, err := Solve(q, qaoa.LocalRunner{}, Config{
+		SubQSize: 6, NSubQ: 3, MaxIter: 3, Seed: 10, Shots: 128, MaxEvals: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy > initE+1e-9 {
+		t.Fatalf("final %g worse than initial %g", res.Energy, initE)
+	}
+}

@@ -1,0 +1,74 @@
+package ionq
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestConcurrentWorkersOverlap(t *testing.T) {
+	// With concurrency 4, four jobs with a queue delay should finish much
+	// faster than serialized execution.
+	_, cl := startService(t, Config{QueueDelay: 60 * time.Millisecond, Concurrency: 4})
+	qasm := bellQASM(t)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := cl.Submit("j", qasm, 20)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = cl.Wait(id, 5*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serialized would be >= 4 * 30ms queue floor; overlapped should be
+	// well under that plus polling overhead.
+	if el := time.Since(start); el > 350*time.Millisecond {
+		t.Fatalf("concurrency 4 did not overlap: %v", el)
+	}
+}
+
+func TestJobsAreIndependent(t *testing.T) {
+	_, cl := startService(t, Config{})
+	qasm := bellQASM(t)
+	idA, err := cl.Submit("a", qasm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := cl.Submit("b", qasm, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA == idB {
+		t.Fatal("job IDs collide")
+	}
+	ca, err := cl.Wait(idA, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := cl.Wait(idB, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := 0, 0
+	for _, n := range ca {
+		ta += n
+	}
+	for _, n := range cb {
+		tb += n
+	}
+	if ta != 10 || tb != 30 {
+		t.Fatalf("shot totals %d/%d", ta, tb)
+	}
+}

@@ -1,0 +1,398 @@
+// Package ionq provides a simulated IonQ quantum cloud: an HTTP REST
+// service with job submission, queueing, status polling, and result
+// retrieval, backed by the state-vector engine. Configurable network
+// latency, jitter, and queue concurrency reproduce the behaviour that
+// matters in the paper's Figs. 4-5: cloud execution is slower and less
+// uniform than local MPI backends because every interaction crosses the
+// internet and a shared queue (the paper runs against QCUP's shared queue).
+//
+// The wire format follows the spirit of IonQ's v0.3 REST API:
+//
+//	POST /v0.3/jobs                {name, shots, input:{format:"qasm", qasm}}
+//	GET  /v0.3/jobs/{id}           -> {id, status}
+//	GET  /v0.3/jobs/{id}/results   -> {counts}
+package ionq
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/statevec"
+)
+
+// Config tunes the simulated cloud.
+type Config struct {
+	// Latency is the mean one-way network + service latency added to every
+	// HTTP interaction; Jitter adds uniform noise in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// QueueDelay is the mean extra wait a job spends queued before a worker
+	// picks it up (cloud queue pressure).
+	QueueDelay time.Duration
+	// Concurrency is how many jobs execute simultaneously (cloud simulators
+	// serialize heavily; default 1).
+	Concurrency int
+	// MaxQubits rejects circuits beyond the device/emulator size (default 29).
+	MaxQubits int
+	Seed      int64
+}
+
+func (c *Config) fill() {
+	if c.Latency <= 0 {
+		c.Latency = 60 * time.Millisecond
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.MaxQubits <= 0 {
+		c.MaxQubits = 29
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Job states reported by the REST API.
+const (
+	StatusSubmitted = "submitted"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+)
+
+type job struct {
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Shots  int    `json:"shots"`
+	QASM   string `json:"-"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	counts map[string]int
+}
+
+// submitBody is the POST /v0.3/jobs request body.
+type submitBody struct {
+	Name  string `json:"name,omitempty"`
+	Shots int    `json:"shots,omitempty"`
+	Input struct {
+		Format string `json:"format"`
+		QASM   string `json:"qasm"`
+	} `json:"input"`
+}
+
+// Service is a running simulated cloud endpoint.
+type Service struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	rng    *rand.Rand
+	queue  chan *job
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Start launches the service on an ephemeral loopback port.
+func Start(cfg Config) (*Service, error) {
+	cfg.fill()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:   cfg,
+		ln:    ln,
+		jobs:  make(map[string]*job),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		queue: make(chan *job, 4096),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v0.3/jobs", s.handleJobs)
+	mux.HandleFunc("/v0.3/jobs/", s.handleJob)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	for w := 0; w < cfg.Concurrency; w++ {
+		s.wg.Add(1)
+		go s.worker(int64(w))
+	}
+	return s, nil
+}
+
+// URL returns the service base URL.
+func (s *Service) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Close stops accepting requests and waits for workers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.srv.Close()
+	s.wg.Wait()
+}
+
+// networkDelay sleeps for the configured latency + jitter, simulating the
+// internet round trip in front of every API interaction.
+func (s *Service) networkDelay() {
+	s.mu.Lock()
+	j := time.Duration(0)
+	if s.cfg.Jitter > 0 {
+		j = time.Duration(s.rng.Int63n(int64(s.cfg.Jitter)))
+	}
+	s.mu.Unlock()
+	time.Sleep(s.cfg.Latency + j)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.networkDelay()
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body submitBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Input.Format != "qasm" {
+		http.Error(w, fmt.Sprintf("unsupported input format %q", body.Input.Format), http.StatusBadRequest)
+		return
+	}
+	c, err := circuit.ParseQASM(body.Input.QASM)
+	if err != nil {
+		http.Error(w, "invalid qasm: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if c.NQubits > s.cfg.MaxQubits {
+		http.Error(w, fmt.Sprintf("circuit has %d qubits, device supports %d", c.NQubits, s.cfg.MaxQubits), http.StatusBadRequest)
+		return
+	}
+	shots := body.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "service shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.nextID++
+	j := &job{
+		ID:     fmt.Sprintf("ionq-job-%06d", s.nextID),
+		Name:   body.Name,
+		Shots:  shots,
+		QASM:   body.Input.QASM,
+		Status: StatusSubmitted,
+	}
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	s.queue <- j
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.networkDelay()
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v0.3/jobs/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job "+id, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if len(parts) == 2 && parts[1] == "results" {
+		s.mu.Lock()
+		status := j.Status
+		counts := j.counts
+		errMsg := j.Error
+		s.mu.Unlock()
+		switch status {
+		case StatusCompleted:
+			json.NewEncoder(w).Encode(map[string]any{"counts": counts})
+		case StatusFailed:
+			http.Error(w, errMsg, http.StatusUnprocessableEntity)
+		default:
+			http.Error(w, "job not finished", http.StatusConflict)
+		}
+		return
+	}
+	s.mu.Lock()
+	snapshot := *j
+	s.mu.Unlock()
+	json.NewEncoder(w).Encode(snapshot)
+}
+
+// worker drains the queue, simulating queue wait and executing circuits on
+// the internal state-vector emulator.
+func (s *Service) worker(id int64) {
+	defer s.wg.Done()
+	rng := rand.New(rand.NewSource(s.cfg.Seed*1000 + id))
+	for j := range s.queue {
+		if s.cfg.QueueDelay > 0 {
+			d := s.cfg.QueueDelay/2 + time.Duration(rng.Int63n(int64(s.cfg.QueueDelay)))
+			time.Sleep(d)
+		}
+		s.mu.Lock()
+		j.Status = StatusRunning
+		s.mu.Unlock()
+		c, err := circuit.ParseQASM(j.QASM)
+		if err != nil {
+			s.finishJob(j, nil, err)
+			continue
+		}
+		counts := func() (m map[string]int) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("execution panic: %v", p)
+				}
+			}()
+			return statevec.Simulate(c, j.Shots, 1, rng)
+		}()
+		s.finishJob(j, counts, err)
+	}
+}
+
+func (s *Service) finishJob(j *job, counts map[string]int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		return
+	}
+	j.Status = StatusCompleted
+	j.counts = counts
+}
+
+// ---- Client ------------------------------------------------------------
+
+// Client is a minimal REST client for the service (what the IonQ backend
+// QPM uses under the hood; IonQ's real Qiskit plugin hides the same calls).
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 120 * time.Second}}
+}
+
+// Submit posts a QASM job and returns the job ID.
+func (c *Client) Submit(name, qasm string, shots int) (string, error) {
+	var body submitBody
+	body.Name = name
+	body.Shots = shots
+	body.Input.Format = "qasm"
+	body.Input.QASM = qasm
+	data, err := json.Marshal(body)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeHTTPError(resp)
+	}
+	var j job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return "", err
+	}
+	return j.ID, nil
+}
+
+// Status fetches the job status string.
+func (c *Client) Status(id string) (string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeHTTPError(resp)
+	}
+	var j job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return "", err
+	}
+	return j.Status, nil
+}
+
+// Results fetches the counts of a completed job.
+func (c *Client) Results(id string) (map[string]int, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id + "/results")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	var out struct {
+		Counts map[string]int `json:"counts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Counts, nil
+}
+
+// Wait polls until the job reaches a terminal state and returns counts.
+func (c *Client) Wait(id string, poll time.Duration) (map[string]int, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		switch st {
+		case StatusCompleted:
+			return c.Results(id)
+		case StatusFailed:
+			_, err := c.Results(id)
+			if err == nil {
+				err = fmt.Errorf("ionq: job %s failed", id)
+			}
+			return nil, err
+		}
+		time.Sleep(poll)
+	}
+}
+
+func decodeHTTPError(resp *http.Response) error {
+	buf := make([]byte, 512)
+	n, _ := resp.Body.Read(buf)
+	return fmt.Errorf("ionq: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(buf[:n])))
+}

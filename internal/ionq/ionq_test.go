@@ -1,0 +1,154 @@
+package ionq
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qfw/internal/circuit"
+)
+
+func startService(t *testing.T, cfg Config) (*Service, *Client) {
+	t.Helper()
+	if cfg.Latency == 0 {
+		cfg.Latency = time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 3
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, NewClient(s.URL())
+}
+
+func bellQASM(t *testing.T) string {
+	t.Helper()
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).MeasureAll()
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qasm
+}
+
+func TestSubmitWaitResults(t *testing.T) {
+	_, cl := startService(t, Config{})
+	id, err := cl.Submit("bell", bellQASM(t), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "ionq-job-") {
+		t.Fatalf("job id %q", id)
+	}
+	counts, err := cl.Wait(id, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for key, n := range counts {
+		if key != "00" && key != "11" {
+			t.Fatalf("bell outcome %q", key)
+		}
+		total += n
+	}
+	if total != 500 {
+		t.Fatalf("total %d", total)
+	}
+}
+
+func TestStatusTransitions(t *testing.T) {
+	_, cl := startService(t, Config{QueueDelay: 50 * time.Millisecond})
+	id, err := cl.Submit("bell", bellQASM(t), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusSubmitted && st != StatusRunning {
+		t.Fatalf("early status %q", st)
+	}
+	if _, err := cl.Results(id); err == nil {
+		t.Fatal("results before completion should fail")
+	}
+	if _, err := cl.Wait(id, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = cl.Status(id)
+	if st != StatusCompleted {
+		t.Fatalf("final status %q", st)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	_, cl := startService(t, Config{MaxQubits: 4})
+	if _, err := cl.Submit("bad", "not qasm at all", 10); err == nil {
+		t.Fatal("accepted malformed qasm")
+	}
+	big := circuit.New(6)
+	big.H(0)
+	qasm, _ := big.ToQASM()
+	if _, err := cl.Submit("big", qasm, 10); err == nil || !strings.Contains(err.Error(), "supports 4") {
+		t.Fatalf("qubit cap not enforced: %v", err)
+	}
+	if _, err := cl.Status("ionq-job-999999"); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestQueueSerializesJobs(t *testing.T) {
+	// Concurrency=1 with a queue delay means N jobs take at least N*delay.
+	_, cl := startService(t, Config{QueueDelay: 30 * time.Millisecond, Concurrency: 1})
+	qasm := bellQASM(t)
+	const jobs = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := cl.Submit("j", qasm, 50)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = cl.Wait(id, 5*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each job waits >=15ms (QueueDelay/2) in queue, serialized.
+	if el := time.Since(start); el < 4*15*time.Millisecond {
+		t.Fatalf("queue did not serialize: %v", el)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	_, cl := startService(t, Config{Latency: 40 * time.Millisecond})
+	start := time.Now()
+	if _, err := cl.Status("ionq-job-000000"); err == nil {
+		t.Fatal("expected 404")
+	}
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Fatalf("network latency not injected: %v", el)
+	}
+}
+
+func TestCloseRejectsNewJobs(t *testing.T) {
+	s, cl := startService(t, Config{})
+	s.Close()
+	if _, err := cl.Submit("after", bellQASM(t), 10); err == nil {
+		t.Fatal("accepted job after close")
+	}
+}

@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// EigenHermitian diagonalizes a Hermitian matrix A using the cyclic complex
+// Jacobi method. It returns the eigenvalues in ascending order and a unitary
+// matrix V whose columns are the corresponding eigenvectors, so that
+// A = V diag(vals) V†.
+func EigenHermitian(a *Matrix) (vals []float64, v *Matrix) {
+	if a.Rows != a.Cols {
+		panic("linalg: EigenHermitian needs a square matrix")
+	}
+	n := a.Rows
+	h := a.Copy()
+	v = Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += cmplx.Abs(h.At(p, q)) * cmplx.Abs(h.At(p, q))
+			}
+		}
+		if off < 1e-28*float64(n*n) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(h, v, p, q)
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := range vals {
+		vals[i] = real(h.At(i, i))
+	}
+	// Sort eigenpairs ascending by eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedV := New(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedV
+}
+
+// jacobiRotate applies one complex Jacobi rotation zeroing h[p][q], updating
+// both h (as J† h J) and the eigenvector accumulator v (as v J).
+func jacobiRotate(h, v *Matrix, p, q int) {
+	apq := h.At(p, q)
+	r := cmplx.Abs(apq)
+	if r < 1e-300 {
+		return
+	}
+	app := real(h.At(p, p))
+	aqq := real(h.At(q, q))
+	tau := (aqq - app) / (2 * r)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	phase := apq / complex(r, 0) // e^{iφ}
+	cs := complex(c, 0)
+	sn := complex(s, 0)
+	n := h.Rows
+	// Column update: col_p' = c col_p - s e^{-iφ} col_q ; col_q' = s e^{iφ} col_p + c col_q.
+	for k := 0; k < n; k++ {
+		hp := h.At(k, p)
+		hq := h.At(k, q)
+		h.Set(k, p, cs*hp-sn*cmplx.Conj(phase)*hq)
+		h.Set(k, q, sn*phase*hp+cs*hq)
+		vp := v.At(k, p)
+		vq := v.At(k, q)
+		v.Set(k, p, cs*vp-sn*cmplx.Conj(phase)*vq)
+		v.Set(k, q, sn*phase*vp+cs*vq)
+	}
+	// Row update: row_p' = c row_p - s e^{iφ} row_q ; row_q' = s e^{-iφ} row_p + c row_q.
+	for l := 0; l < n; l++ {
+		hp := h.At(p, l)
+		hq := h.At(q, l)
+		h.Set(p, l, cs*hp-sn*phase*hq)
+		h.Set(q, l, sn*cmplx.Conj(phase)*hp+cs*hq)
+	}
+	// Clean up rounding on the now (near-)zero pair and force real diagonal.
+	h.Set(p, q, 0)
+	h.Set(q, p, 0)
+	h.Set(p, p, complex(real(h.At(p, p)), 0))
+	h.Set(q, q, complex(real(h.At(q, q)), 0))
+}
+
+// SVD computes a thin singular value decomposition A = U diag(s) V†, with
+// singular values returned in descending order. U is m x k and V is n x k
+// where k = min(m, n). The implementation diagonalizes the smaller Gram
+// matrix, which is accurate to ~sqrt(eps) for the smallest singular values —
+// ample for MPS truncation and test tolerances used in this repository.
+func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m >= n {
+		// Gram = A† A (n x n), eigen gives V; U = A V / σ.
+		gram := MatMul(a.Dagger(), a)
+		vals, vecs := EigenHermitian(gram)
+		k := n
+		s = make([]float64, k)
+		v = New(n, k)
+		for i := 0; i < k; i++ {
+			// eigenvalues ascending -> take from the top for descending σ
+			src := k - 1 - i
+			lam := vals[src]
+			if lam < 0 {
+				lam = 0
+			}
+			s[i] = math.Sqrt(lam)
+			for r := 0; r < n; r++ {
+				v.Set(r, i, vecs.At(r, src))
+			}
+		}
+		u = New(m, k)
+		for i := 0; i < k; i++ {
+			if s[i] > 1e-150 {
+				inv := complex(1/s[i], 0)
+				for r := 0; r < m; r++ {
+					var acc complex128
+					for c := 0; c < n; c++ {
+						acc += a.At(r, c) * v.At(c, i)
+					}
+					u.Set(r, i, acc*inv)
+				}
+			} else {
+				fillOrthoColumn(u, i)
+			}
+		}
+		return u, s, v
+	}
+	// m < n: decompose A† = U' s V'† then A = V' s U'†.
+	ut, st, vt := SVD(a.Dagger())
+	return vt, st, ut
+}
+
+// fillOrthoColumn replaces column i of u with a unit vector orthogonal to
+// columns 0..i-1 (used for zero singular values, where any completion works).
+func fillOrthoColumn(u *Matrix, i int) {
+	m := u.Rows
+	for seed := 0; seed < m; seed++ {
+		// Try basis vector e_seed, orthogonalize against previous columns.
+		col := make([]complex128, m)
+		col[seed] = 1
+		for k := 0; k < i; k++ {
+			var dot complex128
+			for r := 0; r < m; r++ {
+				dot += cmplx.Conj(u.At(r, k)) * col[r]
+			}
+			for r := 0; r < m; r++ {
+				col[r] -= dot * u.At(r, k)
+			}
+		}
+		var nrm float64
+		for _, c := range col {
+			nrm += real(c)*real(c) + imag(c)*imag(c)
+		}
+		if nrm > 1e-12 {
+			inv := complex(1/math.Sqrt(nrm), 0)
+			for r := 0; r < m; r++ {
+				u.Set(r, i, col[r]*inv)
+			}
+			return
+		}
+	}
+}
+
+// FuncHermitian returns f(A) = V f(Λ) V† for Hermitian A, applying f to each
+// eigenvalue. This is used to build exact propagators exp(-iHt) for
+// Hamiltonian-simulation references and the HHL unitaries.
+func FuncHermitian(a *Matrix, f func(float64) complex128) *Matrix {
+	vals, v := EigenHermitian(a)
+	n := a.Rows
+	fd := New(n, n)
+	for i := 0; i < n; i++ {
+		fd.Set(i, i, f(vals[i]))
+	}
+	return MatMul(MatMul(v, fd), v.Dagger())
+}
+
+// ExpIH returns exp(i t A) for Hermitian A.
+func ExpIH(a *Matrix, t float64) *Matrix {
+	return FuncHermitian(a, func(lam float64) complex128 {
+		return cmplx.Exp(complex(0, t*lam))
+	})
+}
+
+// SolveHermitian solves A x = b for Hermitian (invertible) A via its
+// eigendecomposition; used as the classical reference for HHL.
+func SolveHermitian(a *Matrix, b []complex128) []complex128 {
+	inv := FuncHermitian(a, func(lam float64) complex128 {
+		if math.Abs(lam) < 1e-14 {
+			return 0
+		}
+		return complex(1/lam, 0)
+	})
+	return MatVec(inv, b)
+}

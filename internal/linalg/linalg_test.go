@@ -1,0 +1,248 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomHermitian(5, rng)
+	if d := MaxAbsDiff(MatMul(Identity(5), a), a); d > 1e-12 {
+		t.Fatalf("I*A != A, diff %g", d)
+	}
+	if d := MaxAbsDiff(MatMul(a, Identity(5)), a); d > 1e-12 {
+		t.Fatalf("A*I != A, diff %g", d)
+	}
+}
+
+func TestMatMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b, c := RandomHermitian(4, rng), RandomHermitian(4, rng), RandomHermitian(4, rng)
+	l := MatMul(MatMul(a, b), c)
+	r := MatMul(a, MatMul(b, c))
+	if d := MaxAbsDiff(l, r); d > 1e-10 {
+		t.Fatalf("(AB)C != A(BC), diff %g", d)
+	}
+}
+
+func TestKronShapeAndValues(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{0, 1}, {1, 0}})
+	k := Kron(a, b)
+	if k.Rows != 4 || k.Cols != 4 {
+		t.Fatalf("kron shape %dx%d", k.Rows, k.Cols)
+	}
+	if k.At(0, 1) != 1 || k.At(1, 0) != 1 || k.At(0, 3) != 2 || k.At(3, 2) != 4 {
+		t.Fatalf("unexpected kron values:\n%v", k)
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(3))
+	a, b := RandomHermitian(2, rng), RandomHermitian(3, rng)
+	c, d := RandomHermitian(2, rng), RandomHermitian(3, rng)
+	l := MatMul(Kron(a, b), Kron(c, d))
+	r := Kron(MatMul(a, c), MatMul(b, d))
+	if df := MaxAbsDiff(l, r); df > 1e-10 {
+		t.Fatalf("mixed product rule violated, diff %g", df)
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := RandomUnitary(4, rng)
+	if d := MaxAbsDiff(u.Dagger().Dagger(), u); d > 1e-12 {
+		t.Fatalf("(A†)† != A")
+	}
+}
+
+func TestRandomUnitaryIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		u := RandomUnitary(n, rng)
+		if !u.IsUnitary(1e-9) {
+			t.Fatalf("RandomUnitary(%d) not unitary", n)
+		}
+	}
+}
+
+func TestEigenHermitianReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 3, 5, 8, 12} {
+		a := RandomHermitian(n, rng)
+		vals, v := EigenHermitian(a)
+		if !v.IsUnitary(1e-8) {
+			t.Fatalf("n=%d eigenvectors not unitary", n)
+		}
+		lam := New(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, complex(vals[i], 0))
+		}
+		rec := MatMul(MatMul(v, lam), v.Dagger())
+		if d := MaxAbsDiff(rec, a); d > 1e-8 {
+			t.Fatalf("n=%d reconstruction error %g", n, d)
+		}
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("eigenvalues not ascending: %v", vals)
+			}
+		}
+	}
+}
+
+func TestEigenKnownMatrix(t *testing.T) {
+	// Pauli X has eigenvalues ±1.
+	x := FromRows([][]complex128{{0, 1}, {1, 0}})
+	vals, _ := EigenHermitian(x)
+	if math.Abs(vals[0]+1) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("Pauli X eigenvalues %v, want [-1 1]", vals)
+	}
+	y := FromRows([][]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+	vals, _ = EigenHermitian(y)
+	if math.Abs(vals[0]+1) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("Pauli Y eigenvalues %v, want [-1 1]", vals)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{1, 1}, {2, 2}, {3, 5}, {5, 3}, {8, 8}, {16, 4}, {4, 16}, {12, 7}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		u, s, v := SVD(a)
+		k := min(m, n)
+		if u.Cols != k || v.Cols != k || len(s) != k {
+			t.Fatalf("thin SVD shapes wrong for %dx%d", m, n)
+		}
+		// Rebuild A.
+		rec := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var acc complex128
+				for c := 0; c < k; c++ {
+					acc += u.At(i, c) * complex(s[c], 0) * cmplx.Conj(v.At(j, c))
+				}
+				rec.Set(i, j, acc)
+			}
+		}
+		if d := MaxAbsDiff(rec, a); d > 1e-7 {
+			t.Fatalf("%dx%d SVD reconstruction error %g", m, n, d)
+		}
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1]+1e-9 {
+				t.Fatalf("singular values not descending: %v", s)
+			}
+		}
+		if s[k-1] < -1e-12 {
+			t.Fatalf("negative singular value %v", s)
+		}
+		// U and V must have orthonormal columns.
+		if d := MaxAbsDiff(MatMul(u.Dagger(), u), Identity(k)); d > 1e-7 {
+			t.Fatalf("U columns not orthonormal, diff %g", d)
+		}
+		if d := MaxAbsDiff(MatMul(v.Dagger(), v), Identity(k)); d > 1e-7 {
+			t.Fatalf("V columns not orthonormal, diff %g", d)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: outer product.
+	a := FromRows([][]complex128{{1, 2, 3}, {2, 4, 6}, {3, 6, 9}})
+	u, s, v := SVD(a)
+	if s[1] > 1e-7 || s[2] > 1e-7 {
+		t.Fatalf("expected rank-1 spectrum, got %v", s)
+	}
+	_ = u
+	_ = v
+}
+
+func TestExpIHUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	h := RandomHermitian(4, rng)
+	u := ExpIH(h, 0.37)
+	if !u.IsUnitary(1e-9) {
+		t.Fatalf("exp(iHt) not unitary")
+	}
+	// exp(i*0*H) = I
+	if d := MaxAbsDiff(ExpIH(h, 0), Identity(4)); d > 1e-10 {
+		t.Fatalf("exp(0) != I, diff %g", d)
+	}
+	// exp(iH t) exp(-iH t) = I
+	if d := MaxAbsDiff(MatMul(ExpIH(h, 0.9), ExpIH(h, -0.9)), Identity(4)); d > 1e-9 {
+		t.Fatalf("propagator inverse mismatch %g", d)
+	}
+}
+
+func TestSolveHermitian(t *testing.T) {
+	a := FromRows([][]complex128{{2, 1}, {1, 3}})
+	b := []complex128{1, 2}
+	x := SolveHermitian(a, b)
+	ax := MatVec(a, x)
+	for i := range b {
+		if cmplx.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Fatalf("A x != b: %v vs %v", ax, b)
+		}
+	}
+}
+
+func TestQuickEigenNormPreserved(t *testing.T) {
+	// Property: for random Hermitian A, sum of eigenvalues equals trace.
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(r.Int31n(6))
+		a := RandomHermitian(n, r)
+		vals, _ := EigenHermitian(a)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(sum-real(a.Trace())) < 1e-8*float64(n)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSVDFrobenius(t *testing.T) {
+	// Property: ||A||_F^2 equals the sum of squared singular values.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + int(r.Int31n(8))
+		n := 1 + int(r.Int31n(8))
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		_, s, _ := SVD(a)
+		var ss float64
+		for _, sv := range s {
+			ss += sv * sv
+		}
+		fn := a.FrobeniusNorm()
+		return math.Abs(ss-fn*fn) < 1e-7*(1+fn*fn)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(10))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	v := MatVec(a, []complex128{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("matvec wrong: %v", v)
+	}
+}

@@ -1,0 +1,311 @@
+// Package linalg provides dense complex linear algebra used by the quantum
+// simulators: matrices over complex128, Kronecker products, Hermitian
+// eigendecomposition, singular value decomposition, and matrix functions.
+//
+// The package is self-contained (stdlib only) and tuned for the modest matrix
+// sizes that occur in circuit simulation: gate matrices (2x2 .. 2^k x 2^k for
+// small k) and MPS bond matrices (up to a few hundred rows/columns).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zero-initialized r x c matrix.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]complex128, r*c)}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. All rows must share one length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Copy returns a deep copy of m.
+func (m *Matrix) Copy() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	checkSameShape(a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	checkSameShape(a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * m.
+func Scale(s complex128, m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// MatMul returns the matrix product a * b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: matmul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the product m * v for a vector v of length m.Cols.
+func MatVec(m *Matrix, v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic("linalg: matvec shape mismatch")
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s complex128
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, mv := range row {
+			s += mv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for k := 0; k < b.Rows; k++ {
+				for l := 0; l < b.Cols; l++ {
+					out.Set(i*b.Rows+k, j*b.Cols+l, av*b.At(k, l))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Conj returns the elementwise complex conjugate of m.
+func (m *Matrix) Conj() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = cmplx.Conj(v)
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose m†.
+func (m *Matrix) Dagger() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	if m.Rows != m.Cols {
+		panic("linalg: trace of non-square matrix")
+	}
+	var t complex128
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// FrobeniusNorm returns sqrt(sum |m_ij|^2).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|; a convenience for tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	checkSameShape(a, b)
+	var mx float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// IsHermitian reports whether m equals m† within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m† m equals the identity within tol.
+func (m *Matrix) IsUnitary(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	p := MatMul(m.Dagger(), m)
+	return MaxAbsDiff(p, Identity(m.Rows)) <= tol
+}
+
+// RandomHermitian returns an n x n Hermitian matrix with entries drawn from a
+// standard normal distribution (real and imaginary parts).
+func RandomHermitian(n int, rng *rand.Rand) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, complex(rng.NormFloat64(), 0))
+		for j := i + 1; j < n; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, cmplx.Conj(v))
+		}
+	}
+	return m
+}
+
+// RandomUnitary returns an n x n Haar-ish random unitary obtained by
+// Gram-Schmidt orthonormalization of a complex Gaussian matrix.
+func RandomUnitary(n int, rng *rand.Rand) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	// Modified Gram-Schmidt on columns.
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			var dot complex128
+			for i := 0; i < n; i++ {
+				dot += cmplx.Conj(m.At(i, k)) * m.At(i, j)
+			}
+			for i := 0; i < n; i++ {
+				m.Set(i, j, m.At(i, j)-dot*m.At(i, k))
+			}
+		}
+		var nrm float64
+		for i := 0; i < n; i++ {
+			nrm += real(m.At(i, j))*real(m.At(i, j)) + imag(m.At(i, j))*imag(m.At(i, j))
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm == 0 {
+			m.Set(j, j, 1) // degenerate draw; keep the matrix nonsingular
+			continue
+		}
+		inv := complex(1/nrm, 0)
+		for i := 0; i < n; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+	return m
+}
+
+func checkSameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			v := m.At(i, j)
+			s += fmt.Sprintf("(%7.4f%+7.4fi) ", real(v), imag(v))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,310 @@
+// Package mpi provides an MPI-like message-passing layer over goroutines:
+// communicators with ranks, tagged point-to-point sends/receives, and the
+// collective operations the distributed simulators need (barrier, broadcast,
+// reduce, allreduce, gather, allgather, scatter, alltoall).
+//
+// A World is the in-process analog of MPI_COMM_WORLD. Each rank is a
+// goroutine launched by World.Run. An optional cost model (driven by the
+// cluster package's interconnect and core placements) injects transfer
+// delays so that communication-bound scaling effects — e.g. the paper's
+// observation that crossing an LLC domain raises QAOA runtimes — reproduce
+// qualitatively on a laptop.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qfw/internal/cluster"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	tag  int
+	data any
+}
+
+// World owns the mailboxes of a fixed-size communicator.
+type World struct {
+	Size int
+
+	chans  [][]chan envelope // chans[src][dst]
+	places []cluster.CorePlace
+	net    *cluster.Interconnect
+	sleep  func(time.Duration)
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithPlacement attaches core placements and an interconnect model; message
+// transfers then cost time according to the placement of the two ranks.
+func WithPlacement(places []cluster.CorePlace, net cluster.Interconnect) Option {
+	return func(w *World) {
+		w.places = places
+		w.net = &net
+	}
+}
+
+// WithSleeper overrides the delay function (tests use a recorder).
+func WithSleeper(f func(time.Duration)) Option {
+	return func(w *World) { w.sleep = f }
+}
+
+// NewWorld creates a communicator world of the given size.
+func NewWorld(size int, opts ...Option) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{Size: size, sleep: time.Sleep}
+	w.chans = make([][]chan envelope, size)
+	for s := 0; s < size; s++ {
+		w.chans[s] = make([]chan envelope, size)
+		for d := 0; d < size; d++ {
+			w.chans[s][d] = make(chan envelope, 64)
+		}
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.places != nil && len(w.places) != size {
+		panic(fmt.Sprintf("mpi: %d placements for %d ranks", len(w.places), size))
+	}
+	return w
+}
+
+// Comm is one rank's view of the world.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns the communicator handle for a rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.Size {
+		panic("mpi: rank out of range")
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Run launches fn on every rank and waits for completion, returning the
+// first error (the SPMD entry point, analogous to mpirun).
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.Size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.Size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.w.Size }
+
+// chargeTransfer injects the modelled communication cost for a payload.
+func (c *Comm) chargeTransfer(peer int, data any) {
+	w := c.w
+	if w.net == nil || w.places == nil {
+		return
+	}
+	d := w.net.Transfer(w.places[c.rank], w.places[peer], payloadBytes(data))
+	if d > 0 {
+		w.sleep(d)
+	}
+}
+
+// payloadBytes estimates the wire size of a payload for the cost model.
+func payloadBytes(data any) int {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case []complex128:
+		return len(v) * 16
+	case []float64:
+		return len(v) * 8
+	case []int:
+		return len(v) * 8
+	case []byte:
+		return len(v)
+	case string:
+		return len(v)
+	case float64, int, int64, complex128:
+		return 16
+	default:
+		return 64
+	}
+}
+
+// Send delivers data to dst with a tag. Buffer ownership transfers to the
+// receiver: the sender must not mutate slices after sending.
+func (c *Comm) Send(dst, tag int, data any) {
+	c.chargeTransfer(dst, data)
+	c.w.chans[c.rank][dst] <- envelope{tag: tag, data: data}
+}
+
+// Recv blocks for the next message from src and validates its tag — the
+// framework's communication patterns are deterministic SPMD, so a tag
+// mismatch is a protocol bug worth failing loudly on.
+func (c *Comm) Recv(src, tag int) any {
+	env := <-c.w.chans[src][c.rank]
+	if env.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, src, env.tag))
+	}
+	return env.data
+}
+
+// Sendrecv concurrently sends to and receives from a peer — the deadlock-free
+// exchange primitive used for distributed state-vector pair swaps.
+func (c *Comm) Sendrecv(peer, tag int, data any) any {
+	done := make(chan any, 1)
+	go func() { done <- c.Recv(peer, tag) }()
+	c.Send(peer, tag, data)
+	return <-done
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	const tag = -1
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.Recv(r, tag)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tag, nil)
+		}
+		return
+	}
+	c.Send(0, tag, nil)
+	c.Recv(0, tag)
+}
+
+// Bcast distributes root's value to all ranks and returns the local copy.
+func (c *Comm) Bcast(root int, data any) any {
+	const tag = -2
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tag, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tag)
+}
+
+// ReduceFloat64 combines per-rank values at root with op; non-root ranks
+// receive 0.
+func (c *Comm) ReduceFloat64(root int, value float64, op func(a, b float64) float64) float64 {
+	const tag = -3
+	if c.rank == root {
+		acc := value
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			acc = op(acc, c.Recv(r, tag).(float64))
+		}
+		return acc
+	}
+	c.Send(root, tag, value)
+	return 0
+}
+
+// AllreduceFloat64 combines values across all ranks and returns the result
+// on every rank.
+func (c *Comm) AllreduceFloat64(value float64, op func(a, b float64) float64) float64 {
+	acc := c.ReduceFloat64(0, value, op)
+	return c.Bcast(0, acc).(float64)
+}
+
+// AllreduceSum is the common sum reduction.
+func (c *Comm) AllreduceSum(value float64) float64 {
+	return c.AllreduceFloat64(value, func(a, b float64) float64 { return a + b })
+}
+
+// Gather collects one value per rank at root (index = rank); non-root ranks
+// receive nil.
+func (c *Comm) Gather(root int, value any) []any {
+	const tag = -4
+	if c.rank == root {
+		out := make([]any, c.Size())
+		out[root] = value
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				out[r] = c.Recv(r, tag)
+			}
+		}
+		return out
+	}
+	c.Send(root, tag, value)
+	return nil
+}
+
+// Allgather collects one value per rank on every rank.
+func (c *Comm) Allgather(value any) []any {
+	gathered := c.Gather(0, value)
+	res := c.Bcast(0, gathered)
+	return res.([]any)
+}
+
+// Scatter distributes values[r] from root to rank r and returns the local one.
+func (c *Comm) Scatter(root int, values []any) any {
+	const tag = -5
+	if c.rank == root {
+		if len(values) != c.Size() {
+			panic("mpi: scatter length mismatch")
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tag, values[r])
+			}
+		}
+		return values[root]
+	}
+	return c.Recv(root, tag)
+}
+
+// Alltoall exchanges values[d] to rank d and returns what each rank sent us.
+func (c *Comm) Alltoall(values []any) []any {
+	const tag = -6
+	if len(values) != c.Size() {
+		panic("mpi: alltoall length mismatch")
+	}
+	out := make([]any, c.Size())
+	out[c.rank] = values[c.rank]
+	done := make(chan struct{})
+	go func() {
+		for r := 0; r < c.Size(); r++ {
+			if r != c.rank {
+				out[r] = c.Recv(r, tag)
+			}
+		}
+		close(done)
+	}()
+	for r := 0; r < c.Size(); r++ {
+		if r != c.rank {
+			c.Send(r, tag, values[r])
+		}
+	}
+	<-done
+	return out
+}

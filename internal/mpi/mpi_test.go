@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qfw/internal/cluster"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7).([]float64)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("recv got %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		mine := []int{c.Rank()}
+		theirs := c.Sendrecv(1-c.Rank(), 3, mine).([]int)
+		if theirs[0] != 1-c.Rank() {
+			t.Errorf("rank %d got %v", c.Rank(), theirs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	w := NewWorld(4)
+	var before, after atomic.Int32
+	err := w.Run(func(c *Comm) error {
+		before.Add(1)
+		c.Barrier()
+		if before.Load() != 4 {
+			t.Errorf("rank %d passed barrier with before=%d", c.Rank(), before.Load())
+		}
+		after.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Load() != 4 {
+		t.Fatalf("after=%d", after.Load())
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		var v any
+		if c.Rank() == 2 {
+			v = "hello"
+		}
+		got := c.Bcast(2, v)
+		if got.(string) != "hello" {
+			t.Errorf("rank %d bcast got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(8)
+	err := w.Run(func(c *Comm) error {
+		got := c.AllreduceSum(float64(c.Rank()))
+		if math.Abs(got-28) > 1e-12 { // 0+1+...+7
+			t.Errorf("rank %d allreduce got %g", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		g := c.Gather(0, c.Rank()*10)
+		if c.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				if g[r].(int) != r*10 {
+					t.Errorf("gather[%d] = %v", r, g[r])
+				}
+			}
+		} else if g != nil {
+			t.Errorf("non-root gather returned %v", g)
+		}
+		var vals []any
+		if c.Rank() == 0 {
+			vals = []any{"a", "b", "c"}
+		}
+		mine := c.Scatter(0, vals)
+		want := string(rune('a' + c.Rank()))
+		if mine.(string) != want {
+			t.Errorf("rank %d scatter got %v", c.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		all := c.Allgather(c.Rank() * c.Rank())
+		for r := 0; r < 4; r++ {
+			if all[r].(int) != r*r {
+				t.Errorf("allgather[%d] = %v", r, all[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		vals := make([]any, 3)
+		for d := 0; d < 3; d++ {
+			vals[d] = c.Rank()*100 + d
+		}
+		got := c.Alltoall(vals)
+		for s := 0; s < 3; s++ {
+			if got[s].(int) != s*100+c.Rank() {
+				t.Errorf("rank %d alltoall[%d] = %v", c.Rank(), s, got[s])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchPanicsAndIsReported(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil)
+		} else {
+			c.Recv(0, 2)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected tag mismatch error")
+	}
+}
+
+func TestCostModelChargesInterNode(t *testing.T) {
+	places := []cluster.CorePlace{
+		{Node: 0, LLC: 0, Core: 0},
+		{Node: 1, LLC: 0, Core: 0},
+	}
+	net := cluster.Interconnect{InterNodeLatency: 5 * time.Millisecond}
+	var charged atomic.Int64
+	w := NewWorld(2,
+		WithPlacement(places, net),
+		WithSleeper(func(d time.Duration) { charged.Add(int64(d)) }))
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte{1, 2, 3})
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(charged.Load()) < 5*time.Millisecond {
+		t.Fatalf("inter-node transfer not charged: %v", time.Duration(charged.Load()))
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Rank 0 must not deadlock waiting: use no communication here.
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}

@@ -1,0 +1,61 @@
+package mps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+)
+
+func TestSimulateWithExpectation(t *testing.T) {
+	// <Z0> on RY(0.8)|0> ⊗ |0> is cos(0.8); <X1> on H|0> is 1.
+	c := circuit.New(2)
+	c.RY(0, circuit.Bound(0.8)).H(1)
+	h := &pauli.Hamiltonian{NQubits: 2}
+	h.Add(1.0, map[int]pauli.Op{0: pauli.Z})
+	h.Add(0.5, map[int]pauli.Op{1: pauli.X})
+	counts, truncErr, ev, err := SimulateWithExpectation(c, 64, 0, 0, rand.New(rand.NewSource(1)), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncErr != 0 {
+		t.Fatalf("trunc err %g", truncErr)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no counts")
+	}
+	want := math.Cos(0.8) + 0.5
+	if ev == nil || math.Abs(*ev-want) > 1e-9 {
+		t.Fatalf("<H> = %v, want %g", ev, want)
+	}
+}
+
+func TestSimulateWithoutObservable(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1)
+	_, _, ev, err := SimulateWithExpectation(c, 32, 0, 0, rand.New(rand.NewSource(2)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != nil {
+		t.Fatal("expectation returned without request")
+	}
+}
+
+func TestExpectationAfterSwapRouting(t *testing.T) {
+	// Long-range entanglement through swap routing must preserve <Z0 Z4>=1
+	// correlations of a GHZ-like pair.
+	c := circuit.New(5)
+	c.H(0).CX(0, 4)
+	h := &pauli.Hamiltonian{NQubits: 5}
+	h.Add(1.0, map[int]pauli.Op{0: pauli.Z, 4: pauli.Z})
+	_, _, ev, err := SimulateWithExpectation(c, 16, 0, 0, rand.New(rand.NewSource(3)), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev == nil || math.Abs(*ev-1) > 1e-9 {
+		t.Fatalf("<Z0Z4> = %v, want 1", ev)
+	}
+}

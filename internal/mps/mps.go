@@ -1,0 +1,593 @@
+// Package mps implements a matrix-product-state circuit simulator with a
+// maintained orthogonality center, truncated SVD bond compression, swap
+// routing for long-range gates, direct sampling, and Pauli expectation
+// values. It backs both the Qiskit Aer "matrix_product_state" sub-backend
+// and the TN-QVM "exatn-mps" backend in the framework.
+//
+// MPS excels on structured, low-entanglement circuits (the paper's TFIM
+// result) and degrades when long-range gates force swap chains or when
+// entanglement saturates the bond dimension.
+package mps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qfw/internal/circuit"
+	"qfw/internal/linalg"
+	"qfw/internal/pauli"
+)
+
+// site is a rank-3 tensor [chiL, 2, chiR], row-major: (l*2+s)*chiR + r.
+type site struct {
+	chiL, chiR int
+	data       []complex128
+}
+
+func newSite(chiL, chiR int) *site {
+	return &site{chiL: chiL, chiR: chiR, data: make([]complex128, chiL*2*chiR)}
+}
+
+func (t *site) at(l, s, r int) complex128     { return t.data[(l*2+s)*t.chiR+r] }
+func (t *site) set(l, s, r int, v complex128) { t.data[(l*2+s)*t.chiR+r] = v }
+
+// MPS is a matrix product state on N qubits. MaxBond and Cutoff control
+// truncation at two-qubit gate splits; TruncErr accumulates the discarded
+// probability weight.
+type MPS struct {
+	N        int
+	MaxBond  int
+	Cutoff   float64
+	TruncErr float64
+
+	sites  []*site
+	center int
+}
+
+// DefaultMaxBond matches the practical default of production MPS simulators.
+const DefaultMaxBond = 64
+
+// New returns |0...0> as an MPS.
+func New(n, maxBond int, cutoff float64) *MPS {
+	if n < 1 {
+		panic("mps: need at least one qubit")
+	}
+	if maxBond <= 0 {
+		maxBond = DefaultMaxBond
+	}
+	if cutoff <= 0 {
+		cutoff = 1e-12
+	}
+	m := &MPS{N: n, MaxBond: maxBond, Cutoff: cutoff, sites: make([]*site, n)}
+	for i := range m.sites {
+		t := newSite(1, 1)
+		t.set(0, 0, 0, 1)
+		m.sites[i] = t
+	}
+	return m
+}
+
+// BondDims returns the current bond dimensions (n-1 values).
+func (m *MPS) BondDims() []int {
+	out := make([]int, m.N-1)
+	for i := 0; i+1 < m.N; i++ {
+		out[i] = m.sites[i].chiR
+	}
+	return out
+}
+
+// MaxBondDim returns the largest current bond dimension.
+func (m *MPS) MaxBondDim() int {
+	mx := 1
+	for _, d := range m.BondDims() {
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// Apply1Q applies a 2x2 matrix to qubit q (gauge-preserving).
+func (m *MPS) Apply1Q(g [2][2]complex128, q int) {
+	t := m.sites[q]
+	for l := 0; l < t.chiL; l++ {
+		for r := 0; r < t.chiR; r++ {
+			a0 := t.at(l, 0, r)
+			a1 := t.at(l, 1, r)
+			t.set(l, 0, r, g[0][0]*a0+g[0][1]*a1)
+			t.set(l, 1, r, g[1][0]*a0+g[1][1]*a1)
+		}
+	}
+}
+
+// moveCenterTo sweeps the orthogonality center to site j using exact SVDs.
+func (m *MPS) moveCenterTo(j int) {
+	for m.center < j {
+		m.shiftRight()
+	}
+	for m.center > j {
+		m.shiftLeft()
+	}
+}
+
+func (m *MPS) shiftRight() {
+	c := m.center
+	t := m.sites[c]
+	mat := &linalg.Matrix{Rows: t.chiL * 2, Cols: t.chiR, Data: t.data}
+	u, s, v := linalg.SVD(mat)
+	k := rankOf(s, 1e-14)
+	// A_c <- U (left-canonical).
+	nt := newSite(t.chiL, k)
+	for row := 0; row < t.chiL*2; row++ {
+		for col := 0; col < k; col++ {
+			nt.data[row*k+col] = u.At(row, col)
+		}
+	}
+	m.sites[c] = nt
+	// Absorb S V^H into the next site.
+	next := m.sites[c+1]
+	nn := newSite(k, next.chiR)
+	for l := 0; l < k; l++ {
+		for ss := 0; ss < 2; ss++ {
+			for r := 0; r < next.chiR; r++ {
+				var acc complex128
+				for b := 0; b < next.chiL; b++ {
+					// (S V^H)[l][b] = s[l] * conj(v[b][l])
+					acc += complex(s[l], 0) * cmplx.Conj(v.At(b, l)) * next.at(b, ss, r)
+				}
+				nn.set(l, ss, r, acc)
+			}
+		}
+	}
+	m.sites[c+1] = nn
+	m.center = c + 1
+}
+
+func (m *MPS) shiftLeft() {
+	c := m.center
+	t := m.sites[c]
+	mat := &linalg.Matrix{Rows: t.chiL, Cols: 2 * t.chiR, Data: t.data}
+	u, s, v := linalg.SVD(mat)
+	k := rankOf(s, 1e-14)
+	// A_c <- V^H (right-canonical), shape [k, 2, chiR].
+	nt := newSite(k, t.chiR)
+	for l := 0; l < k; l++ {
+		for col := 0; col < 2*t.chiR; col++ {
+			nt.data[l*2*t.chiR+col] = cmplx.Conj(v.At(col, l))
+		}
+	}
+	m.sites[c] = nt
+	// Absorb U S into the previous site's right bond.
+	prev := m.sites[c-1]
+	np := newSite(prev.chiL, k)
+	for l := 0; l < prev.chiL; l++ {
+		for ss := 0; ss < 2; ss++ {
+			for r := 0; r < k; r++ {
+				var acc complex128
+				for b := 0; b < prev.chiR; b++ {
+					acc += prev.at(l, ss, b) * u.At(b, r) * complex(s[r], 0)
+				}
+				np.set(l, ss, r, acc)
+			}
+		}
+	}
+	m.sites[c-1] = np
+	m.center = c - 1
+}
+
+func rankOf(s []float64, tol float64) int {
+	if len(s) == 0 {
+		return 1
+	}
+	thresh := s[0] * tol
+	k := 0
+	for _, sv := range s {
+		if sv > thresh && sv > 1e-300 {
+			k++
+		}
+	}
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// ApplyTwoAdjacent applies a 4x4 gate to sites (i, i+1). The matrix basis is
+// |s_i s_{i+1}> with s_i the most significant bit. Truncation per MaxBond
+// and Cutoff happens here.
+func (m *MPS) ApplyTwoAdjacent(g *linalg.Matrix, i int) {
+	if g.Rows != 4 || g.Cols != 4 {
+		panic("mps: ApplyTwoAdjacent needs a 4x4 matrix")
+	}
+	m.moveCenterTo(i)
+	a, b := m.sites[i], m.sites[i+1]
+	chiL, chiR := a.chiL, b.chiR
+	mid := a.chiR
+	// theta[l, sa, sb, r]
+	theta := make([]complex128, chiL*2*2*chiR)
+	idx := func(l, sa, sb, r int) int { return ((l*2+sa)*2+sb)*chiR + r }
+	for l := 0; l < chiL; l++ {
+		for sa := 0; sa < 2; sa++ {
+			for k := 0; k < mid; k++ {
+				av := a.at(l, sa, k)
+				if av == 0 {
+					continue
+				}
+				for sb := 0; sb < 2; sb++ {
+					for r := 0; r < chiR; r++ {
+						theta[idx(l, sa, sb, r)] += av * b.at(k, sb, r)
+					}
+				}
+			}
+		}
+	}
+	// Apply the gate on the physical pair.
+	out := make([]complex128, len(theta))
+	for l := 0; l < chiL; l++ {
+		for r := 0; r < chiR; r++ {
+			for sa := 0; sa < 2; sa++ {
+				for sb := 0; sb < 2; sb++ {
+					var acc complex128
+					row := sa*2 + sb
+					for ta := 0; ta < 2; ta++ {
+						for tb := 0; tb < 2; tb++ {
+							gv := g.At(row, ta*2+tb)
+							if gv == 0 {
+								continue
+							}
+							acc += gv * theta[idx(l, ta, tb, r)]
+						}
+					}
+					out[idx(l, sa, sb, r)] = acc
+				}
+			}
+		}
+	}
+	// SVD split with truncation.
+	mat := &linalg.Matrix{Rows: chiL * 2, Cols: 2 * chiR, Data: out}
+	u, s, v := linalg.SVD(mat)
+	k := rankOf(s, m.Cutoff)
+	if k > m.MaxBond {
+		k = m.MaxBond
+	}
+	var kept, total float64
+	for i2, sv := range s {
+		total += sv * sv
+		if i2 < k {
+			kept += sv * sv
+		}
+	}
+	if total > 0 {
+		m.TruncErr += 1 - kept/total
+	}
+	renorm := 1.0
+	if kept > 0 {
+		renorm = math.Sqrt(total / kept)
+	}
+	na := newSite(chiL, k)
+	for row := 0; row < chiL*2; row++ {
+		for col := 0; col < k; col++ {
+			na.data[row*k+col] = u.At(row, col)
+		}
+	}
+	nb := newSite(k, chiR)
+	for l := 0; l < k; l++ {
+		sv := complex(s[l]*renorm, 0)
+		for col := 0; col < 2*chiR; col++ {
+			nb.data[l*2*chiR+col] = sv * cmplx.Conj(v.At(col, l))
+		}
+	}
+	m.sites[i] = na
+	m.sites[i+1] = nb
+	m.center = i + 1
+}
+
+// swapAdjacent swaps physical sites i and i+1.
+func (m *MPS) swapAdjacent(i int) {
+	m.ApplyTwoAdjacent(circuit.Matrix2Q(circuit.KindSWAP, 0), i)
+}
+
+// ApplyGate2 applies a 4x4 gate to arbitrary qubits (hi, lo basis |hi lo>),
+// routing with swaps when the qubits are not adjacent.
+func (m *MPS) ApplyGate2(g *linalg.Matrix, hi, lo int) {
+	a, b := hi, lo
+	flip := false
+	if a > b {
+		a, b = b, a
+		flip = !flip // gate expects hi first; chain position of hi is now right
+	}
+	// Move qubit at position a right until adjacent to b.
+	for pos := a; pos+1 < b; pos++ {
+		m.swapAdjacent(pos)
+	}
+	left := b - 1
+	gate := g
+	if flip {
+		gate = permute2Q(g)
+	}
+	m.ApplyTwoAdjacent(gate, left)
+	for pos := b - 2; pos >= a; pos-- {
+		m.swapAdjacent(pos)
+	}
+}
+
+// permute2Q swaps the tensor factors of a 4x4 gate matrix: basis |ab> -> |ba>.
+func permute2Q(g *linalg.Matrix) *linalg.Matrix {
+	out := linalg.New(4, 4)
+	perm := [4]int{0, 2, 1, 3}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			out.Set(perm[r], perm[c], g.At(r, c))
+		}
+	}
+	return out
+}
+
+// MPSGateSet lists the gates the engine executes natively.
+func MPSGateSet() circuit.GateSet {
+	set := circuit.BasicGateSet()
+	set[circuit.KindSWAP] = true
+	set[circuit.KindRZZ] = true
+	set[circuit.KindRXX] = true
+	return set
+}
+
+// ApplyGate dispatches a bound gate; >=3-qubit gates must be transpiled away
+// before reaching the engine.
+func (m *MPS) ApplyGate(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.KindBarrier, circuit.KindI, circuit.KindMeasure, circuit.KindReset:
+		return nil // terminal measurement handled by sampling
+	case circuit.KindUnitary:
+		switch len(g.Qubits) {
+		case 1:
+			m.Apply1Q([2][2]complex128{
+				{g.Matrix.At(0, 0), g.Matrix.At(0, 1)},
+				{g.Matrix.At(1, 0), g.Matrix.At(1, 1)}}, g.Qubits[0])
+			return nil
+		case 2:
+			m.ApplyGate2(g.Matrix, g.Qubits[0], g.Qubits[1])
+			return nil
+		}
+		return fmt.Errorf("mps: dense unitary on %d qubits not supported; transpile first", len(g.Qubits))
+	}
+	var theta float64
+	if g.Kind.NumParams() == 1 {
+		theta = g.Angle()
+	}
+	switch g.Kind.NumQubits() {
+	case 1:
+		m.Apply1Q(circuit.Matrix1Q(g.Kind, theta), g.Qubits[0])
+		return nil
+	case 2:
+		m.ApplyGate2(circuit.Matrix2Q(g.Kind, theta), g.Qubits[0], g.Qubits[1])
+		return nil
+	}
+	return fmt.Errorf("mps: unsupported gate %s; transpile first", g.Kind.Name())
+}
+
+// Run applies a whole (bound) circuit, transpiling unsupported gates.
+func (m *MPS) Run(c *circuit.Circuit) error {
+	tc := circuit.Transpile(c, MPSGateSet())
+	for _, g := range tc.Gates {
+		if err := m.ApplyGate(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sample draws shots bitstrings from the MPS distribution. Keys follow the
+// Qiskit convention (qubit 0 rightmost).
+func (m *MPS) Sample(shots int, rng *rand.Rand) map[string]int {
+	m.moveCenterTo(0)
+	counts := make(map[string]int, 16)
+	key := make([]byte, m.N)
+	for shot := 0; shot < shots; shot++ {
+		// Conditioned left vector over the running bond.
+		left := []complex128{1}
+		for i := 0; i < m.N; i++ {
+			t := m.sites[i]
+			v0 := condVec(left, t, 0)
+			v1 := condVec(left, t, 1)
+			p0 := norm2(v0)
+			p1 := norm2(v1)
+			total := p0 + p1
+			s := 0
+			if total <= 0 {
+				s = 0
+				v0 = []complex128{1}
+			} else if rng.Float64()*total < p1 {
+				s = 1
+			}
+			if s == 0 {
+				left = normalize(v0)
+				key[m.N-1-i] = '0'
+			} else {
+				left = normalize(v1)
+				key[m.N-1-i] = '1'
+			}
+		}
+		counts[string(key)]++
+	}
+	return counts
+}
+
+func condVec(left []complex128, t *site, s int) []complex128 {
+	out := make([]complex128, t.chiR)
+	for l := 0; l < t.chiL; l++ {
+		lv := left[l]
+		if lv == 0 {
+			continue
+		}
+		for r := 0; r < t.chiR; r++ {
+			out[r] += lv * t.at(l, s, r)
+		}
+	}
+	return out
+}
+
+func norm2(v []complex128) float64 {
+	var acc float64
+	for _, x := range v {
+		acc += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return acc
+}
+
+func normalize(v []complex128) []complex128 {
+	n := math.Sqrt(norm2(v))
+	if n == 0 {
+		return v
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Norm returns ||psi||, computed by a full transfer contraction (gauge-free).
+func (m *MPS) Norm() float64 {
+	e := m.transfer(nil)
+	return math.Sqrt(math.Abs(real(e)))
+}
+
+// ExpectationPauliString returns <psi| P |psi>.
+func (m *MPS) ExpectationPauliString(p pauli.String) float64 {
+	ops := make([]*linalg.Matrix, m.N)
+	for q, op := range p.Ops {
+		switch op {
+		case pauli.X:
+			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindX, 0))
+		case pauli.Y:
+			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindY, 0))
+		case pauli.Z:
+			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindZ, 0))
+		}
+	}
+	return p.Coeff * real(m.transfer(ops))
+}
+
+// ExpectationHamiltonian returns <psi| H |psi>.
+func (m *MPS) ExpectationHamiltonian(h *pauli.Hamiltonian) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		e += m.ExpectationPauliString(t)
+	}
+	return e
+}
+
+// transfer contracts <psi| O |psi> where O is a product of per-site 1-qubit
+// operators (nil entries mean identity; ops == nil means all identity).
+func (m *MPS) transfer(ops []*linalg.Matrix) complex128 {
+	// env[l'][l] accumulates the contraction of conj(A) (top) with A (bottom).
+	env := []complex128{1} // 1x1
+	rows := 1
+	for i := 0; i < m.N; i++ {
+		t := m.sites[i]
+		var op *linalg.Matrix
+		if ops != nil {
+			op = ops[i]
+		}
+		nr := t.chiR
+		nenv := make([]complex128, nr*nr)
+		for lp := 0; lp < t.chiL; lp++ {
+			for l := 0; l < t.chiL; l++ {
+				ev := env[lp*rows+l]
+				if ev == 0 {
+					continue
+				}
+				for sp := 0; sp < 2; sp++ {
+					for s := 0; s < 2; s++ {
+						var ov complex128
+						if op == nil {
+							if sp != s {
+								continue
+							}
+							ov = 1
+						} else {
+							ov = op.At(sp, s)
+							if ov == 0 {
+								continue
+							}
+						}
+						for rp := 0; rp < nr; rp++ {
+							av := cmplx.Conj(t.at(lp, sp, rp))
+							if av == 0 {
+								continue
+							}
+							coef := ev * ov * av
+							for r := 0; r < nr; r++ {
+								nenv[rp*nr+r] += coef * t.at(l, s, r)
+							}
+						}
+					}
+				}
+			}
+		}
+		env = nenv
+		rows = nr
+	}
+	return env[0]
+}
+
+// Amplitudes materializes the full 2^N state vector (small N only; used by
+// tests to cross-check against the state-vector engine). Qubit 0 is the
+// least-significant index bit, matching package statevec.
+func (m *MPS) Amplitudes() []complex128 {
+	if m.N > 20 {
+		panic("mps: Amplitudes beyond 20 qubits")
+	}
+	dim := 1 << uint(m.N)
+	out := make([]complex128, dim)
+	for idx := 0; idx < dim; idx++ {
+		vec := []complex128{1}
+		for i := 0; i < m.N; i++ {
+			s := (idx >> uint(i)) & 1
+			t := m.sites[i]
+			nv := make([]complex128, t.chiR)
+			for l := 0; l < t.chiL; l++ {
+				if vec[l] == 0 {
+					continue
+				}
+				for r := 0; r < t.chiR; r++ {
+					nv[r] += vec[l] * t.at(l, s, r)
+				}
+			}
+			vec = nv
+		}
+		out[idx] = vec[0]
+	}
+	return out
+}
+
+// Simulate is the backend entry point: run the circuit and sample counts.
+func Simulate(c *circuit.Circuit, shots, maxBond int, cutoff float64, rng *rand.Rand) (map[string]int, float64, error) {
+	counts, truncErr, _, err := SimulateWithExpectation(c, shots, maxBond, cutoff, rng, nil)
+	return counts, truncErr, err
+}
+
+// SimulateWithExpectation additionally evaluates <H> over the final state
+// when a Hamiltonian is supplied (exact transfer-matrix contraction, no
+// shot noise).
+func SimulateWithExpectation(c *circuit.Circuit, shots, maxBond int, cutoff float64, rng *rand.Rand, h *pauli.Hamiltonian) (map[string]int, float64, *float64, error) {
+	if !c.IsBound() {
+		return nil, 0, nil, fmt.Errorf("mps: circuit has unbound parameters")
+	}
+	m := New(c.NQubits, maxBond, cutoff)
+	if err := m.Run(c.StripMeasurements()); err != nil {
+		return nil, 0, nil, err
+	}
+	if shots <= 0 {
+		shots = 1024
+	}
+	var expVal *float64
+	if h != nil {
+		v := m.ExpectationHamiltonian(h)
+		expVal = &v
+	}
+	return m.Sample(shots, rng), m.TruncErr, expVal, nil
+}

@@ -1,0 +1,226 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+	"qfw/internal/statevec"
+)
+
+func TestGHZBondDimension(t *testing.T) {
+	c := circuit.New(8)
+	c.H(0)
+	for i := 0; i+1 < 8; i++ {
+		c.CX(i, i+1)
+	}
+	m := New(8, 0, 0)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	// GHZ has Schmidt rank 2 across every cut.
+	for i, d := range m.BondDims() {
+		if d > 2 {
+			t.Fatalf("bond %d has dim %d, want <=2", i, d)
+		}
+	}
+	if math.Abs(m.Norm()-1) > 1e-9 {
+		t.Fatalf("norm %g", m.Norm())
+	}
+}
+
+func TestGHZSampling(t *testing.T) {
+	c := circuit.New(5)
+	c.H(0)
+	for i := 0; i+1 < 5; i++ {
+		c.CX(i, i+1)
+	}
+	counts, trunc, err := Simulate(c, 2000, 0, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc > 1e-9 {
+		t.Fatalf("GHZ should not truncate, err %g", trunc)
+	}
+	for key := range counts {
+		if key != "00000" && key != "11111" {
+			t.Fatalf("GHZ sample %q", key)
+		}
+	}
+	if counts["00000"] < 800 || counts["11111"] < 800 {
+		t.Fatalf("GHZ counts skewed %v", counts)
+	}
+}
+
+func randomCircuit(n, depth int, rng *rand.Rand) *circuit.Circuit {
+	kinds := []circuit.Kind{circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindS,
+		circuit.KindT, circuit.KindRX, circuit.KindRY, circuit.KindRZ, circuit.KindP,
+		circuit.KindCX, circuit.KindCZ, circuit.KindCRZ, circuit.KindSWAP,
+		circuit.KindRZZ, circuit.KindRXX, circuit.KindCCX}
+	c := circuit.New(n)
+	for i := 0; i < depth; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		if k.NumQubits() > n {
+			continue
+		}
+		qs := rng.Perm(n)[:k.NumQubits()]
+		g := circuit.Gate{Kind: k, Qubits: qs}
+		for j := 0; j < k.NumParams(); j++ {
+			g.Params = append(g.Params, circuit.Bound(rng.NormFloat64()*2))
+		}
+		c.Append(g)
+	}
+	return c
+}
+
+func TestQuickMatchesStatevector(t *testing.T) {
+	// Property: with no truncation, the MPS amplitudes equal the dense state
+	// vector up to global phase for arbitrary circuits (incl. long-range
+	// gates routed through swaps and CCX via transpile).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		c := randomCircuit(n, 25, rng)
+		m := New(n, 1024, 1e-14)
+		if err := m.Run(c); err != nil {
+			return false
+		}
+		got := m.Amplitudes()
+		s, _ := statevec.RunCircuit(circuit.Transpile(c, MPSGateSet()), 1, rand.New(rand.NewSource(0)))
+		var overlap complex128
+		for i := range got {
+			overlap += cmplx.Conj(s.Amp[i]) * got[i]
+		}
+		return math.Abs(cmplx.Abs(overlap)-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		c := randomCircuit(n, 20, rng)
+		m := New(n, 1024, 1e-14)
+		if err := m.Run(c); err != nil {
+			return false
+		}
+		return math.Abs(m.Norm()-1) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncationTracksError(t *testing.T) {
+	// A deep random circuit with tiny max bond must record truncation error
+	// but keep the state normalized.
+	rng := rand.New(rand.NewSource(4))
+	c := randomCircuit(8, 120, rng)
+	m := New(8, 4, 1e-12)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if m.TruncErr <= 0 {
+		t.Fatal("expected nonzero truncation error at bond 4")
+	}
+	if math.Abs(m.Norm()-1) > 1e-6 {
+		t.Fatalf("truncated state should stay normalized, norm %g", m.Norm())
+	}
+}
+
+func TestExpectationMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 4
+	c := randomCircuit(n, 25, rng)
+	m := New(n, 1024, 1e-14)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := statevec.RunCircuit(circuit.Transpile(c, MPSGateSet()), 1, rand.New(rand.NewSource(0)))
+	h := pauli.TFIM(n, 0.7, 0.9)
+	got := m.ExpectationHamiltonian(h)
+	want := s.ExpectationHamiltonian(h)
+	if math.Abs(got-want) > 1e-7 {
+		t.Fatalf("MPS expectation %g vs statevector %g", got, want)
+	}
+}
+
+func TestLongRangeGateRouting(t *testing.T) {
+	// CX(0, 4) on |+0000> must produce a Bell-like state between 0 and 4.
+	c := circuit.New(5)
+	c.H(0).CX(0, 4)
+	m := New(5, 0, 0)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	amps := m.Amplitudes()
+	want := 1 / math.Sqrt2
+	if cmplx.Abs(amps[0]-complex(want, 0)) > 1e-9 {
+		t.Fatalf("amp[00000] = %v", amps[0])
+	}
+	if cmplx.Abs(amps[17]-complex(want, 0)) > 1e-9 { // bit0 + bit4 = 17
+		t.Fatalf("amp[10001] = %v", amps[17])
+	}
+}
+
+func TestReversedQubitOrderGate(t *testing.T) {
+	// CX with control above target (qubits [3, 1]) must match statevector.
+	c := circuit.New(4)
+	c.H(3).CX(3, 1)
+	m := New(4, 0, 0)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Amplitudes()
+	s, _ := statevec.RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	for i := range got {
+		if cmplx.Abs(got[i]-s.Amp[i]) > 1e-9 {
+			t.Fatalf("amp[%d]: %v vs %v", i, got[i], s.Amp[i])
+		}
+	}
+}
+
+func TestTFIMTrotterBondGrowth(t *testing.T) {
+	// Nearest-neighbour TFIM evolution keeps bonds modest — the structural
+	// reason Aer-MPS wins the paper's TFIM benchmark.
+	h := pauli.TFIM(12, 1.0, 0.5)
+	c := h.TrotterCircuit(0.5, 4)
+	m := New(12, 0, 1e-10)
+	if err := m.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if bd := m.MaxBondDim(); bd > 32 {
+		t.Fatalf("TFIM bond dimension blew up: %d", bd)
+	}
+	if math.Abs(m.Norm()-1) > 1e-6 {
+		t.Fatalf("norm %g", m.Norm())
+	}
+}
+
+func TestUnboundCircuitRejected(t *testing.T) {
+	c := circuit.New(2)
+	c.RX(0, circuit.Sym("a", 1))
+	if _, _, err := Simulate(c, 10, 0, 0, rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("expected unbound parameter error")
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	c := circuit.New(2)
+	c.RY(0, circuit.Bound(2*math.Asin(math.Sqrt(0.3))))
+	counts, _, err := Simulate(c, 20000, 0, 0, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(counts["01"]) / 20000
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("P(q0=1) = %g, want 0.3", frac)
+	}
+}

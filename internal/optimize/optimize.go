@@ -1,0 +1,252 @@
+// Package optimize provides the classical optimizers of the hybrid loops:
+// derivative-free Nelder-Mead and SPSA for variational parameter updates,
+// plus simulated annealing and exact brute force over QUBOs — the latter two
+// standing in for the D-Wave hybrid annealing solver the paper references
+// QAOA solution fidelity against (Fig. 3f).
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"qfw/internal/qubo"
+)
+
+// Objective is a function to minimize.
+type Objective func(x []float64) float64
+
+// NMOptions tune Nelder-Mead.
+type NMOptions struct {
+	MaxEvals int     // default 200
+	InitStep float64 // simplex size, default 0.5
+	Tol      float64 // spread tolerance, default 1e-6
+}
+
+// NelderMead minimizes f starting from x0 with the standard
+// reflection/expansion/contraction/shrink simplex method. It returns the
+// best point, its value, and the number of function evaluations used.
+func NelderMead(f Objective, x0 []float64, opts NMOptions) ([]float64, float64, int) {
+	n := len(x0)
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 200
+	}
+	if opts.InitStep == 0 {
+		opts.InitStep = 0.5
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{append([]float64(nil), x0...), eval(x0)}
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += opts.InitStep
+		simplex[i+1] = vertex{x, eval(x)}
+	}
+	sortSimplex := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	for evals < opts.MaxEvals {
+		sortSimplex()
+		if simplex[n].f-simplex[0].f < opts.Tol {
+			break
+		}
+		// Centroid of all but worst.
+		cen := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for i := range cen {
+				cen[i] += v.x[i] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		reflect := make([]float64, n)
+		for i := range reflect {
+			reflect[i] = cen[i] + (cen[i] - worst.x[i])
+		}
+		fr := eval(reflect)
+		switch {
+		case fr < simplex[0].f:
+			// Try expansion.
+			expand := make([]float64, n)
+			for i := range expand {
+				expand[i] = cen[i] + 2*(cen[i]-worst.x[i])
+			}
+			fe := eval(expand)
+			if fe < fr {
+				simplex[n] = vertex{expand, fe}
+			} else {
+				simplex[n] = vertex{reflect, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{reflect, fr}
+		default:
+			// Contraction.
+			contract := make([]float64, n)
+			for i := range contract {
+				contract[i] = cen[i] + 0.5*(worst.x[i]-cen[i])
+			}
+			fc := eval(contract)
+			if fc < worst.f {
+				simplex[n] = vertex{contract, fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for k := range simplex[i].x {
+						simplex[i].x[k] = simplex[0].x[k] + 0.5*(simplex[i].x[k]-simplex[0].x[k])
+					}
+					simplex[i].f = eval(simplex[i].x)
+					if evals >= opts.MaxEvals {
+						break
+					}
+				}
+			}
+		}
+	}
+	sortSimplex()
+	return simplex[0].x, simplex[0].f, evals
+}
+
+// SPSA minimizes f with simultaneous-perturbation stochastic approximation,
+// the standard optimizer for noisy (shot-sampled) objectives.
+func SPSA(f Objective, x0 []float64, iters int, rng *rand.Rand) ([]float64, float64) {
+	if iters <= 0 {
+		iters = 100
+	}
+	x := append([]float64(nil), x0...)
+	n := len(x)
+	const a0, c0, alpha, gamma = 0.2, 0.15, 0.602, 0.101
+	for k := 1; k <= iters; k++ {
+		ak := a0 / math.Pow(float64(k), alpha)
+		ck := c0 / math.Pow(float64(k), gamma)
+		delta := make([]float64, n)
+		for i := range delta {
+			if rng.Intn(2) == 0 {
+				delta[i] = 1
+			} else {
+				delta[i] = -1
+			}
+		}
+		xp := make([]float64, n)
+		xm := make([]float64, n)
+		for i := range x {
+			xp[i] = x[i] + ck*delta[i]
+			xm[i] = x[i] - ck*delta[i]
+		}
+		g := (f(xp) - f(xm)) / (2 * ck)
+		for i := range x {
+			x[i] -= ak * g / delta[i]
+		}
+	}
+	return x, f(x)
+}
+
+// SimulatedAnnealing minimizes a QUBO with single-bit-flip Metropolis moves
+// over a geometric temperature schedule. This is the classical reference
+// solver standing in for the D-Wave hybrid annealer in fidelity comparisons.
+func SimulatedAnnealing(q *qubo.QUBO, sweeps int, rng *rand.Rand) ([]int, float64) {
+	if sweeps <= 0 {
+		sweeps = 200
+	}
+	bits := make([]int, q.N)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	energy := q.Energy(bits)
+	best := append([]int(nil), bits...)
+	bestE := energy
+	tHot, tCold := 2.0, 0.01
+	for s := 0; s < sweeps; s++ {
+		frac := float64(s) / float64(sweeps-1+1)
+		temp := tHot * math.Pow(tCold/tHot, frac)
+		for i := 0; i < q.N; i++ {
+			// Energy delta of flipping bit i: E = x^T Q x.
+			delta := flipDelta(q, bits, i)
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				bits[i] ^= 1
+				energy += delta
+				if energy < bestE {
+					bestE = energy
+					copy(best, bits)
+				}
+			}
+		}
+	}
+	return best, bestE
+}
+
+// flipDelta returns E(x with bit i flipped) - E(x) in O(N).
+func flipDelta(q *qubo.QUBO, bits []int, i int) float64 {
+	// Contribution of variable i: Q_ii x_i + 2 x_i Σ_{j!=i} Q_ij x_j.
+	var cross float64
+	for j := 0; j < q.N; j++ {
+		if j != i && bits[j] == 1 {
+			cross += q.Q[i][j]
+		}
+	}
+	cur := 0.0
+	if bits[i] == 1 {
+		cur = q.Q[i][i] + 2*cross
+	}
+	next := 0.0
+	if bits[i] == 0 {
+		next = q.Q[i][i] + 2*cross
+	}
+	return next - cur
+}
+
+// BruteForce finds the exact minimum of a QUBO by enumeration (N <= 22).
+func BruteForce(q *qubo.QUBO) ([]int, float64) {
+	if q.N > 22 {
+		panic("optimize: brute force beyond 22 variables")
+	}
+	best := make([]int, q.N)
+	bits := make([]int, q.N)
+	bestE := math.Inf(1)
+	for mask := 0; mask < 1<<uint(q.N); mask++ {
+		for i := 0; i < q.N; i++ {
+			bits[i] = (mask >> uint(i)) & 1
+		}
+		if e := q.Energy(bits); e < bestE {
+			bestE = e
+			copy(best, bits)
+		}
+	}
+	return best, bestE
+}
+
+// Reference returns the best-known solution for fidelity comparisons:
+// exact for small instances, simulated annealing with generous sweeps
+// otherwise (the D-Wave stand-in).
+func Reference(q *qubo.QUBO, rng *rand.Rand) ([]int, float64) {
+	if q.N <= 20 {
+		return BruteForce(q)
+	}
+	return SimulatedAnnealing(q, 600, rng)
+}
+
+// SolutionQuality maps an achieved energy onto [0, 1] against the reference
+// best and the worst sampled energy: 1 means optimal. This is the fidelity
+// metric reported in Fig. 3f (referenced there to a D-Wave solver).
+func SolutionQuality(achieved, best, worst float64) float64 {
+	if worst <= best {
+		return 1
+	}
+	fid := (worst - achieved) / (worst - best)
+	if fid < 0 {
+		return 0
+	}
+	if fid > 1 {
+		return 1
+	}
+	return fid
+}

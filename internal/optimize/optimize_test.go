@@ -1,0 +1,124 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/qubo"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-1)*(x[0]-1) + 2*(x[1]+0.5)*(x[1]+0.5)
+	}
+	x, fx, evals := NelderMead(f, []float64{3, 3}, NMOptions{MaxEvals: 400})
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]+0.5) > 1e-3 {
+		t.Fatalf("minimum at %v", x)
+	}
+	if fx > 1e-5 {
+		t.Fatalf("f = %g", fx)
+	}
+	if evals > 400 {
+		t.Fatalf("evals %d exceeded budget", evals)
+	}
+}
+
+func TestNelderMeadRosenbrockProgress(t *testing.T) {
+	f := func(x []float64) float64 {
+		return 100*math.Pow(x[1]-x[0]*x[0], 2) + math.Pow(1-x[0], 2)
+	}
+	start := []float64{-1.2, 1}
+	x, fx, _ := NelderMead(f, start, NMOptions{MaxEvals: 2000, InitStep: 0.3})
+	if fx >= f(start) {
+		t.Fatalf("no progress: f=%g at %v", fx, x)
+	}
+	if fx > 1 {
+		t.Fatalf("Rosenbrock got stuck at %g", fx)
+	}
+}
+
+func TestSPSAOnNoisyQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	noisy := func(x []float64) float64 {
+		return x[0]*x[0] + x[1]*x[1] + 0.01*rng.NormFloat64()
+	}
+	x, _ := SPSA(noisy, []float64{2, -2}, 400, rng)
+	if math.Abs(x[0]) > 0.4 || math.Abs(x[1]) > 0.4 {
+		t.Fatalf("SPSA ended at %v", x)
+	}
+}
+
+func TestBruteForceExact(t *testing.T) {
+	q := qubo.New(3)
+	q.Q[0][0] = -1
+	q.Q[1][1] = 2
+	q.Set(0, 2, -1.5)
+	bits, e := BruteForce(q)
+	// Optimal: x0=1, x2=1 (gain -1 - 3), x1=0: E = -1 + 2*(-1.5) = -4.
+	if bits[0] != 1 || bits[1] != 0 || bits[2] != 1 {
+		t.Fatalf("bits %v", bits)
+	}
+	if math.Abs(e+4) > 1e-12 {
+		t.Fatalf("E = %g, want -4", e)
+	}
+}
+
+func TestSimulatedAnnealingFindsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		q := qubo.Random(12, 0.6, 1, rng)
+		_, exact := BruteForce(q)
+		_, got := SimulatedAnnealing(q, 400, rng)
+		if got > exact+1e-9 {
+			// SA is a heuristic; allow near-misses but not gross failures.
+			if (got-exact)/math.Max(1, math.Abs(exact)) > 0.05 {
+				t.Fatalf("trial %d: SA %g vs exact %g", trial, got, exact)
+			}
+		}
+	}
+}
+
+func TestFlipDeltaConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := qubo.Random(10, 0.7, 1, rng)
+	bits := make([]int, 10)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	for i := 0; i < 10; i++ {
+		before := q.Energy(bits)
+		delta := flipDelta(q, bits, i)
+		bits[i] ^= 1
+		after := q.Energy(bits)
+		bits[i] ^= 1
+		if math.Abs((after-before)-delta) > 1e-9 {
+			t.Fatalf("flip delta wrong at %d: %g vs %g", i, delta, after-before)
+		}
+	}
+}
+
+func TestReferenceSmallUsesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := qubo.Random(8, 0.5, 1, rng)
+	_, exact := BruteForce(q)
+	_, ref := Reference(q, rng)
+	if math.Abs(ref-exact) > 1e-12 {
+		t.Fatalf("reference %g vs exact %g", ref, exact)
+	}
+}
+
+func TestSolutionQuality(t *testing.T) {
+	if q := SolutionQuality(-10, -10, 5); q != 1 {
+		t.Fatalf("optimal quality %g", q)
+	}
+	if q := SolutionQuality(5, -10, 5); q != 0 {
+		t.Fatalf("worst quality %g", q)
+	}
+	if q := SolutionQuality(-2.5, -10, 5); math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("mid quality %g", q)
+	}
+	if q := SolutionQuality(0, 0, 0); q != 1 {
+		t.Fatalf("degenerate quality %g", q)
+	}
+}

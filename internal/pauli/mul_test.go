@@ -1,0 +1,80 @@
+package pauli
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qfw/internal/linalg"
+)
+
+func randomString(n int, rng *rand.Rand) String {
+	ops := []Op{I, X, Y, Z}
+	s := String{Coeff: rng.NormFloat64(), Ops: make([]Op, n)}
+	for i := range s.Ops {
+		s.Ops[i] = ops[rng.Intn(4)]
+	}
+	return s
+}
+
+// denseOf materializes a Pauli string as a matrix (qubit 0 = LSB).
+func denseOf(s String) *linalg.Matrix {
+	m := linalg.Identity(1)
+	for q := len(s.Ops) - 1; q >= 0; q-- {
+		m = linalg.Kron(m, opMatrix(s.Ops[q]))
+	}
+	return linalg.Scale(complex(s.Coeff, 0), m)
+}
+
+func TestQuickMulMatchesDense(t *testing.T) {
+	// Property: symbolic Pauli multiplication agrees with dense matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := randomString(n, rng)
+		b := randomString(n, rng)
+		prod, phase := Mul(a, b)
+		sym := linalg.Scale(phase, denseOf(prod))
+		dense := linalg.MatMul(denseOf(a), denseOf(b))
+		return linalg.MaxAbsDiff(sym, dense) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulOpsTable(t *testing.T) {
+	cases := []struct {
+		a, b  Op
+		want  Op
+		phase complex128
+	}{
+		{I, X, X, 1}, {X, I, X, 1}, {X, X, I, 1},
+		{X, Y, Z, complex(0, 1)}, {Y, X, Z, complex(0, -1)},
+		{Y, Z, X, complex(0, 1)}, {Z, Y, X, complex(0, -1)},
+		{Z, X, Y, complex(0, 1)}, {X, Z, Y, complex(0, -1)},
+	}
+	for _, tc := range cases {
+		got, ph := MulOps(tc.a, tc.b)
+		if got != tc.want || cmplx.Abs(ph-tc.phase) > 1e-15 {
+			t.Fatalf("%c*%c = %c phase %v, want %c phase %v", tc.a, tc.b, got, ph, tc.want, tc.phase)
+		}
+	}
+}
+
+func TestOpsKey(t *testing.T) {
+	s := NewString(3, 1, map[int]Op{0: X, 2: Z})
+	if s.OpsKey() != "XIZ" {
+		t.Fatalf("key %q", s.OpsKey())
+	}
+}
+
+func TestMulWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewString(2, 1, nil), NewString(3, 1, nil))
+}

@@ -1,0 +1,331 @@
+// Package pauli provides Pauli-string algebra and the spin Hamiltonians used
+// by the paper's workloads: transverse-field Ising models (TFIM) for the HAM
+// and TFIM benchmarks, Ising cost operators for QAOA, and first-order
+// Trotterization into circuits.
+package pauli
+
+import (
+	"fmt"
+	"strings"
+
+	"qfw/internal/circuit"
+	"qfw/internal/linalg"
+)
+
+// Op is a single-qubit Pauli operator.
+type Op byte
+
+// Pauli operators.
+const (
+	I Op = 'I'
+	X Op = 'X'
+	Y Op = 'Y'
+	Z Op = 'Z'
+)
+
+// String is a Pauli string: one Op per qubit with a real coefficient.
+type String struct {
+	Coeff float64
+	Ops   []Op
+}
+
+// NewString builds a Pauli string on n qubits from sparse (qubit, op) pairs.
+func NewString(n int, coeff float64, terms map[int]Op) String {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = I
+	}
+	for q, op := range terms {
+		if q < 0 || q >= n {
+			panic(fmt.Sprintf("pauli: qubit %d out of range", q))
+		}
+		ops[q] = op
+	}
+	return String{Coeff: coeff, Ops: ops}
+}
+
+// Weight returns the number of non-identity operators.
+func (s String) Weight() int {
+	w := 0
+	for _, op := range s.Ops {
+		if op != I {
+			w++
+		}
+	}
+	return w
+}
+
+// Support returns the qubits with non-identity operators.
+func (s String) Support() []int {
+	var q []int
+	for i, op := range s.Ops {
+		if op != I {
+			q = append(q, i)
+		}
+	}
+	return q
+}
+
+func (s String) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+.4g*", s.Coeff)
+	for _, op := range s.Ops {
+		b.WriteByte(byte(op))
+	}
+	return b.String()
+}
+
+// MulOps multiplies two single-qubit Pauli operators, returning the product
+// operator and its phase (1, ±i, or -1... the phase is one of {1, i, -1, -i}).
+func MulOps(a, b Op) (Op, complex128) {
+	if a == I {
+		return b, 1
+	}
+	if b == I {
+		return a, 1
+	}
+	if a == b {
+		return I, 1
+	}
+	// Cyclic rules: XY=iZ, YZ=iX, ZX=iY; reversed order negates.
+	switch {
+	case a == X && b == Y:
+		return Z, complex(0, 1)
+	case a == Y && b == X:
+		return Z, complex(0, -1)
+	case a == Y && b == Z:
+		return X, complex(0, 1)
+	case a == Z && b == Y:
+		return X, complex(0, -1)
+	case a == Z && b == X:
+		return Y, complex(0, 1)
+	case a == X && b == Z:
+		return Y, complex(0, -1)
+	}
+	panic("pauli: unreachable op product")
+}
+
+// Mul multiplies two Pauli strings of equal width: a·b = phase · result,
+// where result carries coefficient a.Coeff*b.Coeff and phase accumulates the
+// per-qubit operator phases.
+func Mul(a, b String) (String, complex128) {
+	if len(a.Ops) != len(b.Ops) {
+		panic("pauli: width mismatch in Mul")
+	}
+	out := String{Coeff: a.Coeff * b.Coeff, Ops: make([]Op, len(a.Ops))}
+	phase := complex(1, 0)
+	for i := range a.Ops {
+		op, ph := MulOps(a.Ops[i], b.Ops[i])
+		out.Ops[i] = op
+		phase *= ph
+	}
+	return out, phase
+}
+
+// OpsKey renders the operator part as a comparable string ("IXZY...").
+func (s String) OpsKey() string {
+	b := make([]byte, len(s.Ops))
+	for i, op := range s.Ops {
+		b[i] = byte(op)
+	}
+	return string(b)
+}
+
+// Hamiltonian is a weighted sum of Pauli strings on NQubits qubits.
+type Hamiltonian struct {
+	NQubits int
+	Terms   []String
+}
+
+// Add appends coeff * P(terms) to the Hamiltonian.
+func (h *Hamiltonian) Add(coeff float64, terms map[int]Op) {
+	h.Terms = append(h.Terms, NewString(h.NQubits, coeff, terms))
+}
+
+// TFIM returns the 1D transverse-field Ising Hamiltonian
+// H = -J Σ Z_i Z_{i+1} - h Σ X_i (open boundary), the model behind both the
+// TFIM and the SupermarQ Hamiltonian-simulation workloads.
+func TFIM(n int, j, hx float64) *Hamiltonian {
+	h := &Hamiltonian{NQubits: n}
+	for i := 0; i+1 < n; i++ {
+		h.Add(-j, map[int]Op{i: Z, i + 1: Z})
+	}
+	for i := 0; i < n; i++ {
+		h.Add(-hx, map[int]Op{i: X})
+	}
+	return h
+}
+
+// Heisenberg returns the 1D XXZ Heisenberg Hamiltonian
+// H = Σ (Jx X_i X_{i+1} + Jy Y_i Y_{i+1} + Jz Z_i Z_{i+1}).
+func Heisenberg(n int, jx, jy, jz float64) *Hamiltonian {
+	h := &Hamiltonian{NQubits: n}
+	for i := 0; i+1 < n; i++ {
+		h.Add(jx, map[int]Op{i: X, i + 1: X})
+		h.Add(jy, map[int]Op{i: Y, i + 1: Y})
+		h.Add(jz, map[int]Op{i: Z, i + 1: Z})
+	}
+	return h
+}
+
+// IsingCost returns the diagonal Ising cost Hamiltonian
+// H = Σ h_i Z_i + Σ_{i<j} J_ij Z_i Z_j + offset used by QAOA.
+func IsingCost(hs []float64, js map[[2]int]float64) *Hamiltonian {
+	n := len(hs)
+	h := &Hamiltonian{NQubits: n}
+	for i, hi := range hs {
+		if hi != 0 {
+			h.Add(hi, map[int]Op{i: Z})
+		}
+	}
+	for pair, j := range js {
+		if j != 0 {
+			h.Add(j, map[int]Op{pair[0]: Z, pair[1]: Z})
+		}
+	}
+	return h
+}
+
+// IsDiagonal reports whether every term uses only I/Z operators.
+func (h *Hamiltonian) IsDiagonal() bool {
+	for _, t := range h.Terms {
+		for _, op := range t.Ops {
+			if op == X || op == Y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Matrix returns the dense 2^n x 2^n matrix of the Hamiltonian; only for
+// small n (used to compute exact references).
+func (h *Hamiltonian) Matrix() *linalg.Matrix {
+	if h.NQubits > 12 {
+		panic("pauli: dense Hamiltonian beyond 12 qubits")
+	}
+	dim := 1 << h.NQubits
+	m := linalg.New(dim, dim)
+	for _, t := range h.Terms {
+		tm := linalg.Identity(1)
+		for q := h.NQubits - 1; q >= 0; q-- {
+			// Qubit 0 is the least-significant bit of the state index, so it
+			// is the rightmost factor in the Kronecker product.
+			tm = linalg.Kron(tm, opMatrix(t.Ops[q]))
+		}
+		m = linalg.Add(m, linalg.Scale(complex(t.Coeff, 0), tm))
+	}
+	return m
+}
+
+func opMatrix(op Op) *linalg.Matrix {
+	switch op {
+	case I:
+		return linalg.Identity(2)
+	case X:
+		return linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	case Y:
+		return linalg.FromRows([][]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}})
+	case Z:
+		return linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+	}
+	panic("pauli: unknown op")
+}
+
+// DiagonalEnergy evaluates a diagonal Hamiltonian on a computational basis
+// state given as bit values (bit[i] is qubit i; Z|0>=+|0>, Z|1>=-|1>).
+func (h *Hamiltonian) DiagonalEnergy(bits []int) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		sign := 1.0
+		for q, op := range t.Ops {
+			switch op {
+			case Z:
+				if bits[q] == 1 {
+					sign = -sign
+				}
+			case X, Y:
+				panic("pauli: DiagonalEnergy on non-diagonal Hamiltonian")
+			}
+		}
+		e += t.Coeff * sign
+	}
+	return e
+}
+
+// TrotterCircuit builds a first-order Trotter approximation of exp(-i H t)
+// with the given number of steps. Each Pauli string of weight 1 becomes a
+// single rotation; weight-2 ZZ/XX terms map to RZZ/RXX; general strings use
+// the CNOT-ladder + basis-change construction. The result contains no
+// measurements.
+func (h *Hamiltonian) TrotterCircuit(t float64, steps int) *circuit.Circuit {
+	if steps < 1 {
+		panic("pauli: trotter steps must be >= 1")
+	}
+	c := circuit.New(h.NQubits)
+	dt := t / float64(steps)
+	for s := 0; s < steps; s++ {
+		for _, term := range h.Terms {
+			appendTermEvolution(c, term, dt)
+		}
+	}
+	return c
+}
+
+// appendTermEvolution appends exp(-i coeff * dt * P) for one Pauli string.
+func appendTermEvolution(c *circuit.Circuit, term String, dt float64) {
+	theta := 2 * term.Coeff * dt // rotation convention: R_P(θ) = exp(-iθP/2)
+	sup := term.Support()
+	switch len(sup) {
+	case 0:
+		return // global phase
+	case 1:
+		q := sup[0]
+		switch term.Ops[q] {
+		case X:
+			c.RX(q, circuit.Bound(theta))
+		case Y:
+			c.RY(q, circuit.Bound(theta))
+		case Z:
+			c.RZ(q, circuit.Bound(theta))
+		}
+		return
+	case 2:
+		a, b := sup[0], sup[1]
+		if term.Ops[a] == Z && term.Ops[b] == Z {
+			c.RZZ(a, b, circuit.Bound(theta))
+			return
+		}
+		if term.Ops[a] == X && term.Ops[b] == X {
+			c.RXX(a, b, circuit.Bound(theta))
+			return
+		}
+	}
+	// General case: rotate each qubit into the Z basis, apply a CNOT ladder,
+	// RZ on the last qubit, then undo.
+	var basis []func()
+	for _, q := range sup {
+		q := q
+		switch term.Ops[q] {
+		case X:
+			c.H(q)
+			basis = append(basis, func() { c.H(q) })
+		case Y:
+			// Y-basis change: S† then H going in, H then S coming out... use
+			// the standard HS† / SH pair.
+			c.Sdg(q)
+			c.H(q)
+			basis = append(basis, func() { c.H(q); c.S(q) })
+		}
+	}
+	for i := 0; i+1 < len(sup); i++ {
+		c.CX(sup[i], sup[i+1])
+	}
+	c.RZ(sup[len(sup)-1], circuit.Bound(theta))
+	for i := len(sup) - 2; i >= 0; i-- {
+		c.CX(sup[i], sup[i+1])
+	}
+	for i := len(basis) - 1; i >= 0; i-- {
+		basis[i]()
+	}
+}

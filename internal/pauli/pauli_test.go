@@ -1,0 +1,98 @@
+package pauli
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTFIMTermCount(t *testing.T) {
+	h := TFIM(5, 1.0, 0.7)
+	if len(h.Terms) != 4+5 {
+		t.Fatalf("TFIM(5) term count %d, want 9", len(h.Terms))
+	}
+	if h.IsDiagonal() {
+		t.Fatal("TFIM with transverse field should not be diagonal")
+	}
+}
+
+func TestIsingCostDiagonal(t *testing.T) {
+	h := IsingCost([]float64{0.5, -0.25, 0}, map[[2]int]float64{{0, 1}: 1, {1, 2}: -2})
+	if !h.IsDiagonal() {
+		t.Fatal("Ising cost must be diagonal")
+	}
+	// Energy of |000>: 0.5 - 0.25 + 1 - 2 = -0.75
+	if e := h.DiagonalEnergy([]int{0, 0, 0}); math.Abs(e-(-0.75)) > 1e-12 {
+		t.Fatalf("energy(000) = %g, want -0.75", e)
+	}
+	// Energy of |110> (bits[0]=1, bits[1]=1): -0.5 +0.25*... compute:
+	// h0*(-1) + h1*(-1) + J01*(+1) + J12*(-1) = -0.5 + 0.25 + 1 + 2 = 2.75
+	if e := h.DiagonalEnergy([]int{1, 1, 0}); math.Abs(e-2.75) > 1e-12 {
+		t.Fatalf("energy(110) = %g, want 2.75", e)
+	}
+}
+
+func TestMatrixHermitian(t *testing.T) {
+	h := TFIM(3, 0.9, 0.4)
+	m := h.Matrix()
+	if !m.IsHermitian(1e-12) {
+		t.Fatal("TFIM matrix should be Hermitian")
+	}
+	if m.Rows != 8 {
+		t.Fatalf("dim %d, want 8", m.Rows)
+	}
+	h2 := Heisenberg(3, 1, 1, 0.5)
+	if !h2.Matrix().IsHermitian(1e-12) {
+		t.Fatal("Heisenberg matrix should be Hermitian")
+	}
+}
+
+func TestMatrixDiagonalMatchesDiagonalEnergy(t *testing.T) {
+	h := IsingCost([]float64{0.3, -0.7}, map[[2]int]float64{{0, 1}: 0.5})
+	m := h.Matrix()
+	for idx := 0; idx < 4; idx++ {
+		bits := []int{idx & 1, (idx >> 1) & 1}
+		want := h.DiagonalEnergy(bits)
+		got := real(m.At(idx, idx))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("idx %d: matrix diag %g vs DiagonalEnergy %g", idx, got, want)
+		}
+	}
+}
+
+func TestTrotterCircuitShape(t *testing.T) {
+	h := TFIM(4, 1, 0.5)
+	c := h.TrotterCircuit(1.0, 3)
+	if c.NQubits != 4 {
+		t.Fatalf("width %d", c.NQubits)
+	}
+	ops := c.CountOps()
+	// 3 steps x (3 ZZ + 4 X) terms.
+	if ops["rzz"] != 9 || ops["rx"] != 12 {
+		t.Fatalf("op histogram %v", ops)
+	}
+}
+
+func TestStringHelpers(t *testing.T) {
+	s := NewString(4, -1.5, map[int]Op{1: X, 3: Z})
+	if s.Weight() != 2 {
+		t.Fatalf("weight %d", s.Weight())
+	}
+	sup := s.Support()
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("support %v", sup)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestGeneralTermEvolutionGateSet(t *testing.T) {
+	// A weight-3 mixed string must lower to basis changes + CX ladder + RZ.
+	h := &Hamiltonian{NQubits: 3}
+	h.Add(0.8, map[int]Op{0: X, 1: Y, 2: Z})
+	c := h.TrotterCircuit(0.5, 1)
+	ops := c.CountOps()
+	if ops["cx"] != 4 || ops["rz"] != 1 {
+		t.Fatalf("ladder structure wrong: %v", ops)
+	}
+}

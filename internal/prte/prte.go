@@ -1,0 +1,135 @@
+// Package prte models the PMIx Reference RunTime Environment in Distributed
+// Virtual Machine (DVM) mode: a persistent runtime spanning an allocation's
+// nodes that spawns process groups rapidly, identified by a DVM URI shared
+// with every component that needs to launch work (QFw's QPM and QRC).
+//
+// Processes are goroutines pinned to core slots of the cluster model;
+// spawning a group wires the ranks into an mpi.World whose cost model
+// reflects the ranks' physical placement.
+package prte
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qfw/internal/cluster"
+	"qfw/internal/mpi"
+	"qfw/internal/slurm"
+)
+
+var dvmCounter atomic.Int64
+
+// DVM is a running distributed virtual machine over a node set.
+type DVM struct {
+	URI string
+
+	machine *cluster.Machine
+	nodes   []*cluster.Node
+
+	mu     sync.Mutex
+	closed bool
+	active sync.WaitGroup
+}
+
+// Start boots a DVM across the nodes of a SLURM het group.
+func Start(m *cluster.Machine, set slurm.NodeSet) (*DVM, error) {
+	if len(set.Nodes) == 0 {
+		return nil, fmt.Errorf("prte: empty node set")
+	}
+	id := dvmCounter.Add(1)
+	return &DVM{
+		URI:     fmt.Sprintf("prte://node%03d.%s/dvm-%d", set.Nodes[0].ID, m.Name, id),
+		machine: m,
+		nodes:   set.Nodes,
+	}, nil
+}
+
+// Nodes returns the node count the DVM spans.
+func (d *DVM) Nodes() int { return len(d.nodes) }
+
+// Placement is a spawn layout request.
+type Placement struct {
+	// Nodes and ProcsPerNode define the (#N, #P) layout that appears on the
+	// secondary x-axis of every figure in the paper. Nodes == 0 means all
+	// DVM nodes.
+	Nodes        int
+	ProcsPerNode int
+}
+
+// TotalProcs returns Nodes*ProcsPerNode after defaulting.
+func (p Placement) TotalProcs(dvmNodes int) int {
+	n := p.Nodes
+	if n == 0 {
+		n = dvmNodes
+	}
+	ppn := p.ProcsPerNode
+	if ppn == 0 {
+		ppn = 1
+	}
+	return n * ppn
+}
+
+// ProcGroup is a spawned set of ranks ready to run an SPMD function.
+type ProcGroup struct {
+	World  *mpi.World
+	Places []cluster.CorePlace
+	dvm    *DVM
+}
+
+// Spawn places a process group on the DVM's nodes round-robin across LLC
+// domains and returns the group with its MPI world wired up.
+func (d *DVM) Spawn(p Placement) (*ProcGroup, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("prte: DVM %s is shut down", d.URI)
+	}
+	d.active.Add(1)
+	d.mu.Unlock()
+
+	nNodes := p.Nodes
+	if nNodes == 0 {
+		nNodes = len(d.nodes)
+	}
+	if nNodes > len(d.nodes) {
+		d.active.Done()
+		return nil, fmt.Errorf("prte: placement wants %d nodes, DVM spans %d", nNodes, len(d.nodes))
+	}
+	ppn := p.ProcsPerNode
+	if ppn == 0 {
+		ppn = 1
+	}
+	var places []cluster.CorePlace
+	for i := 0; i < nNodes; i++ {
+		nodePlaces, err := d.nodes[i].PlaceProcs(ppn)
+		if err != nil {
+			d.active.Done()
+			return nil, fmt.Errorf("prte: %w", err)
+		}
+		places = append(places, nodePlaces...)
+	}
+	world := mpi.NewWorld(len(places), mpi.WithPlacement(places, d.machine.Net))
+	return &ProcGroup{World: world, Places: places, dvm: d}, nil
+}
+
+// Run executes fn on every rank of the group and releases the slots.
+func (g *ProcGroup) Run(fn func(c *mpi.Comm) error) error {
+	defer g.dvm.active.Done()
+	return g.World.Run(fn)
+}
+
+// Release frees the group without running (e.g. on setup failure).
+func (g *ProcGroup) Release() { g.dvm.active.Done() }
+
+// Shutdown waits for active process groups and closes the DVM.
+func (d *DVM) Shutdown() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.active.Wait()
+}

@@ -1,0 +1,105 @@
+package prte
+
+import (
+	"strings"
+	"testing"
+
+	"qfw/internal/cluster"
+	"qfw/internal/mpi"
+	"qfw/internal/slurm"
+)
+
+func setup(t *testing.T, nodes int) (*cluster.Machine, slurm.NodeSet, *slurm.Job) {
+	t.Helper()
+	m := cluster.Frontier(nodes)
+	s := slurm.NewScheduler(m)
+	job, err := s.Submit(slurm.JobReq{Name: "t", HetGroups: []slurm.GroupReq{{Name: "hetgroup-1", Nodes: nodes}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := job.WaitStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, alloc.Group(0), job
+}
+
+func TestDVMURIAndSpawn(t *testing.T) {
+	m, set, job := setup(t, 2)
+	defer job.Complete()
+	dvm, err := Start(m, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dvm.URI, "prte://") {
+		t.Fatalf("URI %q", dvm.URI)
+	}
+	pg, err := dvm.Spawn(Placement{Nodes: 2, ProcsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.World.Size != 8 {
+		t.Fatalf("world size %d", pg.World.Size)
+	}
+	// Placement spans both nodes.
+	nodes := map[int]bool{}
+	for _, p := range pg.Places {
+		nodes[p.Node] = true
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("procs on %d nodes, want 2", len(nodes))
+	}
+	sum := 0.0
+	err = pg.Run(func(c *mpi.Comm) error {
+		s := c.AllreduceSum(1)
+		if c.Rank() == 0 {
+			sum = s
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 8 {
+		t.Fatalf("allreduce over spawned group: %g", sum)
+	}
+	dvm.Shutdown()
+}
+
+func TestSpawnAfterShutdownFails(t *testing.T) {
+	m, set, job := setup(t, 1)
+	defer job.Complete()
+	dvm, err := Start(m, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvm.Shutdown()
+	if _, err := dvm.Spawn(Placement{ProcsPerNode: 1}); err == nil {
+		t.Fatal("expected spawn failure after shutdown")
+	}
+}
+
+func TestSpawnOverflow(t *testing.T) {
+	m, set, job := setup(t, 1)
+	defer job.Complete()
+	dvm, _ := Start(m, set)
+	defer dvm.Shutdown()
+	if _, err := dvm.Spawn(Placement{Nodes: 2, ProcsPerNode: 1}); err == nil {
+		t.Fatal("expected error: placement wants more nodes than DVM spans")
+	}
+	if _, err := dvm.Spawn(Placement{Nodes: 1, ProcsPerNode: 100}); err == nil {
+		t.Fatal("expected error: more procs than usable cores")
+	}
+}
+
+func TestUniqueURIs(t *testing.T) {
+	m, set, job := setup(t, 1)
+	defer job.Complete()
+	d1, _ := Start(m, set)
+	d2, _ := Start(m, set)
+	if d1.URI == d2.URI {
+		t.Fatalf("DVM URIs collide: %s", d1.URI)
+	}
+	d1.Shutdown()
+	d2.Shutdown()
+}

@@ -1,0 +1,286 @@
+// Package qaoa implements the Quantum Approximate Optimization Algorithm
+// over QUBO problems: the layered cost-mixer ansatz, shot-based expectation
+// estimation from backend counts, and the classical optimization loop
+// driving any QFw backend through the frontend interface.
+package qaoa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"qfw/internal/circuit"
+	"qfw/internal/core"
+	"qfw/internal/optimize"
+	"qfw/internal/pauli"
+	"qfw/internal/qubo"
+	"qfw/internal/statevec"
+)
+
+// Runner abstracts circuit execution; *core.Frontend satisfies it, and
+// tests can substitute local engines.
+type Runner interface {
+	Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result, error)
+}
+
+// BuildAnsatz constructs the depth-p QAOA circuit for a diagonal Ising cost
+// Hamiltonian, with symbolic parameters gamma0..gamma{p-1} and
+// beta0..beta{p-1}.
+func BuildAnsatz(h *pauli.Hamiltonian, p int) *circuit.Circuit {
+	if !h.IsDiagonal() {
+		panic("qaoa: cost Hamiltonian must be diagonal")
+	}
+	if p < 1 {
+		p = 1
+	}
+	c := circuit.New(h.NQubits)
+	c.Name = fmt.Sprintf("qaoa-%d-p%d", h.NQubits, p)
+	for q := 0; q < h.NQubits; q++ {
+		c.H(q)
+	}
+	for layer := 0; layer < p; layer++ {
+		gamma := fmt.Sprintf("gamma%d", layer)
+		beta := fmt.Sprintf("beta%d", layer)
+		for _, term := range h.Terms {
+			sup := term.Support()
+			switch len(sup) {
+			case 1:
+				c.RZ(sup[0], circuit.Sym(gamma, 2*term.Coeff))
+			case 2:
+				c.RZZ(sup[0], sup[1], circuit.Sym(gamma, 2*term.Coeff))
+			}
+		}
+		for q := 0; q < h.NQubits; q++ {
+			c.RX(q, circuit.Sym(beta, 2))
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
+// BindParams produces the binding map for a flat parameter vector
+// [gamma0..gamma{p-1}, beta0..beta{p-1}].
+func BindParams(params []float64) map[string]float64 {
+	p := len(params) / 2
+	m := make(map[string]float64, len(params))
+	for i := 0; i < p; i++ {
+		m[fmt.Sprintf("gamma%d", i)] = params[i]
+		m[fmt.Sprintf("beta%d", i)] = params[p+i]
+	}
+	return m
+}
+
+// ExpectationFromCounts estimates <H> from measurement counts of a diagonal
+// Hamiltonian (keys use the Qiskit convention: qubit 0 rightmost).
+func ExpectationFromCounts(h *pauli.Hamiltonian, counts map[string]int) float64 {
+	var total int
+	var acc float64
+	bits := make([]int, h.NQubits)
+	for key, n := range counts {
+		for q := 0; q < h.NQubits; q++ {
+			if key[len(key)-1-q] == '1' {
+				bits[q] = 1
+			} else {
+				bits[q] = 0
+			}
+		}
+		acc += float64(n) * h.DiagonalEnergy(bits)
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / float64(total)
+}
+
+// Options tune a QAOA solve.
+type Options struct {
+	P        int   // ansatz depth, default 1
+	Shots    int   // default 512
+	MaxEvals int   // optimizer budget, default 60
+	Seed     int64 // default 1
+	Run      core.RunOptions
+
+	// ExactExpectation attaches the cost operator as an Observable so local
+	// simulator backends return the exact <H> instead of the shot estimate
+	// (the noiseless optimization path; cloud backends still estimate from
+	// counts). Subject of the expectation-path ablation benchmark.
+	ExactExpectation bool
+}
+
+// ObservableFromQUBO converts a QUBO's Ising form into the wire-format
+// diagonal observable (without the constant offset).
+func ObservableFromQUBO(q *qubo.QUBO) *core.Observable {
+	h, js, _ := q.ToIsing()
+	obs := &core.Observable{Fields: h}
+	for pair, v := range js {
+		if v != 0 {
+			obs.Couplings = append(obs.Couplings, core.Coupling{I: pair[0], J: pair[1], V: v})
+		}
+	}
+	return obs
+}
+
+// Result summarizes a QAOA solve.
+type Result struct {
+	Bits        []int
+	Energy      float64 // QUBO energy of the best sampled bitstring
+	Expectation float64 // final <H> + offset
+	Evals       int     // circuit evaluations used
+	Params      []float64
+}
+
+// Solve runs the full hybrid loop: build ansatz, optimize (γ, β) with
+// Nelder-Mead over shot-estimated expectations, then sample the optimum and
+// return the best bitstring by true QUBO energy.
+func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
+	if opts.P <= 0 {
+		opts.P = 1
+	}
+	if opts.Shots <= 0 {
+		opts.Shots = 512
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 60
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	h, offset := q.CostHamiltonian()
+	ansatz := BuildAnsatz(h, opts.P)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var obs *core.Observable
+	if opts.ExactExpectation {
+		obs = ObservableFromQUBO(q)
+	}
+
+	evals := 0
+	var firstErr error
+	objective := func(params []float64) float64 {
+		if firstErr != nil {
+			return math.Inf(1)
+		}
+		evals++
+		bound := ansatz.Bind(BindParams(params))
+		runOpts := opts.Run
+		runOpts.Shots = opts.Shots
+		runOpts.Seed = opts.Seed + int64(evals)
+		runOpts.Observable = obs
+		res, err := runner.Run(bound, runOpts)
+		if err != nil {
+			firstErr = err
+			return math.Inf(1)
+		}
+		if res.ExpVal != nil {
+			return *res.ExpVal
+		}
+		return ExpectationFromCounts(h, res.Counts)
+	}
+	x0 := make([]float64, 2*opts.P)
+	for i := range x0 {
+		x0[i] = 0.1 + 0.4*rng.Float64()
+	}
+	best, bestF, _ := optimize.NelderMead(objective, x0, optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.4})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Final sampling at the optimum; best observed bitstring wins.
+	bound := ansatz.Bind(BindParams(best))
+	runOpts := opts.Run
+	runOpts.Shots = opts.Shots * 2
+	runOpts.Seed = opts.Seed + 7777
+	res, err := runner.Run(bound, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	bits, energy := bestSampled(q, res.Counts)
+	return &Result{
+		Bits:        bits,
+		Energy:      energy,
+		Expectation: bestF + offset,
+		Evals:       evals,
+		Params:      best,
+	}, nil
+}
+
+// bestSampled returns the sampled bitstring with the lowest QUBO energy.
+func bestSampled(q *qubo.QUBO, counts map[string]int) ([]int, float64) {
+	bestE := math.Inf(1)
+	var best []int
+	for key := range counts {
+		bits := make([]int, q.N)
+		for i := 0; i < q.N; i++ {
+			if key[len(key)-1-i] == '1' {
+				bits[i] = 1
+			}
+		}
+		if e := q.Energy(bits); e < bestE {
+			bestE = e
+			best = bits
+		}
+	}
+	return best, bestE
+}
+
+// LocalRunner executes circuits directly on the in-process state-vector
+// engine, bypassing the orchestration stack — used by unit tests and as the
+// zero-overhead baseline in the ablation benchmarks.
+type LocalRunner struct {
+	Workers int
+}
+
+// Run implements Runner.
+func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result, error) {
+	w := l.Workers
+	if w <= 0 {
+		w = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s, _ := statevec.RunCircuit(c.StripMeasurements(), w, rng)
+	shots := opts.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	res := &core.Result{Counts: s.SampleCounts(shots, rng), Backend: "local"}
+	if opts.Observable != nil {
+		var v float64
+		if opts.Observable.IsDiagonal() {
+			v = s.ExpectationDiagonal(opts.Observable.EnergyOfIndex)
+		} else {
+			v = s.ExpectationHamiltonian(hamiltonianFromObservable(opts.Observable, c.NQubits))
+		}
+		res.ExpVal = &v
+	}
+	return res, nil
+}
+
+// hamiltonianFromObservable converts the wire-format observable into Pauli
+// algebra for exact evaluation on local engines.
+func hamiltonianFromObservable(o *core.Observable, n int) *pauli.Hamiltonian {
+	fields := make([]float64, n)
+	copy(fields, o.Fields)
+	js := map[[2]int]float64{}
+	for _, c := range o.Couplings {
+		js[[2]int{c.I, c.J}] += c.V
+	}
+	h := pauli.IsingCost(fields, js)
+	for _, t := range o.Paulis {
+		terms := map[int]pauli.Op{}
+		for q := 0; q < len(t.Ops) && q < n; q++ {
+			switch t.Ops[q] {
+			case 'X':
+				terms[q] = pauli.X
+			case 'Y':
+				terms[q] = pauli.Y
+			case 'Z':
+				terms[q] = pauli.Z
+			}
+		}
+		h.Add(t.Coeff, terms)
+	}
+	return h
+}

@@ -1,0 +1,286 @@
+// Package qubo provides quadratic unconstrained binary optimization
+// problems and the decomposition machinery DQAOA needs: random and
+// metamaterial-structured instance generators, Ising conversion for QAOA
+// ansätze, sub-QUBO extraction with clamped complement variables, and the
+// random / impact-factor decomposition strategies of Kim et al.
+package qubo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"qfw/internal/pauli"
+)
+
+// QUBO is a symmetric matrix Q defining E(x) = x^T Q x over x in {0,1}^N.
+// Diagonal entries are the linear terms.
+type QUBO struct {
+	N int
+	Q [][]float64
+}
+
+// New returns an all-zero QUBO on n variables.
+func New(n int) *QUBO {
+	if n < 1 {
+		panic("qubo: need at least one variable")
+	}
+	q := &QUBO{N: n, Q: make([][]float64, n)}
+	for i := range q.Q {
+		q.Q[i] = make([]float64, n)
+	}
+	return q
+}
+
+// Set assigns Q[i][j] (and Q[j][i]) keeping the matrix symmetric.
+func (q *QUBO) Set(i, j int, v float64) {
+	q.Q[i][j] = v
+	q.Q[j][i] = v
+}
+
+// Energy evaluates x^T Q x for a 0/1 assignment.
+func (q *QUBO) Energy(bits []int) float64 {
+	if len(bits) != q.N {
+		panic(fmt.Sprintf("qubo: assignment length %d for %d variables", len(bits), q.N))
+	}
+	var e float64
+	for i := 0; i < q.N; i++ {
+		if bits[i] == 0 {
+			continue
+		}
+		e += q.Q[i][i]
+		for j := i + 1; j < q.N; j++ {
+			if bits[j] == 1 {
+				e += 2 * q.Q[i][j]
+			}
+		}
+	}
+	return e
+}
+
+// Random generates a dense random symmetric QUBO with entries drawn from
+// N(0, scale) and the given off-diagonal density.
+func Random(n int, density, scale float64, rng *rand.Rand) *QUBO {
+	if density <= 0 || density > 1 {
+		density = 0.5
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	q := New(n)
+	for i := 0; i < n; i++ {
+		q.Q[i][i] = rng.NormFloat64() * scale
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				q.Set(i, j, rng.NormFloat64()*scale/2)
+			}
+		}
+	}
+	return q
+}
+
+// Metamaterial generates the structured instance class behind the paper's
+// DQAOA application (optimizing layered meta-material stacks, e.g. the
+// transparent radiative cooler of Kim et al.): variable i is the material
+// choice of layer i, neighbouring layers interact strongly, and the
+// interaction decays with layer distance; a per-layer bias models the
+// single-layer optical response.
+func Metamaterial(n int, rng *rand.Rand) *QUBO {
+	q := New(n)
+	for i := 0; i < n; i++ {
+		q.Q[i][i] = rng.NormFloat64()*0.5 - 0.2 // mild bias toward inclusion
+		for j := i + 1; j < n; j++ {
+			d := float64(j - i)
+			coupling := rng.NormFloat64() / (d * d)
+			if math.Abs(coupling) < 0.02 {
+				continue
+			}
+			q.Set(i, j, coupling)
+		}
+	}
+	return q
+}
+
+// ToIsing converts to an Ising cost Hamiltonian via x_i = (1 - z_i)/2,
+// returning the per-qubit fields h, couplings J, and the constant offset so
+// that E(x) = <H> + offset with H = Σ h_i Z_i + Σ J_ij Z_i Z_j.
+func (q *QUBO) ToIsing() (h []float64, j map[[2]int]float64, offset float64) {
+	h = make([]float64, q.N)
+	j = make(map[[2]int]float64)
+	for i := 0; i < q.N; i++ {
+		offset += q.Q[i][i] / 2
+		h[i] -= q.Q[i][i] / 2
+		for k := i + 1; k < q.N; k++ {
+			v := q.Q[i][k] // symmetric; total weight of the pair is 2v
+			if v == 0 {
+				continue
+			}
+			offset += v / 2
+			h[i] -= v / 2
+			h[k] -= v / 2
+			j[[2]int{i, k}] += v / 2
+		}
+	}
+	return h, j, offset
+}
+
+// CostHamiltonian returns the diagonal Ising Hamiltonian (without offset).
+func (q *QUBO) CostHamiltonian() (*pauli.Hamiltonian, float64) {
+	h, j, offset := q.ToIsing()
+	return pauli.IsingCost(h, j), offset
+}
+
+// SubQUBO extracts the sub-problem over vars with every other variable
+// clamped to the bits of the global assignment: linear terms absorb the
+// couplings to the clamped complement. The returned mapping is vars itself
+// (sub variable k corresponds to global variable vars[k]).
+func (q *QUBO) SubQUBO(vars []int, global []int) *QUBO {
+	inSub := make(map[int]int, len(vars))
+	for k, v := range vars {
+		if v < 0 || v >= q.N {
+			panic(fmt.Sprintf("qubo: sub variable %d out of range", v))
+		}
+		if _, dup := inSub[v]; dup {
+			panic(fmt.Sprintf("qubo: duplicate sub variable %d", v))
+		}
+		inSub[v] = k
+	}
+	sub := New(len(vars))
+	for k, i := range vars {
+		lin := q.Q[i][i]
+		for j := 0; j < q.N; j++ {
+			if j == i {
+				continue
+			}
+			if _, ok := inSub[j]; ok {
+				continue
+			}
+			if global[j] == 1 {
+				lin += 2 * q.Q[i][j]
+			}
+		}
+		sub.Q[k][k] = lin
+		for l := k + 1; l < len(vars); l++ {
+			sub.Set(k, l, q.Q[i][vars[l]])
+		}
+	}
+	return sub
+}
+
+// Decomposition is a set of sub-problems, each a list of global variable
+// indices.
+type Decomposition [][]int
+
+// RandomDecomposition deals the variables into nsubq groups of subqsize.
+// When nsubq*subqsize exceeds N (as in every Table-2 configuration), the
+// extra slots are filled with randomly repeated variables so that every
+// variable appears at least once.
+func RandomDecomposition(n, subqsize, nsubq int, rng *rand.Rand) Decomposition {
+	if subqsize < 1 || nsubq < 1 {
+		panic("qubo: invalid decomposition shape")
+	}
+	if subqsize > n {
+		subqsize = n
+	}
+	perm := rng.Perm(n)
+	groups := make(Decomposition, nsubq)
+	idx := 0
+	for g := range groups {
+		groups[g] = make([]int, 0, subqsize)
+	}
+	// Deal every variable once, round-robin.
+	for len(groups[idx%nsubq]) < subqsize && idx < n {
+		groups[idx%nsubq] = append(groups[idx%nsubq], perm[idx])
+		idx++
+	}
+	for ; idx < n; idx++ {
+		// Remaining variables go to the group with the most space.
+		best := 0
+		for g := 1; g < nsubq; g++ {
+			if len(groups[g]) < len(groups[best]) {
+				best = g
+			}
+		}
+		if len(groups[best]) >= subqsize {
+			break
+		}
+		groups[best] = append(groups[best], perm[idx])
+	}
+	// Fill remaining slots with random non-duplicate variables.
+	for g := range groups {
+		have := map[int]bool{}
+		for _, v := range groups[g] {
+			have[v] = true
+		}
+		for len(groups[g]) < subqsize && len(have) < n {
+			v := rng.Intn(n)
+			if !have[v] {
+				have[v] = true
+				groups[g] = append(groups[g], v)
+			}
+		}
+	}
+	return groups
+}
+
+// ImpactFactor ranks variables by their total interaction magnitude
+// d_i = sum_j |Q_ij| — the decomposition heuristic of Kim et al. that
+// groups high-impact variables so they are re-optimized together.
+func (q *QUBO) ImpactFactor() []float64 {
+	d := make([]float64, q.N)
+	for i := 0; i < q.N; i++ {
+		for j := 0; j < q.N; j++ {
+			d[i] += math.Abs(q.Q[i][j])
+		}
+	}
+	return d
+}
+
+// ImpactDecomposition builds nsubq groups of subqsize by descending impact
+// factor: the highest-impact variables fill the first group, and remaining
+// slots wrap around so every variable is covered.
+func (q *QUBO) ImpactDecomposition(subqsize, nsubq int) Decomposition {
+	if subqsize > q.N {
+		subqsize = q.N
+	}
+	impact := q.ImpactFactor()
+	order := make([]int, q.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return impact[order[a]] > impact[order[b]] })
+	groups := make(Decomposition, nsubq)
+	pos := 0
+	for g := 0; g < nsubq; g++ {
+		have := map[int]bool{}
+		for len(groups[g]) < subqsize {
+			v := order[pos%q.N]
+			pos++
+			if have[v] {
+				continue
+			}
+			have[v] = true
+			groups[g] = append(groups[g], v)
+		}
+	}
+	return groups
+}
+
+// Covered reports whether the decomposition touches every variable.
+func (d Decomposition) Covered(n int) bool {
+	seen := make([]bool, n)
+	for _, g := range d {
+		for _, v := range g {
+			if v >= 0 && v < n {
+				seen[v] = true
+			}
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package qubo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyByHand(t *testing.T) {
+	q := New(3)
+	q.Q[0][0] = 1
+	q.Q[1][1] = -2
+	q.Set(0, 1, 0.5)
+	q.Set(1, 2, -1)
+	// x = (1,1,0): 1 - 2 + 2*0.5 = 0
+	if e := q.Energy([]int{1, 1, 0}); math.Abs(e) > 1e-12 {
+		t.Fatalf("E(110) = %g, want 0", e)
+	}
+	// x = (1,1,1): 1 - 2 + 0 + 2*0.5 + 2*(-1) = -2
+	if e := q.Energy([]int{1, 1, 1}); math.Abs(e+2) > 1e-12 {
+		t.Fatalf("E(111) = %g, want -2", e)
+	}
+	if e := q.Energy([]int{0, 0, 0}); e != 0 {
+		t.Fatalf("E(000) = %g", e)
+	}
+}
+
+func TestQuickIsingConversionMatchesEnergy(t *testing.T) {
+	// Property: QUBO energy equals <H_Ising> + offset on every assignment.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		q := Random(n, 0.7, 1.0, rng)
+		h, j, offset := q.ToIsing()
+		ham := isingEnergy(h, j, offset)
+		for trial := 0; trial < 20; trial++ {
+			bits := make([]int, n)
+			for i := range bits {
+				bits[i] = rng.Intn(2)
+			}
+			if math.Abs(q.Energy(bits)-ham(bits)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// isingEnergy evaluates sum h_i z_i + sum J_ij z_i z_j + offset with
+// z = 1-2x.
+func isingEnergy(h []float64, j map[[2]int]float64, offset float64) func([]int) float64 {
+	return func(bits []int) float64 {
+		z := make([]float64, len(bits))
+		for i, b := range bits {
+			z[i] = 1 - 2*float64(b)
+		}
+		e := offset
+		for i, hi := range h {
+			e += hi * z[i]
+		}
+		for pair, jj := range j {
+			e += jj * z[pair[0]] * z[pair[1]]
+		}
+		return e
+	}
+}
+
+func TestCostHamiltonianDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := Random(5, 0.6, 1, rng)
+	h, offset := q.CostHamiltonian()
+	if !h.IsDiagonal() {
+		t.Fatal("cost Hamiltonian not diagonal")
+	}
+	bits := []int{1, 0, 1, 1, 0}
+	if math.Abs(h.DiagonalEnergy(bits)+offset-q.Energy(bits)) > 1e-9 {
+		t.Fatal("Hamiltonian energy mismatch")
+	}
+}
+
+func TestQuickSubQUBOEnergyIdentity(t *testing.T) {
+	// Property: for any sub-problem and any sub-assignment,
+	// E_global(merge) - E_global(base with sub vars cleared... ) differs
+	// from E_sub(assignment) by a constant independent of the assignment.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		q := Random(n, 0.8, 1, rng)
+		global := make([]int, n)
+		for i := range global {
+			global[i] = rng.Intn(2)
+		}
+		k := 2 + rng.Intn(3)
+		vars := rng.Perm(n)[:k]
+		sub := q.SubQUBO(vars, global)
+		// Constant = E_global(assignment a) - E_sub(a_sub) must be equal
+		// for all sub-assignments.
+		var constant float64
+		first := true
+		for mask := 0; mask < 1<<uint(k); mask++ {
+			merged := append([]int(nil), global...)
+			subBits := make([]int, k)
+			for i := 0; i < k; i++ {
+				subBits[i] = (mask >> uint(i)) & 1
+				merged[vars[i]] = subBits[i]
+			}
+			diff := q.Energy(merged) - sub.Energy(subBits)
+			if first {
+				constant = diff
+				first = false
+			} else if math.Abs(diff-constant) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDecompositionCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Table 2 configurations.
+	cases := []struct{ n, sub, num int }{
+		{30, 16, 2}, {30, 8, 4}, {30, 12, 3}, {40, 16, 4}, {40, 12, 4},
+	}
+	for _, tc := range cases {
+		d := RandomDecomposition(tc.n, tc.sub, tc.num, rng)
+		if len(d) != tc.num {
+			t.Fatalf("(%d,%d): %d groups", tc.sub, tc.num, len(d))
+		}
+		for g, vars := range d {
+			if len(vars) != tc.sub {
+				t.Fatalf("group %d size %d, want %d", g, len(vars), tc.sub)
+			}
+			seen := map[int]bool{}
+			for _, v := range vars {
+				if seen[v] {
+					t.Fatalf("group %d has duplicate var %d", g, v)
+				}
+				seen[v] = true
+			}
+		}
+		if tc.sub*tc.num >= tc.n && !d.Covered(tc.n) {
+			t.Fatalf("(%d,%d) on n=%d does not cover all variables", tc.sub, tc.num, tc.n)
+		}
+	}
+}
+
+func TestImpactDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := Metamaterial(30, rng)
+	d := q.ImpactDecomposition(12, 3)
+	if len(d) != 3 {
+		t.Fatalf("groups %d", len(d))
+	}
+	impact := q.ImpactFactor()
+	// The first group must contain the single highest-impact variable.
+	maxVar := 0
+	for i := range impact {
+		if impact[i] > impact[maxVar] {
+			maxVar = i
+		}
+	}
+	found := false
+	for _, v := range d[0] {
+		if v == maxVar {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("highest-impact var %d not in first group %v", maxVar, d[0])
+	}
+	if 12*3 >= 30 && !d.Covered(30) {
+		t.Fatal("impact decomposition must cover all variables")
+	}
+}
+
+func TestMetamaterialStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := Metamaterial(20, rng)
+	// Neighbour couplings should dominate distant ones on average.
+	var near, far float64
+	var nNear, nFar int
+	for i := 0; i < q.N; i++ {
+		for j := i + 1; j < q.N; j++ {
+			if q.Q[i][j] == 0 {
+				continue
+			}
+			if j-i == 1 {
+				near += math.Abs(q.Q[i][j])
+				nNear++
+			} else if j-i >= 5 {
+				far += math.Abs(q.Q[i][j])
+				nFar++
+			}
+		}
+	}
+	if nNear == 0 {
+		t.Fatal("no neighbour couplings")
+	}
+	if nFar > 0 && far/float64(nFar) > near/float64(nNear) {
+		t.Fatalf("distant couplings stronger than neighbours: %g vs %g", far/float64(nFar), near/float64(nNear))
+	}
+}

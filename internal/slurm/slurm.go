@@ -1,0 +1,299 @@
+// Package slurm implements the subset of SLURM semantics the Quantum
+// Framework deploys with: batch jobs composed of heterogeneous groups
+// (hetgroup-0 for the application layer, hetgroup-1 for QFw services and
+// simulator workers), FIFO scheduling over a machine model, allocation
+// lifecycle, and walltime enforcement.
+package slurm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qfw/internal/cluster"
+)
+
+// GroupReq describes one heterogeneous group of a job request.
+type GroupReq struct {
+	Name  string
+	Nodes int
+}
+
+// JobReq is a batch job request with one or more het groups.
+type JobReq struct {
+	Name      string
+	HetGroups []GroupReq
+	Walltime  time.Duration // 0 means no limit
+}
+
+// State is the lifecycle state of a job.
+type State int
+
+// Job states.
+const (
+	Pending State = iota
+	Running
+	Completed
+	Cancelled
+	TimedOut
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "PENDING"
+	case Running:
+		return "RUNNING"
+	case Completed:
+		return "COMPLETED"
+	case Cancelled:
+		return "CANCELLED"
+	case TimedOut:
+		return "TIMEOUT"
+	}
+	return "UNKNOWN"
+}
+
+// NodeSet is the node allocation of one het group.
+type NodeSet struct {
+	Group string
+	Nodes []*cluster.Node
+}
+
+// Allocation holds the node sets of a running job, indexed by het group.
+type Allocation struct {
+	JobID  int
+	Groups []NodeSet
+}
+
+// Group returns the node set of a het group by index (hetgroup-i).
+func (a *Allocation) Group(i int) NodeSet {
+	if i < 0 || i >= len(a.Groups) {
+		panic(fmt.Sprintf("slurm: hetgroup-%d out of range", i))
+	}
+	return a.Groups[i]
+}
+
+// Job tracks one submitted job.
+type Job struct {
+	ID    int
+	Req   JobReq
+	sched *Scheduler
+
+	mu       sync.Mutex
+	state    State
+	alloc    *Allocation
+	started  chan struct{}
+	finished chan struct{}
+	timer    *time.Timer
+	start    time.Time
+	elapsed  time.Duration
+}
+
+// State returns the current job state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Elapsed returns the job's running time (live for running jobs).
+func (j *Job) Elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Running {
+		return time.Since(j.start)
+	}
+	return j.elapsed
+}
+
+// WaitStart blocks until the scheduler has allocated the job (or it reached
+// a terminal state) and returns the allocation.
+func (j *Job) WaitStart() (*Allocation, error) {
+	<-j.started
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.alloc == nil {
+		return nil, fmt.Errorf("slurm: job %d is %s", j.ID, j.state)
+	}
+	return j.alloc, nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.finished }
+
+// Complete marks a running job finished and releases its nodes.
+func (j *Job) Complete() { j.finish(Completed) }
+
+// Cancel aborts the job, releasing nodes if it was running.
+func (j *Job) Cancel() { j.finish(Cancelled) }
+
+func (j *Job) finish(final State) {
+	j.mu.Lock()
+	if j.state != Running && j.state != Pending {
+		j.mu.Unlock()
+		return
+	}
+	wasPending := j.state == Pending
+	if j.state == Running {
+		j.elapsed = time.Since(j.start)
+	}
+	j.state = final
+	alloc := j.alloc
+	j.alloc = nil
+	if j.timer != nil {
+		j.timer.Stop()
+	}
+	j.mu.Unlock()
+	// Release resources before signalling completion so that observers of
+	// Done() see the nodes already freed.
+	if alloc != nil {
+		j.sched.release(alloc)
+	}
+	if wasPending {
+		j.sched.dequeue(j)
+		close(j.started)
+	}
+	close(j.finished)
+	j.sched.pump()
+}
+
+// Scheduler is a FIFO batch scheduler over a machine model.
+type Scheduler struct {
+	machine *cluster.Machine
+
+	mu     sync.Mutex
+	free   map[int]*cluster.Node
+	queue  []*Job
+	nextID int
+}
+
+// NewScheduler creates a scheduler owning all nodes of the machine.
+func NewScheduler(m *cluster.Machine) *Scheduler {
+	s := &Scheduler{machine: m, free: make(map[int]*cluster.Node), nextID: 1}
+	for _, n := range m.Nodes {
+		s.free[n.ID] = n
+	}
+	return s
+}
+
+// Machine exposes the underlying machine model.
+func (s *Scheduler) Machine() *cluster.Machine { return s.machine }
+
+// FreeNodes returns how many nodes are currently unallocated.
+func (s *Scheduler) FreeNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
+// Submit enqueues a job; allocation happens FIFO as nodes free up.
+func (s *Scheduler) Submit(req JobReq) (*Job, error) {
+	total := 0
+	for _, g := range req.HetGroups {
+		if g.Nodes < 1 {
+			return nil, fmt.Errorf("slurm: group %q requests %d nodes", g.Name, g.Nodes)
+		}
+		total += g.Nodes
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("slurm: job %q requests no resources", req.Name)
+	}
+	if total > len(s.machine.Nodes) {
+		return nil, fmt.Errorf("slurm: job %q requests %d nodes, machine has %d", req.Name, total, len(s.machine.Nodes))
+	}
+	s.mu.Lock()
+	j := &Job{
+		ID:       s.nextID,
+		Req:      req,
+		sched:    s,
+		state:    Pending,
+		started:  make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	s.nextID++
+	s.queue = append(s.queue, j)
+	s.mu.Unlock()
+	s.pump()
+	return j, nil
+}
+
+// pump tries to start queued jobs in FIFO order (no backfill: a blocked head
+// of queue blocks later jobs, like a conservative FIFO SLURM partition).
+func (s *Scheduler) pump() {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		total := 0
+		for _, g := range j.Req.HetGroups {
+			total += g.Nodes
+		}
+		if total > len(s.free) {
+			s.mu.Unlock()
+			return
+		}
+		// Allocate nodes in ascending ID order for determinism.
+		ids := make([]int, 0, len(s.free))
+		for id := range s.free {
+			ids = append(ids, id)
+		}
+		sortInts(ids)
+		alloc := &Allocation{JobID: j.ID}
+		k := 0
+		for _, g := range j.Req.HetGroups {
+			set := NodeSet{Group: g.Name}
+			for i := 0; i < g.Nodes; i++ {
+				node := s.free[ids[k]]
+				delete(s.free, ids[k])
+				set.Nodes = append(set.Nodes, node)
+				k++
+			}
+			alloc.Groups = append(alloc.Groups, set)
+		}
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		j.mu.Lock()
+		j.state = Running
+		j.alloc = alloc
+		j.start = time.Now()
+		if j.Req.Walltime > 0 {
+			j.timer = time.AfterFunc(j.Req.Walltime, func() { j.finish(TimedOut) })
+		}
+		close(j.started)
+		j.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) release(a *Allocation) {
+	s.mu.Lock()
+	for _, g := range a.Groups {
+		for _, n := range g.Nodes {
+			s.free[n.ID] = n
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) dequeue(j *Job) {
+	s.mu.Lock()
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for k := i; k > 0 && v[k] < v[k-1]; k-- {
+			v[k], v[k-1] = v[k-1], v[k]
+		}
+	}
+}

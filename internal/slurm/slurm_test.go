@@ -1,0 +1,131 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+
+	"qfw/internal/cluster"
+)
+
+func TestHetGroupAllocation(t *testing.T) {
+	s := NewScheduler(cluster.Frontier(4))
+	job, err := s.Submit(JobReq{
+		Name: "qfw",
+		HetGroups: []GroupReq{
+			{Name: "hetgroup-0", Nodes: 1},
+			{Name: "hetgroup-1", Nodes: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := job.WaitStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Group(0).Nodes) != 1 || len(alloc.Group(1).Nodes) != 3 {
+		t.Fatalf("group sizes %d/%d", len(alloc.Group(0).Nodes), len(alloc.Group(1).Nodes))
+	}
+	// Disjoint nodes.
+	seen := map[int]bool{}
+	for _, g := range alloc.Groups {
+		for _, n := range g.Nodes {
+			if seen[n.ID] {
+				t.Fatalf("node %d allocated twice", n.ID)
+			}
+			seen[n.ID] = true
+		}
+	}
+	if s.FreeNodes() != 0 {
+		t.Fatalf("free nodes %d, want 0", s.FreeNodes())
+	}
+	job.Complete()
+	if s.FreeNodes() != 4 {
+		t.Fatalf("nodes not released: %d free", s.FreeNodes())
+	}
+	if job.State() != Completed {
+		t.Fatalf("state %s", job.State())
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	s := NewScheduler(cluster.Frontier(2))
+	j1, err := s.Submit(JobReq{Name: "a", HetGroups: []GroupReq{{Name: "g", Nodes: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.WaitStart(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(JobReq{Name: "b", HetGroups: []GroupReq{{Name: "g", Nodes: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.State() != Pending {
+		t.Fatalf("j2 should be pending while j1 holds all nodes, got %s", j2.State())
+	}
+	j1.Complete()
+	if _, err := j2.WaitStart(); err != nil {
+		t.Fatal(err)
+	}
+	j2.Complete()
+}
+
+func TestOversizedJobRejected(t *testing.T) {
+	s := NewScheduler(cluster.Frontier(2))
+	if _, err := s.Submit(JobReq{Name: "big", HetGroups: []GroupReq{{Name: "g", Nodes: 3}}}); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if _, err := s.Submit(JobReq{Name: "zero", HetGroups: []GroupReq{{Name: "g", Nodes: 0}}}); err == nil {
+		t.Fatal("expected rejection of zero-node group")
+	}
+}
+
+func TestWalltimeEnforcement(t *testing.T) {
+	s := NewScheduler(cluster.Frontier(1))
+	job, err := s.Submit(JobReq{
+		Name:      "short",
+		HetGroups: []GroupReq{{Name: "g", Nodes: 1}},
+		Walltime:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.WaitStart(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("walltime not enforced")
+	}
+	if job.State() != TimedOut {
+		t.Fatalf("state %s, want TIMEOUT", job.State())
+	}
+	if s.FreeNodes() != 1 {
+		t.Fatal("timed-out job did not release nodes")
+	}
+}
+
+func TestCancelPendingJob(t *testing.T) {
+	s := NewScheduler(cluster.Frontier(1))
+	j1, _ := s.Submit(JobReq{Name: "hold", HetGroups: []GroupReq{{Name: "g", Nodes: 1}}})
+	if _, err := j1.WaitStart(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := s.Submit(JobReq{Name: "waiting", HetGroups: []GroupReq{{Name: "g", Nodes: 1}}})
+	j2.Cancel()
+	if j2.State() != Cancelled {
+		t.Fatalf("state %s", j2.State())
+	}
+	if _, err := j2.WaitStart(); err == nil {
+		t.Fatal("cancelled job should report no allocation")
+	}
+	j1.Complete()
+	// Queue must not be blocked by the cancelled entry.
+	j3, _ := s.Submit(JobReq{Name: "next", HetGroups: []GroupReq{{Name: "g", Nodes: 1}}})
+	if _, err := j3.WaitStart(); err != nil {
+		t.Fatal(err)
+	}
+	j3.Complete()
+}

@@ -1,0 +1,275 @@
+// Package stabilizer implements the Aaronson–Gottesman CHP tableau simulator
+// for Clifford circuits. It backs Qiskit Aer's "stabilizer" sub-backend in
+// the framework and is the fast path chosen by the "automatic" selector for
+// Clifford-only workloads such as GHZ preparation.
+package stabilizer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qfw/internal/circuit"
+)
+
+// Tableau is the CHP stabilizer tableau: rows 0..n-1 are destabilizers,
+// rows n..2n-1 are stabilizers, plus one scratch row. x and z are bit
+// matrices (booleans), r holds the phase bits.
+type Tableau struct {
+	N int
+	x [][]bool
+	z [][]bool
+	r []bool
+}
+
+// New returns the tableau of |0...0>.
+func New(n int) *Tableau {
+	if n < 1 {
+		panic("stabilizer: need at least one qubit")
+	}
+	t := &Tableau{N: n}
+	rows := 2*n + 1
+	t.x = make([][]bool, rows)
+	t.z = make([][]bool, rows)
+	t.r = make([]bool, rows)
+	for i := range t.x {
+		t.x[i] = make([]bool, n)
+		t.z[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		t.x[i][i] = true   // destabilizer X_i
+		t.z[n+i][i] = true // stabilizer Z_i
+	}
+	return t
+}
+
+// Copy returns a deep copy.
+func (t *Tableau) Copy() *Tableau {
+	out := &Tableau{N: t.N, r: append([]bool(nil), t.r...)}
+	out.x = make([][]bool, len(t.x))
+	out.z = make([][]bool, len(t.z))
+	for i := range t.x {
+		out.x[i] = append([]bool(nil), t.x[i]...)
+		out.z[i] = append([]bool(nil), t.z[i]...)
+	}
+	return out
+}
+
+// H applies a Hadamard on qubit q.
+func (t *Tableau) H(q int) {
+	for i := range t.x {
+		t.r[i] = t.r[i] != (t.x[i][q] && t.z[i][q])
+		t.x[i][q], t.z[i][q] = t.z[i][q], t.x[i][q]
+	}
+}
+
+// S applies the phase gate on qubit q.
+func (t *Tableau) S(q int) {
+	for i := range t.x {
+		t.r[i] = t.r[i] != (t.x[i][q] && t.z[i][q])
+		t.z[i][q] = t.z[i][q] != t.x[i][q]
+	}
+}
+
+// CX applies a CNOT with the given control and target.
+func (t *Tableau) CX(c, q int) {
+	for i := range t.x {
+		t.r[i] = t.r[i] != (t.x[i][c] && t.z[i][q] && (t.x[i][q] != (!t.z[i][c])))
+		t.x[i][q] = t.x[i][q] != t.x[i][c]
+		t.z[i][c] = t.z[i][c] != t.z[i][q]
+	}
+}
+
+// Derived Cliffords.
+
+// X applies Pauli X (= H S S H... implemented via phase flips directly).
+func (t *Tableau) X(q int) { t.H(q); t.Z(q); t.H(q) }
+
+// Z applies Pauli Z (= S S).
+func (t *Tableau) Z(q int) { t.S(q); t.S(q) }
+
+// Y applies Pauli Y (= S X S S S... use Z then X with phase, phases of ±i
+// cancel in the tableau representation).
+func (t *Tableau) Y(q int) { t.Z(q); t.X(q) }
+
+// Sdg applies S† (= S S S).
+func (t *Tableau) Sdg(q int) { t.S(q); t.S(q); t.S(q) }
+
+// CZ applies a controlled-Z.
+func (t *Tableau) CZ(c, q int) { t.H(q); t.CX(c, q); t.H(q) }
+
+// SWAP exchanges two qubits.
+func (t *Tableau) SWAP(a, b int) { t.CX(a, b); t.CX(b, a); t.CX(a, b) }
+
+// rowsum implements the CHP "rowsum" operation: row h ← row h * row i,
+// tracking the phase exponent mod 4.
+func (t *Tableau) rowsum(h, i int) {
+	g := 0 // phase exponent accumulator (mod 4)
+	for j := 0; j < t.N; j++ {
+		x1, z1 := t.x[i][j], t.z[i][j]
+		x2, z2 := t.x[h][j], t.z[h][j]
+		switch {
+		case !x1 && !z1:
+			// identity contributes 0
+		case x1 && z1: // Y
+			g += b2i(z2) - b2i(x2)
+		case x1 && !z1: // X
+			g += b2i(z2) * (2*b2i(x2) - 1)
+		case !x1 && z1: // Z
+			g += b2i(x2) * (1 - 2*b2i(z2))
+		}
+	}
+	g += 2*b2i(t.r[h]) + 2*b2i(t.r[i])
+	g %= 4
+	if g < 0 {
+		g += 4
+	}
+	t.r[h] = g == 2
+	for j := 0; j < t.N; j++ {
+		t.x[h][j] = t.x[h][j] != t.x[i][j]
+		t.z[h][j] = t.z[h][j] != t.z[i][j]
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Measure performs a computational-basis measurement of qubit q.
+func (t *Tableau) Measure(q int, rng *rand.Rand) int {
+	n := t.N
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.x[i][q] {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Outcome is random.
+		for i := 0; i < 2*n; i++ {
+			if i != p && t.x[i][q] {
+				t.rowsum(i, p)
+			}
+		}
+		copy(t.x[p-n], t.x[p])
+		copy(t.z[p-n], t.z[p])
+		t.r[p-n] = t.r[p]
+		for j := 0; j < n; j++ {
+			t.x[p][j] = false
+			t.z[p][j] = false
+		}
+		t.z[p][q] = true
+		outcome := rng.Intn(2)
+		t.r[p] = outcome == 1
+		return outcome
+	}
+	// Deterministic outcome: use the scratch row.
+	scratch := 2 * n
+	for j := 0; j < n; j++ {
+		t.x[scratch][j] = false
+		t.z[scratch][j] = false
+	}
+	t.r[scratch] = false
+	for i := 0; i < n; i++ {
+		if t.x[i][q] {
+			t.rowsum(scratch, i+n)
+		}
+	}
+	if t.r[scratch] {
+		return 1
+	}
+	return 0
+}
+
+// ApplyGate dispatches a Clifford circuit gate.
+func (t *Tableau) ApplyGate(g circuit.Gate, rng *rand.Rand, cbits []int) error {
+	switch g.Kind {
+	case circuit.KindI, circuit.KindBarrier:
+	case circuit.KindH:
+		t.H(g.Qubits[0])
+	case circuit.KindX:
+		t.X(g.Qubits[0])
+	case circuit.KindY:
+		t.Y(g.Qubits[0])
+	case circuit.KindZ:
+		t.Z(g.Qubits[0])
+	case circuit.KindS:
+		t.S(g.Qubits[0])
+	case circuit.KindSdg:
+		t.Sdg(g.Qubits[0])
+	case circuit.KindCX:
+		t.CX(g.Qubits[0], g.Qubits[1])
+	case circuit.KindCZ:
+		t.CZ(g.Qubits[0], g.Qubits[1])
+	case circuit.KindSWAP:
+		t.SWAP(g.Qubits[0], g.Qubits[1])
+	case circuit.KindCY:
+		t.Sdg(g.Qubits[1])
+		t.CX(g.Qubits[0], g.Qubits[1])
+		t.S(g.Qubits[1])
+	case circuit.KindMeasure:
+		out := t.Measure(g.Qubits[0], rng)
+		if g.Cbit >= 0 && g.Cbit < len(cbits) {
+			cbits[g.Cbit] = out
+		}
+	case circuit.KindReset:
+		if t.Measure(g.Qubits[0], rng) == 1 {
+			t.X(g.Qubits[0])
+		}
+	default:
+		return fmt.Errorf("stabilizer: non-Clifford gate %s", g.Kind.Name())
+	}
+	return nil
+}
+
+// Simulate runs a Clifford circuit for the requested shots, sampling by
+// re-measuring fresh tableau copies (mid-circuit measurement supported).
+func Simulate(c *circuit.Circuit, shots int, rng *rand.Rand) (map[string]int, error) {
+	if !c.IsClifford() {
+		return nil, fmt.Errorf("stabilizer: circuit %q contains non-Clifford gates", c.Name)
+	}
+	if shots <= 0 {
+		shots = 1024
+	}
+	// Run the unitary prefix once; per-shot work is only the measurements.
+	base := New(c.NQubits)
+	firstMeasure := len(c.Gates)
+	for i, g := range c.Gates {
+		if g.Kind == circuit.KindMeasure {
+			firstMeasure = i
+			break
+		}
+		if err := base.ApplyGate(g, rng, nil); err != nil {
+			return nil, err
+		}
+	}
+	counts := make(map[string]int)
+	for s := 0; s < shots; s++ {
+		t := base.Copy()
+		bits := make([]int, c.NQubits)
+		measured := false
+		for _, g := range c.Gates[firstMeasure:] {
+			if err := t.ApplyGate(g, rng, bits); err != nil {
+				return nil, err
+			}
+			if g.Kind == circuit.KindMeasure {
+				measured = true
+			}
+		}
+		if !measured {
+			// No measurements: measure everything (terminal sampling).
+			for q := 0; q < c.NQubits; q++ {
+				bits[q] = t.Measure(q, rng)
+			}
+		}
+		key := make([]byte, c.NQubits)
+		for q := 0; q < c.NQubits; q++ {
+			key[c.NQubits-1-q] = byte('0' + bits[q])
+		}
+		counts[string(key)]++
+	}
+	return counts, nil
+}

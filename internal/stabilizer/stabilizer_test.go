@@ -1,0 +1,142 @@
+package stabilizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qfw/internal/circuit"
+	"qfw/internal/statevec"
+)
+
+func TestGHZCorrelations(t *testing.T) {
+	c := circuit.New(4)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll()
+	counts, err := Simulate(c, 2000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, n := range counts {
+		if key != "0000" && key != "1111" {
+			t.Fatalf("GHZ produced %q x%d", key, n)
+		}
+	}
+	if counts["0000"] < 800 || counts["1111"] < 800 {
+		t.Fatalf("GHZ counts skewed: %v", counts)
+	}
+}
+
+func TestDeterministicOutcome(t *testing.T) {
+	c := circuit.New(2)
+	c.X(0).MeasureAll()
+	counts, err := Simulate(c, 100, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["01"] != 100 {
+		t.Fatalf("deterministic X measurement wrong: %v", counts)
+	}
+}
+
+func TestRejectsNonClifford(t *testing.T) {
+	c := circuit.New(1)
+	c.T(0)
+	if _, err := Simulate(c, 10, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatal("expected error for T gate")
+	}
+}
+
+func TestResetAndMidCircuitMeasure(t *testing.T) {
+	c := circuit.New(2)
+	c.X(0).Measure(0, 0).Reset(0).Measure(0, 1)
+	counts, err := Simulate(c, 50, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cbit0=1, cbit1=0 -> key "01" (cbit 0 rightmost).
+	if counts["01"] != 50 {
+		t.Fatalf("reset semantics wrong: %v", counts)
+	}
+}
+
+func randomClifford(n, depth int, rng *rand.Rand) *circuit.Circuit {
+	kinds := []circuit.Kind{circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg, circuit.KindCX, circuit.KindCZ, circuit.KindSWAP, circuit.KindCY}
+	c := circuit.New(n)
+	for i := 0; i < depth; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		qs := rng.Perm(n)[:k.NumQubits()]
+		c.Append(circuit.Gate{Kind: k, Qubits: qs})
+	}
+	return c
+}
+
+func TestQuickAgreesWithStatevector(t *testing.T) {
+	// Property: outcome distributions of random Clifford circuits match the
+	// state-vector simulator within sampling error.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		c := randomClifford(n, 15, rng)
+		c.MeasureAll()
+		shots := 3000
+		sc, err := Simulate(c, shots, rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			return false
+		}
+		vc := statevec.Simulate(c, shots, 1, rand.New(rand.NewSource(seed+2)))
+		// Compare per-outcome frequencies.
+		keys := map[string]bool{}
+		for k := range sc {
+			keys[k] = true
+		}
+		for k := range vc {
+			keys[k] = true
+		}
+		for k := range keys {
+			fa := float64(sc[k]) / float64(shots)
+			fb := float64(vc[k]) / float64(shots)
+			if math.Abs(fa-fb) > 0.06 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableauCopyIndependent(t *testing.T) {
+	a := New(3)
+	b := a.Copy()
+	a.H(0)
+	// Measuring qubit 0 on b must be deterministic 0 (b untouched).
+	if out := b.Measure(0, rand.New(rand.NewSource(6))); out != 0 {
+		t.Fatalf("copy not independent, measured %d", out)
+	}
+}
+
+func TestBellPairRandomButCorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sawZero, sawOne := false, false
+	for trial := 0; trial < 50; trial++ {
+		tab := New(2)
+		tab.H(0)
+		tab.CX(0, 1)
+		m0 := tab.Measure(0, rng)
+		m1 := tab.Measure(1, rng)
+		if m0 != m1 {
+			t.Fatalf("Bell pair decorrelated: %d %d", m0, m1)
+		}
+		if m0 == 0 {
+			sawZero = true
+		} else {
+			sawOne = true
+		}
+	}
+	if !sawZero || !sawOne {
+		t.Fatal("measurement not random")
+	}
+}

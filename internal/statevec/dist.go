@@ -1,0 +1,240 @@
+package statevec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qfw/internal/circuit"
+	"qfw/internal/mpi"
+)
+
+// Distributed state-vector simulation (the NWQ-Sim / SV-Sim analog): the
+// 2^n amplitudes are partitioned across P = 2^g MPI ranks; each rank owns
+// the contiguous block whose top g index bits equal its rank. Gates on
+// "local" qubits (low n-g bits) run without communication; gates on
+// "global" qubits exchange the whole local block with a partner rank via
+// Sendrecv, exactly like PGAS-style amplitude-pair swapping in SV-Sim.
+
+// distState is one rank's shard of the global state vector.
+type distState struct {
+	n      int // total qubits
+	nLocal int // qubits stored in the local index
+	comm   *mpi.Comm
+	amp    []complex128
+}
+
+// RunDistributed executes a bound circuit on the communicator's ranks and
+// returns the sampled counts on rank 0 (nil on other ranks). The world size
+// must be a power of two not exceeding 2^n.
+func RunDistributed(comm *mpi.Comm, c *circuit.Circuit, shots int, seed int64) (map[string]int, error) {
+	counts, _, err := RunDistributedObs(comm, c, shots, seed, nil)
+	return counts, err
+}
+
+// RunDistributedObs is RunDistributed plus an optional diagonal observable:
+// each rank reduces its local probability-weighted energy and the global
+// expectation is Allreduced (valid on every rank).
+func RunDistributedObs(comm *mpi.Comm, c *circuit.Circuit, shots int, seed int64, diag func(idx int) float64) (map[string]int, *float64, error) {
+	p := comm.Size()
+	if p&(p-1) != 0 {
+		return nil, nil, fmt.Errorf("statevec: world size %d is not a power of two", p)
+	}
+	g := 0
+	for 1<<uint(g) < p {
+		g++
+	}
+	if g > c.NQubits {
+		return nil, nil, fmt.Errorf("statevec: %d ranks exceed 2^%d amplitudes", p, c.NQubits)
+	}
+	if !c.IsBound() {
+		return nil, nil, fmt.Errorf("statevec: circuit has unbound parameters")
+	}
+	ds := &distState{
+		n:      c.NQubits,
+		nLocal: c.NQubits - g,
+		comm:   comm,
+		amp:    make([]complex128, 1<<uint(c.NQubits-g)),
+	}
+	if comm.Rank() == 0 {
+		ds.amp[0] = 1
+	}
+	tc := circuit.Transpile(c.StripMeasurements(), circuit.BasicGateSet())
+	for _, gate := range tc.Gates {
+		if err := ds.apply(gate); err != nil {
+			return nil, nil, err
+		}
+	}
+	if shots <= 0 {
+		shots = 1024
+	}
+	var expVal *float64
+	if diag != nil {
+		base := comm.Rank() << uint(ds.nLocal)
+		var local float64
+		for i, a := range ds.amp {
+			pr := real(a)*real(a) + imag(a)*imag(a)
+			if pr > 0 {
+				local += pr * diag(base|i)
+			}
+		}
+		v := comm.AllreduceSum(local)
+		expVal = &v
+	}
+	return ds.sample(shots, seed), expVal, nil
+}
+
+// rankBit returns the value of global qubit q encoded in the rank id.
+func (d *distState) rankBit(q int) int {
+	return (d.comm.Rank() >> uint(q-d.nLocal)) & 1
+}
+
+func (d *distState) apply(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.KindBarrier, circuit.KindI, circuit.KindMeasure, circuit.KindReset:
+		return nil
+	}
+	var theta float64
+	if g.Kind.NumParams() == 1 {
+		theta = g.Angle()
+	}
+	if g.Kind.NumQubits() == 1 {
+		d.apply1Q(circuit.Matrix1Q(g.Kind, theta), g.Qubits[0])
+		return nil
+	}
+	if m, ok := circuit.ControlledTarget(g.Kind, theta); ok && g.Kind.NumQubits() == 2 {
+		d.applyControlled(m, g.Qubits[0], g.Qubits[1])
+		return nil
+	}
+	return fmt.Errorf("statevec: distributed engine cannot execute %s (transpile bug)", g.Kind.Name())
+}
+
+func (d *distState) apply1Q(m [2][2]complex128, q int) {
+	if q < d.nLocal {
+		d.local1Q(m, q, -1, false)
+		return
+	}
+	d.global1Q(m, q, -1, false)
+}
+
+func (d *distState) applyControlled(m [2][2]complex128, ctrl, tgt int) {
+	// A global control that is 0 on this rank means no work anywhere the
+	// rank owns — and the Sendrecv partner for a global target shares the
+	// control bit, so skipping is globally consistent.
+	if ctrl >= d.nLocal {
+		if d.rankBit(ctrl) == 0 {
+			return
+		}
+		if tgt < d.nLocal {
+			d.local1Q(m, tgt, -1, false)
+		} else {
+			d.global1Q(m, tgt, -1, false)
+		}
+		return
+	}
+	if tgt < d.nLocal {
+		d.local1Q(m, tgt, ctrl, true)
+		return
+	}
+	d.global1Q(m, tgt, ctrl, true)
+}
+
+// local1Q applies the matrix to a local qubit, optionally gated on a local
+// control bit.
+func (d *distState) local1Q(m [2][2]complex128, q, ctrl int, hasCtrl bool) {
+	bit := 1 << uint(q)
+	var cmask int
+	if hasCtrl {
+		cmask = 1 << uint(ctrl)
+	}
+	half := len(d.amp) >> 1
+	for j := 0; j < half; j++ {
+		i0 := insertZeroBit(j, q)
+		if hasCtrl && i0&cmask == 0 {
+			continue
+		}
+		i1 := i0 | bit
+		a0, a1 := d.amp[i0], d.amp[i1]
+		d.amp[i0] = m[0][0]*a0 + m[0][1]*a1
+		d.amp[i1] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// global1Q applies the matrix to a qubit stored in the rank bits: exchange
+// the local block with the partner rank, then combine elementwise.
+func (d *distState) global1Q(m [2][2]complex128, q, ctrl int, hasCtrl bool) {
+	partner := d.comm.Rank() ^ (1 << uint(q-d.nLocal))
+	// Hand our buffer to the partner; we receive theirs.
+	theirs := d.comm.Sendrecv(partner, int(q), d.amp).([]complex128)
+	myBit := d.rankBit(q)
+	var cmask int
+	if hasCtrl {
+		cmask = 1 << uint(ctrl)
+	}
+	next := make([]complex128, len(d.amp))
+	for i := range next {
+		if hasCtrl && i&cmask == 0 {
+			next[i] = d.amp[i]
+			continue
+		}
+		if myBit == 0 {
+			next[i] = m[0][0]*d.amp[i] + m[0][1]*theirs[i]
+		} else {
+			next[i] = m[1][0]*theirs[i] + m[1][1]*d.amp[i]
+		}
+	}
+	d.amp = next
+}
+
+// sample draws shots bitstrings from the distributed distribution. Rank 0
+// assigns shots to ranks by their probability mass, each rank samples its
+// local block, and rank 0 merges the results.
+func (d *distState) sample(shots int, seed int64) map[string]int {
+	var localMass float64
+	cum := make([]float64, len(d.amp))
+	for i, a := range d.amp {
+		localMass += real(a)*real(a) + imag(a)*imag(a)
+		cum[i] = localMass
+	}
+	masses := d.comm.Allgather(localMass)
+	// Deterministic shot split: every rank computes the same assignment.
+	rng := rand.New(rand.NewSource(seed))
+	perRank := make([]int, d.comm.Size())
+	var total float64
+	rankCum := make([]float64, d.comm.Size())
+	for r, m := range masses {
+		total += m.(float64)
+		rankCum[r] = total
+	}
+	for s := 0; s < shots; s++ {
+		x := rng.Float64() * total
+		r := sort.SearchFloat64s(rankCum, x)
+		if r >= len(perRank) {
+			r = len(perRank) - 1
+		}
+		perRank[r]++
+	}
+	// Each rank samples its share locally.
+	localRng := rand.New(rand.NewSource(seed + int64(d.comm.Rank()) + 1))
+	localCounts := make(map[string]int)
+	base := d.comm.Rank() << uint(d.nLocal)
+	for s := 0; s < perRank[d.comm.Rank()]; s++ {
+		x := localRng.Float64() * localMass
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(cum) {
+			i = len(cum) - 1
+		}
+		localCounts[FormatBits(base|i, d.n)]++
+	}
+	gathered := d.comm.Gather(0, localCounts)
+	if d.comm.Rank() != 0 {
+		return nil
+	}
+	merged := make(map[string]int)
+	for _, g := range gathered {
+		for k, v := range g.(map[string]int) {
+			merged[k] += v
+		}
+	}
+	return merged
+}

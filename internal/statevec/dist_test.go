@@ -1,0 +1,145 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/mpi"
+)
+
+// runDist executes a circuit over p ranks and returns the rank-0 counts.
+func runDist(t *testing.T, c *circuit.Circuit, p, shots int, seed int64) map[string]int {
+	t.Helper()
+	w := mpi.NewWorld(p)
+	var counts map[string]int
+	err := w.Run(func(comm *mpi.Comm) error {
+		got, err := RunDistributed(comm, c, shots, seed)
+		if comm.Rank() == 0 {
+			counts = got
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+func TestDistributedGHZ(t *testing.T) {
+	c := circuit.New(5)
+	c.H(0)
+	for i := 0; i+1 < 5; i++ {
+		c.CX(i, i+1)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		counts := runDist(t, c, p, 2000, 42)
+		total := 0
+		for key, n := range counts {
+			if key != "00000" && key != "11111" {
+				t.Fatalf("p=%d: unexpected GHZ outcome %q", p, key)
+			}
+			total += n
+		}
+		if total != 2000 {
+			t.Fatalf("p=%d: total %d", p, total)
+		}
+		if counts["00000"] < 800 || counts["11111"] < 800 {
+			t.Fatalf("p=%d: skewed %v", p, counts)
+		}
+	}
+}
+
+func TestDistributedMatchesSerialDistribution(t *testing.T) {
+	// Compare sampled frequencies between the serial engine and distributed
+	// runs with several rank counts on a random circuit.
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(6, 40, rng)
+	c.Name = "dist-check"
+	shots := 6000
+	serial := Simulate(c, shots, 1, rand.New(rand.NewSource(1)))
+	for _, p := range []int{2, 4, 8} {
+		dist := runDist(t, c, p, shots, 99)
+		keys := map[string]bool{}
+		for k := range serial {
+			keys[k] = true
+		}
+		for k := range dist {
+			keys[k] = true
+		}
+		for k := range keys {
+			fa := float64(serial[k]) / float64(shots)
+			fb := float64(dist[k]) / float64(shots)
+			if math.Abs(fa-fb) > 0.05 {
+				t.Fatalf("p=%d key %s: serial %.3f vs dist %.3f", p, k, fa, fb)
+			}
+		}
+	}
+}
+
+func TestDistributedGlobalControlGate(t *testing.T) {
+	// Entangle the top qubit (global for p>1) as control of a local target.
+	c := circuit.New(4)
+	c.X(3).CX(3, 0) // |1001>
+	counts := runDist(t, c, 4, 100, 5)
+	if counts["1001"] != 100 {
+		t.Fatalf("counts %v, want all 1001", counts)
+	}
+	// Control not satisfied: nothing happens.
+	c2 := circuit.New(4)
+	c2.CX(3, 0)
+	counts2 := runDist(t, c2, 4, 100, 5)
+	if counts2["0000"] != 100 {
+		t.Fatalf("counts %v, want all 0000", counts2)
+	}
+}
+
+func TestDistributedGlobalTargetWithLocalControl(t *testing.T) {
+	c := circuit.New(4)
+	c.X(0).CX(0, 3) // |1001>
+	counts := runDist(t, c, 4, 100, 6)
+	if counts["1001"] != 100 {
+		t.Fatalf("counts %v", counts)
+	}
+}
+
+func TestDistributedErrors(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	w := mpi.NewWorld(3) // not a power of two
+	err := w.Run(func(comm *mpi.Comm) error {
+		_, err := RunDistributed(comm, c, 16, 1)
+		if err == nil {
+			t.Error("expected power-of-two error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8 := mpi.NewWorld(8) // more ranks than amplitudes
+	err = w8.Run(func(comm *mpi.Comm) error {
+		_, err := RunDistributed(comm, c, 16, 1)
+		if err == nil {
+			t.Error("expected too-many-ranks error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedShotConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomCircuit(5, 25, rng)
+	counts := runDist(t, c, 4, 1234, 11)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1234 {
+		t.Fatalf("shot total %d, want 1234", total)
+	}
+}

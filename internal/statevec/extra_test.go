@@ -1,0 +1,135 @@
+package statevec
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/mpi"
+)
+
+func TestParseQASMU2U3Semantics(t *testing.T) {
+	// u3(θ,φ,λ) must act like RZ(φ)·RY(θ)·RZ(λ) up to global phase.
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+u3(0.7,0.3,-0.4) q[0];
+`
+	parsed, err := circuit.ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := circuit.New(1)
+	ref.RZ(0, circuit.Bound(-0.4)).RY(0, circuit.Bound(0.7)).RZ(0, circuit.Bound(0.3))
+	a, _ := RunCircuit(parsed, 1, rand.New(rand.NewSource(0)))
+	b, _ := RunCircuit(ref, 1, rand.New(rand.NewSource(0)))
+	if math.Abs(cmplx.Abs(a.InnerProduct(b))-1) > 1e-10 {
+		t.Fatal("u3 semantics wrong")
+	}
+	// u2(φ,λ) = u3(π/2, φ, λ).
+	src2 := `OPENQASM 2.0;
+qreg q[1];
+u2(0.3,-0.4) q[0];
+`
+	parsed2, err := circuit.ParseQASM(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2 := circuit.New(1)
+	ref2.RZ(0, circuit.Bound(-0.4)).RY(0, circuit.Bound(math.Pi/2)).RZ(0, circuit.Bound(0.3))
+	a2, _ := RunCircuit(parsed2, 1, rand.New(rand.NewSource(0)))
+	b2, _ := RunCircuit(ref2, 1, rand.New(rand.NewSource(0)))
+	if math.Abs(cmplx.Abs(a2.InnerProduct(b2))-1) > 1e-10 {
+		t.Fatal("u2 semantics wrong")
+	}
+}
+
+func TestExpectationDiagonal(t *testing.T) {
+	// <Z0> on RY(0.8)|0> is cos(0.8).
+	c := circuit.New(2)
+	c.RY(0, circuit.Bound(0.8))
+	s, _ := RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	got := s.ExpectationDiagonal(func(idx int) float64 {
+		if idx&1 == 1 {
+			return -1
+		}
+		return 1
+	})
+	if math.Abs(got-math.Cos(0.8)) > 1e-12 {
+		t.Fatalf("<Z0> = %g, want %g", got, math.Cos(0.8))
+	}
+}
+
+func TestCSwapGate(t *testing.T) {
+	// CSWAP with control set swaps targets.
+	c := circuit.New(3)
+	c.X(0).X(1).CSWAP(0, 1, 2) // |011> -> control q0=1, swap q1,q2 -> |101>
+	s, _ := RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	want := 1<<0 | 1<<2 // q0=1, q2=1
+	if cmplx.Abs(s.Amp[want]-1) > 1e-12 {
+		t.Fatalf("cswap wrong state: %v", s.Amp)
+	}
+	// Control clear: no swap.
+	c2 := circuit.New(3)
+	c2.X(1).CSWAP(0, 1, 2)
+	s2, _ := RunCircuit(c2, 1, rand.New(rand.NewSource(0)))
+	if cmplx.Abs(s2.Amp[2]-1) > 1e-12 {
+		t.Fatalf("cswap fired without control: %v", s2.Amp)
+	}
+}
+
+func TestChunkedLargeState(t *testing.T) {
+	// Chunked workers handle a state big enough to actually split (>= 2^12).
+	c := circuit.New(14)
+	for q := 0; q < 14; q++ {
+		c.H(q)
+	}
+	c.RZZ(0, 13, circuit.Bound(0.5))
+	s1, _ := RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	s8, _ := RunCircuit(c, 8, rand.New(rand.NewSource(0)))
+	for i := 0; i < len(s1.Amp); i += 997 {
+		if cmplx.Abs(s1.Amp[i]-s8.Amp[i]) > 1e-12 {
+			t.Fatalf("chunked mismatch at %d", i)
+		}
+	}
+}
+
+func TestDistributedObservable(t *testing.T) {
+	// Distributed diagonal expectation equals the serial one.
+	rng := rand.New(rand.NewSource(21))
+	c := randomCircuit(6, 30, rng)
+	diag := func(idx int) float64 {
+		e := 0.0
+		for q := 0; q < 6; q++ {
+			if idx&(1<<uint(q)) != 0 {
+				e -= float64(q + 1)
+			} else {
+				e += float64(q + 1)
+			}
+		}
+		return e
+	}
+	sSerial, _ := RunCircuit(circuit.Transpile(c, circuit.BasicGateSet()), 1, rand.New(rand.NewSource(0)))
+	want := sSerial.ExpectationDiagonal(diag)
+	w := mpi.NewWorld(4)
+	err := w.Run(func(comm *mpi.Comm) error {
+		_, ev, err := RunDistributedObs(comm, c, 16, 3, diag)
+		if err != nil {
+			return err
+		}
+		if ev == nil {
+			t.Error("nil expectation")
+			return nil
+		}
+		if math.Abs(*ev-want) > 1e-9 {
+			t.Errorf("rank %d: <H> = %g, want %g", comm.Rank(), *ev, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package statevec implements a full state-vector quantum circuit simulator
+// with three execution modes used by different backends in the framework:
+//
+//   - serial: one goroutine (Qiskit-Aer-statevector single-core analog),
+//   - chunked: the amplitude loops are split across worker goroutines
+//     (Aer "chunking" / NWQ-Sim OpenMP analog),
+//   - distributed (see dist.go): amplitudes partitioned across MPI-style
+//     ranks with pair exchange for high-order qubits (NWQ-Sim MPI analog).
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"qfw/internal/circuit"
+	"qfw/internal/linalg"
+	"qfw/internal/pauli"
+)
+
+// State is a dense state vector on N qubits. Qubit q maps to bit q of the
+// amplitude index (qubit 0 = least-significant bit). Workers controls how
+// many goroutines the gate kernels use (<=1 means serial).
+type State struct {
+	N       int
+	Amp     []complex128
+	Workers int
+}
+
+// NewState returns |0...0> on n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > 30 {
+		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<uint(n)), Workers: 1}
+	s.Amp[0] = 1
+	return s
+}
+
+// Copy returns a deep copy of the state.
+func (s *State) Copy() *State {
+	out := &State{N: s.N, Amp: make([]complex128, len(s.Amp)), Workers: s.Workers}
+	copy(out.Amp, s.Amp)
+	return out
+}
+
+// Norm returns the 2-norm of the state (should be 1 for valid states).
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(acc)
+}
+
+// InnerProduct returns <s|o>.
+func (s *State) InnerProduct(o *State) complex128 {
+	if s.N != o.N {
+		panic("statevec: inner product dimension mismatch")
+	}
+	var acc complex128
+	for i, a := range s.Amp {
+		acc += cmplx.Conj(a) * o.Amp[i]
+	}
+	return acc
+}
+
+// parallelFor splits [0, n) into contiguous chunks across the state's workers.
+func (s *State) parallelFor(n int, body func(start, end int)) {
+	w := s.Workers
+	if w <= 1 || n < 1<<12 {
+		body(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			body(a, b)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// insertZeroBit expands compressed index j by inserting a 0 at bit position q.
+func insertZeroBit(j, q int) int {
+	mask := (1 << uint(q)) - 1
+	return ((j &^ mask) << 1) | (j & mask)
+}
+
+// Apply1Q applies a 2x2 matrix to qubit q.
+func (s *State) Apply1Q(m [2][2]complex128, q int) {
+	half := len(s.Amp) >> 1
+	bit := 1 << uint(q)
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, q)
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = m[0][0]*a0 + m[0][1]*a1
+			s.Amp[i1] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
+}
+
+// ApplyControlled1Q applies a 2x2 matrix to the target qubit when every
+// control qubit is 1.
+func (s *State) ApplyControlled1Q(m [2][2]complex128, controls []int, target int) {
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	bit := 1 << uint(target)
+	half := len(s.Amp) >> 1
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, target)
+			if i0&cmask != cmask {
+				continue
+			}
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = m[0][0]*a0 + m[0][1]*a1
+			s.Amp[i1] = m[1][0]*a0 + m[1][1]*a1
+		}
+	})
+}
+
+// ApplySwap exchanges qubits a and b, optionally under controls.
+func (s *State) ApplySwap(a, b int, controls []int) {
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	n := len(s.Amp)
+	s.parallelFor(n, func(start, end int) {
+		for i := start; i < end; i++ {
+			// Act once per (0,1) pair: pick representatives with a-bit=0, b-bit=1.
+			if i&abit != 0 || i&bbit == 0 {
+				continue
+			}
+			if i&cmask != cmask {
+				continue
+			}
+			jj := (i | abit) &^ bbit
+			s.Amp[i], s.Amp[jj] = s.Amp[jj], s.Amp[i]
+		}
+	})
+}
+
+// ApplyRZZ multiplies amplitudes by exp(∓iθ/2) according to the parity of
+// qubits a and b — a fast diagonal path used heavily by TFIM/QAOA circuits.
+func (s *State) ApplyRZZ(a, b int, theta float64) {
+	em := cmplx.Exp(complex(0, -theta/2))
+	ep := cmplx.Exp(complex(0, theta/2))
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	s.parallelFor(len(s.Amp), func(start, end int) {
+		for i := start; i < end; i++ {
+			if ((i&abit != 0) != (i&bbit != 0)) == false {
+				s.Amp[i] *= em // even parity
+			} else {
+				s.Amp[i] *= ep // odd parity
+			}
+		}
+	})
+}
+
+// Apply2QDense applies a 4x4 matrix to qubits (hi, lo), where hi is the more
+// significant qubit in the matrix basis |hi lo>.
+func (s *State) Apply2QDense(m *linalg.Matrix, hi, lo int) {
+	if m.Rows != 4 || m.Cols != 4 {
+		panic("statevec: Apply2QDense needs a 4x4 matrix")
+	}
+	hbit, lbit := 1<<uint(hi), 1<<uint(lo)
+	quarter := len(s.Amp) >> 2
+	qa, qb := hi, lo
+	if qa < qb {
+		qa, qb = qb, qa // qa is the higher bit position
+	}
+	s.parallelFor(quarter, func(start, end int) {
+		var idx [4]int
+		var amp [4]complex128
+		for j := start; j < end; j++ {
+			base := insertZeroBit(insertZeroBit(j, qb), qa)
+			idx[0] = base
+			idx[1] = base | lbit
+			idx[2] = base | hbit
+			idx[3] = base | hbit | lbit
+			for k := 0; k < 4; k++ {
+				amp[k] = s.Amp[idx[k]]
+			}
+			for r := 0; r < 4; r++ {
+				var acc complex128
+				for c := 0; c < 4; c++ {
+					acc += m.At(r, c) * amp[c]
+				}
+				s.Amp[idx[r]] = acc
+			}
+		}
+	})
+}
+
+// ApplyUnitary applies a dense 2^k x 2^k unitary to the listed qubits, where
+// qs[0] is the most significant qubit of the matrix basis.
+func (s *State) ApplyUnitary(m *linalg.Matrix, qs []int) {
+	k := len(qs)
+	dim := 1 << uint(k)
+	if m.Rows != dim || m.Cols != dim {
+		panic("statevec: ApplyUnitary dimension mismatch")
+	}
+	// Sorted copy for compressed-index expansion.
+	sorted := append([]int(nil), qs...)
+	sort.Ints(sorted)
+	outer := len(s.Amp) >> uint(k)
+	s.parallelFor(outer, func(start, end int) {
+		idx := make([]int, dim)
+		amp := make([]complex128, dim)
+		for j := start; j < end; j++ {
+			base := j
+			for _, q := range sorted {
+				base = insertZeroBit(base, q)
+			}
+			for v := 0; v < dim; v++ {
+				// Bit (k-1-t) of v corresponds to qs[t] (qs[0] most significant).
+				off := 0
+				for t := 0; t < k; t++ {
+					if v&(1<<uint(k-1-t)) != 0 {
+						off |= 1 << uint(qs[t])
+					}
+				}
+				idx[v] = base | off
+				amp[v] = s.Amp[idx[v]]
+			}
+			for r := 0; r < dim; r++ {
+				var acc complex128
+				row := m.Data[r*dim : (r+1)*dim]
+				for c := 0; c < dim; c++ {
+					acc += row[c] * amp[c]
+				}
+				s.Amp[idx[r]] = acc
+			}
+		}
+	})
+}
+
+// Probabilities returns |amp|^2 for every basis state.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.Amp))
+	for i, a := range s.Amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// MeasureQubit performs a projective measurement of qubit q, collapsing the
+// state, and returns the outcome.
+func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
+	bit := 1 << uint(q)
+	var p1 float64
+	for i, a := range s.Amp {
+		if i&bit != 0 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	var norm float64
+	if outcome == 1 {
+		norm = math.Sqrt(p1)
+	} else {
+		norm = math.Sqrt(1 - p1)
+	}
+	if norm == 0 {
+		norm = 1
+	}
+	inv := complex(1/norm, 0)
+	for i := range s.Amp {
+		if (i&bit != 0) == (outcome == 1) {
+			s.Amp[i] *= inv
+		} else {
+			s.Amp[i] = 0
+		}
+	}
+	return outcome
+}
+
+// SampleCounts draws shots samples from the final state distribution and
+// returns a histogram keyed by bitstring (qubit 0 is the rightmost char).
+func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
+	cum := make([]float64, len(s.Amp))
+	var acc float64
+	for i, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+		cum[i] = acc
+	}
+	counts := make(map[string]int)
+	for k := 0; k < shots; k++ {
+		r := rng.Float64() * acc
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= len(cum) {
+			idx = len(cum) - 1
+		}
+		counts[FormatBits(idx, s.N)]++
+	}
+	return counts
+}
+
+// FormatBits renders basis index i on n qubits with qubit 0 rightmost,
+// matching Qiskit's bitstring convention.
+func FormatBits(i, n int) string {
+	b := make([]byte, n)
+	for q := 0; q < n; q++ {
+		if i&(1<<uint(q)) != 0 {
+			b[n-1-q] = '1'
+		} else {
+			b[n-1-q] = '0'
+		}
+	}
+	return string(b)
+}
+
+// ParseBits inverts FormatBits.
+func ParseBits(s string) int {
+	idx := 0
+	n := len(s)
+	for q := 0; q < n; q++ {
+		if s[n-1-q] == '1' {
+			idx |= 1 << uint(q)
+		}
+	}
+	return idx
+}
+
+// ExpectationDiagonal returns sum_i |amp_i|^2 f(i) for a diagonal
+// observable given as a basis-index energy function — the fast path QAOA
+// uses for Ising cost operators.
+func (s *State) ExpectationDiagonal(f func(idx int) float64) float64 {
+	var acc float64
+	for i, a := range s.Amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 0 {
+			acc += p * f(i)
+		}
+	}
+	return acc
+}
+
+// ExpectationPauliString returns <s| P |s> for one Pauli string.
+func (s *State) ExpectationPauliString(p pauli.String) float64 {
+	// Apply P to a copy and take the inner product.
+	t := s.Copy()
+	t.Workers = 1
+	for q, op := range p.Ops {
+		switch op {
+		case pauli.X:
+			t.Apply1Q(circuit.Matrix1Q(circuit.KindX, 0), q)
+		case pauli.Y:
+			t.Apply1Q(circuit.Matrix1Q(circuit.KindY, 0), q)
+		case pauli.Z:
+			t.Apply1Q(circuit.Matrix1Q(circuit.KindZ, 0), q)
+		}
+	}
+	return p.Coeff * real(s.InnerProduct(t))
+}
+
+// ExpectationHamiltonian returns <s| H |s>.
+func (s *State) ExpectationHamiltonian(h *pauli.Hamiltonian) float64 {
+	var e float64
+	for _, t := range h.Terms {
+		e += s.ExpectationPauliString(t)
+	}
+	return e
+}

@@ -1,0 +1,199 @@
+package tensornet
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qfw/internal/circuit"
+	"qfw/internal/statevec"
+)
+
+func TestGHZAmplitudes(t *testing.T) {
+	c := circuit.New(4)
+	c.H(0).CX(0, 1).CX(1, 2).CX(2, 3)
+	net, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amps, err := net.ContractAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt2
+	if cmplx.Abs(amps[0]-complex(want, 0)) > 1e-10 {
+		t.Fatalf("amp[0] = %v", amps[0])
+	}
+	if cmplx.Abs(amps[15]-complex(want, 0)) > 1e-10 {
+		t.Fatalf("amp[15] = %v", amps[15])
+	}
+	for i := 1; i < 15; i++ {
+		if cmplx.Abs(amps[i]) > 1e-10 {
+			t.Fatalf("amp[%d] = %v, want 0", i, amps[i])
+		}
+	}
+}
+
+func randomCircuit(n, depth int, rng *rand.Rand) *circuit.Circuit {
+	kinds := []circuit.Kind{circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindS,
+		circuit.KindT, circuit.KindRX, circuit.KindRY, circuit.KindRZ,
+		circuit.KindCX, circuit.KindCZ, circuit.KindCRZ, circuit.KindSWAP,
+		circuit.KindRZZ, circuit.KindCCX}
+	c := circuit.New(n)
+	for i := 0; i < depth; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		if k.NumQubits() > n {
+			continue
+		}
+		qs := rng.Perm(n)[:k.NumQubits()]
+		g := circuit.Gate{Kind: k, Qubits: qs}
+		for j := 0; j < k.NumParams(); j++ {
+			g.Params = append(g.Params, circuit.Bound(rng.NormFloat64()*2))
+		}
+		c.Append(g)
+	}
+	return c
+}
+
+func TestQuickMatchesStatevector(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		c := randomCircuit(n, 20, rng)
+		net, err := Build(c)
+		if err != nil {
+			return false
+		}
+		amps, err := net.ContractAll()
+		if err != nil {
+			return false
+		}
+		s, _ := statevec.RunCircuit(circuit.Transpile(c, circuit.BasicGateSet()), 1, rand.New(rand.NewSource(0)))
+		for i := range amps {
+			if cmplx.Abs(amps[i]-s.Amp[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlicingPartitionsOutputSpace(t *testing.T) {
+	// Fixing the top output variable to 0 and 1 must reproduce the two
+	// halves of the amplitude vector — the distribution mechanism for the
+	// qtensor backend's MPI mode.
+	rng := rand.New(rand.NewSource(2))
+	c := randomCircuit(4, 15, rng)
+	net, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := net.ContractAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	topVar := net.Out[3] // qubit 3 = most significant bit
+	for bit := 0; bit < 2; bit++ {
+		sliced := net.Slice(map[int]int{topVar: bit})
+		sliced.Out[3] = -1 // no longer open
+		amps, err := sliced.ContractAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(amps) != 8 {
+			t.Fatalf("slice size %d, want 8", len(amps))
+		}
+		for i := 0; i < 8; i++ {
+			want := full[bit*8+i]
+			if cmplx.Abs(amps[i]-want) > 1e-9 {
+				t.Fatalf("bit %d slice amp[%d] = %v, want %v", bit, i, amps[i], want)
+			}
+		}
+	}
+}
+
+func TestSamplingGHZ(t *testing.T) {
+	c := circuit.New(5)
+	c.H(0)
+	for i := 0; i+1 < 5; i++ {
+		c.CX(i, i+1)
+	}
+	counts, err := Simulate(c, 1000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := range counts {
+		if key != "00000" && key != "11111" {
+			t.Fatalf("unexpected GHZ outcome %q", key)
+		}
+	}
+}
+
+func TestOpenQubitCap(t *testing.T) {
+	n := &Network{NQubits: MaxOpenQubits + 1}
+	n.Out = make([]int, MaxOpenQubits+1)
+	for i := range n.Out {
+		n.Out[i] = i
+	}
+	if _, err := n.ContractAll(); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestUnboundRejected(t *testing.T) {
+	c := circuit.New(2)
+	c.RX(0, circuit.Sym("x", 1))
+	if _, err := Build(c); err == nil {
+		t.Fatal("expected unbound error")
+	}
+}
+
+func TestPeakRankGrowsWithEntanglement(t *testing.T) {
+	// A dense all-to-all circuit should drive peak rank higher than a chain.
+	chain := circuit.New(8)
+	for i := 0; i+1 < 8; i++ {
+		chain.H(i).CX(i, i+1)
+	}
+	netA, _ := Build(chain)
+	if _, err := netA.ContractAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	dense := circuit.New(8)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 40; i++ {
+		a, b := rng.Intn(8), rng.Intn(8)
+		if a == b {
+			continue
+		}
+		dense.H(a).CX(a, b).RZZ(a, b, circuit.Bound(0.3))
+	}
+	netB, _ := Build(dense)
+	if _, err := netB.ContractAll(); err != nil {
+		t.Fatal(err)
+	}
+	if netB.PeakRank < netA.PeakRank {
+		t.Fatalf("dense circuit peak rank %d < chain %d", netB.PeakRank, netA.PeakRank)
+	}
+}
+
+func TestSumOut(t *testing.T) {
+	// T[a,b] summed over a gives marginal vector.
+	tt := NewTensor([]int{7, 9})
+	tt.Data[0b00] = 1
+	tt.Data[0b01] = 2
+	tt.Data[0b10] = 3
+	tt.Data[0b11] = 4
+	out := sumOut(tt, 7)
+	if len(out.Labels) != 1 || out.Labels[0] != 9 {
+		t.Fatalf("labels %v", out.Labels)
+	}
+	if out.Data[0] != 4 || out.Data[1] != 6 {
+		t.Fatalf("data %v", out.Data)
+	}
+}

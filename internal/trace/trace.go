@@ -1,0 +1,154 @@
+// Package trace provides the unified timing instrumentation QFw attaches to
+// every backend (Sec. 4.1 of the paper): spans recorded per worker/backend,
+// queryable as an event list and renderable as the iteration-level timeline
+// of Fig. 5.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded span.
+type Event struct {
+	Name   string
+	Worker string
+	Start  time.Time
+	End    time.Time
+	Attrs  map[string]string
+}
+
+// Duration returns the span length.
+func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// Recorder collects events thread-safely.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	t0     time.Time
+}
+
+// NewRecorder returns a recorder with its epoch set to now.
+func NewRecorder() *Recorder {
+	return &Recorder{t0: time.Now()}
+}
+
+// Epoch returns the recorder's zero time.
+func (r *Recorder) Epoch() time.Time { return r.t0 }
+
+// Record appends a completed span.
+func (r *Recorder) Record(name, worker string, start, end time.Time, attrs map[string]string) {
+	r.mu.Lock()
+	r.events = append(r.events, Event{Name: name, Worker: worker, Start: start, End: end, Attrs: attrs})
+	r.mu.Unlock()
+}
+
+// Span starts a span and returns a closure that completes it.
+func (r *Recorder) Span(name, worker string) func() {
+	start := time.Now()
+	return func() {
+		r.Record(name, worker, start, time.Now(), nil)
+	}
+}
+
+// Events returns a copy of all recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// MaxConcurrency returns the peak number of simultaneously open spans with
+// the given name prefix — used to verify the "about four concurrent
+// sub-QAOAs" observation from Fig. 5.
+func (r *Recorder) MaxConcurrency(prefix string) int {
+	type edge struct {
+		t     time.Time
+		delta int
+	}
+	var edges []edge
+	for _, e := range r.Events() {
+		if !strings.HasPrefix(e.Name, prefix) {
+			continue
+		}
+		edges = append(edges, edge{e.Start, +1}, edge{e.End, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t.Equal(edges[j].t) {
+			return edges[i].delta < edges[j].delta // close before open at ties
+		}
+		return edges[i].t.Before(edges[j].t)
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Timeline renders an ASCII Gantt chart of the events grouped by worker,
+// the textual analog of the paper's Fig. 5.
+func (r *Recorder) Timeline(width int) string {
+	events := r.Events()
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	if width <= 0 {
+		width = 80
+	}
+	start := events[0].Start
+	end := events[0].End
+	for _, e := range events {
+		if e.Start.Before(start) {
+			start = e.Start
+		}
+		if e.End.After(end) {
+			end = e.End
+		}
+	}
+	span := end.Sub(start)
+	if span <= 0 {
+		span = time.Nanosecond
+	}
+	byWorker := map[string][]Event{}
+	var workers []string
+	for _, e := range events {
+		if _, ok := byWorker[e.Worker]; !ok {
+			workers = append(workers, e.Worker)
+		}
+		byWorker[e.Worker] = append(byWorker[e.Worker], e)
+	}
+	sort.Strings(workers)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %s total, %d events\n", span.Round(time.Millisecond), len(events))
+	for _, w := range workers {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range byWorker[w] {
+			s := int(float64(e.Start.Sub(start)) / float64(span) * float64(width-1))
+			t := int(float64(e.End.Sub(start)) / float64(span) * float64(width-1))
+			for i := s; i <= t && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-24s |%s|\n", w, string(row))
+	}
+	return b.String()
+}

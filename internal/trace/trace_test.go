@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Epoch()
+	r.Record("b", "w1", t0.Add(10*time.Millisecond), t0.Add(20*time.Millisecond), nil)
+	r.Record("a", "w0", t0, t0.Add(5*time.Millisecond), map[string]string{"k": "v"})
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events %d", len(ev))
+	}
+	if ev[0].Name != "a" {
+		t.Fatalf("not sorted by start: %v", ev)
+	}
+	if ev[0].Duration() != 5*time.Millisecond {
+		t.Fatalf("duration %v", ev[0].Duration())
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRecorder()
+	done := r.Span("op", "w")
+	time.Sleep(2 * time.Millisecond)
+	done()
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Duration() <= 0 {
+		t.Fatalf("span not recorded: %v", ev)
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Epoch()
+	// Three overlapping sub-qaoa spans, one disjoint.
+	r.Record("subqaoa-0", "w0", t0, t0.Add(10*time.Millisecond), nil)
+	r.Record("subqaoa-1", "w1", t0.Add(2*time.Millisecond), t0.Add(12*time.Millisecond), nil)
+	r.Record("subqaoa-2", "w2", t0.Add(4*time.Millisecond), t0.Add(14*time.Millisecond), nil)
+	r.Record("subqaoa-3", "w3", t0.Add(20*time.Millisecond), t0.Add(30*time.Millisecond), nil)
+	r.Record("other", "w4", t0, t0.Add(50*time.Millisecond), nil)
+	if got := r.MaxConcurrency("subqaoa"); got != 3 {
+		t.Fatalf("max concurrency %d, want 3", got)
+	}
+	if got := r.MaxConcurrency("other"); got != 1 {
+		t.Fatalf("other concurrency %d", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Epoch()
+	r.Record("iter", "nwqsim-0", t0, t0.Add(10*time.Millisecond), nil)
+	r.Record("iter", "ionq-0", t0.Add(5*time.Millisecond), t0.Add(40*time.Millisecond), nil)
+	out := r.Timeline(40)
+	if !strings.Contains(out, "nwqsim-0") || !strings.Contains(out, "ionq-0") {
+		t.Fatalf("timeline missing workers:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("timeline has no bars:\n%s", out)
+	}
+	if NewRecorder().Timeline(40) != "(no events)\n" {
+		t.Fatal("empty recorder rendering wrong")
+	}
+}

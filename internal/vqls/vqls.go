@@ -1,0 +1,246 @@
+// Package vqls implements the Variational Quantum Linear Solver
+// (Bravo-Prieto et al.), one of the applications the paper's Fig. 1 lists
+// on top of QFw. Given a Hermitian operator A = Σ_l c_l P_l expressed as a
+// Pauli sum and a target state |b>, VQLS trains a parameterized ansatz
+// |ψ(θ)> to minimize
+//
+//	C(θ) = 1 - |<b|A|ψ(θ)>|² / <ψ(θ)|A†A|ψ(θ)>,
+//
+// which vanishes exactly when A|ψ> ∝ |b>, i.e. |ψ> ∝ A⁻¹|b>.
+//
+// Both expectation values are evaluated as Pauli-sum observables through
+// the QFw frontend (the general-Pauli extension of the Observable wire
+// format), so the same VQLS code runs on any local simulator backend.
+// With |b> = |+>^n the projector |b><b| expands into 2^n X-strings, so the
+// method is exponential in the cost *expansion* — fine at the small sizes
+// variational linear solvers target on NISQ devices.
+package vqls
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"qfw/internal/circuit"
+	"qfw/internal/core"
+	"qfw/internal/optimize"
+	"qfw/internal/pauli"
+	"qfw/internal/qaoa"
+)
+
+// Problem is a VQLS instance: solve A|x> ∝ |b> with |b> = |+>^n.
+type Problem struct {
+	A *pauli.Hamiltonian
+}
+
+// IsingA builds a well-conditioned Ising-type test operator
+// A = η·I + Σ J Z_i Z_{i+1} + hx Σ X_i (η shifts the spectrum positive).
+func IsingA(n int, j, hx, eta float64) *Problem {
+	h := &pauli.Hamiltonian{NQubits: n}
+	h.Add(eta, map[int]pauli.Op{})
+	for i := 0; i+1 < n; i++ {
+		h.Add(j, map[int]pauli.Op{i: pauli.Z, i + 1: pauli.Z})
+	}
+	for i := 0; i < n; i++ {
+		h.Add(hx, map[int]pauli.Op{i: pauli.X})
+	}
+	return &Problem{A: h}
+}
+
+// Ansatz builds the hardware-efficient trial circuit: `layers` repetitions
+// of per-qubit RY rotations followed by a CZ entangling chain, with
+// symbolic parameters t0, t1, ...
+func Ansatz(n, layers int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("vqls-ansatz-%d-l%d", n, layers)
+	idx := 0
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.RY(q, circuit.Sym(fmt.Sprintf("t%d", idx), 1))
+			idx++
+		}
+		for q := 0; q+1 < n; q++ {
+			c.CZ(q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.RY(q, circuit.Sym(fmt.Sprintf("t%d", idx), 1))
+		idx++
+	}
+	return c
+}
+
+// NumParams returns the ansatz parameter count for n qubits and `layers`.
+func NumParams(n, layers int) int { return n * (layers + 1) }
+
+// normalOperator expands A†A into a merged real Pauli sum.
+func normalOperator(a *pauli.Hamiltonian) *core.Observable {
+	acc := map[string]complex128{}
+	order := []string{}
+	for _, l := range a.Terms {
+		for _, r := range a.Terms {
+			prod, phase := pauli.Mul(l, r)
+			key := prod.OpsKey()
+			if _, ok := acc[key]; !ok {
+				order = append(order, key)
+			}
+			acc[key] += phase * complex(prod.Coeff, 0)
+		}
+	}
+	return pauliMapToObservable(acc, order)
+}
+
+// projectedOperator expands B = A†|b><b|A with |b> = |+>^n:
+// |b><b| = 2^{-n} Σ_{S ⊆ [n]} X_S.
+func projectedOperator(a *pauli.Hamiltonian) *core.Observable {
+	n := a.NQubits
+	scale := complex(math.Pow(2, -float64(n)), 0)
+	acc := map[string]complex128{}
+	order := []string{}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		xs := pauli.String{Coeff: 1, Ops: make([]pauli.Op, n)}
+		for q := 0; q < n; q++ {
+			if mask&(1<<uint(q)) != 0 {
+				xs.Ops[q] = pauli.X
+			} else {
+				xs.Ops[q] = pauli.I
+			}
+		}
+		for _, l := range a.Terms {
+			lx, ph1 := pauli.Mul(l, xs)
+			for _, r := range a.Terms {
+				prod, ph2 := pauli.Mul(lx, r)
+				key := prod.OpsKey()
+				if _, ok := acc[key]; !ok {
+					order = append(order, key)
+				}
+				acc[key] += scale * ph1 * ph2 * complex(prod.Coeff, 0)
+			}
+		}
+	}
+	return pauliMapToObservable(acc, order)
+}
+
+// pauliMapToObservable drops numerically-zero and imaginary residue terms
+// (both operators are Hermitian, so imaginary parts cancel) and packs the
+// rest into the wire format.
+func pauliMapToObservable(acc map[string]complex128, order []string) *core.Observable {
+	obs := &core.Observable{}
+	for _, key := range order {
+		v := acc[key]
+		if cmplx.Abs(v) < 1e-12 {
+			continue
+		}
+		obs.Paulis = append(obs.Paulis, core.PauliTerm{Coeff: real(v), Ops: key})
+	}
+	return obs
+}
+
+// Options tune a VQLS solve.
+type Options struct {
+	Layers   int   // ansatz depth, default 2
+	MaxEvals int   // optimizer budget, default 150
+	Seed     int64 // default 1
+	Shots    int   // forwarded to the backend (observables are exact on local sims)
+	Run      core.RunOptions
+}
+
+// Result summarizes a VQLS solve.
+type Result struct {
+	Params []float64
+	Cost   float64 // final C(θ) in [0, 1]
+	Evals  int
+}
+
+// Solve trains the ansatz against the runner (a QFw frontend or local
+// engine) and returns the optimized parameters and final cost.
+func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
+	if p.A.NQubits > 10 {
+		return nil, fmt.Errorf("vqls: cost expansion is exponential; %d qubits exceeds the supported 10", p.A.NQubits)
+	}
+	if opts.Layers <= 0 {
+		opts.Layers = 2
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 150
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Shots <= 0 {
+		opts.Shots = 128
+	}
+	n := p.A.NQubits
+	ansatz := Ansatz(n, opts.Layers)
+	normal := normalOperator(p.A)
+	projected := projectedOperator(p.A)
+
+	evals := 0
+	var firstErr error
+	cost := func(theta []float64) float64 {
+		if firstErr != nil {
+			return math.Inf(1)
+		}
+		evals++
+		binding := map[string]float64{}
+		for i, v := range theta {
+			binding[fmt.Sprintf("t%d", i)] = v
+		}
+		bound := ansatz.Bind(binding)
+		num, err := expect(runner, bound, projected, opts)
+		if err != nil {
+			firstErr = err
+			return math.Inf(1)
+		}
+		den, err := expect(runner, bound, normal, opts)
+		if err != nil {
+			firstErr = err
+			return math.Inf(1)
+		}
+		if den <= 1e-12 {
+			return 1
+		}
+		c := 1 - num/den
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	x0 := make([]float64, NumParams(n, opts.Layers))
+	for i := range x0 {
+		x0[i] = rng.NormFloat64() * 0.3
+	}
+	best, bestC, _ := optimize.NelderMead(cost, x0, optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.6})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{Params: best, Cost: bestC, Evals: evals}, nil
+}
+
+// expect runs the bound circuit with the observable attached and returns
+// the backend's expectation value.
+func expect(runner qaoa.Runner, bound *circuit.Circuit, obs *core.Observable, opts Options) (float64, error) {
+	runOpts := opts.Run
+	runOpts.Shots = opts.Shots
+	runOpts.Seed = opts.Seed
+	runOpts.Observable = obs
+	res, err := runner.Run(bound, runOpts)
+	if err != nil {
+		return 0, err
+	}
+	if res.ExpVal == nil {
+		return 0, fmt.Errorf("vqls: backend returned no expectation value (general-Pauli observables need a local simulator backend)")
+	}
+	return *res.ExpVal, nil
+}
+
+// SolutionState materializes the optimized ansatz for verification.
+func SolutionState(p *Problem, res *Result, layers int) *circuit.Circuit {
+	binding := map[string]float64{}
+	for i, v := range res.Params {
+		binding[fmt.Sprintf("t%d", i)] = v
+	}
+	return Ansatz(p.A.NQubits, layers).Bind(binding)
+}

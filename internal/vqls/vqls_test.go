@@ -1,0 +1,123 @@
+package vqls
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/linalg"
+	"qfw/internal/qaoa"
+	"qfw/internal/statevec"
+)
+
+func TestAnsatzShape(t *testing.T) {
+	c := Ansatz(4, 2)
+	if len(c.ParamNames()) != NumParams(4, 2) {
+		t.Fatalf("params %d, want %d", len(c.ParamNames()), NumParams(4, 2))
+	}
+	ops := c.CountOps()
+	if ops["ry"] != 12 || ops["cz"] != 6 {
+		t.Fatalf("ops %v", ops)
+	}
+}
+
+func TestOperatorsAreHermitianExpansions(t *testing.T) {
+	p := IsingA(3, 0.4, 0.3, 1.5)
+	normal := normalOperator(p.A)
+	if len(normal.Paulis) == 0 {
+		t.Fatal("empty A†A expansion")
+	}
+	proj := projectedOperator(p.A)
+	if len(proj.Paulis) == 0 {
+		t.Fatal("empty A†|b><b|A expansion")
+	}
+	// Cross-check: on a random state, <M> and <B> from the Pauli expansion
+	// must match the dense-matrix evaluation.
+	rng := rand.New(rand.NewSource(1))
+	state := statevec.NewState(3)
+	state.Apply1Q([2][2]complex128{{complex(rng.Float64(), 0), complex(rng.Float64(), 0.2)}, {0, 1}}, 0) // arbitrary non-unitary is fine for a linear check? no — keep unitary:
+	_ = state
+	s2 := statevec.NewState(3)
+	// Random product-ish state via rotations.
+	for q := 0; q < 3; q++ {
+		s2.Apply1Q(ry(rng.NormFloat64()), q)
+	}
+	s2.ApplyControlled1Q([2][2]complex128{{0, 1}, {1, 0}}, []int{0}, 1)
+
+	a := p.A.Matrix()
+	m := linalg.MatMul(a.Dagger(), a)
+	hvec := linalg.MatVec(m, s2.Amp)
+	var want complex128
+	for i := range hvec {
+		want += cmplx.Conj(s2.Amp[i]) * hvec[i]
+	}
+	got := 0.0
+	for _, term := range normal.Paulis {
+		got += term.Coeff * pauliExpect(s2, term.Ops)
+	}
+	if math.Abs(got-real(want)) > 1e-8 {
+		t.Fatalf("A†A expansion: %g vs dense %g", got, real(want))
+	}
+}
+
+func ry(theta float64) [2][2]complex128 {
+	c, s := math.Cos(theta/2), math.Sin(theta/2)
+	return [2][2]complex128{{complex(c, 0), complex(-s, 0)}, {complex(s, 0), complex(c, 0)}}
+}
+
+// pauliExpect evaluates <s|P|s> for an ops-key string.
+func pauliExpect(s *statevec.State, ops string) float64 {
+	t := s.Copy()
+	for q := 0; q < len(ops); q++ {
+		switch ops[q] {
+		case 'X':
+			t.Apply1Q([2][2]complex128{{0, 1}, {1, 0}}, q)
+		case 'Y':
+			t.Apply1Q([2][2]complex128{{0, complex(0, -1)}, {complex(0, 1), 0}}, q)
+		case 'Z':
+			t.Apply1Q([2][2]complex128{{1, 0}, {0, -1}}, q)
+		}
+	}
+	return real(s.InnerProduct(t))
+}
+
+func TestSolveConvergesToInverse(t *testing.T) {
+	// Well-conditioned A: the trained state must align with A^{-1}|b>.
+	p := IsingA(3, 0.25, 0.2, 1.0)
+	res, err := Solve(p, qaoa.LocalRunner{}, Options{Layers: 2, MaxEvals: 250, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 0.05 {
+		t.Fatalf("VQLS cost %g did not converge", res.Cost)
+	}
+	// Verify against the classical solution.
+	bound := SolutionState(p, res, 2)
+	s, _ := statevec.RunCircuit(bound, 1, rand.New(rand.NewSource(0)))
+	b := make([]complex128, 8)
+	for i := range b {
+		b[i] = complex(1/math.Sqrt(8), 0)
+	}
+	x := linalg.SolveHermitian(p.A.Matrix(), b)
+	// Normalize x and compare |<x|psi>|.
+	var nrm float64
+	for _, v := range x {
+		nrm += real(v)*real(v) + imag(v)*imag(v)
+	}
+	nrm = math.Sqrt(nrm)
+	var overlap complex128
+	for i := range x {
+		overlap += cmplx.Conj(x[i]/complex(nrm, 0)) * s.Amp[i]
+	}
+	if fid := cmplx.Abs(overlap); fid < 0.97 {
+		t.Fatalf("solution fidelity %g < 0.97 (cost %g)", fid, res.Cost)
+	}
+}
+
+func TestSolveRejectsLargeProblems(t *testing.T) {
+	p := IsingA(11, 0.1, 0.1, 1)
+	if _, err := Solve(p, qaoa.LocalRunner{}, Options{}); err == nil {
+		t.Fatal("11-qubit expansion accepted")
+	}
+}

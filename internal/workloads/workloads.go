@@ -1,0 +1,221 @@
+// Package workloads generates the benchmark circuits of the paper's Table 2:
+// SupermarQ-style GHZ state preparation and Hamiltonian simulation, the
+// transverse-field Ising model (TFIM) evolution, and the HHL linear solver
+// built from quantum phase estimation with controlled Trotterized evolution.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+)
+
+// GHZ returns the n-qubit GHZ preparation circuit (SupermarQ's GHZ
+// benchmark): H on qubit 0 followed by a CNOT chain, then full measurement.
+// Shallow but maximally correlated — the paper's long-range entanglement
+// stress test.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("ghz-%d", n)
+	c.H(0)
+	for i := 0; i+1 < n; i++ {
+		c.CX(i, i+1)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// HamSim returns the SupermarQ Hamiltonian-simulation benchmark: first-order
+// Trotterized time evolution of the critical transverse-field Ising model
+// (J = h = 1) for total time 1, one Trotter step per time unit by default.
+func HamSim(n, steps int) *circuit.Circuit {
+	if steps <= 0 {
+		steps = 1
+	}
+	h := pauli.TFIM(n, 1.0, 1.0)
+	c := h.TrotterCircuit(1.0, steps)
+	c.Name = fmt.Sprintf("hamsim-%d", n)
+	c.MeasureAll()
+	return c
+}
+
+// TFIM returns the deeper transverse-field Ising evolution workload:
+// J = 1, transverse field hx, evolution time t over the given Trotter
+// steps. The nearest-neighbour structure keeps entanglement low, which is
+// why MPS backends dominate it in the paper's Fig. 3c.
+func TFIM(n, steps int, hx, t float64) *circuit.Circuit {
+	if steps <= 0 {
+		steps = 4
+	}
+	if t == 0 {
+		t = 1.0
+	}
+	if hx == 0 {
+		hx = 0.5
+	}
+	h := pauli.TFIM(n, 1.0, hx)
+	c := h.TrotterCircuit(t, steps)
+	c.Name = fmt.Sprintf("tfim-%d", n)
+	c.MeasureAll()
+	return c
+}
+
+// QFT appends the quantum Fourier transform on the given qubits (qs[0] is
+// the most significant) to c.
+func QFT(c *circuit.Circuit, qs []int) {
+	n := len(qs)
+	for i := 0; i < n; i++ {
+		c.H(qs[i])
+		for j := i + 1; j < n; j++ {
+			c.CP(qs[j], qs[i], circuit.Bound(math.Pi/float64(int(1)<<uint(j-i))))
+		}
+	}
+	for i := 0; i < n/2; i++ {
+		c.SWAP(qs[i], qs[n-1-i])
+	}
+}
+
+// InverseQFT appends the inverse QFT on the given qubits.
+func InverseQFT(c *circuit.Circuit, qs []int) {
+	n := len(qs)
+	for i := n/2 - 1; i >= 0; i-- {
+		c.SWAP(qs[i], qs[n-1-i])
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := n - 1; j > i; j-- {
+			c.CP(qs[j], qs[i], circuit.Bound(-math.Pi/float64(int(1)<<uint(j-i))))
+		}
+		c.H(qs[i])
+	}
+}
+
+// HHLConfig parameterizes the linear-solver circuit.
+type HHLConfig struct {
+	NB     int     // system register qubits (matrix is 2^NB x 2^NB)
+	NClock int     // clock register qubits for phase estimation
+	T      float64 // evolution time scale in exp(iAt)
+	Hx     float64 // transverse field of the Ising-type matrix A
+}
+
+// HHLSize maps the paper's total qubit counts {5,7,...,17} to a config:
+// one ancilla, (k-1)/2 clock qubits and (k-1)/2 system qubits.
+func HHLSize(total int) HHLConfig {
+	if total < 3 || total%2 == 0 {
+		panic(fmt.Sprintf("workloads: HHL size %d must be odd and >= 3", total))
+	}
+	half := (total - 1) / 2
+	return HHLConfig{NB: half, NClock: total - 1 - half, T: 2 * math.Pi / float64(int(1)<<uint(total-1-half)), Hx: 0.25}
+}
+
+// HHL builds the Harrow-Hassidim-Lloyd linear-solver circuit: uniform state
+// preparation of |b>, quantum phase estimation with controlled Trotterized
+// evolution of an Ising-type A, eigenvalue-conditioned ancilla rotation,
+// inverse phase estimation, and measurement. Qubit layout: [0] ancilla,
+// [1..NClock] clock, [NClock+1 ..] system. Depth grows exponentially with
+// the clock size through the controlled-U^{2^j} powers, reproducing the
+// "deep coherent subroutine" behaviour of the paper's Fig. 3d.
+func HHL(cfg HHLConfig) *circuit.Circuit {
+	total := 1 + cfg.NClock + cfg.NB
+	c := circuit.New(total)
+	c.Name = fmt.Sprintf("hhl-%d", total)
+	anc := 0
+	clock := make([]int, cfg.NClock)
+	for i := range clock {
+		clock[i] = 1 + i // clock[0] is the most significant clock qubit
+	}
+	sys := make([]int, cfg.NB)
+	for i := range sys {
+		sys[i] = 1 + cfg.NClock + i
+	}
+	// |b> preparation: uniform superposition.
+	for _, q := range sys {
+		c.H(q)
+	}
+	// QPE forward: Hadamards then controlled evolutions.
+	for _, q := range clock {
+		c.H(q)
+	}
+	a := pauli.TFIM(cfg.NB, 1.0, cfg.Hx)
+	for j := 0; j < cfg.NClock; j++ {
+		// clock[NClock-1-j] controls U^{2^j}; least significant clock qubit
+		// gets the smallest power.
+		ctrl := clock[cfg.NClock-1-j]
+		power := 1 << uint(j)
+		appendControlledTrotter(c, a, sys, ctrl, cfg.T*float64(power), power)
+	}
+	InverseQFT(c, clock)
+	// Eigenvalue-conditioned ancilla rotation (textbook approximation):
+	// each clock qubit contributes a controlled Y-rotation scaled by its
+	// binary weight.
+	for j := 0; j < cfg.NClock; j++ {
+		angle := math.Pi / float64(int(1)<<uint(cfg.NClock-1-j))
+		c.CRY(clock[j], anc, circuit.Bound(angle))
+	}
+	// Uncompute: QPE reverse.
+	QFT(c, clock)
+	for j := cfg.NClock - 1; j >= 0; j-- {
+		ctrl := clock[cfg.NClock-1-j]
+		power := 1 << uint(j)
+		appendControlledTrotter(c, a, sys, ctrl, -cfg.T*float64(power), power)
+	}
+	for _, q := range clock {
+		c.H(q)
+	}
+	c.MeasureAll()
+	return c
+}
+
+// appendControlledTrotter appends a controlled first-order Trotterization of
+// exp(-i A t) onto the system qubits, controlled by ctrl, using `steps`
+// Trotter steps. Weight-1 Z/X terms become CRZ/CRX; ZZ terms use the CX
+// ladder with a controlled rotation in the middle.
+func appendControlledTrotter(c *circuit.Circuit, a *pauli.Hamiltonian, sys []int, ctrl int, t float64, steps int) {
+	if steps < 1 {
+		steps = 1
+	}
+	dt := t / float64(steps)
+	for s := 0; s < steps; s++ {
+		for _, term := range a.Terms {
+			theta := 2 * term.Coeff * dt
+			sup := term.Support()
+			switch len(sup) {
+			case 1:
+				q := sys[sup[0]]
+				switch term.Ops[sup[0]] {
+				case pauli.Z:
+					c.CRZ(ctrl, q, circuit.Bound(theta))
+				case pauli.X:
+					c.CRX(ctrl, q, circuit.Bound(theta))
+				case pauli.Y:
+					c.CRY(ctrl, q, circuit.Bound(theta))
+				}
+			case 2:
+				q0, q1 := sys[sup[0]], sys[sup[1]]
+				// Controlled ZZ rotation: CX ladder + CRZ + CX.
+				c.CX(q0, q1)
+				c.CRZ(ctrl, q1, circuit.Bound(theta))
+				c.CX(q0, q1)
+			default:
+				panic("workloads: controlled Trotter supports weight <= 2 terms")
+			}
+		}
+	}
+}
+
+// ByName builds a Table-2 workload by its paper name.
+func ByName(name string, n int) (*circuit.Circuit, error) {
+	switch name {
+	case "ghz":
+		return GHZ(n), nil
+	case "ham", "hamsim":
+		return HamSim(n, 1), nil
+	case "tfim":
+		return TFIM(n, 4, 0.5, 1.0), nil
+	case "hhl":
+		return HHL(HHLSize(n)), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown workload %q (want ghz|ham|tfim|hhl)", name)
+	}
+}

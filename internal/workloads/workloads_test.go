@@ -1,0 +1,156 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/statevec"
+)
+
+func TestGHZShape(t *testing.T) {
+	c := GHZ(8)
+	ops := c.CountOps()
+	if ops["h"] != 1 || ops["cx"] != 7 || ops["measure"] != 8 {
+		t.Fatalf("ops %v", ops)
+	}
+	if !c.IsClifford() {
+		t.Fatal("GHZ must be Clifford")
+	}
+}
+
+func TestHamSimAndTFIMShapes(t *testing.T) {
+	ham := HamSim(6, 1)
+	if ham.NQubits != 6 || ham.CountOps()["rzz"] != 5 {
+		t.Fatalf("hamsim ops %v", ham.CountOps())
+	}
+	tfim := TFIM(6, 4, 0.5, 1.0)
+	if tfim.CountOps()["rzz"] != 4*5 {
+		t.Fatalf("tfim ops %v", tfim.CountOps())
+	}
+	// TFIM is nearest-neighbour: MPS-friendly per the paper.
+	if tfim.InteractionDistance() != 1 {
+		t.Fatalf("tfim interaction distance %d", tfim.InteractionDistance())
+	}
+}
+
+func TestQFTInverseIsIdentity(t *testing.T) {
+	n := 4
+	c := circuit.New(n)
+	// Random product-state prep.
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < n; q++ {
+		c.RY(q, circuit.Bound(rng.NormFloat64()))
+	}
+	ref, _ := statevec.RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	qs := []int{0, 1, 2, 3}
+	QFT(c, qs)
+	InverseQFT(c, qs)
+	got, _ := statevec.RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	var overlap complex128
+	for i := range got.Amp {
+		overlap += cmplx.Conj(ref.Amp[i]) * got.Amp[i]
+	}
+	if math.Abs(cmplx.Abs(overlap)-1) > 1e-9 {
+		t.Fatalf("QFT·IQFT != I, overlap %g", cmplx.Abs(overlap))
+	}
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT of |0..0> is the uniform superposition.
+	n := 3
+	c := circuit.New(n)
+	QFT(c, []int{0, 1, 2})
+	s, _ := statevec.RunCircuit(c, 1, rand.New(rand.NewSource(0)))
+	want := 1 / math.Sqrt(8)
+	for i, a := range s.Amp {
+		if math.Abs(cmplx.Abs(a)-want) > 1e-9 {
+			t.Fatalf("amp[%d] = %v", i, a)
+		}
+	}
+}
+
+func TestHHLSizes(t *testing.T) {
+	for _, total := range []int{5, 7, 9, 11, 13} {
+		cfg := HHLSize(total)
+		if 1+cfg.NClock+cfg.NB != total {
+			t.Fatalf("size %d -> %d+%d+1", total, cfg.NClock, cfg.NB)
+		}
+		c := HHL(cfg)
+		if c.NQubits != total {
+			t.Fatalf("HHL width %d, want %d", c.NQubits, total)
+		}
+	}
+}
+
+func TestHHLDepthGrowsWithClock(t *testing.T) {
+	d5 := HHL(HHLSize(5)).Depth()
+	d9 := HHL(HHLSize(9)).Depth()
+	d13 := HHL(HHLSize(13)).Depth()
+	if !(d5 < d9 && d9 < d13) {
+		t.Fatalf("depth not growing: %d %d %d", d5, d9, d13)
+	}
+	// Depth should grow super-linearly (controlled-U^{2^j} powers).
+	if d13 < 4*d5 {
+		t.Fatalf("depth growth too slow: d5=%d d13=%d", d5, d13)
+	}
+}
+
+func TestHHLRunsAndNormalizes(t *testing.T) {
+	c := HHL(HHLSize(5))
+	s, _ := statevec.RunCircuit(c.StripMeasurements(), 1, rand.New(rand.NewSource(2)))
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Fatalf("norm %g", s.Norm())
+	}
+	// Ancilla must have nonzero |1> probability (solution component).
+	var p1 float64
+	for i, a := range s.Amp {
+		if i&1 == 1 {
+			p1 += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if p1 < 1e-6 {
+		t.Fatalf("ancilla never rotates: p1=%g", p1)
+	}
+}
+
+func TestHHLSerializesToQASM(t *testing.T) {
+	c := HHL(HHLSize(7))
+	qasm, err := c.ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := circuit.ParseQASM(qasm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NQubits != 7 || len(back.Gates) != len(c.Gates) {
+		t.Fatalf("round trip %d gates vs %d", len(back.Gates), len(c.Gates))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ghz", "ham", "tfim"} {
+		c, err := ByName(name, 6)
+		if err != nil || c.NQubits != 6 {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if c, err := ByName("hhl", 5); err != nil || c.NQubits != 5 {
+		t.Fatalf("hhl: %v", err)
+	}
+	if _, err := ByName("nope", 4); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestHHLSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("even size accepted")
+		}
+	}()
+	HHLSize(6)
+}
