@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		expList  = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5 or 'all'")
+		expList  = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch or 'all'")
 		full     = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
 		repeats  = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
 		shots    = flag.Int("shots", 256, "shots per circuit execution")
@@ -126,6 +126,7 @@ func main() {
 		}
 	}
 	run("fig4", h.RunDQAOAFigure)
+	run("ablation-batch", h.RunBatchAblation)
 	if all || wanted["fig5"] {
 		cfg := bench.DQAOAConfig{QUBOSize: 16, SubQSize: 6, NSubQ: 4}
 		if *full {

@@ -1,0 +1,3 @@
+module qfw
+
+go 1.24

@@ -15,11 +15,12 @@ import (
 // "chunking" MPI mode does not scale beyond one node, which the paper calls
 // out for QAOA — reproduced here by capping workers at one node's cores).
 type aer struct {
-	env *core.Env
+	env   *core.Env
+	cache *core.ParseCache
 }
 
 func newAer(env *core.Env) (core.Executor, error) {
-	return &aer{env: env}, nil
+	return &aer{env: env, cache: core.NewParseCache()}, nil
 }
 
 func (b *aer) Name() string { return "aer" }
@@ -40,6 +41,16 @@ func (b *aer) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecRes
 	if err != nil {
 		return core.ExecResult{}, err
 	}
+	return b.executeParsed(c, opts)
+}
+
+// ExecuteBatch implements core.BatchExecutor: rebind each element into the
+// cached parse of the ansatz and run it on the selected sub-backend.
+func (b *aer) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+}
+
+func (b *aer) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
 	sub := normalizeSub(opts.Subbackend, "automatic")
 	switch sub {
 	case "automatic":

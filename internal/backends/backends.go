@@ -18,7 +18,9 @@ package backends
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
@@ -41,13 +43,66 @@ type (
 	pauliHam = pauli.Hamiltonian
 )
 
-// parseSpec decodes the standardized circuit description.
+// parseSpec decodes the standardized circuit description for single-shot
+// execution. Parametric specs must go through the batch path, which supplies
+// the bindings.
 func parseSpec(spec core.CircuitSpec) (*circuit.Circuit, error) {
 	c, err := spec.Circuit()
 	if err != nil {
 		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
 	}
+	if !c.IsBound() {
+		return nil, fmt.Errorf("backend: parametric spec %q requires batch execution (unbound params %v)", spec.Name, c.ParamNames())
+	}
 	return c, nil
+}
+
+// runBatch is the shared BatchExecutor implementation of the local
+// simulator backends: the spec is parsed once through the backend's cache,
+// then every element rebinds into the cached circuit and runs — so a batch
+// of K evaluations pays the QASM parse cost once per ansatz, not K times.
+// The QPM hands batch-native executors the whole batch, so the elements run
+// here on a core-bounded worker pool (the per-batch analog of the QRC
+// fan-out), each with its own deterministic slot and derived seed.
+func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions,
+	run func(c *circuitT, opts core.RunOptions) (core.ExecResult, error)) ([]core.ExecResult, error) {
+	base, err := cache.Get(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	out := make([]core.ExecResult, len(bindings))
+	errs := make([]error, len(bindings))
+	pool := runtime.GOMAXPROCS(0)
+	if pool > len(bindings) {
+		pool = len(bindings)
+	}
+	sem := make(chan struct{}, pool)
+	var wg sync.WaitGroup
+	for i, b := range bindings {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, b core.Bindings) {
+			defer func() { <-sem; wg.Done() }()
+			c := base.Bind(b)
+			if !c.IsBound() {
+				errs[i] = fmt.Errorf("backend: binding leaves params %v unbound (batch element %d)", c.ParamNames(), i)
+				return
+			}
+			res, err := run(c, opts.ForElement(i))
+			if err != nil {
+				errs[i] = fmt.Errorf("batch element %d: %w", i, err)
+				return
+			}
+			out[i] = res
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // seedOf derives the RNG seed for an execution.

@@ -1,0 +1,206 @@
+package backends
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/cluster"
+	"qfw/internal/core"
+	"qfw/internal/prte"
+	"qfw/internal/slurm"
+	"qfw/internal/trace"
+)
+
+// testEnv builds a minimal backend environment without a full session.
+func testEnv(t *testing.T) *core.Env {
+	t.Helper()
+	machine := cluster.Frontier(2)
+	sched := slurm.NewScheduler(machine)
+	job, err := sched.Submit(slurm.JobReq{Name: "batch-test", HetGroups: []slurm.GroupReq{{Name: "g", Nodes: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := job.WaitStart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dvm, err := prte.Start(machine, alloc.Group(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dvm.Shutdown(); job.Complete() })
+	return &core.Env{
+		Machine:        machine,
+		DVM:            dvm,
+		Nodes:          alloc.Group(0).Nodes,
+		Rec:            trace.NewRecorder(),
+		MemBudgetBytes: 1 << 30,
+		CloudLatency:   time.Millisecond,
+		CloudJitter:    time.Millisecond,
+		Seed:           1,
+	}
+}
+
+// rotAnsatz is a tiny parametric circuit whose outcome distribution depends
+// on theta, so batch elements are distinguishable.
+func rotAnsatz() *circuit.Circuit {
+	c := circuit.New(2)
+	c.Name = "rot"
+	c.RY(0, circuit.Sym("theta", 1))
+	c.CX(0, 1)
+	c.MeasureAll()
+	return c
+}
+
+// p1 extracts the empirical probability of qubit 0 being 1.
+func p1(counts map[string]int) float64 {
+	total, ones := 0, 0
+	for key, n := range counts {
+		total += n
+		if key[len(key)-1] == '1' {
+			ones += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(ones) / float64(total)
+}
+
+func TestLocalBackendsBatchParseOnce(t *testing.T) {
+	env := testEnv(t)
+	spec, err := core.SpecFromParametric(rotAnsatz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsParametric() {
+		t.Fatalf("spec not parametric: %+v", spec)
+	}
+	const K = 8
+	bindings := make([]core.Bindings, K)
+	for i := range bindings {
+		bindings[i] = core.Bindings{"theta": math.Pi * float64(i) / float64(K-1)}
+	}
+	cases := []struct {
+		name  string
+		sub   string
+		make  func(*core.Env) (core.Executor, error)
+		cache func(core.Executor) *core.ParseCache
+	}{
+		{"nwqsim", "openmp", newNWQSim, func(e core.Executor) *core.ParseCache { return e.(*nwqsim).cache }},
+		{"aer", "statevector", newAer, func(e core.Executor) *core.ParseCache { return e.(*aer).cache }},
+		{"tnqvm", "exatn-mps", newTNQVM, func(e core.Executor) *core.ParseCache { return e.(*tnqvm).cache }},
+		{"qtensor", "numpy", newQTensor, func(e core.Executor) *core.ParseCache { return e.(*qtensor).cache }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exec, err := tc.make(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			be, ok := exec.(core.BatchExecutor)
+			if !ok {
+				t.Fatalf("%s does not implement BatchExecutor", tc.name)
+			}
+			results, err := be.ExecuteBatch(spec, bindings, core.RunOptions{Shots: 512, Seed: 3, Subbackend: tc.sub})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != K {
+				t.Fatalf("%d results, want %d", len(results), K)
+			}
+			// theta sweeps 0..pi, so P(q0=1) must increase from ~0 to ~1:
+			// ordering of results is observable.
+			if first, last := p1(results[0].Counts), p1(results[K-1].Counts); first > 0.1 || last < 0.9 {
+				t.Fatalf("batch order broken: P1(first)=%.2f P1(last)=%.2f", first, last)
+			}
+			if got := tc.cache(exec).Parses(); got != 1 {
+				t.Fatalf("QASM parses = %d, want exactly 1 for the whole batch", got)
+			}
+		})
+	}
+}
+
+func TestIonQBatchJobArray(t *testing.T) {
+	env := testEnv(t)
+	exec, err := newIonQ(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := exec.(*ionqBackend)
+	defer b.Close()
+	spec, err := core.SpecFromParametric(rotAnsatz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := []core.Bindings{{"theta": 0}, {"theta": math.Pi / 2}, {"theta": math.Pi}}
+	results, err := b.ExecuteBatch(spec, bindings, core.RunOptions{Shots: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if first, last := p1(results[0].Counts), p1(results[2].Counts); first > 0.1 || last < 0.9 {
+		t.Fatalf("cloud batch order broken: P1(first)=%.2f P1(last)=%.2f", first, last)
+	}
+	if got := b.cache.Parses(); got != 1 {
+		t.Fatalf("QASM parses = %d, want 1", got)
+	}
+}
+
+func TestBatchMatchesSequentialExecution(t *testing.T) {
+	// Element i of a batch must produce exactly the result a sequential
+	// Execute with the bound circuit and the same derived seed produces.
+	env := testEnv(t)
+	exec, err := newAer(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansatz := rotAnsatz()
+	spec, err := core.SpecFromParametric(ansatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := []core.Bindings{{"theta": 0.3}, {"theta": 1.1}, {"theta": 2.2}}
+	opts := core.RunOptions{Shots: 128, Seed: 17, Subbackend: "statevector"}
+	batch, err := exec.(core.BatchExecutor).ExecuteBatch(spec, bindings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bindings {
+		boundSpec, err := core.SpecFromCircuit(ansatz.Bind(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := exec.Execute(boundSpec, opts.ForElement(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Counts) != len(batch[i].Counts) {
+			t.Fatalf("element %d: %v vs %v", i, seq.Counts, batch[i].Counts)
+		}
+		for key, n := range seq.Counts {
+			if batch[i].Counts[key] != n {
+				t.Fatalf("element %d key %s: batch %d vs sequential %d", i, key, batch[i].Counts[key], n)
+			}
+		}
+	}
+}
+
+func TestSingleExecuteRejectsParametricSpec(t *testing.T) {
+	env := testEnv(t)
+	exec, err := newAer(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := core.SpecFromParametric(rotAnsatz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Execute(spec, core.RunOptions{}); err == nil {
+		t.Fatal("parametric spec accepted by single-shot Execute")
+	}
+}

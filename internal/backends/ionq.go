@@ -16,6 +16,7 @@ type ionqBackend struct {
 	env     *core.Env
 	service *ionq.Service
 	client  *ionq.Client
+	cache   *core.ParseCache
 }
 
 func newIonQ(env *core.Env) (core.Executor, error) {
@@ -41,7 +42,7 @@ func newIonQ(env *core.Env) (core.Executor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ionq: cloud service failed to start: %w", err)
 	}
-	return &ionqBackend{env: env, service: svc, client: ionq.NewClient(svc.URL())}, nil
+	return &ionqBackend{env: env, service: svc, client: ionq.NewClient(svc.URL()), cache: core.NewParseCache()}, nil
 }
 
 func (b *ionqBackend) Name() string { return "ionq" }
@@ -63,14 +64,84 @@ func (b *ionqBackend) Close() error {
 // URL exposes the cloud endpoint (tests and examples hit it directly).
 func (b *ionqBackend) URL() string { return b.service.URL() }
 
-func (b *ionqBackend) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
-	sub := normalizeSub(opts.Subbackend, "simulator")
-	switch sub {
+// checkOpts rejects unusable options before any cloud interaction: an
+// unsupported sub-backend, or a non-diagonal observable (undecidable from
+// counts) that would otherwise waste every execution in the request.
+func (b *ionqBackend) checkOpts(opts core.RunOptions) error {
+	switch normalizeSub(opts.Subbackend, "simulator") {
 	case "simulator":
 	case "hardware":
-		return core.ExecResult{}, fmt.Errorf("ionq: hardware %w", core.ErrPlanned)
+		return fmt.Errorf("ionq: hardware %w", core.ErrPlanned)
 	default:
-		return core.ExecResult{}, fmt.Errorf("ionq: unknown sub-backend %q", opts.Subbackend)
+		return fmt.Errorf("ionq: unknown sub-backend %q", opts.Subbackend)
+	}
+	if opts.Observable != nil && !opts.Observable.IsDiagonal() {
+		return fmt.Errorf("ionq: only diagonal observables are estimable from cloud counts")
+	}
+	return nil
+}
+
+// countsResult converts a cloud counts histogram into the unified result:
+// expectation values can only be shot estimates, exactly like real hardware.
+func countsResult(counts map[string]int, obs *core.Observable) (core.ExecResult, error) {
+	var ev *float64
+	if obs != nil {
+		if !obs.IsDiagonal() {
+			return core.ExecResult{}, fmt.Errorf("ionq: only diagonal observables are estimable from cloud counts")
+		}
+		v := obs.FromCounts(counts)
+		ev = &v
+	}
+	return core.ExecResult{Counts: counts, ExpVal: ev}, nil
+}
+
+// ExecuteBatch implements core.BatchExecutor on the cloud path: the ansatz
+// parses once into the cache, every element rebinds and serializes, and the
+// whole batch maps onto one REST job array — one round trip to submit and
+// one long-poll round trip to collect, instead of a submit+poll loop per
+// evaluation.
+func (b *ionqBackend) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	if err := b.checkOpts(opts); err != nil {
+		return nil, err
+	}
+	base, err := b.cache.Get(spec)
+	if err != nil {
+		return nil, fmt.Errorf("ionq: bad circuit spec: %w", err)
+	}
+	qasms := make([]string, len(bindings))
+	for i, bind := range bindings {
+		bound := base.Bind(bind)
+		if !bound.IsBound() {
+			return nil, fmt.Errorf("ionq: binding leaves params %v unbound (batch element %d)", bound.ParamNames(), i)
+		}
+		if qasms[i], err = bound.ToQASM(); err != nil {
+			return nil, fmt.Errorf("ionq: batch element %d: %w", i, err)
+		}
+	}
+	shots := opts.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	ids, err := b.client.SubmitBatch(spec.Name, qasms, shots)
+	if err != nil {
+		return nil, fmt.Errorf("ionq: submit batch: %w", err)
+	}
+	allCounts, err := b.client.WaitBatch(ids)
+	if err != nil {
+		return nil, fmt.Errorf("ionq: %w", err)
+	}
+	out := make([]core.ExecResult, len(bindings))
+	for i, counts := range allCounts {
+		if out[i], err = countsResult(counts, opts.Observable); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (b *ionqBackend) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
+	if err := b.checkOpts(opts); err != nil {
+		return core.ExecResult{}, err
 	}
 	shots := opts.Shots
 	if shots <= 0 {
@@ -84,15 +155,5 @@ func (b *ionqBackend) Execute(spec core.CircuitSpec, opts core.RunOptions) (core
 	if err != nil {
 		return core.ExecResult{}, fmt.Errorf("ionq: %w", err)
 	}
-	// Cloud backends cannot access the state: the expectation is the
-	// shot-based estimate, exactly like real hardware.
-	var ev *float64
-	if opts.Observable != nil {
-		if !opts.Observable.IsDiagonal() {
-			return core.ExecResult{}, fmt.Errorf("ionq: only diagonal observables are estimable from cloud counts")
-		}
-		v := opts.Observable.FromCounts(counts)
-		ev = &v
-	}
-	return core.ExecResult{Counts: counts, ExpVal: ev}, nil
+	return countsResult(counts, opts.Observable)
 }

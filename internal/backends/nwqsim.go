@@ -14,11 +14,12 @@ import (
 // distribution makes it the strong performer on large entangled workloads
 // (GHZ, HAM) and large HHL instances in the paper.
 type nwqsim struct {
-	env *core.Env
+	env   *core.Env
+	cache *core.ParseCache
 }
 
 func newNWQSim(env *core.Env) (core.Executor, error) {
-	return &nwqsim{env: env}, nil
+	return &nwqsim{env: env, cache: core.NewParseCache()}, nil
 }
 
 func (b *nwqsim) Name() string { return "nwqsim" }
@@ -39,6 +40,16 @@ func (b *nwqsim) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exec
 	if err != nil {
 		return core.ExecResult{}, err
 	}
+	return b.executeParsed(c, opts)
+}
+
+// ExecuteBatch implements core.BatchExecutor: rebind each element into the
+// cached parse of the ansatz and run it on the selected engine.
+func (b *nwqsim) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+}
+
+func (b *nwqsim) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
 	if err := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
 		return core.ExecResult{}, err
 	}

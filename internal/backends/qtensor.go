@@ -18,11 +18,12 @@ import (
 // "mpi" sub-backend distributes output-variable slices across ranks, the
 // same mechanism qtree uses via mpi4py.
 type qtensor struct {
-	env *core.Env
+	env   *core.Env
+	cache *core.ParseCache
 }
 
 func newQTensor(env *core.Env) (core.Executor, error) {
-	return &qtensor{env: env}, nil
+	return &qtensor{env: env, cache: core.NewParseCache()}, nil
 }
 
 func (b *qtensor) Name() string { return "qtensor" }
@@ -39,6 +40,20 @@ func (b *qtensor) Capabilities() core.Capabilities {
 }
 
 func (b *qtensor) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
+	c, err := parseSpec(spec)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	return b.executeParsed(c, opts)
+}
+
+// ExecuteBatch implements core.BatchExecutor: rebind each element into the
+// cached parse of the ansatz and contract it per element.
+func (b *qtensor) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+}
+
+func (b *qtensor) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
 	sub := normalizeSub(opts.Subbackend, "numpy")
 	switch sub {
 	case "cupy":
@@ -48,10 +63,6 @@ func (b *qtensor) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exe
 	case "numpy", "mpi":
 	default:
 		return core.ExecResult{}, fmt.Errorf("qtensor: unknown sub-backend %q", opts.Subbackend)
-	}
-	c, err := parseSpec(spec)
-	if err != nil {
-		return core.ExecResult{}, err
 	}
 	if c.NQubits > tensornet.MaxOpenQubits {
 		return core.ExecResult{}, core.Infeasible("qtensor: full-state contraction of %d qubits exceeds cap %d", c.NQubits, tensornet.MaxOpenQubits)

@@ -13,11 +13,12 @@ import (
 // TTN is pending (blocked by the .xasm vs .qasm frontend mismatch) and PEPS
 // is architecturally supported but planned.
 type tnqvm struct {
-	env *core.Env
+	env   *core.Env
+	cache *core.ParseCache
 }
 
 func newTNQVM(env *core.Env) (core.Executor, error) {
-	return &tnqvm{env: env}, nil
+	return &tnqvm{env: env, cache: core.NewParseCache()}, nil
 }
 
 func (b *tnqvm) Name() string { return "tnqvm" }
@@ -34,20 +35,39 @@ func (b *tnqvm) Capabilities() core.Capabilities {
 }
 
 func (b *tnqvm) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
-	sub := normalizeSub(opts.Subbackend, "exatn-mps")
-	switch sub {
-	case "exatn-mps":
-	case "ttn":
-		return core.ExecResult{}, fmt.Errorf("tnqvm: TTN %w (blocked by .xasm vs .qasm)", core.ErrPending)
-	case "peps":
-		return core.ExecResult{}, fmt.Errorf("tnqvm: PEPS %w", core.ErrPlanned)
-	default:
-		return core.ExecResult{}, fmt.Errorf("tnqvm: unknown sub-backend %q", opts.Subbackend)
+	if err := b.checkSub(opts); err != nil {
+		return core.ExecResult{}, err
 	}
 	c, err := parseSpec(spec)
 	if err != nil {
 		return core.ExecResult{}, err
 	}
+	return b.executeParsed(c, opts)
+}
+
+// ExecuteBatch implements core.BatchExecutor: rebind each element into the
+// cached parse of the ansatz and contract it on the MPS engine.
+func (b *tnqvm) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	if err := b.checkSub(opts); err != nil {
+		return nil, err
+	}
+	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+}
+
+func (b *tnqvm) checkSub(opts core.RunOptions) error {
+	switch normalizeSub(opts.Subbackend, "exatn-mps") {
+	case "exatn-mps":
+		return nil
+	case "ttn":
+		return fmt.Errorf("tnqvm: TTN %w (blocked by .xasm vs .qasm)", core.ErrPending)
+	case "peps":
+		return fmt.Errorf("tnqvm: PEPS %w", core.ErrPlanned)
+	default:
+		return fmt.Errorf("tnqvm: unknown sub-backend %q", opts.Subbackend)
+	}
+}
+
+func (b *tnqvm) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
 	// ExaTN-MPS defaults differ slightly from Aer's MPS engine: a more
 	// conservative bond cap reflecting its general-network heritage.
 	maxBond := opts.MaxBond

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchAblationSpeedup(t *testing.T) {
+	// The acceptance check of the batched pipeline: for K >= 8 the batched
+	// QAOA parameter sweep must beat per-circuit submission on wall clock.
+	// The cloud series is the robust witness — the sequential path pays a
+	// simulated network round trip per submission while the batched path
+	// maps the whole sweep onto one REST job array.
+	h := quickHarness(t)
+	exp, err := h.RunBatchAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Series) != 4 {
+		t.Fatalf("series %d, want 4 (sequential+batched for two backends)", len(exp.Series))
+	}
+	var cloudSeq, cloudBat *Series
+	for i := range exp.Series {
+		s := &exp.Series[i]
+		switch {
+		case strings.Contains(s.Label, "IonQ") && strings.Contains(s.Label, "sequential"):
+			cloudSeq = s
+		case strings.Contains(s.Label, "IonQ") && strings.Contains(s.Label, "batched"):
+			cloudBat = s
+		}
+	}
+	if cloudSeq == nil || cloudBat == nil {
+		t.Fatalf("missing cloud series in %+v", exp.Series)
+	}
+	for i, sp := range cloudSeq.Points {
+		bp := cloudBat.Points[i]
+		if sp.X != bp.X {
+			t.Fatalf("point mismatch: %d vs %d", sp.X, bp.X)
+		}
+		if sp.X >= 8 && bp.RuntimeMS >= sp.RuntimeMS {
+			t.Fatalf("K=%d: batched %.2fms not faster than sequential %.2fms", sp.X, bp.RuntimeMS, sp.RuntimeMS)
+		}
+	}
+}
+
+func TestAblationCatalogListed(t *testing.T) {
+	h := quickHarness(t)
+	t2 := h.RunBenchmarkCatalog()
+	if !strings.Contains(t2.Text, "batch-vs-sequential") {
+		t.Fatalf("ablation missing from catalog:\n%s", t2.Text)
+	}
+}

@@ -92,6 +92,26 @@ var DQAOAQuickConfigs = []DQAOAConfig{
 	{QUBOSize: 20, SubQSize: 8, NSubQ: 3},
 }
 
+// AblationSpec is one design-choice ablation tracked by the bench
+// trajectory alongside the paper's tables and figures.
+type AblationSpec struct {
+	Name     string
+	Ks       []int // batch sizes swept
+	Describe string
+}
+
+// AblationCatalog lists the tracked ablations. batch-vs-sequential is the
+// batched-execution pipeline's speedup entry: the same p=2 QAOA parameter
+// sweep (identical seeds both paths) evaluated once through per-circuit
+// submission and once through a single submit_batch RPC.
+var AblationCatalog = []AblationSpec{
+	{
+		Name:     "batch-vs-sequential",
+		Ks:       []int{1, 2, 4, 8, 16},
+		Describe: "p=2 QAOA parameter sweep: K bound submissions vs one parametric batch (same seeds both paths)",
+	},
+}
+
 // PlacementFor reproduces the paper's (#N, #P) schedule: placements grow
 // with problem size, crossing from one LLC domain to several and from one
 // node to two (Fig. 3's secondary axes).

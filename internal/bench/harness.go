@@ -342,6 +342,68 @@ func (h *Harness) RunTimelineFigure(cfgSpec DQAOAConfig) (*Experiment, map[strin
 	return exp, recorders, nil
 }
 
+// RunBatchAblation measures the batch-vs-sequential ablation of the
+// catalog: the same p=2 QAOA parameter sweep evaluated through K individual
+// submit RPCs (one fully bound circuit each) and through one submit_batch
+// RPC carrying the symbolic ansatz plus K bindings. Seeds are identical on
+// both paths, so only the pipeline differs. The cloud series isolates the
+// round-trip economics (the paper's Fig. 5 motivation); the local series
+// isolates parse amortization.
+func (h *Harness) RunBatchAblation() (*Experiment, error) {
+	spec := AblationCatalog[0]
+	exp := &Experiment{
+		ID:    "ablation-batch",
+		Title: "Batched vs per-circuit QAOA evaluation (" + spec.Describe + ")",
+		Notes: "X axis is the batch size K; both series run the identical parameter sweep with identical seeds.",
+	}
+	rng := rand.New(rand.NewSource(h.Seed + 41))
+	q := qubo.Random(8, 0.5, 1.0, rng)
+	ham, _ := q.CostHamiltonian()
+	ansatz := qaoa.BuildAnsatz(ham, 2)
+	for _, sel := range []BackendSel{
+		{Backend: "aer", Subbackend: "statevector"},
+		{Backend: "ionq", Subbackend: "simulator"},
+	} {
+		front, err := h.Session.Frontend(core.Properties{Backend: sel.Backend, Subbackend: sel.Subbackend})
+		if err != nil {
+			return nil, err
+		}
+		seq := Series{Label: sel.Label() + " sequential"}
+		bat := Series{Label: sel.Label() + " batched"}
+		for _, k := range spec.Ks {
+			prng := rand.New(rand.NewSource(h.Seed + int64(k)))
+			bindings := make([]core.Bindings, k)
+			for i := range bindings {
+				params := make([]float64, 4) // p=2: two gammas, two betas
+				for j := range params {
+					params[j] = 0.1 + 0.8*prng.Float64()
+				}
+				bindings[i] = qaoa.BindParams(params)
+			}
+			opts := core.RunOptions{Shots: h.Shots, Seed: h.Seed}
+
+			start := time.Now()
+			for i, b := range bindings {
+				if _, err := front.Run(ansatz.Bind(b), opts.ForElement(i)); err != nil {
+					return nil, fmt.Errorf("sequential K=%d: %w", k, err)
+				}
+			}
+			seqMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+			start = time.Now()
+			if _, err := front.RunBatch(ansatz, bindings, opts); err != nil {
+				return nil, fmt.Errorf("batched K=%d: %w", k, err)
+			}
+			batMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+			seq.Points = append(seq.Points, Point{X: k, Placement: fmt.Sprintf("K=%d", k), RuntimeMS: seqMS})
+			bat.Points = append(bat.Points, Point{X: k, Placement: fmt.Sprintf("K=%d", k), RuntimeMS: batMS})
+		}
+		exp.Series = append(exp.Series, seq, bat)
+	}
+	return exp, nil
+}
+
 // RunCapabilityTable reproduces Table 1 from the live backend registry.
 func (h *Harness) RunCapabilityTable() (*Experiment, error) {
 	exp := &Experiment{ID: "table1", Title: "Backends used with QFw"}
@@ -372,6 +434,10 @@ func (h *Harness) RunBenchmarkCatalog() *Experiment {
 	text += "\nDQAOA configurations (QUBO size : (subqsize, nsubq)):\n"
 	for _, cfgSpec := range DQAOAConfigs {
 		text += "  " + cfgSpec.String() + "\n"
+	}
+	text += "\nAblations (design-choice studies):\n"
+	for _, ab := range AblationCatalog {
+		text += fmt.Sprintf("  %-20s K=%v  %s\n", ab.Name, ab.Ks, ab.Describe)
 	}
 	exp.Text = text
 	return exp

@@ -166,13 +166,18 @@ func (c *Circuit) Compose(other *Circuit) *Circuit {
 	return c
 }
 
-// Bind returns a copy with every symbolic parameter resolved against binding.
+// Bind returns a copy with every symbolic parameter resolved against
+// binding. Parameters whose name is absent from the binding stay symbolic
+// (check IsBound afterwards), so a partial binding arriving over RPC is a
+// detectable error instead of a worker panic.
 func (c *Circuit) Bind(binding map[string]float64) *Circuit {
 	out := c.Copy()
 	for i := range out.Gates {
 		for j, p := range out.Gates[i].Params {
 			if !p.IsBound() {
-				out.Gates[i].Params[j] = Bound(p.Value(binding))
+				if _, ok := binding[p.Name]; ok {
+					out.Gates[i].Params[j] = Bound(p.Value(binding))
+				}
 			}
 		}
 	}

@@ -292,6 +292,89 @@ func TestQuickQASMRoundTripRandom(t *testing.T) {
 	}
 }
 
+func TestSymbolicQASMRoundTrip(t *testing.T) {
+	// A parametric circuit must round-trip through the symbolic wire form
+	// with names, coefficients, and offsets intact.
+	c := New(3)
+	c.H(0)
+	c.RX(0, Sym("beta0", 2))
+	c.RZZ(0, 1, Sym("gamma0", -1.5))
+	c.RY(2, Param{Name: "t0", Coeff: 0.5, Const: 0.25})
+	c.P(1, Sym("phi", 1))
+	c.CP(1, 2, Sym("phi", 3))
+	c.RZ(2, Bound(0.75))
+	c.MeasureAll()
+	qasm, err := c.ToSymbolicQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseQASM(qasm)
+	if err != nil {
+		t.Fatalf("parse failed: %v\n%s", err, qasm)
+	}
+	wantNames := []string{"beta0", "gamma0", "phi", "t0"}
+	names := back.ParamNames()
+	if len(names) != len(wantNames) {
+		t.Fatalf("params %v, want %v", names, wantNames)
+	}
+	for i := range wantNames {
+		if names[i] != wantNames[i] {
+			t.Fatalf("params %v, want %v", names, wantNames)
+		}
+	}
+	// Binding both circuits identically must give identical bound QASM.
+	binding := map[string]float64{"beta0": 0.3, "gamma0": 0.7, "t0": -1.2, "phi": 2.1}
+	origQASM, err := c.Bind(binding).ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	backQASM, err := back.Bind(binding).ToQASM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if origQASM != backQASM {
+		t.Fatalf("bound round trip mismatch:\n%s\nvs\n%s", origQASM, backQASM)
+	}
+}
+
+func TestSymbolicQASMRejectsPiName(t *testing.T) {
+	// "pi" is the QASM constant: a parameter with that name would parse
+	// back as a bound number and silently ignore its bindings.
+	c := New(1)
+	c.RX(0, Sym("pi", 2))
+	if _, err := c.ToSymbolicQASM(); err == nil {
+		t.Fatal(`parameter named "pi" serialized symbolically`)
+	}
+	// Names outside the identifier grammar would reparse as a different
+	// expression (e.g. "b+2" becomes parameter "b" plus a constant).
+	c2 := New(1)
+	c2.RX(0, Sym("b+2", 1))
+	if _, err := c2.ToSymbolicQASM(); err == nil {
+		t.Fatal(`parameter named "b+2" serialized symbolically`)
+	}
+}
+
+func TestToQASMRejectsUnbound(t *testing.T) {
+	c := New(1)
+	c.RX(0, Sym("a", 1))
+	if _, err := c.ToQASM(); err == nil {
+		t.Fatal("unbound circuit serialized by ToQASM")
+	}
+}
+
+func TestBindLeavesUnknownSymbolic(t *testing.T) {
+	// Partial bindings must stay detectable, not panic.
+	c := New(1)
+	c.RX(0, Sym("a", 1)).RY(0, Sym("b", 1))
+	half := c.Bind(map[string]float64{"a": 0.5})
+	if half.IsBound() {
+		t.Fatal("partial binding reported bound")
+	}
+	if names := half.ParamNames(); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("leftover params %v", names)
+	}
+}
+
 func TestMatrix2QUnitarity(t *testing.T) {
 	for _, k := range []Kind{KindCX, KindCY, KindCZ, KindSWAP, KindCRX, KindCRY, KindCRZ, KindCP, KindRZZ, KindRXX} {
 		m := Matrix2Q(k, 0.37)

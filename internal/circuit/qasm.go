@@ -3,6 +3,7 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -12,8 +13,36 @@ import (
 // transpiled away first.
 func (c *Circuit) ToQASM() (string, error) {
 	if !c.IsBound() {
-		return "", fmt.Errorf("circuit: cannot serialize unbound circuit (params %v)", c.ParamNames())
+		return "", fmt.Errorf("circuit: cannot serialize unbound circuit (params %v); use ToSymbolicQASM for the parametric wire form", c.ParamNames())
 	}
+	return c.serialize()
+}
+
+// ToSymbolicQASM serializes a circuit keeping unbound parameters symbolic:
+// a gate angle Coeff*θ(name)+Const is written as the affine expression
+// "Coeff*name+Const" that ParseQASM round-trips back into a symbolic Param.
+// This is the parametric wire format of batched execution: the ansatz is
+// transmitted once and each batch element carries only its binding values.
+// Parameter names must fit the wire grammar [A-Za-z_][A-Za-z0-9_]* and must
+// not be "pi" (the QASM constant): anything else would reparse as a
+// different expression on the receiving side and silently ignore or
+// misroute its bindings.
+func (c *Circuit) ToSymbolicQASM() (string, error) {
+	for _, name := range c.ParamNames() {
+		if name == "pi" {
+			return "", fmt.Errorf("circuit: parameter name %q collides with the QASM constant and cannot round-trip symbolically", name)
+		}
+		if !symNameRe.MatchString(name) {
+			return "", fmt.Errorf("circuit: parameter name %q is not a valid symbolic identifier ([A-Za-z_][A-Za-z0-9_]*)", name)
+		}
+	}
+	return c.serialize()
+}
+
+// symNameRe is the identifier grammar of the symbolic wire form.
+var symNameRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+
+func (c *Circuit) serialize() (string, error) {
 	var b strings.Builder
 	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
 	fmt.Fprintf(&b, "qreg q[%d];\ncreg c[%d];\n", c.NQubits, c.NQubits)
@@ -40,10 +69,10 @@ func (c *Circuit) ToQASM() (string, error) {
 			fmt.Fprintf(&b, "id q[%d];\n", g.Qubits[0])
 			continue
 		case KindP:
-			fmt.Fprintf(&b, "u1(%s) q[%d];\n", fmtAngle(g.Params[0].Const), g.Qubits[0])
+			fmt.Fprintf(&b, "u1(%s) q[%d];\n", fmtParam(g.Params[0]), g.Qubits[0])
 			continue
 		case KindCP:
-			fmt.Fprintf(&b, "cu1(%s) q[%d],q[%d];\n", fmtAngle(g.Params[0].Const), g.Qubits[0], g.Qubits[1])
+			fmt.Fprintf(&b, "cu1(%s) q[%d],q[%d];\n", fmtParam(g.Params[0]), g.Qubits[0], g.Qubits[1])
 			continue
 		}
 		b.WriteString(g.Kind.Name())
@@ -53,7 +82,7 @@ func (c *Circuit) ToQASM() (string, error) {
 				if i > 0 {
 					b.WriteString(",")
 				}
-				b.WriteString(fmtAngle(p.Const))
+				b.WriteString(fmtParam(p))
 			}
 			b.WriteString(")")
 		}
@@ -74,6 +103,54 @@ func writeQubits(b *strings.Builder, qs []int) {
 }
 
 func fmtAngle(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+
+// fmtParam renders a parameter: bound values as plain numbers, symbolic ones
+// in the canonical affine form "coeff*name" or "coeff*name±const".
+func fmtParam(p Param) string {
+	if p.IsBound() {
+		return fmtAngle(p.Const)
+	}
+	s := fmtAngle(p.Coeff) + "*" + p.Name
+	if p.Const != 0 {
+		if p.Const > 0 {
+			s += "+"
+		}
+		s += fmtAngle(p.Const)
+	}
+	return s
+}
+
+// symParamRe matches the canonical symbolic form emitted by fmtParam.
+var symParamRe = regexp.MustCompile(
+	`^\s*([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*\*\s*([A-Za-z_][A-Za-z0-9_]*)\s*([-+][0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)?\s*$`)
+
+// parseParamExpr parses one gate parameter: constant arithmetic expressions
+// become bound parameters; the affine symbolic form "coeff*name±const"
+// becomes a symbolic one. Numeric evaluation is tried first so constant
+// expressions containing "pi" never shadow a symbol.
+func parseParamExpr(s string) (Param, error) {
+	s = strings.TrimSpace(s)
+	if v, err := evalExpr(s); err == nil {
+		return Bound(v), nil
+	}
+	m := symParamRe.FindStringSubmatch(s)
+	if m == nil || m[2] == "pi" {
+		return Param{}, fmt.Errorf("qasm: cannot evaluate parameter %q", s)
+	}
+	coeff, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		return Param{}, fmt.Errorf("qasm: bad coefficient in %q", s)
+	}
+	p := Param{Name: m[2], Coeff: coeff}
+	if m[3] != "" {
+		c, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return Param{}, fmt.Errorf("qasm: bad constant in %q", s)
+		}
+		p.Const = c
+	}
+	return p, nil
+}
 
 var qasmGateKinds = map[string]Kind{
 	"id": KindI, "h": KindH, "x": KindX, "y": KindY, "z": KindZ,
@@ -241,14 +318,14 @@ func applyQASMStmt(c *Circuit, qreg, creg, stmt string) error {
 		name = fields[0]
 		operandStr = strings.TrimSpace(strings.Join(fields[1:], " "))
 	}
-	var params []float64
+	var params []Param
 	if paramsStr != "" {
 		for _, ps := range splitTopLevel(paramsStr) {
-			v, err := evalExpr(strings.TrimSpace(ps))
+			p, err := parseParamExpr(ps)
 			if err != nil {
 				return fmt.Errorf("qasm: bad parameter %q: %w", ps, err)
 			}
-			params = append(params, v)
+			params = append(params, p)
 		}
 	}
 	var qubits []int
@@ -267,28 +344,35 @@ func applyQASMStmt(c *Circuit, qreg, creg, stmt string) error {
 		if len(params) != 2 {
 			return fmt.Errorf("qasm: u2 needs 2 params")
 		}
+		for _, p := range params {
+			if !p.IsBound() {
+				return fmt.Errorf("qasm: symbolic parameters are not supported on u2")
+			}
+		}
 		// u2(φ,λ) = rz(φ) ry(π/2) rz(λ) up to global phase.
-		c.RZ(qubits[0], Bound(params[1]))
+		c.RZ(qubits[0], Bound(params[1].Const))
 		c.RY(qubits[0], Bound(math.Pi/2))
-		c.RZ(qubits[0], Bound(params[0]))
+		c.RZ(qubits[0], Bound(params[0].Const))
 		return nil
 	case "u3", "u", "U":
 		if len(params) != 3 {
 			return fmt.Errorf("qasm: u3 needs 3 params")
 		}
-		c.RZ(qubits[0], Bound(params[2]))
-		c.RY(qubits[0], Bound(params[0]))
-		c.RZ(qubits[0], Bound(params[1]))
+		for _, p := range params {
+			if !p.IsBound() {
+				return fmt.Errorf("qasm: symbolic parameters are not supported on u3")
+			}
+		}
+		c.RZ(qubits[0], Bound(params[2].Const))
+		c.RY(qubits[0], Bound(params[0].Const))
+		c.RZ(qubits[0], Bound(params[1].Const))
 		return nil
 	}
 	kind, ok := qasmGateKinds[name]
 	if !ok {
 		return fmt.Errorf("qasm: unknown gate %q", name)
 	}
-	g := Gate{Kind: kind, Qubits: qubits}
-	for _, p := range params {
-		g.Params = append(g.Params, Bound(p))
-	}
+	g := Gate{Kind: kind, Qubits: qubits, Params: params}
 	if kind.NumParams() != len(params) {
 		return fmt.Errorf("qasm: gate %s got %d params, wants %d", name, len(params), kind.NumParams())
 	}

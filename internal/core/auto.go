@@ -21,11 +21,12 @@ import (
 // selector works on sessions launched with a backend subset.
 type AutoExecutor struct {
 	execs map[string]Executor
+	cache *ParseCache
 }
 
 // NewAutoExecutor wraps the live executors of a session.
 func NewAutoExecutor(execs map[string]Executor) *AutoExecutor {
-	return &AutoExecutor{execs: execs}
+	return &AutoExecutor{execs: execs, cache: NewParseCache()}
 }
 
 // Name implements Executor.
@@ -57,8 +58,10 @@ type routing struct {
 }
 
 // selectRoute applies the structural rules against the available executors.
+// The parse goes through the selector's cache, so batched evaluations of
+// one ansatz pay the routing-inspection parse once.
 func (a *AutoExecutor) selectRoute(spec CircuitSpec) (routing, error) {
-	c, err := spec.Circuit()
+	c, err := a.cache.Get(spec)
 	if err != nil {
 		return routing{}, err
 	}
@@ -118,6 +121,55 @@ func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, e
 	res.Extra["auto_routed"] = 1
 	res.Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
 	return res, nil
+}
+
+// ExecuteBatch implements BatchExecutor: the route is selected once per
+// batch from the shared spec, then the whole batch is delegated — natively
+// when the target backend supports batches, otherwise by rebinding each
+// element through the selector's parse cache.
+func (a *AutoExecutor) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
+	route, err := a.selectRoute(spec)
+	if err != nil {
+		return nil, err
+	}
+	target, ok := a.execs[route.backend]
+	if !ok {
+		return nil, fmt.Errorf("auto: selected backend %q not available", route.backend)
+	}
+	opts.Subbackend = route.sub
+	var results []ExecResult
+	if be, ok := target.(BatchExecutor); ok {
+		results, err = be.ExecuteBatch(spec, bindings, opts)
+	} else {
+		base, cerr := a.cache.Get(spec)
+		if cerr != nil {
+			return nil, cerr
+		}
+		results = make([]ExecResult, len(bindings))
+		for i, b := range bindings {
+			bound := base.Bind(b)
+			elemSpec, serr := SpecFromCircuit(bound)
+			if serr != nil {
+				err = serr
+				break
+			}
+			results[i], err = target.Execute(elemSpec, opts.ForElement(i))
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("auto[%s->%s/%s]: %w", route.rule, route.backend, route.sub, err)
+	}
+	for i := range results {
+		if results[i].Extra == nil {
+			results[i].Extra = map[string]float64{}
+		}
+		results[i].Extra["auto_routed"] = 1
+		results[i].Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
+	}
+	return results, nil
 }
 
 // RouteFor exposes the selection decision for inspection (tests, tooling).

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/defw"
+)
+
+// paramExec is a batch-capable fake executor: it parses specs through its
+// own cache (like the real backends) and echoes each element's binding
+// value so ordering is observable.
+type paramExec struct {
+	name  string
+	cache *ParseCache
+
+	mu         sync.Mutex
+	execCalls  int
+	batchCalls int
+}
+
+func newParamExec(name string) *paramExec {
+	return &paramExec{name: name, cache: NewParseCache()}
+}
+
+func (p *paramExec) Name() string { return p.name }
+func (p *paramExec) Capabilities() Capabilities {
+	return Capabilities{Backend: p.name, Subbackends: []string{"default"}}
+}
+
+func (p *paramExec) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	p.mu.Lock()
+	p.execCalls++
+	p.mu.Unlock()
+	c, err := p.cache.Get(spec)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	theta := c.Gates[0].Params[0].Const
+	return ExecResult{Extra: map[string]float64{"theta": theta, "seed": float64(opts.Seed)}}, nil
+}
+
+func (p *paramExec) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
+	p.mu.Lock()
+	p.batchCalls++
+	p.mu.Unlock()
+	base, err := p.cache.Get(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExecResult, len(bindings))
+	for i, b := range bindings {
+		bound := base.Bind(b)
+		if !bound.IsBound() {
+			return nil, fmt.Errorf("paramExec: element %d leaves params %v unbound", i, bound.ParamNames())
+		}
+		out[i] = ExecResult{Extra: map[string]float64{
+			"theta": bound.Gates[0].Params[0].Const,
+			"seed":  float64(opts.ForElement(i).Seed),
+		}}
+	}
+	return out, nil
+}
+
+// parametricAnsatz builds a tiny symbolic circuit.
+func parametricAnsatz(t *testing.T) *circuit.Circuit {
+	t.Helper()
+	c := circuit.New(1)
+	c.Name = "ansatz"
+	c.RX(0, circuit.Sym("theta", 1)).MeasureAll()
+	return c
+}
+
+// countingHandler wraps a defw handler and tallies method calls.
+type countingHandler struct {
+	inner defw.Handler
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (h *countingHandler) Handle(method string, payload []byte) ([]byte, error) {
+	h.mu.Lock()
+	h.calls[method]++
+	h.mu.Unlock()
+	return h.inner.Handle(method, payload)
+}
+
+func (h *countingHandler) count(method string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.calls[method]
+}
+
+func TestBatchSingleRPCSingleParse(t *testing.T) {
+	// The batch acceptance criterion: K bindings over one ansatz issue
+	// exactly one submit_batch RPC and parse the QASM exactly once.
+	exec := newParamExec("px")
+	qpm := NewQPM(exec, 4, nil)
+	defer qpm.Close()
+	server := defw.NewServer()
+	counter := &countingHandler{inner: qpm, calls: map[string]int{}}
+	server.Register(ServiceName("px"), counter)
+	client := defw.NewPipeClient(server)
+	defer func() { client.Close(); server.Close() }()
+	front, err := NewFrontend(client, Properties{Backend: "px"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const K = 8
+	bindings := make([]Bindings, K)
+	for i := range bindings {
+		bindings[i] = Bindings{"theta": float64(i) / 10}
+	}
+	results, err := front.RunBatch(parametricAnsatz(t), bindings, RunOptions{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != K {
+		t.Fatalf("got %d results, want %d", len(results), K)
+	}
+	for i, res := range results {
+		if res == nil || res.Extra["theta"] != float64(i)/10 {
+			t.Fatalf("element %d out of order: %+v", i, res)
+		}
+		if res.Extra["seed"] != float64(100+i) {
+			t.Fatalf("element %d seed %v, want %d", i, res.Extra["seed"], 100+i)
+		}
+	}
+	if got := counter.count("submit_batch"); got != 1 {
+		t.Fatalf("submit_batch RPCs = %d, want 1", got)
+	}
+	if got := counter.count("submit"); got != 0 {
+		t.Fatalf("submit RPCs = %d, want 0", got)
+	}
+	if got := exec.cache.Parses(); got != 1 {
+		t.Fatalf("QASM parses = %d, want 1", got)
+	}
+}
+
+func TestBatchFallbackForPlainExecutor(t *testing.T) {
+	// Executors without native batch support are driven per element through
+	// the QPM's own cache: still one QPM-side parse for the whole batch.
+	exec := &fakeExec{name: "plain"}
+	qpm := NewQPM(exec, 2, nil)
+	defer qpm.Close()
+	spec, err := SpecFromParametric(func() *circuit.Circuit {
+		c := circuit.New(1)
+		c.Name = "fb"
+		c.RX(0, circuit.Sym("a", 1)).MeasureAll()
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsParametric() || spec.Params[0] != "a" {
+		t.Fatalf("spec not parametric: %+v", spec)
+	}
+	id, err := qpm.SubmitBatch(spec, []Bindings{{"a": 0.1}, {"a": 0.2}, {"a": 0.3}}, RunOptions{Shots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs, err := qpm.WaitBatch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("element %d failed: %s", i, e)
+		}
+		if results[i] == nil || results[i].Counts["00"] != 5 {
+			t.Fatalf("element %d result %+v", i, results[i])
+		}
+	}
+	if exec.callCount() != 3 {
+		t.Fatalf("Execute calls = %d, want 3", exec.callCount())
+	}
+	if qpm.ParseCount() != 1 {
+		t.Fatalf("QPM parses = %d, want 1", qpm.ParseCount())
+	}
+}
+
+func TestBatchElementErrorIsOrdered(t *testing.T) {
+	// A binding that leaves a parameter unbound fails its elements with a
+	// clean per-element error; the frontend surfaces the first one.
+	exec := newParamExec("pe")
+	qpm := NewQPM(exec, 1, nil)
+	defer qpm.Close()
+	server := defw.NewServer()
+	server.Register(ServiceName("pe"), qpm)
+	client := defw.NewPipeClient(server)
+	defer func() { client.Close(); server.Close() }()
+	front, _ := NewFrontend(client, Properties{Backend: "pe"})
+
+	_, err := front.RunBatch(parametricAnsatz(t), []Bindings{{"wrong": 1}}, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "element 0") {
+		t.Fatalf("err = %v, want element error", err)
+	}
+}
+
+// blockingExec parks every execution until released.
+type blockingExec struct {
+	name    string
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingExec) Name() string { return b.name }
+func (b *blockingExec) Capabilities() Capabilities {
+	return Capabilities{Backend: b.name}
+}
+func (b *blockingExec) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	b.started <- struct{}{}
+	<-b.release
+	return ExecResult{Counts: map[string]int{"0": 1}}, nil
+}
+
+func TestQPMRunOnFullQueue(t *testing.T) {
+	exec := &blockingExec{name: "full", started: make(chan struct{}, 16), release: make(chan struct{})}
+	q := newQPMWithQueueCap(exec, 1, nil, 2)
+	defer func() { close(exec.release); q.Close() }()
+	spec := bell(t)
+
+	// First task occupies the single worker; the next two fill the queue.
+	first, err := q.Submit(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = first
+	<-exec.started
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(spec, RunOptions{}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	id, err := q.Create(spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(id); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("Run on full queue = %v, want queue-full error", err)
+	}
+}
+
+func TestQPMSubmitAfterClose(t *testing.T) {
+	q := NewQPM(&fakeExec{name: "closed"}, 1, nil)
+	q.Close()
+	if _, err := q.Submit(bell(t), RunOptions{}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("Submit after Close = %v, want closed error", err)
+	}
+	if _, err := q.SubmitBatch(bell(t), []Bindings{{}}, RunOptions{}); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("SubmitBatch after Close = %v, want closed error", err)
+	}
+	// Close must stay idempotent.
+	q.Close()
+}
+
+func TestQPMDeleteRunningTask(t *testing.T) {
+	exec := &blockingExec{name: "busy", started: make(chan struct{}, 1), release: make(chan struct{})}
+	q := NewQPM(exec, 1, nil)
+	id, err := q.Submit(bell(t), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-exec.started // the task is now running
+	if err := q.Delete(id); err == nil || !strings.Contains(err.Error(), "running") {
+		t.Fatalf("Delete of running task = %v, want running error", err)
+	}
+	close(exec.release)
+	if _, err := q.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Delete(id); err != nil {
+		t.Fatalf("Delete after completion: %v", err)
+	}
+	q.Close()
+}
+
+func TestBatchRPCWireFormat(t *testing.T) {
+	// The submit_batch payload must stay JSON-stable: spec once, bindings
+	// as an array of name->value maps.
+	req := batchSubmitReq{
+		Spec:     CircuitSpec{Name: "a", NQubits: 1, QASM: "OPENQASM 2.0;", Params: []string{"t"}},
+		Bindings: []Bindings{{"t": 0.5}},
+		Opts:     RunOptions{Shots: 4},
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back batchSubmitReq
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Params[0] != "t" || back.Bindings[0]["t"] != 0.5 || back.Opts.Shots != 4 {
+		t.Fatalf("round trip %+v", back)
+	}
+}

@@ -115,6 +115,91 @@ func (f *Frontend) RunAsync(c *circuit.Circuit, opts RunOptions) (*Pending, erro
 	return &Pending{front: f, TaskID: id.ID}, nil
 }
 
+// PendingBatch is an in-flight asynchronous batch execution.
+type PendingBatch struct {
+	front   *Frontend
+	BatchID string
+	N       int
+}
+
+// RunBatchAsync ships the (possibly parametric) circuit once plus the
+// binding list in a single submit_batch RPC and returns immediately — the
+// batched analog of RunAsync. One optimizer iteration's candidate set costs
+// one round trip instead of K.
+func (f *Frontend) RunBatchAsync(c *circuit.Circuit, bindings []Bindings, opts RunOptions) (*PendingBatch, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	spec, err := SpecFromParametric(c)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Subbackend == "" {
+		opts.Subbackend = f.props.Subbackend
+	}
+	payload, err := json.Marshal(batchSubmitReq{Spec: spec, Bindings: bindings, Opts: opts})
+	if err != nil {
+		return nil, err
+	}
+	out, err := f.client.Call(ServiceName(f.props.Backend), "submit_batch", payload)
+	if err != nil {
+		return nil, err
+	}
+	var id idMsg
+	if err := json.Unmarshal(out, &id); err != nil {
+		return nil, err
+	}
+	return &PendingBatch{front: f, BatchID: id.ID, N: len(bindings)}, nil
+}
+
+// Results blocks until every element finishes and returns the ordered
+// results. On element failures it returns the partial results (nil at the
+// failed slots) together with the first element error.
+func (p *PendingBatch) Results() ([]*Result, error) {
+	payload, err := json.Marshal(idMsg{ID: p.BatchID})
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.front.client.Call(ServiceName(p.front.props.Backend), "wait_batch", payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp batchWaitResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, err
+	}
+	for i, e := range resp.Errs {
+		if e != "" {
+			return resp.Results, fmt.Errorf("core: batch element %d: %s", i, e)
+		}
+	}
+	return resp.Results, nil
+}
+
+// Status polls the batch state without blocking.
+func (p *PendingBatch) Status() (Status, error) {
+	payload, _ := json.Marshal(idMsg{ID: p.BatchID})
+	out, err := p.front.client.Call(ServiceName(p.front.props.Backend), "status", payload)
+	if err != nil {
+		return "", err
+	}
+	var st statusMsg
+	if err := json.Unmarshal(out, &st); err != nil {
+		return "", err
+	}
+	return st.Status, nil
+}
+
+// RunBatch executes K parameter bindings of one circuit synchronously
+// through a single submit_batch RPC and returns the ordered results.
+func (f *Frontend) RunBatch(c *circuit.Circuit, bindings []Bindings, opts RunOptions) ([]*Result, error) {
+	pending, err := f.RunBatchAsync(c, bindings, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pending.Results()
+}
+
 // Capabilities fetches the backend's Table-1 capability row.
 func (f *Frontend) Capabilities() (Capabilities, error) {
 	out, err := f.client.Call(ServiceName(f.props.Backend), "capabilities", nil)

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qfw/internal/circuit"
+)
+
+// maxCachedSpecs bounds a ParseCache; a variational workload keeps a
+// handful of distinct ansätze alive, so the bound is generous and the
+// eviction policy (drop everything) trivially correct.
+const maxCachedSpecs = 256
+
+// ParseCache deduplicates QASM parsing by spec hash. Concurrent Get calls
+// for the same spec are single-flighted: exactly one parse runs, everyone
+// shares the result — the property the batch pipeline's "parse once per
+// ansatz" guarantee rests on. Callers must treat the returned circuit as
+// immutable (Bind copies, so rebinding batch elements is safe).
+type ParseCache struct {
+	mu      sync.Mutex
+	entries map[string]*parseEntry
+	parses  atomic.Int64
+}
+
+type parseEntry struct {
+	once sync.Once
+	c    *circuit.Circuit
+	err  error
+}
+
+// NewParseCache returns an empty cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{entries: make(map[string]*parseEntry)}
+}
+
+// Get returns the parsed circuit of the spec, parsing at most once per
+// distinct spec content.
+func (pc *ParseCache) Get(spec CircuitSpec) (*circuit.Circuit, error) {
+	key := spec.Hash()
+	pc.mu.Lock()
+	e, ok := pc.entries[key]
+	if !ok {
+		if len(pc.entries) >= maxCachedSpecs {
+			pc.entries = make(map[string]*parseEntry)
+		}
+		e = &parseEntry{}
+		pc.entries[key] = e
+	}
+	pc.mu.Unlock()
+	e.once.Do(func() {
+		pc.parses.Add(1)
+		e.c, e.err = spec.Circuit()
+	})
+	return e.c, e.err
+}
+
+// Parses returns how many real QASM parses the cache has performed — the
+// counter the batch acceptance tests assert on.
+func (pc *ParseCache) Parses() int64 { return pc.parses.Load() }
+
+// Len returns the number of cached specs.
+func (pc *ParseCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}

@@ -32,38 +32,80 @@ func (t *task) snapshotStatus() Status {
 	return t.status
 }
 
+// batchTask is one parametric batch: a single transmitted spec plus K
+// parameter bindings, fanned across the QRC workers in contiguous chunks
+// and reassembled in order.
+type batchTask struct {
+	id       string
+	spec     CircuitSpec
+	bindings []Bindings
+	opts     RunOptions
+	created  time.Time
+
+	mu      sync.Mutex
+	status  Status
+	results []*Result
+	errs    []string
+	pending int
+	done    chan struct{}
+}
+
+func (bt *batchTask) snapshotStatus() Status {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	return bt.status
+}
+
 // QPM is a Quantum Platform Manager service instance for one backend: it
 // owns the task queue and circuit lifecycle and dispatches work round-robin
-// to its QRC worker threads.
+// to its QRC worker threads. Work items are closures, so single tasks and
+// batch chunks share the same queue and worker pool.
 type QPM struct {
 	backend  string
 	exec     Executor
 	rec      *trace.Recorder
-	queue    chan *task
+	cache    *ParseCache
+	queue    chan func(worker string)
+	queueCap int
 	nextID   atomic.Int64
 	mu       sync.Mutex
 	tasks    map[string]*task
+	batches  map[string]*batchTask
 	closed   bool
 	workers  int
 	workerWG sync.WaitGroup
 }
 
+// defaultQueueCap is the QPM task-queue depth (tests shrink it via
+// newQPMWithQueueCap to exercise the queue-full path).
+const defaultQueueCap = 1024
+
 // NewQPM starts a QPM with the given number of QRC worker threads (the paper
 // uses eight per QPM process).
 func NewQPM(exec Executor, workers int, rec *trace.Recorder) *QPM {
+	return newQPMWithQueueCap(exec, workers, rec, defaultQueueCap)
+}
+
+func newQPMWithQueueCap(exec Executor, workers int, rec *trace.Recorder, queueCap int) *QPM {
 	if workers <= 0 {
 		workers = 8
 	}
 	if rec == nil {
 		rec = trace.NewRecorder()
 	}
+	if queueCap <= 0 {
+		queueCap = defaultQueueCap
+	}
 	q := &QPM{
-		backend: exec.Name(),
-		exec:    exec,
-		rec:     rec,
-		queue:   make(chan *task, 1024),
-		tasks:   make(map[string]*task),
-		workers: workers,
+		backend:  exec.Name(),
+		exec:     exec,
+		rec:      rec,
+		cache:    NewParseCache(),
+		queue:    make(chan func(worker string), queueCap),
+		queueCap: queueCap,
+		tasks:    make(map[string]*task),
+		batches:  make(map[string]*batchTask),
+		workers:  workers,
 	}
 	for w := 0; w < workers; w++ {
 		q.workerWG.Add(1)
@@ -78,48 +120,75 @@ func (q *QPM) Backend() string { return q.backend }
 // Recorder exposes the timing instrumentation.
 func (q *QPM) Recorder() *trace.Recorder { return q.rec }
 
-// qrcWorker is one Quantum Resource Controller thread: it pulls queued
-// tasks and triggers backend executions (MPI runs for local simulators,
+// ParseCount reports how many QASM parses this QPM's spec cache performed
+// (only the fallback path for executors without native batch support parses
+// at the QPM; batch-native executors parse in their own caches).
+func (q *QPM) ParseCount() int64 { return q.cache.Parses() }
+
+// qrcWorker is one Quantum Resource Controller thread: it pulls queued work
+// items and triggers backend executions (MPI runs for local simulators,
 // REST calls for cloud backends).
 func (q *QPM) qrcWorker(id int) {
 	defer q.workerWG.Done()
 	worker := fmt.Sprintf("%s/qrc-%d", q.backend, id)
-	for t := range q.queue {
-		t.mu.Lock()
-		t.status = StatusRunning
-		t.started = time.Now()
-		t.mu.Unlock()
-
-		finish := q.rec.Span("exec:"+t.spec.Name, worker)
-		res, err := q.exec.Execute(t.spec, t.opts)
-		finish()
-
-		t.mu.Lock()
-		t.finished = time.Now()
-		if err != nil {
-			t.status = StatusFailed
-			t.errMsg = err.Error()
-		} else {
-			t.status = StatusDone
-			t.result = &Result{
-				TaskID:     t.id,
-				Backend:    q.backend,
-				Subbackend: t.opts.Subbackend,
-				Counts:     res.Counts,
-				ExpVal:     res.ExpVal,
-				TruncErr:   res.TruncErr,
-				Extra:      res.Extra,
-				Route:      res.Route,
-				Timings: Timings{
-					QueueMS: float64(t.started.Sub(t.created)) / float64(time.Millisecond),
-					ExecMS:  float64(t.finished.Sub(t.started)) / float64(time.Millisecond),
-					TotalMS: float64(t.finished.Sub(t.created)) / float64(time.Millisecond),
-				},
-			}
-		}
-		close(t.done)
-		t.mu.Unlock()
+	for job := range q.queue {
+		job(worker)
 	}
+}
+
+// enqueue submits a work item without blocking; it fails when the queue is
+// full or the QPM is closed. The mutex guards against a concurrent Close
+// racing the channel send.
+func (q *QPM) enqueue(job func(worker string)) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("qpm[%s]: closed", q.backend)
+	}
+	select {
+	case q.queue <- job:
+		return nil
+	default:
+		return fmt.Errorf("qpm[%s]: queue full", q.backend)
+	}
+}
+
+// runTask executes one single-circuit task on a QRC worker.
+func (q *QPM) runTask(t *task, worker string) {
+	t.mu.Lock()
+	t.status = StatusRunning
+	t.started = time.Now()
+	t.mu.Unlock()
+
+	finish := q.rec.Span("exec:"+t.spec.Name, worker)
+	res, err := q.exec.Execute(t.spec, t.opts)
+	finish()
+
+	t.mu.Lock()
+	t.finished = time.Now()
+	if err != nil {
+		t.status = StatusFailed
+		t.errMsg = err.Error()
+	} else {
+		t.status = StatusDone
+		t.result = &Result{
+			TaskID:     t.id,
+			Backend:    q.backend,
+			Subbackend: t.opts.Subbackend,
+			Counts:     res.Counts,
+			ExpVal:     res.ExpVal,
+			TruncErr:   res.TruncErr,
+			Extra:      res.Extra,
+			Route:      res.Route,
+			Timings: Timings{
+				QueueMS: float64(t.started.Sub(t.created)) / float64(time.Millisecond),
+				ExecMS:  float64(t.finished.Sub(t.started)) / float64(time.Millisecond),
+				TotalMS: float64(t.finished.Sub(t.created)) / float64(time.Millisecond),
+			},
+		}
+	}
+	close(t.done)
+	t.mu.Unlock()
 }
 
 // Close drains the queue and stops the workers.
@@ -165,12 +234,7 @@ func (q *QPM) Run(id string) error {
 	if err != nil {
 		return err
 	}
-	select {
-	case q.queue <- t:
-		return nil
-	default:
-		return fmt.Errorf("qpm[%s]: queue full", q.backend)
-	}
+	return q.enqueue(func(worker string) { q.runTask(t, worker) })
 }
 
 // Submit is Create followed by Run.
@@ -182,13 +246,186 @@ func (q *QPM) Submit(spec CircuitSpec, opts RunOptions) (string, error) {
 	return id, q.Run(id)
 }
 
-// Status returns the task state.
-func (q *QPM) Status(id string) (Status, error) {
-	t, err := q.lookup(id)
-	if err != nil {
-		return "", err
+// SubmitBatch registers and enqueues one parametric batch: a single spec
+// plus K bindings. Batch-native executors receive the whole batch as one
+// work item (so e.g. the cloud backend really maps it onto one REST job
+// array and parallelism is the executor's choice); executors without batch
+// support are fanned across the QRC workers in contiguous chunks. Results
+// come back ordered via WaitBatch. Chunks that cannot be enqueued (queue
+// full) fail their elements instead of failing the whole batch.
+func (q *QPM) SubmitBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) (string, error) {
+	if spec.QASM == "" {
+		return "", fmt.Errorf("qpm[%s]: empty circuit spec", q.backend)
 	}
-	return t.snapshotStatus(), nil
+	if len(bindings) == 0 {
+		return "", fmt.Errorf("qpm[%s]: empty batch", q.backend)
+	}
+	id := fmt.Sprintf("%s-batch-%d", q.backend, q.nextID.Add(1))
+	k := len(bindings)
+	nchunks := 1
+	if _, ok := q.exec.(BatchExecutor); !ok {
+		nchunks = q.workers
+		if nchunks > k {
+			nchunks = k
+		}
+	}
+	bt := &batchTask{
+		id:       id,
+		spec:     spec,
+		bindings: bindings,
+		opts:     opts,
+		created:  time.Now(),
+		status:   StatusQueued,
+		results:  make([]*Result, k),
+		errs:     make([]string, k),
+		pending:  nchunks,
+		done:     make(chan struct{}),
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
+	}
+	q.batches[id] = bt
+	q.mu.Unlock()
+	for w := 0; w < nchunks; w++ {
+		lo, hi := w*k/nchunks, (w+1)*k/nchunks
+		if err := q.enqueue(func(worker string) { q.runBatchChunk(bt, lo, hi, worker) }); err != nil {
+			for i := lo; i < hi; i++ {
+				bt.errs[i] = err.Error()
+			}
+			q.finishChunk(bt)
+		}
+	}
+	return id, nil
+}
+
+// runBatchChunk executes bindings[lo:hi] of a batch on one QRC worker:
+// batch-native executors get the whole chunk in one call (rebinding into
+// their cached parse per element); plain executors fall back to bind →
+// serialize → Execute per element through the QPM's own parse cache.
+func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
+	bt.mu.Lock()
+	if bt.status == StatusQueued {
+		bt.status = StatusRunning
+	}
+	bt.mu.Unlock()
+	started := time.Now()
+	finish := q.rec.Span(fmt.Sprintf("exec-batch:%s[%d:%d]", bt.spec.Name, lo, hi), worker)
+	defer func() {
+		finish()
+		q.finishChunk(bt)
+	}()
+	sub := bt.bindings[lo:hi]
+	// Element seeds are globally indexed: the chunk base offset keeps seeds
+	// identical to a serial loop over the full batch.
+	chunkOpts := bt.opts.ForElement(lo)
+	if be, ok := q.exec.(BatchExecutor); ok {
+		results, err := be.ExecuteBatch(bt.spec, sub, chunkOpts)
+		elapsed := time.Since(started)
+		if err == nil && len(results) != len(sub) {
+			err = fmt.Errorf("qpm[%s]: batch executor returned %d results for %d bindings", q.backend, len(results), len(sub))
+		}
+		if err != nil {
+			// One failing element aborts its whole chunk: every slot records
+			// the abort so callers see none of them produced a result.
+			for i := range sub {
+				bt.errs[lo+i] = "batch aborted: " + err.Error()
+			}
+			return
+		}
+		perElem := elapsed / time.Duration(len(sub))
+		for i, res := range results {
+			bt.results[lo+i] = q.batchResult(bt, lo+i, res, started, perElem)
+		}
+		return
+	}
+	base, err := q.cache.Get(bt.spec)
+	if err != nil {
+		for i := range sub {
+			bt.errs[lo+i] = err.Error()
+		}
+		return
+	}
+	for i, b := range sub {
+		bound := base.Bind(b)
+		spec, err := SpecFromCircuit(bound)
+		if err != nil {
+			bt.errs[lo+i] = err.Error()
+			continue
+		}
+		elemStart := time.Now()
+		res, err := q.exec.Execute(spec, chunkOpts.ForElement(i))
+		if err != nil {
+			bt.errs[lo+i] = err.Error()
+			continue
+		}
+		bt.results[lo+i] = q.batchResult(bt, lo+i, res, elemStart, time.Since(elemStart))
+	}
+}
+
+// batchResult marshals one batch element's ExecResult into the unified
+// format. ExecMS for batch-native chunks is the chunk mean (elements share
+// one executor call).
+func (q *QPM) batchResult(bt *batchTask, idx int, res ExecResult, started time.Time, exec time.Duration) *Result {
+	return &Result{
+		TaskID:     fmt.Sprintf("%s#%d", bt.id, idx),
+		Backend:    q.backend,
+		Subbackend: bt.opts.Subbackend,
+		Counts:     res.Counts,
+		ExpVal:     res.ExpVal,
+		TruncErr:   res.TruncErr,
+		Extra:      res.Extra,
+		Route:      res.Route,
+		Timings: Timings{
+			QueueMS: float64(started.Sub(bt.created)) / float64(time.Millisecond),
+			ExecMS:  float64(exec) / float64(time.Millisecond),
+			TotalMS: float64(time.Since(bt.created)) / float64(time.Millisecond),
+		},
+	}
+}
+
+func (q *QPM) finishChunk(bt *batchTask) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	bt.pending--
+	if bt.pending > 0 {
+		return
+	}
+	bt.status = StatusDone
+	for _, e := range bt.errs {
+		if e != "" {
+			bt.status = StatusFailed
+			break
+		}
+	}
+	close(bt.done)
+}
+
+// WaitBatch blocks until every element of the batch completes and returns
+// the ordered results plus per-element error strings ("" for success).
+func (q *QPM) WaitBatch(id string) ([]*Result, []string, error) {
+	bt, err := q.lookupBatch(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	<-bt.done
+	return bt.results, bt.errs, nil
+}
+
+// Status returns the task (or batch) state.
+func (q *QPM) Status(id string) (Status, error) {
+	q.mu.Lock()
+	t, ok := q.tasks[id]
+	bt, bok := q.batches[id]
+	q.mu.Unlock()
+	switch {
+	case ok:
+		return t.snapshotStatus(), nil
+	case bok:
+		return bt.snapshotStatus(), nil
+	}
+	return "", fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
 }
 
 // Wait blocks until the task completes and returns its result.
@@ -206,29 +443,37 @@ func (q *QPM) Wait(id string) (*Result, error) {
 	return t.result, nil
 }
 
-// Delete removes a completed (or never-run) task.
+// Delete removes a completed (or never-run) task or batch.
 func (q *QPM) Delete(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	t, ok := q.tasks[id]
-	if !ok {
-		return fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
+	if t, ok := q.tasks[id]; ok {
+		if t.snapshotStatus() == StatusRunning {
+			return fmt.Errorf("qpm[%s]: task %s is running", q.backend, id)
+		}
+		delete(q.tasks, id)
+		return nil
 	}
-	st := t.snapshotStatus()
-	if st == StatusRunning {
-		return fmt.Errorf("qpm[%s]: task %s is running", q.backend, id)
+	if bt, ok := q.batches[id]; ok {
+		if bt.snapshotStatus() == StatusRunning {
+			return fmt.Errorf("qpm[%s]: batch %s is running", q.backend, id)
+		}
+		delete(q.batches, id)
+		return nil
 	}
-	delete(q.tasks, id)
-	return nil
+	return fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
 }
 
-// List returns all task IDs with their states.
+// List returns all task and batch IDs with their states.
 func (q *QPM) List() map[string]Status {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make(map[string]Status, len(q.tasks))
+	out := make(map[string]Status, len(q.tasks)+len(q.batches))
 	for id, t := range q.tasks {
 		out[id] = t.snapshotStatus()
+	}
+	for id, bt := range q.batches {
+		out[id] = bt.snapshotStatus()
 	}
 	return out
 }
@@ -243,12 +488,36 @@ func (q *QPM) lookup(id string) (*task, error) {
 	return t, nil
 }
 
+func (q *QPM) lookupBatch(id string) (*batchTask, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	bt, ok := q.batches[id]
+	if !ok {
+		return nil, fmt.Errorf("qpm[%s]: unknown batch %s", q.backend, id)
+	}
+	return bt, nil
+}
+
 // ---- DEFw RPC surface -------------------------------------------------
 
 // submitReq is the payload of "create"/"submit" calls.
 type submitReq struct {
 	Spec CircuitSpec `json:"spec"`
 	Opts RunOptions  `json:"opts"`
+}
+
+// batchSubmitReq is the payload of "submit_batch": one spec, K bindings.
+type batchSubmitReq struct {
+	Spec     CircuitSpec `json:"spec"`
+	Bindings []Bindings  `json:"bindings"`
+	Opts     RunOptions  `json:"opts"`
+}
+
+// batchWaitResp is the reply of "wait_batch": ordered results with parallel
+// per-element error strings ("" for success, nil Result on failure).
+type batchWaitResp struct {
+	Results []*Result `json:"results"`
+	Errs    []string  `json:"errs,omitempty"`
 }
 
 type idMsg struct {
@@ -260,8 +529,9 @@ type statusMsg struct {
 	Status Status `json:"status"`
 }
 
-// Handle implements defw.Handler, exposing the QPM API over RPC:
-// create, run, submit, status, wait, delete, list, capabilities.
+// Handle implements defw.Handler, exposing the QPM API over RPC: create,
+// run, submit, submit_batch, status, wait, wait_batch, delete, list,
+// capabilities.
 func (q *QPM) Handle(method string, payload []byte) ([]byte, error) {
 	switch method {
 	case "create", "submit":
@@ -280,6 +550,26 @@ func (q *QPM) Handle(method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return json.Marshal(idMsg{ID: id})
+	case "submit_batch":
+		var req batchSubmitReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("qpm[%s]: bad payload: %w", q.backend, err)
+		}
+		id, err := q.SubmitBatch(req.Spec, req.Bindings, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(idMsg{ID: id})
+	case "wait_batch":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		results, errs, err := q.WaitBatch(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(batchWaitResp{Results: results, Errs: errs})
 	case "run":
 		var req idMsg
 		if err := json.Unmarshal(payload, &req); err != nil {

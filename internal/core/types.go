@@ -9,11 +9,18 @@
 //     backend executions across the allocation,
 //   - the QFwBackend frontend used by applications, speaking to QPMs over
 //     the DEFw RPC layer with synchronous and asynchronous calls,
+//   - the batched parametric pipeline (CircuitSpec.Params + Bindings,
+//     Frontend.RunBatch, QPM submit_batch/wait_batch, BatchExecutor): one
+//     symbolic ansatz ships per optimizer iteration instead of N bound
+//     copies, fanned across the QRC workers and parsed once per ansatz via
+//     ParseCache,
 //   - the deployment bootstrap (Launch) that reproduces the paper's Fig. 1
 //     flow: SLURM heterogeneous job → DVM → QPM services → teardown.
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -25,11 +32,22 @@ import (
 // accepts: OpenQASM 2.0 text plus metadata. Using a serialized exchange
 // format (rather than in-memory pointers) keeps the frontend and backends
 // decoupled exactly as in the paper.
+//
+// A spec may be parametric: the QASM then contains symbolic gate angles
+// (the affine "coeff*name±const" form) and Params lists their names. A
+// parametric spec is shipped once per batch and each execution element
+// supplies one Bindings assignment — the optimizer iteration transmits the
+// ansatz once instead of N bound copies.
 type CircuitSpec struct {
-	Name    string `json:"name,omitempty"`
-	NQubits int    `json:"nqubits"`
-	QASM    string `json:"qasm"`
+	Name    string   `json:"name,omitempty"`
+	NQubits int      `json:"nqubits"`
+	QASM    string   `json:"qasm"`
+	Params  []string `json:"params,omitempty"`
 }
+
+// Bindings assigns concrete values to a parametric spec's symbolic
+// parameters; one Bindings per batch element.
+type Bindings map[string]float64
 
 // SpecFromCircuit serializes a bound circuit.
 func SpecFromCircuit(c *circuit.Circuit) (CircuitSpec, error) {
@@ -38,6 +56,29 @@ func SpecFromCircuit(c *circuit.Circuit) (CircuitSpec, error) {
 		return CircuitSpec{}, err
 	}
 	return CircuitSpec{Name: c.Name, NQubits: c.NQubits, QASM: qasm}, nil
+}
+
+// SpecFromParametric serializes a circuit keeping symbolic parameters
+// unbound — the wire form of batched execution. Bound circuits are accepted
+// too and yield an ordinary (non-parametric) spec.
+func SpecFromParametric(c *circuit.Circuit) (CircuitSpec, error) {
+	qasm, err := c.ToSymbolicQASM()
+	if err != nil {
+		return CircuitSpec{}, err
+	}
+	return CircuitSpec{Name: c.Name, NQubits: c.NQubits, QASM: qasm, Params: c.ParamNames()}, nil
+}
+
+// IsParametric reports whether the spec carries unbound symbolic parameters.
+func (s CircuitSpec) IsParametric() bool { return len(s.Params) > 0 }
+
+// Hash returns a content digest of the spec, the key of the parsed-circuit
+// caches: one ansatz hashes identically across every evaluation that ships
+// it, so its QASM parse cost is paid once per ansatz rather than once per
+// parameter binding.
+func (s CircuitSpec) Hash() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%d\x00%s", s.NQubits, s.QASM)))
+	return hex.EncodeToString(h[:16])
 }
 
 // Circuit parses the spec back into the IR.
@@ -67,6 +108,17 @@ type RunOptions struct {
 	// Observable, when set, asks the backend to also return the expectation
 	// value of this diagonal operator over the final state.
 	Observable *Observable `json:"observable,omitempty"`
+}
+
+// ForElement derives the options of one batch element: element i of a batch
+// gets a distinct deterministic seed, matching the seed schedule a serial
+// loop over the same evaluations would have produced.
+func (o RunOptions) ForElement(i int) RunOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	o.Seed += int64(i)
+	return o
 }
 
 // Timings carries the per-task timing instrumentation QFw unifies across
@@ -261,4 +313,15 @@ type Executor interface {
 	Name() string
 	Capabilities() Capabilities
 	Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error)
+}
+
+// BatchExecutor is the optional batch-native extension of Executor: execute
+// one parametric spec under a list of parameter bindings and return ordered
+// per-element results. Implementations rebind each element into a cached
+// parse of the spec, so the QASM parse cost is paid once per ansatz. The
+// QPM probes for this interface and falls back to per-element Execute calls
+// when a backend does not provide it.
+type BatchExecutor interface {
+	Executor
+	ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error)
 }

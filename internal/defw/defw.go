@@ -141,6 +141,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			if uint64(len(data)) > uint64(maxFrameBytes) {
+				// Replace an over-cap reply with a clean RPC error so the
+				// caller gets an answer instead of a dead connection.
+				resp = response{ID: resp.ID, Err: fmt.Sprintf("defw: response exceeds frame cap (%d bytes)", len(data))}
+				data, err = json.Marshal(resp)
+				if err != nil {
+					return
+				}
+			}
 			writeMu.Lock()
 			writeFrame(conn, data)
 			writeMu.Unlock()
@@ -193,13 +202,19 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// maxFrameBytes caps one RPC frame in both directions. Oversized outbound
+// frames (e.g. an enormous batch payload) fail their call cleanly before a
+// single byte hits the wire, so the connection survives; only a peer that
+// actually sends an oversized length prefix tears the transport down.
+var maxFrameBytes = uint32(1 << 28)
+
 func readFrame(r io.Reader) ([]byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > 1<<28 {
+	if n > maxFrameBytes {
 		return nil, fmt.Errorf("defw: frame too large (%d bytes)", n)
 	}
 	buf := make([]byte, n)
@@ -210,6 +225,9 @@ func readFrame(r io.Reader) ([]byte, error) {
 }
 
 func writeFrame(w io.Writer, data []byte) error {
+	if uint64(len(data)) > uint64(maxFrameBytes) {
+		return fmt.Errorf("defw: frame too large (%d bytes, cap %d)", len(data), maxFrameBytes)
+	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
 	if _, err := w.Write(lenBuf[:]); err != nil {

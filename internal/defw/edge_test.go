@@ -54,6 +54,56 @@ func TestLargePayloadThroughRPC(t *testing.T) {
 	}
 }
 
+func TestOversizedCallFailsCleanly(t *testing.T) {
+	// A batch RPC whose payload exceeds the frame cap must return a clean
+	// error on that call without killing the connection. The cap is
+	// shrunk so the test does not allocate 256 MiB.
+	old := maxFrameBytes
+	maxFrameBytes = 1 << 16
+	defer func() { maxFrameBytes = old }()
+
+	s := NewServer()
+	s.Register("echo", HandlerFunc(func(m string, p []byte) ([]byte, error) { return p, nil }))
+	c := NewPipeClient(s)
+	defer func() { c.Close(); s.Close() }()
+
+	big := `"` + strings.Repeat("b", 1<<17) + `"`
+	if _, err := c.Call("echo", "run", []byte(big)); err == nil || !strings.Contains(err.Error(), "frame too large") {
+		t.Fatalf("oversized call error = %v, want frame-too-large", err)
+	}
+	// The connection must survive: a normal call still round-trips.
+	out, err := c.Call("echo", "run", []byte(`"ok"`))
+	if err != nil {
+		t.Fatalf("connection dead after oversized call: %v", err)
+	}
+	if string(out) != `"ok"` {
+		t.Fatalf("round trip %q", out)
+	}
+}
+
+func TestOversizedResponseFailsCleanly(t *testing.T) {
+	// A handler reply over the cap becomes an RPC error, not a hung call
+	// or dead connection.
+	old := maxFrameBytes
+	maxFrameBytes = 1 << 16
+	defer func() { maxFrameBytes = old }()
+
+	s := NewServer()
+	s.Register("blob", HandlerFunc(func(m string, p []byte) ([]byte, error) {
+		return []byte(`"` + strings.Repeat("r", 1<<17) + `"`), nil
+	}))
+	s.Register("echo", HandlerFunc(func(m string, p []byte) ([]byte, error) { return p, nil }))
+	c := NewPipeClient(s)
+	defer func() { c.Close(); s.Close() }()
+
+	if _, err := c.Call("blob", "run", nil); err == nil || !strings.Contains(err.Error(), "frame cap") {
+		t.Fatalf("oversized response error = %v, want frame-cap error", err)
+	}
+	if _, err := c.Call("echo", "run", []byte(`"ok"`)); err != nil {
+		t.Fatalf("connection dead after oversized response: %v", err)
+	}
+}
+
 func TestServerCloseUnblocksClients(t *testing.T) {
 	s := NewServer()
 	s.Register("echo", HandlerFunc(echoHandler))

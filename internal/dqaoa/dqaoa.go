@@ -5,6 +5,14 @@
 // workload is I/O-bound, matching the paper's threading-based client), and
 // accepted coordinate updates are aggregated into the global solution until
 // convergence.
+//
+// Each sub-QAOA evaluates its per-iteration candidate sets through the
+// batched execution path (qaoa.BatchRunner) when the runner supports it.
+// Besides cutting RPC round trips, this is what makes the async dispatch
+// genuinely overlap: every sub-solve blocks at its batch collect points
+// instead of monopolizing the processor, so sibling sub-QAOAs interleave
+// even on a single core — the "about four concurrent sub-QAOAs" shape of
+// the paper's Fig. 5.
 package dqaoa
 
 import (
@@ -145,7 +153,9 @@ func Solve(q *qubo.QUBO, runner qaoa.Runner, cfg Config) (*Result, error) {
 		}
 		if cfg.Async {
 			// Concurrent dispatch: one goroutine per sub-QUBO, mirroring the
-			// paper's threading-module client over async RPCs.
+			// paper's threading-module client over async RPCs. Each sub-solve
+			// issues batched submissions and blocks on their collection, so
+			// the goroutines overlap regardless of core count.
 			var wg sync.WaitGroup
 			for g, vars := range groups {
 				wg.Add(1)

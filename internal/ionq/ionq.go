@@ -6,11 +6,15 @@
 // uniform than local MPI backends because every interaction crosses the
 // internet and a shared queue (the paper runs against QCUP's shared queue).
 //
-// The wire format follows the spirit of IonQ's v0.3 REST API:
+// The wire format follows the spirit of IonQ's v0.3 REST API, extended
+// with a job-array form for batched parametric workloads (one round trip
+// submits and one round trip collects K circuit evaluations):
 //
 //	POST /v0.3/jobs                {name, shots, input:{format:"qasm", qasm}}
 //	GET  /v0.3/jobs/{id}           -> {id, status}
 //	GET  /v0.3/jobs/{id}/results   -> {counts}
+//	POST /v0.3/jobs/batch          {name, shots, input:{format:"qasm", circuits:[qasm...]}} -> {jobs:[{id}...]}
+//	POST /v0.3/jobs/results/batch  {ids:[...]} -> {results:[{id, counts, error}...]} (long-polls until all terminal)
 package ionq
 
 import (
@@ -122,6 +126,8 @@ func Start(cfg Config) (*Service, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v0.3/jobs", s.handleJobs)
+	mux.HandleFunc("/v0.3/jobs/batch", s.handleJobsBatch)
+	mux.HandleFunc("/v0.3/jobs/results/batch", s.handleResultsBatch)
 	mux.HandleFunc("/v0.3/jobs/", s.handleJob)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
@@ -176,38 +182,198 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("unsupported input format %q", body.Input.Format), http.StatusBadRequest)
 		return
 	}
-	c, err := circuit.ParseQASM(body.Input.QASM)
+	j, err := s.createJob(body.Name, body.Input.QASM, body.Shots)
 	if err != nil {
-		http.Error(w, "invalid qasm: "+err.Error(), http.StatusBadRequest)
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "shutting down") {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
 		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j)
+}
+
+// batchSubmitBody is the POST /v0.3/jobs/batch request body: a job array
+// sharing one name and shot count over K circuits.
+type batchSubmitBody struct {
+	Name  string `json:"name,omitempty"`
+	Shots int    `json:"shots,omitempty"`
+	Input struct {
+		Format   string   `json:"format"`
+		Circuits []string `json:"circuits"`
+	} `json:"input"`
+}
+
+// createJob validates one circuit and enqueues it; the caller holds no
+// lock. It returns a snapshot taken before the job was handed to the
+// workers — encoding the live *job would race with worker status writes.
+func (s *Service) createJob(name, qasm string, shots int) (job, error) {
+	c, err := circuit.ParseQASM(qasm)
+	if err != nil {
+		return job{}, fmt.Errorf("invalid qasm: %w", err)
 	}
 	if c.NQubits > s.cfg.MaxQubits {
-		http.Error(w, fmt.Sprintf("circuit has %d qubits, device supports %d", c.NQubits, s.cfg.MaxQubits), http.StatusBadRequest)
-		return
+		return job{}, fmt.Errorf("circuit has %d qubits, device supports %d", c.NQubits, s.cfg.MaxQubits)
 	}
-	shots := body.Shots
 	if shots <= 0 {
 		shots = 1024
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		http.Error(w, "service shutting down", http.StatusServiceUnavailable)
-		return
+		return job{}, fmt.Errorf("service shutting down")
 	}
 	s.nextID++
 	j := &job{
 		ID:     fmt.Sprintf("ionq-job-%06d", s.nextID),
-		Name:   body.Name,
+		Name:   name,
 		Shots:  shots,
-		QASM:   body.Input.QASM,
+		QASM:   qasm,
 		Status: StatusSubmitted,
 	}
 	s.jobs[j.ID] = j
 	s.mu.Unlock()
+	snap := *j
 	s.queue <- j
+	return snap, nil
+}
+
+// handleJobsBatch creates a job array from one request: the whole batch
+// pays a single network round trip, the mechanism that makes batched
+// variational submission beat per-circuit submission on the cloud path.
+func (s *Service) handleJobsBatch(w http.ResponseWriter, r *http.Request) {
+	s.networkDelay()
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body batchSubmitBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Input.Format != "qasm" {
+		http.Error(w, fmt.Sprintf("unsupported input format %q", body.Input.Format), http.StatusBadRequest)
+		return
+	}
+	if len(body.Input.Circuits) == 0 {
+		http.Error(w, "empty job array", http.StatusBadRequest)
+		return
+	}
+	// Validate the whole array before registering anything: a bad element
+	// must not leave orphaned jobs the client has no IDs for.
+	for i, qasm := range body.Input.Circuits {
+		c, err := circuit.ParseQASM(qasm)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("circuit %d: invalid qasm: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		if c.NQubits > s.cfg.MaxQubits {
+			http.Error(w, fmt.Sprintf("circuit %d: circuit has %d qubits, device supports %d", i, c.NQubits, s.cfg.MaxQubits), http.StatusBadRequest)
+			return
+		}
+	}
+	shots := body.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	// Register the whole array atomically: one lock acquisition, one closed
+	// check, all-or-nothing.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "service shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	jobs := make([]*job, 0, len(body.Input.Circuits))
+	snaps := make([]job, 0, len(body.Input.Circuits))
+	for _, qasm := range body.Input.Circuits {
+		s.nextID++
+		j := &job{
+			ID:     fmt.Sprintf("ionq-job-%06d", s.nextID),
+			Name:   body.Name,
+			Shots:  shots,
+			QASM:   qasm,
+			Status: StatusSubmitted,
+		}
+		s.jobs[j.ID] = j
+		jobs = append(jobs, j)
+		// Snapshot before the workers can touch the job: encoding the live
+		// *job after enqueue would race with worker status writes.
+		snaps = append(snaps, *j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.queue <- j
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(j)
+	json.NewEncoder(w).Encode(map[string]any{"jobs": snaps})
+}
+
+// batchResult is one entry of the batch results reply.
+type batchResult struct {
+	ID     string         `json:"id"`
+	Status string         `json:"status"`
+	Counts map[string]int `json:"counts,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// handleResultsBatch long-polls until every listed job is terminal and
+// returns all results in one reply — one network round trip for the whole
+// array instead of one polling loop per job.
+func (s *Service) handleResultsBatch(w http.ResponseWriter, r *http.Request) {
+	s.networkDelay()
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// One long-poll round is bounded well under the client's HTTP timeout;
+	// a 409 tells the client to re-poll (Client.WaitBatch loops on it).
+	deadline := time.Now().Add(25 * time.Second)
+	for {
+		s.mu.Lock()
+		out := make([]batchResult, 0, len(body.IDs))
+		ready := true
+		for _, id := range body.IDs {
+			j, ok := s.jobs[id]
+			if !ok {
+				s.mu.Unlock()
+				http.Error(w, "unknown job "+id, http.StatusNotFound)
+				return
+			}
+			switch j.Status {
+			case StatusCompleted:
+				out = append(out, batchResult{ID: id, Status: j.Status, Counts: j.counts})
+			case StatusFailed:
+				out = append(out, batchResult{ID: id, Status: j.Status, Error: j.Error})
+			default:
+				ready = false
+			}
+			if !ready {
+				break
+			}
+		}
+		s.mu.Unlock()
+		if ready {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{"results": out})
+			return
+		}
+		if time.Now().After(deadline) {
+			http.Error(w, "job array not finished", http.StatusConflict)
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +495,84 @@ func (c *Client) Submit(name, qasm string, shots int) (string, error) {
 		return "", err
 	}
 	return j.ID, nil
+}
+
+// SubmitBatch posts a job array of K QASM circuits in one request and
+// returns the ordered job IDs.
+func (c *Client) SubmitBatch(name string, qasms []string, shots int) ([]string, error) {
+	var body batchSubmitBody
+	body.Name = name
+	body.Shots = shots
+	body.Input.Format = "qasm"
+	body.Input.Circuits = qasms
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/batch", "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	var out struct {
+		Jobs []job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(out.Jobs))
+	for i, j := range out.Jobs {
+		ids[i] = j.ID
+	}
+	return ids, nil
+}
+
+// WaitBatch long-polls the batch results endpoint until every job is
+// terminal (re-polling on the server's 409 "not finished" answer, like the
+// single-job Wait loop) and returns ordered per-job counts; any failed job
+// fails the whole call.
+func (c *Client) WaitBatch(ids []string) ([]map[string]int, error) {
+	data, err := json.Marshal(map[string]any{"ids": ids})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []batchResult `json:"results"`
+	}
+	for {
+		resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/results/batch", "application/json", strings.NewReader(string(data)))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusConflict {
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return nil, decodeHTTPError(resp)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		break
+	}
+	if len(out.Results) != len(ids) {
+		return nil, fmt.Errorf("ionq: batch returned %d results for %d jobs", len(out.Results), len(ids))
+	}
+	counts := make([]map[string]int, len(ids))
+	for i, r := range out.Results {
+		if r.Status != StatusCompleted {
+			return nil, fmt.Errorf("ionq: job %s failed: %s", r.ID, r.Error)
+		}
+		counts[i] = r.Counts
+	}
+	return counts, nil
 }
 
 // Status fetches the job status string.

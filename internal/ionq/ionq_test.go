@@ -152,3 +152,44 @@ func TestCloseRejectsNewJobs(t *testing.T) {
 		t.Fatal("accepted job after close")
 	}
 }
+
+func TestBatchSubmitAndCollect(t *testing.T) {
+	_, cl := startService(t, Config{})
+	qasm := bellQASM(t)
+	ids, err := cl.SubmitBatch("array", []string{qasm, qasm, qasm}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("ids %v", ids)
+	}
+	counts, err := cl.WaitBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		total := 0
+		for _, n := range c {
+			total += n
+		}
+		if total != 64 {
+			t.Fatalf("job %d total %d", i, total)
+		}
+	}
+}
+
+func TestBatchRejectsWithoutOrphans(t *testing.T) {
+	// A job array with one invalid element must enqueue nothing: the valid
+	// circuits must not run as orphaned jobs the client has no IDs for.
+	svc, cl := startService(t, Config{})
+	qasm := bellQASM(t)
+	if _, err := cl.SubmitBatch("bad", []string{qasm, "not qasm at all"}, 16); err == nil || !strings.Contains(err.Error(), "circuit 1") {
+		t.Fatalf("err = %v, want circuit-1 rejection", err)
+	}
+	svc.mu.Lock()
+	n := len(svc.jobs)
+	svc.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d orphaned jobs registered after rejected batch", n)
+	}
+}

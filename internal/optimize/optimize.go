@@ -116,6 +116,116 @@ func NelderMead(f Objective, x0 []float64, opts NMOptions) ([]float64, float64, 
 	return simplex[0].x, simplex[0].f, evals
 }
 
+// BatchObjective evaluates a set of candidate points in one shot — the
+// hook variational loops use to ship a whole candidate set as one batched
+// circuit submission.
+type BatchObjective func(xs [][]float64) []float64
+
+// NelderMeadBatch is the batch-evaluated variant of NelderMead: every
+// function evaluation the serial method would issue one-by-one is grouped
+// into candidate batches. The initial simplex (n+1 points) is one batch;
+// each iteration speculatively evaluates reflection, expansion, and
+// contraction together (all three depend only on the current simplex, not
+// on each other's values) as one batch of three; a shrink step batches its
+// n replacement vertices. The method spends slightly more evaluations per
+// iteration than the serial variant but needs one round trip where the
+// serial loop needs up to three — the per-task-overhead trade the paper's
+// timeline analysis motivates.
+// MaxEvals is the serial-equivalent budget: a serial iteration costs ~2
+// evaluations where a speculative batch costs 3, so the batch variant
+// spends up to 1.5x raw evaluations to reach the same iteration count (the
+// extra candidates ride along free inside an already-paid round trip).
+func NelderMeadBatch(f BatchObjective, x0 []float64, opts NMOptions) ([]float64, float64, int) {
+	n := len(x0)
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 200
+	}
+	budget := opts.MaxEvals + opts.MaxEvals/2
+	if opts.InitStep == 0 {
+		opts.InitStep = 0.5
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	evalAll := func(xs [][]float64) []float64 {
+		evals += len(xs)
+		return f(xs)
+	}
+	points := make([][]float64, n+1)
+	points[0] = append([]float64(nil), x0...)
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		x[i] += opts.InitStep
+		points[i+1] = x
+	}
+	fs := evalAll(points)
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		simplex[i] = vertex{points[i], fs[i]}
+	}
+	sortSimplex := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	}
+	for evals < budget {
+		sortSimplex()
+		if simplex[n].f-simplex[0].f < opts.Tol {
+			break
+		}
+		cen := make([]float64, n)
+		for _, v := range simplex[:n] {
+			for i := range cen {
+				cen[i] += v.x[i] / float64(n)
+			}
+		}
+		worst := simplex[n]
+		reflect := make([]float64, n)
+		expand := make([]float64, n)
+		contract := make([]float64, n)
+		for i := range reflect {
+			reflect[i] = cen[i] + (cen[i] - worst.x[i])
+			expand[i] = cen[i] + 2*(cen[i]-worst.x[i])
+			contract[i] = cen[i] + 0.5*(worst.x[i]-cen[i])
+		}
+		vals := evalAll([][]float64{reflect, expand, contract})
+		fr, fe, fc := vals[0], vals[1], vals[2]
+		switch {
+		case fr < simplex[0].f:
+			if fe < fr {
+				simplex[n] = vertex{expand, fe}
+			} else {
+				simplex[n] = vertex{reflect, fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{reflect, fr}
+		default:
+			if fc < worst.f {
+				simplex[n] = vertex{contract, fc}
+			} else {
+				// Shrink toward the best vertex: one batch of n points.
+				shrunk := make([][]float64, n)
+				for i := 1; i <= n; i++ {
+					x := make([]float64, n)
+					for k := range x {
+						x[k] = simplex[0].x[k] + 0.5*(simplex[i].x[k]-simplex[0].x[k])
+					}
+					shrunk[i-1] = x
+				}
+				sf := evalAll(shrunk)
+				for i := 1; i <= n; i++ {
+					simplex[i] = vertex{shrunk[i-1], sf[i-1]}
+				}
+			}
+		}
+	}
+	sortSimplex()
+	return simplex[0].x, simplex[0].f, evals
+}
+
 // SPSA minimizes f with simultaneous-perturbation stochastic approximation,
 // the standard optimizer for noisy (shot-sampled) objectives.
 func SPSA(f Objective, x0 []float64, iters int, rng *rand.Rand) ([]float64, float64) {

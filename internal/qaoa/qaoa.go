@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
@@ -21,6 +22,17 @@ import (
 // tests can substitute local engines.
 type Runner interface {
 	Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result, error)
+}
+
+// BatchRunner extends Runner with batched parametric execution: one
+// (symbolic) circuit plus K bindings evaluated through a single submission.
+// *core.Frontend satisfies it via RunBatch (one submit_batch RPC), and
+// LocalRunner satisfies it with concurrent in-process evaluation. Solve
+// prefers this path: each optimizer iteration ships its whole candidate
+// set at once instead of one fully bound circuit per evaluation.
+type BatchRunner interface {
+	Runner
+	RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, error)
 }
 
 // BuildAnsatz constructs the depth-p QAOA circuit for a diagonal Ising cost
@@ -156,31 +168,79 @@ func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
 
 	evals := 0
 	var firstErr error
-	objective := func(params []float64) float64 {
-		if firstErr != nil {
-			return math.Inf(1)
-		}
-		evals++
-		bound := ansatz.Bind(BindParams(params))
-		runOpts := opts.Run
-		runOpts.Shots = opts.Shots
-		runOpts.Seed = opts.Seed + int64(evals)
-		runOpts.Observable = obs
-		res, err := runner.Run(bound, runOpts)
-		if err != nil {
-			firstErr = err
-			return math.Inf(1)
-		}
-		if res.ExpVal != nil {
-			return *res.ExpVal
-		}
-		return ExpectationFromCounts(h, res.Counts)
-	}
 	x0 := make([]float64, 2*opts.P)
 	for i := range x0 {
 		x0[i] = 0.1 + 0.4*rng.Float64()
 	}
-	best, bestF, _ := optimize.NelderMead(objective, x0, optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.4})
+	nmOpts := optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.4}
+	var best []float64
+	var bestF float64
+	if br, ok := runner.(BatchRunner); ok {
+		// Batched path: each candidate set becomes one RunBatch submission —
+		// the ansatz ships once (symbolically) and element i inherits the
+		// seed the serial loop would have used for evaluation evals+i.
+		objective := func(paramSets [][]float64) []float64 {
+			out := make([]float64, len(paramSets))
+			seedBase := opts.Seed + int64(evals)
+			evals += len(paramSets)
+			if firstErr != nil {
+				for i := range out {
+					out[i] = math.Inf(1)
+				}
+				return out
+			}
+			bindings := make([]core.Bindings, len(paramSets))
+			for i, ps := range paramSets {
+				bindings[i] = BindParams(ps)
+			}
+			runOpts := opts.Run
+			runOpts.Shots = opts.Shots
+			runOpts.Seed = seedBase + 1
+			runOpts.Observable = obs
+			results, err := br.RunBatch(ansatz, bindings, runOpts)
+			for i := range out {
+				if err == nil && (i >= len(results) || results[i] == nil) {
+					err = fmt.Errorf("qaoa: batch returned no result for element %d", i)
+				}
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					out[i] = math.Inf(1)
+					continue
+				}
+				if results[i].ExpVal != nil {
+					out[i] = *results[i].ExpVal
+				} else {
+					out[i] = ExpectationFromCounts(h, results[i].Counts)
+				}
+			}
+			return out
+		}
+		best, bestF, _ = optimize.NelderMeadBatch(objective, x0, nmOpts)
+	} else {
+		objective := func(params []float64) float64 {
+			if firstErr != nil {
+				return math.Inf(1)
+			}
+			evals++
+			bound := ansatz.Bind(BindParams(params))
+			runOpts := opts.Run
+			runOpts.Shots = opts.Shots
+			runOpts.Seed = opts.Seed + int64(evals)
+			runOpts.Observable = obs
+			res, err := runner.Run(bound, runOpts)
+			if err != nil {
+				firstErr = err
+				return math.Inf(1)
+			}
+			if res.ExpVal != nil {
+				return *res.ExpVal
+			}
+			return ExpectationFromCounts(h, res.Counts)
+		}
+		best, bestF, _ = optimize.NelderMead(objective, x0, nmOpts)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -256,6 +316,36 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 		res.ExpVal = &v
 	}
 	return res, nil
+}
+
+// RunBatch implements BatchRunner: elements are dispatched to concurrent
+// goroutines and collected into ordered slots. Besides using the available
+// cores, the blocking collect point matters on its own: a caller running
+// many solves concurrently (DQAOA's async sub-QAOA client) yields the
+// processor here, so sibling solves genuinely overlap even on one core.
+func (l LocalRunner) RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, error) {
+	results := make([]*core.Result, len(bindings))
+	errs := make([]error, len(bindings))
+	var wg sync.WaitGroup
+	for i, b := range bindings {
+		wg.Add(1)
+		go func(i int, b core.Bindings) {
+			defer wg.Done()
+			bound := c.Bind(b)
+			if !bound.IsBound() {
+				errs[i] = fmt.Errorf("qaoa: batch element %d leaves params %v unbound", i, bound.ParamNames())
+				return
+			}
+			results[i], errs[i] = l.Run(bound, opts.ForElement(i))
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }
 
 // hamiltonianFromObservable converts the wire-format observable into Pauli

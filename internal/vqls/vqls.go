@@ -178,26 +178,7 @@ func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
 
 	evals := 0
 	var firstErr error
-	cost := func(theta []float64) float64 {
-		if firstErr != nil {
-			return math.Inf(1)
-		}
-		evals++
-		binding := map[string]float64{}
-		for i, v := range theta {
-			binding[fmt.Sprintf("t%d", i)] = v
-		}
-		bound := ansatz.Bind(binding)
-		num, err := expect(runner, bound, projected, opts)
-		if err != nil {
-			firstErr = err
-			return math.Inf(1)
-		}
-		den, err := expect(runner, bound, normal, opts)
-		if err != nil {
-			firstErr = err
-			return math.Inf(1)
-		}
+	combine := func(num, den float64) float64 {
 		if den <= 1e-12 {
 			return 1
 		}
@@ -212,11 +193,98 @@ func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
 	for i := range x0 {
 		x0[i] = rng.NormFloat64() * 0.3
 	}
-	best, bestC, _ := optimize.NelderMead(cost, x0, optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.6})
+	nmOpts := optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.6}
+	var best []float64
+	var bestC float64
+	if br, ok := runner.(qaoa.BatchRunner); ok {
+		// Batched path: a candidate set of M thetas costs two RunBatch
+		// submissions (numerator and denominator observables) instead of 2M
+		// individual circuit submissions.
+		costBatch := func(thetas [][]float64) []float64 {
+			out := make([]float64, len(thetas))
+			evals += len(thetas)
+			if firstErr != nil {
+				for i := range out {
+					out[i] = math.Inf(1)
+				}
+				return out
+			}
+			bindings := make([]core.Bindings, len(thetas))
+			for i, theta := range thetas {
+				b := core.Bindings{}
+				for k, v := range theta {
+					b[fmt.Sprintf("t%d", k)] = v
+				}
+				bindings[i] = b
+			}
+			nums, err := expectBatch(br, ansatz, bindings, projected, opts)
+			var dens []float64
+			if err == nil {
+				dens, err = expectBatch(br, ansatz, bindings, normal, opts)
+			}
+			if err != nil {
+				firstErr = err
+				for i := range out {
+					out[i] = math.Inf(1)
+				}
+				return out
+			}
+			for i := range out {
+				out[i] = combine(nums[i], dens[i])
+			}
+			return out
+		}
+		best, bestC, _ = optimize.NelderMeadBatch(costBatch, x0, nmOpts)
+	} else {
+		cost := func(theta []float64) float64 {
+			if firstErr != nil {
+				return math.Inf(1)
+			}
+			evals++
+			binding := map[string]float64{}
+			for i, v := range theta {
+				binding[fmt.Sprintf("t%d", i)] = v
+			}
+			bound := ansatz.Bind(binding)
+			num, err := expect(runner, bound, projected, opts)
+			if err != nil {
+				firstErr = err
+				return math.Inf(1)
+			}
+			den, err := expect(runner, bound, normal, opts)
+			if err != nil {
+				firstErr = err
+				return math.Inf(1)
+			}
+			return combine(num, den)
+		}
+		best, bestC, _ = optimize.NelderMead(cost, x0, nmOpts)
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return &Result{Params: best, Cost: bestC, Evals: evals}, nil
+}
+
+// expectBatch evaluates one observable over a whole candidate set through a
+// single batched submission and returns the per-element expectations.
+func expectBatch(br qaoa.BatchRunner, ansatz *circuit.Circuit, bindings []core.Bindings, obs *core.Observable, opts Options) ([]float64, error) {
+	runOpts := opts.Run
+	runOpts.Shots = opts.Shots
+	runOpts.Seed = opts.Seed
+	runOpts.Observable = obs
+	results, err := br.RunBatch(ansatz, bindings, runOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(bindings))
+	for i, res := range results {
+		if res == nil || res.ExpVal == nil {
+			return nil, fmt.Errorf("vqls: backend returned no expectation value (general-Pauli observables need a local simulator backend)")
+		}
+		out[i] = *res.ExpVal
+	}
+	return out, nil
 }
 
 // expect runs the bound circuit with the observable attached and returns

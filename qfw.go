@@ -21,6 +21,26 @@
 // "aer" (statevector / matrix_product_state / stabilizer / automatic),
 // "tnqvm" (exatn-mps), "qtensor" (tree tensor network), and "ionq"
 // (simulated cloud REST service).
+//
+// # Batched parametric execution
+//
+// Variational workloads evaluate one ansatz under many parameter bindings
+// per optimizer iteration. The batch API ships the symbolic circuit once
+// and the bindings as a list, costing a single submit_batch RPC (and a
+// single QASM parse backend-side) for the whole candidate set:
+//
+//	ansatz := qfw.NewCircuit(2)
+//	ansatz.RY(0, qfw.Sym("theta", 1)).CX(0, 1).MeasureAll()
+//	results, err := backend.RunBatch(ansatz, []qfw.Bindings{
+//	    {"theta": 0.1}, {"theta": 0.7}, {"theta": 1.3},
+//	}, qfw.RunOptions{Shots: 512})
+//
+// Results come back ordered; element i uses the deterministic seed a serial
+// loop would have used. RunBatchAsync returns a PendingBatch handle for the
+// non-blocking variant. SolveQAOA, SolveDQAOA, and SolveVQLS route their
+// per-iteration candidate sets through this path automatically; the
+// `qfwbench -exp ablation-batch` experiment tracks the resulting speedup
+// over per-circuit submission.
 package qfw
 
 import (
@@ -55,6 +75,11 @@ type (
 	Result = core.Result
 	// Capabilities is a backend's Table-1 row.
 	Capabilities = core.Capabilities
+	// Bindings assigns values to a parametric circuit's symbols — one
+	// Bindings per batch element.
+	Bindings = core.Bindings
+	// PendingBatch is an in-flight asynchronous batch execution.
+	PendingBatch = core.PendingBatch
 )
 
 // Re-exported circuit IR types.

@@ -148,6 +148,62 @@ func TestPublicAPICircuitBuilding(t *testing.T) {
 	}
 }
 
+func TestPublicAPIBatch(t *testing.T) {
+	// The batch path through the full stack: one parametric circuit, K
+	// bindings, ordered results from a single submit_batch RPC.
+	s := launchTest(t)
+	backend, err := s.Frontend(Properties{Backend: "aer", Subbackend: "statevector"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansatz := NewCircuit(2)
+	ansatz.RY(0, Sym("theta", 1)).CX(0, 1).MeasureAll()
+	bindings := []Bindings{{"theta": 0}, {"theta": 3.14159265}}
+	results, err := backend.RunBatch(ansatz, bindings, RunOptions{Shots: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results %d", len(results))
+	}
+	// theta=0 leaves |00>; theta=pi flips to |11> — ordering is observable.
+	if results[0].Counts["00"] < 390 || results[1].Counts["11"] < 390 {
+		t.Fatalf("batch order broken: %v / %v", results[0].Counts, results[1].Counts)
+	}
+	// The async variant returns a handle first.
+	pending, err := backend.RunBatchAsync(ansatz, bindings, RunOptions{Shots: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pending.N != 2 || pending.BatchID == "" {
+		t.Fatalf("pending %+v", pending)
+	}
+	if _, err := pending.Results(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIBatchAutoRouting(t *testing.T) {
+	// Batches route through the workload-driven selector too: the route
+	// annotation must appear on every element.
+	s := launchTest(t)
+	backend, err := s.Frontend(Properties{Backend: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansatz := NewCircuit(3)
+	ansatz.H(0).RZ(1, Sym("g", 2)).CX(0, 1).MeasureAll()
+	results, err := backend.RunBatch(ansatz, []Bindings{{"g": 0.2}, {"g": 0.9}}, RunOptions{Shots: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Route == "" {
+			t.Fatalf("element %d missing route annotation: %+v", i, res)
+		}
+	}
+}
+
 func TestPublicAPIQAOA(t *testing.T) {
 	s := launchTest(t)
 	backend, err := s.Frontend(Properties{Backend: "aer", Subbackend: "statevector"})
