@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,16 +29,17 @@ import (
 
 func main() {
 	var (
-		expList  = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch or 'all'")
-		full     = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
-		repeats  = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
-		shots    = flag.Int("shots", 256, "shots per circuit execution")
-		nodes    = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
-		memGiB   = flag.Int("mem", 1, "state-vector memory budget per execution (GiB)")
-		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		cloudLat = flag.Duration("cloud-latency", 40*time.Millisecond, "simulated cloud network latency")
-		sizes    = flag.String("sizes", "", "comma-separated size override for workload figures (e.g. 5,7,9,11)")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion or 'all'")
+		full       = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
+		repeats    = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
+		shots      = flag.Int("shots", 256, "shots per circuit execution")
+		nodes      = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
+		memGiB     = flag.Int("mem", 1, "state-vector memory budget per execution (GiB)")
+		csvDir     = flag.String("csv", "", "directory to write per-experiment CSV files")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		cloudLat   = flag.Duration("cloud-latency", 40*time.Millisecond, "simulated cloud network latency")
+		sizes      = flag.String("sizes", "", "comma-separated size override for workload figures (e.g. 5,7,9,11)")
+		fusionJSON = flag.String("fusion-json", "BENCH_fusion.json", "path for the ablation-fusion JSON record (empty disables)")
 	)
 	flag.Parse()
 
@@ -127,6 +129,20 @@ func main() {
 	}
 	run("fig4", h.RunDQAOAFigure)
 	run("ablation-batch", h.RunBatchAblation)
+	run("ablation-fusion", func() (*bench.Experiment, error) {
+		exp, err := h.RunFusionAblation()
+		if err == nil && *fusionJSON != "" {
+			data, jerr := json.MarshalIndent(exp, "", "  ")
+			if jerr != nil {
+				fatal("fusion json: %v", jerr)
+			}
+			if werr := os.WriteFile(*fusionJSON, data, 0o644); werr != nil {
+				fatal("fusion json write: %v", werr)
+			}
+			fmt.Printf("wrote %s\n", *fusionJSON)
+		}
+		return exp, err
+	})
 	if all || wanted["fig5"] {
 		cfg := bench.DQAOAConfig{QUBOSize: 16, SubQSize: 6, NSubQ: 4}
 		if *full {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/mps"
 	"qfw/internal/stabilizer"
@@ -41,16 +42,17 @@ func (b *aer) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecRes
 	if err != nil {
 		return core.ExecResult{}, err
 	}
-	return b.executeParsed(c, opts)
+	return b.executeParsed(c, nil, opts)
 }
 
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz and run it on the selected sub-backend.
+// cached parse of the ansatz — with its fusion plan built once per batch —
+// and run it on the selected sub-backend.
 func (b *aer) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
 }
 
-func (b *aer) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
+func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
 	sub := normalizeSub(opts.Subbackend, "automatic")
 	switch sub {
 	case "automatic":
@@ -65,7 +67,7 @@ func (b *aer) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult,
 			return core.ExecResult{}, err
 		}
 		workers := b.chunkWorkers(opts)
-		counts, ev := simulateSV(c, opts.Shots, workers, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, opts.Shots, workers, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	case "matrix_product_state", "mps":
 		var ham *pauliHam

@@ -58,15 +58,16 @@ func parseSpec(spec core.CircuitSpec) (*circuit.Circuit, error) {
 }
 
 // runBatch is the shared BatchExecutor implementation of the local
-// simulator backends: the spec is parsed once through the backend's cache,
-// then every element rebinds into the cached circuit and runs — so a batch
-// of K evaluations pays the QASM parse cost once per ansatz, not K times.
-// The QPM hands batch-native executors the whole batch, so the elements run
-// here on a core-bounded worker pool (the per-batch analog of the QRC
-// fan-out), each with its own deterministic slot and derived seed.
+// simulator backends: the spec is parsed — and its gate-fusion plan built —
+// once through the backend's cache, then every element rebinds into the
+// cached circuit and runs, so a batch of K evaluations pays the QASM parse
+// and fusion-planning cost once per ansatz, not K times. The QPM hands
+// batch-native executors the whole batch, so the elements run here on a
+// core-bounded worker pool (the per-batch analog of the QRC fan-out), each
+// with its own deterministic slot and derived seed.
 func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions,
-	run func(c *circuitT, opts core.RunOptions) (core.ExecResult, error)) ([]core.ExecResult, error) {
-	base, err := cache.Get(spec)
+	run func(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error)) ([]core.ExecResult, error) {
+	base, plan, err := cache.GetFused(spec)
 	if err != nil {
 		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
 	}
@@ -88,7 +89,7 @@ func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bin
 				errs[i] = fmt.Errorf("backend: binding leaves params %v unbound (batch element %d)", c.ParamNames(), i)
 				return
 			}
-			res, err := run(c, opts.ForElement(i))
+			res, err := run(c, plan, opts.ForElement(i))
 			if err != nil {
 				errs[i] = fmt.Errorf("batch element %d: %w", i, err)
 				return
@@ -173,9 +174,14 @@ func obsHamiltonian(o *core.Observable, n int) *pauli.Hamiltonian {
 
 // simulateSV runs the serial/chunked state-vector path with optional exact
 // expectation (fast diagonal path; general Pauli sums via the full
-// Pauli-apply contraction).
-func simulateSV(c *circuitT, shots, workers int, rng *rand.Rand, obs *core.Observable) (map[string]int, *float64) {
-	s, _ := statevec.RunCircuit(c.StripMeasurements(), workers, rng)
+// Pauli-apply contraction). Execution goes through the gate-fusion engine;
+// plan may be nil (one-shot circuits plan on the spot) or the cached plan of
+// the batch ansatz — it must have been built from c.StripMeasurements()'s
+// structure. The amplitude buffer returns to the arena before the call
+// returns, so batch elements recycle state memory instead of allocating
+// 2^n complex128 each.
+func simulateSV(c *circuitT, plan *circuit.FusionPlan, shots, workers int, rng *rand.Rand, obs *core.Observable) (map[string]int, *float64) {
+	s, _ := statevec.RunFused(c.StripMeasurements(), plan, workers, rng)
 	if shots <= 0 {
 		shots = 1024
 	}
@@ -190,6 +196,7 @@ func simulateSV(c *circuitT, shots, workers int, rng *rand.Rand, obs *core.Obser
 		}
 		ev = &v
 	}
+	s.Release()
 	return counts, ev
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/mpi"
 	"qfw/internal/prte"
@@ -40,16 +41,17 @@ func (b *nwqsim) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exec
 	if err != nil {
 		return core.ExecResult{}, err
 	}
-	return b.executeParsed(c, opts)
+	return b.executeParsed(c, nil, opts)
 }
 
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz and run it on the selected engine.
+// cached parse of the ansatz — with its fusion plan built once per batch —
+// and run it on the selected engine.
 func (b *nwqsim) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
 }
 
-func (b *nwqsim) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
+func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
 	if err := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
 		return core.ExecResult{}, err
 	}
@@ -62,10 +64,10 @@ func (b *nwqsim) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResu
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		counts, ev := simulateSV(c, opts.Shots, workers, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, opts.Shots, workers, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	case "cpu":
-		counts, ev := simulateSV(c, opts.Shots, 1, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, opts.Shots, 1, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	default:
 		return core.ExecResult{}, fmt.Errorf("nwqsim: unknown sub-backend %q", sub)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/mpi"
 	"qfw/internal/prte"
@@ -50,7 +51,10 @@ func (b *qtensor) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exe
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
 // cached parse of the ansatz and contract it per element.
 func (b *qtensor) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
-	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+	return runBatch(b.cache, spec, bindings, opts,
+		func(c *circuitT, _ *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+			return b.executeParsed(c, opts)
+		})
 }
 
 func (b *qtensor) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {

@@ -3,6 +3,7 @@ package backends
 import (
 	"fmt"
 
+	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/mps"
 )
@@ -51,7 +52,10 @@ func (b *tnqvm) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, op
 	if err := b.checkSub(opts); err != nil {
 		return nil, err
 	}
-	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+	return runBatch(b.cache, spec, bindings, opts,
+		func(c *circuitT, _ *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+			return b.executeParsed(c, opts)
+		})
 }
 
 func (b *tnqvm) checkSub(opts core.RunOptions) error {

@@ -49,4 +49,54 @@ func TestAblationCatalogListed(t *testing.T) {
 	if !strings.Contains(t2.Text, "batch-vs-sequential") {
 		t.Fatalf("ablation missing from catalog:\n%s", t2.Text)
 	}
+	if !strings.Contains(t2.Text, "gate-fusion") {
+		t.Fatalf("gate-fusion ablation missing from catalog:\n%s", t2.Text)
+	}
+}
+
+func TestFusionAblationSpeedup(t *testing.T) {
+	// The acceptance check of the fused engine: the aggregate across all
+	// workloads must clear 1.5x (the measured laptop aggregate is well
+	// above 2x; the bound leaves headroom for noisy CI machines). Timing
+	// assertions are meaningless under race instrumentation or -short.
+	if raceEnabled {
+		t.Skip("wall-clock speedup assertion skipped under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	h := quickHarness(t)
+	h.Repeats = 3
+	// Wall-clock comparisons share the machine with concurrently running
+	// package test binaries; take the best of a few attempts so transient
+	// contention cannot fail the build.
+	var lastSpeedup float64
+	for attempt := 0; attempt < 3; attempt++ {
+		exp, err := h.RunFusionAblation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exp.Series) != 6 {
+			t.Fatalf("series %d, want 6 (unfused+fused for three workloads)", len(exp.Series))
+		}
+		var unfusedTotal, fusedTotal float64
+		for i := 0; i+1 < len(exp.Series); i += 2 {
+			unf, fus := exp.Series[i], exp.Series[i+1]
+			if !strings.Contains(unf.Label, "unfused") || !strings.HasSuffix(fus.Label, " fused") {
+				t.Fatalf("series ordering unexpected: %q then %q", unf.Label, fus.Label)
+			}
+			for p := range unf.Points {
+				unfusedTotal += unf.Points[p].RuntimeMS
+				fusedTotal += fus.Points[p].RuntimeMS
+			}
+		}
+		if fusedTotal <= 0 || unfusedTotal <= 0 {
+			t.Fatalf("degenerate timings: unfused %.3f fused %.3f", unfusedTotal, fusedTotal)
+		}
+		lastSpeedup = unfusedTotal / fusedTotal
+		if lastSpeedup >= 1.5 {
+			return
+		}
+	}
+	t.Fatalf("fused engine aggregate speedup %.2fx < 1.5x after 3 attempts", lastSpeedup)
 }

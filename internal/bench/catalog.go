@@ -96,19 +96,28 @@ var DQAOAQuickConfigs = []DQAOAConfig{
 // trajectory alongside the paper's tables and figures.
 type AblationSpec struct {
 	Name     string
-	Ks       []int // batch sizes swept
+	Ks       []int // batch sizes swept (batch ablation)
+	Sizes    []int // qubit counts swept (kernel ablations)
 	Describe string
 }
 
 // AblationCatalog lists the tracked ablations. batch-vs-sequential is the
 // batched-execution pipeline's speedup entry: the same p=2 QAOA parameter
 // sweep (identical seeds both paths) evaluated once through per-circuit
-// submission and once through a single submit_batch RPC.
+// submission and once through a single submit_batch RPC. gate-fusion is the
+// fused statevector engine's entry: identical QAOA/TFIM/GHZ circuits run
+// through the unfused per-gate kernels and through the fused program
+// (merged 1q/2q blocks, hoisted diagonal layers, specialized kernels).
 var AblationCatalog = []AblationSpec{
 	{
 		Name:     "batch-vs-sequential",
 		Ks:       []int{1, 2, 4, 8, 16},
 		Describe: "p=2 QAOA parameter sweep: K bound submissions vs one parametric batch (same seeds both paths)",
+	},
+	{
+		Name:     "gate-fusion",
+		Sizes:    []int{12, 14, 16},
+		Describe: "QAOA/TFIM/GHZ statevector execution: per-gate kernels vs fused program (same circuits, same seeds)",
 	},
 }
 

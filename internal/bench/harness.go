@@ -4,13 +4,16 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
+	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/dqaoa"
 	"qfw/internal/optimize"
 	"qfw/internal/qaoa"
 	"qfw/internal/qubo"
+	"qfw/internal/statevec"
 	"qfw/internal/trace"
 	"qfw/internal/workloads"
 )
@@ -404,6 +407,93 @@ func (h *Harness) RunBatchAblation() (*Experiment, error) {
 	return exp, nil
 }
 
+// RunFusionAblation measures the gate-fusion ablation of the catalog: the
+// same bound QAOA/TFIM/GHZ circuits executed through the unfused per-gate
+// statevector kernels (statevec.RunCircuit — the seed engine's path) and
+// through the fused program (statevec.RunFused: merged 1q/2q blocks, hoisted
+// diagonal cost layers, specialized permutation/diagonal kernels, pooled
+// buffers, alias sampling). Both paths use identical circuits, worker counts
+// and RNG seeds, so only the execution engine differs.
+func (h *Harness) RunFusionAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "gate-fusion" {
+			spec = ab
+		}
+	}
+	exp := &Experiment{
+		ID:    "ablation-fusion",
+		Title: "Fused vs per-gate statevector execution (" + spec.Describe + ")",
+		Notes: "X axis is the qubit count; each pair of series runs the identical circuit and seed, unfused vs fused.",
+	}
+	workers := runtime.GOMAXPROCS(0)
+	shots := h.Shots
+	if shots <= 0 {
+		shots = 256
+	}
+	build := func(kind string, n int) (*circuit.Circuit, error) {
+		switch kind {
+		case "qaoa":
+			rng := rand.New(rand.NewSource(h.Seed + int64(n)))
+			q := qubo.Random(n, 0.5, 1.0, rng)
+			ham, _ := q.CostHamiltonian()
+			ansatz := qaoa.BuildAnsatz(ham, 2)
+			prng := rand.New(rand.NewSource(h.Seed + 7))
+			params := make([]float64, 4)
+			for j := range params {
+				params[j] = 0.1 + 0.8*prng.Float64()
+			}
+			return ansatz.Bind(qaoa.BindParams(params)).StripMeasurements(), nil
+		case "tfim":
+			return workloads.TFIM(n, 4, 0.5, 1.0).StripMeasurements(), nil
+		case "ghz":
+			return workloads.GHZ(n).StripMeasurements(), nil
+		}
+		return nil, fmt.Errorf("bench: unknown fusion workload %q", kind)
+	}
+	var fusedTotal, unfusedTotal float64
+	for _, kind := range []string{"qaoa", "tfim", "ghz"} {
+		unfused := Series{Label: kind + " unfused"}
+		fused := Series{Label: kind + " fused"}
+		for _, n := range spec.Sizes {
+			c, err := build(kind, n)
+			if err != nil {
+				return nil, err
+			}
+			plan := circuit.PlanFusion(c)
+			um, us, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+				rng := rand.New(rand.NewSource(h.Seed))
+				s, _ := statevec.RunCircuit(c, workers, rng)
+				s.SampleCounts(shots, rng)
+				s.Release()
+				return nil, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fm, fs, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+				rng := rand.New(rand.NewSource(h.Seed))
+				s, _ := statevec.RunFused(c, plan, workers, rng)
+				s.SampleCounts(shots, rng)
+				s.Release()
+				return nil, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			unfusedTotal += um
+			fusedTotal += fm
+			unfused.Points = append(unfused.Points, Point{X: n, Placement: fmt.Sprintf("(1,%d)", workers), RuntimeMS: um, StdMS: us})
+			fused.Points = append(fused.Points, Point{X: n, Placement: fmt.Sprintf("(1,%d)", workers), RuntimeMS: fm, StdMS: fs})
+		}
+		exp.Series = append(exp.Series, unfused, fused)
+	}
+	if fusedTotal > 0 {
+		exp.Notes += fmt.Sprintf(" Aggregate speedup: %.2fx.", unfusedTotal/fusedTotal)
+	}
+	return exp, nil
+}
+
 // RunCapabilityTable reproduces Table 1 from the live backend registry.
 func (h *Harness) RunCapabilityTable() (*Experiment, error) {
 	exp := &Experiment{ID: "table1", Title: "Backends used with QFw"}
@@ -437,7 +527,11 @@ func (h *Harness) RunBenchmarkCatalog() *Experiment {
 	}
 	text += "\nAblations (design-choice studies):\n"
 	for _, ab := range AblationCatalog {
-		text += fmt.Sprintf("  %-20s K=%v  %s\n", ab.Name, ab.Ks, ab.Describe)
+		sweep := fmt.Sprintf("K=%v", ab.Ks)
+		if len(ab.Ks) == 0 {
+			sweep = fmt.Sprintf("n=%v", ab.Sizes)
+		}
+		text += fmt.Sprintf("  %-20s %-16s %s\n", ab.Name, sweep, ab.Describe)
 	}
 	exp.Text = text
 	return exp

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; wall-clock
+// speedup assertions are skipped under its instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,193 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+// countKinds compiles a bound circuit with the default plan and histograms
+// the fused op kinds.
+func countKinds(c *Circuit) map[FusedOpKind]int {
+	prog := PlanFusion(c).Compile(c)
+	h := map[FusedOpKind]int{}
+	for i := range prog.Ops {
+		h[prog.Ops[i].Kind]++
+	}
+	return h
+}
+
+func TestPlanHoistsDiagonalLayer(t *testing.T) {
+	// A TFIM-style trotter step: a full RZZ coupling layer then an RX layer.
+	// The whole coupling layer must collapse into exactly one diagonal op
+	// per step, and the mixer into RX-pair sweeps.
+	n := 8
+	c := New(n)
+	for step := 0; step < 3; step++ {
+		for q := 0; q+1 < n; q++ {
+			c.RZZ(q, q+1, Bound(0.3+float64(step)))
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, Bound(0.7))
+		}
+	}
+	prog := PlanFusion(c).Compile(c)
+	diag, pairs := 0, 0
+	for i := range prog.Ops {
+		switch prog.Ops[i].Kind {
+		case FusedDiagonal:
+			diag++
+			if got := len(prog.Ops[i].D2); got != n-1 {
+				t.Fatalf("diagonal op %d carries %d terms, want %d (whole layer)", diag, got, n-1)
+			}
+		case FusedRXPair:
+			pairs++
+		}
+	}
+	if diag != 3 {
+		t.Fatalf("want 3 per-layer diagonal ops, got %d (ops %d)", diag, len(prog.Ops))
+	}
+	if pairs != 3*n/2 {
+		t.Fatalf("want %d RX-pair sweeps, got %d", 3*n/2, pairs)
+	}
+}
+
+func TestPlanMergesSingleQubitRuns(t *testing.T) {
+	// Consecutive 1q gates on one qubit fold into a single 2x2.
+	c := New(2)
+	c.H(0).X(0).RY(0, Bound(0.4)).H(0)
+	prog := PlanFusion(c).Compile(c)
+	if len(prog.Ops) != 1 {
+		t.Fatalf("want 1 fused op for a 1q chain, got %d", len(prog.Ops))
+	}
+}
+
+func TestPlanClassifiesKernels(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(c *Circuit)
+		want  FusedOpKind
+	}{
+		{"hadamard", func(c *Circuit) { c.H(0) }, FusedHadamard},
+		{"x-perm", func(c *Circuit) { c.X(0) }, FusedPerm1Q},
+		{"ry-real", func(c *Circuit) { c.RY(0, Bound(0.3)) }, FusedReal1Q},
+		{"rx-form", func(c *Circuit) { c.RX(0, Bound(0.3)) }, FusedRXLike},
+		{"z-diag", func(c *Circuit) { c.Z(0) }, FusedDiagonal},
+		{"xy-chain", func(c *Circuit) { c.X(0).Y(0) }, FusedDiag1Q}, // X·Y is diagonal up to phase
+	}
+	for _, tc := range cases {
+		c := New(2)
+		tc.build(c)
+		h := countKinds(c)
+		if h[tc.want] != 1 || len(c.Gates) == 0 {
+			t.Fatalf("%s: kinds %v, want one op of kind %d", tc.name, h, tc.want)
+		}
+	}
+}
+
+func TestPlanPassthroughTooWide(t *testing.T) {
+	// CCX exceeds maxK=2 and must pass through to the compressed-index
+	// kernel; with maxK=3 it fuses densely.
+	c := New(3)
+	c.CCX(0, 1, 2)
+	h := countKinds(c)
+	if h[FusedGate] != 1 {
+		t.Fatalf("CCX at maxK=2 should pass through, got %v", h)
+	}
+	// A lone wide gate stays on its specialized kernel even at maxK=3, but a
+	// multi-gate 3-qubit block fuses into one dense 8x8.
+	c.H(2)
+	c.CCX(0, 1, 2)
+	p3 := PlanFusionK(c, 3).Compile(c)
+	if len(p3.Ops) != 1 || p3.Ops[0].Kind != FusedDenseKQ {
+		t.Fatalf("3q block at maxK=3 should fuse densely, got %d ops (first kind %d)", len(p3.Ops), p3.Ops[0].Kind)
+	}
+}
+
+func TestPlanRespectsMeasurementBarrier(t *testing.T) {
+	// Gates across a mid-circuit measurement must not fuse through it.
+	c := New(1)
+	c.H(0)
+	c.Measure(0, 0)
+	c.H(0)
+	prog := PlanFusion(c).Compile(c)
+	if len(prog.Ops) != 3 {
+		t.Fatalf("want H | measure | H (3 ops), got %d", len(prog.Ops))
+	}
+	if prog.Ops[1].Kind != FusedGate || prog.Ops[1].Gate.Kind != KindMeasure {
+		t.Fatalf("middle op should be the measurement, got %+v", prog.Ops[1])
+	}
+}
+
+func TestCompileRejectsStructureMismatch(t *testing.T) {
+	a := New(2)
+	a.H(0).CX(0, 1)
+	plan := PlanFusion(a)
+	b := New(2)
+	b.H(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compile with mismatched structure should panic")
+		}
+	}()
+	plan.Compile(b)
+}
+
+func TestPlanReusableAcrossBindings(t *testing.T) {
+	// The plan must depend only on structure: compiling two bindings of the
+	// same ansatz yields the same op skeleton with different numbers.
+	c := New(3)
+	c.H(0).RZZ(0, 1, Sym("g", 1)).RZZ(1, 2, Sym("g", 1)).RX(0, Sym("b", 1)).RX(1, Sym("b", 1))
+	plan := PlanFusion(c)
+	p1 := plan.Compile(c.Bind(map[string]float64{"g": 0.2, "b": 1.1}))
+	p2 := plan.Compile(c.Bind(map[string]float64{"g": 1.9, "b": 0.4}))
+	if len(p1.Ops) != len(p2.Ops) {
+		t.Fatalf("op count differs across bindings: %d vs %d", len(p1.Ops), len(p2.Ops))
+	}
+	for i := range p1.Ops {
+		if p1.Ops[i].Kind != p2.Ops[i].Kind {
+			t.Fatalf("op %d kind differs across bindings: %d vs %d", i, p1.Ops[i].Kind, p2.Ops[i].Kind)
+		}
+	}
+}
+
+func TestDiagFactorsMatchMatrices(t *testing.T) {
+	// The diagonal factor tables must reproduce the gate matrices exactly.
+	for _, k := range []Kind{KindZ, KindS, KindSdg, KindT, KindTdg, KindRZ, KindP} {
+		g := Gate{Kind: k, Qubits: []int{0}}
+		if k.NumParams() == 1 {
+			g.Params = []Param{Bound(0.37)}
+		}
+		t1, t2 := diagFactors(g)
+		if t1 == nil || t2 != nil {
+			t.Fatalf("%s should be a 1q diagonal", k.Name())
+		}
+		var theta float64
+		if k.NumParams() == 1 {
+			theta = 0.37
+		}
+		m := Matrix1Q(k, theta)
+		if t1.D[0] != m[0][0] || t1.D[1] != m[1][1] {
+			t.Fatalf("%s: factor table %v does not match matrix diag", k.Name(), t1.D)
+		}
+	}
+	for _, k := range []Kind{KindCZ, KindCRZ, KindCP, KindRZZ} {
+		g := Gate{Kind: k, Qubits: []int{1, 0}}
+		if k.NumParams() == 1 {
+			g.Params = []Param{Bound(-1.2)}
+		}
+		t1, t2 := diagFactors(g)
+		if t2 == nil || t1 != nil {
+			t.Fatalf("%s should be a 2q diagonal", k.Name())
+		}
+		var theta float64
+		if k.NumParams() == 1 {
+			theta = -1.2
+		}
+		m := Matrix2Q(k, theta)
+		for v := 0; v < 4; v++ {
+			if d := t2.D[v] - m.At(v, v); math.Abs(real(d))+math.Abs(imag(d)) != 0 {
+				t.Fatalf("%s: factor %d mismatch", k.Name(), v)
+			}
+		}
+	}
+}

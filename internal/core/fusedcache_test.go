@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"qfw/internal/circuit"
+)
+
+func TestParseCacheGetFusedOncePerSpec(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0)
+	c.RZZ(0, 1, circuit.Sym("g", 1))
+	c.RZZ(1, 2, circuit.Sym("g", 1))
+	c.MeasureAll()
+	spec, err := SpecFromParametric(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewParseCache()
+	var wg sync.WaitGroup
+	plans := make([]*circuit.FusionPlan, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, plan, err := pc.GetFused(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = plan
+		}(i)
+	}
+	wg.Wait()
+	if pc.Parses() != 1 {
+		t.Fatalf("parses = %d, want 1", pc.Parses())
+	}
+	if pc.Fusions() != 1 {
+		t.Fatalf("fusions = %d, want 1: a batch must fuse once per ansatz", pc.Fusions())
+	}
+	for i := 1; i < 16; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent GetFused returned different plan instances")
+		}
+	}
+	// The cached plan is built against the measurement-stripped circuit.
+	base, plan, err := pc.GetFused(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := base.Bind(map[string]float64{"g": 0.4})
+	prog := plan.Compile(bound.StripMeasurements())
+	if prog.NQubits != 3 || len(prog.Ops) == 0 {
+		t.Fatalf("unexpected compiled program: %+v", prog)
+	}
+}
+
+func TestParseCacheGetPlainStillWorks(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1)
+	spec, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewParseCache()
+	if _, err := pc.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Mixing Get and GetFused shares one parse.
+	if _, _, err := pc.GetFused(spec); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Parses() != 1 {
+		t.Fatalf("parses = %d, want 1 across Get and GetFused", pc.Parses())
+	}
+}

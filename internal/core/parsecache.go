@@ -21,12 +21,16 @@ type ParseCache struct {
 	mu      sync.Mutex
 	entries map[string]*parseEntry
 	parses  atomic.Int64
+	fusions atomic.Int64
 }
 
 type parseEntry struct {
 	once sync.Once
 	c    *circuit.Circuit
 	err  error
+
+	fuseOnce sync.Once
+	plan     *circuit.FusionPlan
 }
 
 // NewParseCache returns an empty cache.
@@ -34,9 +38,9 @@ func NewParseCache() *ParseCache {
 	return &ParseCache{entries: make(map[string]*parseEntry)}
 }
 
-// Get returns the parsed circuit of the spec, parsing at most once per
-// distinct spec content.
-func (pc *ParseCache) Get(spec CircuitSpec) (*circuit.Circuit, error) {
+// entry returns the (possibly fresh) cache slot of the spec with its parse
+// completed — the shared core of Get and GetFused.
+func (pc *ParseCache) entry(spec CircuitSpec) *parseEntry {
 	key := spec.Hash()
 	pc.mu.Lock()
 	e, ok := pc.entries[key]
@@ -52,12 +56,40 @@ func (pc *ParseCache) Get(spec CircuitSpec) (*circuit.Circuit, error) {
 		pc.parses.Add(1)
 		e.c, e.err = spec.Circuit()
 	})
+	return e
+}
+
+// Get returns the parsed circuit of the spec, parsing at most once per
+// distinct spec content.
+func (pc *ParseCache) Get(spec CircuitSpec) (*circuit.Circuit, error) {
+	e := pc.entry(spec)
 	return e.c, e.err
+}
+
+// GetFused returns the parsed circuit plus the gate-fusion plan of its
+// measurement-stripped body. The plan depends only on circuit structure, so
+// one plan serves every binding of a parametric ansatz: a whole batch fuses
+// once. The plan is built against spec.Circuit().StripMeasurements() — the
+// exact circuit the state-vector sampling path executes.
+func (pc *ParseCache) GetFused(spec CircuitSpec) (*circuit.Circuit, *circuit.FusionPlan, error) {
+	e := pc.entry(spec)
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	e.fuseOnce.Do(func() {
+		pc.fusions.Add(1)
+		e.plan = circuit.PlanFusion(e.c.StripMeasurements())
+	})
+	return e.c, e.plan, nil
 }
 
 // Parses returns how many real QASM parses the cache has performed — the
 // counter the batch acceptance tests assert on.
 func (pc *ParseCache) Parses() int64 { return pc.parses.Load() }
+
+// Fusions returns how many fusion plans the cache has built — the fused
+// analog of Parses, asserted on by the fuse-once-per-batch tests.
+func (pc *ParseCache) Fusions() int64 { return pc.fusions.Load() }
 
 // Len returns the number of cached specs.
 func (pc *ParseCache) Len() int {

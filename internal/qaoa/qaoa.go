@@ -300,7 +300,7 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 		seed = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	s, _ := statevec.RunCircuit(c.StripMeasurements(), w, rng)
+	s, _ := statevec.RunFused(c.StripMeasurements(), nil, w, rng)
 	shots := opts.Shots
 	if shots <= 0 {
 		shots = 1024
@@ -315,6 +315,7 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 		}
 		res.ExpVal = &v
 	}
+	s.Release()
 	return res, nil
 }
 

@@ -1,0 +1,235 @@
+package statevec
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+)
+
+// randomState returns a normalized random state on n qubits.
+func randomState(n int, rng *rand.Rand) *State {
+	s := NewState(n)
+	var norm float64
+	for i := range s.Amp {
+		s.Amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(s.Amp[i])*real(s.Amp[i]) + imag(s.Amp[i])*imag(s.Amp[i])
+	}
+	inv := complex(1/math.Sqrt(norm), 0)
+	for i := range s.Amp {
+		s.Amp[i] *= inv
+	}
+	return s
+}
+
+// refControlled1Q is the old full-scan reference kernel.
+func refControlled1Q(s *State, m [2][2]complex128, controls []int, target int) {
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	bit := 1 << uint(target)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&bit != 0 || i&cmask != cmask {
+			continue
+		}
+		i1 := i | bit
+		a0, a1 := s.Amp[i], s.Amp[i1]
+		s.Amp[i] = m[0][0]*a0 + m[0][1]*a1
+		s.Amp[i1] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// refSwap is the old full-scan swap kernel.
+func refSwap(s *State, a, b int, controls []int) {
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	abit, bbit := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&abit != 0 || i&bbit == 0 || i&cmask != cmask {
+			continue
+		}
+		jj := (i | abit) &^ bbit
+		s.Amp[i], s.Amp[jj] = s.Amp[jj], s.Amp[i]
+	}
+}
+
+func TestCompressedControlled1Q(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct {
+		controls []int
+		target   int
+	}{
+		{nil, 3},
+		{[]int{0}, 4},
+		{[]int{5}, 0},
+		{[]int{1, 4}, 2}, // CCX-style: two controls
+		{[]int{0, 2, 5}, 3},
+	}
+	for _, tc := range cases {
+		m := circuit.Matrix1Q(circuit.KindRY, 1.234)
+		got := randomState(6, rng)
+		want := got.Copy()
+		got.ApplyControlled1Q(m, tc.controls, tc.target)
+		refControlled1Q(want, m, tc.controls, tc.target)
+		for i := range want.Amp {
+			if cmplx.Abs(got.Amp[i]-want.Amp[i]) > 1e-13 {
+				t.Fatalf("controls=%v target=%d: amp %d mismatch %v vs %v",
+					tc.controls, tc.target, i, got.Amp[i], want.Amp[i])
+			}
+		}
+		got.Release()
+		want.Release()
+	}
+}
+
+func TestCompressedSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cases := []struct {
+		a, b     int
+		controls []int
+	}{
+		{0, 5, nil},
+		{4, 1, nil},
+		{2, 3, []int{0}},    // CSWAP
+		{1, 5, []int{3, 0}}, // doubly-controlled swap
+	}
+	for _, tc := range cases {
+		got := randomState(6, rng)
+		want := got.Copy()
+		got.ApplySwap(tc.a, tc.b, tc.controls)
+		refSwap(want, tc.a, tc.b, tc.controls)
+		for i := range want.Amp {
+			if got.Amp[i] != want.Amp[i] {
+				t.Fatalf("swap(%d,%d) controls=%v: amp %d mismatch", tc.a, tc.b, tc.controls, i)
+			}
+		}
+		got.Release()
+		want.Release()
+	}
+}
+
+func TestDiagTermsMatchSequentialGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randomState(5, rng)
+	ref := s.Copy()
+	// Combined run: RZ(0, .7) Z(2) RZZ(1,3,.9) CZ(4,0) CP(3, 2, .4)
+	s.ApplyDiagTerms(
+		[]circuit.DiagTerm1{
+			{Q: 0, D: diag1(circuit.KindRZ, 0.7)},
+			{Q: 2, D: diag1(circuit.KindZ, 0)},
+		},
+		[]circuit.DiagTerm2{
+			{A: 3, B: 1, D: diag2(circuit.KindRZZ, 0.9)},
+			{A: 4, B: 0, D: diag2(circuit.KindCZ, 0)},
+			{A: 3, B: 2, D: diag2(circuit.KindCP, 0.4)},
+		},
+	)
+	ref.Apply1Q(circuit.Matrix1Q(circuit.KindRZ, 0.7), 0)
+	ref.Apply1Q(circuit.Matrix1Q(circuit.KindZ, 0), 2)
+	ref.ApplyRZZ(3, 1, 0.9)
+	ref.ApplyControlled1Q(circuit.Matrix1Q(circuit.KindZ, 0), []int{4}, 0)
+	ref.ApplyControlled1Q(circuit.Matrix1Q(circuit.KindP, 0.4), []int{3}, 2)
+	for i := range ref.Amp {
+		if cmplx.Abs(s.Amp[i]-ref.Amp[i]) > 1e-13 {
+			t.Fatalf("diag run mismatch at %d: %v vs %v", i, s.Amp[i], ref.Amp[i])
+		}
+	}
+	s.Release()
+	ref.Release()
+}
+
+func diag1(k circuit.Kind, theta float64) [2]complex128 {
+	m := circuit.Matrix1Q(k, theta)
+	return [2]complex128{m[0][0], m[1][1]}
+}
+
+func diag2(k circuit.Kind, theta float64) [4]complex128 {
+	m := circuit.Matrix2Q(k, theta)
+	return [4]complex128{m.At(0, 0), m.At(1, 1), m.At(2, 2), m.At(3, 3)}
+}
+
+func TestAliasSamplerDistribution(t *testing.T) {
+	// Biased two-qubit state: p(00)=0.5, p(01)=0.25, p(10)=0.25.
+	s := NewState(2)
+	s.Amp[0] = complex(math.Sqrt(0.5), 0)
+	s.Amp[1] = complex(0.5, 0)
+	s.Amp[2] = complex(0, 0.5)
+	shots := 40000
+	counts := s.SampleCounts(shots, rand.New(rand.NewSource(23)))
+	if counts["11"] != 0 {
+		t.Fatalf("sampled zero-probability outcome: %v", counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != shots {
+		t.Fatalf("lost shots: %d != %d", total, shots)
+	}
+	check := func(key string, want float64) {
+		frac := float64(counts[key]) / float64(shots)
+		if math.Abs(frac-want) > 0.02 {
+			t.Fatalf("p(%s) = %.3f, want %.2f (counts %v)", key, frac, want, counts)
+		}
+	}
+	check("00", 0.5)
+	check("01", 0.25)
+	check("10", 0.25)
+	s.Release()
+}
+
+func TestAliasSamplerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := randomState(6, rng)
+	a := s.SampleCounts(512, rand.New(rand.NewSource(77)))
+	b := s.SampleCounts(512, rand.New(rand.NewSource(77)))
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic sampling: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("non-deterministic sampling at %s: %d vs %d", k, v, b[k])
+		}
+	}
+	s.Release()
+}
+
+func TestExpectationHamiltonianScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	s := randomState(5, rng)
+	s.Workers = 4
+	h := &pauli.Hamiltonian{NQubits: 5}
+	h.Add(0.8, map[int]pauli.Op{0: pauli.X, 2: pauli.Z})
+	h.Add(-1.3, map[int]pauli.Op{1: pauli.Y, 3: pauli.Y, 4: pauli.Z})
+	h.Add(0.5, map[int]pauli.Op{2: pauli.Z})
+	h.Add(0.25, map[int]pauli.Op{0: pauli.X, 1: pauli.X, 2: pauli.X, 3: pauli.X, 4: pauli.X})
+
+	// Reference: apply each term through the generic dense kernels.
+	var want float64
+	for _, term := range h.Terms {
+		tCopy := s.Copy()
+		for q, op := range term.Ops {
+			switch op {
+			case pauli.X:
+				tCopy.Apply1Q(circuit.Matrix1Q(circuit.KindX, 0), q)
+			case pauli.Y:
+				tCopy.Apply1Q(circuit.Matrix1Q(circuit.KindY, 0), q)
+			case pauli.Z:
+				tCopy.Apply1Q(circuit.Matrix1Q(circuit.KindZ, 0), q)
+			}
+		}
+		want += term.Coeff * real(s.InnerProduct(tCopy))
+		tCopy.Release()
+	}
+	got := s.ExpectationHamiltonian(h)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectationHamiltonian = %g, want %g", got, want)
+	}
+	s.Release()
+}

@@ -86,11 +86,14 @@ func RunCircuit(c *circuit.Circuit, workers int, rng *rand.Rand) (*State, []int)
 // requested number of shots from the final distribution. This is the
 // standard execution path used by the backends: terminal measurement is
 // replaced by sampling, which is exact and far cheaper than per-shot
-// collapse.
+// collapse. Execution goes through the gate-fusion engine; RunCircuit
+// remains the unfused reference path.
 func Simulate(c *circuit.Circuit, shots, workers int, rng *rand.Rand) map[string]int {
-	s, _ := RunCircuit(c.StripMeasurements(), workers, rng)
+	s, _ := RunFused(c.StripMeasurements(), nil, workers, rng)
 	if shots <= 0 {
 		shots = 1024
 	}
-	return s.SampleCounts(shots, rng)
+	counts := s.SampleCounts(shots, rng)
+	s.Release()
+	return counts
 }

@@ -1,0 +1,87 @@
+package statevec
+
+import "math/rand"
+
+// SampleCounts draws shots samples from the final state distribution and
+// returns a histogram keyed by bitstring (qubit 0 is the rightmost char).
+//
+// Sampling uses Vose's alias method: one O(2^n) table build (the same
+// asymptotic cost the old cumulative array paid) followed by O(1) per shot,
+// replacing the per-shot O(n) binary search. All working buffers come from
+// the arena, so batched executions sample without reallocating.
+func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
+	n := len(s.Amp)
+	prob := getF64Buf(s.N)
+	var total float64
+	for i, a := range s.Amp {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		prob[i] = p
+		total += p
+	}
+	if total <= 0 {
+		// Degenerate all-zero state: report |0...0> like a fresh register.
+		putF64Buf(s.N, prob)
+		return map[string]int{FormatBits(0, s.N): shots}
+	}
+	alias := getIntBuf(s.N)
+	small := getIntBuf(s.N)
+	large := getIntBuf(s.N)
+	scale := float64(n) / total
+	ns, nl := 0, 0
+	for i := 0; i < n; i++ {
+		prob[i] *= scale
+		alias[i] = i
+		if prob[i] < 1 {
+			small[ns] = i
+			ns++
+		} else {
+			large[nl] = i
+			nl++
+		}
+	}
+	for ns > 0 && nl > 0 {
+		sm := small[ns-1]
+		lg := large[nl-1]
+		ns--
+		nl--
+		alias[sm] = lg
+		prob[lg] += prob[sm] - 1
+		if prob[lg] < 1 {
+			small[ns] = lg
+			ns++
+		} else {
+			large[nl] = lg
+			nl++
+		}
+	}
+	for ; nl > 0; nl-- {
+		prob[large[nl-1]] = 1
+	}
+	for ; ns > 0; ns-- {
+		prob[small[ns-1]] = 1
+	}
+
+	// One uniform per shot: the integer part picks the column, the
+	// fractional part decides column vs alias.
+	idxCounts := make(map[int]int)
+	for k := 0; k < shots; k++ {
+		u := rng.Float64() * float64(n)
+		i := int(u)
+		if i >= n {
+			i = n - 1
+		}
+		if u-float64(i) >= prob[i] {
+			i = alias[i]
+		}
+		idxCounts[i]++
+	}
+	putF64Buf(s.N, prob)
+	putIntBuf(s.N, alias)
+	putIntBuf(s.N, small)
+	putIntBuf(s.N, large)
+	counts := make(map[string]int, len(idxCounts))
+	for i, c := range idxCounts {
+		counts[FormatBits(i, s.N)] = c
+	}
+	return counts
+}

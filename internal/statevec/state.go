@@ -14,7 +14,6 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/linalg"
@@ -30,14 +29,17 @@ type State struct {
 	Workers int
 }
 
-// NewState returns |0...0> on n qubits.
+// NewState returns |0...0> on n qubits. The amplitude buffer comes from the
+// shared arena; call Release when the state is no longer needed to recycle
+// it (optional — see Release).
 func NewState(n int) *State {
 	if n < 1 || n > 30 {
 		panic(fmt.Sprintf("statevec: unsupported qubit count %d", n))
 	}
-	s := &State{N: n, Amp: make([]complex128, 1<<uint(n)), Workers: 1}
-	s.Amp[0] = 1
-	return s
+	buf := getAmpBuf(n)
+	clear(buf)
+	buf[0] = 1
+	return &State{N: n, Amp: buf, Workers: 1}
 }
 
 // Copy returns a deep copy of the state.
@@ -68,32 +70,6 @@ func (s *State) InnerProduct(o *State) complex128 {
 	return acc
 }
 
-// parallelFor splits [0, n) into contiguous chunks across the state's workers.
-func (s *State) parallelFor(n int, body func(start, end int)) {
-	w := s.Workers
-	if w <= 1 || n < 1<<12 {
-		body(0, n)
-		return
-	}
-	if w > n {
-		w = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
-		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			body(a, b)
-		}(start, end)
-	}
-	wg.Wait()
-}
-
 // insertZeroBit expands compressed index j by inserting a 0 at bit position q.
 func insertZeroBit(j, q int) int {
 	mask := (1 << uint(q)) - 1
@@ -116,20 +92,27 @@ func (s *State) Apply1Q(m [2][2]complex128, q int) {
 }
 
 // ApplyControlled1Q applies a 2x2 matrix to the target qubit when every
-// control qubit is 1.
+// control qubit is 1. The iteration is compressed: only the 2^(n-1-#controls)
+// amplitude pairs whose controls are satisfied are enumerated, instead of
+// scanning the full range and skipping non-matching indices.
 func (s *State) ApplyControlled1Q(m [2][2]complex128, controls []int, target int) {
+	ps := make([]int, 0, len(controls)+1)
+	ps = append(ps, controls...)
+	ps = append(ps, target)
+	sort.Ints(ps)
 	var cmask int
 	for _, c := range controls {
 		cmask |= 1 << uint(c)
 	}
 	bit := 1 << uint(target)
-	half := len(s.Amp) >> 1
-	s.parallelFor(half, func(start, end int) {
+	outer := len(s.Amp) >> uint(len(ps))
+	s.parallelFor(outer, func(start, end int) {
 		for j := start; j < end; j++ {
-			i0 := insertZeroBit(j, target)
-			if i0&cmask != cmask {
-				continue
+			base := j
+			for _, p := range ps {
+				base = insertZeroBit(base, p)
 			}
+			i0 := base | cmask
 			i1 := i0 | bit
 			a0, a1 := s.Amp[i0], s.Amp[i1]
 			s.Amp[i0] = m[0][0]*a0 + m[0][1]*a1
@@ -138,25 +121,311 @@ func (s *State) ApplyControlled1Q(m [2][2]complex128, controls []int, target int
 	})
 }
 
-// ApplySwap exchanges qubits a and b, optionally under controls.
+// ApplySwap exchanges qubits a and b, optionally under controls. Like
+// ApplyControlled1Q, the iteration enumerates exactly the amplitude pairs
+// that move: 2^(n-2-#controls) swaps, no skipped indices.
 func (s *State) ApplySwap(a, b int, controls []int) {
+	ps := make([]int, 0, len(controls)+2)
+	ps = append(ps, a, b)
+	ps = append(ps, controls...)
+	sort.Ints(ps)
 	var cmask int
 	for _, c := range controls {
 		cmask |= 1 << uint(c)
 	}
 	abit, bbit := 1<<uint(a), 1<<uint(b)
-	n := len(s.Amp)
-	s.parallelFor(n, func(start, end int) {
-		for i := start; i < end; i++ {
-			// Act once per (0,1) pair: pick representatives with a-bit=0, b-bit=1.
-			if i&abit != 0 || i&bbit == 0 {
-				continue
+	outer := len(s.Amp) >> uint(len(ps))
+	s.parallelFor(outer, func(start, end int) {
+		for j := start; j < end; j++ {
+			base := j
+			for _, p := range ps {
+				base = insertZeroBit(base, p)
 			}
-			if i&cmask != cmask {
-				continue
-			}
-			jj := (i | abit) &^ bbit
+			// Representatives: a-bit=0 b-bit=1 swaps with a-bit=1 b-bit=0.
+			i := base | bbit | cmask
+			jj := base | abit | cmask
 			s.Amp[i], s.Amp[jj] = s.Amp[jj], s.Amp[i]
+		}
+	})
+}
+
+// ApplyDiag1Q multiplies amplitudes by d0 or d1 according to the value of
+// qubit q — the branch-free diagonal path (Z, S, T, RZ, P and fused
+// diagonal blocks).
+func (s *State) ApplyDiag1Q(d0, d1 complex128, q int) {
+	d := [2]complex128{d0, d1}
+	s.parallelFor(len(s.Amp), func(start, end int) {
+		for i := start; i < end; i++ {
+			s.Amp[i] *= d[(i>>uint(q))&1]
+		}
+	})
+}
+
+// ApplyPerm1Q applies an antidiagonal 2x2 [[0, m01], [m10, 0]] to qubit q —
+// the phased pair-swap path (X, Y and fused antidiagonal blocks).
+func (s *State) ApplyPerm1Q(m01, m10 complex128, q int) {
+	half := len(s.Amp) >> 1
+	bit := 1 << uint(q)
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, q)
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = m01 * a1
+			s.Amp[i1] = m10 * a0
+		}
+	})
+}
+
+// ApplyH applies a Hadamard to qubit q with the dedicated add/sub kernel.
+func (s *State) ApplyH(q int) {
+	const inv = complex(1/math.Sqrt2, 0)
+	half := len(s.Amp) >> 1
+	bit := 1 << uint(q)
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, q)
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = inv * (a0 + a1)
+			s.Amp[i1] = inv * (a0 - a1)
+		}
+	})
+}
+
+// spanTerm is a two-qubit diagonal factor crossing the low/high table split
+// that could not be decomposed into table entries (degenerate zero factor).
+type spanTerm struct {
+	a, b uint8 // shift amounts; a >= split > b
+	d    [4]complex128
+}
+
+// ApplyRXPair applies two independent RX-form rotations — a = (aC0, aV0,
+// aV1, aC1) on qubit qa and b likewise on qubit qb — in a single sweep of
+// in-register two-stage butterflies: the same floating-point work as two
+// ApplyRXLike passes with half the memory traffic.
+func (s *State) ApplyRXPair(a, b [4]float64, qa, qb int) {
+	aC0, aV0, aV1, aC1 := a[0], a[1], a[2], a[3]
+	bC0, bV0, bV1, bC1 := b[0], b[1], b[2], b[3]
+	abit, bbit := 1<<uint(qa), 1<<uint(qb)
+	hi, lo := qa, qb
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	quarter := len(s.Amp) >> 2
+	s.parallelFor(quarter, func(start, end int) {
+		for j := start; j < end; j++ {
+			base := insertZeroBit(insertZeroBit(j, lo), hi)
+			i1 := base | bbit
+			i2 := base | abit
+			i3 := base | abit | bbit
+			a0, a1, a2, a3 := s.Amp[base], s.Amp[i1], s.Amp[i2], s.Amp[i3]
+			// Stage 1: rotation b within each qa-half.
+			t0 := complex(bC0*real(a0)-bV0*imag(a1), bC0*imag(a0)+bV0*real(a1))
+			t1 := complex(bC1*real(a1)-bV1*imag(a0), bC1*imag(a1)+bV1*real(a0))
+			t2 := complex(bC0*real(a2)-bV0*imag(a3), bC0*imag(a2)+bV0*real(a3))
+			t3 := complex(bC1*real(a3)-bV1*imag(a2), bC1*imag(a3)+bV1*real(a2))
+			// Stage 2: rotation a across the halves.
+			s.Amp[base] = complex(aC0*real(t0)-aV0*imag(t2), aC0*imag(t0)+aV0*real(t2))
+			s.Amp[i2] = complex(aC1*real(t2)-aV1*imag(t0), aC1*imag(t2)+aV1*real(t0))
+			s.Amp[i1] = complex(aC0*real(t1)-aV0*imag(t3), aC0*imag(t1)+aV0*real(t3))
+			s.Amp[i3] = complex(aC1*real(t3)-aV1*imag(t1), aC1*imag(t3)+aV1*real(t1))
+		}
+	})
+}
+
+// ApplyDiagTerms applies a combined diagonal run — the product of every
+// single-qubit and two-qubit diagonal factor — in one pass over the
+// amplitudes. A QAOA/TFIM cost layer of E RZZ gates costs one memory sweep
+// instead of E.
+//
+// The factor function f(i) is evaluated through precomputed tables. Qubits
+// are cut into low/high halves; terms entirely inside a half fold into that
+// half's table. A term crossing the cut with factors D(a,b) decomposes as
+// S·H^a·L^b·C^(a·b): the separable parts join the tables and only the cross
+// factor survives, folded into a per-high-qubit table T_a[low] applied only
+// on blocks whose high bit a is set. The sweep then costs 2 + (set high
+// span bits) multiplies per amplitude, all from contiguous tables — far
+// under the one-multiply-per-gate-per-amplitude of unfused execution.
+func (s *State) ApplyDiagTerms(d1 []circuit.DiagTerm1, d2 []circuit.DiagTerm2) {
+	if len(d1) == 0 && len(d2) == 0 {
+		return
+	}
+	n := s.N
+	split := n - 6
+	if split < 1 {
+		split = 1
+	}
+	if split > 14 {
+		split = 14
+	}
+	lowBits := split
+	highBits := n - split
+	lowTab := getAmpBuf(lowBits)
+	highTab := getAmpBuf(highBits)
+	for i := range lowTab {
+		lowTab[i] = 1
+	}
+	for i := range highTab {
+		highTab[i] = 1
+	}
+	cross := make([][]complex128, highBits) // per-high-qubit C^(low bit) tables
+	var direct []spanTerm
+	for _, t := range d1 {
+		if t.Q < split {
+			for j := range lowTab {
+				lowTab[j] *= t.D[(j>>uint(t.Q))&1]
+			}
+		} else {
+			q := t.Q - split
+			for j := range highTab {
+				highTab[j] *= t.D[(j>>uint(q))&1]
+			}
+		}
+	}
+	for _, t := range d2 {
+		a, b := t.A, t.B
+		if a < b {
+			// Normalize to a > b; swapping the qubits swaps the mixed entries.
+			a, b = b, a
+			t.D[1], t.D[2] = t.D[2], t.D[1]
+		}
+		switch {
+		case a < split:
+			for j := range lowTab {
+				lowTab[j] *= t.D[((j>>uint(a))&1)<<1|((j>>uint(b))&1)]
+			}
+		case b >= split:
+			ah, bh := a-split, b-split
+			for j := range highTab {
+				highTab[j] *= t.D[((j>>uint(ah))&1)<<1|((j>>uint(bh))&1)]
+			}
+		default:
+			d00, d01, d10, d11 := t.D[0], t.D[1], t.D[2], t.D[3]
+			if d00 == 0 || d01 == 0 || d10 == 0 {
+				// Non-invertible factor (never produced by unitary gates):
+				// keep the raw per-amplitude form.
+				direct = append(direct, spanTerm{a: uint8(a), b: uint8(b), d: t.D})
+				continue
+			}
+			lo := d01 / d00 // low separable part, on bit b
+			hi := d10 / d00 // high separable part (scaled by d00), on bit a
+			cf := (d00 * d11) / (d01 * d10)
+			for j := range lowTab {
+				if (j>>uint(b))&1 == 1 {
+					lowTab[j] *= lo
+				}
+			}
+			ah := a - split
+			for j := range highTab {
+				if (j>>uint(ah))&1 == 1 {
+					highTab[j] *= d00 * hi
+				} else {
+					highTab[j] *= d00
+				}
+			}
+			if cross[ah] == nil {
+				cross[ah] = getAmpBuf(lowBits)
+				for j := range cross[ah] {
+					cross[ah][j] = 1
+				}
+			}
+			for j := range cross[ah] {
+				if (j>>uint(b))&1 == 1 {
+					cross[ah][j] *= cf
+				}
+			}
+		}
+	}
+	lmask := (1 << uint(lowBits)) - 1
+	s.parallelFor(len(s.Amp), func(start, end int) {
+		acts := make([][]complex128, 0, highBits)
+		for i := start; i < end; {
+			h := i >> uint(lowBits)
+			blockEnd := (h + 1) << uint(lowBits)
+			if blockEnd > end {
+				blockEnd = end
+			}
+			fh := highTab[h]
+			acts = acts[:0]
+			for a := 0; a < highBits; a++ {
+				if cross[a] != nil && (h>>uint(a))&1 == 1 {
+					acts = append(acts, cross[a])
+				}
+			}
+			j := i & lmask
+			switch len(acts) {
+			case 0:
+				for ; i < blockEnd; i, j = i+1, j+1 {
+					s.Amp[i] *= fh * lowTab[j]
+				}
+			case 1:
+				t0 := acts[0]
+				for ; i < blockEnd; i, j = i+1, j+1 {
+					s.Amp[i] *= fh * (lowTab[j] * t0[j])
+				}
+			case 2:
+				t0, t1 := acts[0], acts[1]
+				for ; i < blockEnd; i, j = i+1, j+1 {
+					s.Amp[i] *= (fh * (lowTab[j] * t0[j])) * t1[j]
+				}
+			default:
+				for ; i < blockEnd; i, j = i+1, j+1 {
+					f := fh * lowTab[j]
+					for _, t := range acts {
+						f *= t[j]
+					}
+					s.Amp[i] *= f
+				}
+			}
+		}
+	})
+	if len(direct) > 0 {
+		s.parallelFor(len(s.Amp), func(start, end int) {
+			for i := start; i < end; i++ {
+				f := complex(1, 0)
+				for t := range direct {
+					st := &direct[t]
+					f *= st.d[((i>>st.a)&1)<<1|((i>>st.b)&1)]
+				}
+				s.Amp[i] *= f
+			}
+		})
+	}
+	for _, c := range cross {
+		if c != nil {
+			putAmpBuf(lowBits, c)
+		}
+	}
+	putAmpBuf(lowBits, lowTab)
+	putAmpBuf(highBits, highTab)
+}
+
+// ApplyPerm2Q applies a phased permutation 4x4 (fused CX/SWAP-style blocks)
+// to qubits (hi, lo) without a matmul: each quad is gathered, permuted, and
+// phased.
+func (s *State) ApplyPerm2Q(perm [4]uint8, phase [4]complex128, hi, lo int) {
+	hbit, lbit := 1<<uint(hi), 1<<uint(lo)
+	quarter := len(s.Amp) >> 2
+	qa, qb := hi, lo
+	if qa < qb {
+		qa, qb = qb, qa
+	}
+	s.parallelFor(quarter, func(start, end int) {
+		var idx [4]int
+		var amp [4]complex128
+		for j := start; j < end; j++ {
+			base := insertZeroBit(insertZeroBit(j, qb), qa)
+			idx[0] = base
+			idx[1] = base | lbit
+			idx[2] = base | hbit
+			idx[3] = base | hbit | lbit
+			for k := 0; k < 4; k++ {
+				amp[k] = s.Amp[idx[k]]
+			}
+			for r := 0; r < 4; r++ {
+				s.Amp[idx[r]] = phase[r] * amp[perm[r]]
+			}
 		}
 	})
 }
@@ -179,11 +448,17 @@ func (s *State) ApplyRZZ(a, b int, theta float64) {
 }
 
 // Apply2QDense applies a 4x4 matrix to qubits (hi, lo), where hi is the more
-// significant qubit in the matrix basis |hi lo>.
+// significant qubit in the matrix basis |hi lo>. The matrix is hoisted into
+// locals and the 4x4 product fully unrolled, so the inner loop carries no
+// bounds checks or indirect loads.
 func (s *State) Apply2QDense(m *linalg.Matrix, hi, lo int) {
 	if m.Rows != 4 || m.Cols != 4 {
 		panic("statevec: Apply2QDense needs a 4x4 matrix")
 	}
+	m00, m01, m02, m03 := m.Data[0], m.Data[1], m.Data[2], m.Data[3]
+	m10, m11, m12, m13 := m.Data[4], m.Data[5], m.Data[6], m.Data[7]
+	m20, m21, m22, m23 := m.Data[8], m.Data[9], m.Data[10], m.Data[11]
+	m30, m31, m32, m33 := m.Data[12], m.Data[13], m.Data[14], m.Data[15]
 	hbit, lbit := 1<<uint(hi), 1<<uint(lo)
 	quarter := len(s.Amp) >> 2
 	qa, qb := hi, lo
@@ -191,24 +466,50 @@ func (s *State) Apply2QDense(m *linalg.Matrix, hi, lo int) {
 		qa, qb = qb, qa // qa is the higher bit position
 	}
 	s.parallelFor(quarter, func(start, end int) {
-		var idx [4]int
-		var amp [4]complex128
 		for j := start; j < end; j++ {
 			base := insertZeroBit(insertZeroBit(j, qb), qa)
-			idx[0] = base
-			idx[1] = base | lbit
-			idx[2] = base | hbit
-			idx[3] = base | hbit | lbit
-			for k := 0; k < 4; k++ {
-				amp[k] = s.Amp[idx[k]]
-			}
-			for r := 0; r < 4; r++ {
-				var acc complex128
-				for c := 0; c < 4; c++ {
-					acc += m.At(r, c) * amp[c]
-				}
-				s.Amp[idx[r]] = acc
-			}
+			i1 := base | lbit
+			i2 := base | hbit
+			i3 := i2 | lbit
+			a0, a1, a2, a3 := s.Amp[base], s.Amp[i1], s.Amp[i2], s.Amp[i3]
+			s.Amp[base] = m00*a0 + m01*a1 + m02*a2 + m03*a3
+			s.Amp[i1] = m10*a0 + m11*a1 + m12*a2 + m13*a3
+			s.Amp[i2] = m20*a0 + m21*a1 + m22*a2 + m23*a3
+			s.Amp[i3] = m30*a0 + m31*a1 + m32*a2 + m33*a3
+		}
+	})
+}
+
+// ApplyReal1Q applies a 2x2 matrix with all-real entries (RY, H-like fused
+// blocks) using half the floating-point work of the generic complex kernel.
+func (s *State) ApplyReal1Q(r00, r01, r10, r11 float64, q int) {
+	half := len(s.Amp) >> 1
+	bit := 1 << uint(q)
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, q)
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = complex(r00*real(a0)+r01*real(a1), r00*imag(a0)+r01*imag(a1))
+			s.Amp[i1] = complex(r10*real(a0)+r11*real(a1), r10*imag(a0)+r11*imag(a1))
+		}
+	})
+}
+
+// ApplyRXLike applies a matrix of the form [[c0, i·v0], [i·v1, c1]] with
+// real c, v (RX rotations, SX, and fused blocks that keep the real-diagonal
+// imaginary-offdiagonal form) — again half the floating-point work of the
+// generic path.
+func (s *State) ApplyRXLike(c0, v0, v1, c1 float64, q int) {
+	half := len(s.Amp) >> 1
+	bit := 1 << uint(q)
+	s.parallelFor(half, func(start, end int) {
+		for j := start; j < end; j++ {
+			i0 := insertZeroBit(j, q)
+			i1 := i0 | bit
+			a0, a1 := s.Amp[i0], s.Amp[i1]
+			s.Amp[i0] = complex(c0*real(a0)-v0*imag(a1), c0*imag(a0)+v0*real(a1))
+			s.Amp[i1] = complex(c1*real(a1)-v1*imag(a0), c1*imag(a1)+v1*real(a0))
 		}
 	})
 }
@@ -299,27 +600,6 @@ func (s *State) MeasureQubit(q int, rng *rand.Rand) int {
 	return outcome
 }
 
-// SampleCounts draws shots samples from the final state distribution and
-// returns a histogram keyed by bitstring (qubit 0 is the rightmost char).
-func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
-	cum := make([]float64, len(s.Amp))
-	var acc float64
-	for i, a := range s.Amp {
-		acc += real(a)*real(a) + imag(a)*imag(a)
-		cum[i] = acc
-	}
-	counts := make(map[string]int)
-	for k := 0; k < shots; k++ {
-		r := rng.Float64() * acc
-		idx := sort.SearchFloat64s(cum, r)
-		if idx >= len(cum) {
-			idx = len(cum) - 1
-		}
-		counts[FormatBits(idx, s.N)]++
-	}
-	return counts
-}
-
 // FormatBits renders basis index i on n qubits with qubit 0 rightmost,
 // matching Qiskit's bitstring convention.
 func FormatBits(i, n int) string {
@@ -360,29 +640,49 @@ func (s *State) ExpectationDiagonal(f func(idx int) float64) float64 {
 	return acc
 }
 
-// ExpectationPauliString returns <s| P |s> for one Pauli string.
-func (s *State) ExpectationPauliString(p pauli.String) float64 {
-	// Apply P to a copy and take the inner product.
-	t := s.Copy()
-	t.Workers = 1
-	for q, op := range p.Ops {
+// applyPauliOps applies each non-identity operator of a Pauli string to the
+// scratch state through the specialized permutation/diagonal kernels.
+func applyPauliOps(t *State, ops []pauli.Op) {
+	i := complex(0, 1)
+	for q, op := range ops {
 		switch op {
 		case pauli.X:
-			t.Apply1Q(circuit.Matrix1Q(circuit.KindX, 0), q)
+			t.ApplyPerm1Q(1, 1, q)
 		case pauli.Y:
-			t.Apply1Q(circuit.Matrix1Q(circuit.KindY, 0), q)
+			t.ApplyPerm1Q(-i, i, q)
 		case pauli.Z:
-			t.Apply1Q(circuit.Matrix1Q(circuit.KindZ, 0), q)
+			t.ApplyDiag1Q(1, -1, q)
 		}
 	}
-	return p.Coeff * real(s.InnerProduct(t))
 }
 
-// ExpectationHamiltonian returns <s| H |s>.
+// ExpectationPauliString returns <s| P |s> for one Pauli string.
+func (s *State) ExpectationPauliString(p pauli.String) float64 {
+	scratch := getAmpBuf(s.N)
+	t := &State{N: s.N, Amp: scratch, Workers: s.Workers}
+	copy(t.Amp, s.Amp)
+	applyPauliOps(t, p.Ops)
+	e := p.Coeff * real(s.InnerProduct(t))
+	putAmpBuf(s.N, scratch)
+	return e
+}
+
+// ExpectationHamiltonian returns <s| H |s>. One arena-backed scratch buffer
+// is reused across every Pauli term, and the term application honors the
+// state's worker count — the old path deep-copied the full state per term
+// and forced the copy serial.
 func (s *State) ExpectationHamiltonian(h *pauli.Hamiltonian) float64 {
-	var e float64
-	for _, t := range h.Terms {
-		e += s.ExpectationPauliString(t)
+	if len(h.Terms) == 0 {
+		return 0
 	}
+	scratch := getAmpBuf(s.N)
+	t := &State{N: s.N, Amp: scratch, Workers: s.Workers}
+	var e float64
+	for _, term := range h.Terms {
+		copy(t.Amp, s.Amp)
+		applyPauliOps(t, term.Ops)
+		e += term.Coeff * real(s.InnerProduct(t))
+	}
+	putAmpBuf(s.N, scratch)
 	return e
 }
