@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion or 'all'")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist or 'all'")
 		full       = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
 		repeats    = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
 		shots      = flag.Int("shots", 256, "shots per circuit execution")
@@ -40,6 +40,7 @@ func main() {
 		cloudLat   = flag.Duration("cloud-latency", 40*time.Millisecond, "simulated cloud network latency")
 		sizes      = flag.String("sizes", "", "comma-separated size override for workload figures (e.g. 5,7,9,11)")
 		fusionJSON = flag.String("fusion-json", "BENCH_fusion.json", "path for the ablation-fusion JSON record (empty disables)")
+		distJSON   = flag.String("dist-json", "BENCH_dist.json", "path for the ablation-dist JSON record (empty disables)")
 	)
 	flag.Parse()
 
@@ -131,15 +132,15 @@ func main() {
 	run("ablation-batch", h.RunBatchAblation)
 	run("ablation-fusion", func() (*bench.Experiment, error) {
 		exp, err := h.RunFusionAblation()
-		if err == nil && *fusionJSON != "" {
-			data, jerr := json.MarshalIndent(exp, "", "  ")
-			if jerr != nil {
-				fatal("fusion json: %v", jerr)
-			}
-			if werr := os.WriteFile(*fusionJSON, data, 0o644); werr != nil {
-				fatal("fusion json write: %v", werr)
-			}
-			fmt.Printf("wrote %s\n", *fusionJSON)
+		if err == nil {
+			writeJSON(*fusionJSON, exp)
+		}
+		return exp, err
+	})
+	run("ablation-dist", func() (*bench.Experiment, error) {
+		exp, err := h.RunDistAblation()
+		if err == nil {
+			writeJSON(*distJSON, exp)
 		}
 		return exp, err
 	})
@@ -155,6 +156,20 @@ func main() {
 		fmt.Print(bench.Render(exp))
 		writeCSV(*csvDir, exp)
 	}
+}
+
+func writeJSON(path string, exp *bench.Experiment) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(exp, "", "  ")
+	if err != nil {
+		fatal("%s json: %v", exp.ID, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal("%s json write: %v", exp.ID, err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func writeCSV(dir string, exp *bench.Experiment) {

@@ -123,6 +123,80 @@ func TestLocalBackendsBatchParseOnce(t *testing.T) {
 	}
 }
 
+func TestNWQSimMPIBatchPersistentWorld(t *testing.T) {
+	// The mpi sub-backend's batch path keeps one process group and one
+	// communicator world alive across all K bindings, shares the spec-hash
+	// fused plan (one parse, one fusion for the whole batch), and each
+	// element must reproduce exactly what a standalone distributed Execute
+	// with the same derived seed produces.
+	env := testEnv(t)
+	exec, err := newNWQSim(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := exec.(*nwqsim)
+	ansatz := circuit.New(4)
+	ansatz.Name = "mpi-batch"
+	for q := 0; q < 4; q++ {
+		ansatz.H(q)
+	}
+	for q := 0; q+1 < 4; q++ {
+		ansatz.RZZ(q, q+1, circuit.Sym("gamma", 1))
+	}
+	for q := 0; q < 4; q++ {
+		ansatz.RX(q, circuit.Sym("beta", 1))
+	}
+	ansatz.MeasureAll()
+	spec, err := core.SpecFromParametric(ansatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 5
+	bindings := make([]core.Bindings, K)
+	for i := range bindings {
+		bindings[i] = core.Bindings{"gamma": 0.2 * float64(i+1), "beta": 1.4 - 0.2*float64(i)}
+	}
+	obs := &core.Observable{Fields: []float64{1, -0.5, 0.25, 0}, Paulis: []core.PauliTerm{{Coeff: 0.3, Ops: "XIIX"}}}
+	opts := core.RunOptions{Shots: 256, Seed: 9, Subbackend: "mpi", Nodes: 2, ProcsPerNode: 2, Observable: obs}
+	batch, err := b.ExecuteBatch(spec, bindings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != K {
+		t.Fatalf("%d results, want %d", len(batch), K)
+	}
+	if got := b.cache.Parses(); got != 1 {
+		t.Fatalf("QASM parses = %d, want 1 for the whole batch", got)
+	}
+	if got := b.cache.Fusions(); got != 1 {
+		t.Fatalf("fusion plans = %d, want 1 for the whole batch", got)
+	}
+	for i, bd := range bindings {
+		boundSpec, err := core.SpecFromCircuit(ansatz.Bind(bd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := b.Execute(boundSpec, opts.ForElement(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Counts) != len(batch[i].Counts) {
+			t.Fatalf("element %d: batch %v vs sequential %v", i, batch[i].Counts, seq.Counts)
+		}
+		for key, n := range seq.Counts {
+			if batch[i].Counts[key] != n {
+				t.Fatalf("element %d key %s: batch %d vs sequential %d", i, key, batch[i].Counts[key], n)
+			}
+		}
+		if batch[i].ExpVal == nil || seq.ExpVal == nil || math.Abs(*batch[i].ExpVal-*seq.ExpVal) > 1e-12 {
+			t.Fatalf("element %d expval: batch %v vs sequential %v", i, batch[i].ExpVal, seq.ExpVal)
+		}
+		if batch[i].Extra["ranks"] != 4 {
+			t.Fatalf("element %d ran on %v ranks, want 4", i, batch[i].Extra["ranks"])
+		}
+	}
+}
+
 func TestIonQBatchJobArray(t *testing.T) {
 	env := testEnv(t)
 	exec, err := newIonQ(env)

@@ -13,7 +13,10 @@ import (
 
 // nwqsim is the SV-Sim analog: a state-vector engine whose native MPI
 // distribution makes it the strong performer on large entangled workloads
-// (GHZ, HAM) and large HHL instances in the paper.
+// (GHZ, HAM) and large HHL instances in the paper. The mpi sub-backend runs
+// the fusion-aware distributed engine: fused stage execution with
+// bit-permutation remap exchanges, rank-local diagonal layers, and
+// distributed diagonal/general-Pauli observables.
 type nwqsim struct {
 	env   *core.Env
 	cache *core.ParseCache
@@ -44,11 +47,51 @@ func (b *nwqsim) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exec
 	return b.executeParsed(c, nil, opts)
 }
 
-// ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz — with its fusion plan built once per batch —
-// and run it on the selected engine.
+// ExecuteBatch implements core.BatchExecutor. The mpi sub-backend gets a
+// dedicated pipeline: one process group and one mpi.World persist across
+// all K bindings (ranks spawn once per batch, not once per element), and
+// the spec-hash fused plan from the ParseCache is shared by every element.
+// Other sub-backends rebind each element into the cached parse and fan out
+// across the local worker pool.
 func (b *nwqsim) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
-	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+	if normalizeSub(opts.Subbackend, "mpi") != "mpi" {
+		return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+	}
+	base, plan, err := b.cache.GetFused(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	if err := checkStateVectorBudget(base.NQubits, b.env.MemBudgetBytes); err != nil {
+		return nil, err
+	}
+	pg, world, total, err := b.spawnWorld(base.NQubits, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer pg.Release()
+	seeds := make([]int64, len(bindings))
+	maps := make([]map[string]float64, len(bindings))
+	for i, bd := range bindings {
+		seeds[i] = opts.ForElement(i).Seed
+		maps[i] = bd
+	}
+	res, err := statevec.RunDistributedBatch(world, statevec.DistBatch{
+		Circuit:  base,
+		Plan:     plan,
+		Bindings: maps,
+		Shots:    opts.Shots,
+		Seeds:    seeds,
+		Workers:  workersPerRank(total),
+		Obs:      distObsFor(opts.Observable, base.NQubits),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ExecResult, len(res))
+	for i, r := range res {
+		out[i] = core.ExecResult{Counts: r.Counts, ExpVal: r.ExpVal, Extra: map[string]float64{"ranks": float64(total)}}
+	}
+	return out, nil
 }
 
 func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
@@ -58,7 +101,7 @@ func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.
 	sub := normalizeSub(opts.Subbackend, "mpi")
 	switch sub {
 	case "mpi":
-		return b.runDistributed(c, opts)
+		return b.runDistributed(c, plan, opts)
 	case "openmp", "amdgpu":
 		workers := opts.ProcsPerNode
 		if workers <= 0 {
@@ -74,16 +117,34 @@ func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.
 	}
 }
 
-// runDistributed spawns an MPI process group on the DVM per the requested
-// (#N, #P) placement and runs the partitioned state-vector engine.
-func (b *nwqsim) runDistributed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
-	var diag func(int) float64
-	if opts.Observable != nil {
-		if !opts.Observable.IsDiagonal() {
-			return core.ExecResult{}, fmt.Errorf("nwqsim/mpi: general Pauli observables are not distributed; use the openmp sub-backend")
-		}
-		diag = opts.Observable.EnergyOfIndex
+// distObsFor maps a wire-format observable onto the distributed engine's
+// evaluation paths: diagonal operators use the basis-index fast path;
+// anything with X/Y terms becomes a Pauli Hamiltonian evaluated by local
+// basis change plus one energy Allreduce.
+func distObsFor(o *core.Observable, n int) statevec.DistObs {
+	if o == nil {
+		return statevec.DistObs{}
 	}
+	if o.IsDiagonal() {
+		return statevec.DistObs{Diag: o.EnergyOfIndex}
+	}
+	return statevec.DistObs{Ham: obsHamiltonian(o, n)}
+}
+
+// workersPerRank splits the host cores across the rank goroutines so the
+// per-shard kernel pool does not oversubscribe the machine.
+func workersPerRank(ranks int) int {
+	w := runtime.GOMAXPROCS(0) / ranks
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// spawnWorld allocates an MPI process group on the DVM per the requested
+// (#N, #P) placement and wraps it in a communicator world whose transfer
+// costs follow the machine's interconnect model.
+func (b *nwqsim) spawnWorld(nqubits int, opts core.RunOptions) (*prte.ProcGroup, *mpi.World, int, error) {
 	nodes := opts.Nodes
 	if nodes <= 0 {
 		nodes = 1
@@ -97,7 +158,7 @@ func (b *nwqsim) runDistributed(c *circuitT, opts core.RunOptions) (core.ExecRes
 	}
 	// Total ranks must be a power of two and cannot exceed 2^n amplitudes.
 	total := clampPow2(nodes * ppn)
-	for total > 1<<uint(c.NQubits) {
+	for total > 1<<uint(nqubits) {
 		total /= 2
 	}
 	useNodes := nodes
@@ -106,18 +167,30 @@ func (b *nwqsim) runDistributed(c *circuitT, opts core.RunOptions) (core.ExecRes
 	}
 	pg, err := b.env.DVM.Spawn(prte.Placement{Nodes: useNodes, ProcsPerNode: (total + useNodes - 1) / useNodes})
 	if err != nil {
-		return core.ExecResult{}, fmt.Errorf("nwqsim: %w", err)
+		return nil, nil, 0, fmt.Errorf("nwqsim: %w", err)
 	}
 	// The spawn may round up ranks beyond a power of two when total does not
 	// divide evenly; rebuild a world of exactly `total` ranks placed on the
 	// first `total` slots.
 	world := mpi.NewWorld(total, mpi.WithPlacement(pg.Places[:total], b.env.Machine.Net))
+	return pg, world, total, nil
+}
+
+// runDistributed executes one bound circuit on a fresh process group through
+// the fused distributed engine.
+func (b *nwqsim) runDistributed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+	pg, world, total, err := b.spawnWorld(c.NQubits, opts)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	obs := distObsFor(opts.Observable, c.NQubits)
+	workers := workersPerRank(total)
 	var counts map[string]int
 	var expVal *float64
 	runErr := func() error {
 		defer pg.Release()
 		return world.Run(func(comm *mpi.Comm) error {
-			got, ev, err := statevec.RunDistributedObs(comm, c, opts.Shots, seedOf(opts), diag)
+			got, ev, err := statevec.RunDistributedCircuit(comm, c, plan, opts.Shots, seedOf(opts), obs, workers)
 			if comm.Rank() == 0 {
 				counts = got
 				expVal = ev

@@ -63,7 +63,9 @@ func TestDiagonalObservableAllBackends(t *testing.T) {
 }
 
 // TestGeneralPauliObservableLocalOnly checks general Pauli sums: exact on
-// local simulator backends, rejected cleanly on cloud/stabilizer/MPI paths.
+// local simulator backends — including the distributed nwqsim/mpi path,
+// which basis-changes rank shards locally and Allreduces the energy —
+// and rejected cleanly on the cloud path.
 func TestGeneralPauliObservableLocalOnly(t *testing.T) {
 	s := launch(t)
 	c := circuit.New(2)
@@ -81,13 +83,14 @@ func TestGeneralPauliObservableLocalOnly(t *testing.T) {
 		{Backend: "aer", Subbackend: "statevector"},
 		{Backend: "aer", Subbackend: "matrix_product_state"},
 		{Backend: "nwqsim", Subbackend: "OpenMP"},
+		{Backend: "nwqsim", Subbackend: "MPI"},
 		{Backend: "qtensor", Subbackend: "numpy"},
 	} {
 		f, err := s.Frontend(props)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := f.Run(c, core.RunOptions{Shots: 64, Seed: 1, Observable: obs})
+		res, err := f.Run(c, core.RunOptions{Shots: 64, Seed: 1, Nodes: 1, ProcsPerNode: 2, Observable: obs})
 		if err != nil {
 			t.Fatalf("%s/%s: %v", props.Backend, props.Subbackend, err)
 		}
@@ -97,7 +100,6 @@ func TestGeneralPauliObservableLocalOnly(t *testing.T) {
 	}
 	for _, props := range []core.Properties{
 		{Backend: "ionq", Subbackend: "simulator"},
-		{Backend: "nwqsim", Subbackend: "MPI"},
 	} {
 		f, err := s.Frontend(props)
 		if err != nil {

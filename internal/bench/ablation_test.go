@@ -52,6 +52,53 @@ func TestAblationCatalogListed(t *testing.T) {
 	if !strings.Contains(t2.Text, "gate-fusion") {
 		t.Fatalf("gate-fusion ablation missing from catalog:\n%s", t2.Text)
 	}
+	if !strings.Contains(t2.Text, "distributed-fusion") {
+		t.Fatalf("distributed-fusion ablation missing from catalog:\n%s", t2.Text)
+	}
+}
+
+func TestDistAblationFewerBytes(t *testing.T) {
+	// The acceptance check of the fused distributed engine: on both QAOA
+	// p=2 and TFIM, the staged engine must exchange fewer modelled bytes
+	// than the per-gate baseline at every P > 1. Byte counts come from the
+	// deterministic mpi payload model, so this holds on any machine.
+	h := quickHarness(t)
+	h.Repeats = 1
+	h.Shots = 64
+	exp, err := h.RunDistAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Series) != 6 {
+		t.Fatalf("series %d, want 6 (fused/per-gate/single for two workloads)", len(exp.Series))
+	}
+	for _, kind := range []string{"qaoa", "tfim"} {
+		fused := SeriesByLabel(exp, kind+" fused-dist")
+		perGate := SeriesByLabel(exp, kind+" per-gate-dist")
+		if fused == nil || perGate == nil {
+			t.Fatalf("missing series for %s", kind)
+		}
+		for i, fp := range fused.Points {
+			gp := perGate.Points[i]
+			if fp.X != gp.X {
+				t.Fatalf("%s point mismatch: P=%d vs P=%d", kind, fp.X, gp.X)
+			}
+			if fp.X == 1 {
+				if fp.Bytes != 0 {
+					t.Fatalf("%s P=1 fused exchanged %d bytes, want 0", kind, fp.Bytes)
+				}
+				continue
+			}
+			if fp.Bytes >= gp.Bytes {
+				t.Fatalf("%s P=%d: fused %d bytes not below per-gate %d", kind, fp.X, fp.Bytes, gp.Bytes)
+			}
+		}
+	}
+	for _, kind := range []string{"qaoa", "tfim"} {
+		if !strings.Contains(exp.Notes, kind+": fused stages exchange") {
+			t.Fatalf("notes missing %s byte summary: %s", kind, exp.Notes)
+		}
+	}
 }
 
 func TestFusionAblationSpeedup(t *testing.T) {

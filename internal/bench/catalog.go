@@ -98,6 +98,7 @@ type AblationSpec struct {
 	Name     string
 	Ks       []int // batch sizes swept (batch ablation)
 	Sizes    []int // qubit counts swept (kernel ablations)
+	Ps       []int // rank counts swept (distributed ablations)
 	Describe string
 }
 
@@ -118,6 +119,11 @@ var AblationCatalog = []AblationSpec{
 		Name:     "gate-fusion",
 		Sizes:    []int{12, 14, 16},
 		Describe: "QAOA/TFIM/GHZ statevector execution: per-gate kernels vs fused program (same circuits, same seeds)",
+	},
+	{
+		Name:     "distributed-fusion",
+		Ps:       []int{1, 2, 4, 8},
+		Describe: "QAOA p=2 / TFIM over P ranks: fused stage engine (remap exchanges) vs per-gate shard exchanges vs single-rank fused, bytes counted by the mpi payload model",
 	},
 }
 

@@ -10,6 +10,7 @@ import (
 	"qfw/internal/circuit"
 	"qfw/internal/core"
 	"qfw/internal/dqaoa"
+	"qfw/internal/mpi"
 	"qfw/internal/optimize"
 	"qfw/internal/qaoa"
 	"qfw/internal/qubo"
@@ -20,11 +21,12 @@ import (
 
 // Point is one measurement of a series.
 type Point struct {
-	X          int     `json:"x"` // qubits or QUBO size
+	X          int     `json:"x"` // qubits, QUBO size, or rank count
 	Placement  string  `json:"placement"`
 	RuntimeMS  float64 `json:"runtime_ms"`
 	StdMS      float64 `json:"std_ms"`
 	Fidelity   float64 `json:"fidelity,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"` // modelled cross-rank wire bytes
 	Infeasible bool    `json:"infeasible,omitempty"`
 	Err        string  `json:"err,omitempty"`
 }
@@ -407,6 +409,30 @@ func (h *Harness) RunBatchAblation() (*Experiment, error) {
 	return exp, nil
 }
 
+// ablationWorkload builds the bound, measurement-stripped circuit of one
+// kernel-ablation workload. The gate-fusion and distributed-fusion studies
+// share these recipes so their numbers stay comparable.
+func (h *Harness) ablationWorkload(kind string, n int) (*circuit.Circuit, error) {
+	switch kind {
+	case "qaoa":
+		rng := rand.New(rand.NewSource(h.Seed + int64(n)))
+		q := qubo.Random(n, 0.5, 1.0, rng)
+		ham, _ := q.CostHamiltonian()
+		ansatz := qaoa.BuildAnsatz(ham, 2)
+		prng := rand.New(rand.NewSource(h.Seed + 7))
+		params := make([]float64, 4)
+		for j := range params {
+			params[j] = 0.1 + 0.8*prng.Float64()
+		}
+		return ansatz.Bind(qaoa.BindParams(params)).StripMeasurements(), nil
+	case "tfim":
+		return workloads.TFIM(n, 4, 0.5, 1.0).StripMeasurements(), nil
+	case "ghz":
+		return workloads.GHZ(n).StripMeasurements(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown ablation workload %q", kind)
+}
+
 // RunFusionAblation measures the gate-fusion ablation of the catalog: the
 // same bound QAOA/TFIM/GHZ circuits executed through the unfused per-gate
 // statevector kernels (statevec.RunCircuit — the seed engine's path) and
@@ -431,32 +457,12 @@ func (h *Harness) RunFusionAblation() (*Experiment, error) {
 	if shots <= 0 {
 		shots = 256
 	}
-	build := func(kind string, n int) (*circuit.Circuit, error) {
-		switch kind {
-		case "qaoa":
-			rng := rand.New(rand.NewSource(h.Seed + int64(n)))
-			q := qubo.Random(n, 0.5, 1.0, rng)
-			ham, _ := q.CostHamiltonian()
-			ansatz := qaoa.BuildAnsatz(ham, 2)
-			prng := rand.New(rand.NewSource(h.Seed + 7))
-			params := make([]float64, 4)
-			for j := range params {
-				params[j] = 0.1 + 0.8*prng.Float64()
-			}
-			return ansatz.Bind(qaoa.BindParams(params)).StripMeasurements(), nil
-		case "tfim":
-			return workloads.TFIM(n, 4, 0.5, 1.0).StripMeasurements(), nil
-		case "ghz":
-			return workloads.GHZ(n).StripMeasurements(), nil
-		}
-		return nil, fmt.Errorf("bench: unknown fusion workload %q", kind)
-	}
 	var fusedTotal, unfusedTotal float64
 	for _, kind := range []string{"qaoa", "tfim", "ghz"} {
 		unfused := Series{Label: kind + " unfused"}
 		fused := Series{Label: kind + " fused"}
 		for _, n := range spec.Sizes {
-			c, err := build(kind, n)
+			c, err := h.ablationWorkload(kind, n)
 			if err != nil {
 				return nil, err
 			}
@@ -490,6 +496,101 @@ func (h *Harness) RunFusionAblation() (*Experiment, error) {
 	}
 	if fusedTotal > 0 {
 		exp.Notes += fmt.Sprintf(" Aggregate speedup: %.2fx.", unfusedTotal/fusedTotal)
+	}
+	return exp, nil
+}
+
+// RunDistAblation measures the distributed-fusion ablation of the catalog:
+// the same bound QAOA p=2 and TFIM circuits executed over P ranks through
+// the fused stage engine (statevec.RunDistributed: staged fused kernels,
+// bit-permutation remap exchanges, rank-local diagonal layers) and through
+// the per-gate baseline (statevec.RunDistributedPerGate: one whole-shard
+// Sendrecv per global-qubit gate), with a single-rank fused series as the
+// no-communication reference. Both distributed paths run identical circuits
+// and seeds; the Bytes column is the modelled cross-rank wire volume from
+// the mpi payload model, which is deterministic per configuration.
+func (h *Harness) RunDistAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "distributed-fusion" {
+			spec = ab
+		}
+	}
+	exp := &Experiment{
+		ID:    "ablation-dist",
+		Title: "Fused-stage vs per-gate distributed execution (" + spec.Describe + ")",
+		Notes: "X axis is the rank count P; every series runs the identical circuit and seed.",
+	}
+	shots := h.Shots
+	if shots <= 0 {
+		shots = 256
+	}
+	const n = 10
+	type distRunner func(comm *mpi.Comm, c *circuit.Circuit) error
+	fusedRun := func(comm *mpi.Comm, c *circuit.Circuit) error {
+		_, err := statevec.RunDistributed(comm, c, shots, h.Seed)
+		return err
+	}
+	perGateRun := func(comm *mpi.Comm, c *circuit.Circuit) error {
+		_, err := statevec.RunDistributedPerGate(comm, c, shots, h.Seed)
+		return err
+	}
+	measure := func(c *circuit.Circuit, p int, run distRunner) (Point, error) {
+		var bytes int64
+		mean, std, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+			w := mpi.NewWorld(p)
+			if err := w.Run(func(comm *mpi.Comm) error { return run(comm, c) }); err != nil {
+				return nil, err
+			}
+			bytes = w.BytesSent()
+			return nil, nil
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		return Point{X: p, Placement: fmt.Sprintf("P=%d", p), RuntimeMS: mean, StdMS: std, Bytes: bytes}, nil
+	}
+	for _, kind := range []string{"qaoa", "tfim"} {
+		c, err := h.ablationWorkload(kind, n)
+		if err != nil {
+			return nil, err
+		}
+		fused := Series{Label: kind + " fused-dist"}
+		perGate := Series{Label: kind + " per-gate-dist"}
+		single := Series{Label: kind + " single-rank fused"}
+		// The no-communication reference is independent of P: time it once
+		// and repeat the point across the axis.
+		sm, ss, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+			rng := rand.New(rand.NewSource(h.Seed))
+			s, _ := statevec.RunFused(c, nil, 1, rng)
+			s.SampleCounts(shots, rng)
+			s.Release()
+			return nil, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fusedBytes, gateBytes int64
+		for _, p := range spec.Ps {
+			fp, err := measure(c, p, fusedRun)
+			if err != nil {
+				return nil, err
+			}
+			gp, err := measure(c, p, perGateRun)
+			if err != nil {
+				return nil, err
+			}
+			fusedBytes += fp.Bytes
+			gateBytes += gp.Bytes
+			fused.Points = append(fused.Points, fp)
+			perGate.Points = append(perGate.Points, gp)
+			single.Points = append(single.Points, Point{X: p, Placement: "P=1", RuntimeMS: sm, StdMS: ss})
+		}
+		if fusedBytes > 0 {
+			exp.Notes += fmt.Sprintf(" %s: fused stages exchange %.1fx fewer bytes than per-gate.",
+				kind, float64(gateBytes)/float64(fusedBytes))
+		}
+		exp.Series = append(exp.Series, fused, perGate, single)
 	}
 	return exp, nil
 }
@@ -528,7 +629,10 @@ func (h *Harness) RunBenchmarkCatalog() *Experiment {
 	text += "\nAblations (design-choice studies):\n"
 	for _, ab := range AblationCatalog {
 		sweep := fmt.Sprintf("K=%v", ab.Ks)
-		if len(ab.Ks) == 0 {
+		switch {
+		case len(ab.Ks) == 0 && len(ab.Ps) > 0:
+			sweep = fmt.Sprintf("P=%v", ab.Ps)
+		case len(ab.Ks) == 0:
 			sweep = fmt.Sprintf("n=%v", ab.Sizes)
 		}
 		text += fmt.Sprintf("  %-20s %-16s %s\n", ab.Name, sweep, ab.Describe)

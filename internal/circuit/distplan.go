@@ -1,0 +1,169 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Distributed stage partitioning (the communication-avoiding half of the
+// NWQ-Sim/SV-Sim distribution scheme): a fused program is cut into *stages*
+// whose non-diagonal operations act only on the low nLocal qubit positions
+// of the current layout, so every stage runs entirely rank-locally on the
+// 2^nLocal amplitude shard. Between stages the layout changes at an explicit
+// *remap point*: one logical bit-permutation of the global index, realized
+// by the distributed engine as a single all-to-all shard shuffle. A run of
+// gates on "global" qubits therefore costs one exchange instead of one
+// whole-shard Sendrecv per gate, and combined diagonal layers never force a
+// remap at all — a diagonal factor evaluates rank-locally under any layout,
+// with the global qubit values read straight off the rank id.
+
+// DistStage is one communication-free span of a distributed schedule.
+type DistStage struct {
+	// Layout[q] is the physical bit position of program qubit q during the
+	// stage: positions < NLocal live in the local shard index, positions
+	// >= NLocal are encoded in the rank id.
+	Layout []int
+	// Ops are indices into the source FusedProgram's op list, in program
+	// order. Every non-diagonal op's qubits sit at local positions.
+	Ops []int
+}
+
+// DistSchedule is a staged execution plan of a fused program over 2^g ranks
+// holding 2^NLocal amplitudes each.
+type DistSchedule struct {
+	NQubits int
+	NLocal  int
+	Stages  []DistStage
+}
+
+// Remaps returns the number of exchange points the schedule needs — the
+// communication count the ablation harness reports against the per-gate
+// baseline.
+func (s *DistSchedule) Remaps() int {
+	if len(s.Stages) == 0 {
+		return 0
+	}
+	return len(s.Stages) - 1
+}
+
+// distSupport returns the qubits a fused op needs resident in the local
+// shard, and whether that locality constraint applies at all. Diagonal ops
+// (combined diagonal layers, diagonal 1q blocks) evaluate rank-locally under
+// any layout; barriers/identities/measure/reset passthroughs execute nowhere
+// on the distributed sampling path.
+func distSupport(op *FusedOp) ([]int, bool) {
+	switch op.Kind {
+	case FusedDiagonal, FusedDiag1Q:
+		return nil, false
+	case FusedGate:
+		switch op.Gate.Kind {
+		case KindBarrier, KindI, KindMeasure, KindReset:
+			return nil, false
+		}
+		return op.Gate.Qubits, true
+	}
+	return op.Qubits, true
+}
+
+// PlanDistStages partitions a fused program into local stages for a world of
+// 2^(NQubits-nLocal) ranks. The partitioner is greedy with look-ahead: when
+// an op needs a qubit currently at a global position, it collects the wish
+// set of qubits the upcoming constrained ops touch (up to the nLocal the
+// shard can host) and brings them local in one remap, so consecutive
+// global-qubit gates share a single exchange. It fails with a descriptive
+// error when a single op needs more local qubits than a shard holds —
+// callers retry after transpiling to narrower gates, or reduce the rank
+// count.
+func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
+	n := prog.NQubits
+	if nLocal > n {
+		nLocal = n
+	}
+	if nLocal < 0 {
+		return nil, fmt.Errorf("circuit: negative local qubit count %d", nLocal)
+	}
+	sched := &DistSchedule{NQubits: n, NLocal: nLocal}
+	layout := make([]int, n) // layout[q] = physical position of qubit q
+	occ := make([]int, n)    // occ[pos] = qubit at physical position pos
+	for q := 0; q < n; q++ {
+		layout[q] = q
+		occ[q] = q
+	}
+	clone := func(v []int) []int { return append([]int(nil), v...) }
+	allLocal := func(qs []int) bool {
+		for _, q := range qs {
+			if layout[q] >= nLocal {
+				return false
+			}
+		}
+		return true
+	}
+	cur := DistStage{Layout: clone(layout)}
+	for oi := range prog.Ops {
+		qs, constrained := distSupport(&prog.Ops[oi])
+		if !constrained {
+			cur.Ops = append(cur.Ops, oi)
+			continue
+		}
+		if len(qs) > nLocal {
+			return nil, fmt.Errorf(
+				"circuit: distributed stage partitioner: op on qubits %v needs %d resident qubits but each of the 2^%d ranks holds only %d local qubits; use fewer ranks or decompose the gate",
+				qs, len(qs), n-nLocal, nLocal)
+		}
+		if allLocal(qs) {
+			cur.Ops = append(cur.Ops, oi)
+			continue
+		}
+		// Remap point: gather the wish set of the upcoming constrained ops.
+		wish := map[int]bool{}
+		for _, q := range qs {
+			wish[q] = true
+		}
+		for oj := oi + 1; oj < len(prog.Ops); oj++ {
+			qs2, c2 := distSupport(&prog.Ops[oj])
+			if !c2 {
+				continue
+			}
+			fresh := 0
+			for _, q := range qs2 {
+				if !wish[q] {
+					fresh++
+				}
+			}
+			if len(wish)+fresh > nLocal {
+				break
+			}
+			for _, q := range qs2 {
+				wish[q] = true
+			}
+		}
+		// Build the next layout: wished qubits already local stay put; each
+		// wished qubit at a global position swaps with the lowest local
+		// position whose occupant is not wished. Deterministic (sorted
+		// qubit/position order) so every rank computes the same layout.
+		var incoming []int
+		for q := range wish {
+			if layout[q] >= nLocal {
+				incoming = append(incoming, q)
+			}
+		}
+		sort.Ints(incoming)
+		var victims []int
+		for p := 0; p < nLocal; p++ {
+			if !wish[occ[p]] {
+				victims = append(victims, p)
+			}
+		}
+		for i, q := range incoming {
+			pLocal := victims[i]
+			v := occ[pLocal]
+			pGlobal := layout[q]
+			layout[q], layout[v] = pLocal, pGlobal
+			occ[pLocal], occ[pGlobal] = q, v
+		}
+		sched.Stages = append(sched.Stages, cur)
+		cur = DistStage{Layout: clone(layout), Ops: []int{oi}}
+	}
+	sched.Stages = append(sched.Stages, cur)
+	return sched, nil
+}

@@ -1,0 +1,99 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// schedOf fuses a bound circuit and partitions it for nLocal-qubit shards.
+func schedOf(t *testing.T, c *Circuit, nLocal int) (*FusedProgram, *DistSchedule) {
+	t.Helper()
+	prog := FuseBound(c)
+	sched, err := PlanDistStages(prog, nLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, sched
+}
+
+func TestPlanDistStagesDiagonalNeverRemaps(t *testing.T) {
+	// A pure diagonal layer (QAOA cost sweep) must schedule in one stage
+	// regardless of how few qubits are shard-resident: diagonal factors on
+	// rank-encoded qubits are per-rank scalars, not communication.
+	c := New(8)
+	for q := 0; q+1 < 8; q++ {
+		c.RZZ(q, q+1, Bound(0.3))
+	}
+	for q := 0; q < 8; q++ {
+		c.RZ(q, Bound(0.7))
+	}
+	_, sched := schedOf(t, c, 1)
+	if sched.Remaps() != 0 {
+		t.Fatalf("diagonal circuit scheduled %d remaps, want 0", sched.Remaps())
+	}
+}
+
+func TestPlanDistStagesCollapsesGlobalRuns(t *testing.T) {
+	// An H+RX sweep over every qubit with 4 of 8 qubits shard-resident: the
+	// per-gate engine would exchange once per global-qubit gate (8
+	// exchanges); the look-ahead partitioner must collapse the global run
+	// into far fewer remap points, and every scheduled op must be resident
+	// in its stage.
+	c := New(8)
+	for q := 0; q < 8; q++ {
+		c.H(q).RX(q, Bound(0.8))
+	}
+	prog, sched := schedOf(t, c, 4)
+	if got := sched.Remaps(); got == 0 || got >= 8 {
+		t.Fatalf("remaps = %d, want in [1, 8)", got)
+	}
+	total := 0
+	for _, st := range sched.Stages {
+		total += len(st.Ops)
+		for _, oi := range st.Ops {
+			qs, constrained := distSupport(&prog.Ops[oi])
+			if !constrained {
+				continue
+			}
+			for _, q := range qs {
+				if st.Layout[q] >= sched.NLocal {
+					t.Fatalf("op %d qubit %d at global position %d in its own stage", oi, q, st.Layout[q])
+				}
+			}
+		}
+	}
+	if total != len(prog.Ops) {
+		t.Fatalf("schedule covers %d ops, program has %d", total, len(prog.Ops))
+	}
+}
+
+func TestPlanDistStagesLayoutIsPermutation(t *testing.T) {
+	c := New(6)
+	for q := 0; q < 6; q++ {
+		c.H(q).RX(q, Bound(0.2))
+	}
+	c.CX(0, 5).CX(5, 1).RZZ(2, 4, Bound(1.1))
+	_, sched := schedOf(t, c, 3)
+	for si, st := range sched.Stages {
+		seen := make([]bool, sched.NQubits)
+		for q, p := range st.Layout {
+			if p < 0 || p >= sched.NQubits || seen[p] {
+				t.Fatalf("stage %d: layout %v is not a permutation (qubit %d -> %d)", si, st.Layout, q, p)
+			}
+			seen[p] = true
+		}
+	}
+	if ident := sched.Stages[0].Layout; ident[0] != 0 || ident[sched.NQubits-1] != sched.NQubits-1 {
+		t.Fatalf("first stage layout must be identity, got %v", ident)
+	}
+}
+
+func TestPlanDistStagesTooWide(t *testing.T) {
+	c := New(4)
+	c.CCX(0, 1, 2)
+	prog := FuseBound(c)
+	_, err := PlanDistStages(prog, 2)
+	if err == nil || !strings.Contains(err.Error(), "resident qubits") {
+		t.Fatalf("got %v, want resident-qubits error", err)
+	}
+}

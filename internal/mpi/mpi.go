@@ -14,6 +14,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qfw/internal/cluster"
@@ -33,6 +34,25 @@ type World struct {
 	places []cluster.CorePlace
 	net    *cluster.Interconnect
 	sleep  func(time.Duration)
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+// BytesSent returns the cumulative wire bytes of every cross-rank message
+// sent through the world, sized by the same payload model the interconnect
+// cost uses. Rank-local data (e.g. an Alltoall's own chunk) is not counted —
+// it never crosses a link. The distributed-simulator ablation reads this to
+// compare communication volume between execution strategies.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the cumulative cross-rank message count.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// ResetCounters zeroes the byte/message counters (between ablation runs).
+func (w *World) ResetCounters() {
+	w.bytesSent.Store(0)
+	w.msgsSent.Store(0)
 }
 
 // Option configures a World.
@@ -157,6 +177,8 @@ func payloadBytes(data any) int {
 // Send delivers data to dst with a tag. Buffer ownership transfers to the
 // receiver: the sender must not mutate slices after sending.
 func (c *Comm) Send(dst, tag int, data any) {
+	c.w.bytesSent.Add(int64(payloadBytes(data)))
+	c.w.msgsSent.Add(1)
 	c.chargeTransfer(dst, data)
 	c.w.chans[c.rank][dst] <- envelope{tag: tag, data: data}
 }

@@ -200,6 +200,110 @@ func TestCostModelChargesInterNode(t *testing.T) {
 	}
 }
 
+func TestAlltoallCostAcrossTiers(t *testing.T) {
+	// 4 ranks: (0,1) share node 0 but sit in different LLC domains; (2,3)
+	// likewise on node 1. An Alltoall sends 12 cross-rank messages: 8 cross
+	// the node boundary, 4 stay intra-node/cross-LLC. The recorded sleep
+	// must equal the tier-weighted sum exactly (bandwidth term disabled).
+	places := []cluster.CorePlace{
+		{Node: 0, LLC: 0, Core: 0},
+		{Node: 0, LLC: 1, Core: 0},
+		{Node: 1, LLC: 0, Core: 0},
+		{Node: 1, LLC: 1, Core: 0},
+	}
+	net := cluster.Interconnect{
+		IntraLLCLatency:  1 * time.Millisecond,
+		IntraNodeLatency: 3 * time.Millisecond,
+		InterNodeLatency: 10 * time.Millisecond,
+	}
+	var charged atomic.Int64
+	w := NewWorld(4,
+		WithPlacement(places, net),
+		WithSleeper(func(d time.Duration) { charged.Add(int64(d)) }))
+	err := w.Run(func(c *Comm) error {
+		vals := make([]any, 4)
+		for d := 0; d < 4; d++ {
+			vals[d] = c.Rank()*10 + d
+		}
+		got := c.Alltoall(vals)
+		for s := 0; s < 4; s++ {
+			if got[s].(int) != s*10+c.Rank() {
+				t.Errorf("rank %d alltoall[%d] = %v", c.Rank(), s, got[s])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8*10*time.Millisecond + 4*3*time.Millisecond
+	if got := time.Duration(charged.Load()); got != want {
+		t.Fatalf("alltoall charged %v, want %v", got, want)
+	}
+}
+
+func TestSendrecvCostAndByteAccounting(t *testing.T) {
+	places := []cluster.CorePlace{
+		{Node: 0, LLC: 0, Core: 0},
+		{Node: 0, LLC: 0, Core: 1},
+	}
+	net := cluster.Interconnect{
+		IntraLLCLatency:      2 * time.Millisecond,
+		BandwidthBytesPerSec: 1e6, // 1 MB/s so the volume term is visible
+	}
+	var charged atomic.Int64
+	w := NewWorld(2,
+		WithPlacement(places, net),
+		WithSleeper(func(d time.Duration) { charged.Add(int64(d)) }))
+	const amps = 1000 // 16 KB of complex128 per direction
+	err := w.Run(func(c *Comm) error {
+		mine := make([]complex128, amps)
+		theirs := c.Sendrecv(1-c.Rank(), 5, mine).([]complex128)
+		if len(theirs) != amps {
+			t.Errorf("rank %d received %d amps", c.Rank(), len(theirs))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two directed transfers: latency plus 16000 bytes over 1 MB/s each.
+	perMsg := 2*time.Millisecond + time.Duration(16000.0/1e6*float64(time.Second))
+	if got := time.Duration(charged.Load()); got != 2*perMsg {
+		t.Fatalf("sendrecv charged %v, want %v", got, 2*perMsg)
+	}
+	if got := w.BytesSent(); got != 2*16*amps {
+		t.Fatalf("BytesSent = %d, want %d", got, 2*16*amps)
+	}
+	if got := w.MessagesSent(); got != 2 {
+		t.Fatalf("MessagesSent = %d, want 2", got)
+	}
+	w.ResetCounters()
+	if w.BytesSent() != 0 || w.MessagesSent() != 0 {
+		t.Fatal("ResetCounters left counters non-zero")
+	}
+}
+
+func TestAlltoallCountsOnlyCrossRankBytes(t *testing.T) {
+	// The rank's own chunk never crosses a link: 3 ranks exchanging 8-byte
+	// ints must count 6 messages, not 9.
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		vals := []any{1, 2, 3}
+		c.Alltoall(vals)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.MessagesSent(); got != 6 {
+		t.Fatalf("MessagesSent = %d, want 6", got)
+	}
+	if got := w.BytesSent(); got != 6*16 {
+		t.Fatalf("BytesSent = %d, want %d", got, 6*16)
+	}
+}
+
 func TestRunPropagatesPanic(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) error {

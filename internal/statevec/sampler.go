@@ -10,7 +10,6 @@ import "math/rand"
 // replacing the per-shot O(n) binary search. All working buffers come from
 // the arena, so batched executions sample without reallocating.
 func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
-	n := len(s.Amp)
 	prob := getF64Buf(s.N)
 	var total float64
 	for i, a := range s.Amp {
@@ -23,9 +22,28 @@ func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
 		putF64Buf(s.N, prob)
 		return map[string]int{FormatBits(0, s.N): shots}
 	}
-	alias := getIntBuf(s.N)
-	small := getIntBuf(s.N)
-	large := getIntBuf(s.N)
+	idxCounts := aliasDraw(prob, s.N, shots, total, rng)
+	putF64Buf(s.N, prob)
+	counts := make(map[string]int, len(idxCounts))
+	for i, c := range idxCounts {
+		counts[FormatBits(i, s.N)] = c
+	}
+	return counts
+}
+
+// aliasDraw builds a Vose alias table over prob (a 2^nbits arena-sized
+// buffer of unnormalized probabilities summing to total, rescaled in place)
+// and draws shots basis indices — the sampling core shared by the
+// single-node and distributed engines. Returns an index histogram; nil when
+// there is nothing to draw.
+func aliasDraw(prob []float64, nbits, shots int, total float64, rng *rand.Rand) map[int]int {
+	if shots <= 0 || total <= 0 {
+		return nil
+	}
+	n := len(prob)
+	alias := getIntBuf(nbits)
+	small := getIntBuf(nbits)
+	large := getIntBuf(nbits)
 	scale := float64(n) / total
 	ns, nl := 0, 0
 	for i := 0; i < n; i++ {
@@ -75,13 +93,8 @@ func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
 		}
 		idxCounts[i]++
 	}
-	putF64Buf(s.N, prob)
-	putIntBuf(s.N, alias)
-	putIntBuf(s.N, small)
-	putIntBuf(s.N, large)
-	counts := make(map[string]int, len(idxCounts))
-	for i, c := range idxCounts {
-		counts[FormatBits(i, s.N)] = c
-	}
-	return counts
+	putIntBuf(nbits, alias)
+	putIntBuf(nbits, small)
+	putIntBuf(nbits, large)
+	return idxCounts
 }
