@@ -28,12 +28,14 @@ func (b *aer) Name() string { return "aer" }
 
 func (b *aer) Capabilities() core.Capabilities {
 	return core.Capabilities{
-		Backend:     "aer",
-		Subbackends: []string{"statevector", "matrix_product_state", "stabilizer", "automatic"},
-		CPU:         true,
-		GPU:         true,
-		NativeMPI:   true,
-		Notes:       "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build.",
+		Backend:      "aer",
+		Subbackends:  []string{"statevector", "matrix_product_state", "stabilizer", "automatic"},
+		CPU:          true,
+		GPU:          true,
+		NativeMPI:    true,
+		Gradients:    true,
+		GradientSubs: []string{"statevector", "automatic"},
+		Notes:        "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build. Adjoint gradients on the statevector engine.",
 	}
 }
 
@@ -50,6 +52,25 @@ func (b *aer) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecRes
 // and run it on the selected sub-backend.
 func (b *aer) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+}
+
+// ExecuteGradient implements core.GradientExecutor on the dense statevector
+// engine (the only aer sub-backend with direct amplitude access; MPS and
+// stabilizer requests are rejected rather than silently rerouted).
+func (b *aer) ExecuteGradient(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.GradResult, error) {
+	switch sub := normalizeSub(opts.Subbackend, "automatic"); sub {
+	case "automatic", "statevector":
+	default:
+		return nil, fmt.Errorf("aer: adjoint gradients need the statevector sub-backend, got %q", sub)
+	}
+	c, err := b.cache.Get(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	if err := checkGradientBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
+		return nil, err
+	}
+	return runGradient(b.cache, spec, bindings, opts, b.chunkWorkers(opts))
 }
 
 func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {

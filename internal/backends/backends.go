@@ -20,7 +20,6 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
-	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
@@ -73,31 +72,19 @@ func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bin
 	}
 	out := make([]core.ExecResult, len(bindings))
 	errs := make([]error, len(bindings))
-	pool := runtime.GOMAXPROCS(0)
-	if pool > len(bindings) {
-		pool = len(bindings)
-	}
-	sem := make(chan struct{}, pool)
-	var wg sync.WaitGroup
-	for i, b := range bindings {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, b core.Bindings) {
-			defer func() { <-sem; wg.Done() }()
-			c := base.Bind(b)
-			if !c.IsBound() {
-				errs[i] = fmt.Errorf("backend: binding leaves params %v unbound (batch element %d)", c.ParamNames(), i)
-				return
-			}
-			res, err := run(c, plan, opts.ForElement(i))
-			if err != nil {
-				errs[i] = fmt.Errorf("batch element %d: %w", i, err)
-				return
-			}
-			out[i] = res
-		}(i, b)
-	}
-	wg.Wait()
+	core.FanOut(len(bindings), runtime.GOMAXPROCS(0), func(i int) {
+		c := base.Bind(bindings[i])
+		if !c.IsBound() {
+			errs[i] = fmt.Errorf("backend: binding leaves params %v unbound (batch element %d)", c.ParamNames(), i)
+			return
+		}
+		res, err := run(c, plan, opts.ForElement(i))
+		if err != nil {
+			errs[i] = fmt.Errorf("batch element %d: %w", i, err)
+			return
+		}
+		out[i] = res
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,64 @@
+package backends
+
+import (
+	"fmt"
+
+	"qfw/internal/core"
+	"qfw/internal/statevec"
+)
+
+// Shared adjoint-gradient executor of the local state-vector backends:
+// the spec is parsed — and its gradient-aware fusion plan built — once per
+// ansatz through the backend's cache, then every binding runs one adjoint
+// sweep (forward + reverse, three arena-backed states) on the chunked
+// kernels. Bindings fan out across a core-bounded worker pool; the chunked
+// kernel parallelism divides the cores among the in-flight sweeps so a
+// gradient batch never oversubscribes the node.
+func runGradient(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions, workers int) ([]core.GradResult, error) {
+	if opts.Observable == nil {
+		return nil, fmt.Errorf("backend: gradient execution requires an observable")
+	}
+	base, gplan, err := cache.GetGrad(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	obs := gradObsFor(opts.Observable, base.NQubits)
+	maps := make([]map[string]float64, len(bindings))
+	for i, b := range bindings {
+		maps[i] = b
+	}
+	evals, err := statevec.GradientAdjointBatch(gplan, maps, obs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.GradResult, len(evals))
+	for i, e := range evals {
+		out[i] = core.GradResult{Value: e.Value, Grad: e.Grad}
+	}
+	return out, nil
+}
+
+// checkGradientBudget enforces the memory budget for one adjoint sweep:
+// unlike plain execution, three full-width states (|ψ⟩, |λ⟩, |μ⟩) are live
+// simultaneously, so the per-execution footprint is 3·16 bytes/amplitude.
+func checkGradientBudget(n int, budget int64) error {
+	if n >= 60 {
+		return core.Infeasible("adjoint gradient of %d qubits", n)
+	}
+	need := int64(48) << uint(n)
+	if need > budget {
+		return core.Infeasible("adjoint gradient of %d qubits needs %d MiB (three states), budget %d MiB",
+			n, need>>20, budget>>20)
+	}
+	return nil
+}
+
+// gradObsFor maps the wire-format observable onto the adjoint engine's
+// evaluation paths: diagonal operators use the basis-index fast path,
+// anything with X/Y terms becomes a Pauli Hamiltonian.
+func gradObsFor(o *core.Observable, n int) statevec.GradObs {
+	if o.IsDiagonal() {
+		return statevec.GradObs{Diag: o.EnergyOfIndex}
+	}
+	return statevec.GradObs{Ham: obsHamiltonian(o, n)}
+}

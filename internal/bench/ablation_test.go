@@ -55,6 +55,41 @@ func TestAblationCatalogListed(t *testing.T) {
 	if !strings.Contains(t2.Text, "distributed-fusion") {
 		t.Fatalf("distributed-fusion ablation missing from catalog:\n%s", t2.Text)
 	}
+	if !strings.Contains(t2.Text, "gradient-methods") {
+		t.Fatalf("gradient-methods ablation missing from catalog:\n%s", t2.Text)
+	}
+}
+
+func TestGradAblationAdjointWins(t *testing.T) {
+	// The acceptance check of the gradient engine: the adjoint-driven loops
+	// must reach the Nelder-Mead objective with fewer circuit-equivalent
+	// evaluations on both workloads. The harness is fully seeded, so this is
+	// deterministic.
+	h := quickHarness(t)
+	exp, err := h.RunGradAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) Point {
+		s := SeriesByLabel(exp, label)
+		if s == nil || len(s.Points) == 0 {
+			t.Fatalf("missing series %q", label)
+		}
+		return s.Points[0]
+	}
+	for _, workload := range []string{"qaoa", "vqls"} {
+		nm := get(workload + " neldermead")
+		adj := get(workload + " adjoint")
+		if adj.Evals >= nm.Evals {
+			t.Errorf("%s: adjoint spent %d evals, Nelder-Mead %d — no win", workload, adj.Evals, nm.Evals)
+		}
+		if adj.Objective > nm.Objective+1e-9 {
+			t.Errorf("%s: adjoint objective %.6f worse than Nelder-Mead %.6f", workload, adj.Objective, nm.Objective)
+		}
+	}
+	if s := SeriesByLabel(exp, "qaoa paramshift"); s == nil {
+		t.Error("missing qaoa paramshift series")
+	}
 }
 
 func TestDistAblationFewerBytes(t *testing.T) {

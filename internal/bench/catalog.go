@@ -125,6 +125,11 @@ var AblationCatalog = []AblationSpec{
 		Ps:       []int{1, 2, 4, 8},
 		Describe: "QAOA p=2 / TFIM over P ranks: fused stage engine (remap exchanges) vs per-gate shard exchanges vs single-rank fused, bytes counted by the mpi payload model",
 	},
+	{
+		Name:     "gradient-methods",
+		Sizes:    []int{10},
+		Describe: "QAOA p=2 / VQLS hybrid loops: adjoint-gradient Adam vs parameter-shift Adam vs Nelder-Mead, run to the Nelder-Mead objective as the shared convergence target, circuit-equivalent evaluations counted per method",
+	},
 }
 
 // PlacementFor reproduces the paper's (#N, #P) schedule: placements grow

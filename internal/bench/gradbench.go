@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"qfw/internal/qaoa"
+	"qfw/internal/qubo"
+	"qfw/internal/vqls"
+)
+
+// RunGradAblation measures the gradient-methods ablation of the catalog:
+// the same QAOA p=2 and VQLS hybrid loops driven by (a) Nelder-Mead over
+// exact expectations — the derivative-free baseline and budget anchor, (b)
+// Adam over adjoint gradients, and (c) Adam over parameter-shift gradient
+// batches (QAOA only; VQLS differentiates its two quadratic forms through
+// the adjoint path). The Nelder-Mead run fixes the convergence target: the
+// gradient methods stop as soon as they reach its final objective, so the
+// reported circuit-equivalent evaluation counts and wall-clock compare
+// equal-quality solutions. All methods share the runner, seed, and starting
+// point.
+func (h *Harness) RunGradAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "gradient-methods" {
+			spec = ab
+		}
+	}
+	exp := &Experiment{
+		ID:    "ablation-grad",
+		Title: "Gradient-driven vs derivative-free hybrid loops (" + spec.Describe + ")",
+		Notes: "Evals are circuit-equivalent evaluations (adjoint gradient = 3, parameter-shift = 1 + 2 per shifted occurrence, plain evaluation = 1); every method starts from the identical point and the gradient methods stop at the Nelder-Mead objective.",
+	}
+	runner := qaoa.LocalRunner{Workers: runtime.GOMAXPROCS(0)}
+	n := 10
+	if len(spec.Sizes) > 0 {
+		n = spec.Sizes[0]
+	}
+
+	// --- QAOA p=2 ---
+	rng := rand.New(rand.NewSource(h.Seed + 71))
+	q := qubo.Random(n, 0.5, 1.0, rng)
+	qaoaBudget := 240
+	type qaoaRun struct {
+		label     string
+		optimizer string
+		gradient  string
+		target    *float64
+		maxEvals  int
+	}
+	var nmObjective float64
+	qaoaSeries := func(r qaoaRun) (Point, error) {
+		start := time.Now()
+		res, err := qaoa.Solve(q, runner, qaoa.Options{
+			P: 2, Shots: h.Shots, MaxEvals: r.maxEvals, Seed: h.Seed + 71,
+			ExactExpectation: true,
+			Optimizer:        r.optimizer,
+			Gradient:         r.gradient,
+			Target:           r.target,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("qaoa %s: %w", r.label, err)
+		}
+		return Point{
+			X: n, Placement: r.label,
+			RuntimeMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Evals:     res.Evals,
+			Objective: res.Expectation,
+		}, nil
+	}
+	nmPoint, err := qaoaSeries(qaoaRun{label: "neldermead", optimizer: "neldermead", maxEvals: qaoaBudget})
+	if err != nil {
+		return nil, err
+	}
+	nmObjective = nmPoint.Objective
+	// The gradient runs chase the Nelder-Mead objective (minus the constant
+	// offset Solve adds back) with a generous eval ceiling: reaching the
+	// target early is the measurement.
+	offsetFree := nmObjective - qaoaOffset(q)
+	adjPoint, err := qaoaSeries(qaoaRun{label: "adjoint", optimizer: "adam", gradient: "adjoint", target: &offsetFree, maxEvals: 8 * qaoaBudget})
+	if err != nil {
+		return nil, err
+	}
+	psPoint, err := qaoaSeries(qaoaRun{label: "paramshift", optimizer: "adam", gradient: "paramshift", target: &offsetFree, maxEvals: 8 * qaoaBudget})
+	if err != nil {
+		return nil, err
+	}
+	exp.Series = append(exp.Series,
+		Series{Label: "qaoa neldermead", Points: []Point{nmPoint}},
+		Series{Label: "qaoa adjoint", Points: []Point{adjPoint}},
+		Series{Label: "qaoa paramshift", Points: []Point{psPoint}},
+	)
+	if adjPoint.Evals > 0 && adjPoint.RuntimeMS > 0 {
+		exp.Notes += fmt.Sprintf(" QAOA-%d to objective %.4f: adjoint spends %.1fx fewer circuit-equivalent evals (%d vs %d) and %.1fx less wall-clock than Nelder-Mead;",
+			n, nmObjective,
+			float64(nmPoint.Evals)/float64(adjPoint.Evals), adjPoint.Evals, nmPoint.Evals,
+			nmPoint.RuntimeMS/adjPoint.RuntimeMS)
+		exp.Notes += fmt.Sprintf(" parameter-shift spends %d evals and reaches %.4f — its per-gradient cost grows with the parametric gate count, the O(P) regime adjoint mode eliminates.",
+			psPoint.Evals, psPoint.Objective)
+	}
+
+	// --- VQLS ---
+	vn, layers := 5, 2
+	prob := vqls.IsingA(vn, 0.35, 0.22, 1.0)
+	vqlsBudget := 400
+	vqlsRun := func(label, optimizer string, target *float64, maxEvals int) (Point, error) {
+		start := time.Now()
+		res, err := vqls.Solve(prob, runner, vqls.Options{
+			Layers: layers, MaxEvals: maxEvals, Seed: h.Seed + 17, Shots: h.Shots,
+			Optimizer: optimizer, Target: target,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("vqls %s: %w", label, err)
+		}
+		return Point{
+			X: vn, Placement: label,
+			RuntimeMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Evals:     res.Evals,
+			Objective: res.Cost,
+		}, nil
+	}
+	vnm, err := vqlsRun("neldermead", "neldermead", nil, vqlsBudget)
+	if err != nil {
+		return nil, err
+	}
+	vadj, err := vqlsRun("adjoint", "adam", &vnm.Objective, 4*vqlsBudget)
+	if err != nil {
+		return nil, err
+	}
+	exp.Series = append(exp.Series,
+		Series{Label: "vqls neldermead", Points: []Point{vnm}},
+		Series{Label: "vqls adjoint", Points: []Point{vadj}},
+	)
+	if vadj.Evals > 0 && vadj.RuntimeMS > 0 {
+		exp.Notes += fmt.Sprintf(" VQLS-%d to cost %.4f: adjoint spends %.1fx fewer evals (%d vs %d) and %.1fx less wall-clock.",
+			vn, vnm.Objective,
+			float64(vnm.Evals)/float64(vadj.Evals), vadj.Evals, vnm.Evals,
+			vnm.RuntimeMS/vadj.RuntimeMS)
+	}
+	return exp, nil
+}
+
+// qaoaOffset returns the constant the QUBO→Ising conversion adds to the
+// reported expectation, so convergence targets compare like with like.
+func qaoaOffset(q *qubo.QUBO) float64 {
+	_, offset := q.CostHamiltonian()
+	return offset
+}

@@ -26,7 +26,9 @@ type Point struct {
 	RuntimeMS  float64 `json:"runtime_ms"`
 	StdMS      float64 `json:"std_ms"`
 	Fidelity   float64 `json:"fidelity,omitempty"`
-	Bytes      int64   `json:"bytes,omitempty"` // modelled cross-rank wire bytes
+	Bytes      int64   `json:"bytes,omitempty"`     // modelled cross-rank wire bytes
+	Evals      int     `json:"evals,omitempty"`     // circuit-equivalent evaluations spent
+	Objective  float64 `json:"objective,omitempty"` // final objective value reached
 	Infeasible bool    `json:"infeasible,omitempty"`
 	Err        string  `json:"err,omitempty"`
 }

@@ -109,6 +109,16 @@ func PlanFusion(c *Circuit) *FusionPlan { return PlanFusionK(c, 2) }
 // (clamped to [1, 6]; dense 2^k kernels beyond that lose to unfused
 // application).
 func PlanFusionK(c *Circuit, maxK int) *FusionPlan {
+	return planFusion(c, maxK, nil)
+}
+
+// planFusion is the shared planner behind PlanFusionK and PlanFusionGrad.
+// A non-nil boundary predicate marks gates that must survive as standalone
+// passthrough operations: they neither join dense blocks nor diagonal runs,
+// and they flush any open structure they touch — the mechanism the adjoint
+// differentiation engine uses to keep parametric gates addressable while
+// every non-parametric stretch between them still fuses.
+func planFusion(c *Circuit, maxK int, boundary func(g *Gate) bool) *FusionPlan {
 	if maxK < 1 {
 		maxK = 1
 	}
@@ -202,6 +212,14 @@ func PlanFusionK(c *Circuit, maxK int) *FusionPlan {
 			}
 			continue // no kernel to run
 		case KindMeasure, KindReset:
+			flushTouching(g.Qubits)
+			if runTouches(g.Qubits) {
+				flushRun()
+			}
+			p.segs = append(p.segs, fusionSeg{kind: segPass, gates: []int{gi}})
+			continue
+		}
+		if boundary != nil && boundary(&c.Gates[gi]) {
 			flushTouching(g.Qubits)
 			if runTouches(g.Qubits) {
 				flushRun()

@@ -1,0 +1,305 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"qfw/internal/linalg"
+)
+
+// parametricKinds lists every differentiable gate kind with a sample qubit
+// assignment on 2 qubits.
+var parametricKinds = []struct {
+	kind   Kind
+	qubits []int
+}{
+	{KindRX, []int{0}},
+	{KindRY, []int{0}},
+	{KindRZ, []int{1}},
+	{KindP, []int{0}},
+	{KindCRX, []int{0, 1}},
+	{KindCRY, []int{1, 0}},
+	{KindCRZ, []int{0, 1}},
+	{KindCP, []int{0, 1}},
+	{KindRZZ, []int{0, 1}},
+	{KindRXX, []int{1, 0}},
+}
+
+// gateMatrix expands a bound gate onto the full 2-qubit basis (qubit 1 most
+// significant).
+func gateMatrix(g Gate) *linalg.Matrix {
+	return expandGate(g, []int{1, 0})
+}
+
+// genMatrix expands a generator onto the 2-qubit basis.
+func genMatrix(gen Generator) *linalg.Matrix {
+	i := complex(0, 1)
+	m := linalg.Identity(4)
+	for _, op := range gen.Ops {
+		var f [2][2]complex128
+		switch op.Kind {
+		case GenX:
+			f = [2][2]complex128{{0, 1}, {1, 0}}
+		case GenY:
+			f = [2][2]complex128{{0, -i}, {i, 0}}
+		case GenZ:
+			f = [2][2]complex128{{1, 0}, {0, -1}}
+		case GenP1:
+			f = [2][2]complex128{{0, 0}, {0, 1}}
+		}
+		g := Gate{Kind: KindUnitary, Qubits: []int{op.Q}, Matrix: FromMat2(f)}
+		m = linalg.MatMul(expandGate(g, []int{1, 0}), m)
+	}
+	for idx := range m.Data {
+		m.Data[idx] *= gen.Scale
+	}
+	return m
+}
+
+// TestGateGeneratorsMatchNumericDerivative checks dU/dθ = G·U(θ) for every
+// parametric kind against a central numeric matrix derivative.
+func TestGateGeneratorsMatchNumericDerivative(t *testing.T) {
+	const eps = 1e-6
+	for _, tc := range parametricKinds {
+		theta := 0.83
+		mk := func(a float64) Gate {
+			return Gate{Kind: tc.kind, Qubits: tc.qubits, Params: []Param{Bound(a)}}
+		}
+		gen, ok := GateGenerator(&Gate{Kind: tc.kind, Qubits: tc.qubits})
+		if !ok {
+			t.Fatalf("%s: no generator", tc.kind.Name())
+		}
+		want := linalg.MatMul(genMatrix(gen), gateMatrix(mk(theta)))
+		up := gateMatrix(mk(theta + eps))
+		dn := gateMatrix(mk(theta - eps))
+		for idx := range want.Data {
+			num := (up.Data[idx] - dn.Data[idx]) / complex(2*eps, 0)
+			if cmplx.Abs(num-want.Data[idx]) > 1e-8 {
+				t.Errorf("%s entry %d: generator %.9g vs numeric %.9g", tc.kind.Name(), idx, want.Data[idx], num)
+			}
+		}
+	}
+}
+
+// TestShiftRulesCoverParametricKinds checks every kind with a generator also
+// has a shift rule and vice versa.
+func TestShiftRulesCoverParametricKinds(t *testing.T) {
+	for k := KindI; k <= KindReset; k++ {
+		_, hasGen := GateGenerator(&Gate{Kind: k, Qubits: []int{0, 1}})
+		_, hasRule := ShiftRule(k)
+		if hasGen != hasRule {
+			t.Errorf("%s: generator=%v shift rule=%v", k.Name(), hasGen, hasRule)
+		}
+		if hasGen != (k.NumParams() == 1) {
+			t.Errorf("%s: generator=%v but NumParams=%d", k.Name(), hasGen, k.NumParams())
+		}
+	}
+}
+
+// opMatrixOnBasis materializes a fused op as a dense matrix by applying it
+// to basis vectors through a scratch 3-qubit statevector emulation in the
+// circuit package's own terms (via expandGate on an equivalent gate) — here
+// we only exercise kinds representable as gates or dense matrices, so the
+// dagger test runs the op against its dagger and checks the product is
+// identity on the compiled program level instead.
+func TestDaggerFusedOpRoundTrip(t *testing.T) {
+	// Build a circuit whose fusion compiles to every fused-op kind:
+	// Hadamards, dense blocks, diagonal runs, permutations, RX pairs, a
+	// wide CCX passthrough, and a dense 3q unitary segment.
+	c := New(3)
+	c.H(0)
+	c.RX(0, Bound(0.3)).RX(1, Bound(0.9))                   // RX pair
+	c.T(0).RZ(1, Bound(0.4)).CZ(0, 1).RZZ(1, 2, Bound(0.7)) // diagonal run
+	c.CX(0, 1).X(0)                                         // perm-ish dense block
+	c.RY(2, Bound(1.1)).SX(2)
+	c.CCX(0, 1, 2) // passthrough
+	c.SWAP(0, 2)
+	prog := FuseBound(c)
+	// Apply op then dagger(op) to a random-ish state via the dense matrix
+	// expansion of each op; product must be identity.
+	for oi := range prog.Ops {
+		op := prog.Ops[oi]
+		inv := DaggerFusedOp(op)
+		u := fusedOpMatrix(t, op, 3)
+		v := fusedOpMatrix(t, inv, 3)
+		prod := linalg.MatMul(v, u)
+		for r := 0; r < prod.Rows; r++ {
+			for cc := 0; cc < prod.Cols; cc++ {
+				want := complex(0, 0)
+				if r == cc {
+					want = 1
+				}
+				if cmplx.Abs(prod.At(r, cc)-want) > 1e-12 {
+					t.Fatalf("op %d kind %d: dagger product not identity at (%d,%d): %g", oi, op.Kind, r, cc, prod.At(r, cc))
+				}
+			}
+		}
+	}
+}
+
+// fusedOpMatrix expands a fused op into the dense n-qubit matrix via
+// equivalent gates.
+func fusedOpMatrix(t *testing.T, op FusedOp, n int) *linalg.Matrix {
+	t.Helper()
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = n - 1 - i
+	}
+	asGate := func(g Gate) *linalg.Matrix { return expandGate(g, qs) }
+	switch op.Kind {
+	case FusedGate:
+		return asGate(*op.Gate)
+	case FusedDense1Q, FusedDiag1Q, FusedPerm1Q, FusedReal1Q, FusedRXLike:
+		return asGate(Gate{Kind: KindUnitary, Qubits: op.Qubits, Matrix: FromMat2(op.M1)})
+	case FusedHadamard:
+		return asGate(Gate{Kind: KindH, Qubits: op.Qubits})
+	case FusedRXPair:
+		a := FromMat2([2][2]complex128{
+			{complex(op.RXA[0], 0), complex(0, op.RXA[1])},
+			{complex(0, op.RXA[2]), complex(op.RXA[3], 0)}})
+		b := FromMat2([2][2]complex128{
+			{complex(op.RXB[0], 0), complex(0, op.RXB[1])},
+			{complex(0, op.RXB[2]), complex(op.RXB[3], 0)}})
+		ma := asGate(Gate{Kind: KindUnitary, Qubits: op.Qubits[:1], Matrix: a})
+		mb := asGate(Gate{Kind: KindUnitary, Qubits: op.Qubits[1:], Matrix: b})
+		return linalg.MatMul(ma, mb)
+	case FusedDense2Q, FusedPerm2Q:
+		m := op.M
+		if op.Kind == FusedPerm2Q {
+			m = linalg.New(4, 4)
+			for r := 0; r < 4; r++ {
+				m.Set(r, int(op.Perm[r]), op.Phase[r])
+			}
+		}
+		return asGate(Gate{Kind: KindUnitary, Qubits: op.Qubits, Matrix: m})
+	case FusedDenseKQ:
+		return asGate(Gate{Kind: KindUnitary, Qubits: op.Qubits, Matrix: op.M})
+	case FusedDiagonal:
+		out := linalg.Identity(1 << n)
+		for _, t1 := range op.D1 {
+			for i := 0; i < 1<<n; i++ {
+				out.Set(i, i, out.At(i, i)*t1.D[(i>>t1.Q)&1])
+			}
+		}
+		for _, t2 := range op.D2 {
+			for i := 0; i < 1<<n; i++ {
+				out.Set(i, i, out.At(i, i)*t2.D[((i>>t2.A)&1)<<1|((i>>t2.B)&1)])
+			}
+		}
+		return out
+	}
+	t.Fatalf("unhandled fused op kind %d", op.Kind)
+	return nil
+}
+
+func TestPlanFusionGradKeepsParametricBoundaries(t *testing.T) {
+	// QAOA-shaped ansatz: symbolic cost layer + symbolic mixers between
+	// bound Clifford structure.
+	c := New(4)
+	for q := 0; q < 4; q++ {
+		c.H(q)
+	}
+	c.RZZ(0, 1, Sym("g", 2)).RZZ(1, 2, Sym("g", 2)).RZZ(2, 3, Sym("g", 2))
+	for q := 0; q < 4; q++ {
+		c.RX(q, Sym("b", 2))
+	}
+	c.MeasureAll()
+	plan := PlanFusionGrad(c)
+	if got := plan.NumParamGates(); got != 7 {
+		t.Fatalf("parametric gate count %d, want 7", got)
+	}
+	if got := plan.Params(); len(got) != 2 || got[0] != "b" || got[1] != "g" {
+		t.Fatalf("params %v, want [b g]", got)
+	}
+	prog, err := plan.Bind(map[string]float64{"g": 0.3, "b": 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nGen := 0
+	for _, op := range prog.Ops {
+		if op.Gen != nil {
+			nGen++
+			if op.Op.Kind != FusedGate {
+				t.Fatalf("parametric boundary compiled to fused kind %d", op.Op.Kind)
+			}
+		}
+	}
+	if nGen != 7 {
+		t.Fatalf("generator annotations %d, want 7", nGen)
+	}
+	if _, err := plan.Bind(map[string]float64{"g": 0.3}); err == nil {
+		t.Fatal("expected unbound-parameter error")
+	}
+}
+
+func TestPlanFusionGradStillFusesBoundRuns(t *testing.T) {
+	// A run of bound gates between two parametric boundaries must still
+	// fuse: the plan should hold far fewer ops than gates.
+	c := New(2)
+	c.RX(0, Sym("a", 1))
+	for i := 0; i < 10; i++ {
+		c.H(0).SX(0).H(1).RY(1, Bound(0.3)).CX(0, 1)
+	}
+	c.RY(1, Sym("b", 1))
+	plan := PlanFusionGrad(c)
+	prog, err := plan.Bind(map[string]float64{"a": 0.1, "b": 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Ops) > 10 {
+		t.Fatalf("bound run did not fuse: %d ops for 52 gates", len(prog.Ops))
+	}
+}
+
+func TestShiftPlanStructure(t *testing.T) {
+	c := New(2)
+	c.RX(0, Sym("a", 2))
+	c.CRZ(0, 1, Sym("a", 1)) // shared parameter, 4-term rule
+	c.RY(1, Sym("b", 1))
+	plan, err := PlanParamShift(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 base + RX(2) + CRZ(4) + RY(2) shifted evaluations.
+	if got := plan.NumBindings(); got != 9 {
+		t.Fatalf("bindings %d, want 9", got)
+	}
+	bindings := plan.Bindings(map[string]float64{"a": 0.5, "b": -0.2})
+	if len(bindings) != 9 {
+		t.Fatalf("expanded %d bindings, want 9", len(bindings))
+	}
+	// The re-parameterized circuit must be fully bindable by every element.
+	for i, b := range bindings {
+		if !plan.Circuit.Bind(b).IsBound() {
+			t.Fatalf("binding %d leaves parameters unbound", i)
+		}
+	}
+	if _, _, err := plan.Assemble(make([]float64, 3)); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestShiftPlanFreshNamesAvoidCollisions(t *testing.T) {
+	c := New(1)
+	c.RX(0, Sym("gs0", 1)) // user parameter squatting on the fresh prefix
+	plan, err := PlanParamShift(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := plan.Circuit.ParamNames()
+	if len(names) != 1 || names[0] == "gs0" {
+		t.Fatalf("fresh name collided: %v", names)
+	}
+}
+
+func TestShiftRuleFourTermConstants(t *testing.T) {
+	rule, ok := ShiftRule(KindCRX)
+	if !ok || len(rule) != 2 {
+		t.Fatalf("CRX rule %v", rule)
+	}
+	s2 := math.Sqrt2
+	if math.Abs(rule[0].Coeff-(s2+1)/(4*s2)) > 1e-15 || math.Abs(rule[1].Coeff+(s2-1)/(4*s2)) > 1e-15 {
+		t.Fatalf("CRX four-term coefficients wrong: %+v", rule)
+	}
+}

@@ -39,12 +39,14 @@ func (a *AutoExecutor) Capabilities() Capabilities {
 		targets = append(targets, name)
 	}
 	sort.Strings(targets)
+	_, _, grads := a.gradientTarget()
 	return Capabilities{
 		Backend:     "auto",
 		Subbackends: []string{"workload-driven"},
 		CPU:         true,
 		GPU:         true,
 		NativeMPI:   true,
+		Gradients:   grads,
 		Notes: fmt.Sprintf("Workload-driven backend selection (paper future work): routes by circuit structure across %v.",
 			targets),
 	}
@@ -170,6 +172,46 @@ func (a *AutoExecutor) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts 
 		results[i].Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
 	}
 	return results, nil
+}
+
+// gradientTarget is the single discovery point for gradient delegation:
+// Capabilities and ExecuteGradient both consult it, so the advertised
+// capability can never disagree with the dispatch. Known adjoint engines
+// are preferred in a fixed order, then any other GradientExecutor in
+// sorted-name order for determinism.
+func (a *AutoExecutor) gradientTarget() (string, GradientExecutor, bool) {
+	names := []string{"aer", "nwqsim"}
+	var rest []string
+	for name := range a.execs {
+		if name != "aer" && name != "nwqsim" {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range append(names, rest...) {
+		if ge, ok := a.execs[name].(GradientExecutor); ok {
+			return name, ge, true
+		}
+	}
+	return "", nil, false
+}
+
+// ExecuteGradient implements GradientExecutor by delegating to the first
+// gradient-capable local backend. Gradient evaluation needs dense simulator
+// state, so the structural routing rules do not apply — the adjoint engines
+// behind aer and nwqsim are interchangeable here and the sub-backend is
+// left to the target's default.
+func (a *AutoExecutor) ExecuteGradient(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]GradResult, error) {
+	name, ge, ok := a.gradientTarget()
+	if !ok {
+		return nil, fmt.Errorf("auto: no gradient-capable backend available")
+	}
+	opts.Subbackend = ""
+	res, err := ge.ExecuteGradient(spec, bindings, opts)
+	if err != nil {
+		return nil, fmt.Errorf("auto[gradient->%s]: %w", name, err)
+	}
+	return res, nil
 }
 
 // RouteFor exposes the selection decision for inspection (tests, tooling).

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/defw"
@@ -26,6 +27,10 @@ func ServiceName(backend string) string { return "qpm." + backend }
 type Frontend struct {
 	client *defw.Client
 	props  Properties
+
+	capsMu sync.Mutex
+	caps   Capabilities
+	capsOK bool
 }
 
 // NewFrontend builds a frontend over an existing DEFw client connection.
@@ -211,6 +216,76 @@ func (f *Frontend) Capabilities() (Capabilities, error) {
 		return Capabilities{}, err
 	}
 	return caps, nil
+}
+
+// SupportsGradients reports whether the selected backend advertises the
+// analytic-gradient capability on this frontend's sub-backend selection.
+// The capability row is cached on first success — the variational loops
+// probe this per solve, not per iteration — while a transient RPC failure
+// answers false for this call only and is retried on the next, so one
+// dropped capabilities exchange cannot silently pin the frontend to
+// derivative-free optimization for its lifetime.
+func (f *Frontend) SupportsGradients() bool {
+	f.capsMu.Lock()
+	defer f.capsMu.Unlock()
+	if !f.capsOK {
+		caps, err := f.Capabilities()
+		if err != nil {
+			return false
+		}
+		f.caps = caps
+		f.capsOK = true
+	}
+	return f.caps.SupportsGradientSub(f.props.Subbackend)
+}
+
+// RunGradient evaluates opts.Observable and its analytic gradient for K
+// parameter bindings of one symbolic circuit through a single submit_grad
+// RPC. Per-binding gradients come back ordered, each over the circuit's
+// sorted parameter names. The backend must advertise the gradient
+// capability (see SupportsGradients).
+func (f *Frontend) RunGradient(c *circuit.Circuit, bindings []Bindings, opts RunOptions) ([]GradResult, error) {
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("core: empty gradient batch")
+	}
+	if opts.Observable == nil {
+		return nil, fmt.Errorf("core: gradient execution requires an observable")
+	}
+	spec, err := SpecFromParametric(c)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Subbackend == "" {
+		opts.Subbackend = f.props.Subbackend
+	}
+	payload, err := json.Marshal(batchSubmitReq{Spec: spec, Bindings: bindings, Opts: opts})
+	if err != nil {
+		return nil, err
+	}
+	out, err := f.client.Call(ServiceName(f.props.Backend), "submit_grad", payload)
+	if err != nil {
+		return nil, err
+	}
+	var id idMsg
+	if err := json.Unmarshal(out, &id); err != nil {
+		return nil, err
+	}
+	payload, err = json.Marshal(idMsg{ID: id.ID})
+	if err != nil {
+		return nil, err
+	}
+	out, err = f.client.Call(ServiceName(f.props.Backend), "wait_grad", payload)
+	if err != nil {
+		return nil, err
+	}
+	var resp gradWaitResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(bindings) {
+		return nil, fmt.Errorf("core: gradient batch returned %d results for %d bindings", len(resp.Results), len(bindings))
+	}
+	return resp.Results, nil
 }
 
 // Delete removes a finished task from the QPM.

@@ -22,6 +22,7 @@ type ParseCache struct {
 	entries map[string]*parseEntry
 	parses  atomic.Int64
 	fusions atomic.Int64
+	grads   atomic.Int64
 }
 
 type parseEntry struct {
@@ -31,6 +32,9 @@ type parseEntry struct {
 
 	fuseOnce sync.Once
 	plan     *circuit.FusionPlan
+
+	gradOnce sync.Once
+	gplan    *circuit.GradPlan
 }
 
 // NewParseCache returns an empty cache.
@@ -83,6 +87,23 @@ func (pc *ParseCache) GetFused(spec CircuitSpec) (*circuit.Circuit, *circuit.Fus
 	return e.c, e.plan, nil
 }
 
+// GetGrad returns the parsed circuit plus the gradient-aware fusion plan of
+// its measurement-stripped body: parametric gates stay differentiable
+// boundaries, everything between them fuses. Like the ordinary plan it
+// depends only on circuit structure, so one gradient plan serves every
+// binding — a whole gradient batch plans once per ansatz.
+func (pc *ParseCache) GetGrad(spec CircuitSpec) (*circuit.Circuit, *circuit.GradPlan, error) {
+	e := pc.entry(spec)
+	if e.err != nil {
+		return nil, nil, e.err
+	}
+	e.gradOnce.Do(func() {
+		pc.grads.Add(1)
+		e.gplan = circuit.PlanFusionGrad(e.c)
+	})
+	return e.c, e.gplan, nil
+}
+
 // Parses returns how many real QASM parses the cache has performed — the
 // counter the batch acceptance tests assert on.
 func (pc *ParseCache) Parses() int64 { return pc.parses.Load() }
@@ -90,6 +111,10 @@ func (pc *ParseCache) Parses() int64 { return pc.parses.Load() }
 // Fusions returns how many fusion plans the cache has built — the fused
 // analog of Parses, asserted on by the fuse-once-per-batch tests.
 func (pc *ParseCache) Fusions() int64 { return pc.fusions.Load() }
+
+// Grads returns how many gradient plans the cache has built — asserted on
+// by the plan-once-per-batch gradient tests.
+func (pc *ParseCache) Grads() int64 { return pc.grads.Load() }
 
 // Len returns the number of cached specs.
 func (pc *ParseCache) Len() int {

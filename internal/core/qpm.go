@@ -56,6 +56,26 @@ func (bt *batchTask) snapshotStatus() Status {
 	return bt.status
 }
 
+// gradTask is one gradient batch: a single parametric spec plus K bindings,
+// evaluated through the backend's GradientExecutor as one work item (the
+// adjoint engine fans bindings across its own worker pool).
+type gradTask struct {
+	id      string
+	created time.Time
+
+	mu      sync.Mutex
+	status  Status
+	results []GradResult
+	errMsg  string
+	done    chan struct{}
+}
+
+func (gt *gradTask) snapshotStatus() Status {
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	return gt.status
+}
+
 // QPM is a Quantum Platform Manager service instance for one backend: it
 // owns the task queue and circuit lifecycle and dispatches work round-robin
 // to its QRC worker threads. Work items are closures, so single tasks and
@@ -71,6 +91,7 @@ type QPM struct {
 	mu       sync.Mutex
 	tasks    map[string]*task
 	batches  map[string]*batchTask
+	grads    map[string]*gradTask
 	closed   bool
 	workers  int
 	workerWG sync.WaitGroup
@@ -105,6 +126,7 @@ func newQPMWithQueueCap(exec Executor, workers int, rec *trace.Recorder, queueCa
 		queueCap: queueCap,
 		tasks:    make(map[string]*task),
 		batches:  make(map[string]*batchTask),
+		grads:    make(map[string]*gradTask),
 		workers:  workers,
 	}
 	for w := 0; w < workers; w++ {
@@ -385,6 +407,76 @@ func (q *QPM) batchResult(bt *batchTask, idx int, res ExecResult, started time.T
 	}
 }
 
+// SubmitGradient registers and enqueues one gradient batch. The backend
+// must implement GradientExecutor — callers probe Capabilities.Gradients
+// first; a submit against a non-differentiating backend fails immediately
+// rather than queueing doomed work.
+func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOptions) (string, error) {
+	ge, ok := q.exec.(GradientExecutor)
+	if !ok {
+		return "", fmt.Errorf("qpm[%s]: backend does not support gradient execution", q.backend)
+	}
+	if spec.QASM == "" {
+		return "", fmt.Errorf("qpm[%s]: empty circuit spec", q.backend)
+	}
+	if len(bindings) == 0 {
+		return "", fmt.Errorf("qpm[%s]: empty gradient batch", q.backend)
+	}
+	id := fmt.Sprintf("%s-grad-%d", q.backend, q.nextID.Add(1))
+	gt := &gradTask{id: id, created: time.Now(), status: StatusQueued, done: make(chan struct{})}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
+	}
+	q.grads[id] = gt
+	q.mu.Unlock()
+	err := q.enqueue(func(worker string) {
+		gt.mu.Lock()
+		gt.status = StatusRunning
+		gt.mu.Unlock()
+		finish := q.rec.Span("exec-grad:"+spec.Name, worker)
+		results, err := ge.ExecuteGradient(spec, bindings, opts)
+		finish()
+		gt.mu.Lock()
+		if err != nil {
+			gt.status = StatusFailed
+			gt.errMsg = err.Error()
+		} else {
+			gt.status = StatusDone
+			gt.results = results
+		}
+		close(gt.done)
+		gt.mu.Unlock()
+	})
+	if err != nil {
+		gt.mu.Lock()
+		gt.status = StatusFailed
+		gt.errMsg = err.Error()
+		close(gt.done)
+		gt.mu.Unlock()
+	}
+	return id, nil
+}
+
+// WaitGradient blocks until the gradient batch completes and returns the
+// ordered per-binding results.
+func (q *QPM) WaitGradient(id string) ([]GradResult, error) {
+	q.mu.Lock()
+	gt, ok := q.grads[id]
+	q.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("qpm[%s]: unknown gradient task %s", q.backend, id)
+	}
+	<-gt.done
+	gt.mu.Lock()
+	defer gt.mu.Unlock()
+	if gt.status == StatusFailed {
+		return nil, fmt.Errorf("%s", gt.errMsg)
+	}
+	return gt.results, nil
+}
+
 func (q *QPM) finishChunk(bt *batchTask) {
 	bt.mu.Lock()
 	defer bt.mu.Unlock()
@@ -413,17 +505,20 @@ func (q *QPM) WaitBatch(id string) ([]*Result, []string, error) {
 	return bt.results, bt.errs, nil
 }
 
-// Status returns the task (or batch) state.
+// Status returns the task (or batch / gradient batch) state.
 func (q *QPM) Status(id string) (Status, error) {
 	q.mu.Lock()
 	t, ok := q.tasks[id]
 	bt, bok := q.batches[id]
+	gt, gok := q.grads[id]
 	q.mu.Unlock()
 	switch {
 	case ok:
 		return t.snapshotStatus(), nil
 	case bok:
 		return bt.snapshotStatus(), nil
+	case gok:
+		return gt.snapshotStatus(), nil
 	}
 	return "", fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
 }
@@ -461,6 +556,13 @@ func (q *QPM) Delete(id string) error {
 		delete(q.batches, id)
 		return nil
 	}
+	if gt, ok := q.grads[id]; ok {
+		if gt.snapshotStatus() == StatusRunning {
+			return fmt.Errorf("qpm[%s]: gradient batch %s is running", q.backend, id)
+		}
+		delete(q.grads, id)
+		return nil
+	}
 	return fmt.Errorf("qpm[%s]: unknown task %s", q.backend, id)
 }
 
@@ -468,12 +570,15 @@ func (q *QPM) Delete(id string) error {
 func (q *QPM) List() map[string]Status {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make(map[string]Status, len(q.tasks)+len(q.batches))
+	out := make(map[string]Status, len(q.tasks)+len(q.batches)+len(q.grads))
 	for id, t := range q.tasks {
 		out[id] = t.snapshotStatus()
 	}
 	for id, bt := range q.batches {
 		out[id] = bt.snapshotStatus()
+	}
+	for id, gt := range q.grads {
+		out[id] = gt.snapshotStatus()
 	}
 	return out
 }
@@ -520,6 +625,11 @@ type batchWaitResp struct {
 	Errs    []string  `json:"errs,omitempty"`
 }
 
+// gradWaitResp is the reply of "wait_grad": one GradResult per binding.
+type gradWaitResp struct {
+	Results []GradResult `json:"results"`
+}
+
 type idMsg struct {
 	ID string `json:"id"`
 }
@@ -530,8 +640,8 @@ type statusMsg struct {
 }
 
 // Handle implements defw.Handler, exposing the QPM API over RPC: create,
-// run, submit, submit_batch, status, wait, wait_batch, delete, list,
-// capabilities.
+// run, submit, submit_batch, submit_grad, status, wait, wait_batch,
+// wait_grad, delete, list, capabilities.
 func (q *QPM) Handle(method string, payload []byte) ([]byte, error) {
 	switch method {
 	case "create", "submit":
@@ -570,6 +680,26 @@ func (q *QPM) Handle(method string, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return json.Marshal(batchWaitResp{Results: results, Errs: errs})
+	case "submit_grad":
+		var req batchSubmitReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("qpm[%s]: bad payload: %w", q.backend, err)
+		}
+		id, err := q.SubmitGradient(req.Spec, req.Bindings, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(idMsg{ID: id})
+	case "wait_grad":
+		var req idMsg
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		results, err := q.WaitGradient(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(gradWaitResp{Results: results})
 	case "run":
 		var req idMsg
 		if err := json.Unmarshal(payload, &req); err != nil {

@@ -302,7 +302,32 @@ type Capabilities struct {
 	CPU         bool     `json:"cpu"`
 	GPU         bool     `json:"gpu"`
 	NativeMPI   bool     `json:"native_mpi"`
-	Notes       string   `json:"notes"`
+	Gradients   bool     `json:"gradients,omitempty"` // analytic adjoint gradients available
+	// GradientSubs lists the sub-backends the gradient capability covers
+	// (empty means every sub-backend). Adjoint differentiation needs dense
+	// amplitude access, so e.g. aer differentiates on statevector but not
+	// on matrix_product_state or stabilizer.
+	GradientSubs []string `json:"gradient_subs,omitempty"`
+	Notes        string   `json:"notes"`
+}
+
+// SupportsGradientSub reports whether the capability row covers analytic
+// gradients on the given sub-backend selection ("" means the backend
+// default, which gradient-capable backends always honor).
+func (c Capabilities) SupportsGradientSub(sub string) bool {
+	if !c.Gradients {
+		return false
+	}
+	if len(c.GradientSubs) == 0 || sub == "" {
+		return true
+	}
+	sub = strings.ToLower(strings.TrimSpace(sub))
+	for _, s := range c.GradientSubs {
+		if s == sub {
+			return true
+		}
+	}
+	return false
 }
 
 // Executor is the interface a backend QPM implementation provides: accept a
@@ -324,4 +349,24 @@ type Executor interface {
 type BatchExecutor interface {
 	Executor
 	ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error)
+}
+
+// GradResult is the unified return of one gradient evaluation: the exact
+// expectation value of the attached observable and its partial derivatives
+// ordered by the spec's sorted parameter names.
+type GradResult struct {
+	Value float64   `json:"value"`
+	Grad  []float64 `json:"grad"`
+}
+
+// GradientExecutor is the optional differentiation extension of Executor:
+// evaluate the observable in opts.Observable and its analytic gradient for
+// each binding of a parametric spec. Local state-vector backends implement
+// it with the adjoint engine (O(gates) per binding, independent of the
+// parameter count); backends without simulator-state access advertise
+// Capabilities.Gradients=false and clients fall back to parameter-shift
+// batches or derivative-free optimization.
+type GradientExecutor interface {
+	Executor
+	ExecuteGradient(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]GradResult, error)
 }

@@ -1,0 +1,299 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Gradient-based optimizers for the analytic-gradient hybrid loops. Both
+// take the batched hook (one round trip per call, like NelderMeadBatch):
+// the variational solvers implement it with one adjoint-gradient batch or
+// one parameter-shift RunBatch submission per optimizer step.
+
+// GradObjective evaluates the objective and its gradient at one point.
+type GradObjective func(x []float64) (float64, []float64)
+
+// BatchGradObjective evaluates values and gradients for a whole candidate
+// set in one round trip.
+type BatchGradObjective func(xs [][]float64) ([]float64, [][]float64)
+
+// GradOptions tune the gradient-based optimizers. MaxIters bounds gradient
+// evaluations (the caller converts its circuit-evaluation budget using the
+// per-gradient cost of the chosen differentiation method). Target, when
+// HasTarget is set, stops the run as soon as the objective reaches it — the
+// equal-convergence-target mode of the gradient ablation.
+type GradOptions struct {
+	MaxIters  int     // default 100
+	LR        float64 // Adam: step size (default 0.1); GD: initial step (default 1.0)
+	Tol       float64 // stop when the gradient inf-norm drops below (default 1e-8)
+	Target    float64 // stop once value <= Target (requires HasTarget)
+	HasTarget bool
+
+	// Adam moment decay and stabilizer knobs.
+	Beta1, Beta2, Eps float64 // defaults 0.9, 0.999, 1e-8
+
+	// Line, when non-nil, evaluates value-only candidate batches for the
+	// Armijo search (cheaper than the gradient hook on adjoint backends);
+	// GradientDescent falls back to the gradient hook without it.
+	Line BatchObjective
+
+	// C1 is the Armijo sufficient-decrease constant (default 1e-4).
+	C1 float64
+}
+
+func (o *GradOptions) defaults(adam bool) {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	if o.LR <= 0 {
+		if adam {
+			o.LR = 0.1
+		} else {
+			o.LR = 1.0
+		}
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Beta1 <= 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 <= 0 {
+		o.Beta2 = 0.999
+	}
+	if o.Eps <= 0 {
+		o.Eps = 1e-8
+	}
+	if o.C1 <= 0 {
+		o.C1 = 1e-4
+	}
+}
+
+func infNorm(g []float64) float64 {
+	mx := 0.0
+	for _, v := range g {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Adam minimizes f with the Adam update rule, one gradient evaluation per
+// iteration. It returns the best point seen, its value, and the number of
+// gradient evaluations used.
+func Adam(f BatchGradObjective, x0 []float64, opts GradOptions) ([]float64, float64, int) {
+	return AdamPopulation(f, [][]float64{x0}, opts)
+}
+
+// AdamPopulation minimizes f over a population of starting points evolved
+// in lock-step: every iteration ships the whole population's gradients as
+// one batched call (one RunGradient submission on the adjoint backends) and
+// applies an independent Adam update per member. Gradient descent from a
+// single start can settle into a worse basin than a simplex method's
+// multi-point search; a small population restores that robustness while the
+// batch pipeline keeps the round-trip count identical to single-start. The
+// run stops as soon as the best member reaches the target (or every member
+// flattens), and returns the best point, its value, and the number of
+// gradient evaluations (population × iterations).
+func AdamPopulation(f BatchGradObjective, starts [][]float64, opts GradOptions) ([]float64, float64, int) {
+	opts.defaults(true)
+	pop := len(starts)
+	if pop == 0 {
+		return nil, math.Inf(1), 0
+	}
+	n := len(starts[0])
+	xs := make([][]float64, pop)
+	ms := make([][]float64, pop)
+	vs := make([][]float64, pop)
+	for p := range starts {
+		xs[p] = append([]float64(nil), starts[p]...)
+		ms[p] = make([]float64, n)
+		vs[p] = make([]float64, n)
+	}
+	best := append([]float64(nil), starts[0]...)
+	bestF := math.Inf(1)
+	evals := 0
+	for k := 1; k <= opts.MaxIters; k++ {
+		vals, grads := f(xs)
+		evals += pop
+		flat := true
+		for p := range xs {
+			if vals[p] < bestF {
+				bestF = vals[p]
+				copy(best, xs[p])
+			}
+			if infNorm(grads[p]) >= opts.Tol {
+				flat = false
+			}
+		}
+		if (opts.HasTarget && bestF <= opts.Target) || flat {
+			break
+		}
+		b1k := 1 - math.Pow(opts.Beta1, float64(k))
+		b2k := 1 - math.Pow(opts.Beta2, float64(k))
+		for p := range xs {
+			x, m, v, g := xs[p], ms[p], vs[p], grads[p]
+			for i := range x {
+				m[i] = opts.Beta1*m[i] + (1-opts.Beta1)*g[i]
+				v[i] = opts.Beta2*v[i] + (1-opts.Beta2)*g[i]*g[i]
+				x[i] -= opts.LR * (m[i] / b1k) / (math.Sqrt(v[i]/b2k) + opts.Eps)
+			}
+		}
+	}
+	return best, bestF, evals
+}
+
+// GradientDescent minimizes f by steepest descent with Armijo backtracking:
+// each iteration takes one gradient evaluation at the iterate and one
+// value-only candidate batch covering a geometric ladder of step sizes, so
+// the whole line search costs a single round trip. The accepted step seeds
+// the next iteration's ladder (doubled), giving the method a cheap
+// trust-region memory. Returns the best point, its value, and the number of
+// gradient evaluations (line-search batches are counted by the caller
+// through its Line hook).
+func GradientDescent(f BatchGradObjective, x0 []float64, opts GradOptions) ([]float64, float64, int) {
+	opts.defaults(false)
+	const ladder = 4 // step candidates per Armijo batch
+	x := append([]float64(nil), x0...)
+	best := append([]float64(nil), x0...)
+	bestF := math.Inf(1)
+	evals := 0
+	step := opts.LR
+	for k := 0; k < opts.MaxIters; k++ {
+		vals, grads := f([][]float64{x})
+		evals++
+		fx, g := vals[0], grads[0]
+		if fx < bestF {
+			bestF = fx
+			copy(best, x)
+		}
+		gnorm2 := 0.0
+		for _, v := range g {
+			gnorm2 += v * v
+		}
+		if (opts.HasTarget && fx <= opts.Target) || math.Sqrt(gnorm2) < opts.Tol {
+			break
+		}
+		cands := make([][]float64, ladder)
+		steps := make([]float64, ladder)
+		t := step
+		for j := 0; j < ladder; j++ {
+			steps[j] = t
+			c := make([]float64, len(x))
+			for i := range x {
+				c[i] = x[i] - t*g[i]
+			}
+			cands[j] = c
+			t /= 4
+		}
+		var cvals []float64
+		if opts.Line != nil {
+			cvals = opts.Line(cands)
+		} else {
+			cvals, _ = f(cands)
+			evals += ladder
+		}
+		// Ladder candidates are paid-for evaluations: record them against
+		// the running best and honor the target stop before deciding the
+		// step, so a winning candidate is never discarded on MaxIters.
+		for j := 0; j < ladder; j++ {
+			if cvals[j] < bestF {
+				bestF = cvals[j]
+				copy(best, cands[j])
+			}
+		}
+		if opts.HasTarget && bestF <= opts.Target {
+			break
+		}
+		accepted := -1
+		for j := 0; j < ladder; j++ { // largest step first
+			if cvals[j] <= fx-opts.C1*steps[j]*gnorm2 {
+				accepted = j
+				break
+			}
+		}
+		if accepted < 0 {
+			// No candidate decreased enough: take the best anyway if it
+			// improves at all, else shrink the ladder and retry.
+			for j := 0; j < ladder; j++ {
+				if cvals[j] < fx && (accepted < 0 || cvals[j] < cvals[accepted]) {
+					accepted = j
+				}
+			}
+			if accepted < 0 {
+				step /= 16
+				if step < 1e-12 {
+					break
+				}
+				continue
+			}
+		}
+		copy(x, cands[accepted])
+		step = 2 * steps[accepted]
+	}
+	return best, bestF, evals
+}
+
+// SPSABatch is the batch-evaluated variant of SPSA: each iteration ships
+// the whole simultaneous-perturbation population — `pairs` (+,−)
+// perturbation pairs plus the current iterate — through BatchObjective as
+// one round trip, averages the per-pair gradient estimators, and applies
+// the standard gain-sequence update. More pairs per step trade extra
+// (already-batched) evaluations for a lower-variance gradient, mirroring
+// how NelderMeadBatch spends batched evaluations on speculative candidates.
+// Returns the best point seen and its value.
+func SPSABatch(f BatchObjective, x0 []float64, iters, pairs int, rng *rand.Rand) ([]float64, float64) {
+	if iters <= 0 {
+		iters = 100
+	}
+	if pairs <= 0 {
+		pairs = 2
+	}
+	x := append([]float64(nil), x0...)
+	n := len(x)
+	best := append([]float64(nil), x0...)
+	bestF := math.Inf(1)
+	const a0, c0, alpha, gamma = 0.2, 0.15, 0.602, 0.101
+	for k := 1; k <= iters; k++ {
+		ak := a0 / math.Pow(float64(k), alpha)
+		ck := c0 / math.Pow(float64(k), gamma)
+		deltas := make([][]float64, pairs)
+		cands := make([][]float64, 0, 2*pairs+1)
+		for p := 0; p < pairs; p++ {
+			delta := make([]float64, n)
+			for i := range delta {
+				if rng.Intn(2) == 0 {
+					delta[i] = 1
+				} else {
+					delta[i] = -1
+				}
+			}
+			deltas[p] = delta
+			xp := make([]float64, n)
+			xm := make([]float64, n)
+			for i := range x {
+				xp[i] = x[i] + ck*delta[i]
+				xm[i] = x[i] - ck*delta[i]
+			}
+			cands = append(cands, xp, xm)
+		}
+		cands = append(cands, append([]float64(nil), x...))
+		vals := f(cands)
+		if fx := vals[len(vals)-1]; fx < bestF {
+			bestF = fx
+			copy(best, x)
+		}
+		g := make([]float64, n)
+		for p := 0; p < pairs; p++ {
+			diff := (vals[2*p] - vals[2*p+1]) / (2 * ck)
+			for i := range g {
+				g[i] += diff / deltas[p][i] / float64(pairs)
+			}
+		}
+		for i := range x {
+			x[i] -= ak * g[i]
+		}
+	}
+	return best, bestF
+}

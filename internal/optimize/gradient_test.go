@@ -1,0 +1,106 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quad is a shifted convex quadratic with its batched value+gradient hooks.
+func quadGrad(center []float64) BatchGradObjective {
+	return func(xs [][]float64) ([]float64, [][]float64) {
+		vals := make([]float64, len(xs))
+		grads := make([][]float64, len(xs))
+		for j, x := range xs {
+			g := make([]float64, len(x))
+			for i := range x {
+				d := x[i] - center[i]
+				vals[j] += d * d * float64(i+1)
+				g[i] = 2 * d * float64(i+1)
+			}
+			grads[j] = g
+		}
+		return vals, grads
+	}
+}
+
+func quadVals(center []float64) BatchObjective {
+	g := quadGrad(center)
+	return func(xs [][]float64) []float64 {
+		vals, _ := g(xs)
+		return vals
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	center := []float64{1.2, -0.7, 0.4}
+	x, fx, evals := Adam(quadGrad(center), []float64{0, 0, 0}, GradOptions{MaxIters: 400, LR: 0.1})
+	if fx > 1e-6 {
+		t.Fatalf("Adam stalled at f=%g after %d evals (x=%v)", fx, evals, x)
+	}
+	for i := range x {
+		if math.Abs(x[i]-center[i]) > 1e-3 {
+			t.Errorf("x[%d]=%g, want %g", i, x[i], center[i])
+		}
+	}
+}
+
+func TestAdamStopsAtTarget(t *testing.T) {
+	center := []float64{1, 1}
+	_, fx, evals := Adam(quadGrad(center), []float64{0, 0}, GradOptions{
+		MaxIters: 500, LR: 0.2, Target: 0.5, HasTarget: true,
+	})
+	if fx > 0.5 {
+		t.Fatalf("target not reached: f=%g", fx)
+	}
+	if evals >= 500 {
+		t.Fatalf("target stop did not trigger early (evals=%d)", evals)
+	}
+}
+
+func TestGradientDescentArmijo(t *testing.T) {
+	center := []float64{-0.5, 2.0, 0.3, 1.1}
+	lineCalls := 0
+	line := func(xs [][]float64) []float64 {
+		lineCalls++
+		return quadVals(center)(xs)
+	}
+	x, fx, evals := GradientDescent(quadGrad(center), make([]float64, 4), GradOptions{
+		MaxIters: 120, LR: 1.0, Line: line,
+	})
+	if fx > 1e-8 {
+		t.Fatalf("GD stalled at f=%g after %d grad evals (x=%v)", fx, evals, x)
+	}
+	if lineCalls == 0 {
+		t.Fatal("Armijo search never used the value-only batch hook")
+	}
+}
+
+func TestGradientDescentWithoutLineHook(t *testing.T) {
+	center := []float64{0.8, -0.2}
+	_, fx, _ := GradientDescent(quadGrad(center), []float64{0, 0}, GradOptions{MaxIters: 60})
+	if fx > 1e-8 {
+		t.Fatalf("GD (no line hook) stalled at f=%g", fx)
+	}
+}
+
+func TestSPSABatchConvergesAndBatches(t *testing.T) {
+	center := []float64{0.6, -0.9, 0.2}
+	var batchSizes []int
+	f := func(xs [][]float64) []float64 {
+		batchSizes = append(batchSizes, len(xs))
+		return quadVals(center)(xs)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x, _ := SPSABatch(f, []float64{0, 0, 0}, 300, 3, rng)
+	for i := range x {
+		if math.Abs(x[i]-center[i]) > 0.12 {
+			t.Errorf("x[%d]=%g, want ~%g", i, x[i], center[i])
+		}
+	}
+	for _, k := range batchSizes {
+		if k != 2*3+1 {
+			t.Fatalf("expected batches of 7 (3 pairs + iterate), got %d", k)
+		}
+	}
+}

@@ -21,6 +21,12 @@ type NMOptions struct {
 	MaxEvals int     // default 200
 	InitStep float64 // simplex size, default 0.5
 	Tol      float64 // spread tolerance, default 1e-6
+
+	// Target, when HasTarget is set, stops the search as soon as the best
+	// vertex reaches it — the equal-convergence-target mode shared with the
+	// gradient optimizers.
+	Target    float64
+	HasTarget bool
 }
 
 // NelderMead minimizes f starting from x0 with the standard
@@ -58,6 +64,9 @@ func NelderMead(f Objective, x0 []float64, opts NMOptions) ([]float64, float64, 
 	}
 	for evals < opts.MaxEvals {
 		sortSimplex()
+		if opts.HasTarget && simplex[0].f <= opts.Target {
+			break
+		}
 		if simplex[n].f-simplex[0].f < opts.Tol {
 			break
 		}
@@ -173,6 +182,9 @@ func NelderMeadBatch(f BatchObjective, x0 []float64, opts NMOptions) ([]float64,
 	}
 	for evals < budget {
 		sortSimplex()
+		if opts.HasTarget && simplex[0].f <= opts.Target {
+			break
+		}
 		if simplex[n].f-simplex[0].f < opts.Tol {
 			break
 		}

@@ -6,6 +6,7 @@ package pauli
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"qfw/internal/circuit"
@@ -168,8 +169,28 @@ func Heisenberg(n int, jx, jy, jz float64) *Hamiltonian {
 	return h
 }
 
+// SortedPairs returns the keys of a coupling map in sorted order. Every
+// consumer that flattens such a map into terms must use this order, never
+// raw map iteration: term order decides floating-point summation order in
+// expectation and gradient evaluations, and seeded determinism is a repo
+// invariant.
+func SortedPairs(js map[[2]int]float64) [][2]int {
+	pairs := make([][2]int, 0, len(js))
+	for pair := range js {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}
+
 // IsingCost returns the diagonal Ising cost Hamiltonian
-// H = Σ h_i Z_i + Σ_{i<j} J_ij Z_i Z_j + offset used by QAOA.
+// H = Σ h_i Z_i + Σ_{i<j} J_ij Z_i Z_j + offset used by QAOA. Coupling
+// terms are emitted in SortedPairs order (see there).
 func IsingCost(hs []float64, js map[[2]int]float64) *Hamiltonian {
 	n := len(hs)
 	h := &Hamiltonian{NQubits: n}
@@ -178,8 +199,8 @@ func IsingCost(hs []float64, js map[[2]int]float64) *Hamiltonian {
 			h.Add(hi, map[int]Op{i: Z})
 		}
 	}
-	for pair, j := range js {
-		if j != 0 {
+	for _, pair := range SortedPairs(js) {
+		if j := js[pair]; j != 0 {
 			h.Add(j, map[int]Op{pair[0]: Z, pair[1]: Z})
 		}
 	}

@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
+	"runtime"
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
@@ -34,6 +34,25 @@ type BatchRunner interface {
 	Runner
 	RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, error)
 }
+
+// GradientRunner extends Runner with analytic gradient evaluation: the
+// observable in opts.Observable and its exact gradient, per binding, via
+// one submission. *core.Frontend satisfies it via RunGradient (backends
+// advertising the capability run the adjoint engine), and LocalRunner
+// satisfies it in-process. Solve prefers this path whenever the backend
+// supports exact expectations: every optimizer step costs O(1) gradient
+// evaluations instead of a simplex of full re-executions.
+type GradientRunner interface {
+	Runner
+	RunGradient(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]core.GradResult, error)
+	SupportsGradients() bool
+}
+
+// adjointCostFactor is the circuit-equivalent price of one adjoint gradient
+// evaluation — one forward sweep plus the two inverse applications of the
+// reverse sweep — used to keep optimizer eval budgets comparable across
+// methods.
+const adjointCostFactor = 3
 
 // BuildAnsatz constructs the depth-p QAOA circuit for a diagonal Ising cost
 // Hamiltonian, with symbolic parameters gamma0..gamma{p-1} and
@@ -109,7 +128,7 @@ func ExpectationFromCounts(h *pauli.Hamiltonian, counts map[string]int) float64 
 type Options struct {
 	P        int   // ansatz depth, default 1
 	Shots    int   // default 512
-	MaxEvals int   // optimizer budget, default 60
+	MaxEvals int   // optimizer budget in circuit-equivalent evaluations, default 60
 	Seed     int64 // default 1
 	Run      core.RunOptions
 
@@ -118,15 +137,48 @@ type Options struct {
 	// (the noiseless optimization path; cloud backends still estimate from
 	// counts). Subject of the expectation-path ablation benchmark.
 	ExactExpectation bool
+
+	// Optimizer selects the classical update rule: "auto" (default — Adam
+	// over analytic gradients when the runner supports them, Nelder-Mead
+	// otherwise), "adam", "gd" (gradient descent with Armijo line search),
+	// "neldermead", or "spsa".
+	Optimizer string
+
+	// Gradient selects the differentiation method for the gradient-based
+	// optimizers: "auto" (default — adjoint through the runner's gradient
+	// capability, parameter-shift batches otherwise), "adjoint", or
+	// "paramshift". Parameter-shift fans the shifted bindings through the
+	// ordinary RunBatch path, so it works on any batch-capable backend,
+	// shot-based and cloud included.
+	Gradient string
+
+	// LR overrides the gradient optimizer's step size (default 0.1).
+	LR float64
+
+	// Population sizes the Adam gradient path's multi-start population
+	// (default 4; 1 disables multi-start). Every member's gradient rides
+	// the same batched submission, so extra starts cost evaluations but no
+	// extra round trips — the insurance against a single descent trajectory
+	// settling into a worse basin than Nelder-Mead's simplex search.
+	Population int
+
+	// Target, when non-nil, stops the optimization as soon as the objective
+	// reaches the given value — the equal-convergence-target mode of the
+	// gradient ablation benchmark. Honored by the adam, gd, and neldermead
+	// paths; spsa has no early-stop hook and ignores it.
+	Target *float64
 }
 
 // ObservableFromQUBO converts a QUBO's Ising form into the wire-format
-// diagonal observable (without the constant offset).
+// diagonal observable (without the constant offset). Couplings are emitted
+// in pauli.SortedPairs order, never map order: their order decides
+// floating-point summation order in expectation and gradient evaluations,
+// and two solves with the same seed must agree bit for bit.
 func ObservableFromQUBO(q *qubo.QUBO) *core.Observable {
 	h, js, _ := q.ToIsing()
 	obs := &core.Observable{Fields: h}
-	for pair, v := range js {
-		if v != 0 {
+	for _, pair := range pauli.SortedPairs(js) {
+		if v := js[pair]; v != 0 {
 			obs.Couplings = append(obs.Couplings, core.Coupling{I: pair[0], J: pair[1], V: v})
 		}
 	}
@@ -138,13 +190,105 @@ type Result struct {
 	Bits        []int
 	Energy      float64 // QUBO energy of the best sampled bitstring
 	Expectation float64 // final <H> + offset
-	Evals       int     // circuit evaluations used
+	Evals       int     // circuit-equivalent evaluations used (adjoint gradient = 3)
 	Params      []float64
 }
 
-// Solve runs the full hybrid loop: build ansatz, optimize (γ, β) with
-// Nelder-Mead over shot-estimated expectations, then sample the optimum and
-// return the best bitstring by true QUBO energy.
+// resolveStrategy picks the optimizer and differentiation method from the
+// options and the runner's capabilities: "auto" prefers Adam over adjoint
+// gradients when the runner differentiates, parameter-shift batches when it
+// only batches (and was asked for gradients explicitly), and Nelder-Mead
+// otherwise. Explicit requests that the runner cannot satisfy fail loudly
+// instead of silently degrading.
+func resolveStrategy(runner Runner, opts *Options) (optName, gradMode string, err error) {
+	optName = opts.Optimizer
+	if optName == "" {
+		optName = "auto"
+	}
+	gradMode = opts.Gradient
+	if gradMode == "" {
+		gradMode = "auto"
+	}
+	gr, hasGR := runner.(GradientRunner)
+	grOK := hasGR && gr.SupportsGradients()
+	_, brOK := runner.(BatchRunner)
+	switch optName {
+	case "neldermead", "nm":
+		return "neldermead", "", nil
+	case "spsa":
+		if !brOK {
+			return "", "", fmt.Errorf("qaoa: spsa optimizer needs a batch-capable runner")
+		}
+		return "spsa", "", nil
+	case "adam", "gd":
+		switch gradMode {
+		case "auto":
+			if grOK {
+				return optName, "adjoint", nil
+			}
+			if brOK {
+				return optName, "paramshift", nil
+			}
+			return "", "", fmt.Errorf("qaoa: optimizer %q needs a gradient- or batch-capable runner", optName)
+		case "adjoint":
+			if !grOK {
+				return "", "", fmt.Errorf("qaoa: runner does not support adjoint gradients")
+			}
+			return optName, "adjoint", nil
+		case "paramshift":
+			if !brOK {
+				return "", "", fmt.Errorf("qaoa: parameter-shift gradients need a batch-capable runner")
+			}
+			return optName, "paramshift", nil
+		}
+		return "", "", fmt.Errorf("qaoa: unknown gradient method %q", gradMode)
+	case "auto":
+		switch gradMode {
+		case "off":
+			return "neldermead", "", nil
+		case "adjoint":
+			if !grOK {
+				return "", "", fmt.Errorf("qaoa: runner does not support adjoint gradients")
+			}
+			return "adam", "adjoint", nil
+		case "paramshift":
+			if !brOK {
+				return "", "", fmt.Errorf("qaoa: parameter-shift gradients need a batch-capable runner")
+			}
+			return "adam", "paramshift", nil
+		case "auto":
+			if grOK {
+				return "adam", "adjoint", nil
+			}
+			return "neldermead", "", nil
+		}
+		return "", "", fmt.Errorf("qaoa: unknown gradient method %q", gradMode)
+	}
+	return "", "", fmt.Errorf("qaoa: unknown optimizer %q", optName)
+}
+
+// flatGradIndex maps the flat [gamma0..γp-1, beta0..βp-1] parameter vector
+// onto the sorted-name order gradient results come back in.
+func flatGradIndex(p int, sorted []string) []int {
+	pos := make(map[string]int, len(sorted))
+	for i, n := range sorted {
+		pos[n] = i
+	}
+	idx := make([]int, 2*p)
+	for i := 0; i < p; i++ {
+		idx[i] = pos[fmt.Sprintf("gamma%d", i)]
+		idx[p+i] = pos[fmt.Sprintf("beta%d", i)]
+	}
+	return idx
+}
+
+// Solve runs the full hybrid loop: build ansatz, optimize (γ, β), then
+// sample the optimum and return the best bitstring by true QUBO energy.
+// The classical update rule follows Options.Optimizer: with a
+// gradient-capable runner the loop defaults to Adam over exact adjoint
+// gradients (O(1) gradient evaluations per step — the per-evaluation cost
+// the paper's timeline analysis identifies as the scaling bottleneck),
+// falling back to batched Nelder-Mead over expectation estimates otherwise.
 func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
 	if opts.P <= 0 {
 		opts.P = 1
@@ -158,11 +302,17 @@ func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	optName, gradMode, err := resolveStrategy(runner, &opts)
+	if err != nil {
+		return nil, err
+	}
 	h, offset := q.CostHamiltonian()
 	ansatz := BuildAnsatz(h, opts.P)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var obs *core.Observable
-	if opts.ExactExpectation {
+	if opts.ExactExpectation || gradMode != "" {
+		// Gradient objectives differentiate the observable, so the gradient
+		// paths always attach it regardless of the expectation option.
 		obs = ObservableFromQUBO(q)
 	}
 
@@ -173,73 +323,54 @@ func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
 		x0[i] = 0.1 + 0.4*rng.Float64()
 	}
 	nmOpts := optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.4}
+	if opts.Target != nil {
+		nmOpts.Target = *opts.Target
+		nmOpts.HasTarget = true
+	}
 	var best []float64
 	var bestF float64
-	if br, ok := runner.(BatchRunner); ok {
-		// Batched path: each candidate set becomes one RunBatch submission —
-		// the ansatz ships once (symbolically) and element i inherits the
-		// seed the serial loop would have used for evaluation evals+i.
-		objective := func(paramSets [][]float64) []float64 {
-			out := make([]float64, len(paramSets))
-			seedBase := opts.Seed + int64(evals)
-			evals += len(paramSets)
-			if firstErr != nil {
-				for i := range out {
-					out[i] = math.Inf(1)
+	switch {
+	case gradMode != "":
+		best, bestF = solveGradient(runner, ansatz, h, obs, x0, optName, gradMode, &opts, &evals, &firstErr)
+	case optName == "spsa":
+		br := runner.(BatchRunner)
+		objective := batchObjective(br, ansatz, h, obs, &opts, &evals, &firstErr)
+		const pairs = 2
+		iters := opts.MaxEvals / (2*pairs + 1)
+		if iters < 1 {
+			iters = 1
+		}
+		best, bestF = optimize.SPSABatch(objective, x0, iters, pairs, rng)
+	default:
+		if br, ok := runner.(BatchRunner); ok {
+			// Batched path: each candidate set becomes one RunBatch
+			// submission — the ansatz ships once (symbolically) and element
+			// i inherits the seed the serial loop would have used.
+			objective := batchObjective(br, ansatz, h, obs, &opts, &evals, &firstErr)
+			best, bestF, _ = optimize.NelderMeadBatch(objective, x0, nmOpts)
+		} else {
+			objective := func(params []float64) float64 {
+				if firstErr != nil {
+					return math.Inf(1)
 				}
-				return out
-			}
-			bindings := make([]core.Bindings, len(paramSets))
-			for i, ps := range paramSets {
-				bindings[i] = BindParams(ps)
-			}
-			runOpts := opts.Run
-			runOpts.Shots = opts.Shots
-			runOpts.Seed = seedBase + 1
-			runOpts.Observable = obs
-			results, err := br.RunBatch(ansatz, bindings, runOpts)
-			for i := range out {
-				if err == nil && (i >= len(results) || results[i] == nil) {
-					err = fmt.Errorf("qaoa: batch returned no result for element %d", i)
-				}
+				evals++
+				bound := ansatz.Bind(BindParams(params))
+				runOpts := opts.Run
+				runOpts.Shots = opts.Shots
+				runOpts.Seed = opts.Seed + int64(evals)
+				runOpts.Observable = obs
+				res, err := runner.Run(bound, runOpts)
 				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					out[i] = math.Inf(1)
-					continue
+					firstErr = err
+					return math.Inf(1)
 				}
-				if results[i].ExpVal != nil {
-					out[i] = *results[i].ExpVal
-				} else {
-					out[i] = ExpectationFromCounts(h, results[i].Counts)
+				if res.ExpVal != nil {
+					return *res.ExpVal
 				}
+				return ExpectationFromCounts(h, res.Counts)
 			}
-			return out
+			best, bestF, _ = optimize.NelderMead(objective, x0, nmOpts)
 		}
-		best, bestF, _ = optimize.NelderMeadBatch(objective, x0, nmOpts)
-	} else {
-		objective := func(params []float64) float64 {
-			if firstErr != nil {
-				return math.Inf(1)
-			}
-			evals++
-			bound := ansatz.Bind(BindParams(params))
-			runOpts := opts.Run
-			runOpts.Shots = opts.Shots
-			runOpts.Seed = opts.Seed + int64(evals)
-			runOpts.Observable = obs
-			res, err := runner.Run(bound, runOpts)
-			if err != nil {
-				firstErr = err
-				return math.Inf(1)
-			}
-			if res.ExpVal != nil {
-				return *res.ExpVal
-			}
-			return ExpectationFromCounts(h, res.Counts)
-		}
-		best, bestF, _ = optimize.NelderMead(objective, x0, nmOpts)
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -261,6 +392,232 @@ func Solve(q *qubo.QUBO, runner Runner, opts Options) (*Result, error) {
 		Evals:       evals,
 		Params:      best,
 	}, nil
+}
+
+// batchObjective builds the shared value-only batch objective: one RunBatch
+// submission per candidate set, exact expectations when the observable is
+// attached and the backend returns them, count estimates otherwise.
+func batchObjective(br BatchRunner, ansatz *circuit.Circuit, h *pauli.Hamiltonian, obs *core.Observable,
+	opts *Options, evals *int, firstErr *error) optimize.BatchObjective {
+	return func(paramSets [][]float64) []float64 {
+		out := make([]float64, len(paramSets))
+		seedBase := opts.Seed + int64(*evals)
+		*evals += len(paramSets)
+		if *firstErr != nil {
+			for i := range out {
+				out[i] = math.Inf(1)
+			}
+			return out
+		}
+		bindings := make([]core.Bindings, len(paramSets))
+		for i, ps := range paramSets {
+			bindings[i] = BindParams(ps)
+		}
+		runOpts := opts.Run
+		runOpts.Shots = opts.Shots
+		runOpts.Seed = seedBase + 1
+		runOpts.Observable = obs
+		results, err := br.RunBatch(ansatz, bindings, runOpts)
+		for i := range out {
+			if err == nil && (i >= len(results) || results[i] == nil) {
+				err = fmt.Errorf("qaoa: batch returned no result for element %d", i)
+			}
+			if err != nil {
+				if *firstErr == nil {
+					*firstErr = err
+				}
+				out[i] = math.Inf(1)
+				continue
+			}
+			if results[i].ExpVal != nil {
+				out[i] = *results[i].ExpVal
+			} else {
+				out[i] = ExpectationFromCounts(h, results[i].Counts)
+			}
+		}
+		return out
+	}
+}
+
+// solveGradient runs the gradient-driven optimization loop. The objective's
+// value-and-gradient hook goes through the runner's adjoint capability (one
+// RunGradient submission per candidate set, ~3 circuit-equivalents each) or
+// through parameter-shift batches on the plain RunBatch path (1 + 2·shift
+// terms circuit evaluations per point, all in one round trip). MaxEvals is
+// spent as a circuit-equivalent budget so methods stay comparable.
+func solveGradient(runner Runner, ansatz *circuit.Circuit, h *pauli.Hamiltonian, obs *core.Observable,
+	x0 []float64, optName, gradMode string, opts *Options, evals *int, firstErr *error) ([]float64, float64) {
+	p := opts.P
+	fail := func(xs [][]float64, err error) ([]float64, [][]float64) {
+		if *firstErr == nil && err != nil {
+			*firstErr = err
+		}
+		vals := make([]float64, len(xs))
+		grads := make([][]float64, len(xs))
+		for i := range xs {
+			vals[i] = math.Inf(1)
+			grads[i] = make([]float64, 2*p)
+		}
+		return vals, grads
+	}
+	var gradObj optimize.BatchGradObjective
+	var gradCost int // circuit-equivalents per gradient evaluation
+	switch gradMode {
+	case "adjoint":
+		gr := runner.(GradientRunner)
+		fidx := flatGradIndex(p, ansatz.ParamNames())
+		gradCost = adjointCostFactor
+		gradObj = func(xs [][]float64) ([]float64, [][]float64) {
+			if *firstErr != nil {
+				return fail(xs, nil)
+			}
+			*evals += gradCost * len(xs)
+			bindings := make([]core.Bindings, len(xs))
+			for i, x := range xs {
+				bindings[i] = BindParams(x)
+			}
+			runOpts := opts.Run
+			runOpts.Shots = opts.Shots
+			runOpts.Seed = opts.Seed
+			runOpts.Observable = obs
+			results, err := gr.RunGradient(ansatz, bindings, runOpts)
+			if err != nil {
+				return fail(xs, err)
+			}
+			vals := make([]float64, len(xs))
+			grads := make([][]float64, len(xs))
+			for i, res := range results {
+				vals[i] = res.Value
+				g := make([]float64, 2*p)
+				for j, at := range fidx {
+					g[j] = res.Grad[at]
+				}
+				grads[i] = g
+			}
+			return vals, grads
+		}
+	case "paramshift":
+		br := runner.(BatchRunner)
+		splan, err := circuit.PlanParamShift(ansatz)
+		if err != nil {
+			*firstErr = err
+			return x0, math.Inf(1)
+		}
+		fidx := flatGradIndex(p, splan.Params())
+		gradCost = splan.NumBindings()
+		gradObj = func(xs [][]float64) ([]float64, [][]float64) {
+			if *firstErr != nil {
+				return fail(xs, nil)
+			}
+			*evals += gradCost * len(xs)
+			// All shifted bindings of every candidate ride one submission.
+			all := make([]core.Bindings, 0, gradCost*len(xs))
+			for _, x := range xs {
+				for _, b := range splan.Bindings(BindParams(x)) {
+					all = append(all, b)
+				}
+			}
+			runOpts := opts.Run
+			runOpts.Shots = opts.Shots
+			runOpts.Seed = opts.Seed
+			runOpts.Observable = obs
+			results, err := br.RunBatch(splan.Circuit, all, runOpts)
+			if err != nil {
+				return fail(xs, err)
+			}
+			if len(results) != len(all) {
+				return fail(xs, fmt.Errorf("qaoa: gradient batch returned %d results for %d bindings", len(results), len(all)))
+			}
+			vals := make([]float64, len(xs))
+			grads := make([][]float64, len(xs))
+			for i := range xs {
+				chunk := results[i*gradCost : (i+1)*gradCost]
+				es := make([]float64, gradCost)
+				for j, res := range chunk {
+					if res == nil {
+						return fail(xs, fmt.Errorf("qaoa: gradient batch returned no result for element %d", i*gradCost+j))
+					}
+					if res.ExpVal != nil {
+						es[j] = *res.ExpVal
+					} else {
+						es[j] = ExpectationFromCounts(h, res.Counts)
+					}
+				}
+				val, grad, err := splan.Assemble(es)
+				if err != nil {
+					return fail(xs, err)
+				}
+				vals[i] = val
+				g := make([]float64, 2*p)
+				for j, at := range fidx {
+					g[j] = grad[at]
+				}
+				grads[i] = g
+			}
+			return vals, grads
+		}
+	}
+	gopts := optimize.GradOptions{LR: opts.LR}
+	if gopts.LR == 0 {
+		// QAOA angles move on the scale of radians; the literature Adam
+		// default of 0.1 crawls on these landscapes.
+		if optName == "gd" {
+			gopts.LR = 0.5
+		} else {
+			gopts.LR = 0.3
+		}
+	}
+	if opts.Target != nil {
+		gopts.Target = *opts.Target
+		gopts.HasTarget = true
+	}
+	switch optName {
+	case "gd":
+		// Per iteration: one gradient evaluation plus a four-point Armijo
+		// ladder — value-only through the batch path when available, at
+		// full gradient price otherwise (GradientDescent falls back to the
+		// gradient hook for the ladder, so cost it honestly).
+		perIter := gradCost + 4
+		if br, ok := runner.(BatchRunner); ok {
+			gopts.Line = batchObjective(br, ansatz, h, obs, opts, evals, firstErr)
+		} else {
+			perIter = gradCost + gradCost*4
+		}
+		gopts.MaxIters = opts.MaxEvals / perIter
+		if gopts.MaxIters < 1 {
+			gopts.MaxIters = 1
+		}
+		best, bestF, _ := optimize.GradientDescent(gradObj, x0, gopts)
+		return best, bestF
+	default: // adam
+		pop := opts.Population
+		if pop <= 0 {
+			// Multi-start is near-free insurance when a gradient costs ~3
+			// evaluations; at parameter-shift prices (2 per parametric gate
+			// occurrence) the budget is better spent on iteration depth.
+			if gradMode == "adjoint" {
+				pop = 4
+			} else {
+				pop = 1
+			}
+		}
+		starts := make([][]float64, pop)
+		starts[0] = x0
+		srng := rand.New(rand.NewSource(opts.Seed + 999))
+		for s := 1; s < pop; s++ {
+			x := make([]float64, len(x0))
+			for i := range x {
+				x[i] = 0.1 + 0.4*srng.Float64()
+			}
+			starts[s] = x
+		}
+		gopts.MaxIters = opts.MaxEvals / (gradCost * pop)
+		if gopts.MaxIters < 1 {
+			gopts.MaxIters = 1
+		}
+		best, bestF, _ := optimize.AdamPopulation(gradObj, starts, gopts)
+		return best, bestF
+	}
 }
 
 // bestSampled returns the sampled bitstring with the lowest QUBO energy.
@@ -320,31 +677,72 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 }
 
 // RunBatch implements BatchRunner: elements are dispatched to concurrent
-// goroutines and collected into ordered slots. Besides using the available
-// cores, the blocking collect point matters on its own: a caller running
-// many solves concurrently (DQAOA's async sub-QAOA client) yields the
-// processor here, so sibling solves genuinely overlap even on one core.
+// goroutines bounded by a core-sized semaphore and collected into ordered
+// slots — a K-element batch costs at most GOMAXPROCS live executions (and
+// their 2^n amplitude arenas) instead of K. The blocking collect point
+// matters on its own: a caller running many solves concurrently (DQAOA's
+// async sub-QAOA client) yields the processor here, so sibling solves
+// genuinely overlap even on one core.
 func (l LocalRunner) RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, error) {
 	results := make([]*core.Result, len(bindings))
 	errs := make([]error, len(bindings))
-	var wg sync.WaitGroup
-	for i, b := range bindings {
-		wg.Add(1)
-		go func(i int, b core.Bindings) {
-			defer wg.Done()
-			bound := c.Bind(b)
-			if !bound.IsBound() {
-				errs[i] = fmt.Errorf("qaoa: batch element %d leaves params %v unbound", i, bound.ParamNames())
-				return
-			}
-			results[i], errs[i] = l.Run(bound, opts.ForElement(i))
-		}(i, b)
-	}
-	wg.Wait()
+	core.FanOut(len(bindings), runtime.GOMAXPROCS(0), func(i int) {
+		bound := c.Bind(bindings[i])
+		if !bound.IsBound() {
+			errs[i] = fmt.Errorf("qaoa: batch element %d leaves params %v unbound", i, bound.ParamNames())
+			return
+		}
+		results[i], errs[i] = l.Run(bound, opts.ForElement(i))
+	})
 	for _, err := range errs {
 		if err != nil {
 			return results, err
 		}
+	}
+	return results, nil
+}
+
+// SupportsGradients implements GradientRunner: the in-process engine always
+// differentiates.
+func (l LocalRunner) SupportsGradients() bool { return true }
+
+// RunGradient implements GradientRunner on the in-process adjoint engine:
+// the gradient plan is built once per call and shared by every binding,
+// which fan out through the shared adjoint batch (kernel parallelism
+// divides by the in-flight sweep count, so a gradient batch never
+// oversubscribes the node).
+func (l LocalRunner) RunGradient(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]core.GradResult, error) {
+	if opts.Observable == nil {
+		return nil, fmt.Errorf("qaoa: gradient execution requires an observable")
+	}
+	w := l.Workers
+	if w <= 0 {
+		w = 1
+	}
+	plan := circuit.PlanFusionGrad(c)
+	var obs statevec.GradObs
+	if opts.Observable.IsDiagonal() {
+		obs = statevec.GradObs{Diag: opts.Observable.EnergyOfIndex}
+	} else {
+		obs = statevec.GradObs{Ham: hamiltonianFromObservable(opts.Observable, c.NQubits)}
+	}
+	maps := make([]map[string]float64, len(bindings))
+	for i, b := range bindings {
+		maps[i] = b
+	}
+	evals, err := statevec.GradientAdjointBatch(plan, maps, obs, w)
+	// Yield before returning: a K=1 gradient submission parks its single
+	// element goroutine in the scheduler's run-next slot, so without an
+	// explicit yield a fast optimizer loop would monopolize the processor
+	// on a single core. The yield preserves RunBatch's documented property
+	// that sibling solves (DQAOA's async sub-QAOA client) genuinely overlap.
+	runtime.Gosched()
+	if err != nil {
+		return nil, fmt.Errorf("qaoa: %w", err)
+	}
+	results := make([]core.GradResult, len(evals))
+	for i, e := range evals {
+		results[i] = core.GradResult{Value: e.Value, Grad: e.Grad}
 	}
 	return results, nil
 }

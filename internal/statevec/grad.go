@@ -1,0 +1,214 @@
+package statevec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+)
+
+// Adjoint-mode analytic gradients (Jones & Gacon): for an ansatz of G fused
+// operations and P parameters, one forward sweep plus one reverse sweep
+// computes the exact expectation value and all P partial derivatives in
+// O(G) gate applications total — against O(P·G) for parameter-shift and the
+// many full re-executions per optimizer step of derivative-free methods.
+// The engine keeps three states alive (|ψ⟩, |λ⟩ = H|ψ⟩, and a generator
+// scratch |μ⟩), all drawn from the shared amplitude arena and driven
+// through the persistent kernel worker pool.
+
+// GradObs is the observable a gradient evaluation differentiates: either a
+// computational-basis diagonal energy function (the QAOA fast path — one
+// multiply per amplitude) or a general Pauli-sum Hamiltonian.
+type GradObs struct {
+	Diag func(idx int) float64
+	Ham  *pauli.Hamiltonian
+}
+
+// applyObs writes H|ψ⟩ into lam using scratch for the Pauli-term basis
+// changes.
+func applyObs(psi, lam, scratch *State, obs GradObs) error {
+	if obs.Diag != nil {
+		psi.parallelFor(len(psi.Amp), func(start, end int) {
+			for i := start; i < end; i++ {
+				lam.Amp[i] = complex(obs.Diag(i), 0) * psi.Amp[i]
+			}
+		})
+		return nil
+	}
+	if obs.Ham == nil {
+		return fmt.Errorf("statevec: gradient evaluation needs an observable")
+	}
+	clear(lam.Amp)
+	for _, term := range obs.Ham.Terms {
+		copy(scratch.Amp, psi.Amp)
+		applyPauliOps(scratch, term.Ops)
+		coeff := complex(term.Coeff, 0)
+		lam.parallelFor(len(lam.Amp), func(start, end int) {
+			for i := start; i < end; i++ {
+				lam.Amp[i] += coeff * scratch.Amp[i]
+			}
+		})
+	}
+	return nil
+}
+
+// applyGenerator applies the (unscaled) generator factors to the state; the
+// complex Scale is folded into the inner-product accumulation instead of a
+// separate pass.
+func applyGenerator(s *State, gen *circuit.Generator) {
+	i := complex(0, 1)
+	for _, op := range gen.Ops {
+		switch op.Kind {
+		case circuit.GenX:
+			s.ApplyPerm1Q(1, 1, op.Q)
+		case circuit.GenY:
+			s.ApplyPerm1Q(-i, i, op.Q)
+		case circuit.GenZ:
+			s.ApplyDiag1Q(1, -1, op.Q)
+		case circuit.GenP1:
+			s.ApplyDiag1Q(0, 1, op.Q)
+		default:
+			panic(fmt.Sprintf("statevec: unknown generator op %d", op.Kind))
+		}
+	}
+}
+
+// GradientAdjoint evaluates ⟨H⟩ and its exact gradient over the plan's
+// sorted parameter names at one binding. The forward sweep runs the fused
+// program; the reverse sweep walks it backwards through the precompiled
+// inverse kernels, emitting one generator inner product per parametric
+// boundary:
+//
+//	value  = ⟨ψ|H|ψ⟩
+//	∂value/∂angle_k = 2·Re ⟨λ_k| G_k |ψ_k⟩,  λ_k = U_{k+1}†…U_G† H ψ
+//
+// with the affine chain rule folding gate angles onto shared named
+// parameters. Cost: one forward execution plus two inverse applications and
+// one generator scratch per op — about three circuit-equivalents,
+// independent of the parameter count.
+func GradientAdjoint(plan *circuit.GradPlan, binding map[string]float64, obs GradObs, workers int) (float64, []float64, error) {
+	prog, err := plan.Bind(binding)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := prog.NQubits
+	if workers < 1 {
+		workers = 1
+	}
+	psi := NewState(n)
+	psi.Workers = workers
+	defer psi.Release()
+	for i := range prog.Ops {
+		psi.ApplyFusedOp(&prog.Ops[i].Op, nil, nil)
+	}
+	lam := &State{N: n, Amp: getAmpBuf(n), Workers: workers}
+	mu := &State{N: n, Amp: getAmpBuf(n), Workers: workers}
+	defer putAmpBuf(n, lam.Amp)
+	defer putAmpBuf(n, mu.Amp)
+	if err := applyObs(psi, lam, mu, obs); err != nil {
+		return 0, nil, err
+	}
+	value := real(psi.InnerProduct(lam))
+	grad := make([]float64, len(plan.Params()))
+	for k := len(prog.Ops) - 1; k >= 0; k-- {
+		op := &prog.Ops[k]
+		if op.Gen != nil {
+			copy(mu.Amp, psi.Amp)
+			applyGenerator(mu, op.Gen)
+			grad[op.Param] += op.Coeff * 2 * real(op.Gen.Scale*lam.InnerProduct(mu))
+		}
+		psi.ApplyFusedOp(&op.Inv, nil, nil)
+		if k > 0 {
+			lam.ApplyFusedOp(&op.Inv, nil, nil)
+		}
+	}
+	return value, grad, nil
+}
+
+// GradEval is one element of a gradient batch: the exact expectation value
+// and its partial derivatives over the plan's sorted parameter names.
+type GradEval struct {
+	Value float64
+	Grad  []float64
+}
+
+// GradientAdjointBatch evaluates a whole binding batch through the adjoint
+// engine: up to min(GOMAXPROCS, K) sweeps run concurrently and the kernel
+// parallelism divides totalWorkers across them, so a gradient batch uses
+// the node fully without oversubscribing it. This is the single fan-out
+// shared by the local runner and the backend executors.
+func GradientAdjointBatch(plan *circuit.GradPlan, bindings []map[string]float64, obs GradObs, totalWorkers int) ([]GradEval, error) {
+	if len(bindings) == 0 {
+		return nil, nil
+	}
+	if totalWorkers < 1 {
+		totalWorkers = 1
+	}
+	pool := runtime.GOMAXPROCS(0)
+	if pool > len(bindings) {
+		pool = len(bindings)
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	kernelWorkers := totalWorkers / pool
+	if kernelWorkers < 1 {
+		kernelWorkers = 1
+	}
+	out := make([]GradEval, len(bindings))
+	errs := make([]error, len(bindings))
+	sem := make(chan struct{}, pool)
+	var wg sync.WaitGroup
+	for i := range bindings {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			val, grad, err := GradientAdjoint(plan, bindings[i], obs, kernelWorkers)
+			if err != nil {
+				errs[i] = fmt.Errorf("gradient element %d: %w", i, err)
+				return
+			}
+			out[i] = GradEval{Value: val, Grad: grad}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// GradientParamShift evaluates the same value and gradient through the
+// parameter-shift rule on the local fused engine: the shift plan's binding
+// batch (1 base + 2 per shift term per parametric occurrence) runs through
+// one cached fusion plan, and the shifted expectations recombine per rule.
+// This is the execution-only reference path — backends that cannot reach
+// into their simulator state (shot-based or cloud) fan the same bindings
+// through RunBatch instead.
+func GradientParamShift(plan *circuit.ShiftPlan, binding map[string]float64, obs GradObs, workers int) (float64, []float64, error) {
+	if obs.Diag == nil && obs.Ham == nil {
+		return 0, nil, fmt.Errorf("statevec: gradient evaluation needs an observable")
+	}
+	fplan := circuit.PlanFusion(plan.Circuit)
+	bindings := plan.Bindings(binding)
+	vals := make([]float64, len(bindings))
+	for i, b := range bindings {
+		bound := plan.Circuit.Bind(b)
+		if !bound.IsBound() {
+			return 0, nil, fmt.Errorf("statevec: shift binding leaves params %v unbound", bound.ParamNames())
+		}
+		s, _ := RunFused(bound, fplan, workers, nil)
+		if obs.Diag != nil {
+			vals[i] = s.ExpectationDiagonal(obs.Diag)
+		} else {
+			vals[i] = s.ExpectationHamiltonian(obs.Ham)
+		}
+		s.Release()
+	}
+	return plan.Assemble(vals)
+}

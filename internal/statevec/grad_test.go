@@ -1,0 +1,283 @@
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/pauli"
+)
+
+// randomHam builds a small random Pauli-sum observable.
+func randomHam(n int, rng *rand.Rand) *pauli.Hamiltonian {
+	h := &pauli.Hamiltonian{NQubits: n}
+	ops := []pauli.Op{pauli.X, pauli.Y, pauli.Z}
+	for t := 0; t < 4; t++ {
+		terms := map[int]pauli.Op{}
+		for q := 0; q < n; q++ {
+			if rng.Float64() < 0.6 {
+				terms[q] = ops[rng.Intn(3)]
+			}
+		}
+		h.Add(rng.NormFloat64(), terms)
+	}
+	return h
+}
+
+// expectation evaluates <H> of the bound circuit exactly.
+func expectation(c *circuit.Circuit, binding map[string]float64, h *pauli.Hamiltonian) float64 {
+	bound := c.Bind(binding)
+	s, _ := RunFused(bound.StripMeasurements(), nil, 1, rand.New(rand.NewSource(1)))
+	defer s.Release()
+	return s.ExpectationHamiltonian(h)
+}
+
+// finiteDiff computes the central finite-difference gradient over the
+// circuit's sorted parameter names.
+func finiteDiff(c *circuit.Circuit, binding map[string]float64, h *pauli.Hamiltonian, eps float64) []float64 {
+	names := c.ParamNames()
+	grad := make([]float64, len(names))
+	for i, name := range names {
+		plus := map[string]float64{}
+		minus := map[string]float64{}
+		for k, v := range binding {
+			plus[k], minus[k] = v, v
+		}
+		plus[name] += eps
+		minus[name] -= eps
+		grad[i] = (expectation(c, plus, h) - expectation(c, minus, h)) / (2 * eps)
+	}
+	return grad
+}
+
+// fullGateSetCircuit exercises every parametric kind plus a spread of
+// non-parametric gates between the boundaries.
+func fullGateSetCircuit() *circuit.Circuit {
+	c := circuit.New(3)
+	c.H(0).H(1).H(2)
+	c.RX(0, circuit.Sym("a", 1))
+	c.T(1).SX(2)
+	c.RY(1, circuit.Sym("b", 0.7))
+	c.CX(0, 1)
+	c.RZ(2, circuit.Sym("c", -1.3))
+	c.P(0, circuit.Sym("a", 0.5)) // shared parameter, different coefficient
+	c.SWAP(1, 2)
+	c.CRX(0, 1, circuit.Sym("d", 1))
+	c.CRY(1, 2, circuit.Sym("e", 1))
+	c.Sdg(0)
+	c.CRZ(2, 0, circuit.Sym("f", 2))
+	c.CP(0, 2, circuit.Sym("g", 1))
+	c.RZZ(0, 1, circuit.Sym("h", -0.8))
+	c.RXX(1, 2, circuit.Sym("k", 1))
+	c.CCX(0, 1, 2)
+	c.Y(1)
+	return c
+}
+
+func bindingFor(c *circuit.Circuit, rng *rand.Rand) map[string]float64 {
+	b := map[string]float64{}
+	for _, name := range c.ParamNames() {
+		b[name] = -1.5 + 3*rng.Float64()
+	}
+	return b
+}
+
+func TestAdjointGradientFullGateSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := fullGateSetCircuit()
+	h := randomHam(3, rng)
+	binding := bindingFor(c, rng)
+	plan := circuit.PlanFusionGrad(c)
+	val, grad, err := GradientAdjoint(plan, binding, GradObs{Ham: h}, 1)
+	if err != nil {
+		t.Fatalf("adjoint: %v", err)
+	}
+	if want := expectation(c, binding, h); math.Abs(val-want) > 1e-12 {
+		t.Fatalf("adjoint value %.15g, want %.15g", val, want)
+	}
+	fd := finiteDiff(c, binding, h, 1e-5)
+	for i, name := range plan.Params() {
+		if math.Abs(grad[i]-fd[i]) > 1e-7 {
+			t.Errorf("param %s: adjoint %.12g vs finite diff %.12g", name, grad[i], fd[i])
+		}
+	}
+}
+
+func TestParamShiftGradientFullGateSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := fullGateSetCircuit()
+	h := randomHam(3, rng)
+	binding := bindingFor(c, rng)
+	splan, err := circuit.PlanParamShift(c)
+	if err != nil {
+		t.Fatalf("shift plan: %v", err)
+	}
+	val, grad, err := GradientParamShift(splan, binding, GradObs{Ham: h}, 1)
+	if err != nil {
+		t.Fatalf("param shift: %v", err)
+	}
+	if want := expectation(c, binding, h); math.Abs(val-want) > 1e-12 {
+		t.Fatalf("shift value %.15g, want %.15g", val, want)
+	}
+	fd := finiteDiff(c, binding, h, 1e-5)
+	for i, name := range splan.Params() {
+		if math.Abs(grad[i]-fd[i]) > 1e-7 {
+			t.Errorf("param %s: shift %.12g vs finite diff %.12g", name, grad[i], fd[i])
+		}
+	}
+}
+
+// randomParametricCircuit mixes random parametric and non-parametric gates.
+func randomParametricCircuit(n, gates int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	pkinds := []func(q, r int, p circuit.Param){
+		func(q, r int, p circuit.Param) { c.RX(q, p) },
+		func(q, r int, p circuit.Param) { c.RY(q, p) },
+		func(q, r int, p circuit.Param) { c.RZ(q, p) },
+		func(q, r int, p circuit.Param) { c.P(q, p) },
+		func(q, r int, p circuit.Param) { c.CRX(q, r, p) },
+		func(q, r int, p circuit.Param) { c.CRY(q, r, p) },
+		func(q, r int, p circuit.Param) { c.CRZ(q, r, p) },
+		func(q, r int, p circuit.Param) { c.CP(q, r, p) },
+		func(q, r int, p circuit.Param) { c.RZZ(q, r, p) },
+		func(q, r int, p circuit.Param) { c.RXX(q, r, p) },
+	}
+	nparams := 0
+	for g := 0; g < gates; g++ {
+		q := rng.Intn(n)
+		r := (q + 1 + rng.Intn(n-1)) % n
+		switch rng.Intn(4) {
+		case 0: // non-parametric 1q
+			switch rng.Intn(4) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.T(q)
+			case 2:
+				c.SX(q)
+			case 3:
+				c.Z(q)
+			}
+		case 1: // non-parametric 2q
+			switch rng.Intn(3) {
+			case 0:
+				c.CX(q, r)
+			case 1:
+				c.CZ(q, r)
+			case 2:
+				c.SWAP(q, r)
+			}
+		default: // parametric, sometimes sharing an earlier name
+			name := fmt.Sprintf("p%d", nparams)
+			coeff := 0.5 + rng.Float64()
+			if nparams > 2 && rng.Float64() < 0.3 {
+				name = fmt.Sprintf("p%d", rng.Intn(nparams))
+			} else {
+				nparams++
+			}
+			pkinds[rng.Intn(len(pkinds))](q, r, circuit.Sym(name, coeff))
+		}
+	}
+	return c
+}
+
+func TestGradientsRandomCircuits(t *testing.T) {
+	for n := 2; n <= 10; n++ {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + n)))
+			c := randomParametricCircuit(n, 4+3*n, rng)
+			h := randomHam(n, rng)
+			binding := bindingFor(c, rng)
+			obs := GradObs{Ham: h}
+			plan := circuit.PlanFusionGrad(c)
+			aval, agrad, err := GradientAdjoint(plan, binding, obs, 2)
+			if err != nil {
+				t.Fatalf("adjoint: %v", err)
+			}
+			splan, err := circuit.PlanParamShift(c)
+			if err != nil {
+				t.Fatalf("shift plan: %v", err)
+			}
+			sval, sgrad, err := GradientParamShift(splan, binding, obs, 1)
+			if err != nil {
+				t.Fatalf("param shift: %v", err)
+			}
+			// Adjoint and parameter-shift are both analytic: they must agree
+			// far below finite-difference accuracy.
+			if math.Abs(aval-sval) > 1e-9 {
+				t.Fatalf("value: adjoint %.15g vs shift %.15g", aval, sval)
+			}
+			for i, name := range plan.Params() {
+				if math.Abs(agrad[i]-sgrad[i]) > 1e-9 {
+					t.Errorf("param %s: adjoint %.15g vs shift %.15g", name, agrad[i], sgrad[i])
+				}
+			}
+			fd := finiteDiff(c, binding, h, 1e-5)
+			for i, name := range plan.Params() {
+				if math.Abs(agrad[i]-fd[i]) > 1e-7 {
+					t.Errorf("param %s: adjoint %.12g vs finite diff %.12g", name, agrad[i], fd[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAdjointGradientDiagonalFastPath(t *testing.T) {
+	// A QAOA-style diagonal observable must give identical results through
+	// the diagonal fast path and the generic Pauli path.
+	rng := rand.New(rand.NewSource(5))
+	n := 6
+	c := randomParametricCircuit(n, 20, rng)
+	binding := bindingFor(c, rng)
+	fields := make([]float64, n)
+	js := map[[2]int]float64{}
+	for q := 0; q < n; q++ {
+		fields[q] = rng.NormFloat64()
+	}
+	for q := 0; q+1 < n; q++ {
+		js[[2]int{q, q + 1}] = rng.NormFloat64()
+	}
+	h := pauli.IsingCost(fields, js)
+	diag := func(idx int) float64 {
+		bits := make([]int, n)
+		for q := 0; q < n; q++ {
+			bits[q] = (idx >> uint(q)) & 1
+		}
+		return h.DiagonalEnergy(bits)
+	}
+	plan := circuit.PlanFusionGrad(c)
+	dval, dgrad, err := GradientAdjoint(plan, binding, GradObs{Diag: diag}, 1)
+	if err != nil {
+		t.Fatalf("diag: %v", err)
+	}
+	hval, hgrad, err := GradientAdjoint(plan, binding, GradObs{Ham: h}, 1)
+	if err != nil {
+		t.Fatalf("ham: %v", err)
+	}
+	if math.Abs(dval-hval) > 1e-10 {
+		t.Fatalf("value: diag %.15g vs ham %.15g", dval, hval)
+	}
+	for i := range dgrad {
+		if math.Abs(dgrad[i]-hgrad[i]) > 1e-10 {
+			t.Errorf("grad[%d]: diag %.15g vs ham %.15g", i, dgrad[i], hgrad[i])
+		}
+	}
+}
+
+func TestGradientErrors(t *testing.T) {
+	c := circuit.New(2)
+	c.RX(0, circuit.Sym("a", 1))
+	plan := circuit.PlanFusionGrad(c)
+	if _, _, err := GradientAdjoint(plan, map[string]float64{}, GradObs{Ham: &pauli.Hamiltonian{NQubits: 2}}, 1); err == nil {
+		t.Fatal("expected unbound-parameter error")
+	}
+	if _, _, err := GradientAdjoint(plan, map[string]float64{"a": 0.3}, GradObs{}, 1); err == nil {
+		t.Fatal("expected missing-observable error")
+	}
+}

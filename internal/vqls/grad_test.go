@@ -1,0 +1,134 @@
+package vqls
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/core"
+	"qfw/internal/pauli"
+	"qfw/internal/qaoa"
+	"qfw/internal/statevec"
+)
+
+// TestVQLSAnsatzGradientCorrectness checks adjoint and parameter-shift
+// gradients of the hardware-efficient VQLS ansatz against finite
+// differences (1e-7) and each other (1e-9), using the solver's own A†A
+// observable.
+func TestVQLSAnsatzGradientCorrectness(t *testing.T) {
+	p := IsingA(4, 0.4, 0.3, 1.0)
+	ansatz := Ansatz(4, 2)
+	normal := normalOperator(p.A)
+	ham := &pauli.Hamiltonian{NQubits: 4}
+	for _, term := range normal.Paulis {
+		ops := map[int]pauli.Op{}
+		for q := 0; q < len(term.Ops); q++ {
+			switch term.Ops[q] {
+			case 'X':
+				ops[q] = pauli.X
+			case 'Y':
+				ops[q] = pauli.Y
+			case 'Z':
+				ops[q] = pauli.Z
+			}
+		}
+		ham.Add(term.Coeff, ops)
+	}
+	obs := statevec.GradObs{Ham: ham}
+	binding := map[string]float64{}
+	for i := 0; i < NumParams(4, 2); i++ {
+		binding[fmt.Sprintf("t%d", i)] = 0.1*float64(i) - 0.5
+	}
+	plan := circuit.PlanFusionGrad(ansatz)
+	aval, agrad, err := statevec.GradientAdjoint(plan, binding, obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splan, err := circuit.PlanParamShift(ansatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sval, sgrad, err := statevec.GradientParamShift(splan, binding, obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aval-sval) > 1e-9 {
+		t.Fatalf("value: adjoint %.15g vs shift %.15g", aval, sval)
+	}
+	value := func(b map[string]float64) float64 {
+		s, _ := statevec.RunFused(ansatz.Bind(b), nil, 1, nil)
+		defer s.Release()
+		return s.ExpectationHamiltonian(ham)
+	}
+	const eps = 1e-5
+	for i, name := range plan.Params() {
+		if math.Abs(agrad[i]-sgrad[i]) > 1e-9 {
+			t.Errorf("param %s: adjoint %.15g vs shift %.15g", name, agrad[i], sgrad[i])
+		}
+		up := map[string]float64{}
+		dn := map[string]float64{}
+		for k, v := range binding {
+			up[k], dn[k] = v, v
+		}
+		up[name] += eps
+		dn[name] -= eps
+		fd := (value(up) - value(dn)) / (2 * eps)
+		if math.Abs(agrad[i]-fd) > 1e-7 {
+			t.Errorf("param %s: adjoint %.12g vs finite diff %.12g", name, agrad[i], fd)
+		}
+	}
+}
+
+// TestVQLSGradientSolveBeatsBudget checks the adjoint-driven VQLS loop
+// reaches at least the Nelder-Mead cost on a smaller circuit-equivalent
+// budget — the loop-level acceptance property of the gradient engine.
+func TestVQLSGradientSolveBeatsBudget(t *testing.T) {
+	p := IsingA(4, 0.35, 0.25, 1.0)
+	runner := qaoa.LocalRunner{}
+	nm, err := Solve(p, runner, Options{Layers: 2, MaxEvals: 300, Seed: 3, Optimizer: "neldermead"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad, err := Solve(p, runner, Options{Layers: 2, MaxEvals: 300, Seed: 3, Optimizer: "adam", Target: &nm.Cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad.Cost > nm.Cost+1e-9 {
+		t.Fatalf("gradient cost %.6f worse than Nelder-Mead %.6f", grad.Cost, nm.Cost)
+	}
+	if grad.Evals >= nm.Evals {
+		t.Fatalf("gradient loop spent %d evals, Nelder-Mead %d — no win", grad.Evals, nm.Evals)
+	}
+	// Auto strategy on a gradient-capable runner must also go the
+	// gradient way and converge.
+	auto, err := Solve(p, runner, Options{Layers: 2, MaxEvals: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Cost > 0.2 {
+		t.Fatalf("auto cost %.4f did not converge", auto.Cost)
+	}
+	if _, err := Solve(p, nonGradRunner{runner}, Options{Layers: 1, MaxEvals: 40, Seed: 3, Optimizer: "adam"}); err == nil {
+		t.Fatal("explicit adam on a non-gradient runner must fail")
+	}
+	// The gd path's Armijo ladder must ride the value-only batch hook and
+	// stay inside the circuit-equivalent budget.
+	gd, err := Solve(p, runner, Options{Layers: 2, MaxEvals: 280, Seed: 3, Optimizer: "gd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Evals > 280 {
+		t.Fatalf("gd blew the circuit-equivalent budget: %d > 280", gd.Evals)
+	}
+	if gd.Cost > 0.25 {
+		t.Fatalf("gd cost %.4f did not converge", gd.Cost)
+	}
+}
+
+// nonGradRunner hides LocalRunner's gradient capability.
+type nonGradRunner struct{ inner qaoa.LocalRunner }
+
+func (n nonGradRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result, error) {
+	return n.inner.Run(c, opts)
+}

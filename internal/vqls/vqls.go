@@ -140,17 +140,33 @@ func pauliMapToObservable(acc map[string]complex128, order []string) *core.Obser
 // Options tune a VQLS solve.
 type Options struct {
 	Layers   int   // ansatz depth, default 2
-	MaxEvals int   // optimizer budget, default 150
+	MaxEvals int   // optimizer budget in circuit-equivalent evaluations, default 150
 	Seed     int64 // default 1
 	Shots    int   // forwarded to the backend (observables are exact on local sims)
 	Run      core.RunOptions
+
+	// Optimizer selects the classical update rule: "auto" (default — Adam
+	// over analytic adjoint gradients when the runner differentiates,
+	// Nelder-Mead otherwise), "adam", "gd", or "neldermead". The VQLS cost
+	// is a quotient of two observables, so one gradient step costs two
+	// adjoint evaluations (numerator and denominator) combined through the
+	// quotient rule.
+	Optimizer string
+
+	// LR overrides the gradient optimizer's step size (default 0.1).
+	LR float64
+
+	// Target, when non-nil, stops the optimization once the cost reaches it
+	// (the equal-convergence-target mode of the gradient ablation). Honored
+	// by the adam, gd, and neldermead paths.
+	Target *float64
 }
 
 // Result summarizes a VQLS solve.
 type Result struct {
 	Params []float64
 	Cost   float64 // final C(θ) in [0, 1]
-	Evals  int
+	Evals  int     // circuit-equivalent evaluations spent
 }
 
 // Solve trains the ansatz against the runner (a QFw frontend or local
@@ -193,16 +209,43 @@ func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
 	for i := range x0 {
 		x0[i] = rng.NormFloat64() * 0.3
 	}
-	nmOpts := optimize.NMOptions{MaxEvals: opts.MaxEvals, InitStep: 0.6}
+	// MaxEvals is a circuit-equivalent budget and every Nelder-Mead theta
+	// evaluation costs two observable submissions, so the simplex gets half
+	// the point count (at least one — zero would fall back to the internal
+	// 200-evaluation default and blow the budget).
+	nmEvals := opts.MaxEvals / 2
+	if nmEvals < 1 {
+		nmEvals = 1
+	}
+	nmOpts := optimize.NMOptions{MaxEvals: nmEvals, InitStep: 0.6}
+	if opts.Target != nil {
+		nmOpts.Target = *opts.Target
+		nmOpts.HasTarget = true
+	}
 	var best []float64
 	var bestC float64
-	if br, ok := runner.(qaoa.BatchRunner); ok {
+	gr, hasGR := runner.(qaoa.GradientRunner)
+	useGrad := hasGR && gr.SupportsGradients()
+	switch opts.Optimizer {
+	case "", "auto":
+	case "adam", "gd":
+		if !useGrad {
+			return nil, fmt.Errorf("vqls: optimizer %q needs a gradient-capable runner", opts.Optimizer)
+		}
+	case "neldermead", "nm":
+		useGrad = false
+	default:
+		return nil, fmt.Errorf("vqls: unknown optimizer %q", opts.Optimizer)
+	}
+	if useGrad {
+		best, bestC = solveGradient(runner, gr, ansatz, projected, normal, x0, &opts, &evals, &firstErr, combine)
+	} else if br, ok := runner.(qaoa.BatchRunner); ok {
 		// Batched path: a candidate set of M thetas costs two RunBatch
 		// submissions (numerator and denominator observables) instead of 2M
 		// individual circuit submissions.
 		costBatch := func(thetas [][]float64) []float64 {
 			out := make([]float64, len(thetas))
-			evals += len(thetas)
+			evals += 2 * len(thetas) // two observable submissions per theta
 			if firstErr != nil {
 				for i := range out {
 					out[i] = math.Inf(1)
@@ -240,7 +283,7 @@ func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
 			if firstErr != nil {
 				return math.Inf(1)
 			}
-			evals++
+			evals += 2 // two observable submissions per theta
 			binding := map[string]float64{}
 			for i, v := range theta {
 				binding[fmt.Sprintf("t%d", i)] = v
@@ -264,6 +307,148 @@ func Solve(p *Problem, runner qaoa.Runner, opts Options) (*Result, error) {
 		return nil, firstErr
 	}
 	return &Result{Params: best, Cost: bestC, Evals: evals}, nil
+}
+
+// vqlsGradCost is the circuit-equivalent price of one VQLS gradient point:
+// two adjoint evaluations (numerator and denominator observables) at three
+// circuit-equivalents each.
+const vqlsGradCost = 6
+
+// solveGradient runs the gradient-driven VQLS loop: per candidate θ, the
+// runner's adjoint capability returns value and gradient of both quadratic
+// forms in two RunGradient submissions, and the quotient rule combines them
+// into the cost gradient:
+//
+//	C = 1 − num/den,  ∇C = (num·∇den − ∇num·den) / den².
+func solveGradient(runner qaoa.Runner, gr qaoa.GradientRunner, ansatz *circuit.Circuit, projected, normal *core.Observable,
+	x0 []float64, opts *Options, evals *int, firstErr *error, combine func(num, den float64) float64) ([]float64, float64) {
+	nParams := len(x0)
+	sorted := ansatz.ParamNames()
+	fidx := make([]int, nParams)
+	pos := map[string]int{}
+	for i, name := range sorted {
+		pos[name] = i
+	}
+	for i := 0; i < nParams; i++ {
+		fidx[i] = pos[fmt.Sprintf("t%d", i)]
+	}
+	fail := func(xs [][]float64, err error) ([]float64, [][]float64) {
+		if *firstErr == nil && err != nil {
+			*firstErr = err
+		}
+		vals := make([]float64, len(xs))
+		grads := make([][]float64, len(xs))
+		for i := range xs {
+			vals[i] = math.Inf(1)
+			grads[i] = make([]float64, nParams)
+		}
+		return vals, grads
+	}
+	gradObj := func(xs [][]float64) ([]float64, [][]float64) {
+		if *firstErr != nil {
+			return fail(xs, nil)
+		}
+		*evals += vqlsGradCost * len(xs)
+		bindings := make([]core.Bindings, len(xs))
+		for i, x := range xs {
+			b := core.Bindings{}
+			for k, v := range x {
+				b[fmt.Sprintf("t%d", k)] = v
+			}
+			bindings[i] = b
+		}
+		runOpts := opts.Run
+		runOpts.Shots = opts.Shots
+		runOpts.Seed = opts.Seed
+		runOpts.Observable = projected
+		nums, err := gr.RunGradient(ansatz, bindings, runOpts)
+		if err != nil {
+			return fail(xs, err)
+		}
+		runOpts.Observable = normal
+		dens, err := gr.RunGradient(ansatz, bindings, runOpts)
+		if err != nil {
+			return fail(xs, err)
+		}
+		vals := make([]float64, len(xs))
+		grads := make([][]float64, len(xs))
+		for i := range xs {
+			num, den := nums[i].Value, dens[i].Value
+			vals[i] = combine(num, den)
+			g := make([]float64, nParams)
+			if den > 1e-12 {
+				for j, at := range fidx {
+					g[j] = (num*dens[i].Grad[at] - nums[i].Grad[at]*den) / (den * den)
+				}
+			}
+			grads[i] = g
+		}
+		return vals, grads
+	}
+	gopts := optimize.GradOptions{LR: opts.LR}
+	if opts.Target != nil {
+		gopts.Target = *opts.Target
+		gopts.HasTarget = true
+	}
+	perIter := vqlsGradCost
+	useGD := opts.Optimizer == "gd"
+	if useGD {
+		if br, ok := runner.(qaoa.BatchRunner); ok {
+			// Value-only Armijo ladder: two batched observable submissions
+			// per candidate set instead of full adjoint sweeps.
+			gopts.Line = func(xs [][]float64) []float64 {
+				out := make([]float64, len(xs))
+				if *firstErr != nil {
+					for i := range out {
+						out[i] = math.Inf(1)
+					}
+					return out
+				}
+				*evals += 2 * len(xs)
+				bindings := make([]core.Bindings, len(xs))
+				for i, x := range xs {
+					b := core.Bindings{}
+					for k, v := range x {
+						b[fmt.Sprintf("t%d", k)] = v
+					}
+					bindings[i] = b
+				}
+				nums, err := expectBatch(br, ansatz, bindings, projected, *opts)
+				var dens []float64
+				if err == nil {
+					dens, err = expectBatch(br, ansatz, bindings, normal, *opts)
+				}
+				if err != nil {
+					if *firstErr == nil {
+						*firstErr = err
+					}
+					for i := range out {
+						out[i] = math.Inf(1)
+					}
+					return out
+				}
+				for i := range out {
+					out[i] = combine(nums[i], dens[i])
+				}
+				return out
+			}
+			perIter += 2 * 4 // four-point ladder, two observables each
+		} else {
+			// No batch path: GradientDescent falls back to the gradient
+			// hook for the ladder, so cost it honestly.
+			perIter += vqlsGradCost * 4
+		}
+	}
+	gopts.MaxIters = opts.MaxEvals / perIter
+	if gopts.MaxIters < 1 {
+		gopts.MaxIters = 1
+	}
+	if useGD {
+		best, bestC, _ := optimize.GradientDescent(gradObj, x0, gopts)
+		return best, bestC
+	}
+	best, bestC, _ := optimize.Adam(gradObj, x0, gopts)
+	return best, bestC
 }
 
 // expectBatch evaluates one observable over a whole candidate set through a

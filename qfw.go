@@ -80,6 +80,17 @@ type (
 	Bindings = core.Bindings
 	// PendingBatch is an in-flight asynchronous batch execution.
 	PendingBatch = core.PendingBatch
+	// GradResult is one analytic gradient evaluation: the exact expectation
+	// value and its partial derivatives over the circuit's sorted parameter
+	// names (see Frontend.RunGradient).
+	GradResult = core.GradResult
+	// Observable is an operator attached to a run or gradient request:
+	// H = Σ Fields Z_i + Σ Couplings V Z_i Z_j + Σ Paulis Coeff·P.
+	Observable = core.Observable
+	// Coupling is one quadratic term of a diagonal observable.
+	Coupling = core.Coupling
+	// PauliTerm is one general Pauli-string observable term.
+	PauliTerm = core.PauliTerm
 )
 
 // Re-exported circuit IR types.
