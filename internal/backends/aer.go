@@ -35,23 +35,73 @@ func (b *aer) Capabilities() core.Capabilities {
 		NativeMPI:    true,
 		Gradients:    true,
 		GradientSubs: []string{"statevector", "automatic"},
-		Notes:        "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build. Adjoint gradients on the statevector engine.",
+		Notes:        "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build. Adjoint gradients on the statevector engine; matrix_product_state runs the compiled fusion-aware MPS schedule (MaxBond/Cutoff via RunOptions).",
 	}
 }
 
 func (b *aer) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
-	c, err := parseSpec(spec)
+	c, err := b.cache.Get(spec)
+	if err != nil {
+		return core.ExecResult{}, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	sub, err := b.resolveSub(c, opts)
 	if err != nil {
 		return core.ExecResult{}, err
 	}
-	return b.executeParsed(c, nil, opts)
+	if sub == "matrix_product_state" {
+		res, err := runMPSSingle(b.cache, spec, opts, mps.DefaultMaxBond, b.chunkWorkers(opts))
+		if err != nil {
+			return core.ExecResult{}, fmt.Errorf("aer/mps: %w", err)
+		}
+		return res, nil
+	}
+	if !c.IsBound() {
+		return core.ExecResult{}, fmt.Errorf("backend: parametric spec %q requires batch execution (unbound params %v)", spec.Name, c.ParamNames())
+	}
+	return b.executeParsed(c, nil, sub, opts)
 }
 
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz — with its fusion plan built once per batch —
-// and run it on the selected sub-backend.
+// cached parse of the ansatz — with its fusion plan (or compiled MPS
+// schedule) built once per batch — and run it on the selected sub-backend.
 func (b *aer) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
-	return runBatch(b.cache, spec, bindings, opts, b.executeParsed)
+	// Get (not GetFused): an MPS batch builds its own plan on the
+	// transpiled circuit, so the dense fusion plan would be wasted work;
+	// the non-MPS path builds it lazily inside runBatch.
+	base, err := b.cache.Get(spec)
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	sub, err := b.resolveSub(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sub == "matrix_product_state" {
+		res, err := runMPSBatch(b.cache, spec, bindings, opts, mps.DefaultMaxBond)
+		if err != nil {
+			return nil, fmt.Errorf("aer/mps: %w", err)
+		}
+		return res, nil
+	}
+	return runBatch(b.cache, spec, bindings, opts,
+		func(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+			return b.executeParsed(c, plan, sub, opts)
+		})
+}
+
+// resolveSub normalizes the requested sub-backend, resolving "automatic"
+// against the circuit structure.
+func (b *aer) resolveSub(c *circuitT, opts core.RunOptions) (string, error) {
+	sub := normalizeSub(opts.Subbackend, "automatic")
+	switch sub {
+	case "automatic":
+		return b.selectAutomatic(c), nil
+	case "statevector", "stabilizer":
+		return sub, nil
+	case "matrix_product_state", "mps":
+		return "matrix_product_state", nil
+	}
+	return "", fmt.Errorf("aer: unknown sub-backend %q", opts.Subbackend)
 }
 
 // ExecuteGradient implements core.GradientExecutor on the dense statevector
@@ -73,15 +123,9 @@ func (b *aer) ExecuteGradient(spec core.CircuitSpec, bindings []core.Bindings, o
 	return runGradient(b.cache, spec, bindings, opts, b.chunkWorkers(opts))
 }
 
-func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
-	sub := normalizeSub(opts.Subbackend, "automatic")
-	switch sub {
-	case "automatic":
-		sub = b.selectAutomatic(c)
-	case "statevector", "matrix_product_state", "mps", "stabilizer":
-	default:
-		return core.ExecResult{}, fmt.Errorf("aer: unknown sub-backend %q", opts.Subbackend)
-	}
+// executeParsed runs the non-MPS sub-backends (the MPS path dispatches at
+// the spec level so its compiled schedule can live in the cache).
+func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, sub string, opts core.RunOptions) (core.ExecResult, error) {
 	switch sub {
 	case "statevector":
 		if err := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
@@ -90,16 +134,6 @@ func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.Run
 		workers := b.chunkWorkers(opts)
 		counts, ev := simulateSV(c, plan, opts.Shots, workers, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
-	case "matrix_product_state", "mps":
-		var ham *pauliHam
-		if opts.Observable != nil {
-			ham = obsHamiltonian(opts.Observable, c.NQubits)
-		}
-		counts, truncErr, ev, err := mps.SimulateWithExpectation(c, opts.Shots, opts.MaxBond, opts.Cutoff, newRNG(opts), ham)
-		if err != nil {
-			return core.ExecResult{}, fmt.Errorf("aer/mps: %w", err)
-		}
-		return core.ExecResult{Counts: counts, TruncErr: truncErr, ExpVal: ev}, nil
 	case "stabilizer":
 		counts, err := stabilizer.Simulate(c, opts.Shots, newRNG(opts))
 		if err != nil {

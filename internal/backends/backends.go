@@ -23,6 +23,7 @@ import (
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
+	"qfw/internal/mps"
 	"qfw/internal/pauli"
 	"qfw/internal/statevec"
 )
@@ -79,6 +80,98 @@ func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bin
 			return
 		}
 		res, err := run(c, plan, opts.ForElement(i))
+		if err != nil {
+			errs[i] = fmt.Errorf("batch element %d: %w", i, err)
+			return
+		}
+		out[i] = res
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// compiledMPS fetches the routed MPS execution schedule of a spec through
+// the backend's ParseCache: parse, transpile, fusion-plan, and swap-route
+// once per distinct spec content, so a batch of K bindings shares one
+// compiled schedule exactly like the state-vector engines share a fusion
+// plan.
+func compiledMPS(cache *core.ParseCache, spec core.CircuitSpec) (*mps.Compiled, error) {
+	v, err := cache.Memo(spec, "mps-schedule", func(c *circuit.Circuit) (any, error) {
+		return mps.CompileCircuit(c)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	return v.(*mps.Compiled), nil
+}
+
+// runMPSOne executes one binding of a compiled MPS schedule and marshals
+// the unified result: counts, cumulative discarded weight, the
+// multiplicative fidelity estimate, and the exact <H> when an observable is
+// attached.
+func runMPSOne(cc *mps.Compiled, binding core.Bindings, opts core.RunOptions, defaultBond, workers int) (core.ExecResult, error) {
+	mopt := mps.Options{MaxBond: opts.MaxBond, Cutoff: opts.Cutoff, Workers: workers}
+	if mopt.MaxBond <= 0 {
+		mopt.MaxBond = defaultBond
+	}
+	m, err := cc.Execute(binding, mopt)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	defer m.Release()
+	var ev *float64
+	if opts.Observable != nil {
+		v := m.ExpectationHamiltonian(obsHamiltonian(opts.Observable, cc.N))
+		ev = &v
+	}
+	shots := opts.Shots
+	if shots <= 0 {
+		shots = 1024
+	}
+	counts := m.Sample(shots, newRNG(opts))
+	return core.ExecResult{
+		Counts:   counts,
+		TruncErr: m.TruncErr,
+		ExpVal:   ev,
+		Extra: map[string]float64{
+			"mps_fidelity":  m.Fidelity(),
+			"mps_peak_bond": float64(m.PeakBond()),
+			"mps_swaps":     float64(cc.Swaps),
+		},
+	}, nil
+}
+
+// runMPSSingle is the one-shot (Execute) MPS path: fetch the compiled
+// schedule through the cache (no extra parse) and run the single element.
+// Parametric specs are rejected here — single execution has no bindings.
+func runMPSSingle(cache *core.ParseCache, spec core.CircuitSpec, opts core.RunOptions, defaultBond, workers int) (core.ExecResult, error) {
+	cc, err := compiledMPS(cache, spec)
+	if err != nil {
+		return core.ExecResult{}, err
+	}
+	if ps := cc.Params(); len(ps) > 0 {
+		return core.ExecResult{}, fmt.Errorf("backend: parametric spec %q requires batch execution (unbound params %v)", spec.Name, ps)
+	}
+	return runMPSOne(cc, nil, opts, defaultBond, workers)
+}
+
+// runMPSBatch is the BatchExecutor body of the MPS sub-backends: one
+// compiled schedule per spec, elements fanned across a core-bounded pool
+// with per-element deterministic seeds (each element runs its kernels
+// serially — the parallelism budget goes to the fan-out).
+func runMPSBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions, defaultBond int) ([]core.ExecResult, error) {
+	cc, err := compiledMPS(cache, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ExecResult, len(bindings))
+	errs := make([]error, len(bindings))
+	core.FanOut(len(bindings), runtime.GOMAXPROCS(0), func(i int) {
+		res, err := runMPSOne(cc, bindings[i], opts.ForElement(i), defaultBond, 1)
 		if err != nil {
 			errs[i] = fmt.Errorf("batch element %d: %w", i, err)
 			return

@@ -42,7 +42,9 @@ func runGradient(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.
 // unlike plain execution, three full-width states (|ψ⟩, |λ⟩, |μ⟩) are live
 // simultaneously, so the per-execution footprint is 3·16 bytes/amplitude.
 func checkGradientBudget(n int, budget int64) error {
-	if n >= 60 {
+	// 48 = 3·16 bytes/amplitude; 48<<58 already overflows int64, so the
+	// width guard must reject n >= 58 before the shift.
+	if n >= 58 {
 		return core.Infeasible("adjoint gradient of %d qubits", n)
 	}
 	need := int64(48) << uint(n)

@@ -49,7 +49,10 @@ func (b *qtensor) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exe
 }
 
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz and contract it per element.
+// cached parse of the ansatz and contract it per element. runBatch goes
+// through cache.GetFused, so the QASM parse (and fusion plan, unused here)
+// is paid once per spec, never per binding — pinned by the parse-count
+// regression in TestLocalBackendsBatchParseOnce.
 func (b *qtensor) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	return runBatch(b.cache, spec, bindings, opts,
 		func(c *circuitT, _ *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {

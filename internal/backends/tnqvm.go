@@ -2,10 +2,9 @@ package backends
 
 import (
 	"fmt"
+	"runtime"
 
-	"qfw/internal/circuit"
 	"qfw/internal/core"
-	"qfw/internal/mps"
 )
 
 // tnqvm is the TN-QVM analog: a thin wrapper over a tensor-network library
@@ -39,24 +38,31 @@ func (b *tnqvm) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecR
 	if err := b.checkSub(opts); err != nil {
 		return core.ExecResult{}, err
 	}
-	c, err := parseSpec(spec)
+	res, err := runMPSSingle(b.cache, spec, opts, tnqvmDefaultBond, runtime.GOMAXPROCS(0))
 	if err != nil {
-		return core.ExecResult{}, err
+		return core.ExecResult{}, fmt.Errorf("tnqvm/exatn-mps: %w", err)
 	}
-	return b.executeParsed(c, opts)
+	return res, nil
 }
 
-// ExecuteBatch implements core.BatchExecutor: rebind each element into the
-// cached parse of the ansatz and contract it on the MPS engine.
+// ExecuteBatch implements core.BatchExecutor: the spec compiles once per
+// batch into the routed MPS schedule (parse, transpile, fusion plan, swap
+// route — all keyed by spec hash in the ParseCache) and every element
+// rebinds into it.
 func (b *tnqvm) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	if err := b.checkSub(opts); err != nil {
 		return nil, err
 	}
-	return runBatch(b.cache, spec, bindings, opts,
-		func(c *circuitT, _ *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
-			return b.executeParsed(c, opts)
-		})
+	res, err := runMPSBatch(b.cache, spec, bindings, opts, tnqvmDefaultBond)
+	if err != nil {
+		return nil, fmt.Errorf("tnqvm/exatn-mps: %w", err)
+	}
+	return res, nil
 }
+
+// tnqvmDefaultBond is ExaTN-MPS's default bond cap: slightly more
+// conservative than Aer's, reflecting its general-network heritage.
+const tnqvmDefaultBond = 48
 
 func (b *tnqvm) checkSub(opts core.RunOptions) error {
 	switch normalizeSub(opts.Subbackend, "exatn-mps") {
@@ -69,22 +75,4 @@ func (b *tnqvm) checkSub(opts core.RunOptions) error {
 	default:
 		return fmt.Errorf("tnqvm: unknown sub-backend %q", opts.Subbackend)
 	}
-}
-
-func (b *tnqvm) executeParsed(c *circuitT, opts core.RunOptions) (core.ExecResult, error) {
-	// ExaTN-MPS defaults differ slightly from Aer's MPS engine: a more
-	// conservative bond cap reflecting its general-network heritage.
-	maxBond := opts.MaxBond
-	if maxBond <= 0 {
-		maxBond = 48
-	}
-	var ham *pauliHam
-	if opts.Observable != nil {
-		ham = obsHamiltonian(opts.Observable, c.NQubits)
-	}
-	counts, truncErr, ev, err := mps.SimulateWithExpectation(c, opts.Shots, maxBond, opts.Cutoff, newRNG(opts), ham)
-	if err != nil {
-		return core.ExecResult{}, fmt.Errorf("tnqvm/exatn-mps: %w", err)
-	}
-	return core.ExecResult{Counts: counts, TruncErr: truncErr, ExpVal: ev}, nil
 }

@@ -63,6 +63,18 @@ var Catalog = []WorkloadSpec{
 		Describe: "Harrow-Hassidim-Lloyd linear solver (QPE + controlled rotations)",
 	},
 	{
+		Name: "tfim-xl", Variant: "non-variational",
+		Sizes:    []int{48, 64, 96, 128},
+		Quick:    []int{48, 64},
+		Describe: "Large-n TFIM evolution (MPS regime: dense state vectors are infeasible past ~30 qubits)",
+	},
+	{
+		Name: "qaoa-ring", Variant: "non-variational",
+		Sizes:    []int{32, 64},
+		Quick:    []int{32},
+		Describe: "Bound ring-QAOA layers (one long-range closing edge per layer exercises MPS swap routing)",
+	},
+	{
 		Name: "qaoa", Variant: "variational",
 		Sizes:    []int{4, 8, 10, 16, 20, 30},
 		Quick:    []int{4, 8},
@@ -129,6 +141,12 @@ var AblationCatalog = []AblationSpec{
 		Name:     "gradient-methods",
 		Sizes:    []int{10},
 		Describe: "QAOA p=2 / VQLS hybrid loops: adjoint-gradient Adam vs parameter-shift Adam vs Nelder-Mead, run to the Nelder-Mead objective as the shared convergence target, circuit-equivalent evaluations counted per method",
+	},
+	{
+		Name:     "mps-engine",
+		Ks:       []int{8},
+		Sizes:    []int{16, 24, 48},
+		Describe: "TFIM / ring-QAOA batches of K=8 on the MPS engine: compiled+batched schedule vs the per-gate seed path, with the fused statevector engine at the crossover sizes",
 	},
 }
 

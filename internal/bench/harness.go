@@ -11,6 +11,7 @@ import (
 	"qfw/internal/core"
 	"qfw/internal/dqaoa"
 	"qfw/internal/mpi"
+	"qfw/internal/mps"
 	"qfw/internal/optimize"
 	"qfw/internal/qaoa"
 	"qfw/internal/qubo"
@@ -593,6 +594,112 @@ func (h *Harness) RunDistAblation() (*Experiment, error) {
 				kind, float64(gateBytes)/float64(fusedBytes))
 		}
 		exp.Series = append(exp.Series, fused, perGate, single)
+	}
+	return exp, nil
+}
+
+// RunMPSAblation measures the mps-engine ablation of the catalog: batches
+// of K identical TFIM / ring-QAOA executions run through the per-gate seed
+// path (one transpile + gate-by-gate MPS update with there-and-back swap
+// routing per element, serially — exactly what the matrix_product_state
+// sub-backend did before the compiled engine) and through the production
+// path (one fusion-aware compiled schedule with a persistent-permutation
+// swap route, elements fanned across cores). The fused statevector engine
+// runs beside them at the sizes it can reach, locating the crossover where
+// MPS takes over. Identical circuits and seeds everywhere.
+func (h *Harness) RunMPSAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "mps-engine" {
+			spec = ab
+		}
+	}
+	k := 8
+	if len(spec.Ks) > 0 {
+		k = spec.Ks[0]
+	}
+	exp := &Experiment{
+		ID:    "ablation-mps",
+		Title: "Compiled+batched vs per-gate MPS execution (" + spec.Describe + ")",
+		Notes: fmt.Sprintf("X axis is the qubit count; every series runs the identical K=%d circuit batch with identical seeds.", k),
+	}
+	shots := h.Shots
+	if shots <= 0 {
+		shots = 256
+	}
+	const maxBond = 64
+	svWorkers := runtime.GOMAXPROCS(0)
+	var compiledTotal, perGateTotal float64
+	for _, kind := range []string{"tfim", "qaoa-ring"} {
+		perGate := Series{Label: kind + " per-gate mps"}
+		compiled := Series{Label: kind + " compiled+batched mps"}
+		sv := Series{Label: kind + " fused statevector"}
+		for _, n := range spec.Sizes {
+			circ, err := workloads.ByName(kind, n)
+			if err != nil {
+				return nil, err
+			}
+			circ = circ.StripMeasurements()
+			pm, ps, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+				for i := 0; i < k; i++ {
+					rng := rand.New(rand.NewSource(h.Seed + int64(i)))
+					if _, _, err := mps.Simulate(circ, shots, maxBond, 0, rng); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			cm, cs, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+				cc, err := mps.CompileCircuit(circ)
+				if err != nil {
+					return nil, err
+				}
+				states, err := cc.RunBatch(make([]map[string]float64, k), mps.Options{MaxBond: maxBond})
+				if err != nil {
+					return nil, err
+				}
+				for i, m := range states {
+					rng := rand.New(rand.NewSource(h.Seed + int64(i)))
+					m.Sample(shots, rng)
+					m.Release()
+				}
+				return nil, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			perGateTotal += pm
+			compiledTotal += cm
+			perGate.Points = append(perGate.Points, Point{X: n, Placement: fmt.Sprintf("K=%d", k), RuntimeMS: pm, StdMS: ps})
+			compiled.Points = append(compiled.Points, Point{X: n, Placement: fmt.Sprintf("K=%d", k), RuntimeMS: cm, StdMS: cs})
+			// Dense reference: a 2^n amplitude vector stops fitting past the
+			// crossover — render those sizes as the paper's red-X points.
+			if n > 26 {
+				sv.Points = append(sv.Points, Point{X: n, Placement: fmt.Sprintf("K=%d", k),
+					Infeasible: true, Err: fmt.Sprintf("state vector of %d qubits exceeds the ablation budget", n)})
+				continue
+			}
+			sm, ss, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+				for i := 0; i < k; i++ {
+					rng := rand.New(rand.NewSource(h.Seed + int64(i)))
+					s, _ := statevec.RunFused(circ, nil, svWorkers, rng)
+					s.SampleCounts(shots, rng)
+					s.Release()
+				}
+				return nil, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			sv.Points = append(sv.Points, Point{X: n, Placement: fmt.Sprintf("(1,%d)", svWorkers), RuntimeMS: sm, StdMS: ss})
+		}
+		exp.Series = append(exp.Series, perGate, compiled, sv)
+	}
+	if compiledTotal > 0 {
+		exp.Notes += fmt.Sprintf(" Aggregate speedup over the per-gate path: %.2fx.", perGateTotal/compiledTotal)
 	}
 	return exp, nil
 }

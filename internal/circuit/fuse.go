@@ -388,6 +388,126 @@ func (p *FusionPlan) mergeAdjacentDense() {
 // NumOps returns the number of fused operations the plan compiles to.
 func (p *FusionPlan) NumOps() int { return len(p.segs) }
 
+// SegmentKind classifies an exported fusion segment.
+type SegmentKind int
+
+// Exported segment kinds.
+const (
+	SegDense SegmentKind = iota // gates merge into one dense unitary
+	SegDiag                     // commuting diagonal run
+	SegPass                     // standalone passthrough gate
+)
+
+// SegmentInfo is the exported structural view of one planned fusion segment:
+// which source gates it covers and which qubits it touches, with no numeric
+// content. Engines that cannot execute FusedPrograms directly (the MPS
+// compiler) build their own schedules from this structure, so fusion
+// planning stays a single shared pass.
+type SegmentInfo struct {
+	Kind   SegmentKind
+	Qubits []int // merged support, ascending
+	Gates  []int // indices into the source circuit's gate list, ascending
+}
+
+// Segments returns the plan's segment structure in stream order. The result
+// depends only on circuit structure (like the plan itself), so one segment
+// list serves every binding of a parametric ansatz.
+func (p *FusionPlan) Segments(c *Circuit) []SegmentInfo {
+	if c != nil && (c.NQubits != p.nqubits || len(c.Gates) != p.ngates) {
+		panic(fmt.Sprintf("circuit: fusion plan built for %d gates on %d qubits, got %d gates on %d",
+			p.ngates, p.nqubits, len(c.Gates), c.NQubits))
+	}
+	out := make([]SegmentInfo, len(p.segs))
+	for i, s := range p.segs {
+		info := SegmentInfo{Gates: append([]int(nil), s.gates...)}
+		switch s.kind {
+		case segDense:
+			info.Kind = SegDense
+			info.Qubits = append([]int(nil), s.qubits...)
+		case segDiag:
+			info.Kind = SegDiag
+			if c != nil {
+				support := map[int]bool{}
+				for _, gi := range s.gates {
+					for _, q := range c.Gates[gi].Qubits {
+						support[q] = true
+					}
+				}
+				for q := range support {
+					info.Qubits = append(info.Qubits, q)
+				}
+				sort.Ints(info.Qubits)
+			}
+		case segPass:
+			info.Kind = SegPass
+			if c != nil {
+				info.Qubits = append([]int(nil), c.Gates[s.gates[0]].Qubits...)
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// SegmentUnitary multiplies the bound gates of a dense segment into one
+// unitary in the 2^k basis of the qubit list qs (most significant first).
+// It is the numeric half of a SegDense segment, shared by FusionPlan.Compile
+// and the MPS schedule compiler.
+func SegmentUnitary(c *Circuit, gates []int, qs []int) *linalg.Matrix {
+	dim := 1 << uint(len(qs))
+	u := linalg.Identity(dim)
+	for _, gi := range gates {
+		g := c.Gates[gi]
+		if g.Kind == KindI {
+			continue
+		}
+		u = linalg.MatMul(expandGate(g, qs), u)
+	}
+	return u
+}
+
+// DiagLayout returns the coalesced per-qubit and per-pair supports of a
+// diagonal run, in exactly the order SegmentDiagonal emits its factor
+// tables (pairs normalized to A > B). The layout depends only on gate kinds
+// and qubits, so a binding-independent schedule can allocate its slots from
+// an unbound circuit.
+func DiagLayout(c *Circuit, gates []int) (singles []int, pairs [][2]int) {
+	idx1 := map[int]bool{}
+	idx2 := map[[2]int]bool{}
+	for _, gi := range gates {
+		g := c.Gates[gi]
+		switch g.Kind {
+		case KindI:
+		case KindZ, KindS, KindSdg, KindT, KindTdg, KindRZ, KindP:
+			if !idx1[g.Qubits[0]] {
+				idx1[g.Qubits[0]] = true
+				singles = append(singles, g.Qubits[0])
+			}
+		case KindCZ, KindCRZ, KindCP, KindRZZ:
+			a, b := g.Qubits[0], g.Qubits[1]
+			if a < b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if !idx2[key] {
+				idx2[key] = true
+				pairs = append(pairs, key)
+			}
+		default:
+			panic("circuit: DiagLayout on non-diagonal gate " + g.Kind.Name())
+		}
+	}
+	return singles, pairs
+}
+
+// SegmentDiagonal folds the bound diagonal gates of a run into coalesced
+// factor tables, in DiagLayout order (pairs normalized to A > B, D indexed
+// by the higher qubit as the most significant bit).
+func SegmentDiagonal(c *Circuit, gates []int) ([]DiagTerm1, []DiagTerm2) {
+	op := compileDiagSeg(c, fusionSeg{kind: segDiag, gates: gates})
+	return op.D1, op.D2
+}
+
 // Compile binds the plan against a fully bound circuit with the same
 // structure (same gate kinds and qubits in the same order — any Bind of the
 // circuit the plan was built from) and returns the executable program.
@@ -599,17 +719,7 @@ func compileDenseSeg(c *Circuit, seg fusionSeg) FusedOp {
 	for i, q := range seg.qubits {
 		qs[len(qs)-1-i] = q
 	}
-	k := len(qs)
-	dim := 1 << uint(k)
-	u := linalg.Identity(dim)
-	for _, gi := range seg.gates {
-		g := c.Gates[gi]
-		if g.Kind == KindI {
-			continue
-		}
-		u = linalg.MatMul(expandGate(g, qs), u)
-	}
-	return classifyDense(u, qs)
+	return classifyDense(SegmentUnitary(c, seg.gates, qs), qs)
 }
 
 // classifyDense selects the kernel for a fused dense unitary: diagonal and

@@ -191,3 +191,126 @@ func TestDiagFactorsMatchMatrices(t *testing.T) {
 		}
 	}
 }
+
+func TestSegmentsCoverEveryGate(t *testing.T) {
+	c := New(5)
+	c.H(0).CX(0, 1).RZ(2, Bound(0.3)).RZZ(2, 3, Bound(0.7)).Barrier()
+	c.CCX(0, 1, 4).RX(3, Bound(0.2)).CZ(3, 4)
+	plan := PlanFusion(c)
+	segs := plan.Segments(c)
+	seen := map[int]int{}
+	for _, seg := range segs {
+		for _, gi := range seg.Gates {
+			seen[gi]++
+		}
+	}
+	for gi, g := range c.Gates {
+		switch g.Kind {
+		case KindBarrier, KindI:
+			continue // no kernel, no segment
+		}
+		if seen[gi] != 1 {
+			t.Fatalf("gate %d (%s) appears in %d segments, want 1", gi, g.Kind.Name(), seen[gi])
+		}
+	}
+	// The CCX is too wide to fuse and must survive as a passthrough.
+	foundPass := false
+	for _, seg := range segs {
+		if seg.Kind == SegPass && c.Gates[seg.Gates[0]].Kind == KindCCX {
+			foundPass = true
+			if len(seg.Qubits) != 3 {
+				t.Fatalf("pass segment qubits = %v", seg.Qubits)
+			}
+		}
+	}
+	if !foundPass {
+		t.Fatalf("CCX should be a passthrough segment")
+	}
+}
+
+func TestSegmentUnitaryMatchesCompile(t *testing.T) {
+	// Per dense segment, SegmentUnitary over the reversed qubit list must be
+	// exactly the unitary Compile classifies — the contract the MPS schedule
+	// compiler depends on.
+	c := New(3)
+	c.H(0).RZ(0, Bound(0.4)).CX(0, 1).RY(1, Bound(1.1)).RXX(1, 2, Bound(0.9)).SX(2)
+	plan := PlanFusion(c)
+	prog := plan.Compile(c)
+	segs := plan.Segments(c)
+	if len(segs) != len(prog.Ops) {
+		t.Fatalf("%d segments vs %d ops", len(segs), len(prog.Ops))
+	}
+	for si, seg := range segs {
+		if seg.Kind != SegDense || len(seg.Qubits) != 2 {
+			continue
+		}
+		qs := []int{seg.Qubits[1], seg.Qubits[0]}
+		u := SegmentUnitary(c, seg.Gates, qs)
+		op := prog.Ops[si]
+		if op.Kind != FusedDense2Q {
+			continue
+		}
+		// op.Qubits is MSB-first and equals qs here (ascending reversed).
+		for r := 0; r < 4; r++ {
+			for cc := 0; cc < 4; cc++ {
+				if d := u.At(r, cc) - op.M.At(r, cc); math.Abs(real(d))+math.Abs(imag(d)) > 1e-12 {
+					t.Fatalf("segment %d unitary mismatch at (%d,%d)", si, r, cc)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagLayoutMatchesSegmentDiagonal(t *testing.T) {
+	c := New(4)
+	c.RZ(0, Bound(0.3)).RZZ(0, 1, Bound(0.5)).CZ(2, 1).RZ(0, Bound(0.2)).
+		RZZ(1, 0, Bound(0.1)).CP(3, 2, Bound(0.8)).S(3)
+	gates := make([]int, len(c.Gates))
+	for i := range gates {
+		gates[i] = i
+	}
+	singles, pairs := DiagLayout(c, gates)
+	t1, t2 := SegmentDiagonal(c, gates)
+	if len(singles) != len(t1) {
+		t.Fatalf("%d layout singles vs %d factor tables", len(singles), len(t1))
+	}
+	for i, q := range singles {
+		if t1[i].Q != q {
+			t.Fatalf("single %d: layout qubit %d, factor qubit %d", i, q, t1[i].Q)
+		}
+	}
+	if len(pairs) != len(t2) {
+		t.Fatalf("%d layout pairs vs %d factor tables", len(pairs), len(t2))
+	}
+	for i, pr := range pairs {
+		if pr[0] <= pr[1] {
+			t.Fatalf("pair %d not normalized: %v", i, pr)
+		}
+		if t2[i].A != pr[0] || t2[i].B != pr[1] {
+			t.Fatalf("pair %d: layout %v, factors (%d,%d)", i, pr, t2[i].A, t2[i].B)
+		}
+	}
+	// RZZ(0,1) and RZZ(1,0) coalesce into one pair; RZ(0) twice into one single.
+	if len(singles) != 2 || len(pairs) != 3 {
+		t.Fatalf("coalescing wrong: singles %v pairs %v", singles, pairs)
+	}
+}
+
+func TestSegmentsStructuralOnly(t *testing.T) {
+	// Segments must be identical across bindings of a parametric circuit —
+	// the property that lets one MPS schedule serve a whole batch.
+	c := New(3)
+	c.H(0).RZZ(0, 1, Sym("g", 2)).RX(1, Sym("b", 2)).CX(1, 2)
+	plan := PlanFusion(c)
+	sa := plan.Segments(c)
+	bound := c.Bind(map[string]float64{"g": 0.7, "b": 0.2})
+	sb := PlanFusion(bound).Segments(bound)
+	if len(sa) != len(sb) {
+		t.Fatalf("segment count differs across bindings: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Kind != sb[i].Kind || len(sa[i].Gates) != len(sb[i].Gates) {
+			t.Fatalf("segment %d differs across bindings", i)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package conformance holds the cross-engine differential test suite: a
+// seeded randomized circuit corpus over the shared gate set is executed on
+// every local simulation engine — dense statevector (the reference),
+// compiled MPS, tensor-network contraction, and the stabilizer tableau on
+// the Clifford subset — asserting that amplitudes and expectation values
+// agree to 1e-9 and that sampled histograms are statistically consistent
+// with the exact distribution (chi-square). It is the regression net under
+// the pluggable-backend promise: every engine answers every conforming
+// circuit identically.
+package conformance
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/mps"
+	"qfw/internal/pauli"
+	"qfw/internal/stabilizer"
+	"qfw/internal/statevec"
+	"qfw/internal/tensornet"
+)
+
+// randomCircuit draws a seeded circuit over the full shared gate set
+// (single-qubit Cliffords and rotations, the two-qubit set including
+// long-range placements, and CCX when width allows).
+func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	oneQ := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg,
+		circuit.KindSX, circuit.KindRX, circuit.KindRY, circuit.KindRZ, circuit.KindP,
+	}
+	twoQ := []circuit.Kind{
+		circuit.KindCX, circuit.KindCY, circuit.KindCZ,
+		circuit.KindCRX, circuit.KindCRY, circuit.KindCRZ, circuit.KindCP,
+		circuit.KindSWAP, circuit.KindRZZ, circuit.KindRXX,
+	}
+	pick := func(exclude []int) int {
+		for {
+			q := rng.Intn(n)
+			used := false
+			for _, e := range exclude {
+				if e == q {
+					used = true
+				}
+			}
+			if !used {
+				return q
+			}
+		}
+	}
+	for i := 0; i < gates; i++ {
+		r := rng.Float64()
+		switch {
+		case n >= 3 && r < 0.07:
+			a := pick(nil)
+			b := pick([]int{a})
+			c2 := pick([]int{a, b})
+			c.CCX(a, b, c2)
+		case n >= 2 && r < 0.5:
+			k := twoQ[rng.Intn(len(twoQ))]
+			a := pick(nil)
+			b := pick([]int{a})
+			g := circuit.Gate{Kind: k, Qubits: []int{a, b}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		default:
+			k := oneQ[rng.Intn(len(oneQ))]
+			g := circuit.Gate{Kind: k, Qubits: []int{rng.Intn(n)}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		}
+	}
+	return c
+}
+
+// randomClifford draws a seeded circuit over the stabilizer engine's
+// native gate set.
+func randomClifford(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	oneQ := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg,
+	}
+	twoQ := []circuit.Kind{circuit.KindCX, circuit.KindCZ, circuit.KindSWAP}
+	for i := 0; i < gates; i++ {
+		if n >= 2 && rng.Float64() < 0.45 {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.Append(circuit.Gate{Kind: twoQ[rng.Intn(len(twoQ))], Qubits: []int{a, b}})
+		} else {
+			c.Append(circuit.Gate{Kind: oneQ[rng.Intn(len(oneQ))], Qubits: []int{rng.Intn(n)}})
+		}
+	}
+	return c
+}
+
+func exactAmps(t *testing.T, c *circuit.Circuit) []complex128 {
+	t.Helper()
+	s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+	amps := append([]complex128(nil), s.Amp...)
+	s.Release()
+	return amps
+}
+
+func mpsAmps(t *testing.T, c *circuit.Circuit) []complex128 {
+	t.Helper()
+	cc, err := mps.CompileCircuit(c)
+	if err != nil {
+		t.Fatalf("mps compile: %v", err)
+	}
+	m, err := cc.Execute(nil, mps.Options{Cutoff: 1e-14})
+	if err != nil {
+		t.Fatalf("mps execute: %v", err)
+	}
+	defer m.Release()
+	return m.Amplitudes()
+}
+
+func maxAmpDiff(a, b []complex128) float64 {
+	mx := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+const ampTol = 1e-9
+
+// TestAmplitudeConformance: statevector vs MPS vs tensor network on the
+// randomized corpus, amplitude for amplitude.
+func TestAmplitudeConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(9) // 2..10
+		c := randomCircuit(rng, n, 6+rng.Intn(4*n))
+		ref := exactAmps(t, c)
+		if d := maxAmpDiff(ref, mpsAmps(t, c)); d > ampTol {
+			t.Fatalf("trial %d (n=%d): statevec vs mps diverge by %g\n%s", trial, n, d, c)
+		}
+		net, err := tensornet.Build(c)
+		if err != nil {
+			t.Fatalf("trial %d: tensornet build: %v", trial, err)
+		}
+		tnAmps, err := net.ContractAll()
+		if err != nil {
+			t.Fatalf("trial %d: tensornet contract: %v", trial, err)
+		}
+		if d := maxAmpDiff(ref, tnAmps); d > ampTol {
+			t.Fatalf("trial %d (n=%d): statevec vs tensornet diverge by %g", trial, n, d)
+		}
+	}
+}
+
+// TestExpectationConformance: random Pauli Hamiltonians evaluated exactly
+// on the statevector and MPS engines must agree to 1e-9.
+func TestExpectationConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	ops := []pauli.Op{pauli.X, pauli.Y, pauli.Z}
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(7)
+		c := randomCircuit(rng, n, 5+rng.Intn(3*n))
+		h := &pauli.Hamiltonian{NQubits: n}
+		for term := 0; term < 6; term++ {
+			support := map[int]pauli.Op{}
+			for q := 0; q < n; q++ {
+				if rng.Float64() < 0.4 {
+					support[q] = ops[rng.Intn(len(ops))]
+				}
+			}
+			if len(support) == 0 {
+				support[rng.Intn(n)] = pauli.Z
+			}
+			h.Add(rng.NormFloat64(), support)
+		}
+		s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+		want := s.ExpectationHamiltonian(h)
+		s.Release()
+		cc, err := mps.CompileCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cc.Execute(nil, mps.Options{Cutoff: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.ExpectationHamiltonian(h)
+		m.Release()
+		if d := math.Abs(want - got); d > ampTol {
+			t.Fatalf("trial %d (n=%d): <H> statevec %g vs mps %g (diff %g)", trial, n, want, got, d)
+		}
+	}
+}
+
+// chiSquare compares a sampled histogram against exact probabilities,
+// pooling low-expectation bins. Returns the statistic and degrees of
+// freedom.
+func chiSquare(counts map[string]int, probs map[string]float64, shots int) (float64, int) {
+	var stat float64
+	dof := -1
+	var restExp, restObs float64
+	for key, p := range probs {
+		exp := p * float64(shots)
+		obs := float64(counts[key])
+		if exp < 5 {
+			restExp += exp
+			restObs += obs
+			continue
+		}
+		d := obs - exp
+		stat += d * d / exp
+		dof++
+	}
+	// Anything sampled outside the listed keys joins the pooled bin.
+	var listed int
+	for key := range probs {
+		listed += counts[key]
+	}
+	restObs += float64(shots - listed)
+	if restExp > 0 {
+		d := restObs - restExp
+		stat += d * d / restExp
+		dof++
+	}
+	if dof < 1 {
+		dof = 1
+	}
+	return stat, dof
+}
+
+// chiThreshold is a generous upper critical value: for dof d the chi-square
+// mean is d with variance 2d, and d + 5*sqrt(2d) + 10 sits far beyond the
+// p=1e-4 tail — fixed seeds keep the suite deterministic regardless.
+func chiThreshold(dof int) float64 {
+	return float64(dof) + 5*math.Sqrt(2*float64(dof)) + 10
+}
+
+func exactProbs(amps []complex128, n int) map[string]float64 {
+	probs := make(map[string]float64, len(amps))
+	for i, a := range amps {
+		p := real(a)*real(a) + imag(a)*imag(a)
+		if p > 1e-15 {
+			probs[statevec.FormatBits(i, n)] = p
+		}
+	}
+	return probs
+}
+
+// TestSamplingConformance: each engine's sampler must draw histograms
+// consistent with the exact distribution of the same circuit.
+func TestSamplingConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const shots = 4096
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(5) // 2..6: keep bin counts meaningful at 4096 shots
+		c := randomCircuit(rng, n, 5+rng.Intn(3*n))
+		probs := exactProbs(exactAmps(t, c), n)
+
+		s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+		svCounts := s.SampleCounts(shots, rand.New(rand.NewSource(42)))
+		s.Release()
+		if stat, dof := chiSquare(svCounts, probs, shots); stat > chiThreshold(dof) {
+			t.Fatalf("trial %d: statevector sampler chi2 %g (dof %d)", trial, stat, dof)
+		}
+
+		cc, err := mps.CompileCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cc.Execute(nil, mps.Options{Cutoff: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpsCounts := m.Sample(shots, rand.New(rand.NewSource(43)))
+		m.Release()
+		if stat, dof := chiSquare(mpsCounts, probs, shots); stat > chiThreshold(dof) {
+			t.Fatalf("trial %d: mps sampler chi2 %g (dof %d)", trial, stat, dof)
+		}
+
+		tnCounts, err := tensornet.Simulate(c, shots, rand.New(rand.NewSource(44)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat, dof := chiSquare(tnCounts, probs, shots); stat > chiThreshold(dof) {
+			t.Fatalf("trial %d: tensornet sampler chi2 %g (dof %d)", trial, stat, dof)
+		}
+	}
+}
+
+// TestCliffordConformance: on the Clifford subset all four engines answer —
+// the stabilizer tableau joins via its sampled histogram (it has no
+// amplitude access), checked by chi-square against the exact distribution;
+// statevec vs mps amplitudes stay exact.
+func TestCliffordConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	const shots = 4096
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(5)
+		c := randomClifford(rng, n, 4+rng.Intn(4*n))
+		if !c.IsClifford() {
+			t.Fatalf("generator emitted a non-Clifford gate")
+		}
+		ref := exactAmps(t, c)
+		if d := maxAmpDiff(ref, mpsAmps(t, c)); d > ampTol {
+			t.Fatalf("trial %d: clifford statevec vs mps diverge by %g", trial, d)
+		}
+		probs := exactProbs(ref, n)
+		measured := c.Copy()
+		measured.MeasureAll()
+		stCounts, err := stabilizer.Simulate(measured, shots, rand.New(rand.NewSource(45)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stat, dof := chiSquare(stCounts, probs, shots); stat > chiThreshold(dof) {
+			t.Fatalf("trial %d: stabilizer sampler chi2 %g (dof %d)", trial, stat, dof)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"qfw/internal/circuit"
@@ -75,3 +77,83 @@ func TestParseCacheGetPlainStillWorks(t *testing.T) {
 		t.Fatalf("parses = %d, want 1 across Get and GetFused", pc.Parses())
 	}
 }
+
+func TestParseCacheMemoOncePerSpecAndKey(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	c.RZZ(0, 1, circuit.Sym("g", 1))
+	spec, err := SpecFromParametric(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewParseCache()
+	var builds int32
+	var wg sync.WaitGroup
+	vals := make([]any, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := pc.Memo(spec, "schedule", func(cc *circuit.Circuit) (any, error) {
+				atomic.AddInt32(&builds, 1)
+				return cc.NQubits, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := atomic.LoadInt32(&builds); got != 1 {
+		t.Fatalf("builds = %d, want exactly 1 under concurrent Memo calls", got)
+	}
+	if pc.Memos() != 1 {
+		t.Fatalf("Memos() = %d, want 1", pc.Memos())
+	}
+	for i, v := range vals {
+		if v != 2 {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	// A different key builds independently; the same key never rebuilds.
+	if _, err := pc.Memo(spec, "other", func(cc *circuit.Circuit) (any, error) { return "x", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Memo(spec, "schedule", func(cc *circuit.Circuit) (any, error) {
+		t.Fatal("same-key memo must not rebuild")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Memos() != 2 {
+		t.Fatalf("Memos() = %d, want 2 after a second key", pc.Memos())
+	}
+	if pc.Parses() != 1 {
+		t.Fatalf("parses = %d: memoized artifacts must share the single parse", pc.Parses())
+	}
+}
+
+func TestParseCacheMemoPropagatesBuildError(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0)
+	spec, err := SpecFromCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewParseCache()
+	wantErr := errTest
+	if _, err := pc.Memo(spec, "k", func(cc *circuit.Circuit) (any, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want the build error", err)
+	}
+	// The failed build is cached too (single-flight): no rebuild.
+	if _, err := pc.Memo(spec, "k", func(cc *circuit.Circuit) (any, error) {
+		t.Fatal("failed memo must not rebuild")
+		return nil, nil
+	}); err != wantErr {
+		t.Fatalf("second err = %v", err)
+	}
+}
+
+var errTest = errors.New("boom")

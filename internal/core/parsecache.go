@@ -23,6 +23,7 @@ type ParseCache struct {
 	parses  atomic.Int64
 	fusions atomic.Int64
 	grads   atomic.Int64
+	memos   atomic.Int64
 }
 
 type parseEntry struct {
@@ -35,6 +36,17 @@ type parseEntry struct {
 
 	gradOnce sync.Once
 	gplan    *circuit.GradPlan
+
+	memoMu sync.Mutex
+	memos  map[string]*memoEntry
+}
+
+// memoEntry is one derived artifact slot of a cached spec; the build is
+// single-flighted like the parse itself.
+type memoEntry struct {
+	once sync.Once
+	v    any
+	err  error
 }
 
 // NewParseCache returns an empty cache.
@@ -103,6 +115,38 @@ func (pc *ParseCache) GetGrad(spec CircuitSpec) (*circuit.Circuit, *circuit.Grad
 	})
 	return e.c, e.gplan, nil
 }
+
+// Memo returns (building at most once per distinct spec content) a derived
+// artifact of the parsed circuit, keyed by an engine-chosen name. It is the
+// extension point for backend-specific compiled forms that core cannot know
+// about — the MPS engine caches its routed execution schedule here, so a
+// batch of K bindings shares one compiled schedule exactly like the fusion
+// plan. Build results must be treated as immutable by callers.
+func (pc *ParseCache) Memo(spec CircuitSpec, key string, build func(c *circuit.Circuit) (any, error)) (any, error) {
+	e := pc.entry(spec)
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.memoMu.Lock()
+	if e.memos == nil {
+		e.memos = make(map[string]*memoEntry)
+	}
+	m, ok := e.memos[key]
+	if !ok {
+		m = &memoEntry{}
+		e.memos[key] = m
+	}
+	e.memoMu.Unlock()
+	m.once.Do(func() {
+		pc.memos.Add(1)
+		m.v, m.err = build(e.c)
+	})
+	return m.v, m.err
+}
+
+// Memos returns how many memoized artifacts the cache has built — asserted
+// on by the compile-once-per-batch MPS tests.
+func (pc *ParseCache) Memos() int64 { return pc.memos.Load() }
 
 // Parses returns how many real QASM parses the cache has performed — the
 // counter the batch acceptance tests assert on.

@@ -182,6 +182,98 @@ func fillOrthoColumn(u *Matrix, i int) {
 	}
 }
 
+// QR computes a thin QR decomposition A = Q R via complex Householder
+// reflections: with k = min(m, n), Q is m x k with orthonormal columns and
+// R is k x n upper trapezoidal. One triangularization pass makes it
+// substantially cheaper than SVD for orthogonality-only factorizations —
+// the MPS engine uses it for gauge (orthogonality-center) moves, where no
+// singular values are needed (and the k < n case is exactly the rank bound
+// a reshaped bond inherits from its neighbour).
+func QR(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	kk := n
+	if m < kk {
+		kk = m
+	}
+	work := a.Copy()
+	vs := make([][]complex128, kk) // Householder vectors, vs[k] has length m-k
+	for k := 0; k < kk; k++ {
+		// Build the reflector zeroing work[k+1:m, k].
+		var nrm float64
+		for i := k; i < m; i++ {
+			x := work.At(i, k)
+			nrm += real(x)*real(x) + imag(x)*imag(x)
+		}
+		nrm = math.Sqrt(nrm)
+		if nrm < 1e-300 {
+			continue
+		}
+		x0 := work.At(k, k)
+		phase := complex(1, 0)
+		if cmplx.Abs(x0) > 1e-300 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		alpha := -phase * complex(nrm, 0)
+		v := make([]complex128, m-k)
+		v[0] = x0 - alpha
+		for i := k + 1; i < m; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		var vn float64
+		for _, c := range v {
+			vn += real(c)*real(c) + imag(c)*imag(c)
+		}
+		if vn < 1e-300 {
+			continue
+		}
+		inv := complex(1/math.Sqrt(vn), 0)
+		for i := range v {
+			v[i] *= inv
+		}
+		vs[k] = v
+		// Apply (I - 2 v v†) to the trailing block.
+		for c := k; c < n; c++ {
+			var dot complex128
+			for i := k; i < m; i++ {
+				dot += cmplx.Conj(v[i-k]) * work.At(i, c)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				work.Set(i, c, work.At(i, c)-dot*v[i-k])
+			}
+		}
+	}
+	r = New(kk, n)
+	for i := 0; i < kk; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Accumulate the thin Q by applying the reflectors in reverse to the
+	// first kk columns of the identity.
+	q = New(m, kk)
+	for i := 0; i < kk; i++ {
+		q.Set(i, i, 1)
+	}
+	for k := kk - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for c := 0; c < kk; c++ {
+			var dot complex128
+			for i := k; i < m; i++ {
+				dot += cmplx.Conj(v[i-k]) * q.At(i, c)
+			}
+			dot *= 2
+			for i := k; i < m; i++ {
+				q.Set(i, c, q.At(i, c)-dot*v[i-k])
+			}
+		}
+	}
+	return q, r
+}
+
 // FuncHermitian returns f(A) = V f(Λ) V† for Hermitian A, applying f to each
 // eigenvalue. This is used to build exact propagators exp(-iHt) for
 // Hamiltonian-simulation references and the HHL unitaries.

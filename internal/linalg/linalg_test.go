@@ -246,3 +246,46 @@ func TestMatVec(t *testing.T) {
 		t.Fatalf("matvec wrong: %v", v)
 	}
 }
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := [][2]int{{1, 1}, {2, 2}, {4, 2}, {2, 4}, {8, 8}, {16, 5}, {5, 16}, {12, 12}}
+	for _, sh := range shapes {
+		m, n := sh[0], sh[1]
+		a := New(m, n)
+		for i := range a.Data {
+			a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		q, r := QR(a)
+		k := min(m, n)
+		if q.Rows != m || q.Cols != k || r.Rows != k || r.Cols != n {
+			t.Fatalf("thin QR shapes wrong for %dx%d: Q %dx%d R %dx%d", m, n, q.Rows, q.Cols, r.Rows, r.Cols)
+		}
+		if d := MaxAbsDiff(MatMul(q, r), a); d > 1e-10 {
+			t.Fatalf("%dx%d QR reconstruction error %g", m, n, d)
+		}
+		if d := MaxAbsDiff(MatMul(q.Dagger(), q), Identity(k)); d > 1e-10 {
+			t.Fatalf("%dx%d Q columns not orthonormal, diff %g", m, n, d)
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < i && j < n; j++ {
+				if cmplx.Abs(r.At(i, j)) > 1e-12 {
+					t.Fatalf("%dx%d R not upper trapezoidal at (%d,%d)", m, n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Rank-1 tall matrix: QR must still reconstruct exactly with
+	// orthonormal Q (the null directions get arbitrary completions).
+	a := FromRows([][]complex128{{1, 2}, {2, 4}, {3, 6}})
+	q, r := QR(a)
+	if d := MaxAbsDiff(MatMul(q, r), a); d > 1e-10 {
+		t.Fatalf("rank-deficient QR reconstruction error %g", d)
+	}
+	if d := MaxAbsDiff(MatMul(q.Dagger(), q), Identity(2)); d > 1e-10 {
+		t.Fatalf("rank-deficient Q not orthonormal, diff %g", d)
+	}
+}

@@ -1,0 +1,338 @@
+package mps
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qfw/internal/circuit"
+	"qfw/internal/linalg"
+	"qfw/internal/statevec"
+)
+
+// randCircuit builds a seeded random circuit over the full shared gate set,
+// long-range two-qubit gates included (they exercise the routed schedule).
+func randCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	oneQ := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg,
+		circuit.KindSX, circuit.KindRX, circuit.KindRY, circuit.KindRZ, circuit.KindP,
+	}
+	twoQ := []circuit.Kind{
+		circuit.KindCX, circuit.KindCY, circuit.KindCZ,
+		circuit.KindCRX, circuit.KindCRY, circuit.KindCRZ, circuit.KindCP,
+		circuit.KindSWAP, circuit.KindRZZ, circuit.KindRXX,
+	}
+	for i := 0; i < gates; i++ {
+		if n >= 2 && rng.Float64() < 0.45 {
+			k := twoQ[rng.Intn(len(twoQ))]
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			g := circuit.Gate{Kind: k, Qubits: []int{a, b}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		} else {
+			k := oneQ[rng.Intn(len(oneQ))]
+			g := circuit.Gate{Kind: k, Qubits: []int{rng.Intn(n)}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		}
+	}
+	return c
+}
+
+func maxAmpDiff(a, b []complex128) float64 {
+	mx := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+func TestCompiledMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		c := randCircuit(rng, n, 8+rng.Intn(30))
+		cc, err := CompileCircuit(c)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		m, err := cc.Execute(nil, Options{Cutoff: 1e-14})
+		if err != nil {
+			t.Fatalf("trial %d: execute: %v", trial, err)
+		}
+		s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+		if d := maxAmpDiff(m.Amplitudes(), s.Amp); d > 1e-9 {
+			t.Fatalf("trial %d (n=%d): compiled MPS diverges from statevector by %g\n%s", trial, n, d, c)
+		}
+		s.Release()
+		m.Release()
+	}
+}
+
+func TestCompiledMatchesPerGateEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(6)
+		c := randCircuit(rng, n, 25)
+		cc, err := CompileCircuit(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cc.Execute(nil, Options{Cutoff: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg := New(n, 0, 1e-14)
+		if err := pg.Run(c); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAmpDiff(m.Amplitudes(), pg.Amplitudes()); d > 1e-9 {
+			t.Fatalf("trial %d: compiled and per-gate engines diverge by %g", trial, d)
+		}
+		m.Release()
+		pg.Release()
+	}
+}
+
+// TestRingRoutingPersistentPermutation pins the routed-SWAP schedule win:
+// the ring's closing edge is routed once and the permutation persists, so
+// the schedule plans strictly fewer swaps than the per-gate path's
+// there-and-back chains (2*(n-2) per closing-edge occurrence), while the
+// final state still matches the dense engine.
+func TestRingRoutingPersistentPermutation(t *testing.T) {
+	const n, layers = 8, 3
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for l := 0; l < layers; l++ {
+		for i := 0; i < n; i++ {
+			c.RZZ(i, (i+1)%n, circuit.Bound(0.3+0.1*float64(l)))
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, circuit.Bound(0.5))
+		}
+	}
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGateSwaps := layers * 2 * (n - 2)
+	if cc.Swaps >= perGateSwaps {
+		t.Fatalf("compiled schedule plans %d swaps, want fewer than the per-gate path's %d", cc.Swaps, perGateSwaps)
+	}
+	if cc.Swaps == 0 {
+		t.Fatalf("ring circuit should need routing swaps")
+	}
+	m, err := cc.Execute(nil, Options{Cutoff: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if m.QubitOfSite == nil {
+		t.Fatalf("routed execution should leave a chain permutation")
+	}
+	s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+	defer s.Release()
+	if d := maxAmpDiff(m.Amplitudes(), s.Amp); d > 1e-9 {
+		t.Fatalf("routed execution diverges from statevector by %g", d)
+	}
+}
+
+// TestDiagonalLayerFastPath pins that pure diagonal layers compile to
+// diagonal steps (single-qubit factors are SVD-free scales) rather than
+// dense two-qubit updates.
+func TestDiagonalLayerFastPath(t *testing.T) {
+	c := circuit.New(6)
+	for q := 0; q < 6; q++ {
+		c.RZ(q, circuit.Bound(0.3))
+	}
+	for i := 0; i+1 < 6; i++ {
+		c.RZZ(i, i+1, circuit.Bound(0.7))
+	}
+	c.CZ(0, 1)
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dense2, diag1, diag2 int
+	for _, st := range cc.steps {
+		switch st.kind {
+		case stepDense2:
+			dense2++
+		case stepDiag1:
+			diag1++
+		case stepDiag2:
+			diag2++
+		}
+	}
+	if dense2 != 0 {
+		t.Fatalf("pure diagonal circuit compiled %d dense two-qubit steps", dense2)
+	}
+	if diag1 != 6 {
+		t.Fatalf("diag1 steps = %d, want 6 (one per RZ qubit)", diag1)
+	}
+	// RZZ(0,1) and CZ(0,1) coalesce into one pair factor.
+	if diag2 != 5 {
+		t.Fatalf("diag2 steps = %d, want 5 coalesced pairs", diag2)
+	}
+	if cc.Swaps != 0 {
+		t.Fatalf("nearest-neighbour diagonal run should not route, got %d swaps", cc.Swaps)
+	}
+}
+
+func TestCompiledParametricBatch(t *testing.T) {
+	const n = 6
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for i := 0; i+1 < n; i++ {
+		c.RZZ(i, i+1, circuit.Sym("gamma", 2))
+	}
+	for q := 0; q < n; q++ {
+		c.RX(q, circuit.Sym("beta", 2))
+	}
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Params(); len(got) != 2 {
+		t.Fatalf("params = %v", got)
+	}
+	const K = 6
+	bindings := make([]map[string]float64, K)
+	for i := range bindings {
+		bindings[i] = map[string]float64{"gamma": 0.1 + 0.2*float64(i), "beta": 0.9 - 0.1*float64(i)}
+	}
+	states, err := cc.RunBatch(bindings, Options{Cutoff: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range states {
+		bound := c.Bind(bindings[i])
+		s, _ := statevec.RunFused(bound, nil, 1, rand.New(rand.NewSource(1)))
+		if d := maxAmpDiff(m.Amplitudes(), s.Amp); d > 1e-9 {
+			t.Fatalf("batch element %d diverges from statevector by %g", i, d)
+		}
+		s.Release()
+		m.Release()
+	}
+
+	// Partial bindings must fail loudly, not execute half-bound.
+	if _, err := cc.Execute(map[string]float64{"gamma": 0.3}, Options{}); err == nil {
+		t.Fatalf("partial binding should fail")
+	}
+}
+
+// TestSampleDeterminism pins the seeded sampling contract: identical seeds
+// give identical histograms across repeated runs and across batch elements
+// (satellite: seeded Sample determinism).
+func TestSampleDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randCircuit(rng, 7, 30)
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := func() map[string]int {
+		m, err := cc.Execute(nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Release()
+		return m.Sample(512, rand.New(rand.NewSource(99)))
+	}
+	first := sample()
+	for i := 0; i < 3; i++ {
+		if got := sample(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("repeated run %d sampled differently:\n%v\n%v", i, got, first)
+		}
+	}
+	// Batch elements with identical bindings and seeds agree with the
+	// standalone run and with each other.
+	states, err := cc.RunBatch(make([]map[string]float64, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range states {
+		if got := m.Sample(512, rand.New(rand.NewSource(99))); !reflect.DeepEqual(got, first) {
+			t.Fatalf("batch element %d sampled differently", i)
+		}
+		m.Release()
+	}
+}
+
+func TestCompiledRejectsWideUnitaries(t *testing.T) {
+	c := circuit.New(3)
+	c.Unitary(linalg.Identity(8), 0, 1, 2)
+	if _, err := CompileCircuit(c); err == nil {
+		t.Fatalf("3-qubit dense unitary should be rejected with a transpile hint")
+	}
+}
+
+func TestLargeNTFIMFidelity(t *testing.T) {
+	// The acceptance-scale workload: a 64-qubit TFIM evolution under a
+	// bounded bond dimension keeps fidelity >= 0.999. Kept in tier-1 — the
+	// whole run is a few hundred milliseconds because the chain stays in
+	// the low-entanglement regime MPS is built for.
+	c := tfimChain(64, 4, 0.5, 1.0)
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cc.Execute(nil, Options{MaxBond: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if f := m.Fidelity(); f < 0.999 {
+		t.Fatalf("TFIM-64 fidelity %g under MaxBond=32, want >= 0.999", f)
+	}
+	if n := m.Norm(); math.Abs(n-1) > 1e-6 {
+		t.Fatalf("truncated state should stay normalized, norm %g", n)
+	}
+	counts := m.Sample(64, rand.New(rand.NewSource(3)))
+	total := 0
+	for key, cnt := range counts {
+		if len(key) != 64 {
+			t.Fatalf("key length %d", len(key))
+		}
+		total += cnt
+	}
+	if total != 64 {
+		t.Fatalf("sampled %d shots, want 64", total)
+	}
+}
+
+// tfimChain builds the same first-order Trotter TFIM evolution the
+// workloads package uses, inline to keep the mps package dependency-light.
+func tfimChain(n, steps int, hx, tt float64) *circuit.Circuit {
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("tfim-%d", n)
+	dt := tt / float64(steps)
+	for s := 0; s < steps; s++ {
+		for i := 0; i+1 < n; i++ {
+			c.RZZ(i, i+1, circuit.Bound(2*dt))
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, circuit.Bound(2*hx*dt))
+		}
+	}
+	return c
+}

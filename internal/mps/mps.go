@@ -4,6 +4,16 @@
 // values. It backs both the Qiskit Aer "matrix_product_state" sub-backend
 // and the TN-QVM "exatn-mps" backend in the framework.
 //
+// The package exposes two execution paths:
+//
+//   - the per-gate path (Run/ApplyGate/Simulate): one MPS update per source
+//     gate with there-and-back swap routing — the seed engine, kept as the
+//     ablation baseline;
+//   - the compiled path (CompileCircuit/Compiled.Execute/Compiled.RunBatch):
+//     a fusion-aware schedule built once per circuit structure from
+//     circuit.PlanFusion output, with a persistent-permutation swap route
+//     planned once per spec — the production path behind the backends.
+//
 // MPS excels on structured, low-entanglement circuits (the paper's TFIM
 // result) and degrades when long-range gates force swap chains or when
 // entanglement saturates the bond dimension.
@@ -12,12 +22,15 @@ package mps
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 
 	"qfw/internal/circuit"
 	"qfw/internal/linalg"
 	"qfw/internal/pauli"
+	"qfw/internal/statevec"
 )
 
 // site is a rank-3 tensor [chiL, 2, chiR], row-major: (l*2+s)*chiR + r.
@@ -27,23 +40,80 @@ type site struct {
 }
 
 func newSite(chiL, chiR int) *site {
-	return &site{chiL: chiL, chiR: chiR, data: make([]complex128, chiL*2*chiR)}
+	return &site{chiL: chiL, chiR: chiR, data: getCBuf(chiL * 2 * chiR)}
 }
 
 func (t *site) at(l, s, r int) complex128     { return t.data[(l*2+s)*t.chiR+r] }
 func (t *site) set(l, s, r int, v complex128) { t.data[(l*2+s)*t.chiR+r] = v }
 
+// Scratch-buffer arena: every two-site update allocates a theta tensor and
+// two replacement site tensors, and sampling allocates conditioned bond
+// vectors per shot. Buffers recycle through power-of-two size-class pools
+// (fetched from the class covering the request, returned to the class
+// their capacity fills), so a tiny edge-site tensor can never claim and
+// pin a peak-sized theta buffer, and no returned buffer is ever dropped
+// for being the wrong size.
+var cbufPools [40]sync.Pool
+
+// getCBuf returns a zeroed buffer of length n.
+func getCBuf(n int) []complex128 {
+	if n == 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1)) // smallest c with 2^c >= n
+	if class >= len(cbufPools) {
+		return make([]complex128, n)
+	}
+	if v := cbufPools[class].Get(); v != nil {
+		b := v.([]complex128)[:n] // any class-c buffer has cap >= 2^c >= n
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]complex128, n, 1<<uint(class))
+}
+
+func putCBuf(b []complex128) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	class := bits.Len(uint(c)) - 1 // largest class with 2^class <= cap
+	if class >= len(cbufPools) {
+		return
+	}
+	cbufPools[class].Put(b[:c]) //nolint:staticcheck // slice header allocation is amortized
+}
+
+// parallelWork is the flop count above which a two-site kernel fans its
+// bond rows across the shared statevec worker pool. Below it the chunk
+// handoff costs more than the loop.
+const parallelWork = 1 << 14
+
 // MPS is a matrix product state on N qubits. MaxBond and Cutoff control
 // truncation at two-qubit gate splits; TruncErr accumulates the discarded
-// probability weight.
+// probability weight and fidelity its multiplicative complement.
 type MPS struct {
 	N        int
 	MaxBond  int
 	Cutoff   float64
 	TruncErr float64
 
-	sites  []*site
-	center int
+	// Workers bounds the kernel parallelism of two-site updates (0/1 means
+	// serial). Batched executions run elements serially and parallelize
+	// across elements instead.
+	Workers int
+
+	// QubitOfSite maps chain positions to logical qubits when the compiled
+	// engine leaves the chain permuted after routing (nil means identity).
+	// Sampling, amplitudes, and expectations consult it.
+	QubitOfSite []int
+
+	sites    []*site
+	center   int
+	fidelity float64
+	peakBond int
 }
 
 // DefaultMaxBond matches the practical default of production MPS simulators.
@@ -60,13 +130,26 @@ func New(n, maxBond int, cutoff float64) *MPS {
 	if cutoff <= 0 {
 		cutoff = 1e-12
 	}
-	m := &MPS{N: n, MaxBond: maxBond, Cutoff: cutoff, sites: make([]*site, n)}
+	m := &MPS{N: n, MaxBond: maxBond, Cutoff: cutoff, sites: make([]*site, n), fidelity: 1, peakBond: 1}
 	for i := range m.sites {
-		t := newSite(1, 1)
+		t := &site{chiL: 1, chiR: 1, data: make([]complex128, 2)}
 		t.set(0, 0, 0, 1)
 		m.sites[i] = t
 	}
 	return m
+}
+
+// Release returns the state's tensors to the scratch arena. The MPS is
+// unusable afterwards. Releasing is optional — unreleased tensors are
+// garbage collected normally.
+func (m *MPS) Release() {
+	for i, t := range m.sites {
+		if t != nil {
+			putCBuf(t.data)
+			m.sites[i] = nil
+		}
+	}
+	m.sites = nil
 }
 
 // BondDims returns the current bond dimensions (n-1 values).
@@ -89,7 +172,26 @@ func (m *MPS) MaxBondDim() int {
 	return mx
 }
 
-// Apply1Q applies a 2x2 matrix to qubit q (gauge-preserving).
+// PeakBond returns the largest bond dimension reached during execution
+// (after truncation), the memory high-water mark of the run.
+func (m *MPS) PeakBond() int { return m.peakBond }
+
+// Fidelity returns the multiplicative truncation-fidelity estimate
+// Π_i (kept_i / total_i) over every truncated split: the probability weight
+// the state retained. 1 means no truncation occurred; the exact state
+// fidelity satisfies F >= 1 - 2·TruncErr (see the MaxBond sweep test).
+func (m *MPS) Fidelity() float64 { return m.fidelity }
+
+// qubitForSite maps a chain position to its logical qubit.
+func (m *MPS) qubitForSite(i int) int {
+	if m.QubitOfSite == nil {
+		return i
+	}
+	return m.QubitOfSite[i]
+}
+
+// Apply1Q applies a 2x2 matrix to the site at chain position q
+// (gauge-preserving).
 func (m *MPS) Apply1Q(g [2][2]complex128, q int) {
 	t := m.sites[q]
 	for l := 0; l < t.chiL; l++ {
@@ -102,7 +204,23 @@ func (m *MPS) Apply1Q(g [2][2]complex128, q int) {
 	}
 }
 
-// moveCenterTo sweeps the orthogonality center to site j using exact SVDs.
+// ApplyDiag1Q multiplies the site at chain position q by diag(d[0], d[1]) —
+// a pure scale, no SVD, no gauge disturbance.
+func (m *MPS) ApplyDiag1Q(d [2]complex128, q int) {
+	t := m.sites[q]
+	for l := 0; l < t.chiL; l++ {
+		row0 := (l * 2) * t.chiR
+		row1 := row0 + t.chiR
+		for r := 0; r < t.chiR; r++ {
+			t.data[row0+r] *= d[0]
+			t.data[row1+r] *= d[1]
+		}
+	}
+}
+
+// moveCenterTo sweeps the orthogonality center to site j. Gauge moves need
+// only an orthonormal factor, so they run on thin QR — one Householder
+// triangularization instead of a Gram eigendecomposition per shift.
 func (m *MPS) moveCenterTo(j int) {
 	for m.center < j {
 		m.shiftRight()
@@ -116,31 +234,28 @@ func (m *MPS) shiftRight() {
 	c := m.center
 	t := m.sites[c]
 	mat := &linalg.Matrix{Rows: t.chiL * 2, Cols: t.chiR, Data: t.data}
-	u, s, v := linalg.SVD(mat)
-	k := rankOf(s, 1e-14)
-	// A_c <- U (left-canonical).
+	q, r := linalg.QR(mat)
+	k := q.Cols // min(2*chiL, chiR): the reshape rank bound
+	// A_c <- Q (left-canonical).
 	nt := newSite(t.chiL, k)
-	for row := 0; row < t.chiL*2; row++ {
-		for col := 0; col < k; col++ {
-			nt.data[row*k+col] = u.At(row, col)
-		}
-	}
-	m.sites[c] = nt
-	// Absorb S V^H into the next site.
+	copy(nt.data, q.Data)
+	// Absorb R (upper triangular) into the next site.
 	next := m.sites[c+1]
 	nn := newSite(k, next.chiR)
 	for l := 0; l < k; l++ {
 		for ss := 0; ss < 2; ss++ {
-			for r := 0; r < next.chiR; r++ {
+			for rr := 0; rr < next.chiR; rr++ {
 				var acc complex128
-				for b := 0; b < next.chiL; b++ {
-					// (S V^H)[l][b] = s[l] * conj(v[b][l])
-					acc += complex(s[l], 0) * cmplx.Conj(v.At(b, l)) * next.at(b, ss, r)
+				for b := l; b < next.chiL; b++ {
+					acc += r.At(l, b) * next.at(b, ss, rr)
 				}
-				nn.set(l, ss, r, acc)
+				nn.set(l, ss, rr, acc)
 			}
 		}
 	}
+	putCBuf(t.data)
+	putCBuf(next.data)
+	m.sites[c] = nt
 	m.sites[c+1] = nn
 	m.center = c + 1
 }
@@ -149,30 +264,33 @@ func (m *MPS) shiftLeft() {
 	c := m.center
 	t := m.sites[c]
 	mat := &linalg.Matrix{Rows: t.chiL, Cols: 2 * t.chiR, Data: t.data}
-	u, s, v := linalg.SVD(mat)
-	k := rankOf(s, 1e-14)
-	// A_c <- V^H (right-canonical), shape [k, 2, chiR].
+	// mat = R† Q† from the QR of mat†: Q† has orthonormal rows
+	// (right-canonical), R† is lower triangular and absorbs leftward.
+	q, r := linalg.QR(mat.Dagger())
+	k := q.Cols // min(2*chiR, chiL): the reshape rank bound
 	nt := newSite(k, t.chiR)
 	for l := 0; l < k; l++ {
 		for col := 0; col < 2*t.chiR; col++ {
-			nt.data[l*2*t.chiR+col] = cmplx.Conj(v.At(col, l))
+			nt.data[l*2*t.chiR+col] = cmplx.Conj(q.At(col, l))
 		}
 	}
-	m.sites[c] = nt
-	// Absorb U S into the previous site's right bond.
 	prev := m.sites[c-1]
 	np := newSite(prev.chiL, k)
 	for l := 0; l < prev.chiL; l++ {
 		for ss := 0; ss < 2; ss++ {
-			for r := 0; r < k; r++ {
+			for rr := 0; rr < k; rr++ {
 				var acc complex128
-				for b := 0; b < prev.chiR; b++ {
-					acc += prev.at(l, ss, b) * u.At(b, r) * complex(s[r], 0)
+				// R†[b][rr] = conj(R[rr][b]), nonzero for b >= rr.
+				for b := rr; b < prev.chiR; b++ {
+					acc += prev.at(l, ss, b) * cmplx.Conj(r.At(rr, b))
 				}
-				np.set(l, ss, r, acc)
+				np.set(l, ss, rr, acc)
 			}
 		}
 	}
+	putCBuf(t.data)
+	putCBuf(prev.data)
+	m.sites[c] = nt
 	m.sites[c-1] = np
 	m.center = c - 1
 }
@@ -194,59 +312,47 @@ func rankOf(s []float64, tol float64) int {
 	return k
 }
 
-// ApplyTwoAdjacent applies a 4x4 gate to sites (i, i+1). The matrix basis is
-// |s_i s_{i+1}> with s_i the most significant bit. Truncation per MaxBond
-// and Cutoff happens here.
-func (m *MPS) ApplyTwoAdjacent(g *linalg.Matrix, i int) {
-	if g.Rows != 4 || g.Cols != 4 {
-		panic("mps: ApplyTwoAdjacent needs a 4x4 matrix")
-	}
+// contractPair moves the center to i and contracts sites (i, i+1) into the
+// theta tensor [chiL, 2, 2, chiR] (pooled buffer; caller owns it until
+// splitPair consumes it).
+func (m *MPS) contractPair(i int) (theta []complex128, chiL, chiR int) {
 	m.moveCenterTo(i)
 	a, b := m.sites[i], m.sites[i+1]
-	chiL, chiR := a.chiL, b.chiR
+	chiL, chiR = a.chiL, b.chiR
 	mid := a.chiR
-	// theta[l, sa, sb, r]
-	theta := make([]complex128, chiL*2*2*chiR)
-	idx := func(l, sa, sb, r int) int { return ((l*2+sa)*2+sb)*chiR + r }
-	for l := 0; l < chiL; l++ {
-		for sa := 0; sa < 2; sa++ {
-			for k := 0; k < mid; k++ {
-				av := a.at(l, sa, k)
-				if av == 0 {
-					continue
-				}
-				for sb := 0; sb < 2; sb++ {
-					for r := 0; r < chiR; r++ {
-						theta[idx(l, sa, sb, r)] += av * b.at(k, sb, r)
-					}
-				}
-			}
-		}
-	}
-	// Apply the gate on the physical pair.
-	out := make([]complex128, len(theta))
-	for l := 0; l < chiL; l++ {
-		for r := 0; r < chiR; r++ {
+	theta = getCBuf(chiL * 2 * 2 * chiR)
+	body := func(start, end int) {
+		for l := start; l < end; l++ {
 			for sa := 0; sa < 2; sa++ {
-				for sb := 0; sb < 2; sb++ {
-					var acc complex128
-					row := sa*2 + sb
-					for ta := 0; ta < 2; ta++ {
-						for tb := 0; tb < 2; tb++ {
-							gv := g.At(row, ta*2+tb)
-							if gv == 0 {
-								continue
-							}
-							acc += gv * theta[idx(l, ta, tb, r)]
+				base := ((l*2+sa)*2)*chiR + 0
+				for k := 0; k < mid; k++ {
+					av := a.at(l, sa, k)
+					if av == 0 {
+						continue
+					}
+					for sb := 0; sb < 2; sb++ {
+						brow := (k*2 + sb) * b.chiR
+						trow := base + sb*chiR
+						for r := 0; r < chiR; r++ {
+							theta[trow+r] += av * b.data[brow+r]
 						}
 					}
-					out[idx(l, sa, sb, r)] = acc
 				}
 			}
 		}
 	}
-	// SVD split with truncation.
-	mat := &linalg.Matrix{Rows: chiL * 2, Cols: 2 * chiR, Data: out}
+	if m.Workers > 1 && chiL*mid*chiR >= parallelWork {
+		statevec.ParallelFor(m.Workers, chiL, 2, body)
+	} else {
+		body(0, chiL)
+	}
+	return theta, chiL, chiR
+}
+
+// splitPair SVD-splits theta back into sites (i, i+1), truncating per
+// MaxBond and Cutoff and tracking the discarded weight.
+func (m *MPS) splitPair(theta []complex128, i, chiL, chiR int) {
+	mat := &linalg.Matrix{Rows: chiL * 2, Cols: 2 * chiR, Data: theta}
 	u, s, v := linalg.SVD(mat)
 	k := rankOf(s, m.Cutoff)
 	if k > m.MaxBond {
@@ -261,6 +367,7 @@ func (m *MPS) ApplyTwoAdjacent(g *linalg.Matrix, i int) {
 	}
 	if total > 0 {
 		m.TruncErr += 1 - kept/total
+		m.fidelity *= kept / total
 	}
 	renorm := 1.0
 	if kept > 0 {
@@ -279,18 +386,83 @@ func (m *MPS) ApplyTwoAdjacent(g *linalg.Matrix, i int) {
 			nb.data[l*2*chiR+col] = sv * cmplx.Conj(v.At(col, l))
 		}
 	}
+	putCBuf(m.sites[i].data)
+	putCBuf(m.sites[i+1].data)
+	putCBuf(theta)
 	m.sites[i] = na
 	m.sites[i+1] = nb
 	m.center = i + 1
+	if k > m.peakBond {
+		m.peakBond = k
+	}
 }
 
-// swapAdjacent swaps physical sites i and i+1.
+// ApplyTwoAdjacent applies a 4x4 gate to sites (i, i+1). The matrix basis is
+// |s_i s_{i+1}> with s_i the most significant bit. Truncation per MaxBond
+// and Cutoff happens here.
+func (m *MPS) ApplyTwoAdjacent(g *linalg.Matrix, i int) {
+	if g.Rows != 4 || g.Cols != 4 {
+		panic("mps: ApplyTwoAdjacent needs a 4x4 matrix")
+	}
+	theta, chiL, chiR := m.contractPair(i)
+	var gm [4][4]complex128
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			gm[r][c] = g.At(r, c)
+		}
+	}
+	idx := func(l, sa, sb, r int) int { return ((l*2+sa)*2+sb)*chiR + r }
+	body := func(start, end int) {
+		for l := start; l < end; l++ {
+			for r := 0; r < chiR; r++ {
+				t00 := theta[idx(l, 0, 0, r)]
+				t01 := theta[idx(l, 0, 1, r)]
+				t10 := theta[idx(l, 1, 0, r)]
+				t11 := theta[idx(l, 1, 1, r)]
+				theta[idx(l, 0, 0, r)] = gm[0][0]*t00 + gm[0][1]*t01 + gm[0][2]*t10 + gm[0][3]*t11
+				theta[idx(l, 0, 1, r)] = gm[1][0]*t00 + gm[1][1]*t01 + gm[1][2]*t10 + gm[1][3]*t11
+				theta[idx(l, 1, 0, r)] = gm[2][0]*t00 + gm[2][1]*t01 + gm[2][2]*t10 + gm[2][3]*t11
+				theta[idx(l, 1, 1, r)] = gm[3][0]*t00 + gm[3][1]*t01 + gm[3][2]*t10 + gm[3][3]*t11
+			}
+		}
+	}
+	if m.Workers > 1 && chiL*chiR*16 >= parallelWork {
+		statevec.ParallelFor(m.Workers, chiL, 2, body)
+	} else {
+		body(0, chiL)
+	}
+	m.splitPair(theta, i, chiL, chiR)
+}
+
+// ApplyDiagTwoAdjacent applies a diagonal two-qubit gate diag(d) to sites
+// (i, i+1), with d indexed by (s_i << 1) | s_{i+1}. The gate application is
+// an elementwise scale; the SVD split (a diagonal pair gate still grows the
+// bond) is shared with the dense path.
+func (m *MPS) ApplyDiagTwoAdjacent(d [4]complex128, i int) {
+	theta, chiL, chiR := m.contractPair(i)
+	for l := 0; l < chiL; l++ {
+		for v := 0; v < 4; v++ {
+			row := (l*4 + v) * chiR
+			dv := d[v]
+			for r := 0; r < chiR; r++ {
+				theta[row+r] *= dv
+			}
+		}
+	}
+	m.splitPair(theta, i, chiL, chiR)
+}
+
+var swapMatrix = circuit.Matrix2Q(circuit.KindSWAP, 0)
+
+// swapAdjacent swaps chain positions i and i+1.
 func (m *MPS) swapAdjacent(i int) {
-	m.ApplyTwoAdjacent(circuit.Matrix2Q(circuit.KindSWAP, 0), i)
+	m.ApplyTwoAdjacent(swapMatrix, i)
 }
 
 // ApplyGate2 applies a 4x4 gate to arbitrary qubits (hi, lo basis |hi lo>),
-// routing with swaps when the qubits are not adjacent.
+// routing with there-and-back swaps when the qubits are not adjacent (the
+// per-gate path; the compiled path plans a persistent-permutation route
+// instead).
 func (m *MPS) ApplyGate2(g *linalg.Matrix, hi, lo int) {
 	a, b := hi, lo
 	flip := false
@@ -331,6 +503,7 @@ func MPSGateSet() circuit.GateSet {
 	set[circuit.KindSWAP] = true
 	set[circuit.KindRZZ] = true
 	set[circuit.KindRXX] = true
+	set[circuit.KindUnitary] = true
 	return set
 }
 
@@ -368,7 +541,9 @@ func (m *MPS) ApplyGate(g circuit.Gate) error {
 	return fmt.Errorf("mps: unsupported gate %s; transpile first", g.Kind.Name())
 }
 
-// Run applies a whole (bound) circuit, transpiling unsupported gates.
+// Run applies a whole (bound) circuit gate by gate, transpiling unsupported
+// gates — the seed engine's path, kept as the ablation baseline for the
+// compiled schedule.
 func (m *MPS) Run(c *circuit.Circuit) error {
 	tc := circuit.Transpile(c, MPSGateSet())
 	for _, g := range tc.Gates {
@@ -380,34 +555,51 @@ func (m *MPS) Run(c *circuit.Circuit) error {
 }
 
 // Sample draws shots bitstrings from the MPS distribution. Keys follow the
-// Qiskit convention (qubit 0 rightmost).
+// Qiskit convention (qubit 0 rightmost); a routed chain permutation is
+// unwound in the keys, never in the tensors.
 func (m *MPS) Sample(shots int, rng *rand.Rand) map[string]int {
 	m.moveCenterTo(0)
+	maxChi := 1
+	for _, t := range m.sites {
+		if t.chiR > maxChi {
+			maxChi = t.chiR
+		}
+	}
+	left := getCBuf(maxChi)
+	v0 := getCBuf(maxChi)
+	v1 := getCBuf(maxChi)
+	defer func() { putCBuf(left); putCBuf(v0); putCBuf(v1) }()
 	counts := make(map[string]int, 16)
 	key := make([]byte, m.N)
 	for shot := 0; shot < shots; shot++ {
 		// Conditioned left vector over the running bond.
-		left := []complex128{1}
+		left[0] = 1
+		width := 1
 		for i := 0; i < m.N; i++ {
 			t := m.sites[i]
-			v0 := condVec(left, t, 0)
-			v1 := condVec(left, t, 1)
-			p0 := norm2(v0)
-			p1 := norm2(v1)
+			condVec(left[:width], t, 0, v0[:t.chiR])
+			condVec(left[:width], t, 1, v1[:t.chiR])
+			p0 := norm2(v0[:t.chiR])
+			p1 := norm2(v1[:t.chiR])
 			total := p0 + p1
 			s := 0
+			src := v0
 			if total <= 0 {
-				s = 0
-				v0 = []complex128{1}
+				v0[0] = 1
+				for j := 1; j < t.chiR; j++ {
+					v0[j] = 0
+				}
 			} else if rng.Float64()*total < p1 {
 				s = 1
+				src = v1
 			}
+			normalize(src[:t.chiR])
+			copy(left[:t.chiR], src[:t.chiR])
+			width = t.chiR
 			if s == 0 {
-				left = normalize(v0)
-				key[m.N-1-i] = '0'
+				key[m.N-1-m.qubitForSite(i)] = '0'
 			} else {
-				left = normalize(v1)
-				key[m.N-1-i] = '1'
+				key[m.N-1-m.qubitForSite(i)] = '1'
 			}
 		}
 		counts[string(key)]++
@@ -415,18 +607,22 @@ func (m *MPS) Sample(shots int, rng *rand.Rand) map[string]int {
 	return counts
 }
 
-func condVec(left []complex128, t *site, s int) []complex128 {
-	out := make([]complex128, t.chiR)
+// condVec contracts the running left vector with physical index s of site t
+// into dst (len t.chiR).
+func condVec(left []complex128, t *site, s int, dst []complex128) {
+	for r := range dst {
+		dst[r] = 0
+	}
 	for l := 0; l < t.chiL; l++ {
 		lv := left[l]
 		if lv == 0 {
 			continue
 		}
+		row := (l*2 + s) * t.chiR
 		for r := 0; r < t.chiR; r++ {
-			out[r] += lv * t.at(l, s, r)
+			dst[r] += lv * t.data[row+r]
 		}
 	}
-	return out
 }
 
 func norm2(v []complex128) float64 {
@@ -459,14 +655,28 @@ func (m *MPS) Norm() float64 {
 func (m *MPS) ExpectationPauliString(p pauli.String) float64 {
 	ops := make([]*linalg.Matrix, m.N)
 	for q, op := range p.Ops {
+		var mat *linalg.Matrix
 		switch op {
 		case pauli.X:
-			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindX, 0))
+			mat = circuit.FromMat2(circuit.Matrix1Q(circuit.KindX, 0))
 		case pauli.Y:
-			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindY, 0))
+			mat = circuit.FromMat2(circuit.Matrix1Q(circuit.KindY, 0))
 		case pauli.Z:
-			ops[q] = circuit.FromMat2(circuit.Matrix1Q(circuit.KindZ, 0))
+			mat = circuit.FromMat2(circuit.Matrix1Q(circuit.KindZ, 0))
+		default:
+			continue
 		}
+		// Place the operator on the chain position currently holding qubit q.
+		site := q
+		if m.QubitOfSite != nil {
+			for i, qq := range m.QubitOfSite {
+				if qq == q {
+					site = i
+					break
+				}
+			}
+		}
+		ops[site] = mat
 	}
 	return p.Coeff * real(m.transfer(ops))
 }
@@ -482,6 +692,7 @@ func (m *MPS) ExpectationHamiltonian(h *pauli.Hamiltonian) float64 {
 
 // transfer contracts <psi| O |psi> where O is a product of per-site 1-qubit
 // operators (nil entries mean identity; ops == nil means all identity).
+// Operators are indexed by chain position, not logical qubit.
 func (m *MPS) transfer(ops []*linalg.Matrix) complex128 {
 	// env[l'][l] accumulates the contraction of conj(A) (top) with A (bottom).
 	env := []complex128{1} // 1x1
@@ -536,7 +747,8 @@ func (m *MPS) transfer(ops []*linalg.Matrix) complex128 {
 
 // Amplitudes materializes the full 2^N state vector (small N only; used by
 // tests to cross-check against the state-vector engine). Qubit 0 is the
-// least-significant index bit, matching package statevec.
+// least-significant index bit, matching package statevec; a routed chain
+// permutation is resolved per index.
 func (m *MPS) Amplitudes() []complex128 {
 	if m.N > 20 {
 		panic("mps: Amplitudes beyond 20 qubits")
@@ -546,7 +758,7 @@ func (m *MPS) Amplitudes() []complex128 {
 	for idx := 0; idx < dim; idx++ {
 		vec := []complex128{1}
 		for i := 0; i < m.N; i++ {
-			s := (idx >> uint(i)) & 1
+			s := (idx >> uint(m.qubitForSite(i))) & 1
 			t := m.sites[i]
 			nv := make([]complex128, t.chiR)
 			for l := 0; l < t.chiL; l++ {
@@ -564,7 +776,8 @@ func (m *MPS) Amplitudes() []complex128 {
 	return out
 }
 
-// Simulate is the backend entry point: run the circuit and sample counts.
+// Simulate is the per-gate backend entry point: run the circuit and sample
+// counts (the seed path; production backends use the compiled schedule).
 func Simulate(c *circuit.Circuit, shots, maxBond int, cutoff float64, rng *rand.Rand) (map[string]int, float64, error) {
 	counts, truncErr, _, err := SimulateWithExpectation(c, shots, maxBond, cutoff, rng, nil)
 	return counts, truncErr, err
@@ -589,5 +802,8 @@ func SimulateWithExpectation(c *circuit.Circuit, shots, maxBond int, cutoff floa
 		v := m.ExpectationHamiltonian(h)
 		expVal = &v
 	}
-	return m.Sample(shots, rng), m.TruncErr, expVal, nil
+	counts := m.Sample(shots, rng)
+	truncErr := m.TruncErr
+	m.Release()
+	return counts, truncErr, expVal, nil
 }

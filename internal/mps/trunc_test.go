@@ -1,0 +1,123 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"qfw/internal/statevec"
+)
+
+// overlap2 returns |<a|b>|^2 for unit-normalized b (a is the exact state).
+func overlap2(a, b []complex128) float64 {
+	var dot complex128
+	for i := range a {
+		dot += cmplx.Conj(a[i]) * b[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot)
+}
+
+// TestTruncationFidelityBound sweeps MaxBond on an entangling random
+// circuit and checks the discarded-weight accounting against the exact
+// fidelity: the truncated state must satisfy F >= 1 - 2*TruncErr (the
+// standard sequential-truncation bound), the multiplicative Fidelity()
+// estimate must stay within the same bound band, and raising MaxBond must
+// never lose fidelity beyond noise.
+func TestTruncationFidelityBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 10
+	c := randCircuit(rng, n, 80)
+	exact, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
+	defer exact.Release()
+
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevF := -1.0
+	truncatedSomewhere := false
+	for _, maxBond := range []int{2, 4, 8, 16, 32, 64} {
+		m, err := cc.Execute(nil, Options{MaxBond: maxBond, Cutoff: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := overlap2(exact.Amp, m.Amplitudes())
+		bound := 1 - 2*m.TruncErr
+		if f < bound-1e-9 {
+			t.Fatalf("MaxBond=%d: exact fidelity %g below the discarded-weight bound %g (TruncErr %g)",
+				maxBond, f, bound, m.TruncErr)
+		}
+		if est := m.Fidelity(); est > 1+1e-12 || est < bound-1e-9 {
+			t.Fatalf("MaxBond=%d: fidelity estimate %g outside [%g, 1]", maxBond, est, bound)
+		}
+		if m.TruncErr > 1e-9 {
+			truncatedSomewhere = true
+		}
+		if f < prevF-0.02 {
+			t.Fatalf("fidelity regressed from %g to %g when raising MaxBond to %d", prevF, f, maxBond)
+		}
+		prevF = f
+		if bd := m.MaxBondDim(); bd > maxBond {
+			t.Fatalf("bond dimension %d exceeds cap %d", bd, maxBond)
+		}
+		m.Release()
+	}
+	if !truncatedSomewhere {
+		t.Fatalf("sweep never truncated; the circuit is not entangling enough to test the bound")
+	}
+	if prevF < 1-1e-6 {
+		t.Fatalf("MaxBond=64 should be effectively exact at n=10, fidelity %g", prevF)
+	}
+}
+
+// TestTruncationMonotoneError checks that the cumulative discarded weight
+// shrinks as the bond cap grows — the knob users turn for accuracy.
+func TestTruncationMonotoneError(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := randCircuit(rng, 9, 70)
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, maxBond := range []int{2, 8, 32} {
+		m, err := cc.Execute(nil, Options{MaxBond: maxBond, Cutoff: 1e-14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.TruncErr > prev+1e-12 {
+			t.Fatalf("TruncErr grew from %g to %g when raising MaxBond to %d", prev, m.TruncErr, maxBond)
+		}
+		prev = m.TruncErr
+		m.Release()
+	}
+}
+
+// TestCutoffControlsRank pins the Cutoff knob: a loose relative cutoff
+// truncates harder (smaller bonds, larger reported discarded weight) than a
+// tight one on the same circuit.
+func TestCutoffControlsRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := randCircuit(rng, 10, 200)
+	cc, err := CompileCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := cc.Execute(nil, Options{MaxBond: 64, Cutoff: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tight.Release()
+	loose, err := cc.Execute(nil, Options{MaxBond: 64, Cutoff: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loose.Release()
+	if loose.PeakBond() >= tight.PeakBond() {
+		t.Fatalf("loose cutoff peak bond %d, tight %d — cutoff has no effect", loose.PeakBond(), tight.PeakBond())
+	}
+	if loose.TruncErr <= tight.TruncErr {
+		t.Fatalf("loose cutoff discarded %g, tight %g — accounting inverted", loose.TruncErr, tight.TruncErr)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
+	"qfw/internal/mps"
 	"qfw/internal/optimize"
 	"qfw/internal/pauli"
 	"qfw/internal/qubo"
@@ -639,11 +640,20 @@ func bestSampled(q *qubo.QUBO, counts map[string]int) ([]int, float64) {
 	return best, bestE
 }
 
-// LocalRunner executes circuits directly on the in-process state-vector
-// engine, bypassing the orchestration stack — used by unit tests and as the
-// zero-overhead baseline in the ablation benchmarks.
+// LocalRunner executes circuits directly on the in-process simulation
+// engines, bypassing the orchestration stack — used by unit tests and as
+// the zero-overhead baseline in the ablation benchmarks.
 type LocalRunner struct {
 	Workers int
+
+	// Engine selects the simulator: "" or "statevector" (default) runs the
+	// fused state-vector engine; "mps" runs the compiled matrix-product-state
+	// schedule (MaxBond and Cutoff tune its truncation), which opens qubit
+	// counts the dense engine cannot reach. The MPS engine has no adjoint
+	// gradients, so solves over it fall back to batched Nelder-Mead.
+	Engine  string
+	MaxBond int
+	Cutoff  float64
 }
 
 // Run implements Runner.
@@ -657,11 +667,18 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 		seed = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	s, _ := statevec.RunFused(c.StripMeasurements(), nil, w, rng)
 	shots := opts.Shots
 	if shots <= 0 {
 		shots = 1024
 	}
+	if l.Engine == "mps" {
+		cc, err := mps.CompileCircuit(c)
+		if err != nil {
+			return nil, fmt.Errorf("qaoa: %w", err)
+		}
+		return l.mpsResult(cc, nil, shots, rng, opts.Observable, w)
+	}
+	s, _ := statevec.RunFused(c.StripMeasurements(), nil, w, rng)
 	res := &core.Result{Counts: s.SampleCounts(shots, rng), Backend: "local"}
 	if opts.Observable != nil {
 		var v float64
@@ -676,23 +693,63 @@ func (l LocalRunner) Run(c *circuit.Circuit, opts core.RunOptions) (*core.Result
 	return res, nil
 }
 
+// mpsResult executes one binding of a compiled MPS schedule and marshals a
+// local Result (exact <H> through the transfer contraction, truncation
+// telemetry in TruncErr/Extra).
+func (l LocalRunner) mpsResult(cc *mps.Compiled, binding map[string]float64, shots int, rng *rand.Rand, obs *core.Observable, workers int) (*core.Result, error) {
+	m, err := cc.Execute(binding, mps.Options{MaxBond: l.MaxBond, Cutoff: l.Cutoff, Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("qaoa: %w", err)
+	}
+	defer m.Release()
+	res := &core.Result{Backend: "local", Subbackend: "mps", TruncErr: m.TruncErr}
+	if obs != nil {
+		v := m.ExpectationHamiltonian(hamiltonianFromObservable(obs, cc.N))
+		res.ExpVal = &v
+	}
+	res.Counts = m.Sample(shots, rng)
+	res.Extra = map[string]float64{"mps_fidelity": m.Fidelity(), "mps_peak_bond": float64(m.PeakBond())}
+	return res, nil
+}
+
 // RunBatch implements BatchRunner: elements are dispatched to concurrent
 // goroutines bounded by a core-sized semaphore and collected into ordered
 // slots — a K-element batch costs at most GOMAXPROCS live executions (and
-// their 2^n amplitude arenas) instead of K. The blocking collect point
-// matters on its own: a caller running many solves concurrently (DQAOA's
-// async sub-QAOA client) yields the processor here, so sibling solves
-// genuinely overlap even on one core.
+// their 2^n amplitude arenas) instead of K. On the MPS engine the schedule
+// compiles once per call and every element replays it. The blocking collect
+// point matters on its own: a caller running many solves concurrently
+// (DQAOA's async sub-QAOA client) yields the processor here, so sibling
+// solves genuinely overlap even on one core.
 func (l LocalRunner) RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, error) {
 	results := make([]*core.Result, len(bindings))
 	errs := make([]error, len(bindings))
+	var cc *mps.Compiled
+	if l.Engine == "mps" {
+		var err error
+		if cc, err = mps.CompileCircuit(c); err != nil {
+			return nil, fmt.Errorf("qaoa: %w", err)
+		}
+	}
 	core.FanOut(len(bindings), runtime.GOMAXPROCS(0), func(i int) {
+		elemOpts := opts.ForElement(i)
+		if cc != nil {
+			seed := elemOpts.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			shots := elemOpts.Shots
+			if shots <= 0 {
+				shots = 1024
+			}
+			results[i], errs[i] = l.mpsResult(cc, bindings[i], shots, rand.New(rand.NewSource(seed)), elemOpts.Observable, 1)
+			return
+		}
 		bound := c.Bind(bindings[i])
 		if !bound.IsBound() {
 			errs[i] = fmt.Errorf("qaoa: batch element %d leaves params %v unbound", i, bound.ParamNames())
 			return
 		}
-		results[i], errs[i] = l.Run(bound, opts.ForElement(i))
+		results[i], errs[i] = l.Run(bound, elemOpts)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -702,9 +759,10 @@ func (l LocalRunner) RunBatch(c *circuit.Circuit, bindings []core.Bindings, opts
 	return results, nil
 }
 
-// SupportsGradients implements GradientRunner: the in-process engine always
-// differentiates.
-func (l LocalRunner) SupportsGradients() bool { return true }
+// SupportsGradients implements GradientRunner: the state-vector engine
+// always differentiates; the MPS engine has no dense amplitude access, so
+// gradient-based optimizers fall back to derivative-free search over it.
+func (l LocalRunner) SupportsGradients() bool { return l.Engine != "mps" }
 
 // RunGradient implements GradientRunner on the in-process adjoint engine:
 // the gradient plan is built once per call and shared by every binding,
@@ -712,6 +770,9 @@ func (l LocalRunner) SupportsGradients() bool { return true }
 // divides by the in-flight sweep count, so a gradient batch never
 // oversubscribes the node).
 func (l LocalRunner) RunGradient(c *circuit.Circuit, bindings []core.Bindings, opts core.RunOptions) ([]core.GradResult, error) {
+	if l.Engine == "mps" {
+		return nil, fmt.Errorf("qaoa: the mps engine does not support adjoint gradients")
+	}
 	if opts.Observable == nil {
 		return nil, fmt.Errorf("qaoa: gradient execution requires an observable")
 	}

@@ -45,8 +45,18 @@ const parallelThreshold = 1 << 12
 // workers using the shared persistent pool. Kernels must be leaf work: a
 // body must never submit pool work of its own.
 func (s *State) parallelFor(n int, body func(start, end int)) {
-	w := s.Workers
-	if w <= 1 || n < parallelThreshold {
+	ParallelFor(s.Workers, n, parallelThreshold, body)
+}
+
+// ParallelFor splits [0, n) into contiguous chunks across the shared
+// persistent kernel pool, running serially when workers <= 1 or n is below
+// minParallel (callers pick the threshold: amplitude kernels use the
+// amplitude-count default; the MPS engine parallelizes over bond rows,
+// whose per-element cost is orders of magnitude higher). Bodies must be
+// leaf work — never submit pool work of their own.
+func ParallelFor(workers, n, minParallel int, body func(start, end int)) {
+	w := workers
+	if w <= 1 || n < minParallel || n < 2 {
 		body(0, n)
 		return
 	}

@@ -62,6 +62,35 @@ func TFIM(n, steps int, hx, t float64) *circuit.Circuit {
 	return c
 }
 
+// RingQAOA returns a bound depth-p QAOA ansatz over a ring cost Hamiltonian
+// (uniform ZZ couplings around a cycle, fixed deterministic angles): H
+// layer, then p alternating RZZ-ring and RX-mixer layers. All couplings but
+// the closing edge (n-1, 0) are nearest-neighbour, so the workload
+// exercises exactly one long-range interaction per layer — the MPS engine's
+// swap-routing stress case at sizes the dense engines cannot reach.
+func RingQAOA(n, p int) *circuit.Circuit {
+	if p <= 0 {
+		p = 2
+	}
+	c := circuit.New(n)
+	c.Name = fmt.Sprintf("qaoa-ring-%d", n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for layer := 0; layer < p; layer++ {
+		gamma := 0.35 + 0.15*float64(layer+1)
+		beta := 0.85 - 0.15*float64(layer+1)
+		for i := 0; i < n; i++ {
+			c.RZZ(i, (i+1)%n, circuit.Bound(gamma))
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, circuit.Bound(beta))
+		}
+	}
+	c.MeasureAll()
+	return c
+}
+
 // QFT appends the quantum Fourier transform on the given qubits (qs[0] is
 // the most significant) to c.
 func QFT(c *circuit.Circuit, qs []int) {
@@ -211,11 +240,13 @@ func ByName(name string, n int) (*circuit.Circuit, error) {
 		return GHZ(n), nil
 	case "ham", "hamsim":
 		return HamSim(n, 1), nil
-	case "tfim":
+	case "tfim", "tfim-xl":
 		return TFIM(n, 4, 0.5, 1.0), nil
+	case "qaoa-ring":
+		return RingQAOA(n, 2), nil
 	case "hhl":
 		return HHL(HHLSize(n)), nil
 	default:
-		return nil, fmt.Errorf("workloads: unknown workload %q (want ghz|ham|tfim|hhl)", name)
+		return nil, fmt.Errorf("workloads: unknown workload %q (want ghz|ham|tfim|tfim-xl|qaoa-ring|hhl)", name)
 	}
 }

@@ -154,3 +154,27 @@ func TestHHLSizeValidation(t *testing.T) {
 	}()
 	HHLSize(6)
 }
+
+func TestRingQAOAStructure(t *testing.T) {
+	c := RingQAOA(10, 2)
+	if c.NQubits != 10 {
+		t.Fatalf("nqubits %d", c.NQubits)
+	}
+	if !c.IsBound() {
+		t.Fatalf("ring-QAOA workload must be fully bound")
+	}
+	ops := c.CountOps()
+	if ops["rzz"] != 20 || ops["rx"] != 20 || ops["h"] != 10 {
+		t.Fatalf("ops %v", ops)
+	}
+	// The closing edge makes it non-nearest-neighbour by exactly one edge.
+	if d := c.InteractionDistance(); d != 9 {
+		t.Fatalf("interaction distance %d, want 9 (closing ring edge)", d)
+	}
+	if _, err := ByName("qaoa-ring", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("tfim-xl", 48); err != nil {
+		t.Fatal(err)
+	}
+}
