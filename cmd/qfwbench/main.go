@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps or 'all'")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps,ablation-kernel or 'all'")
 		full       = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
 		repeats    = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
 		shots      = flag.Int("shots", 256, "shots per circuit execution")
@@ -43,6 +43,7 @@ func main() {
 		distJSON   = flag.String("dist-json", "BENCH_dist.json", "path for the ablation-dist JSON record (empty disables)")
 		gradJSON   = flag.String("grad-json", "BENCH_grad.json", "path for the ablation-grad JSON record (empty disables)")
 		mpsJSON    = flag.String("mps-json", "BENCH_mps.json", "path for the ablation-mps JSON record (empty disables)")
+		kernelJSON = flag.String("kernel-json", "BENCH_kernel.json", "path for the ablation-kernel JSON record (empty disables)")
 	)
 	flag.Parse()
 
@@ -157,6 +158,13 @@ func main() {
 		exp, err := h.RunMPSAblation()
 		if err == nil {
 			writeJSON(*mpsJSON, exp)
+		}
+		return exp, err
+	})
+	run("ablation-kernel", func() (*bench.Experiment, error) {
+		exp, err := h.RunKernelAblation()
+		if err == nil {
+			writeJSON(*kernelJSON, exp)
 		}
 		return exp, err
 	})

@@ -58,7 +58,7 @@ func (b *aer) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecRes
 	if !c.IsBound() {
 		return core.ExecResult{}, fmt.Errorf("backend: parametric spec %q requires batch execution (unbound params %v)", spec.Name, c.ParamNames())
 	}
-	return b.executeParsed(c, nil, sub, opts)
+	return b.executeParsed(c, nil, nil, sub, opts)
 }
 
 // ExecuteBatch implements core.BatchExecutor: rebind each element into the
@@ -84,8 +84,8 @@ func (b *aer) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts
 		return res, nil
 	}
 	return runBatch(b.cache, spec, bindings, opts,
-		func(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
-			return b.executeParsed(c, plan, sub, opts)
+		func(c *circuitT, plan *circuit.FusionPlan, sched *circuit.DistSchedule, opts core.RunOptions) (core.ExecResult, error) {
+			return b.executeParsed(c, plan, sched, sub, opts)
 		})
 }
 
@@ -125,14 +125,14 @@ func (b *aer) ExecuteGradient(spec core.CircuitSpec, bindings []core.Bindings, o
 
 // executeParsed runs the non-MPS sub-backends (the MPS path dispatches at
 // the spec level so its compiled schedule can live in the cache).
-func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, sub string, opts core.RunOptions) (core.ExecResult, error) {
+func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, sched *circuit.DistSchedule, sub string, opts core.RunOptions) (core.ExecResult, error) {
 	switch sub {
 	case "statevector":
 		if err := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
 			return core.ExecResult{}, err
 		}
 		workers := b.chunkWorkers(opts)
-		counts, ev := simulateSV(c, plan, opts.Shots, workers, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, sched, opts.Shots, workers, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	case "stabilizer":
 		counts, err := stabilizer.Simulate(c, opts.Shots, newRNG(opts))

@@ -61,15 +61,24 @@ func parseSpec(spec core.CircuitSpec) (*circuit.Circuit, error) {
 // simulator backends: the spec is parsed — and its gate-fusion plan built —
 // once through the backend's cache, then every element rebinds into the
 // cached circuit and runs, so a batch of K evaluations pays the QASM parse
-// and fusion-planning cost once per ansatz, not K times. The QPM hands
-// batch-native executors the whole batch, so the elements run here on a
-// core-bounded worker pool (the per-batch analog of the QRC fan-out), each
-// with its own deterministic slot and derived seed.
+// and fusion-planning cost once per ansatz, not K times. Above the tuner's
+// qubit threshold the cache-blocked tile schedule is compiled once per
+// ansatz too (GetStaged) and handed to every element; a nil schedule means
+// the per-op fused path. The QPM hands batch-native executors the whole
+// batch, so the elements run here on a core-bounded worker pool (the
+// per-batch analog of the QRC fan-out), each with its own deterministic
+// slot and derived seed.
 func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions,
-	run func(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error)) ([]core.ExecResult, error) {
+	run func(c *circuitT, plan *circuit.FusionPlan, sched *circuit.DistSchedule, opts core.RunOptions) (core.ExecResult, error)) ([]core.ExecResult, error) {
 	base, plan, err := cache.GetFused(spec)
 	if err != nil {
 		return nil, fmt.Errorf("backend: bad circuit spec: %w", err)
+	}
+	var sched *circuit.DistSchedule
+	if tun := statevec.CurrentTuning(); base.NQubits >= tun.MinQubits {
+		if _, _, s, err := cache.GetStaged(spec, tun.TileBitsFor(base.NQubits)); err == nil {
+			sched = s
+		}
 	}
 	out := make([]core.ExecResult, len(bindings))
 	errs := make([]error, len(bindings))
@@ -79,7 +88,7 @@ func runBatch(cache *core.ParseCache, spec core.CircuitSpec, bindings []core.Bin
 			errs[i] = fmt.Errorf("backend: binding leaves params %v unbound (batch element %d)", c.ParamNames(), i)
 			return
 		}
-		res, err := run(c, plan, opts.ForElement(i))
+		res, err := run(c, plan, sched, opts.ForElement(i))
 		if err != nil {
 			errs[i] = fmt.Errorf("batch element %d: %w", i, err)
 			return
@@ -257,11 +266,18 @@ func obsHamiltonian(o *core.Observable, n int) *pauli.Hamiltonian {
 // Pauli-apply contraction). Execution goes through the gate-fusion engine;
 // plan may be nil (one-shot circuits plan on the spot) or the cached plan of
 // the batch ansatz — it must have been built from c.StripMeasurements()'s
-// structure. The amplitude buffer returns to the arena before the call
-// returns, so batch elements recycle state memory instead of allocating
-// 2^n complex128 each.
-func simulateSV(c *circuitT, plan *circuit.FusionPlan, shots, workers int, rng *rand.Rand, obs *core.Observable) (map[string]int, *float64) {
-	s, _ := statevec.RunFused(c.StripMeasurements(), plan, workers, rng)
+// structure. A non-nil sched is the batch's cached tile schedule: elements
+// run the cache-blocked staged engine without re-partitioning; with a nil
+// sched the engine decides per call. The amplitude buffer returns to the
+// arena before the call returns, so batch elements recycle state memory
+// instead of allocating 2^n complex128 each.
+func simulateSV(c *circuitT, plan *circuit.FusionPlan, sched *circuit.DistSchedule, shots, workers int, rng *rand.Rand, obs *core.Observable) (map[string]int, *float64) {
+	var s *statevec.State
+	if sched != nil {
+		s, _ = statevec.RunFusedStaged(c.StripMeasurements(), plan, sched, workers, rng)
+	} else {
+		s, _ = statevec.RunFused(c.StripMeasurements(), plan, workers, rng)
+	}
 	if shots <= 0 {
 		shots = 1024
 	}

@@ -45,7 +45,7 @@ func (b *nwqsim) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exec
 	if err != nil {
 		return core.ExecResult{}, err
 	}
-	return b.executeParsed(c, nil, opts)
+	return b.executeParsed(c, nil, nil, opts)
 }
 
 // ExecuteBatch implements core.BatchExecutor. The mpi sub-backend gets a
@@ -115,7 +115,7 @@ func (b *nwqsim) ExecuteGradient(spec core.CircuitSpec, bindings []core.Bindings
 	return runGradient(b.cache, spec, bindings, opts, workers)
 }
 
-func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, sched *circuit.DistSchedule, opts core.RunOptions) (core.ExecResult, error) {
 	if err := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes); err != nil {
 		return core.ExecResult{}, err
 	}
@@ -128,10 +128,10 @@ func (b *nwqsim) executeParsed(c *circuitT, plan *circuit.FusionPlan, opts core.
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		counts, ev := simulateSV(c, plan, opts.Shots, workers, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, sched, opts.Shots, workers, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	case "cpu":
-		counts, ev := simulateSV(c, plan, opts.Shots, 1, newRNG(opts), opts.Observable)
+		counts, ev := simulateSV(c, plan, sched, opts.Shots, 1, newRNG(opts), opts.Observable)
 		return core.ExecResult{Counts: counts, ExpVal: ev}, nil
 	default:
 		return core.ExecResult{}, fmt.Errorf("nwqsim: unknown sub-backend %q", sub)

@@ -55,7 +55,7 @@ func (b *qtensor) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.Exe
 // regression in TestLocalBackendsBatchParseOnce.
 func (b *qtensor) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
 	return runBatch(b.cache, spec, bindings, opts,
-		func(c *circuitT, _ *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
+		func(c *circuitT, _ *circuit.FusionPlan, _ *circuit.DistSchedule, opts core.RunOptions) (core.ExecResult, error) {
 			return b.executeParsed(c, opts)
 		})
 }

@@ -148,6 +148,11 @@ var AblationCatalog = []AblationSpec{
 		Sizes:    []int{16, 24, 48},
 		Describe: "TFIM / ring-QAOA batches of K=8 on the MPS engine: compiled+batched schedule vs the per-gate seed path, with the fused statevector engine at the crossover sizes",
 	},
+	{
+		Name:     "blocked-kernel",
+		Sizes:    []int{16, 18, 20, 22, 24, 26},
+		Describe: "Deep QAOA/TFIM statevector execution on one core: cache-blocked stage engine (SoA tiles, SIMD kernels) vs per-op fused vs per-gate seed kernels (same circuits, same seeds, depth sweep)",
+	},
 }
 
 // PlacementFor reproduces the paper's (#N, #P) schedule: placements grow

@@ -96,6 +96,12 @@ func (h *Harness) timedRun(sel BackendSel, build func() (*core.Result, error)) (
 		}
 		samples = append(samples, float64(time.Since(start))/float64(time.Millisecond))
 	}
+	mean, std = meanStd(samples)
+	return mean, std, nil
+}
+
+// meanStd returns the mean and population standard deviation of samples.
+func meanStd(samples []float64) (mean, std float64) {
 	for _, s := range samples {
 		mean += s
 	}
@@ -103,8 +109,7 @@ func (h *Harness) timedRun(sel BackendSel, build func() (*core.Result, error)) (
 	for _, s := range samples {
 		std += (s - mean) * (s - mean)
 	}
-	std = math.Sqrt(std / float64(len(samples)))
-	return mean, std, nil
+	return mean, math.Sqrt(std / float64(len(samples)))
 }
 
 // RunWorkloadFigure reproduces one of Figs. 3a-3d: runtime vs size for a
@@ -412,6 +417,17 @@ func (h *Harness) RunBatchAblation() (*Experiment, error) {
 	return exp, nil
 }
 
+// pinGOMAXPROCS pins the scheduler width for the duration of one ablation
+// and returns the restore function. Every timing ablation states its
+// parallelism intent through this helper at entry — previously each
+// experiment read whatever GOMAXPROCS the process happened to have, so a
+// pinned single-core study leaked its setting into the multi-core studies
+// that ran after it (and vice versa).
+func pinGOMAXPROCS(n int) func() {
+	prev := runtime.GOMAXPROCS(n)
+	return func() { runtime.GOMAXPROCS(prev) }
+}
+
 // ablationWorkload builds the bound, measurement-stripped circuit of one
 // kernel-ablation workload. The gate-fusion and distributed-fusion studies
 // share these recipes so their numbers stay comparable.
@@ -455,7 +471,8 @@ func (h *Harness) RunFusionAblation() (*Experiment, error) {
 		Title: "Fused vs per-gate statevector execution (" + spec.Describe + ")",
 		Notes: "X axis is the qubit count; each pair of series runs the identical circuit and seed, unfused vs fused.",
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := runtime.NumCPU()
+	defer pinGOMAXPROCS(workers)()
 	shots := h.Shots
 	if shots <= 0 {
 		shots = 256
@@ -499,6 +516,164 @@ func (h *Harness) RunFusionAblation() (*Experiment, error) {
 	}
 	if fusedTotal > 0 {
 		exp.Notes += fmt.Sprintf(" Aggregate speedup: %.2fx.", unfusedTotal/fusedTotal)
+	}
+	return exp, nil
+}
+
+// ablationDeepWorkload builds the deep layer stacks of the blocked-kernel
+// ablation: depth repetitions of (diagonal coupling layer + transverse
+// rotation layer) — the stage structure the cache-blocked engine exists
+// for. "qaoa" is a p=depth random-QUBO ansatz, "tfim" a depth-step Trotter
+// evolution.
+func (h *Harness) ablationDeepWorkload(kind string, n, depth int) (*circuit.Circuit, error) {
+	switch kind {
+	case "qaoa":
+		rng := rand.New(rand.NewSource(h.Seed + int64(n)))
+		q := qubo.Random(n, 0.5, 1.0, rng)
+		ham, _ := q.CostHamiltonian()
+		ansatz := qaoa.BuildAnsatz(ham, depth)
+		prng := rand.New(rand.NewSource(h.Seed + 7))
+		params := make([]float64, 2*depth)
+		for j := range params {
+			params[j] = 0.1 + 0.8*prng.Float64()
+		}
+		return ansatz.Bind(qaoa.BindParams(params)).StripMeasurements(), nil
+	case "tfim":
+		return workloads.TFIM(n, depth, 0.5, 1.0).StripMeasurements(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown deep ablation workload %q", kind)
+}
+
+// RunKernelAblation measures the blocked-kernel ablation of the catalog:
+// deep QAOA/TFIM circuits executed through the cache-blocked stage engine
+// (statevec.RunStaged: tile-resident stages, SoA amplitude layout, SIMD
+// kernels, fused boundary gathers), through the per-op fused program
+// (statevec.RunProgram — the engine the staged path replaces above the
+// tuner threshold), and through the per-gate seed kernels
+// (statevec.RunCircuit). Strictly single-core: GOMAXPROCS and kernel
+// workers are pinned to 1 for the duration, so the numbers isolate memory
+// locality, not parallel speedup. Blocked and fused repetitions are
+// interleaved in pairs so shared-machine noise lands on both sides of the
+// ratio, and the timed region covers circuit execution only (sampling is
+// engine-independent). The per-gate baseline is capped in size —
+// at the paper's n=24+ a per-gate sweep takes minutes and adds nothing over
+// the capped trend — and larger points carry an explanatory marker.
+func (h *Harness) RunKernelAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "blocked-kernel" {
+			spec = ab
+		}
+	}
+	exp := &Experiment{
+		ID:    "ablation-kernel",
+		Title: "Cache-blocked stages vs per-op fused vs per-gate execution (" + spec.Describe + ")",
+		Notes: "X axis is the qubit count; each series triplet runs the identical circuit and seed on one pinned core.",
+	}
+	defer pinGOMAXPROCS(1)()
+	sizes := spec.Sizes
+	depths := []int{4, 8}
+	perGateCap := 20
+	if h.Quick {
+		sizes = []int{14, 16}
+		depths = []int{2, 4}
+		perGateCap = 14
+	}
+	var blockedDeep, fusedDeep float64 // the n>=20 acceptance aggregate
+	for _, kind := range []string{"qaoa", "tfim"} {
+		for _, depth := range depths {
+			blocked := Series{Label: fmt.Sprintf("%s d=%d blocked", kind, depth)}
+			fused := Series{Label: fmt.Sprintf("%s d=%d fused per-op", kind, depth)}
+			perGate := Series{Label: fmt.Sprintf("%s d=%d per-gate", kind, depth)}
+			for _, n := range sizes {
+				c, err := h.ablationDeepWorkload(kind, n, depth)
+				if err != nil {
+					return nil, err
+				}
+				plan := circuit.PlanFusion(c)
+				sched, err := circuit.PlanTileStages(plan, c, statevec.CurrentTuning().TileBitsFor(n))
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s n=%d untileable: %w", kind, n, err)
+				}
+				runBlocked := func() error {
+					rng := rand.New(rand.NewSource(h.Seed))
+					s, _, ok := statevec.RunStaged(c, plan, sched, 1, rng)
+					if !ok {
+						return fmt.Errorf("bench: staged engine refused %s n=%d", kind, n)
+					}
+					s.Release()
+					return nil
+				}
+				runFused := func() error {
+					rng := rand.New(rand.NewSource(h.Seed))
+					s, _ := statevec.RunProgram(plan.Compile(c), 1, rng)
+					s.Release()
+					return nil
+				}
+				// Untimed warmup of both engines: the first execution at a
+				// new size pays first-touch page faults for every fresh
+				// buffer (seconds at n >= 24), and whichever engine runs
+				// first would absorb that allocator cost while the second
+				// inherits pool-warmed memory. A locality study measures
+				// steady-state kernels, not the page allocator.
+				if err := runBlocked(); err != nil {
+					return nil, err
+				}
+				if err := runFused(); err != nil {
+					return nil, err
+				}
+				// Paired interleaved repetitions: the two engines alternate
+				// within each repeat, so a slow machine window inflates the
+				// same repeat on both sides instead of biasing whichever
+				// engine it happened to land on. The timed region covers
+				// circuit execution only — sampling cost is identical for
+				// every engine and would only dilute the kernel ratio.
+				reps := h.Repeats
+				if reps < 1 {
+					reps = 1
+				}
+				var bT, fT []float64
+				for r := 0; r < reps; r++ {
+					t0 := time.Now()
+					if err := runBlocked(); err != nil {
+						return nil, err
+					}
+					bT = append(bT, float64(time.Since(t0))/float64(time.Millisecond))
+					t0 = time.Now()
+					if err := runFused(); err != nil {
+						return nil, err
+					}
+					fT = append(fT, float64(time.Since(t0))/float64(time.Millisecond))
+				}
+				bm, bs := meanStd(bT)
+				fm, fs := meanStd(fT)
+				blocked.Points = append(blocked.Points, Point{X: n, Placement: "(1,1)", RuntimeMS: bm, StdMS: bs})
+				fused.Points = append(fused.Points, Point{X: n, Placement: "(1,1)", RuntimeMS: fm, StdMS: fs})
+				if n >= 20 {
+					blockedDeep += bm
+					fusedDeep += fm
+				}
+				if n > perGateCap {
+					perGate.Points = append(perGate.Points, Point{X: n, Placement: "(1,1)",
+						Infeasible: true, Err: fmt.Sprintf("per-gate baseline capped at %d qubits", perGateCap)})
+					continue
+				}
+				gm, gs, err := h.timedRun(BackendSel{}, func() (*core.Result, error) {
+					rng := rand.New(rand.NewSource(h.Seed))
+					s, _ := statevec.RunCircuit(c, 1, rng)
+					s.Release()
+					return nil, nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				perGate.Points = append(perGate.Points, Point{X: n, Placement: "(1,1)", RuntimeMS: gm, StdMS: gs})
+			}
+			exp.Series = append(exp.Series, blocked, fused, perGate)
+		}
+	}
+	if blockedDeep > 0 {
+		exp.Notes += fmt.Sprintf(" Aggregate blocked speedup over the per-op fused engine at n>=20: %.2fx.", fusedDeep/blockedDeep)
 	}
 	return exp, nil
 }

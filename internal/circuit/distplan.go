@@ -75,6 +75,18 @@ func distSupport(op *FusedOp) ([]int, bool) {
 // callers retry after transpiling to narrower gates, or reduce the rank
 // count.
 func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
+	return planDistStagesReserve(prog, nLocal, 0)
+}
+
+// planDistStagesReserve is PlanDistStages with a filler reserve: the wish
+// lookahead at a remap point stops growing once it would leave fewer than
+// reserve local positions to unwished residents. The distributed engine
+// plans with reserve 0 (every stage boundary is a full all-to-all, so
+// maximal packing minimizes exchanges); the tile planner reserves a low-bit
+// prefix so stage-boundary gathers keep contiguous runs (see
+// PlanTileStages). The triggering op's own support always fits regardless
+// of the reserve.
+func planDistStagesReserve(prog *FusedProgram, nLocal, reserve int) (*DistSchedule, error) {
 	n := prog.NQubits
 	if nLocal > n {
 		nLocal = n
@@ -115,6 +127,10 @@ func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
 			continue
 		}
 		// Remap point: gather the wish set of the upcoming constrained ops.
+		cap := nLocal - reserve
+		if cap < len(qs) {
+			cap = len(qs)
+		}
 		wish := map[int]bool{}
 		for _, q := range qs {
 			wish[q] = true
@@ -130,7 +146,7 @@ func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
 					fresh++
 				}
 			}
-			if len(wish)+fresh > nLocal {
+			if len(wish)+fresh > cap {
 				break
 			}
 			for _, q := range qs2 {
@@ -138,9 +154,14 @@ func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
 			}
 		}
 		// Build the next layout: wished qubits already local stay put; each
-		// wished qubit at a global position swaps with the lowest local
-		// position whose occupant is not wished. Deterministic (sorted
-		// qubit/position order) so every rank computes the same layout.
+		// wished qubit at a global position swaps with the highest local
+		// position whose occupant is not wished. Evicting from the top keeps
+		// unwished residents parked at the lowest positions, so consecutive
+		// remaps leave a maximal low-bit prefix of the index untouched — the
+		// distributed exchange volume is unchanged, and the cache-blocked
+		// tile executor turns that fixed prefix into contiguous gather runs.
+		// Deterministic (sorted qubit/position order) so every rank computes
+		// the same layout.
 		var incoming []int
 		for q := range wish {
 			if layout[q] >= nLocal {
@@ -149,7 +170,7 @@ func PlanDistStages(prog *FusedProgram, nLocal int) (*DistSchedule, error) {
 		}
 		sort.Ints(incoming)
 		var victims []int
-		for p := 0; p < nLocal; p++ {
+		for p := nLocal - 1; p >= 0; p-- {
 			if !wish[occ[p]] {
 				victims = append(victims, p)
 			}

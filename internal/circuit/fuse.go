@@ -512,6 +512,18 @@ func SegmentDiagonal(c *Circuit, gates []int) ([]DiagTerm1, []DiagTerm2) {
 // structure (same gate kinds and qubits in the same order — any Bind of the
 // circuit the plan was built from) and returns the executable program.
 func (p *FusionPlan) Compile(c *Circuit) *FusedProgram {
+	prog := p.CompileSeq(c)
+	pairRXOps(prog)
+	return prog
+}
+
+// CompileSeq compiles like Compile but keeps exactly one operation per
+// planned segment: no cross-segment RX pairing, so op i of the program
+// corresponds to segment i of the plan. This is the form the cache-blocked
+// staged executor runs — its tile schedule (PlanTileStages) addresses ops by
+// segment index, and pairing across a stage boundary would fuse two ops that
+// execute under different layouts.
+func (p *FusionPlan) CompileSeq(c *Circuit) *FusedProgram {
 	if c.NQubits != p.nqubits || len(c.Gates) != p.ngates {
 		panic(fmt.Sprintf("circuit: fusion plan built for %d gates on %d qubits, got %d gates on %d",
 			p.ngates, p.nqubits, len(c.Gates), c.NQubits))
@@ -528,7 +540,6 @@ func (p *FusionPlan) Compile(c *Circuit) *FusedProgram {
 			prog.Ops = append(prog.Ops, compileDenseSeg(c, seg))
 		}
 	}
-	pairRXOps(prog)
 	return prog
 }
 
@@ -721,6 +732,19 @@ func compileDenseSeg(c *Circuit, seg fusionSeg) FusedOp {
 	}
 	return classifyDense(SegmentUnitary(c, seg.gates, qs), qs)
 }
+
+// GateMatrix returns the dense matrix of a bound gate in the basis with
+// g.Qubits[0] as the most significant bit — the exported form of the
+// compiler's internal lowering, used by the staged executor to turn
+// passthrough gates into tile-local kernels.
+func GateMatrix(g Gate) *linalg.Matrix { return boundMatrix(g) }
+
+// ClassifyUnitary picks the cheapest exact kernel for a dense unitary over
+// the qubit list qs (most significant first) — the exported form of the
+// fusion compiler's kernel classification. Structure is detected with exact
+// zero tests, so a misdetection is impossible: at worst a generic kernel is
+// selected.
+func ClassifyUnitary(u *linalg.Matrix, qs []int) FusedOp { return classifyDense(u, qs) }
 
 // classifyDense selects the kernel for a fused dense unitary: diagonal and
 // (phased) permutation structure is detected with exact zero tests, so a

@@ -1,0 +1,175 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// planTiled is the test-side shorthand: fusion-plan a circuit and partition
+// it into tile stages at the given granularity.
+func planTiled(t *testing.T, c *Circuit, tileBits int) (*DistSchedule, error) {
+	t.Helper()
+	return PlanTileStages(PlanFusion(c), c, tileBits)
+}
+
+// TestPlanTileStagesDiagonalOnly: a program that fuses to nothing but
+// diagonal layers is unconstrained — one stage, zero remaps, at any tile
+// granularity including zero local bits.
+func TestPlanTileStagesDiagonalOnly(t *testing.T) {
+	c := New(8)
+	for q := 0; q < 8; q++ {
+		c.RZ(q, Bound(0.1*float64(q+1)))
+	}
+	for q := 0; q < 7; q++ {
+		c.RZZ(q, q+1, Bound(0.3))
+	}
+	for _, tb := range []int{0, 1, 4} {
+		sched, err := planTiled(t, c, tb)
+		if err != nil {
+			t.Fatalf("tileBits=%d: diagonal-only program should always tile: %v", tb, err)
+		}
+		if len(sched.Stages) != 1 || sched.Remaps() != 0 {
+			t.Fatalf("tileBits=%d: want one stage and zero remaps, got %d stages / %d remaps",
+				tb, len(sched.Stages), sched.Remaps())
+		}
+	}
+}
+
+// TestPlanTileStagesTinyTiles: with one local bit, any single-qubit dense
+// circuit tiles (each op needs one resident qubit) and gates on distinct
+// qubits land in distinct stages; with zero local bits the partitioner must
+// refuse dense ops rather than emit an unexecutable schedule.
+func TestPlanTileStagesTinyTiles(t *testing.T) {
+	c := New(5)
+	for q := 0; q < 5; q++ {
+		c.H(q).RX(q, Bound(0.4))
+	}
+	sched, err := planTiled(t, c, 1)
+	if err != nil {
+		t.Fatalf("1q-only circuit should tile at tileBits=1: %v", err)
+	}
+	if len(sched.Stages) < 2 {
+		t.Fatalf("five 1q supports cannot share one 2-amplitude tile, got %d stages", len(sched.Stages))
+	}
+	if _, err := planTiled(t, c, 0); err == nil {
+		t.Fatal("tileBits=0 must refuse dense ops")
+	}
+}
+
+// TestPlanTileStagesWideOpRefused: an op wider than the tile is a planning
+// error naming the offending support, and the caller-facing contract is
+// "refuse, then fall back to per-op execution" — never a silent mis-plan.
+func TestPlanTileStagesWideOpRefused(t *testing.T) {
+	c := New(6)
+	c.H(0)
+	c.CCX(1, 3, 5)
+	_, err := planTiled(t, c, 2)
+	if err == nil {
+		t.Fatal("CCX needs 3 resident qubits; tileBits=2 must refuse")
+	}
+	if !strings.Contains(err.Error(), "3 resident qubits") {
+		t.Fatalf("refusal should name the resident-qubit need, got: %v", err)
+	}
+	if _, err := planTiled(t, c, 3); err != nil {
+		t.Fatalf("tileBits=3 fits the CCX: %v", err)
+	}
+}
+
+// TestPlanTileStagesAllGlobalOps: every dense op acts above the tile
+// boundary, so each stage's layout must pull its supports down into local
+// positions — the schedule stays executable and every staged op is resident.
+func TestPlanTileStagesAllGlobalOps(t *testing.T) {
+	const n, tb = 10, 3
+	c := New(n)
+	for q := tb; q < n-1; q++ {
+		c.CX(q, q+1)
+	}
+	plan := PlanFusion(c)
+	sched, err := PlanTileStages(plan, c, tb)
+	if err != nil {
+		t.Fatalf("all-global circuit should tile via remaps: %v", err)
+	}
+	if sched.Remaps() == 0 {
+		t.Fatal("ops above the tile boundary need at least one remap")
+	}
+	assertResident(t, plan, c, sched)
+}
+
+// TestPlanTileStagesResidencyRandom fuzzes the residency invariant that the
+// blocked executor relies on: under each stage's layout, every non-diagonal
+// staged op sits entirely below NLocal, every op appears exactly once, and
+// program order is preserved within the schedule.
+func TestPlanTileStagesResidencyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(6)
+		c := New(n)
+		for g := 0; g < 40; g++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.H(rng.Intn(n))
+			case 1:
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.CX(a, b)
+			case 2:
+				a := rng.Intn(n)
+				b := (a + 1 + rng.Intn(n-1)) % n
+				c.RZZ(a, b, Bound(rng.Float64()))
+			default:
+				c.RX(rng.Intn(n), Bound(rng.Float64()))
+			}
+		}
+		tb := 2 + rng.Intn(n-2)
+		plan := PlanFusion(c)
+		sched, err := PlanTileStages(plan, c, tb)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d tb=%d): %v", trial, n, tb, err)
+		}
+		assertResident(t, plan, c, sched)
+	}
+}
+
+// assertResident checks the schedule invariants against the compiled
+// sequential program the blocked executor runs.
+func assertResident(t *testing.T, plan *FusionPlan, c *Circuit, sched *DistSchedule) {
+	t.Helper()
+	prog := plan.CompileSeq(c)
+	if sched.NQubits != prog.NQubits {
+		t.Fatalf("schedule width %d != program width %d", sched.NQubits, prog.NQubits)
+	}
+	seen := make([]bool, len(prog.Ops))
+	last := -1
+	for si, st := range sched.Stages {
+		if len(st.Layout) != prog.NQubits {
+			t.Fatalf("stage %d: layout covers %d of %d qubits", si, len(st.Layout), prog.NQubits)
+		}
+		for _, oi := range st.Ops {
+			if oi <= last {
+				t.Fatalf("stage %d: op %d out of program order (prev %d)", si, oi, last)
+			}
+			last = oi
+			if seen[oi] {
+				t.Fatalf("op %d scheduled twice", oi)
+			}
+			seen[oi] = true
+			op := &prog.Ops[oi]
+			qs, constrained := distSupport(op)
+			if !constrained {
+				continue
+			}
+			for _, q := range qs {
+				if st.Layout[q] >= sched.NLocal {
+					t.Fatalf("stage %d: op %d qubit %d at global position %d (NLocal=%d)",
+						si, oi, q, st.Layout[q], sched.NLocal)
+				}
+			}
+		}
+	}
+	for oi, ok := range seen {
+		if !ok {
+			t.Fatalf("op %d never scheduled", oi)
+		}
+	}
+}

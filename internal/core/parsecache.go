@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -97,6 +98,32 @@ func (pc *ParseCache) GetFused(spec CircuitSpec) (*circuit.Circuit, *circuit.Fus
 		e.plan = circuit.PlanFusion(e.c.StripMeasurements())
 	})
 	return e.c, e.plan, nil
+}
+
+// GetStaged returns the parsed circuit, its fusion plan, and the
+// cache-blocked tile schedule of the measurement-stripped body at the given
+// tile granularity — the staged engine's analog of GetFused, so a batch of
+// bindings partitions its stages once per ansatz. A nil schedule (with nil
+// error) means the structure cannot be tiled at this granularity (an op
+// wider than a tile); callers run the per-op fused path instead. The
+// negative result is memoized too: an untileable ansatz is not re-planned
+// per batch.
+func (pc *ParseCache) GetStaged(spec CircuitSpec, tileBits int) (*circuit.Circuit, *circuit.FusionPlan, *circuit.DistSchedule, error) {
+	c, plan, err := pc.GetFused(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	v, err := pc.Memo(spec, fmt.Sprintf("tile-stages-%d", tileBits), func(c *circuit.Circuit) (any, error) {
+		sched, err := circuit.PlanTileStages(plan, c.StripMeasurements(), tileBits)
+		if err != nil {
+			return (*circuit.DistSchedule)(nil), nil
+		}
+		return sched, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, plan, v.(*circuit.DistSchedule), nil
 }
 
 // GetGrad returns the parsed circuit plus the gradient-aware fusion plan of

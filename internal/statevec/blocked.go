@@ -1,0 +1,602 @@
+package statevec
+
+// Cache-blocked staged execution: the memory-bandwidth half of the engine.
+//
+// The per-op fused path (fused.go) streams all 2^n amplitudes through cache
+// once per fused op, so a deep circuit is bandwidth-bound: every op is a
+// full-statevector sweep. This file executes the same program *stage by
+// stage* instead. The distributed stage partitioner (circuit.PlanDistStages,
+// reused through circuit.PlanTileStages with "rank shard" = L2-resident
+// tile) groups consecutive ops whose non-diagonal support fits the low
+// tileBits bit positions of the current layout; the executor then walks the
+// statevector one 2^tileBits tile at a time, applying the *whole stage* to
+// each tile while it sits in cache. Amplitudes cross the memory bus once
+// per stage, not once per op, and a stage boundary is a single bit
+// permutation sweep — the in-memory analog of the distributed engine's
+// all-to-all shard shuffle.
+//
+// On the stage path amplitudes live in split re/im []float64 form
+// (structure-of-arrays, soa.go) so the tile kernels run unit-stride float
+// loops the compiler can keep in registers and vectorize. Combined diagonal
+// layers evaluate per tile from factor tables spanning one tile (shared
+// read-only across tiles, so they stay cache-hot) with global-bit factors
+// folded into a per-tile scalar — diagonal ops never constrain the layout,
+// exactly as in the distributed scheme. Execution order per amplitude is
+// identical to the per-op path, so staged and fused runs agree to
+// floating-point rounding (see the randomized equivalence tests).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"qfw/internal/circuit"
+	"qfw/internal/linalg"
+)
+
+// tileKind selects the SoA kernel of a lowered tile op.
+type tileKind int
+
+const (
+	tk1Q     tileKind = iota // generic 2x2 on an in-tile bit
+	tkDiag1                  // diagonal 2x2 on an in-tile bit
+	tkDiag1G                 // diagonal 2x2 on a tile-index bit (per-tile scalar)
+	tkPerm1                  // antidiagonal 2x2
+	tkH                      // Hadamard
+	tkReal1                  // all-real 2x2
+	tkRX                     // RX-form 2x2
+	tk2Q                     // dense 4x4
+	tkPerm2                  // phased 4x4 permutation
+	tkKQ                     // dense 2^k unitary
+	tkDiag                   // combined diagonal layer (table evaluation)
+)
+
+// tileOp is one stage operation lowered onto the tile coordinate system:
+// qubits are replaced by physical bit masks under the stage layout, matrix
+// entries are unpacked into the form the SoA kernel wants, and combined
+// diagonal layers carry their prebuilt factor tables.
+type tileOp struct {
+	kind      tileKind
+	bit, bit2 int // physical bit masks (bit = matrix-high for 2q)
+	gbit      int // tkDiag1G: tile-index bit mask
+	m1        [2][2]complex128
+	f         [4]float64 // tkReal1: r00,r01,r10,r11; tkRX: c0,v0,v1,c1
+	m         *linalg.Matrix
+	perm      [4]uint8
+	phase     [4]complex128
+	off       []int // tkKQ: matrix-basis index -> bit offset
+	sortedPos []int // tkKQ: ascending physical positions
+	diag      *tileDiag
+}
+
+// tileSpan is a degenerate (zero-factor) cross term of a diagonal layer:
+// per tile it collapses to a plain diagonal 1q on the in-tile bit, selected
+// by the tile-index bit.
+type tileSpan struct {
+	gbit, bit int
+	d         [4]complex128
+}
+
+// crossTab is the cross-factor table of one tile-index bit: active on
+// tiles whose bit is set, folded into the sweep beside the main table.
+type crossTab struct {
+	gbit   int
+	re, im []float64
+}
+
+// tileDiag is a combined diagonal layer lowered for per-tile evaluation:
+// in-tile factors fold into tab, tile-index factors into the per-tile
+// scalar table high, and factors crossing the boundary decompose into
+// separable parts plus a cross table (the in-tile mirror of
+// ApplyDiagTerms' low/high split).
+type tileDiag struct {
+	tabRe, tabIm   []float64
+	highRe, highIm []float64
+	cross          []crossTab
+	spans          []tileSpan
+	tb, gb         int // buffer log-sizes for arena return
+}
+
+func (td *tileDiag) release() {
+	putF64Buf(td.tb, td.tabRe)
+	putF64Buf(td.tb, td.tabIm)
+	putF64Buf(td.gb, td.highRe)
+	putF64Buf(td.gb, td.highIm)
+	for _, ct := range td.cross {
+		putF64Buf(td.tb, ct.re)
+		putF64Buf(td.tb, ct.im)
+	}
+}
+
+func onesF64(buf []float64) {
+	for i := range buf {
+		buf[i] = 1
+	}
+}
+
+// buildTileDiag lowers a combined diagonal run onto the tile coordinate
+// system of a stage: term qubits map through the layout, then split by
+// whether their physical position is inside the tile.
+func buildTileDiag(d1 []circuit.DiagTerm1, d2 []circuit.DiagTerm2, layout []int, tb, n int) *tileDiag {
+	gb := n - tb
+	td := &tileDiag{
+		tabRe: getF64Buf(tb), tabIm: getF64Buf(tb),
+		highRe: getF64Buf(gb), highIm: getF64Buf(gb),
+		tb: tb, gb: gb,
+	}
+	onesF64(td.tabRe)
+	clear(td.tabIm)
+	onesF64(td.highRe)
+	clear(td.highIm)
+	crossOf := make(map[int]int) // tile-index bit mask -> index in td.cross
+	crossFor := func(gbit int) crossTab {
+		if i, ok := crossOf[gbit]; ok {
+			return td.cross[i]
+		}
+		ct := crossTab{gbit: gbit, re: getF64Buf(tb), im: getF64Buf(tb)}
+		onesF64(ct.re)
+		clear(ct.im)
+		crossOf[gbit] = len(td.cross)
+		td.cross = append(td.cross, ct)
+		return ct
+	}
+	for _, t := range d1 {
+		p := layout[t.Q]
+		if p < tb {
+			foldDiag1(td.tabRe, td.tabIm, t.D[0], t.D[1], 1<<uint(p))
+		} else {
+			foldDiag1(td.highRe, td.highIm, t.D[0], t.D[1], 1<<uint(p-tb))
+		}
+	}
+	for _, t := range d2 {
+		pa, pb := layout[t.A], layout[t.B]
+		d := t.D
+		if pa < pb {
+			// Normalize to pa > pb; swapping the qubits swaps the mixed entries.
+			pa, pb = pb, pa
+			d[1], d[2] = d[2], d[1]
+		}
+		switch {
+		case pa < tb:
+			foldDiag2(td.tabRe, td.tabIm, d, 1<<uint(pa), 1<<uint(pb))
+		case pb >= tb:
+			foldDiag2(td.highRe, td.highIm, d, 1<<uint(pa-tb), 1<<uint(pb-tb))
+		default:
+			gbit := 1 << uint(pa-tb)
+			if d[0] == 0 || d[1] == 0 || d[2] == 0 {
+				// Non-invertible factor (never produced by unitary gates):
+				// per tile it is a plain diagonal 1q selected by the tile bit.
+				td.spans = append(td.spans, tileSpan{gbit: gbit, bit: 1 << uint(pb), d: d})
+				continue
+			}
+			// D(a,b) = S·H^a·L^b·C^(a·b): separable parts join the tables,
+			// the cross factor survives in a per-tile-bit table.
+			lo := d[1] / d[0]
+			hi := d[2] / d[0]
+			cf := (d[0] * d[3]) / (d[1] * d[2])
+			foldDiag1(td.tabRe, td.tabIm, 1, lo, 1<<uint(pb))
+			foldDiag1(td.highRe, td.highIm, d[0], d[0]*hi, gbit)
+			ct := crossFor(gbit)
+			foldDiag1(ct.re, ct.im, 1, cf, 1<<uint(pb))
+		}
+	}
+	return td
+}
+
+// apply evaluates the diagonal layer on tile t. acts is caller-owned
+// scratch for the active cross tables (reused across the caller's tiles).
+func (td *tileDiag) apply(re, im []float64, t int, acts [][2][]float64) [][2][]float64 {
+	acts = acts[:0]
+	for _, ct := range td.cross {
+		if t&ct.gbit != 0 {
+			acts = append(acts, [2][]float64{ct.re, ct.im})
+		}
+	}
+	soaDiagTab(re, im, td.tabRe, td.tabIm, td.highRe[t], td.highIm[t], acts)
+	for _, sp := range td.spans {
+		v := 0
+		if t&sp.gbit != 0 {
+			v = 2
+		}
+		soaDiag1(re, im, sp.d[v], sp.d[v|1], sp.bit)
+	}
+	return acts
+}
+
+// lowerOp lowers one fused op of a stage onto the tile coordinate system.
+// Passthrough gates classify into the cheapest exact tile kernel through
+// the fusion compiler's own classifier. Barriers and identities vanish;
+// measurement and reset cannot run on the staged path (callers pre-scan
+// and fall back, see stagedCompatible).
+func lowerOp(dst []tileOp, op *circuit.FusedOp, layout []int, tb, n int) []tileOp {
+	pos := func(q int) int { return layout[q] }
+	switch op.Kind {
+	case circuit.FusedGate:
+		g := op.Gate
+		switch g.Kind {
+		case circuit.KindBarrier, circuit.KindI:
+			return dst
+		case circuit.KindMeasure, circuit.KindReset:
+			panic("statevec: measurement on the staged path (pre-scan missed it)")
+		}
+		cop := circuit.ClassifyUnitary(circuit.GateMatrix(*g), g.Qubits)
+		return lowerOp(dst, &cop, layout, tb, n)
+	case circuit.FusedDense1Q:
+		return append(dst, tileOp{kind: tk1Q, bit: 1 << uint(pos(op.Qubits[0])), m1: op.M1})
+	case circuit.FusedDiag1Q:
+		// Unconstrained: the qubit may sit at a tile-index position, where
+		// the factor is constant per tile.
+		p := pos(op.Qubits[0])
+		if p < tb {
+			return append(dst, tileOp{kind: tkDiag1, bit: 1 << uint(p), m1: op.M1})
+		}
+		return append(dst, tileOp{kind: tkDiag1G, gbit: 1 << uint(p-tb), m1: op.M1})
+	case circuit.FusedPerm1Q:
+		return append(dst, tileOp{kind: tkPerm1, bit: 1 << uint(pos(op.Qubits[0])), m1: op.M1})
+	case circuit.FusedHadamard:
+		return append(dst, tileOp{kind: tkH, bit: 1 << uint(pos(op.Qubits[0]))})
+	case circuit.FusedReal1Q:
+		return append(dst, tileOp{kind: tkReal1, bit: 1 << uint(pos(op.Qubits[0])),
+			f: [4]float64{real(op.M1[0][0]), real(op.M1[0][1]), real(op.M1[1][0]), real(op.M1[1][1])}})
+	case circuit.FusedRXLike:
+		return append(dst, tileOp{kind: tkRX, bit: 1 << uint(pos(op.Qubits[0])),
+			f: [4]float64{real(op.M1[0][0]), imag(op.M1[0][1]), imag(op.M1[1][0]), real(op.M1[1][1])}})
+	case circuit.FusedRXPair:
+		// CompileSeq never pairs, but lower defensively as two passes: the
+		// tile is cache-resident, the pairing win is already banked.
+		dst = append(dst, tileOp{kind: tkRX, bit: 1 << uint(pos(op.Qubits[1])), f: op.RXB})
+		return append(dst, tileOp{kind: tkRX, bit: 1 << uint(pos(op.Qubits[0])), f: op.RXA})
+	case circuit.FusedDense2Q:
+		return append(dst, tileOp{kind: tk2Q, m: op.M,
+			bit: 1 << uint(pos(op.Qubits[0])), bit2: 1 << uint(pos(op.Qubits[1]))})
+	case circuit.FusedPerm2Q:
+		return append(dst, tileOp{kind: tkPerm2, perm: op.Perm, phase: op.Phase,
+			bit: 1 << uint(pos(op.Qubits[0])), bit2: 1 << uint(pos(op.Qubits[1]))})
+	case circuit.FusedDenseKQ:
+		k := len(op.Qubits)
+		ps := make([]int, k)
+		for i, q := range op.Qubits {
+			ps[i] = pos(q)
+		}
+		sorted := append([]int(nil), ps...)
+		sort.Ints(sorted)
+		off := make([]int, 1<<uint(k))
+		for v := range off {
+			o := 0
+			for t := 0; t < k; t++ {
+				if v&(1<<uint(k-1-t)) != 0 {
+					o |= 1 << uint(ps[t])
+				}
+			}
+			off[v] = o
+		}
+		return append(dst, tileOp{kind: tkKQ, m: op.M, off: off, sortedPos: sorted})
+	case circuit.FusedDiagonal:
+		return append(dst, tileOp{kind: tkDiag, diag: buildTileDiag(op.D1, op.D2, layout, tb, n)})
+	}
+	panic(fmt.Sprintf("statevec: unknown fused op kind %d", op.Kind))
+}
+
+// stagedCompatible reports whether the program can run on the staged path:
+// mid-circuit measurement and reset need collapse on the logical state and
+// fall back to per-op execution.
+func stagedCompatible(prog *circuit.FusedProgram) bool {
+	for i := range prog.Ops {
+		op := &prog.Ops[i]
+		if op.Kind == circuit.FusedGate {
+			switch op.Gate.Kind {
+			case circuit.KindMeasure, circuit.KindReset:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bitShift is one group of a bit permutation whose bits move by the same
+// amount: the gather OR-folds (j & mask) shifted by sh.
+type bitShift struct {
+	mask, sh int
+	left     bool
+}
+
+// bitPerm is a physical bit permutation compiled into grouped shifts: the
+// source index of destination index j is keep|shift terms, a handful of
+// mask-shift ops instead of one test per qubit.
+type bitPerm struct {
+	keep   int
+	shifts []bitShift
+}
+
+// buildBitPerm compiles the permutation taking bit srcPos[q] of the source
+// index to bit dstPos[q] of the destination index.
+func buildBitPerm(srcPos, dstPos []int) bitPerm {
+	var p bitPerm
+	byDelta := map[int]int{}
+	for q := range srcPos {
+		d := srcPos[q] - dstPos[q]
+		if d == 0 {
+			p.keep |= 1 << uint(dstPos[q])
+		} else {
+			byDelta[d] |= 1 << uint(dstPos[q])
+		}
+	}
+	deltas := make([]int, 0, len(byDelta))
+	for d := range byDelta {
+		deltas = append(deltas, d)
+	}
+	sort.Ints(deltas)
+	for _, d := range deltas {
+		if d > 0 {
+			p.shifts = append(p.shifts, bitShift{mask: byDelta[d], sh: d, left: true})
+		} else {
+			p.shifts = append(p.shifts, bitShift{mask: byDelta[d], sh: -d})
+		}
+	}
+	return p
+}
+
+func (p *bitPerm) src(j int) int {
+	i := j & p.keep
+	for _, s := range p.shifts {
+		if s.left {
+			i |= (j & s.mask) << uint(s.sh)
+		} else {
+			i |= (j & s.mask) >> uint(s.sh)
+		}
+	}
+	return i
+}
+
+func layoutsEqual(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherRun returns the length of the contiguous source runs of the
+// permutation from srcLayout to dstLayout: 2^r where r is the lowest
+// position whose occupying qubit changes. Canonicalized schedules move only
+// boundary-crossing qubits, so r is typically several bits and the
+// stage-boundary gather proceeds in multi-cacheline copy chunks.
+func gatherRun(srcLayout, dstLayout []int, n int) int {
+	occSrc := make([]int, n)
+	occDst := make([]int, n)
+	for q := 0; q < n; q++ {
+		occSrc[srcLayout[q]] = q
+		occDst[dstLayout[q]] = q
+	}
+	r := 0
+	for r < n && occSrc[r] == occDst[r] {
+		r++
+	}
+	return 1 << uint(r)
+}
+
+// gatherTile fills one destination tile from the source buffers under the
+// bit permutation p, copying run-length contiguous chunks. The caller
+// guarantees run is a power of two dividing the tile size (or larger, in
+// which case the whole tile is one contiguous block).
+func gatherTile(dstRe, dstIm, re, im []float64, p *bitPerm, off, run int) {
+	ts := len(dstRe)
+	if run >= ts {
+		src := p.src(off)
+		copy(dstRe, re[src:src+ts])
+		copy(dstIm, im[src:src+ts])
+		return
+	}
+	if run >= 4 {
+		for j := 0; j < ts; j += run {
+			src := p.src(off + j)
+			copy(dstRe[j:j+run], re[src:src+run])
+			copy(dstIm[j:j+run], im[src:src+run])
+		}
+		return
+	}
+	// Degenerate short runs: plain destination-sequential gather.
+	for j := 0; j < ts; j++ {
+		src := p.src(off + j)
+		dstRe[j] = re[src]
+		dstIm[j] = im[src]
+	}
+}
+
+// execTileOps applies a lowered stage to one tile.
+func execTileOps(ops []tileOp, re, im []float64, t int, acts [][2][]float64) [][2][]float64 {
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case tk1Q:
+			soa1Q(re, im, op.m1, op.bit)
+		case tkDiag1:
+			soaDiag1(re, im, op.m1[0][0], op.m1[1][1], op.bit)
+		case tkDiag1G:
+			d := op.m1[0][0]
+			if t&op.gbit != 0 {
+				d = op.m1[1][1]
+			}
+			soaScale(re, im, real(d), imag(d))
+		case tkPerm1:
+			soaPerm1(re, im, op.m1[0][1], op.m1[1][0], op.bit)
+		case tkH:
+			soaH(re, im, op.bit)
+		case tkReal1:
+			soaReal1(re, im, op.f[0], op.f[1], op.f[2], op.f[3], op.bit)
+		case tkRX:
+			soaRX(re, im, op.f[0], op.f[1], op.f[2], op.f[3], op.bit)
+		case tk2Q:
+			soa2QDense(re, im, op.m, op.bit, op.bit2)
+		case tkPerm2:
+			soaPerm2(re, im, op.perm, op.phase, op.bit, op.bit2)
+		case tkKQ:
+			soaKQ(re, im, op.m, op.off, op.sortedPos)
+		case tkDiag:
+			acts = op.diag.apply(re, im, t, acts)
+		}
+	}
+	return acts
+}
+
+// RunStaged executes a bound circuit through the cache-blocked staged
+// engine: the program compiled one-op-per-segment (CompileSeq), the
+// schedule's stages applied tile by tile in split re/im layout, stage
+// boundaries as bit-permutation sweeps. sched must come from
+// circuit.PlanTileStages on the same plan. Returns ok=false (without
+// touching any state) when the program needs per-op execution
+// (mid-circuit measurement or reset); callers fall back to RunProgram.
+func RunStaged(c *circuit.Circuit, plan *circuit.FusionPlan, sched *circuit.DistSchedule, workers int, rng *rand.Rand) (*State, []int, bool) {
+	if !c.IsBound() {
+		panic("statevec: circuit has unbound parameters")
+	}
+	if plan == nil {
+		plan = circuit.PlanFusion(c)
+	}
+	prog := plan.CompileSeq(c)
+	if !stagedCompatible(prog) {
+		return nil, nil, false
+	}
+	n := prog.NQubits
+	tb := sched.NLocal
+	if sched.NQubits != n || tb > n {
+		panic("statevec: tile schedule does not match the circuit")
+	}
+	tileSize := 1 << uint(tb)
+	numTiles := 1 << uint(n-tb)
+	re := getF64Buf(n)
+	im := getF64Buf(n)
+	clear(re)
+	clear(im)
+	re[0] = 1
+	cur := make([]int, n)
+	for q := range cur {
+		cur[q] = q // PlanDistStages starts from the identity layout
+	}
+	// Stage boundaries do not run as separate permutation sweeps: when the
+	// layout changes, each destination tile is gathered from the old buffers
+	// (contiguous run copies under the canonicalized layouts) and the whole
+	// stage executes on it while it is cache-hot, so a remap costs scattered
+	// reads inside the one sweep the stage pays anyway.
+	var spareRe, spareIm []float64
+	ops := make([]tileOp, 0, 16)
+	minPar := parallelThreshold >> uint(tb)
+	if minPar < 1 {
+		minPar = 1
+	}
+	for _, st := range sched.Stages {
+		ops = ops[:0]
+		for _, oi := range st.Ops {
+			ops = lowerOp(ops, &prog.Ops[oi], st.Layout, tb, n)
+		}
+		stageOps := ops
+		if !layoutsEqual(cur, st.Layout) {
+			if spareRe == nil {
+				spareRe = getF64Buf(n)
+				spareIm = getF64Buf(n)
+			}
+			p := buildBitPerm(cur, st.Layout)
+			run := gatherRun(cur, st.Layout, n)
+			dstRe, dstIm, srcRe, srcIm := spareRe, spareIm, re, im
+			ParallelFor(workers, numTiles, minPar, func(start, end int) {
+				var acts [][2][]float64
+				for t := start; t < end; t++ {
+					off := t * tileSize
+					tr := dstRe[off : off+tileSize]
+					ti := dstIm[off : off+tileSize]
+					gatherTile(tr, ti, srcRe, srcIm, &p, off, run)
+					acts = execTileOps(stageOps, tr, ti, t, acts)
+				}
+			})
+			re, im, spareRe, spareIm = dstRe, dstIm, srcRe, srcIm
+			copy(cur, st.Layout)
+		} else if len(ops) > 0 {
+			tgtRe, tgtIm := re, im
+			ParallelFor(workers, numTiles, minPar, func(start, end int) {
+				var acts [][2][]float64
+				for t := start; t < end; t++ {
+					off := t * tileSize
+					acts = execTileOps(stageOps, tgtRe[off:off+tileSize], tgtIm[off:off+tileSize], t, acts)
+				}
+			})
+		}
+		for i := range ops {
+			if ops[i].diag != nil {
+				ops[i].diag.release()
+			}
+		}
+	}
+	if spareRe != nil {
+		putF64Buf(n, spareRe)
+		putF64Buf(n, spareIm)
+	}
+	// Interleave back to logical-order complex128, undoing the final layout.
+	s := NewState(n)
+	if workers > 1 {
+		s.Workers = workers
+	}
+	amp := s.Amp
+	ident := true
+	for q := range cur {
+		if cur[q] != q {
+			ident = false
+			break
+		}
+	}
+	if ident {
+		ParallelFor(workers, len(amp), parallelThreshold, func(start, end int) {
+			for i := start; i < end; i++ {
+				amp[i] = complex(re[i], im[i])
+			}
+		})
+	} else {
+		id := make([]int, n)
+		for q := range id {
+			id[q] = q
+		}
+		p := buildBitPerm(cur, id) // logical bit q reads physical bit cur[q]
+		run := gatherRun(cur, id, n)
+		if run >= 4 {
+			// The canonicalized schedules pin a low-bit index prefix, so the
+			// interleave reads contiguous source runs exactly like the
+			// stage-boundary gather instead of single scattered elements.
+			blocks := len(amp) / run
+			minBlocks := parallelThreshold / run
+			if minBlocks < 1 {
+				minBlocks = 1
+			}
+			ParallelFor(workers, blocks, minBlocks, func(start, end int) {
+				for b := start; b < end; b++ {
+					l := b * run
+					i := p.src(l)
+					for k := 0; k < run; k++ {
+						amp[l+k] = complex(re[i+k], im[i+k])
+					}
+				}
+			})
+		} else {
+			ParallelFor(workers, len(amp), parallelThreshold, func(start, end int) {
+				for l := start; l < end; l++ {
+					i := p.src(l)
+					amp[l] = complex(re[i], im[i])
+				}
+			})
+		}
+	}
+	putF64Buf(n, re)
+	putF64Buf(n, im)
+	return s, make([]int, n), true
+}
+
+// StageStats summarizes a tile schedule for diagnostics and the bench
+// harness: how many full-statevector sweeps the staged path performs
+// (stages plus remaps) against the per-op count it replaces.
+func StageStats(sched *circuit.DistSchedule, nOps int) (stages, remaps int, sweepRatio float64) {
+	stages = len(sched.Stages)
+	remaps = sched.Remaps()
+	if nOps > 0 {
+		sweepRatio = float64(stages+remaps) / float64(nOps)
+	}
+	return
+}

@@ -58,12 +58,45 @@ func RunProgram(prog *circuit.FusedProgram, workers int, rng *rand.Rand) (*State
 // kernels); batch callers pass the plan cached per ansatz so the whole batch
 // fuses once. The plan must have been built from a circuit with the same
 // structure as c (e.g. the unbound ansatz c was bound from).
+//
+// Above the tuner's qubit threshold the circuit runs on the cache-blocked
+// staged engine (blocked.go): the fused program partitioned into
+// tile-resident stages, amplitudes touched once per stage instead of once
+// per op. The per-op path remains the fallback for programs the staged
+// engine refuses (mid-circuit measurement) and for small states.
 func RunFused(c *circuit.Circuit, plan *circuit.FusionPlan, workers int, rng *rand.Rand) (*State, []int) {
 	if !c.IsBound() {
 		panic("statevec: circuit has unbound parameters")
 	}
 	if plan == nil {
 		plan = circuit.PlanFusion(c)
+	}
+	if tun := CurrentTuning(); c.NQubits >= tun.MinQubits {
+		if sched, err := circuit.PlanTileStages(plan, c, tun.TileBitsFor(c.NQubits)); err == nil {
+			if s, cbits, ok := RunStaged(c, plan, sched, workers, rng); ok {
+				return s, cbits
+			}
+		}
+	}
+	return RunProgram(plan.Compile(c), workers, rng)
+}
+
+// RunFusedStaged is the batch-path entry of the staged engine: sched is the
+// tile schedule cached beside the fusion plan (core.ParseCache.GetStaged),
+// so a batch of bindings compiles its stages once. A nil sched — the cache's
+// way of saying the structure is untileable or below the tuner threshold —
+// runs the per-op fused path directly.
+func RunFusedStaged(c *circuit.Circuit, plan *circuit.FusionPlan, sched *circuit.DistSchedule, workers int, rng *rand.Rand) (*State, []int) {
+	if !c.IsBound() {
+		panic("statevec: circuit has unbound parameters")
+	}
+	if plan == nil {
+		plan = circuit.PlanFusion(c)
+	}
+	if sched != nil {
+		if s, cbits, ok := RunStaged(c, plan, sched, workers, rng); ok {
+			return s, cbits
+		}
 	}
 	return RunProgram(plan.Compile(c), workers, rng)
 }

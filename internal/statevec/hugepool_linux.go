@@ -1,0 +1,138 @@
+//go:build linux
+
+package statevec
+
+// Huge-page backing for the large amplitude buffers. The inter-stage gather
+// of the cache-blocked engine copies short scattered chunks across
+// multi-hundred-MB arrays; with 4 KiB pages every chunk is a TLB miss and
+// the copy is page-walk-bound, not bandwidth-bound (hardware prefetchers
+// drop the line on a TLB miss, so software prefetch cannot hide it either).
+// Linux in the default `madvise` THP mode only hands out 2 MiB pages to
+// regions that ask, and the Go runtime does not ask — so buffers at or
+// above hugeMinBytes are carved from dedicated anonymous mappings advised
+// MADV_HUGEPAGE, turning a 64 MiB sweep from ~16k TLB entries into 32.
+//
+// Mappings are recycled through an explicit free list instead of sync.Pool:
+// a dropped sync.Pool entry is garbage-collected, but a dropped mmap would
+// stay mapped forever. The list keeps a few buffers per size class and
+// munmaps the rest. QFW_HUGEPAGES=off disables the path (plain make()).
+
+import (
+	"os"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	hugePageBytes = 2 << 20
+	hugeMinBytes  = 32 << 20
+	hugeKeepPer   = 6 // free buffers retained per size class
+)
+
+var hugeOff = os.Getenv("QFW_HUGEPAGES") == "off"
+
+type hugeMapping struct {
+	raw   []byte         // the full mmap, munmap target
+	data  unsafe.Pointer // 2 MiB-aligned start handed to callers
+	bytes int            // usable (rounded-up) size at data
+}
+
+var (
+	hugeMu   sync.Mutex
+	hugeFree = map[int][]hugeMapping{} // by rounded byte size
+	hugeLive = map[unsafe.Pointer]hugeMapping{}
+)
+
+// hugeAlloc returns a 2 MiB-aligned, MADV_HUGEPAGE-advised allocation of at
+// least bytes, or nil when the path is disabled, the request is small, or
+// mmap fails (callers fall back to make()). Recycled buffers hold stale
+// data, exactly like sync.Pool buffers.
+func hugeAlloc(bytes int) unsafe.Pointer {
+	if hugeOff || bytes < hugeMinBytes {
+		return nil
+	}
+	sz := (bytes + hugePageBytes - 1) &^ (hugePageBytes - 1)
+	hugeMu.Lock()
+	if lst := hugeFree[sz]; len(lst) > 0 {
+		m := lst[len(lst)-1]
+		hugeFree[sz] = lst[:len(lst)-1]
+		hugeLive[m.data] = m
+		hugeMu.Unlock()
+		return m.data
+	}
+	hugeMu.Unlock()
+	raw, err := syscall.Mmap(-1, 0, sz+hugePageBytes,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil
+	}
+	base := unsafe.Pointer(&raw[0])
+	pad := (hugePageBytes - uintptr(base)%hugePageBytes) % hugePageBytes
+	aligned := unsafe.Add(base, pad)
+	// Best-effort: a kernel without THP just ignores the advice.
+	_ = syscall.Madvise(unsafe.Slice((*byte)(aligned), sz), syscall.MADV_HUGEPAGE)
+	m := hugeMapping{raw: raw, data: aligned, bytes: sz}
+	hugeMu.Lock()
+	hugeLive[aligned] = m
+	hugeMu.Unlock()
+	return aligned
+}
+
+// hugeRelease returns an allocation obtained from hugeAlloc to the free
+// list (or unmaps it past the per-class cap). Reports whether p was a live
+// huge allocation; false means the buffer belongs to the Go heap and the
+// caller should pool it normally.
+func hugeRelease(p unsafe.Pointer) bool {
+	hugeMu.Lock()
+	m, ok := hugeLive[p]
+	if !ok {
+		hugeMu.Unlock()
+		return false
+	}
+	delete(hugeLive, p)
+	if len(hugeFree[m.bytes]) < hugeKeepPer {
+		hugeFree[m.bytes] = append(hugeFree[m.bytes], m)
+		hugeMu.Unlock()
+		return true
+	}
+	hugeMu.Unlock()
+	_ = syscall.Munmap(m.raw)
+	return true
+}
+
+// hugeGetF64 returns a huge-page-backed uninitialized []float64 of 2^n
+// elements, or nil when unavailable.
+func hugeGetF64(n int) []float64 {
+	count := 1 << uint(n)
+	if p := hugeAlloc(count * 8); p != nil {
+		return unsafe.Slice((*float64)(p), count)
+	}
+	return nil
+}
+
+// hugePutF64 recycles a buffer if it came from hugeGetF64.
+func hugePutF64(buf []float64) bool {
+	if len(buf) == 0 {
+		return false
+	}
+	return hugeRelease(unsafe.Pointer(&buf[0]))
+}
+
+// hugeGetAmp returns a huge-page-backed uninitialized []complex128 of 2^n
+// elements, or nil when unavailable.
+func hugeGetAmp(n int) []complex128 {
+	count := 1 << uint(n)
+	if p := hugeAlloc(count * 16); p != nil {
+		return unsafe.Slice((*complex128)(p), count)
+	}
+	return nil
+}
+
+// hugePutAmp recycles a buffer if it came from hugeGetAmp.
+func hugePutAmp(buf []complex128) bool {
+	if len(buf) == 0 {
+		return false
+	}
+	return hugeRelease(unsafe.Pointer(&buf[0]))
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package statevec
+
+// Huge-page buffer backing is Linux-only (see hugepool_linux.go); elsewhere
+// the arena allocates from the Go heap.
+
+func hugeGetF64(n int) []float64       { return nil }
+func hugePutF64(buf []float64) bool    { return false }
+func hugeGetAmp(n int) []complex128    { return nil }
+func hugePutAmp(buf []complex128) bool { return false }

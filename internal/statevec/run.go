@@ -89,6 +89,9 @@ func RunCircuit(c *circuit.Circuit, workers int, rng *rand.Rand) (*State, []int)
 // collapse. Execution goes through the gate-fusion engine; RunCircuit
 // remains the unfused reference path.
 func Simulate(c *circuit.Circuit, shots, workers int, rng *rand.Rand) map[string]int {
+	if workers <= 0 {
+		workers = CurrentTuning().Workers
+	}
 	s, _ := RunFused(c.StripMeasurements(), nil, workers, rng)
 	if shots <= 0 {
 		shots = 1024

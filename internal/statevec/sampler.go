@@ -11,12 +11,7 @@ import "math/rand"
 // the arena, so batched executions sample without reallocating.
 func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
 	prob := getF64Buf(s.N)
-	var total float64
-	for i, a := range s.Amp {
-		p := real(a)*real(a) + imag(a)*imag(a)
-		prob[i] = p
-		total += p
-	}
+	total := fillProbs(prob, s.Amp, s.Workers)
 	if total <= 0 {
 		// Degenerate all-zero state: report |0...0> like a fresh register.
 		putF64Buf(s.N, prob)
@@ -29,6 +24,47 @@ func (s *State) SampleCounts(shots int, rng *rand.Rand) map[string]int {
 		counts[FormatBits(i, s.N)] = c
 	}
 	return counts
+}
+
+// fillProbs writes the squared magnitudes of amp into prob and returns
+// their sum. The fill is the sampler's only full-state sweep, so it chunks
+// across the worker pool like the kernels; each chunk accumulates a partial
+// sum locally (one cache line per worker, no sharing) before the serial
+// reduce.
+func fillProbs(prob []float64, amp []complex128, workers int) float64 {
+	if workers <= 1 || len(amp) < parallelThreshold {
+		var total float64
+		for i, a := range amp {
+			p := real(a)*real(a) + imag(a)*imag(a)
+			prob[i] = p
+			total += p
+		}
+		return total
+	}
+	chunk := (len(amp) + workers - 1) / workers
+	partial := make([]float64, workers)
+	ParallelFor(workers, workers, 1, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			start := w * chunk
+			end := start + chunk
+			if end > len(amp) {
+				end = len(amp)
+			}
+			var acc float64
+			for i := start; i < end; i++ {
+				a := amp[i]
+				p := real(a)*real(a) + imag(a)*imag(a)
+				prob[i] = p
+				acc += p
+			}
+			partial[w] = acc
+		}
+	})
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total
 }
 
 // aliasDraw builds a Vose alias table over prob (a 2^nbits arena-sized

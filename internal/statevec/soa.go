@@ -1,0 +1,375 @@
+package statevec
+
+// Structure-of-arrays tile kernels for the cache-blocked staged executor
+// (blocked.go). Amplitudes live as split re/im []float64 slices and every
+// kernel operates on one cache-resident tile: the slices passed in are one
+// tile's sub-range, bit positions are *physical* positions below the tile
+// size, and the inner loops run over contiguous runs with the matrix
+// entries hoisted into scalar locals — the layout the compiler turns into
+// straight-line FP code with unit-stride loads (SIMD-friendly under
+// GOAMD64=v3). The complex128 kernels in state.go remain the per-op path;
+// these are their split-layout mirrors, exact to the operation order.
+
+import "qfw/internal/linalg"
+
+// soaScale multiplies the whole tile by the scalar fr+i*fi — the path a
+// diagonal factor on a tile-index bit takes (the factor is constant across
+// the tile, the analog of the distributed engine folding global-qubit
+// factors into a per-rank scalar).
+func soaScale(re, im []float64, fr, fi float64) {
+	if fr == 1 && fi == 0 {
+		return
+	}
+	if useAVX && len(re) >= 4 {
+		cmulScalarAVX(&re[0], &im[0], len(re), fr, fi)
+		return
+	}
+	im = im[:len(re)]
+	for k := range re {
+		ar, ai := re[k], im[k]
+		re[k] = ar*fr - ai*fi
+		im[k] = ar*fi + ai*fr
+	}
+}
+
+// soaDiag1 multiplies amplitudes by d0 or d1 according to the tile bit.
+func soaDiag1(re, im []float64, d0, d1 complex128, bit int) {
+	d0r, d0i := real(d0), imag(d0)
+	d1r, d1i := real(d1), imag(d1)
+	if useAVX {
+		if bit >= 4 {
+			d := [4]float64{d0r, d0i, d1r, d1i}
+			diag1StrideAVX(&re[0], &im[0], len(re), bit, &d)
+			return
+		}
+		if soa1QAVX(re, im, d0r, d0i, 0, 0, 0, 0, d1r, d1i, bit) {
+			return
+		}
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			ar, ai := r0[k], i0[k]
+			r0[k] = ar*d0r - ai*d0i
+			i0[k] = ar*d0i + ai*d0r
+			br, bi := r1[k], i1[k]
+			r1[k] = br*d1r - bi*d1i
+			i1[k] = br*d1i + bi*d1r
+		}
+	}
+}
+
+// soa1Q applies a generic 2x2 to the tile bit.
+func soa1Q(re, im []float64, m [2][2]complex128, bit int) {
+	m00r, m00i := real(m[0][0]), imag(m[0][0])
+	m01r, m01i := real(m[0][1]), imag(m[0][1])
+	m10r, m10i := real(m[1][0]), imag(m[1][0])
+	m11r, m11i := real(m[1][1]), imag(m[1][1])
+	if useAVX && soa1QAVX(re, im, m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i, bit) {
+		return
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			a0r, a0i := r0[k], i0[k]
+			a1r, a1i := r1[k], i1[k]
+			r0[k] = m00r*a0r - m00i*a0i + m01r*a1r - m01i*a1i
+			i0[k] = m00r*a0i + m00i*a0r + m01r*a1i + m01i*a1r
+			r1[k] = m10r*a0r - m10i*a0i + m11r*a1r - m11i*a1i
+			i1[k] = m10r*a0i + m10i*a0r + m11r*a1i + m11i*a1r
+		}
+	}
+}
+
+// soaPerm1 applies an antidiagonal 2x2 [[0, m01], [m10, 0]].
+func soaPerm1(re, im []float64, m01, m10 complex128, bit int) {
+	p01r, p01i := real(m01), imag(m01)
+	p10r, p10i := real(m10), imag(m10)
+	if useAVX && soa1QAVX(re, im, 0, 0, p01r, p01i, p10r, p10i, 0, 0, bit) {
+		return
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			a0r, a0i := r0[k], i0[k]
+			a1r, a1i := r1[k], i1[k]
+			r0[k] = p01r*a1r - p01i*a1i
+			i0[k] = p01r*a1i + p01i*a1r
+			r1[k] = p10r*a0r - p10i*a0i
+			i1[k] = p10r*a0i + p10i*a0r
+		}
+	}
+}
+
+// soaH applies a Hadamard with the add/sub kernel.
+func soaH(re, im []float64, bit int) {
+	const inv = 0.7071067811865476 // 1/sqrt(2)
+	if useAVX {
+		if bit >= 4 {
+			hStrideAVX(&re[0], &im[0], len(re), bit, inv)
+			return
+		}
+		if soa1QAVX(re, im, inv, 0, inv, 0, inv, 0, -inv, 0, bit) {
+			return
+		}
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			a0r, a0i := r0[k], i0[k]
+			a1r, a1i := r1[k], i1[k]
+			r0[k] = inv * (a0r + a1r)
+			i0[k] = inv * (a0i + a1i)
+			r1[k] = inv * (a0r - a1r)
+			i1[k] = inv * (a0i - a1i)
+		}
+	}
+}
+
+// soaReal1 applies an all-real 2x2 (RY-form): re and im transform
+// independently, half the floating-point work of the generic kernel.
+func soaReal1(re, im []float64, r00, r01, r10, r11 float64, bit int) {
+	if useAVX && soa1QAVX(re, im, r00, 0, r01, 0, r10, 0, r11, 0, bit) {
+		return
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			a0r, a0i := r0[k], i0[k]
+			a1r, a1i := r1[k], i1[k]
+			r0[k] = r00*a0r + r01*a1r
+			i0[k] = r00*a0i + r01*a1i
+			r1[k] = r10*a0r + r11*a1r
+			i1[k] = r10*a0i + r11*a1i
+		}
+	}
+}
+
+// soaRX applies [[c0, i*v0], [i*v1, c1]] with real c, v (RX-form).
+func soaRX(re, im []float64, c0, v0, v1, c1 float64, bit int) {
+	if useAVX {
+		if bit >= 4 {
+			rxStrideAVX(&re[0], &im[0], len(re), bit, c0, v0, v1, c1)
+			return
+		}
+		if soa1QAVX(re, im, c0, 0, 0, v0, 0, v1, c1, 0, bit) {
+			return
+		}
+	}
+	for base := 0; base < len(re); base += 2 * bit {
+		r0 := re[base : base+bit]
+		i0 := im[base : base+bit]
+		r1 := re[base+bit : base+2*bit]
+		i1 := im[base+bit : base+2*bit]
+		for k := range r0 {
+			a0r, a0i := r0[k], i0[k]
+			a1r, a1i := r1[k], i1[k]
+			r0[k] = c0*a0r - v0*a1i
+			i0[k] = c0*a0i + v0*a1r
+			r1[k] = c1*a1r - v1*a0i
+			i1[k] = c1*a1i + v1*a0r
+		}
+	}
+}
+
+// soa2QDense applies a 4x4 to the tile bits (hbit, lbit), hbit the more
+// significant qubit of the matrix basis. Complex locals are rebuilt from
+// the split slices; the 4x4 product is fully unrolled like Apply2QDense.
+func soa2QDense(re, im []float64, m *linalg.Matrix, hbit, lbit int) {
+	m00, m01, m02, m03 := m.Data[0], m.Data[1], m.Data[2], m.Data[3]
+	m10, m11, m12, m13 := m.Data[4], m.Data[5], m.Data[6], m.Data[7]
+	m20, m21, m22, m23 := m.Data[8], m.Data[9], m.Data[10], m.Data[11]
+	m30, m31, m32, m33 := m.Data[12], m.Data[13], m.Data[14], m.Data[15]
+	hi, lo := hbit, lbit
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	for b2 := 0; b2 < len(re); b2 += 2 * hi {
+		for b1 := b2; b1 < b2+hi; b1 += 2 * lo {
+			for base := b1; base < b1+lo; base++ {
+				i1 := base | lbit
+				i2 := base | hbit
+				i3 := i2 | lbit
+				a0 := complex(re[base], im[base])
+				a1 := complex(re[i1], im[i1])
+				a2 := complex(re[i2], im[i2])
+				a3 := complex(re[i3], im[i3])
+				b0 := m00*a0 + m01*a1 + m02*a2 + m03*a3
+				c1 := m10*a0 + m11*a1 + m12*a2 + m13*a3
+				c2 := m20*a0 + m21*a1 + m22*a2 + m23*a3
+				c3 := m30*a0 + m31*a1 + m32*a2 + m33*a3
+				re[base], im[base] = real(b0), imag(b0)
+				re[i1], im[i1] = real(c1), imag(c1)
+				re[i2], im[i2] = real(c2), imag(c2)
+				re[i3], im[i3] = real(c3), imag(c3)
+			}
+		}
+	}
+}
+
+// soaPerm2 applies a phased 4x4 permutation to the tile bits (hbit, lbit).
+func soaPerm2(re, im []float64, perm [4]uint8, phase [4]complex128, hbit, lbit int) {
+	hi, lo := hbit, lbit
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	var idx [4]int
+	var amp [4]complex128
+	for b2 := 0; b2 < len(re); b2 += 2 * hi {
+		for b1 := b2; b1 < b2+hi; b1 += 2 * lo {
+			for base := b1; base < b1+lo; base++ {
+				idx[0] = base
+				idx[1] = base | lbit
+				idx[2] = base | hbit
+				idx[3] = base | hbit | lbit
+				for k := 0; k < 4; k++ {
+					amp[k] = complex(re[idx[k]], im[idx[k]])
+				}
+				for r := 0; r < 4; r++ {
+					v := phase[r] * amp[perm[r]]
+					re[idx[r]], im[idx[r]] = real(v), imag(v)
+				}
+			}
+		}
+	}
+}
+
+// soaKQ applies a dense 2^k x 2^k unitary. off[v] is the precomputed bit
+// offset of matrix-basis index v (lowered once per op, not per tile);
+// sortedPos is the ascending physical position list for compressed-index
+// expansion.
+func soaKQ(re, im []float64, m *linalg.Matrix, off, sortedPos []int) {
+	k := len(sortedPos)
+	dim := len(off)
+	var idxArr [64]int
+	var ampArr [64]complex128
+	idx, amp := idxArr[:], ampArr[:]
+	if dim > len(idxArr) {
+		idx = make([]int, dim)
+		amp = make([]complex128, dim)
+	}
+	outer := len(re) >> uint(k)
+	for j := 0; j < outer; j++ {
+		base := j
+		for _, p := range sortedPos {
+			base = insertZeroBit(base, p)
+		}
+		for v := 0; v < dim; v++ {
+			i := base | off[v]
+			idx[v] = i
+			amp[v] = complex(re[i], im[i])
+		}
+		for r := 0; r < dim; r++ {
+			var acc complex128
+			row := m.Data[r*dim : (r+1)*dim]
+			for c := 0; c < dim; c++ {
+				acc += row[c] * amp[c]
+			}
+			i := idx[r]
+			re[i], im[i] = real(acc), imag(acc)
+		}
+	}
+}
+
+// soaDiagTab multiplies the tile by s * tab[k] with up to two active cross
+// tables folded in — the per-tile evaluation of a combined diagonal layer.
+// tab and the cross tables span exactly one tile and are shared read-only
+// across every tile (they stay cache-hot); s carries the tile's global-bit
+// factor. acts holds the cross tables active for this tile.
+func soaDiagTab(re, im, tabRe, tabIm []float64, sr, si float64, acts [][2][]float64) {
+	tabRe = tabRe[:len(re)]
+	tabIm = tabIm[:len(re)]
+	im = im[:len(re)]
+	if useAVX && len(re) >= 4 {
+		// The product is applied factor-by-factor (tab, crosses, then the
+		// global scalar) instead of pre-combining into f — same complex
+		// product up to reassociation rounding, each pass a 4-wide cmul.
+		cmulVecAVX(&re[0], &im[0], &tabRe[0], &tabIm[0], len(re))
+		for _, ct := range acts {
+			cmulVecAVX(&re[0], &im[0], &ct[0][0], &ct[1][0], len(re))
+		}
+		if sr != 1 || si != 0 {
+			cmulScalarAVX(&re[0], &im[0], len(re), sr, si)
+		}
+		return
+	}
+	switch len(acts) {
+	case 0:
+		for k := range re {
+			tr, ti := tabRe[k], tabIm[k]
+			fr := sr*tr - si*ti
+			fi := sr*ti + si*tr
+			ar, ai := re[k], im[k]
+			re[k] = ar*fr - ai*fi
+			im[k] = ar*fi + ai*fr
+		}
+	case 1:
+		cr := acts[0][0][:len(re)]
+		ci := acts[0][1][:len(re)]
+		for k := range re {
+			tr, ti := tabRe[k], tabIm[k]
+			fr := sr*tr - si*ti
+			fi := sr*ti + si*tr
+			xr, xi := cr[k], ci[k]
+			gr := fr*xr - fi*xi
+			gi := fr*xi + fi*xr
+			ar, ai := re[k], im[k]
+			re[k] = ar*gr - ai*gi
+			im[k] = ar*gi + ai*gr
+		}
+	default:
+		s := complex(sr, si)
+		for k := range re {
+			f := s * complex(tabRe[k], tabIm[k])
+			for _, ct := range acts {
+				f *= complex(ct[0][k], ct[1][k])
+			}
+			a := complex(re[k], im[k]) * f
+			re[k], im[k] = real(a), imag(a)
+		}
+	}
+}
+
+// foldDiag1 multiplies table entries by d0 or d1 according to the bit —
+// the table-build primitive of the combined diagonal lowering.
+func foldDiag1(re, im []float64, d0, d1 complex128, bit int) {
+	for j := range re {
+		f := d0
+		if j&bit != 0 {
+			f = d1
+		}
+		v := complex(re[j], im[j]) * f
+		re[j], im[j] = real(v), imag(v)
+	}
+}
+
+// foldDiag2 multiplies table entries by d[va<<1|vb] for bit pair (abit,
+// bbit), abit the more significant factor qubit.
+func foldDiag2(re, im []float64, d [4]complex128, abit, bbit int) {
+	for j := range re {
+		v := 0
+		if j&abit != 0 {
+			v = 2
+		}
+		if j&bbit != 0 {
+			v |= 1
+		}
+		a := complex(re[j], im[j]) * d[v]
+		re[j], im[j] = real(a), imag(a)
+	}
+}

@@ -1,0 +1,378 @@
+// AVX2+FMA kernels for the SoA tile layout. See soa_avx_amd64.go for the
+// per-function contracts. All kernels are leaf NOSPLIT functions over
+// caller-validated lengths (powers of two, multiples of 4), so there are no
+// scalar tails. Go assembly operand order: VFMADD231PD Y3, Y2, Y1 computes
+// Y1 = Y2*Y3 + Y1.
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (ax, bx, cx, dx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, ax+8(FP)
+	MOVL BX, bx+12(FP)
+	MOVL CX, cx+16(FP)
+	MOVL DX, dx+20(FP)
+	RET
+
+// func xgetbv0() (lo, hi uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET
+
+// func rxStrideAVX(re, im *float64, total, blk int, c0, v0, v1, c1 float64)
+TEXT ·rxStrideAVX(SB), NOSPLIT, $0-64
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ total+16(FP), AX
+	MOVQ blk+24(FP), R8
+	VBROADCASTSD c0+32(FP), Y8
+	VBROADCASTSD v0+40(FP), Y9
+	VBROADCASTSD v1+48(FP), Y10
+	VBROADCASTSD c1+56(FP), Y11
+	XORQ BX, BX               // base of current block pair
+
+rxouter:
+	MOVQ BX, CX               // low-half index
+	LEAQ (BX)(R8*1), DX       // high-half index
+	LEAQ (BX)(R8*1), R9       // low-half end
+
+rxinner:
+	VMOVUPD (DI)(CX*8), Y0    // r0
+	VMOVUPD (SI)(CX*8), Y1    // i0
+	VMOVUPD (DI)(DX*8), Y2    // r1
+	VMOVUPD (SI)(DX*8), Y3    // i1
+
+	// r0' = c0*r0 - v0*i1
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y3, Y9, Y4
+
+	// i0' = c0*i0 + v0*r1
+	VMULPD      Y1, Y8, Y5
+	VFMADD231PD Y2, Y9, Y5
+
+	// r1' = c1*r1 - v1*i0
+	VMULPD       Y2, Y11, Y6
+	VFNMADD231PD Y1, Y10, Y6
+
+	// i1' = c1*i1 + v1*r0
+	VMULPD      Y3, Y11, Y7
+	VFMADD231PD Y0, Y10, Y7
+
+	VMOVUPD Y4, (DI)(CX*8)
+	VMOVUPD Y5, (SI)(CX*8)
+	VMOVUPD Y6, (DI)(DX*8)
+	VMOVUPD Y7, (SI)(DX*8)
+	ADDQ    $4, CX
+	ADDQ    $4, DX
+	CMPQ    CX, R9
+	JL      rxinner
+
+	LEAQ (BX)(R8*2), BX       // base += 2*blk
+	CMPQ BX, AX
+	JL   rxouter
+	VZEROUPPER
+	RET
+
+// func hStrideAVX(re, im *float64, total, blk int, inv float64)
+TEXT ·hStrideAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ total+16(FP), AX
+	MOVQ blk+24(FP), R8
+	VBROADCASTSD inv+32(FP), Y8
+	XORQ BX, BX
+
+houter:
+	MOVQ BX, CX
+	LEAQ (BX)(R8*1), DX
+	LEAQ (BX)(R8*1), R9
+
+hinner:
+	VMOVUPD (DI)(CX*8), Y0    // r0
+	VMOVUPD (SI)(CX*8), Y1    // i0
+	VMOVUPD (DI)(DX*8), Y2    // r1
+	VMOVUPD (SI)(DX*8), Y3    // i1
+	VADDPD  Y2, Y0, Y4        // r0+r1
+	VSUBPD  Y2, Y0, Y6        // r0-r1
+	VADDPD  Y3, Y1, Y5        // i0+i1
+	VSUBPD  Y3, Y1, Y7        // i0-i1
+	VMULPD  Y4, Y8, Y4
+	VMULPD  Y5, Y8, Y5
+	VMULPD  Y6, Y8, Y6
+	VMULPD  Y7, Y8, Y7
+	VMOVUPD Y4, (DI)(CX*8)
+	VMOVUPD Y5, (SI)(CX*8)
+	VMOVUPD Y6, (DI)(DX*8)
+	VMOVUPD Y7, (SI)(DX*8)
+	ADDQ    $4, CX
+	ADDQ    $4, DX
+	CMPQ    CX, R9
+	JL      hinner
+
+	LEAQ (BX)(R8*2), BX
+	CMPQ BX, AX
+	JL   houter
+	VZEROUPPER
+	RET
+
+// func u1StrideAVX(re, im *float64, total, blk int, m *[8]float64)
+TEXT ·u1StrideAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ total+16(FP), AX
+	MOVQ blk+24(FP), R8
+	MOVQ m+32(FP), R10
+	VBROADCASTSD 0(R10), Y8   // m00r
+	VBROADCASTSD 8(R10), Y9   // m00i
+	VBROADCASTSD 16(R10), Y10 // m01r
+	VBROADCASTSD 24(R10), Y11 // m01i
+	VBROADCASTSD 32(R10), Y12 // m10r
+	VBROADCASTSD 40(R10), Y13 // m10i
+	VBROADCASTSD 48(R10), Y14 // m11r
+	VBROADCASTSD 56(R10), Y15 // m11i
+	XORQ BX, BX
+
+u1outer:
+	MOVQ BX, CX
+	LEAQ (BX)(R8*1), DX
+	LEAQ (BX)(R8*1), R9
+
+u1inner:
+	VMOVUPD (DI)(CX*8), Y0    // r0
+	VMOVUPD (SI)(CX*8), Y1    // i0
+	VMOVUPD (DI)(DX*8), Y2    // r1
+	VMOVUPD (SI)(DX*8), Y3    // i1
+
+	// r0' = m00r*r0 - m00i*i0 + m01r*r1 - m01i*i1
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y1, Y9, Y4
+	VFMADD231PD  Y2, Y10, Y4
+	VFNMADD231PD Y3, Y11, Y4
+
+	// i0' = m00r*i0 + m00i*r0 + m01r*i1 + m01i*r1
+	VMULPD      Y1, Y8, Y5
+	VFMADD231PD Y0, Y9, Y5
+	VFMADD231PD Y3, Y10, Y5
+	VFMADD231PD Y2, Y11, Y5
+
+	// r1' = m10r*r0 - m10i*i0 + m11r*r1 - m11i*i1
+	VMULPD       Y0, Y12, Y6
+	VFNMADD231PD Y1, Y13, Y6
+	VFMADD231PD  Y2, Y14, Y6
+	VFNMADD231PD Y3, Y15, Y6
+
+	// i1' = m10r*i0 + m10i*r0 + m11r*i1 + m11i*r1
+	VMULPD      Y1, Y12, Y7
+	VFMADD231PD Y0, Y13, Y7
+	VFMADD231PD Y3, Y14, Y7
+	VFMADD231PD Y2, Y15, Y7
+
+	VMOVUPD Y4, (DI)(CX*8)
+	VMOVUPD Y5, (SI)(CX*8)
+	VMOVUPD Y6, (DI)(DX*8)
+	VMOVUPD Y7, (SI)(DX*8)
+	ADDQ    $4, CX
+	ADDQ    $4, DX
+	CMPQ    CX, R9
+	JL      u1inner
+
+	LEAQ (BX)(R8*2), BX
+	CMPQ BX, AX
+	JL   u1outer
+	VZEROUPPER
+	RET
+
+// func diag1StrideAVX(re, im *float64, total, blk int, d *[4]float64)
+TEXT ·diag1StrideAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ total+16(FP), AX
+	MOVQ blk+24(FP), R8
+	MOVQ d+32(FP), R10
+	VBROADCASTSD 0(R10), Y8   // d0r
+	VBROADCASTSD 8(R10), Y9   // d0i
+	VBROADCASTSD 16(R10), Y10 // d1r
+	VBROADCASTSD 24(R10), Y11 // d1i
+	XORQ BX, BX
+
+d1outer:
+	MOVQ BX, CX
+	LEAQ (BX)(R8*1), DX
+	LEAQ (BX)(R8*1), R9
+
+d1inner:
+	VMOVUPD (DI)(CX*8), Y0    // r0
+	VMOVUPD (SI)(CX*8), Y1    // i0
+	VMOVUPD (DI)(DX*8), Y2    // r1
+	VMOVUPD (SI)(DX*8), Y3    // i1
+
+	// low half *= d0
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y1, Y9, Y4
+	VMULPD       Y1, Y8, Y5
+	VFMADD231PD  Y0, Y9, Y5
+
+	// high half *= d1
+	VMULPD       Y2, Y10, Y6
+	VFNMADD231PD Y3, Y11, Y6
+	VMULPD       Y3, Y10, Y7
+	VFMADD231PD  Y2, Y11, Y7
+
+	VMOVUPD Y4, (DI)(CX*8)
+	VMOVUPD Y5, (SI)(CX*8)
+	VMOVUPD Y6, (DI)(DX*8)
+	VMOVUPD Y7, (SI)(DX*8)
+	ADDQ    $4, CX
+	ADDQ    $4, DX
+	CMPQ    CX, R9
+	JL      d1inner
+
+	LEAQ (BX)(R8*2), BX
+	CMPQ BX, AX
+	JL   d1outer
+	VZEROUPPER
+	RET
+
+// func u1PairAAVX(re, im *float64, n int, coef *[16]float64)
+//
+// Bit-0 pair kernel: the partner of lane l is lane l^1, materialized with
+// VSHUFPD $5 (swap adjacent doubles in each 128-bit half).
+TEXT ·u1PairAAVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ coef+24(FP), R10
+	VMOVUPD 0(R10), Y8        // Ar
+	VMOVUPD 32(R10), Y9       // Ai
+	VMOVUPD 64(R10), Y10      // Br
+	VMOVUPD 96(R10), Y11      // Bi
+	XORQ BX, BX
+
+pAloop:
+	VMOVUPD (DI)(BX*8), Y0    // r
+	VMOVUPD (SI)(BX*8), Y1    // i
+	VSHUFPD $5, Y0, Y0, Y2    // P(r)
+	VSHUFPD $5, Y1, Y1, Y3    // P(i)
+
+	// r' = Ar*r - Ai*i + Br*P(r) - Bi*P(i)
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y1, Y9, Y4
+	VFMADD231PD  Y2, Y10, Y4
+	VFNMADD231PD Y3, Y11, Y4
+
+	// i' = Ar*i + Ai*r + Br*P(i) + Bi*P(r)
+	VMULPD      Y1, Y8, Y5
+	VFMADD231PD Y0, Y9, Y5
+	VFMADD231PD Y3, Y10, Y5
+	VFMADD231PD Y2, Y11, Y5
+
+	VMOVUPD Y4, (DI)(BX*8)
+	VMOVUPD Y5, (SI)(BX*8)
+	ADDQ    $4, BX
+	CMPQ    BX, AX
+	JL      pAloop
+	VZEROUPPER
+	RET
+
+// func u1PairBAVX(re, im *float64, n int, coef *[16]float64)
+//
+// Bit-1 pair kernel: the partner of lane l is lane l^2, materialized with
+// VPERM2F128 $1 (swap the 128-bit halves).
+TEXT ·u1PairBAVX(SB), NOSPLIT, $0-32
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	MOVQ coef+24(FP), R10
+	VMOVUPD 0(R10), Y8        // Ar
+	VMOVUPD 32(R10), Y9       // Ai
+	VMOVUPD 64(R10), Y10      // Br
+	VMOVUPD 96(R10), Y11      // Bi
+	XORQ BX, BX
+
+pBloop:
+	VMOVUPD (DI)(BX*8), Y0    // r
+	VMOVUPD (SI)(BX*8), Y1    // i
+	VPERM2F128 $1, Y0, Y0, Y2 // P(r)
+	VPERM2F128 $1, Y1, Y1, Y3 // P(i)
+
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y1, Y9, Y4
+	VFMADD231PD  Y2, Y10, Y4
+	VFNMADD231PD Y3, Y11, Y4
+
+	VMULPD      Y1, Y8, Y5
+	VFMADD231PD Y0, Y9, Y5
+	VFMADD231PD Y3, Y10, Y5
+	VFMADD231PD Y2, Y11, Y5
+
+	VMOVUPD Y4, (DI)(BX*8)
+	VMOVUPD Y5, (SI)(BX*8)
+	ADDQ    $4, BX
+	CMPQ    BX, AX
+	JL      pBloop
+	VZEROUPPER
+	RET
+
+// func cmulVecAVX(re, im, fr, fi *float64, n int)
+TEXT ·cmulVecAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ fr+16(FP), DX
+	MOVQ fi+24(FP), CX
+	MOVQ n+32(FP), AX
+	XORQ BX, BX
+
+cvloop:
+	VMOVUPD (DI)(BX*8), Y0    // r
+	VMOVUPD (SI)(BX*8), Y1    // i
+	VMOVUPD (DX)(BX*8), Y2    // fr
+	VMOVUPD (CX)(BX*8), Y3    // fi
+
+	// r' = r*fr - i*fi
+	VMULPD       Y2, Y0, Y4
+	VFNMADD231PD Y3, Y1, Y4
+
+	// i' = r*fi + i*fr
+	VMULPD      Y3, Y0, Y5
+	VFMADD231PD Y2, Y1, Y5
+
+	VMOVUPD Y4, (DI)(BX*8)
+	VMOVUPD Y5, (SI)(BX*8)
+	ADDQ    $4, BX
+	CMPQ    BX, AX
+	JL      cvloop
+	VZEROUPPER
+	RET
+
+// func cmulScalarAVX(re, im *float64, n int, sr, si float64)
+TEXT ·cmulScalarAVX(SB), NOSPLIT, $0-40
+	MOVQ re+0(FP), DI
+	MOVQ im+8(FP), SI
+	MOVQ n+16(FP), AX
+	VBROADCASTSD sr+24(FP), Y8
+	VBROADCASTSD si+32(FP), Y9
+	XORQ BX, BX
+
+csloop:
+	VMOVUPD (DI)(BX*8), Y0
+	VMOVUPD (SI)(BX*8), Y1
+
+	VMULPD       Y0, Y8, Y4
+	VFNMADD231PD Y1, Y9, Y4
+
+	VMULPD      Y1, Y8, Y5
+	VFMADD231PD Y0, Y9, Y5
+
+	VMOVUPD Y4, (DI)(BX*8)
+	VMOVUPD Y5, (SI)(BX*8)
+	ADDQ    $4, BX
+	CMPQ    BX, AX
+	JL      csloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,45 @@
+//go:build !amd64
+
+package statevec
+
+// Non-amd64 builds run the portable SoA loops in soa.go. useAVX is a
+// compile-time false so every AVX branch and these unreachable stubs are
+// eliminated by the linker.
+
+const useAVX = false
+
+func rxStrideAVX(re, im *float64, total, blk int, c0, v0, v1, c1 float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func hStrideAVX(re, im *float64, total, blk int, inv float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func u1StrideAVX(re, im *float64, total, blk int, m *[8]float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func diag1StrideAVX(re, im *float64, total, blk int, d *[4]float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func u1PairAAVX(re, im *float64, n int, coef *[16]float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func u1PairBAVX(re, im *float64, n int, coef *[16]float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func cmulVecAVX(re, im, fr, fi *float64, n int) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func cmulScalarAVX(re, im *float64, n int, sr, si float64) {
+	panic("statevec: AVX kernel on non-amd64")
+}
+
+func soa1QAVX(re, im []float64, m00r, m00i, m01r, m01i, m10r, m10i, m11r, m11i float64, blk int) bool {
+	return false
+}
