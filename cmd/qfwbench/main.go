@@ -23,13 +23,14 @@ import (
 	"qfw/internal/bench"
 	"qfw/internal/cluster"
 	"qfw/internal/core"
+	"qfw/internal/cost"
 
 	_ "qfw/internal/backends"
 )
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps,ablation-kernel or 'all'")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps,ablation-kernel,ablation-route or 'all'; fit-cost (explicit only) refits the cost calibration from recorded artifacts")
 		full       = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
 		repeats    = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
 		shots      = flag.Int("shots", 256, "shots per circuit execution")
@@ -44,6 +45,9 @@ func main() {
 		gradJSON   = flag.String("grad-json", "BENCH_grad.json", "path for the ablation-grad JSON record (empty disables)")
 		mpsJSON    = flag.String("mps-json", "BENCH_mps.json", "path for the ablation-mps JSON record (empty disables)")
 		kernelJSON = flag.String("kernel-json", "BENCH_kernel.json", "path for the ablation-kernel JSON record (empty disables)")
+		routeJSON  = flag.String("route-json", "BENCH_route.json", "path for the ablation-route JSON record (empty disables)")
+		costFrom   = flag.String("cost-from", "BENCH_kernel.json,BENCH_mps.json,BENCH_route.json", "comma-separated bench artifacts fit-cost regresses the calibration from")
+		costOut    = flag.String("cost-out", "cost_fit.json", "path fit-cost writes the fitted calibration to (QFW_COST=<path> loads it)")
 	)
 	flag.Parse()
 
@@ -73,11 +77,38 @@ func main() {
 		}
 	}
 
+	if args := flag.Args(); len(args) > 0 && args[0] == "route" {
+		cases := bench.RouteMix
+		if len(args) > 1 {
+			var err error
+			if cases, err = bench.ParseRouteCases(args[1:]); err != nil {
+				fatal("%v", err)
+			}
+		}
+		table, err := h.RouteDecisionTable(cases)
+		if err != nil {
+			fatal("route: %v", err)
+		}
+		fmt.Print(table)
+		return
+	}
+
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
 		wanted[strings.TrimSpace(e)] = true
 	}
 	all := wanted["all"]
+
+	if wanted["fit-cost"] {
+		cal, err := h.FitFromArtifacts(strings.Split(*costFrom, ",")...)
+		if err != nil {
+			fatal("fit-cost: %v", err)
+		}
+		if err := cost.Save(*costOut, cal); err != nil {
+			fatal("fit-cost write: %v", err)
+		}
+		fmt.Printf("wrote %s (%d fitted curves)\n", *costOut, len(cal.Curves))
+	}
 
 	run := func(id string, f func() (*bench.Experiment, error)) {
 		if !all && !wanted[id] {
@@ -165,6 +196,13 @@ func main() {
 		exp, err := h.RunKernelAblation()
 		if err == nil {
 			writeJSON(*kernelJSON, exp)
+		}
+		return exp, err
+	})
+	run("ablation-route", func() (*bench.Experiment, error) {
+		exp, err := h.RunRouteAblation()
+		if err == nil {
+			writeJSON(*routeJSON, exp)
 		}
 		return exp, err
 	})

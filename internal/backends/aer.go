@@ -6,6 +6,7 @@ import (
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
+	"qfw/internal/cost"
 	"qfw/internal/mps"
 	"qfw/internal/stabilizer"
 )
@@ -154,16 +155,23 @@ func (b *aer) executeParsed(c *circuitT, plan *circuit.FusionPlan, sched *circui
 
 // selectAutomatic reproduces Aer's "automatic" method selection with the
 // structural signals available to the IR: Clifford circuits go to the
-// stabilizer engine; low-entanglement (near-nearest-neighbour) circuits go
-// to MPS; everything else gets the dense state vector when it fits, MPS
-// otherwise.
+// stabilizer engine; low-entanglement circuits go to MPS — strictly
+// nearest-neighbour structure, or any circuit whose cost-model entanglement
+// bound (cost.Extract) proves the default bond cap is lossless, so a sparse
+// long-range circuit no longer falls through to the dense engine; everything
+// else gets the dense state vector when it fits, MPS otherwise.
 func (b *aer) selectAutomatic(c *circuitT) string {
 	if c.IsClifford() {
 		return "stabilizer"
 	}
 	svFits := checkStateVectorBudget(c.NQubits, b.env.MemBudgetBytes) == nil
-	if c.InteractionDistance() <= 1 && c.NQubits >= 12 {
-		return "matrix_product_state"
+	if c.NQubits >= 12 {
+		if c.InteractionDistance() <= 1 {
+			return "matrix_product_state"
+		}
+		if f := cost.Extract(c, nil); f.EstPeakBond() <= mps.DefaultMaxBond {
+			return "matrix_product_state"
+		}
 	}
 	if svFits {
 		return "statevector"

@@ -189,8 +189,11 @@ func TestAutoRoutesLargeNearestNeighbourToMPS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if backend != "aer" || sub != "matrix_product_state" || rule != "nearest-neighbour" {
-		t.Fatalf("route = %s/%s (%s), want aer/matrix_product_state (nearest-neighbour)", backend, sub, rule)
+	if backend != "aer" || sub != "matrix_product_state" {
+		t.Fatalf("route = %s/%s (%s), want aer/matrix_product_state", backend, sub, rule)
+	}
+	if rule != "cost-model" && rule != "nearest-neighbour" {
+		t.Fatalf("unexpected routing rule %q", rule)
 	}
 	res, err := auto.Execute(spec, core.RunOptions{Shots: 32, Seed: 7, MaxBond: 32})
 	if err != nil {

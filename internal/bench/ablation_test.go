@@ -61,6 +61,9 @@ func TestAblationCatalogListed(t *testing.T) {
 	if !strings.Contains(t2.Text, "blocked-kernel") {
 		t.Fatalf("blocked-kernel ablation missing from catalog:\n%s", t2.Text)
 	}
+	if !strings.Contains(t2.Text, "engine-routing") {
+		t.Fatalf("engine-routing ablation missing from catalog:\n%s", t2.Text)
+	}
 }
 
 func TestKernelAblationStructure(t *testing.T) {

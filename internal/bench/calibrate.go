@@ -1,0 +1,195 @@
+package bench
+
+// The bench records double as the cost model's calibration corpus: the
+// blocked-kernel ablation is a single-core depth sweep of the production
+// statevector engine, and the mps-engine ablation times the compiled MPS
+// schedule per batch element. FitFromArtifacts rebuilds the exact circuits
+// behind those series (same generators, same seeds), extracts their cost
+// features, and regresses the per-engine curves — `qfwbench -exp fit-cost`
+// wraps it to write a calibration file (and to regenerate the embedded
+// seed calibration in internal/cost/seed_cost.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"qfw/internal/cost"
+	"qfw/internal/workloads"
+)
+
+var (
+	kernelSeriesRE = regexp.MustCompile(`^(qaoa|tfim) d=(\d+) blocked$`)
+	mpsSeriesRE    = regexp.MustCompile(`^(tfim|qaoa-ring) compiled\+batched mps$`)
+	pinnedSeriesRE = regexp.MustCompile(`^([a-z]+)/([a-z_]+) pinned$`)
+)
+
+// FitFromArtifacts regresses a cost calibration from recorded bench
+// experiments (BENCH_kernel.json, BENCH_mps.json), layered over the
+// embedded seed so engines without measurements keep their seed curves.
+// The harness seed must match the one the artifacts were recorded with
+// (the qfwbench default of 1) or the rebuilt circuits will not be the
+// measured ones.
+func (h *Harness) FitFromArtifacts(paths ...string) (*cost.Calibration, error) {
+	var samples []cost.Sample
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("bench: read artifact: %w", err)
+		}
+		var exp Experiment
+		if err := json.Unmarshal(data, &exp); err != nil {
+			return nil, fmt.Errorf("bench: bad artifact %s: %w", path, err)
+		}
+		var s []cost.Sample
+		switch exp.ID {
+		case "ablation-kernel":
+			s, err = h.kernelSamples(&exp)
+		case "ablation-mps":
+			s, err = h.mpsSamples(&exp)
+		case "ablation-route":
+			s, err = h.routeSamples(&exp)
+		default:
+			err = fmt.Errorf("bench: artifact %s (%s) has no cost-sample mapping", path, exp.ID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s...)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("bench: no usable samples in %d artifact(s)", len(paths))
+	}
+	return cost.Fit(samples, cost.Seed()), nil
+}
+
+// kernelSamples maps the blocked-kernel ablation's "<kind> d=<depth>
+// blocked" series (single-core staged statevector runs) onto the dense
+// statevector engine family. Every CPU statevector engine in this codebase
+// bottoms out in the same staged kernels, so one measured series anchors
+// all of them; their workLog2 terms (rank remaps, worker efficiency)
+// differentiate the fits.
+func (h *Harness) kernelSamples(exp *Experiment) ([]cost.Sample, error) {
+	var samples []cost.Sample
+	for _, series := range exp.Series {
+		m := kernelSeriesRE.FindStringSubmatch(series.Label)
+		if m == nil {
+			continue
+		}
+		kind := m[1]
+		depth, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		for _, pt := range series.Points {
+			if pt.Infeasible || pt.RuntimeMS <= 0 {
+				continue
+			}
+			c, err := h.ablationDeepWorkload(kind, pt.X, depth)
+			if err != nil {
+				return nil, err
+			}
+			f := cost.Extract(c, nil)
+			for _, engine := range []string{cost.AerSV, cost.NWQOpenMP, cost.NWQCPU} {
+				samples = append(samples, cost.Sample{
+					Engine: engine, F: f, Res: cost.Resources{Workers: 1}, MS: pt.RuntimeMS,
+				})
+			}
+			samples = append(samples, cost.Sample{
+				Engine: cost.NWQMPI, F: f, Res: cost.Resources{Workers: 1, Ranks: 1}, MS: pt.RuntimeMS,
+			})
+		}
+	}
+	return samples, nil
+}
+
+// routeSamples maps the routing ablation's pinned single-engine series onto
+// their engine families. The pinned points cover the small-circuit regime
+// the kernel and MPS ablations never sample (the depth sweeps start at 16
+// qubits), so folding a recorded BENCH_route.json back into the fit anchors
+// the curves where extrapolation is least trustworthy — the calibration
+// loop's record of its own decisions becomes its next training set.
+func (h *Harness) routeSamples(exp *Experiment) ([]cost.Sample, error) {
+	family := map[string][]string{
+		"aer/statevector":          {cost.AerSV},
+		"aer/matrix_product_state": {cost.AerMPS, cost.TNQVMMPS},
+		"nwqsim/openmp":            {cost.NWQOpenMP, cost.NWQCPU, cost.NWQMPI},
+	}
+	var samples []cost.Sample
+	for _, series := range exp.Series {
+		m := pinnedSeriesRE.FindStringSubmatch(series.Label)
+		if m == nil {
+			continue
+		}
+		engines, ok := family[m[1]+"/"+m[2]]
+		if !ok {
+			continue
+		}
+		res := cost.Resources{Workers: 1}
+		if m[2] == "matrix_product_state" {
+			res = cost.Resources{} // engine-default bond cap, as the pinned run used
+		}
+		for _, pt := range series.Points {
+			if pt.Infeasible || pt.RuntimeMS <= 0 {
+				continue
+			}
+			name, ok := strings.CutSuffix(pt.Placement, fmt.Sprintf("-%d", pt.X))
+			if !ok {
+				continue
+			}
+			c, err := h.routeWorkload(RouteCase{Name: name, N: pt.X})
+			if err != nil {
+				return nil, err
+			}
+			f := cost.Extract(c.StripMeasurements(), nil)
+			for _, engine := range engines {
+				r := res
+				if engine == cost.NWQMPI {
+					r.Ranks = 1 // a single-rank shard is the openmp path plus dispatch
+				}
+				samples = append(samples, cost.Sample{Engine: engine, F: f, Res: r, MS: pt.RuntimeMS})
+			}
+		}
+	}
+	return samples, nil
+}
+
+// mpsSamples maps the mps-engine ablation's "<kind> compiled+batched mps"
+// series (K-element batches of the compiled MPS schedule at the ablation's
+// bond cap) onto the MPS engine family, dividing the batch wall time into a
+// per-element cost.
+func (h *Harness) mpsSamples(exp *Experiment) ([]cost.Sample, error) {
+	const ablationMaxBond = 64
+	var samples []cost.Sample
+	for _, series := range exp.Series {
+		m := mpsSeriesRE.FindStringSubmatch(series.Label)
+		if m == nil {
+			continue
+		}
+		kind := m[1]
+		for _, pt := range series.Points {
+			if pt.Infeasible || pt.RuntimeMS <= 0 {
+				continue
+			}
+			k := 8
+			if _, err := fmt.Sscanf(pt.Placement, "K=%d", &k); err != nil || k <= 0 {
+				k = 8
+			}
+			c, err := workloads.ByName(kind, pt.X)
+			if err != nil {
+				return nil, err
+			}
+			f := cost.Extract(c.StripMeasurements(), nil)
+			perElem := pt.RuntimeMS / float64(k)
+			for _, engine := range []string{cost.AerMPS, cost.TNQVMMPS} {
+				samples = append(samples, cost.Sample{
+					Engine: engine, F: f, Res: cost.Resources{MaxBond: ablationMaxBond}, MS: perElem,
+				})
+			}
+		}
+	}
+	return samples, nil
+}

@@ -149,6 +149,11 @@ var AblationCatalog = []AblationSpec{
 		Describe: "TFIM / ring-QAOA batches of K=8 on the MPS engine: compiled+batched schedule vs the per-gate seed path, with the fused statevector engine at the crossover sizes",
 	},
 	{
+		Name:     "engine-routing",
+		Sizes:    []int{7, 10, 12, 16, 20, 32, 48},
+		Describe: "Heterogeneous workload mix (GHZ/HamSim/HHL/QAOA/TFIM/ring-QAOA across the SV and MPS regimes): cost-model routed execution vs every pinned single-engine choice (same circuits, same seeds)",
+	},
+	{
 		Name:     "blocked-kernel",
 		Sizes:    []int{16, 18, 20, 22, 24, 26},
 		Describe: "Deep QAOA/TFIM statevector execution on one core: cache-blocked stage engine (SoA tiles, SIMD kernels) vs per-op fused vs per-gate seed kernels (same circuits, same seeds, depth sweep)",

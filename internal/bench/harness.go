@@ -32,6 +32,11 @@ type Point struct {
 	Objective  float64 `json:"objective,omitempty"` // final objective value reached
 	Infeasible bool    `json:"infeasible,omitempty"`
 	Err        string  `json:"err,omitempty"`
+
+	// PredictedMS is the cost model's per-element runtime prediction for
+	// the chosen route (routing ablation only): the predicted-vs-actual
+	// record of the calibration.
+	PredictedMS float64 `json:"predicted_ms,omitempty"`
 }
 
 // Series is one backend line of a figure.
@@ -879,7 +884,9 @@ func (h *Harness) RunMPSAblation() (*Experiment, error) {
 	return exp, nil
 }
 
-// RunCapabilityTable reproduces Table 1 from the live backend registry.
+// RunCapabilityTable reproduces Table 1 from the live backend registry,
+// extended with the auto selector's routing decisions over the ablation mix
+// (chosen engine, rule, sized resources, predicted cost per workload).
 func (h *Harness) RunCapabilityTable() (*Experiment, error) {
 	exp := &Experiment{ID: "table1", Title: "Backends used with QFw"}
 	text := fmt.Sprintf("%-10s %-42s %-4s %-4s %-10s %s\n", "Backend", "Sub-backends", "CPU", "GPU", "NativeMPI", "Notes")
@@ -894,6 +901,9 @@ func (h *Harness) RunCapabilityTable() (*Experiment, error) {
 		}
 		text += fmt.Sprintf("%-10s %-42s %-4v %-4v %-10v %s\n",
 			caps.Backend, fmt.Sprintf("%v", caps.Subbackends), caps.CPU, caps.GPU, caps.NativeMPI, caps.Notes)
+	}
+	if table, err := h.RouteDecisionTable(RouteMix); err == nil {
+		text += "\nAuto-selector routing decisions (workload mix):\n" + table
 	}
 	exp.Text = text
 	return exp, nil

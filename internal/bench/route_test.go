@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qfw/internal/cost"
+)
+
+// TestRouteAblationOracleRegression is the acceptance check of the
+// cost-model router: over the heterogeneous ablation mix, the routed
+// execution must never be more than 2x slower than the best pinned engine
+// measured on the same workload (plus an absolute slack that keeps sub-ms
+// dispatch jitter from failing the build), and its aggregate must not lose
+// to any single pinned choice over that engine's feasible subset.
+func TestRouteAblationOracleRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock routing assertion skipped under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	h := quickHarness(t)
+	exp, err := h.RunRouteAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := SeriesByLabel(exp, "routed (auto)")
+	if routed == nil {
+		t.Fatalf("no routed series in:\n%s", Render(exp))
+	}
+	const slackMS = 50.0
+	anyPred := false
+	for i, pt := range routed.Points {
+		if pt.PredictedMS > 0 {
+			anyPred = true
+		}
+		oracle := math.Inf(1)
+		for _, s := range exp.Series {
+			if !strings.HasSuffix(s.Label, " pinned") {
+				continue
+			}
+			p := s.Points[i]
+			if p.Infeasible || p.Err != "" || p.RuntimeMS <= 0 {
+				continue
+			}
+			oracle = math.Min(oracle, p.RuntimeMS)
+		}
+		if math.IsInf(oracle, 1) {
+			continue
+		}
+		if bound := math.Max(2*oracle, oracle+slackMS); pt.RuntimeMS > bound {
+			t.Errorf("%s: routed %.2fms vs oracle %.2fms (bound %.2fms)",
+				pt.Placement, pt.RuntimeMS, oracle, bound)
+		}
+	}
+	if !anyPred {
+		t.Error("no routed point carries the model's prediction")
+	}
+	for _, s := range exp.Series {
+		if !strings.HasSuffix(s.Label, " pinned") {
+			continue
+		}
+		var routedTotal, pinnedTotal float64
+		for i, p := range s.Points {
+			if p.Infeasible || p.RuntimeMS <= 0 {
+				continue
+			}
+			pinnedTotal += p.RuntimeMS
+			routedTotal += routed.Points[i].RuntimeMS
+		}
+		if pinnedTotal <= 0 {
+			continue
+		}
+		if routedTotal > pinnedTotal*1.25+slackMS {
+			t.Errorf("routed aggregate %.1fms loses to %s %.1fms", routedTotal, s.Label, pinnedTotal)
+		}
+	}
+}
+
+// TestRouteDecisionTableCoversMix checks the decision table the capability
+// report and `qfwbench route` share: one row per mix entry, and the big MPS
+// regime workloads must not land on a dense engine the budget cannot hold.
+func TestRouteDecisionTableCoversMix(t *testing.T) {
+	h := quickHarness(t)
+	table, err := h.RouteDecisionTable(RouteMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range RouteMix {
+		if !strings.Contains(table, routeKey(rc)) {
+			t.Errorf("decision table misses %s:\n%s", routeKey(rc), table)
+		}
+	}
+	for _, ln := range strings.Split(table, "\n") {
+		if strings.Contains(ln, "tfim-xl-48") || strings.Contains(ln, "qaoa-ring-32") {
+			if !strings.Contains(ln, "matrix_product_state") && !strings.Contains(ln, "exatn-mps") {
+				t.Errorf("MPS-regime workload routed to a dense engine: %s", ln)
+			}
+		}
+	}
+}
+
+// TestParseRouteCases exercises the qfwbench `route` argument forms.
+func TestParseRouteCases(t *testing.T) {
+	cases, err := ParseRouteCases([]string{"tfim:20", "ghz", "hhl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RouteCase{{Name: "tfim", N: 20}, {Name: "ghz", N: 12}, {Name: "hhl", N: 7}}
+	if len(cases) != len(want) {
+		t.Fatalf("got %v", cases)
+	}
+	for i := range want {
+		if cases[i] != want[i] {
+			t.Fatalf("case %d: got %+v want %+v", i, cases[i], want[i])
+		}
+	}
+	if _, err := ParseRouteCases([]string{"nope:4x"}); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := ParseRouteCases([]string{"unknown-workload"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestFitFromArtifactsMatchesEmbeddedSeed regresses the calibration from
+// the checked-in bench records and checks it reproduces the embedded seed:
+// the seed is a build artifact of `qfwbench -exp fit-cost`, not a hand
+// file, and this pins the two from drifting apart.
+func TestFitFromArtifactsMatchesEmbeddedSeed(t *testing.T) {
+	h := quickHarness(t)
+	cal, err := h.FitFromArtifacts(
+		"../../BENCH_kernel.json", "../../BENCH_mps.json", "../../BENCH_route.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := cost.Seed()
+	for key, want := range seed.Curves {
+		got, ok := cal.Curves[key]
+		if !ok {
+			t.Errorf("fit lost curve %s", key)
+			continue
+		}
+		if got.Pts != want.Pts ||
+			math.Abs(got.Base-want.Base) > 1e-6 ||
+			math.Abs(got.Slope-want.Slope) > 1e-6 ||
+			math.Abs(got.Knee-want.Knee) > 1e-6 ||
+			math.Abs(got.Slope2-want.Slope2) > 1e-6 {
+			t.Errorf("%s: fitted %+v, embedded seed %+v — regenerate internal/cost/seed_cost.json with `qfwbench -exp fit-cost`", key, got, want)
+		}
+	}
+	for _, key := range []string{cost.AerSV, cost.AerMPS, cost.NWQOpenMP, cost.NWQCPU, cost.NWQMPI, cost.TNQVMMPS} {
+		if cal.Curves[key].Pts < 2 {
+			t.Errorf("%s: expected a measured fit, got %+v", key, cal.Curves[key])
+		}
+	}
+}

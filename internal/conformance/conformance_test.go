@@ -1,12 +1,3 @@
-// Package conformance holds the cross-engine differential test suite: a
-// seeded randomized circuit corpus over the shared gate set is executed on
-// every local simulation engine — dense statevector (the reference),
-// compiled MPS, tensor-network contraction, and the stabilizer tableau on
-// the Clifford subset — asserting that amplitudes and expectation values
-// agree to 1e-9 and that sampled histograms are statistically consistent
-// with the exact distribution (chi-square). It is the regression net under
-// the pluggable-backend promise: every engine answers every conforming
-// circuit identically.
 package conformance
 
 import (
@@ -22,88 +13,6 @@ import (
 	"qfw/internal/statevec"
 	"qfw/internal/tensornet"
 )
-
-// randomCircuit draws a seeded circuit over the full shared gate set
-// (single-qubit Cliffords and rotations, the two-qubit set including
-// long-range placements, and CCX when width allows).
-func randomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
-	c := circuit.New(n)
-	oneQ := []circuit.Kind{
-		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
-		circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg,
-		circuit.KindSX, circuit.KindRX, circuit.KindRY, circuit.KindRZ, circuit.KindP,
-	}
-	twoQ := []circuit.Kind{
-		circuit.KindCX, circuit.KindCY, circuit.KindCZ,
-		circuit.KindCRX, circuit.KindCRY, circuit.KindCRZ, circuit.KindCP,
-		circuit.KindSWAP, circuit.KindRZZ, circuit.KindRXX,
-	}
-	pick := func(exclude []int) int {
-		for {
-			q := rng.Intn(n)
-			used := false
-			for _, e := range exclude {
-				if e == q {
-					used = true
-				}
-			}
-			if !used {
-				return q
-			}
-		}
-	}
-	for i := 0; i < gates; i++ {
-		r := rng.Float64()
-		switch {
-		case n >= 3 && r < 0.07:
-			a := pick(nil)
-			b := pick([]int{a})
-			c2 := pick([]int{a, b})
-			c.CCX(a, b, c2)
-		case n >= 2 && r < 0.5:
-			k := twoQ[rng.Intn(len(twoQ))]
-			a := pick(nil)
-			b := pick([]int{a})
-			g := circuit.Gate{Kind: k, Qubits: []int{a, b}}
-			if k.NumParams() == 1 {
-				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
-			}
-			c.Append(g)
-		default:
-			k := oneQ[rng.Intn(len(oneQ))]
-			g := circuit.Gate{Kind: k, Qubits: []int{rng.Intn(n)}}
-			if k.NumParams() == 1 {
-				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
-			}
-			c.Append(g)
-		}
-	}
-	return c
-}
-
-// randomClifford draws a seeded circuit over the stabilizer engine's
-// native gate set.
-func randomClifford(rng *rand.Rand, n, gates int) *circuit.Circuit {
-	c := circuit.New(n)
-	oneQ := []circuit.Kind{
-		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
-		circuit.KindS, circuit.KindSdg,
-	}
-	twoQ := []circuit.Kind{circuit.KindCX, circuit.KindCZ, circuit.KindSWAP}
-	for i := 0; i < gates; i++ {
-		if n >= 2 && rng.Float64() < 0.45 {
-			a := rng.Intn(n)
-			b := rng.Intn(n)
-			for b == a {
-				b = rng.Intn(n)
-			}
-			c.Append(circuit.Gate{Kind: twoQ[rng.Intn(len(twoQ))], Qubits: []int{a, b}})
-		} else {
-			c.Append(circuit.Gate{Kind: oneQ[rng.Intn(len(oneQ))], Qubits: []int{rng.Intn(n)}})
-		}
-	}
-	return c
-}
 
 func exactAmps(t *testing.T, c *circuit.Circuit) []complex128 {
 	t.Helper()
@@ -145,7 +54,7 @@ func TestAmplitudeConformance(t *testing.T) {
 	rng := rand.New(rand.NewSource(2024))
 	for trial := 0; trial < 30; trial++ {
 		n := 2 + rng.Intn(9) // 2..10
-		c := randomCircuit(rng, n, 6+rng.Intn(4*n))
+		c := RandomCircuit(rng, n, 6+rng.Intn(4*n))
 		ref := exactAmps(t, c)
 		if d := maxAmpDiff(ref, mpsAmps(t, c)); d > ampTol {
 			t.Fatalf("trial %d (n=%d): statevec vs mps diverge by %g\n%s", trial, n, d, c)
@@ -171,7 +80,7 @@ func TestExpectationConformance(t *testing.T) {
 	ops := []pauli.Op{pauli.X, pauli.Y, pauli.Z}
 	for trial := 0; trial < 15; trial++ {
 		n := 2 + rng.Intn(7)
-		c := randomCircuit(rng, n, 5+rng.Intn(3*n))
+		c := RandomCircuit(rng, n, 5+rng.Intn(3*n))
 		h := &pauli.Hamiltonian{NQubits: n}
 		for term := 0; term < 6; term++ {
 			support := map[int]pauli.Op{}
@@ -265,7 +174,7 @@ func TestSamplingConformance(t *testing.T) {
 	const shots = 4096
 	for trial := 0; trial < 8; trial++ {
 		n := 2 + rng.Intn(5) // 2..6: keep bin counts meaningful at 4096 shots
-		c := randomCircuit(rng, n, 5+rng.Intn(3*n))
+		c := RandomCircuit(rng, n, 5+rng.Intn(3*n))
 		probs := exactProbs(exactAmps(t, c), n)
 
 		s, _ := statevec.RunFused(c, nil, 1, rand.New(rand.NewSource(1)))
@@ -308,7 +217,7 @@ func TestCliffordConformance(t *testing.T) {
 	const shots = 4096
 	for trial := 0; trial < 8; trial++ {
 		n := 2 + rng.Intn(5)
-		c := randomClifford(rng, n, 4+rng.Intn(4*n))
+		c := RandomClifford(rng, n, 4+rng.Intn(4*n))
 		if !c.IsClifford() {
 			t.Fatalf("generator emitted a non-Clifford gate")
 		}

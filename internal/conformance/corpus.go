@@ -1,0 +1,96 @@
+// Package conformance holds the cross-engine differential test corpus and
+// suite: seeded randomized circuits over the shared gate set, executed on
+// every local simulation engine and compared against the dense statevector
+// reference. The generators are exported so other packages can replay the
+// exact corpus — the cost-model router's oracle regression and the
+// peak-bond estimator validation both reuse it.
+package conformance
+
+import (
+	"math"
+	"math/rand"
+
+	"qfw/internal/circuit"
+)
+
+// RandomCircuit draws a seeded circuit over the full shared gate set
+// (single-qubit Cliffords and rotations, the two-qubit set including
+// long-range placements, and CCX when width allows).
+func RandomCircuit(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	oneQ := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg,
+		circuit.KindSX, circuit.KindRX, circuit.KindRY, circuit.KindRZ, circuit.KindP,
+	}
+	twoQ := []circuit.Kind{
+		circuit.KindCX, circuit.KindCY, circuit.KindCZ,
+		circuit.KindCRX, circuit.KindCRY, circuit.KindCRZ, circuit.KindCP,
+		circuit.KindSWAP, circuit.KindRZZ, circuit.KindRXX,
+	}
+	pick := func(exclude []int) int {
+		for {
+			q := rng.Intn(n)
+			used := false
+			for _, e := range exclude {
+				if e == q {
+					used = true
+				}
+			}
+			if !used {
+				return q
+			}
+		}
+	}
+	for i := 0; i < gates; i++ {
+		r := rng.Float64()
+		switch {
+		case n >= 3 && r < 0.07:
+			a := pick(nil)
+			b := pick([]int{a})
+			c2 := pick([]int{a, b})
+			c.CCX(a, b, c2)
+		case n >= 2 && r < 0.5:
+			k := twoQ[rng.Intn(len(twoQ))]
+			a := pick(nil)
+			b := pick([]int{a})
+			g := circuit.Gate{Kind: k, Qubits: []int{a, b}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		default:
+			k := oneQ[rng.Intn(len(oneQ))]
+			g := circuit.Gate{Kind: k, Qubits: []int{rng.Intn(n)}}
+			if k.NumParams() == 1 {
+				g.Params = []circuit.Param{circuit.Bound(2 * math.Pi * rng.Float64())}
+			}
+			c.Append(g)
+		}
+	}
+	return c
+}
+
+// RandomClifford draws a seeded circuit over the stabilizer engine's
+// native gate set.
+func RandomClifford(rng *rand.Rand, n, gates int) *circuit.Circuit {
+	c := circuit.New(n)
+	oneQ := []circuit.Kind{
+		circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+		circuit.KindS, circuit.KindSdg,
+	}
+	twoQ := []circuit.Kind{circuit.KindCX, circuit.KindCZ, circuit.KindSWAP}
+	for i := 0; i < gates; i++ {
+		if n >= 2 && rng.Float64() < 0.45 {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			c.Append(circuit.Gate{Kind: twoQ[rng.Intn(len(twoQ))], Qubits: []int{a, b}})
+		} else {
+			c.Append(circuit.Gate{Kind: oneQ[rng.Intn(len(oneQ))], Qubits: []int{rng.Intn(n)}})
+		}
+	}
+	return c
+}

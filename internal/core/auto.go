@@ -2,70 +2,191 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
+
+	"qfw/internal/cost"
+	"qfw/internal/statevec"
 )
 
 // AutoExecutor implements the paper's stated future-work extension:
-// automated workload-driven backend selection. It inspects the submitted
-// circuit's structure and routes it to the most suitable registered backend:
+// automated workload-driven backend selection. Routing is driven by the
+// calibrated cost model (internal/cost): per-circuit structural features are
+// extracted once per spec hash from the cached fusion plan, every registered
+// engine is sized (kernel workers from the autotuner, shard counts for the
+// distributed path, bond caps from the entanglement bound) and scored on its
+// fitted cost curve, and the argmin wins. Clifford circuits short-circuit to
+// the stabilizer engine — polynomial simulation beats every dense engine at
+// any size worth routing. When no calibration is available (QFW_COST=off)
+// the pre-model structural rules apply:
 //
-//   - Clifford-only circuits      → aer/stabilizer (polynomial simulation),
-//   - nearest-neighbour circuits  → aer/matrix_product_state (low
-//     entanglement growth; the paper's TFIM observation),
-//   - shallow circuits            → qtensor/numpy (cheap TN contraction),
-//   - small dense circuits        → aer/statevector (single-node dominance),
-//   - everything else             → nwqsim/mpi (distributed state vector).
+//   - Clifford-only circuits      → aer/stabilizer,
+//   - nearest-neighbour circuits  → aer/matrix_product_state,
+//   - shallow circuits            → qtensor/numpy,
+//   - small dense circuits        → aer/statevector,
+//   - everything else             → nwqsim/mpi.
 //
-// Rules consult only the routed backends that are actually present, so the
-// selector works on sessions launched with a backend subset.
+// Both paths consult only the backends actually registered, so the selector
+// works on sessions launched with a backend subset. Batched submissions may
+// additionally be split across the top two engines when the model predicts
+// the split finishes earlier than any single target.
 type AutoExecutor struct {
-	execs map[string]Executor
-	cache *ParseCache
+	execs    map[string]Executor
+	cache    *ParseCache
+	model    *cost.Model
+	memBytes int64 // dense-amplitude budget candidate sizing respects (0 = unbounded)
 }
 
-// NewAutoExecutor wraps the live executors of a session.
+// NewAutoExecutor wraps the live executors of a session under the
+// process-wide cost model (cost.Current).
 func NewAutoExecutor(execs map[string]Executor) *AutoExecutor {
-	return &AutoExecutor{execs: execs, cache: NewParseCache()}
+	return &AutoExecutor{execs: execs, cache: NewParseCache(), model: cost.Current()}
+}
+
+// WithModel overrides the cost model (nil forces the structural rules) and
+// returns the executor — a hook for tests and tooling.
+func (a *AutoExecutor) WithModel(m *cost.Model) *AutoExecutor {
+	a.model = m
+	return a
+}
+
+// WithMemBudget sets the session's dense-amplitude memory budget so the
+// ranker withdraws state-vector candidates that could only fail, and keeps
+// the truncating MPS route alive when it is the only engine that fits.
+func (a *AutoExecutor) WithMemBudget(bytes int64) *AutoExecutor {
+	a.memBytes = bytes
+	return a
 }
 
 // Name implements Executor.
 func (a *AutoExecutor) Name() string { return "auto" }
 
-// Capabilities implements Executor.
+// Capabilities implements Executor. CPU/GPU/NativeMPI are the union of what
+// the registered local executors advertise — the selector can only deliver a
+// capability some routable backend actually has.
 func (a *AutoExecutor) Capabilities() Capabilities {
 	var targets []string
-	for name := range a.execs {
+	var cpu, gpu, nativeMPI bool
+	for name, e := range a.execs {
+		if name == "ionq" {
+			continue // never a routing target
+		}
 		targets = append(targets, name)
+		caps := e.Capabilities()
+		cpu = cpu || caps.CPU
+		gpu = gpu || caps.GPU
+		nativeMPI = nativeMPI || caps.NativeMPI
 	}
 	sort.Strings(targets)
-	_, _, grads := a.gradientTarget()
+	_, _, grads := a.gradientTarget(nil)
+	mode := "structural rules"
+	if a.model != nil {
+		mode = "calibrated cost model"
+	}
 	return Capabilities{
 		Backend:     "auto",
 		Subbackends: []string{"workload-driven"},
-		CPU:         true,
-		GPU:         true,
-		NativeMPI:   true,
+		CPU:         cpu,
+		GPU:         gpu,
+		NativeMPI:   nativeMPI,
 		Gradients:   grads,
-		Notes: fmt.Sprintf("Workload-driven backend selection (paper future work): routes by circuit structure across %v.",
-			targets),
+		Notes: fmt.Sprintf("Workload-driven backend selection (paper future work): routes by %s across %v.",
+			mode, targets),
 	}
 }
 
-// routing is a selected (backend, sub-backend) pair plus the rule that fired.
-type routing struct {
-	backend string
-	sub     string
-	rule    string
+// Decision is one routing verdict: the chosen engine, the sized resources,
+// the predicted per-element cost (0 without calibration), and — for batches
+// — an optional heterogeneous split across a secondary engine.
+type Decision struct {
+	Backend     string
+	Sub         string
+	Rule        string // "cost-model", "cost-split", or a structural rule name
+	Res         cost.Resources
+	PredictedMS float64
+
+	SplitBackend     string
+	SplitSub         string
+	SplitRes         cost.Resources
+	SplitPredictedMS float64
+	SplitFrac        float64 // fraction of elements on the primary engine
 }
 
-// selectRoute applies the structural rules against the available executors.
-// The parse goes through the selector's cache, so batched evaluations of
-// one ansatz pay the routing-inspection parse once.
-func (a *AutoExecutor) selectRoute(spec CircuitSpec) (routing, error) {
+// route renders the annotation string of the decision.
+func (d Decision) route() string {
+	if d.SplitBackend != "" {
+		return fmt.Sprintf("%s/%s+%s/%s (%s)", d.Backend, d.Sub, d.SplitBackend, d.SplitSub, d.Rule)
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", d.Backend, d.Sub, d.Rule))
+}
+
+// candidateSubs lists the engine keys the model may route to, per backend.
+var candidateSubs = map[string][]string{
+	"aer":     {"statevector", "matrix_product_state", "stabilizer"},
+	"nwqsim":  {"openmp", "mpi"},
+	"qtensor": {"numpy"},
+	"tnqvm":   {"exatn-mps"},
+}
+
+// decide selects the route for a k-element submission. The cost model path
+// ranks sized candidates by predicted runtime; without a model (or when the
+// model offers no candidate for this session's backends) the structural
+// rules decide.
+func (a *AutoExecutor) decide(spec CircuitSpec, k int) (Decision, error) {
+	if a.model == nil {
+		return a.selectStructural(spec)
+	}
+	f, err := a.cache.GetFeatures(spec)
+	if err != nil {
+		return Decision{}, err
+	}
+	// Clifford circuits short-circuit: the tableau engine is polynomial
+	// where everything else is exponential, and exact.
+	if f.Clifford {
+		if _, ok := a.execs["aer"]; ok {
+			d := Decision{Backend: "aer", Sub: "stabilizer", Rule: "clifford"}
+			if ms, ok := a.model.PredictMS(cost.AerStab, f, cost.Resources{}); ok {
+				d.PredictedMS = ms
+			}
+			return d, nil
+		}
+	}
+	var engines []string
+	for name := range a.execs {
+		for _, sub := range candidateSubs[name] {
+			engines = append(engines, name+"/"+sub)
+		}
+	}
+	sort.Strings(engines)
+	env := cost.Env{Workers: statevec.CurrentTuning().Workers, Cores: runtime.GOMAXPROCS(0), MemBytes: a.memBytes}
+	cands := a.model.Rank(f, engines, env)
+	if len(cands) == 0 {
+		return a.selectStructural(spec)
+	}
+	best := cands[0]
+	backend, sub, _ := strings.Cut(best.Engine, "/")
+	d := Decision{Backend: backend, Sub: sub, Rule: "cost-model", Res: best.Res, PredictedMS: best.MS()}
+	if plan := a.model.PlanSplit(cands, k); plan != nil {
+		sb, ss, _ := strings.Cut(plan.B.Engine, "/")
+		d.Rule = "cost-split"
+		d.SplitBackend, d.SplitSub = sb, ss
+		d.SplitRes = plan.B.Res
+		d.SplitPredictedMS = plan.B.MS()
+		d.SplitFrac = plan.FracA
+	}
+	return d, nil
+}
+
+// selectStructural applies the pre-calibration structural rules against the
+// available executors.
+func (a *AutoExecutor) selectStructural(spec CircuitSpec) (Decision, error) {
 	c, err := a.cache.Get(spec)
 	if err != nil {
-		return routing{}, err
+		return Decision{}, err
 	}
 	has := func(name string) bool {
 		_, ok := a.execs[name]
@@ -75,17 +196,17 @@ func (a *AutoExecutor) selectRoute(spec CircuitSpec) (routing, error) {
 	depth := c.Depth()
 	switch {
 	case c.IsClifford() && has("aer"):
-		return routing{"aer", "stabilizer", "clifford"}, nil
+		return Decision{Backend: "aer", Sub: "stabilizer", Rule: "clifford"}, nil
 	case c.InteractionDistance() <= 1 && n >= 12 && has("aer"):
-		return routing{"aer", "matrix_product_state", "nearest-neighbour"}, nil
+		return Decision{Backend: "aer", Sub: "matrix_product_state", Rule: "nearest-neighbour"}, nil
 	case c.InteractionDistance() <= 1 && n >= 12 && has("tnqvm"):
-		return routing{"tnqvm", "exatn-mps", "nearest-neighbour"}, nil
+		return Decision{Backend: "tnqvm", Sub: "exatn-mps", Rule: "nearest-neighbour"}, nil
 	case depth <= 8 && n <= 16 && has("qtensor"):
-		return routing{"qtensor", "numpy", "shallow"}, nil
+		return Decision{Backend: "qtensor", Sub: "numpy", Rule: "shallow"}, nil
 	case n <= 18 && has("aer"):
-		return routing{"aer", "statevector", "small-dense"}, nil
+		return Decision{Backend: "aer", Sub: "statevector", Rule: "small-dense"}, nil
 	case has("nwqsim"):
-		return routing{"nwqsim", "mpi", "large-dense"}, nil
+		return Decision{Backend: "nwqsim", Sub: "mpi", Rule: "large-dense"}, nil
 	}
 	// Fall back to any local executor, preferring deterministic order.
 	var names []string
@@ -96,91 +217,210 @@ func (a *AutoExecutor) selectRoute(spec CircuitSpec) (routing, error) {
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		return routing{}, fmt.Errorf("auto: no local backend available to route to")
+		return Decision{}, fmt.Errorf("auto: no local backend available to route to")
 	}
-	return routing{names[0], "", "fallback"}, nil
+	return Decision{Backend: names[0], Rule: "fallback"}, nil
 }
 
-// Execute implements Executor: select, delegate, and annotate the result
-// path in Extra/notes via the error or the delegated executor's output.
-func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
-	route, err := a.selectRoute(spec)
-	if err != nil {
-		return ExecResult{}, err
+// applyResources writes the sized resources into the options, never
+// overriding knobs the caller set explicitly.
+func applyResources(backend, sub string, res cost.Resources, opts *RunOptions) {
+	opts.Subbackend = sub
+	if res.MaxBond > 0 && opts.MaxBond == 0 {
+		opts.MaxBond = res.MaxBond
 	}
-	target, ok := a.execs[route.backend]
-	if !ok {
-		return ExecResult{}, fmt.Errorf("auto: selected backend %q not available", route.backend)
+	if backend == "nwqsim" && sub == "mpi" && res.Ranks > 0 && opts.Nodes == 0 && opts.ProcsPerNode == 0 {
+		opts.Nodes = 1
+		opts.ProcsPerNode = res.Ranks
 	}
-	opts.Subbackend = route.sub
-	res, err := target.Execute(spec, opts)
-	if err != nil {
-		return res, fmt.Errorf("auto[%s->%s/%s]: %w", route.rule, route.backend, route.sub, err)
-	}
+}
+
+// annotate stamps the routing metadata on a result.
+func annotate(res *ExecResult, route string, predictedMS, actualMS float64, split bool) {
 	if res.Extra == nil {
 		res.Extra = map[string]float64{}
 	}
 	res.Extra["auto_routed"] = 1
-	res.Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
+	if predictedMS > 0 {
+		res.Extra["auto_predicted_ms"] = predictedMS
+	}
+	if actualMS > 0 {
+		res.Extra["auto_actual_ms"] = actualMS
+	}
+	if split {
+		res.Extra["auto_split"] = 1
+	}
+	res.Route = route
+}
+
+// Execute implements Executor: decide, delegate, and annotate the result
+// with the route plus predicted-vs-actual runtime.
+func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	d, err := a.decide(spec, 1)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	target, ok := a.execs[d.Backend]
+	if !ok {
+		return ExecResult{}, fmt.Errorf("auto: selected backend %q not available", d.Backend)
+	}
+	applyResources(d.Backend, d.Sub, d.Res, &opts)
+	start := time.Now()
+	res, err := target.Execute(spec, opts)
+	if err != nil {
+		return res, fmt.Errorf("auto[%s->%s/%s]: %w", d.Rule, d.Backend, d.Sub, err)
+	}
+	annotate(&res, d.route(), d.PredictedMS, float64(time.Since(start))/float64(time.Millisecond), false)
 	return res, nil
 }
 
-// ExecuteBatch implements BatchExecutor: the route is selected once per
-// batch from the shared spec, then the whole batch is delegated — natively
-// when the target backend supports batches, otherwise by rebinding each
-// element through the selector's parse cache.
+// ExecuteBatch implements BatchExecutor: the route is decided once per batch
+// from the shared spec. A homogeneous batch is delegated whole — natively
+// when the target supports batches, otherwise by rebinding each element
+// through the selector's parse cache. When the model predicts a
+// heterogeneous split beats any single engine, the head of the batch runs on
+// the primary and the tail concurrently on the secondary, with the tail's
+// base seed offset so every element keeps the exact seed it would have had
+// unsplit.
 func (a *AutoExecutor) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
-	route, err := a.selectRoute(spec)
+	d, err := a.decide(spec, len(bindings))
 	if err != nil {
 		return nil, err
 	}
-	target, ok := a.execs[route.backend]
-	if !ok {
-		return nil, fmt.Errorf("auto: selected backend %q not available", route.backend)
-	}
-	opts.Subbackend = route.sub
-	var results []ExecResult
-	if be, ok := target.(BatchExecutor); ok {
-		results, err = be.ExecuteBatch(spec, bindings, opts)
-	} else {
-		base, cerr := a.cache.Get(spec)
-		if cerr != nil {
-			return nil, cerr
+	if d.SplitBackend != "" {
+		if results, err := a.executeSplit(d, spec, bindings, opts); err == nil {
+			return results, nil
 		}
-		results = make([]ExecResult, len(bindings))
-		for i, b := range bindings {
-			bound := base.Bind(b)
-			elemSpec, serr := SpecFromCircuit(bound)
-			if serr != nil {
-				err = serr
-				break
-			}
-			results[i], err = target.Execute(elemSpec, opts.ForElement(i))
-			if err != nil {
-				break
-			}
-		}
+		// A failed split (e.g. the secondary engine rejects the circuit)
+		// falls back to the primary engine whole rather than failing the
+		// submission.
 	}
+	rule := singleRule(d)
+	results, err := a.delegateBatch(d.Backend, d.Sub, d.Res, spec, bindings, opts, 0)
 	if err != nil {
-		return nil, fmt.Errorf("auto[%s->%s/%s]: %w", route.rule, route.backend, route.sub, err)
+		return nil, fmt.Errorf("auto[%s->%s/%s]: %w", rule, d.Backend, d.Sub, err)
 	}
+	route := fmt.Sprintf("%s/%s (%s)", d.Backend, d.Sub, rule)
 	for i := range results {
-		if results[i].Extra == nil {
-			results[i].Extra = map[string]float64{}
-		}
-		results[i].Extra["auto_routed"] = 1
-		results[i].Route = strings.TrimSpace(fmt.Sprintf("%s/%s (%s)", route.backend, route.sub, route.rule))
+		annotate(&results[i], route, d.PredictedMS, 0, false)
 	}
 	return results, nil
 }
 
+// singleRule is the rule label when a split decision degrades to a whole-
+// batch delegation.
+func singleRule(d Decision) string {
+	if d.Rule == "cost-split" {
+		return "cost-model"
+	}
+	return d.Rule
+}
+
+// executeSplit runs the head of the batch on the primary engine and the
+// tail on the secondary, concurrently, reassembling results in order.
+func (a *AutoExecutor) executeSplit(d Decision, spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
+	k := len(bindings)
+	nA := int(math.Round(d.SplitFrac * float64(k)))
+	if nA < 1 {
+		nA = 1
+	}
+	if nA > k-1 {
+		nA = k - 1
+	}
+	var (
+		wg         sync.WaitGroup
+		resA, resB []ExecResult
+		errA, errB error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		resA, errA = a.delegateBatch(d.Backend, d.Sub, d.Res, spec, bindings[:nA], opts, 0)
+	}()
+	go func() {
+		defer wg.Done()
+		resB, errB = a.delegateBatch(d.SplitBackend, d.SplitSub, d.SplitRes, spec, bindings[nA:], opts, nA)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return nil, fmt.Errorf("auto[cost-split->%s/%s]: %w", d.Backend, d.Sub, errA)
+	}
+	if errB != nil {
+		return nil, fmt.Errorf("auto[cost-split->%s/%s]: %w", d.SplitBackend, d.SplitSub, errB)
+	}
+	results := append(resA, resB...)
+	route := d.route()
+	for i := range results {
+		pred := d.PredictedMS
+		if i >= nA {
+			pred = d.SplitPredictedMS
+		}
+		annotate(&results[i], route, pred, 0, true)
+	}
+	return results, nil
+}
+
+// delegateBatch runs a (sub-)batch on one engine. seedOffset shifts the base
+// seed so a split tail reproduces exactly the per-element seeds
+// (RunOptions.ForElement) it would have received in the unsplit batch.
+func (a *AutoExecutor) delegateBatch(backend, sub string, res cost.Resources, spec CircuitSpec, bindings []Bindings, opts RunOptions, seedOffset int) ([]ExecResult, error) {
+	target, ok := a.execs[backend]
+	if !ok {
+		return nil, fmt.Errorf("auto: selected backend %q not available", backend)
+	}
+	applyResources(backend, sub, res, &opts)
+	if seedOffset > 0 {
+		if opts.Seed == 0 {
+			opts.Seed = 1 // ForElement's implicit base
+		}
+		opts.Seed += int64(seedOffset)
+	}
+	if be, ok := target.(BatchExecutor); ok {
+		return be.ExecuteBatch(spec, bindings, opts)
+	}
+	base, err := a.cache.Get(spec)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]ExecResult, len(bindings))
+	for i, b := range bindings {
+		bound := base.Bind(b)
+		elemSpec, serr := SpecFromCircuit(bound)
+		if serr != nil {
+			return nil, serr
+		}
+		results[i], err = target.Execute(elemSpec, opts.ForElement(i))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// gradPreference is the fixed adjoint-engine fallback order.
+var gradPreference = []string{"aer", "nwqsim"}
+
+// svKeyOf maps a backend to the statevector-family engine key its adjoint
+// path runs on (the adjoint sweep is dense statevector work).
+func svKeyOf(backend string) (string, bool) {
+	switch backend {
+	case "aer":
+		return cost.AerSV, true
+	case "nwqsim":
+		return cost.NWQOpenMP, true
+	}
+	return "", false
+}
+
 // gradientTarget is the single discovery point for gradient delegation:
 // Capabilities and ExecuteGradient both consult it, so the advertised
-// capability can never disagree with the dispatch. Known adjoint engines
-// are preferred in a fixed order, then any other GradientExecutor in
+// capability can never disagree with the dispatch. With features and a
+// calibration the gradient-capable engines are ranked by predicted adjoint
+// cost (one forward plus two adjoint sweeps ≈ 3 circuit-equivalents of
+// dense statevector work); otherwise the known adjoint engines are
+// preferred in a fixed order, then any other GradientExecutor in
 // sorted-name order for determinism.
-func (a *AutoExecutor) gradientTarget() (string, GradientExecutor, bool) {
-	names := []string{"aer", "nwqsim"}
+func (a *AutoExecutor) gradientTarget(f *cost.Features) (string, GradientExecutor, bool) {
 	var rest []string
 	for name := range a.execs {
 		if name != "aer" && name != "nwqsim" {
@@ -188,7 +428,38 @@ func (a *AutoExecutor) gradientTarget() (string, GradientExecutor, bool) {
 		}
 	}
 	sort.Strings(rest)
-	for _, name := range append(names, rest...) {
+	names := append(append([]string{}, gradPreference...), rest...)
+	if a.model != nil && f != nil {
+		type scored struct {
+			name string
+			ms   float64
+			idx  int
+		}
+		var sc []scored
+		for i, name := range names {
+			if _, ok := a.execs[name].(GradientExecutor); !ok {
+				continue
+			}
+			ms := math.Inf(1)
+			if key, ok := svKeyOf(name); ok {
+				if p, ok := a.model.PredictMS(key, f, cost.Resources{Workers: statevec.CurrentTuning().Workers}); ok {
+					ms = 3 * p
+				}
+			}
+			sc = append(sc, scored{name, ms, i})
+		}
+		sort.Slice(sc, func(i, j int) bool {
+			if sc[i].ms != sc[j].ms {
+				return sc[i].ms < sc[j].ms
+			}
+			return sc[i].idx < sc[j].idx
+		})
+		for _, s := range sc {
+			return s.name, a.execs[s.name].(GradientExecutor), true
+		}
+		return "", nil, false
+	}
+	for _, name := range names {
 		if ge, ok := a.execs[name].(GradientExecutor); ok {
 			return name, ge, true
 		}
@@ -196,13 +467,19 @@ func (a *AutoExecutor) gradientTarget() (string, GradientExecutor, bool) {
 	return "", nil, false
 }
 
-// ExecuteGradient implements GradientExecutor by delegating to the first
-// gradient-capable local backend. Gradient evaluation needs dense simulator
-// state, so the structural routing rules do not apply — the adjoint engines
-// behind aer and nwqsim are interchangeable here and the sub-backend is
-// left to the target's default.
+// ExecuteGradient implements GradientExecutor by delegating to the
+// gradient-capable local backend with the lowest predicted adjoint cost
+// (fixed preference order without calibration). Gradient evaluation needs
+// dense simulator state, so the routing candidates are the adjoint engines
+// only and the sub-backend is left to the target's default.
 func (a *AutoExecutor) ExecuteGradient(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]GradResult, error) {
-	name, ge, ok := a.gradientTarget()
+	var f *cost.Features
+	if a.model != nil {
+		if ff, err := a.cache.GetFeatures(spec); err == nil {
+			f = ff
+		}
+	}
+	name, ge, ok := a.gradientTarget(f)
 	if !ok {
 		return nil, fmt.Errorf("auto: no gradient-capable backend available")
 	}
@@ -214,8 +491,17 @@ func (a *AutoExecutor) ExecuteGradient(spec CircuitSpec, bindings []Bindings, op
 	return res, nil
 }
 
+// Decide exposes the full routing decision for a k-element submission
+// (tests, tooling, the bench route table).
+func (a *AutoExecutor) Decide(spec CircuitSpec, k int) (Decision, error) {
+	if k < 1 {
+		k = 1
+	}
+	return a.decide(spec, k)
+}
+
 // RouteFor exposes the selection decision for inspection (tests, tooling).
 func (a *AutoExecutor) RouteFor(spec CircuitSpec) (backend, sub, rule string, err error) {
-	r, err := a.selectRoute(spec)
-	return r.backend, r.sub, r.rule, err
+	d, err := a.decide(spec, 1)
+	return d.Backend, d.Sub, d.Rule, err
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"qfw/internal/circuit"
+	"qfw/internal/cost"
 )
 
 // routeSpec builds a spec from a circuit for routing tests.
@@ -68,17 +70,41 @@ func TestAutoRoutesNearestNeighbour(t *testing.T) {
 	}
 }
 
-func TestAutoRoutesLargeDenseToNWQSim(t *testing.T) {
-	a := NewAutoExecutor(allFakeExecs())
+// largeDenseCircuit is a dense long-range non-Clifford circuit, deep enough
+// to skip the shallow rule and entangling enough to saturate the bond bound.
+func largeDenseCircuit() *circuit.Circuit {
 	c := circuit.New(22)
-	// Dense long-range non-Clifford circuit, deep enough to skip qtensor.
 	for d := 0; d < 4; d++ {
 		for i := 0; i < 22; i++ {
 			c.T(i)
 			c.CX(i, (i+7)%22)
 		}
 	}
-	backend, sub, rule, err := a.RouteFor(routeSpec(t, c))
+	return c
+}
+
+func TestAutoRoutesLargeDenseToStatevector(t *testing.T) {
+	// Under the cost model a volume-law circuit must land on a dense
+	// statevector engine: the MPS candidates are withdrawn because their
+	// truncated runtime cannot back the fidelity.
+	a := NewAutoExecutor(allFakeExecs())
+	backend, sub, rule, err := a.RouteFor(routeSpec(t, largeDenseCircuit()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule != "cost-model" {
+		t.Fatalf("routed by rule %q", rule)
+	}
+	if sub == "matrix_product_state" || sub == "exatn-mps" || sub == "stabilizer" {
+		t.Fatalf("volume-law circuit routed to %s/%s", backend, sub)
+	}
+}
+
+func TestAutoRoutesLargeDenseToNWQSimStructurally(t *testing.T) {
+	// Without a calibration the structural rules send large dense circuits
+	// to the distributed engine.
+	a := NewAutoExecutor(allFakeExecs()).WithModel(nil)
+	backend, sub, rule, err := a.RouteFor(routeSpec(t, largeDenseCircuit()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,5 +163,206 @@ func TestObservableEnergy(t *testing.T) {
 	}
 	if e := obs.FromCounts(nil); e != 0 {
 		t.Fatalf("empty counts %g", e)
+	}
+}
+
+// capExec is a fakeExec advertising custom hardware capabilities.
+type capExec struct {
+	fakeExec
+	caps Capabilities
+}
+
+func (c *capExec) Capabilities() Capabilities { return c.caps }
+
+// fakeBatchExec records each sub-batch it receives (element count and base
+// seed) so split tests can assert how the selector divided the work.
+type fakeBatchExec struct {
+	fakeExec
+	mu      sync.Mutex
+	batches []int
+	seeds   []int64
+}
+
+func (f *fakeBatchExec) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
+	f.mu.Lock()
+	f.batches = append(f.batches, len(bindings))
+	f.seeds = append(f.seeds, opts.Seed)
+	f.mu.Unlock()
+	out := make([]ExecResult, len(bindings))
+	for i := range out {
+		out[i] = ExecResult{Counts: map[string]int{"0": 1}}
+	}
+	return out, nil
+}
+
+// fakeGradExec is a gradient-capable fake.
+type fakeGradExec struct {
+	fakeExec
+	mu    sync.Mutex
+	grads int
+}
+
+func (f *fakeGradExec) ExecuteGradient(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]GradResult, error) {
+	f.mu.Lock()
+	f.grads++
+	f.mu.Unlock()
+	out := make([]GradResult, len(bindings))
+	return out, nil
+}
+
+func TestAutoCapabilitiesUnion(t *testing.T) {
+	// CPU-only registered executors: auto must not advertise hardware no
+	// routable backend has. The cloud backend never contributes, whatever
+	// it claims.
+	a := NewAutoExecutor(map[string]Executor{
+		"aer":    &fakeExec{name: "aer"},
+		"nwqsim": &fakeExec{name: "nwqsim"},
+		"ionq":   &capExec{fakeExec: fakeExec{name: "ionq"}, caps: Capabilities{Backend: "ionq", GPU: true, NativeMPI: true}},
+	})
+	caps := a.Capabilities()
+	if !caps.CPU || caps.GPU || caps.NativeMPI {
+		t.Fatalf("CPU-only subset advertised %+v", caps)
+	}
+	// A GPU+MPI executor joins: the union picks both up.
+	b := NewAutoExecutor(map[string]Executor{
+		"aer":    &fakeExec{name: "aer"},
+		"nwqsim": &capExec{fakeExec: fakeExec{name: "nwqsim"}, caps: Capabilities{Backend: "nwqsim", CPU: true, GPU: true, NativeMPI: true}},
+	})
+	caps = b.Capabilities()
+	if !caps.CPU || !caps.GPU || !caps.NativeMPI {
+		t.Fatalf("union missed capabilities: %+v", caps)
+	}
+}
+
+// evenCal builds a calibration where the two dense engines are exactly as
+// fast, so a batch split always wins under the default penalty.
+func evenCal() *cost.Calibration {
+	cv := cost.Curve{Base: 1, Slope: 1, Knee: 10, Slope2: 1}
+	return &cost.Calibration{
+		Version: 1, Source: "test", SplitPenalty: 1.5,
+		Curves: map[string]cost.Curve{
+			cost.AerSV:     cv,
+			cost.NWQOpenMP: cv,
+		},
+	}
+}
+
+// denseSpec returns a small dense non-Clifford circuit spec.
+func denseSpec(t *testing.T) CircuitSpec {
+	t.Helper()
+	c := circuit.New(6)
+	for i := 0; i < 6; i++ {
+		c.T(i)
+		c.CX(i, (i+2)%6)
+	}
+	return routeSpec(t, c)
+}
+
+func TestAutoSplitsBatchAcrossEngines(t *testing.T) {
+	aer := &fakeBatchExec{fakeExec: fakeExec{name: "aer"}}
+	nwq := &fakeBatchExec{fakeExec: fakeExec{name: "nwqsim"}}
+	a := NewAutoExecutor(map[string]Executor{"aer": aer, "nwqsim": nwq}).
+		WithModel(cost.NewModel(evenCal()))
+	spec := denseSpec(t)
+	bindings := make([]Bindings, 8)
+	results, err := a.ExecuteBatch(spec, bindings, RunOptions{Shots: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if len(aer.batches) != 1 || len(nwq.batches) != 1 {
+		t.Fatalf("batch counts aer=%v nwqsim=%v", aer.batches, nwq.batches)
+	}
+	if aer.batches[0]+nwq.batches[0] != 8 || aer.batches[0] == 0 || nwq.batches[0] == 0 {
+		t.Fatalf("split sizes aer=%d nwqsim=%d", aer.batches[0], nwq.batches[0])
+	}
+	// The tail's base seed is offset by the head size, so every element
+	// keeps the seed it would have had unsplit (ForElement semantics).
+	var head, tailSeed int64
+	if aer.seeds[0] == 7 {
+		head, tailSeed = int64(aer.batches[0]), nwq.seeds[0]
+	} else {
+		head, tailSeed = int64(nwq.batches[0]), aer.seeds[0]
+	}
+	if tailSeed != 7+head {
+		t.Fatalf("tail seed %d, want %d", tailSeed, 7+head)
+	}
+	for _, r := range results {
+		if r.Extra["auto_split"] != 1 {
+			t.Fatalf("missing split annotation: %v", r.Extra)
+		}
+		if !strings.Contains(r.Route, "+") || !strings.Contains(r.Route, "cost-split") {
+			t.Fatalf("route %q", r.Route)
+		}
+		if r.Extra["auto_predicted_ms"] <= 0 {
+			t.Fatalf("missing prediction: %v", r.Extra)
+		}
+	}
+}
+
+func TestAutoBatchKeepsSingleEngineWhenSmall(t *testing.T) {
+	// K<4 never splits: the contention penalty cannot amortize.
+	aer := &fakeBatchExec{fakeExec: fakeExec{name: "aer"}}
+	nwq := &fakeBatchExec{fakeExec: fakeExec{name: "nwqsim"}}
+	a := NewAutoExecutor(map[string]Executor{"aer": aer, "nwqsim": nwq}).
+		WithModel(cost.NewModel(evenCal()))
+	results, err := a.ExecuteBatch(denseSpec(t), make([]Bindings, 2), RunOptions{Shots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if len(aer.batches)+len(nwq.batches) != 1 {
+		t.Fatalf("small batch was split: aer=%v nwqsim=%v", aer.batches, nwq.batches)
+	}
+}
+
+func TestAutoFeaturesExtractedOncePerBatch(t *testing.T) {
+	aer := &fakeBatchExec{fakeExec: fakeExec{name: "aer"}}
+	a := NewAutoExecutor(map[string]Executor{"aer": aer}).
+		WithModel(cost.NewModel(evenCal()))
+	spec := denseSpec(t)
+	if _, err := a.ExecuteBatch(spec, make([]Bindings, 6), RunOptions{Shots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.cache.Memos(); got != 1 {
+		t.Fatalf("feature extractions after batch: %d, want 1", got)
+	}
+	// A second submission of the same spec reuses the memoized features.
+	if _, err := a.Execute(spec, RunOptions{Shots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.cache.Memos(); got != 1 {
+		t.Fatalf("feature extractions after resubmit: %d, want 1", got)
+	}
+}
+
+func TestAutoGradientRoutesByPredictedCost(t *testing.T) {
+	// nwqsim's curve is far cheaper: the gradient must leave the fixed
+	// aer-first order and follow the model.
+	aer := &fakeGradExec{fakeExec: fakeExec{name: "aer"}}
+	nwq := &fakeGradExec{fakeExec: fakeExec{name: "nwqsim"}}
+	cal := evenCal()
+	cv := cal.Curves[cost.NWQOpenMP]
+	cv.Base -= 10 // 1024x faster
+	cal.Curves[cost.NWQOpenMP] = cv
+	a := NewAutoExecutor(map[string]Executor{"aer": aer, "nwqsim": nwq}).
+		WithModel(cost.NewModel(cal))
+	if _, err := a.ExecuteGradient(denseSpec(t), make([]Bindings, 2), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if nwq.grads != 1 || aer.grads != 0 {
+		t.Fatalf("gradient calls aer=%d nwqsim=%d", aer.grads, nwq.grads)
+	}
+	// Without a model the fixed preference order applies: aer first.
+	a2 := NewAutoExecutor(map[string]Executor{"aer": aer, "nwqsim": nwq}).WithModel(nil)
+	if _, err := a2.ExecuteGradient(denseSpec(t), make([]Bindings, 2), RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if aer.grads != 1 {
+		t.Fatalf("structural gradient calls aer=%d nwqsim=%d", aer.grads, nwq.grads)
 	}
 }

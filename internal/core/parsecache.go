@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"qfw/internal/circuit"
+	"qfw/internal/cost"
 )
 
 // maxCachedSpecs bounds a ParseCache; a variational workload keeps a
@@ -169,6 +170,24 @@ func (pc *ParseCache) Memo(spec CircuitSpec, key string, build func(c *circuit.C
 		m.v, m.err = build(e.c)
 	})
 	return m.v, m.err
+}
+
+// GetFeatures returns the cost-model features of the spec's
+// measurement-stripped body, extracted from the cached fusion plan and
+// memoized per spec hash — a batched submission computes its routing
+// features exactly once, like the parse and the plan.
+func (pc *ParseCache) GetFeatures(spec CircuitSpec) (*cost.Features, error) {
+	_, plan, err := pc.GetFused(spec)
+	if err != nil {
+		return nil, err
+	}
+	v, err := pc.Memo(spec, "cost-features", func(c *circuit.Circuit) (any, error) {
+		return cost.Extract(c.StripMeasurements(), plan), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*cost.Features), nil
 }
 
 // Memos returns how many memoized artifacts the cache has built — asserted

@@ -91,11 +91,17 @@ type Session struct {
 	server  *defw.Server
 	qpms    []*QPM
 	execs   []Executor
+	auto    *AutoExecutor
 	mu      sync.Mutex
 	clients []*defw.Client
 	sched   *slurm.Scheduler
 	useTCP  bool
 }
+
+// Auto returns the session's workload-driven selector (nil when no local
+// backend was registered) — tooling uses it to inspect routing decisions
+// without going through the RPC layer.
+func (s *Session) Auto() *AutoExecutor { return s.auto }
 
 // Launch boots the full stack following the paper's execution flow:
 // a SLURM job with two heterogeneous groups is submitted (step 1), the DVM
@@ -186,7 +192,8 @@ func Launch(cfg Config) (*Session, error) {
 	// The workload-driven selector (paper future work) fronts the live
 	// executors under the reserved name "auto".
 	if len(byName) > 0 {
-		auto := NewAutoExecutor(byName)
+		auto := NewAutoExecutor(byName).WithMemBudget(memBudget)
+		s.auto = auto
 		qpm := NewQPM(auto, workers, rec)
 		s.qpms = append(s.qpms, qpm)
 		s.server.Register(ServiceName("auto"), qpm)

@@ -1,0 +1,336 @@
+package cost
+
+// Calibration resolution mirrors the staged-engine autotuner
+// (internal/statevec/tune.go): the fitted curves are a machine property, so
+// they are resolved once per process and cached per machine signature.
+// Resolution order:
+//
+//  1. QFW_COST environment override:
+//     "off"            — disable the cost model (structural routing rules),
+//     "deterministic"  — the embedded seed calibration, no disk, no probe,
+//     <path>           — load a fitted calibration file (qfwbench -exp fit-cost).
+//  2. Under `go test`: the embedded seed, so routing decisions never depend
+//     on machine speed or write outside the build sandbox.
+//  3. The on-disk cache (os.UserCacheDir()/qfw/cost.json), if its machine
+//     signature matches.
+//  4. A once-per-machine speed probe: one fused statevector workload is
+//     timed and the seed curves are shifted by the measured log2 offset —
+//     relative engine constants come from the fitted seed, the absolute
+//     scale from the machine. Persisted best-effort beside tune.json.
+//
+// Inspect with CachePath(); delete the file to re-probe.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/statevec"
+)
+
+// The embedded seed calibration lives in seed.go.
+
+var (
+	curOnce sync.Once
+	curVal  *Model
+)
+
+// Current resolves (once per process) the process-wide cost model. It is
+// nil only when QFW_COST=off — callers fall back to structural routing.
+func Current() *Model {
+	curOnce.Do(func() { curVal = NewModel(resolve()) })
+	return curVal
+}
+
+func resolve() *Calibration {
+	if env := strings.TrimSpace(os.Getenv("QFW_COST")); env != "" {
+		switch strings.ToLower(env) {
+		case "off":
+			return nil
+		case "deterministic":
+			return Seed()
+		}
+		if cal, err := Load(env); err == nil {
+			cal.Source = "env"
+			return cal
+		}
+		// A bad override falls back to normal resolution rather than
+		// failing every run.
+	}
+	if underGoTest() {
+		return Seed()
+	}
+	if cal, ok := loadCache(); ok {
+		return cal
+	}
+	cal := probe(Seed())
+	saveCache(cal)
+	return cal
+}
+
+func underGoTest() bool {
+	if flag.Lookup("test.v") != nil {
+		return true
+	}
+	exe := os.Args[0]
+	return strings.HasSuffix(exe, ".test") || strings.HasSuffix(exe, ".test.exe")
+}
+
+func machineSignature() string {
+	return fmt.Sprintf("%s-%s-cpu%d-v1", runtime.GOOS, runtime.GOARCH, runtime.NumCPU())
+}
+
+type cacheFile struct {
+	Signature   string       `json:"signature"`
+	Calibration *Calibration `json:"calibration"`
+}
+
+// CachePath returns the on-disk location of the per-machine calibration.
+func CachePath() (string, error) {
+	dir, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, "qfw", "cost.json"), nil
+}
+
+func loadCache() (*Calibration, bool) {
+	path, err := CachePath()
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if json.Unmarshal(data, &cf) != nil || cf.Signature != machineSignature() ||
+		cf.Calibration == nil || len(cf.Calibration.Curves) == 0 {
+		return nil, false
+	}
+	return cf.Calibration, true
+}
+
+// saveCache persists best-effort: an unwritable cache dir never fails a run.
+func saveCache(cal *Calibration) {
+	path, err := CachePath()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(cacheFile{Signature: machineSignature(), Calibration: cal}, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// Load reads a calibration file written by Save or `qfwbench -exp fit-cost`.
+func Load(path string) (*Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cal Calibration
+	if err := json.Unmarshal(data, &cal); err != nil {
+		return nil, fmt.Errorf("cost: bad calibration %s: %w", path, err)
+	}
+	if len(cal.Curves) == 0 {
+		return nil, fmt.Errorf("cost: calibration %s has no curves", path)
+	}
+	return &cal, nil
+}
+
+// Save writes a calibration as indented JSON.
+func Save(path string, cal *Calibration) error {
+	data, err := json.MarshalIndent(cal, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// probe times one fused statevector workload and shifts every seed curve by
+// the measured log2 offset against the seed's own prediction: one number —
+// this machine's speed relative to the fitting machine — recalibrates the
+// whole family without re-running the bench suite.
+func probe(seed *Calibration) *Calibration {
+	const n, depth = 18, 4
+	c := probeWorkload(n, depth)
+	f := Extract(c, nil)
+	workers := statevec.CurrentTuning().Workers
+	best := math.Inf(1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		s, _ := statevec.RunFused(c, nil, workers, rand.New(rand.NewSource(1)))
+		el := float64(time.Since(start)) / float64(time.Millisecond)
+		s.Release()
+		if rep == 0 {
+			continue // cold-heap warmup
+		}
+		if el < best {
+			best = el
+		}
+	}
+	m := NewModel(seed)
+	pred, ok := m.Predict(AerSV, f, Resources{Workers: workers})
+	if !ok || !(best > 0) || math.IsInf(best, 1) {
+		return seed
+	}
+	delta := math.Log2(best) - pred
+	out := &Calibration{
+		Version:      seed.Version,
+		Source:       "probe",
+		SplitPenalty: seed.SplitPenalty,
+		Curves:       make(map[string]Curve, len(seed.Curves)),
+	}
+	for k, cv := range seed.Curves {
+		cv.Base += delta
+		out.Curves[k] = cv
+	}
+	return out
+}
+
+func probeWorkload(n, depth int) *circuit.Circuit {
+	c := circuit.New(n)
+	for d := 0; d < depth; d++ {
+		for q := 0; q < n; q++ {
+			c.RZZ(q, (q+1)%n, circuit.Bound(0.3))
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, circuit.Bound(0.7))
+		}
+	}
+	return c
+}
+
+// Sample is one fitting observation: an engine ran a circuit with the given
+// features and resources in MS milliseconds.
+type Sample struct {
+	Engine string
+	F      *Features
+	Res    Resources
+	MS     float64
+}
+
+// Fit regresses per-engine cost curves from samples in log space, layered
+// over a base calibration (typically the seed): engines with two or more
+// samples get a fresh least-squares fit (piecewise when five or more
+// samples support a knee), engines with exactly one get the base curve
+// shifted through the sample, and engines with none keep the base curve.
+func Fit(samples []Sample, base *Calibration) *Calibration {
+	out := &Calibration{Version: 1, Source: "fit", SplitPenalty: 1.5, Curves: map[string]Curve{}}
+	if base != nil {
+		out.Version = base.Version
+		if base.SplitPenalty > 0 {
+			out.SplitPenalty = base.SplitPenalty
+		}
+		for k, cv := range base.Curves {
+			out.Curves[k] = cv
+		}
+	}
+	byEngine := map[string][][2]float64{} // (log2 W, log2 ms)
+	for _, s := range samples {
+		if s.MS <= 0 {
+			continue
+		}
+		w, ok := workLog2(s.Engine, s.F, s.Res)
+		if !ok {
+			continue
+		}
+		byEngine[s.Engine] = append(byEngine[s.Engine], [2]float64{w, math.Log2(s.MS)})
+	}
+	for key, pts := range byEngine {
+		switch {
+		case len(pts) >= 2:
+			out.Curves[key] = fitCurve(pts)
+		case len(pts) == 1:
+			cv, ok := out.Curves[key]
+			if !ok {
+				cv = Curve{Slope: 1, Slope2: 1}
+			}
+			cv.Base += pts[0][1] - cv.Eval(pts[0][0])
+			cv.Pts = 1
+			out.Curves[key] = cv
+		}
+	}
+	return out
+}
+
+// fitCurve least-squares a line through (w, y) pivoted at the mean w; with
+// five or more points it tries a knee at each interior w and keeps the
+// two-segment fit when it reduces the residual by at least 20%.
+func fitCurve(pts [][2]float64) Curve {
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	base, slope, knee, sse := lineFit(pts)
+	cv := Curve{Base: base, Slope: slope, Knee: knee, Slope2: slope, Pts: len(pts)}
+	if len(pts) < 5 {
+		return cv
+	}
+	bestSSE := sse
+	for cut := 2; cut <= len(pts)-2; cut++ {
+		lb, ls, lk, lsse := lineFit(pts[:cut])
+		kneeW := pts[cut-1][0]
+		baseAtKnee := lb + ls*(kneeW-lk)
+		// Right segment: slope through the knee point.
+		var num, den, rsse float64
+		for _, p := range pts[cut:] {
+			num += (p[1] - baseAtKnee) * (p[0] - kneeW)
+			den += (p[0] - kneeW) * (p[0] - kneeW)
+		}
+		if den == 0 {
+			continue
+		}
+		s2 := num / den
+		for _, p := range pts[cut:] {
+			r := p[1] - (baseAtKnee + s2*(p[0]-kneeW))
+			rsse += r * r
+		}
+		if tot := lsse + rsse; tot < bestSSE*0.8 {
+			bestSSE = tot
+			cv = Curve{Base: baseAtKnee, Slope: ls, Knee: kneeW, Slope2: s2, Pts: len(pts)}
+		}
+	}
+	return cv
+}
+
+func lineFit(pts [][2]float64) (base, slope, pivot, sse float64) {
+	var mw, my float64
+	for _, p := range pts {
+		mw += p[0]
+		my += p[1]
+	}
+	mw /= float64(len(pts))
+	my /= float64(len(pts))
+	var num, den float64
+	for _, p := range pts {
+		num += (p[0] - mw) * (p[1] - my)
+		den += (p[0] - mw) * (p[0] - mw)
+	}
+	slope = 1
+	if den > 0 {
+		slope = num / den
+	}
+	base = my
+	for _, p := range pts {
+		r := p[1] - (base + slope*(p[0]-mw))
+		sse += r * r
+	}
+	return base, slope, mw, sse
+}

@@ -1,0 +1,210 @@
+// Package cost implements the calibrated cost model behind workload-driven
+// routing (the paper's stated future work, ROADMAP item 2). It has three
+// parts: structural feature extraction from a circuit and its fusion plan
+// (Extract), per-engine cost curves fitted in log space from bench artifacts
+// (Fit / Calibration), and candidate-route ranking by predicted runtime
+// (Model.Rank). The package deliberately depends only on the circuit IR so
+// that core can build the router on top of it without an import cycle.
+package cost
+
+import (
+	"qfw/internal/circuit"
+)
+
+// Features are the binding-independent structural properties of one circuit
+// that the cost curves consume. They derive from the parsed circuit and its
+// cached fusion plan only, so one extraction serves every binding of a
+// parametric ansatz (the router memoizes them per spec hash).
+type Features struct {
+	NQubits  int  `json:"nqubits"`
+	Gates    int  `json:"gates"` // executable gates (barriers/measures excluded)
+	TwoQubit int  `json:"twoq"`  // gates on >= 2 qubits
+	Depth    int  `json:"depth"`
+	Clifford bool `json:"clifford"`
+
+	// Fusion-plan shape: how many fused operations the dense engines
+	// actually dispatch, split by segment kind. DiagFraction is the share
+	// of source gates absorbed into hoisted diagonal runs — the signal for
+	// how well the staged/fused statevector paths compress the circuit.
+	FusedOps     int     `json:"fused_ops"`
+	DenseOps     int     `json:"dense_ops"`
+	DiagOps      int     `json:"diag_ops"`
+	PassOps      int     `json:"pass_ops"`
+	DiagFraction float64 `json:"diag_fraction"`
+
+	// Interaction-graph geometry: Bandwidth is the maximum |i-j| over
+	// multi-qubit gates (1 = strictly nearest-neighbour), MeanDistance the
+	// average — together the entanglement-growth proxy of the MPS regime.
+	Bandwidth    int     `json:"bandwidth"`
+	MeanDistance float64 `json:"mean_distance"`
+
+	// RouteSwaps estimates the adjacency-routing swaps a chain-topology
+	// engine inserts (persistent-permutation routing, mirroring
+	// mps.CompileCircuit), and BondBits the resulting peak bond dimension as
+	// a log2 upper bound: each two-site operation crossing a chain cut can
+	// at most square the Schmidt rank across it (2 bits), and the bond at
+	// cut k never exceeds the dimension of the smaller side, 2^min(k+1,
+	// n-1-k). Measured PeakBond values must stay at or below 1<<BondBits —
+	// asserted against the conformance corpus.
+	RouteSwaps int `json:"route_swaps"`
+	BondBits   int `json:"bond_bits"`
+}
+
+// EstPeakBond returns the estimated peak bond dimension, clamped so the
+// shift cannot overflow.
+func (f *Features) EstPeakBond() int {
+	b := f.BondBits
+	if b > 30 {
+		b = 30
+	}
+	return 1 << b
+}
+
+// Extract computes the features of a bound-or-parametric circuit body and
+// its fusion plan. The plan must have been built against the same
+// (measurement-stripped) circuit; pass nil to derive it here.
+func Extract(c *circuit.Circuit, plan *circuit.FusionPlan) *Features {
+	body := c.StripMeasurements()
+	if plan == nil {
+		plan = circuit.PlanFusion(body)
+	}
+	f := &Features{
+		NQubits:  body.NQubits,
+		Depth:    body.Depth(),
+		Clifford: body.IsClifford(),
+	}
+	var distSum, distCnt int
+	for _, g := range body.Gates {
+		if g.Kind == circuit.KindBarrier || g.Kind == circuit.KindMeasure {
+			continue
+		}
+		f.Gates++
+		if len(g.Qubits) >= 2 {
+			f.TwoQubit++
+			lo, hi := spanOf(g.Qubits)
+			if d := hi - lo; d > 0 {
+				if d > f.Bandwidth {
+					f.Bandwidth = d
+				}
+				distSum += d
+				distCnt++
+			}
+		}
+	}
+	if distCnt > 0 {
+		f.MeanDistance = float64(distSum) / float64(distCnt)
+	}
+	diagGates := 0
+	for _, seg := range plan.Segments(body) {
+		f.FusedOps++
+		switch seg.Kind {
+		case circuit.SegDense:
+			f.DenseOps++
+		case circuit.SegDiag:
+			f.DiagOps++
+			diagGates += len(seg.Gates)
+		default:
+			f.PassOps++
+		}
+	}
+	if f.Gates > 0 {
+		f.DiagFraction = float64(diagGates) / float64(f.Gates)
+	}
+	f.BondBits, f.RouteSwaps = estimateBond(body)
+	return f
+}
+
+func spanOf(qs []int) (lo, hi int) {
+	lo, hi = qs[0], qs[0]
+	for _, q := range qs[1:] {
+		if q < lo {
+			lo = q
+		}
+		if q > hi {
+			hi = q
+		}
+	}
+	return lo, hi
+}
+
+// estimateBond replays the circuit's multi-qubit gates through a persistent
+// site permutation (the routing discipline of the compiled MPS engine) and
+// accumulates per-cut entangling budget: every two-site operation crossing a
+// cut — a routed swap or the gate itself — adds 2 bits (a two-site unitary
+// has operator Schmidt rank at most 4, so the bond across its cut at most
+// quadruples). The final exponent at each cut is clamped by the exact
+// dimension bound min(k+1, n-1-k); the maximum over cuts upper-bounds the
+// peak bond any chain-topology simulation of the circuit can reach, and the
+// swap count sizes the routed workload for the MPS cost curve.
+func estimateBond(c *circuit.Circuit) (bondBits, routeSwaps int) {
+	n := c.NQubits
+	if n < 2 {
+		return 0, 0
+	}
+	site := make([]int, n) // qubit -> chain position
+	for q := range site {
+		site[q] = q
+	}
+	qubitAt := make([]int, n) // chain position -> qubit
+	copy(qubitAt, site)
+	bits := make([]int, n-1)
+	swapTo := func(from, to int) {
+		// Move the qubit at chain position `from` stepwise to `to`,
+		// charging each crossed cut.
+		step := 1
+		if to < from {
+			step = -1
+		}
+		for p := from; p != to; p += step {
+			q1, q2 := qubitAt[p], qubitAt[p+step]
+			qubitAt[p], qubitAt[p+step] = q2, q1
+			site[q1], site[q2] = p+step, p
+			cut := p
+			if step < 0 {
+				cut = p - 1
+			}
+			bits[cut] += 2
+			routeSwaps++
+		}
+	}
+	for _, g := range c.Gates {
+		if g.Kind == circuit.KindBarrier || g.Kind == circuit.KindMeasure || g.Kind == circuit.KindReset {
+			continue
+		}
+		if len(g.Qubits) < 2 {
+			continue
+		}
+		// Route every further operand to the near edge of the contiguous
+		// block built so far (never through it — the block holds already
+		// placed operands), then charge the gate itself at the cuts inside
+		// its site range.
+		lo := site[g.Qubits[0]]
+		hi := lo
+		for _, q := range g.Qubits[1:] {
+			switch p := site[q]; {
+			case p < lo:
+				swapTo(p, lo-1)
+				lo--
+			case p > hi:
+				swapTo(p, hi+1)
+				hi++
+			}
+		}
+		for k := lo; k < hi; k++ {
+			bits[k] += 2
+		}
+	}
+	for k, v := range bits {
+		lim := k + 1
+		if r := n - 1 - k; r < lim {
+			lim = r
+		}
+		if v > lim {
+			v = lim
+		}
+		if v > bondBits {
+			bondBits = v
+		}
+	}
+	return bondBits, routeSwaps
+}
