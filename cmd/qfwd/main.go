@@ -18,18 +18,23 @@ import (
 
 	"qfw/internal/cluster"
 	"qfw/internal/core"
+	"qfw/internal/serve"
 
 	_ "qfw/internal/backends"
 )
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
-		appNodes = flag.Int("app-nodes", 1, "hetgroup-0 (application) nodes")
-		workers  = flag.Int("workers", 8, "QRC worker threads per QPM (paper: 8)")
-		memGiB   = flag.Int("mem", 1, "state-vector memory budget (GiB)")
-		walltime = flag.Duration("walltime", 2*time.Hour, "SLURM walltime (paper cutoff: 2h)")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
+		nodes      = flag.Int("nodes", 4, "Frontier-model nodes for the SLURM job")
+		appNodes   = flag.Int("app-nodes", 1, "hetgroup-0 (application) nodes")
+		workers    = flag.Int("workers", 8, "QRC worker threads per QPM (paper: 8)")
+		memGiB     = flag.Int("mem", 1, "state-vector memory budget (GiB)")
+		walltime   = flag.Duration("walltime", 2*time.Hour, "SLURM walltime (paper cutoff: 2h)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+		cacheCap   = flag.Int("serve-cache", 4096, "serving-layer result cache entries per backend (negative disables caching)")
+		window     = flag.Duration("serve-window", 2*time.Millisecond, "serving-layer coalescing admission window (0 disables the wait)")
+		quota      = flag.Int("serve-quota", 0, "default per-tenant outstanding-element quota (0: the queue cap)")
+		drainGrace = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline: stop admitting on SIGTERM and finish in-flight work up to this long")
 	)
 	flag.Parse()
 
@@ -53,14 +58,46 @@ func main() {
 	fmt.Printf("qfwd: DVM %s\n", session.DVM.URI)
 	fmt.Printf("qfwd: DEFw endpoint %s\n", session.Addr)
 	fmt.Printf("qfwd: backends: %v\n", session.Backends())
-	fmt.Println("qfwd: serving; Ctrl-C to tear down")
+
+	// One serving layer per backend, registered beside the raw qpm.<backend>
+	// service: applications that want the cache/coalescing/fair-share path
+	// talk to serve.<backend>, existing clients keep the raw queue.
+	srvCfg := serve.Config{CacheCap: *cacheCap, Window: *window, Quota: *quota}
+	var servers []*serve.Server
+	for _, backend := range session.Backends() {
+		srv := serve.New(session.QPM(backend), srvCfg, session.Rec)
+		session.RegisterService(serve.ServiceName(backend), srv)
+		servers = append(servers, srv)
+	}
+	fmt.Printf("qfwd: serving layer up (cache %d, window %s)\n", *cacheCap, *window)
+	fmt.Println("qfwd: serving; Ctrl-C or SIGTERM to drain and tear down")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
-		fmt.Println("\nqfwd: signal received, tearing down")
+		fmt.Printf("\nqfwd: signal received, draining (up to %s)\n", *drainGrace)
 	case <-session.Job.Done():
 		fmt.Printf("qfwd: SLURM job ended (%s)\n", session.Job.State())
 	}
+
+	// Graceful drain: the serving layers stop admitting and flush their
+	// queues first (their dispatches need live QPMs), then the QPMs quiesce
+	// and finish whatever is still in flight.
+	deadline := time.Now().Add(*drainGrace)
+	for _, srv := range servers {
+		if !srv.Drain(time.Until(deadline)) {
+			fmt.Printf("qfwd: serve[%s] did not drain before the deadline\n", srv.Backend())
+		}
+	}
+	if !session.Drain(time.Until(deadline)) {
+		fmt.Println("qfwd: QPMs did not drain before the deadline; tearing down anyway")
+	}
+	for _, srv := range servers {
+		st := srv.Stats()
+		fmt.Printf("qfwd: serve[%s]: served %d (cache hits %d, deduped %d, shed %d, peak queue %d)\n",
+			st.Backend, st.Served, st.CacheHits, st.Deduped, st.Shed, st.PeakQueueDepth)
+		srv.Close()
+	}
+	fmt.Println("qfwd: tearing down")
 }

@@ -29,14 +29,15 @@ func (b *aer) Name() string { return "aer" }
 
 func (b *aer) Capabilities() core.Capabilities {
 	return core.Capabilities{
-		Backend:      "aer",
-		Subbackends:  []string{"statevector", "matrix_product_state", "stabilizer", "automatic"},
-		CPU:          true,
-		GPU:          true,
-		NativeMPI:    true,
-		Gradients:    true,
-		GradientSubs: []string{"statevector", "automatic"},
-		Notes:        "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build. Adjoint gradients on the statevector engine; matrix_product_state runs the compiled fusion-aware MPS schedule (MaxBond/Cutoff via RunOptions).",
+		Backend:             "aer",
+		Subbackends:         []string{"statevector", "matrix_product_state", "stabilizer", "automatic"},
+		CPU:                 true,
+		GPU:                 true,
+		NativeMPI:           true,
+		Gradients:           true,
+		GradientSubs:        []string{"statevector", "automatic"},
+		DeterministicSeeded: true,
+		Notes:               "Strong single-node performance; MPI uses chunking and is capped at one node. GPU (CUDA) path simulated by chunked CPU kernels; HIP/ROCm requires a custom build. Adjoint gradients on the statevector engine; matrix_product_state runs the compiled fusion-aware MPS schedule (MaxBond/Cutoff via RunOptions).",
 	}
 }
 

@@ -30,13 +30,14 @@ func (b *nwqsim) Name() string { return "nwqsim" }
 
 func (b *nwqsim) Capabilities() core.Capabilities {
 	return core.Capabilities{
-		Backend:     "nwqsim",
-		Subbackends: []string{"mpi", "openmp", "cpu", "amdgpu"},
-		CPU:         true,
-		GPU:         true,
-		NativeMPI:   true,
-		Gradients:   true,
-		Notes:       "Fully integrated. AMDGPU sub-backend is simulated by the chunked CPU kernels (HIP+MPI lacked complete upstream support at development time). Adjoint gradients run node-local on the chunked kernels for every sub-backend.",
+		Backend:             "nwqsim",
+		Subbackends:         []string{"mpi", "openmp", "cpu", "amdgpu"},
+		CPU:                 true,
+		GPU:                 true,
+		NativeMPI:           true,
+		Gradients:           true,
+		DeterministicSeeded: true,
+		Notes:               "Fully integrated. AMDGPU sub-backend is simulated by the chunked CPU kernels (HIP+MPI lacked complete upstream support at development time). Adjoint gradients run node-local on the chunked kernels for every sub-backend.",
 	}
 }
 

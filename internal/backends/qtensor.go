@@ -31,12 +31,13 @@ func (b *qtensor) Name() string { return "qtensor" }
 
 func (b *qtensor) Capabilities() core.Capabilities {
 	return core.Capabilities{
-		Backend:     "qtensor",
-		Subbackends: []string{"numpy", "mpi", "cupy", "pytorch"},
-		CPU:         true,
-		GPU:         true,
-		NativeMPI:   true,
-		Notes:       "Tree TN (qtree). Designed for QAOA expectation estimation on sparse QUBOs, used by QFw for full-state contraction. Tested thoroughly with numpy; MPI via output-variable slicing.",
+		Backend:             "qtensor",
+		Subbackends:         []string{"numpy", "mpi", "cupy", "pytorch"},
+		CPU:                 true,
+		GPU:                 true,
+		NativeMPI:           true,
+		DeterministicSeeded: true,
+		Notes:               "Tree TN (qtree). Designed for QAOA expectation estimation on sparse QUBOs, used by QFw for full-state contraction. Tested thoroughly with numpy; MPI via output-variable slicing.",
 	}
 }
 

@@ -25,12 +25,13 @@ func (b *tnqvm) Name() string { return "tnqvm" }
 
 func (b *tnqvm) Capabilities() core.Capabilities {
 	return core.Capabilities{
-		Backend:     "tnqvm",
-		Subbackends: []string{"exatn-mps", "ttn", "peps"},
-		CPU:         true,
-		GPU:         true,
-		NativeMPI:   true,
-		Notes:       "Tensor-network simulator; wrapper selects topology. Tested with exatn-mps. TTN currently blocked by .xasm vs .qasm; PEPS is architecturally supported.",
+		Backend:             "tnqvm",
+		Subbackends:         []string{"exatn-mps", "ttn", "peps"},
+		CPU:                 true,
+		GPU:                 true,
+		NativeMPI:           true,
+		DeterministicSeeded: true,
+		Notes:               "Tensor-network simulator; wrapper selects topology. Tested with exatn-mps. TTN currently blocked by .xasm vs .qasm; PEPS is architecturally supported.",
 	}
 }
 

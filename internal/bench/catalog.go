@@ -158,6 +158,11 @@ var AblationCatalog = []AblationSpec{
 		Sizes:    []int{16, 18, 20, 22, 24, 26},
 		Describe: "Deep QAOA/TFIM statevector execution on one core: cache-blocked stage engine (SoA tiles, SIMD kernels) vs per-op fused vs per-gate seed kernels (same circuits, same seeds, depth sweep)",
 	},
+	{
+		Name:     "serving-layer",
+		Ks:       []int{1, 8, 32},
+		Describe: "Repeated-submission hot set (analytic QAOA queries + seeded GHZ sampling) through the multi-tenant serving layer at K concurrent clients: content-addressed cache and admission-window coalescing toggled, plus a bounded-queue load-shed probe",
+	},
 }
 
 // PlacementFor reproduces the paper's (#N, #P) schedule: placements grow

@@ -37,6 +37,14 @@ type Point struct {
 	// the chosen route (routing ablation only): the predicted-vs-actual
 	// record of the calibration.
 	PredictedMS float64 `json:"predicted_ms,omitempty"`
+
+	// Serving-layer ablation fields: per-request latency percentiles,
+	// sustained request throughput, and typed load-shed counts under the
+	// multi-client load generator.
+	P50MS      float64 `json:"p50_ms,omitempty"`
+	P99MS      float64 `json:"p99_ms,omitempty"`
+	Throughput float64 `json:"throughput_rps,omitempty"`
+	Shed       int     `json:"shed,omitempty"`
 }
 
 // Series is one backend line of a figure.

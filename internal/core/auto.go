@@ -94,6 +94,10 @@ func (a *AutoExecutor) Capabilities() Capabilities {
 		GPU:         gpu,
 		NativeMPI:   nativeMPI,
 		Gradients:   grads,
+		// Routing never targets the cloud path and is a deterministic
+		// function of (spec, opts) within one process, so a seeded auto
+		// execution replays exactly like its routed local engine.
+		DeterministicSeeded: true,
 		Notes: fmt.Sprintf("Workload-driven backend selection (paper future work): routes by %s across %v.",
 			mode, targets),
 	}

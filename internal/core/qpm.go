@@ -16,14 +16,15 @@ type task struct {
 	spec CircuitSpec
 	opts RunOptions
 
-	mu       sync.Mutex
-	status   Status
-	result   *Result
-	errMsg   string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	done     chan struct{}
+	mu        sync.Mutex
+	status    Status
+	cancelled bool
+	result    *Result
+	errMsg    string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{}
 }
 
 func (t *task) snapshotStatus() Status {
@@ -42,12 +43,13 @@ type batchTask struct {
 	opts     RunOptions
 	created  time.Time
 
-	mu      sync.Mutex
-	status  Status
-	results []*Result
-	errs    []string
-	pending int
-	done    chan struct{}
+	mu        sync.Mutex
+	status    Status
+	cancelled bool
+	results   []*Result
+	errs      []string
+	pending   int
+	done      chan struct{}
 }
 
 func (bt *batchTask) snapshotStatus() Status {
@@ -63,11 +65,12 @@ type gradTask struct {
 	id      string
 	created time.Time
 
-	mu      sync.Mutex
-	status  Status
-	results []GradResult
-	errMsg  string
-	done    chan struct{}
+	mu        sync.Mutex
+	status    Status
+	cancelled bool
+	results   []GradResult
+	errMsg    string
+	done      chan struct{}
 }
 
 func (gt *gradTask) snapshotStatus() Status {
@@ -88,11 +91,13 @@ type QPM struct {
 	queue    chan func(worker string)
 	queueCap int
 	nextID   atomic.Int64
+	inflight atomic.Int64 // queued + running work items
 	mu       sync.Mutex
 	tasks    map[string]*task
 	batches  map[string]*batchTask
 	grads    map[string]*gradTask
 	closed   bool
+	quiesced bool
 	workers  int
 	workerWG sync.WaitGroup
 }
@@ -139,6 +144,13 @@ func newQPMWithQueueCap(exec Executor, workers int, rec *trace.Recorder, queueCa
 // Backend returns the backend name this QPM serves.
 func (q *QPM) Backend() string { return q.backend }
 
+// Workers returns the number of QRC worker threads.
+func (q *QPM) Workers() int { return q.workers }
+
+// Capabilities returns the backing executor's capability row without an RPC
+// round trip — the serving layer reads it to decide result-cache soundness.
+func (q *QPM) Capabilities() Capabilities { return q.exec.Capabilities() }
+
 // Recorder exposes the timing instrumentation.
 func (q *QPM) Recorder() *trace.Recorder { return q.rec }
 
@@ -155,29 +167,70 @@ func (q *QPM) qrcWorker(id int) {
 	worker := fmt.Sprintf("%s/qrc-%d", q.backend, id)
 	for job := range q.queue {
 		job(worker)
+		q.inflight.Add(-1)
 	}
 }
 
 // enqueue submits a work item without blocking; it fails when the queue is
-// full or the QPM is closed. The mutex guards against a concurrent Close
-// racing the channel send.
+// full or the QPM is closed or quiesced. The mutex guards against a
+// concurrent Close racing the channel send.
 func (q *QPM) enqueue(job func(worker string)) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return fmt.Errorf("qpm[%s]: closed", q.backend)
 	}
+	if q.quiesced {
+		return fmt.Errorf("qpm[%s]: %w", q.backend, ErrDraining)
+	}
 	select {
 	case q.queue <- job:
+		q.inflight.Add(1)
 		return nil
 	default:
 		return fmt.Errorf("qpm[%s]: queue full", q.backend)
 	}
 }
 
+// Quiesce closes admission without stopping the workers: subsequent Create
+// and Submit* calls fail with ErrDraining while already-queued work keeps
+// executing. It is the first half of a graceful drain.
+func (q *QPM) Quiesce() {
+	q.mu.Lock()
+	q.quiesced = true
+	q.mu.Unlock()
+}
+
+// Pending reports how many work items are queued or running.
+func (q *QPM) Pending() int64 { return q.inflight.Load() }
+
+// Drain quiesces the QPM and waits up to timeout for in-flight work to
+// finish, reporting whether the queue fully drained. It does not stop the
+// workers — Close still applies afterwards.
+func (q *QPM) Drain(timeout time.Duration) bool {
+	q.Quiesce()
+	deadline := time.Now().Add(timeout)
+	for q.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
 // runTask executes one single-circuit task on a QRC worker.
 func (q *QPM) runTask(t *task, worker string) {
 	t.mu.Lock()
+	if t.cancelled {
+		// Deleted while queued: the work item reaches a worker but must not
+		// trigger a backend execution.
+		t.status = StatusFailed
+		t.errMsg = "cancelled"
+		close(t.done)
+		t.mu.Unlock()
+		return
+	}
 	t.status = StatusRunning
 	t.started = time.Now()
 	t.mu.Unlock()
@@ -245,6 +298,10 @@ func (q *QPM) Create(spec CircuitSpec, opts RunOptions) (string, error) {
 		q.mu.Unlock()
 		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
 	}
+	if q.quiesced {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: %w", q.backend, ErrDraining)
+	}
 	q.tasks[id] = t
 	q.mu.Unlock()
 	return id, nil
@@ -308,6 +365,10 @@ func (q *QPM) SubmitBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions
 		q.mu.Unlock()
 		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
 	}
+	if q.quiesced {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: %w", q.backend, ErrDraining)
+	}
 	q.batches[id] = bt
 	q.mu.Unlock()
 	for w := 0; w < nchunks; w++ {
@@ -328,6 +389,16 @@ func (q *QPM) SubmitBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions
 // serialize → Execute per element through the QPM's own parse cache.
 func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 	bt.mu.Lock()
+	if bt.cancelled {
+		// The batch was deleted while this chunk sat in the queue: fail its
+		// elements without touching the backend.
+		for i := lo; i < hi; i++ {
+			bt.errs[i] = "cancelled"
+		}
+		bt.mu.Unlock()
+		q.finishChunk(bt)
+		return
+	}
 	if bt.status == StatusQueued {
 		bt.status = StatusRunning
 	}
@@ -429,10 +500,21 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 		q.mu.Unlock()
 		return "", fmt.Errorf("qpm[%s]: closed", q.backend)
 	}
+	if q.quiesced {
+		q.mu.Unlock()
+		return "", fmt.Errorf("qpm[%s]: %w", q.backend, ErrDraining)
+	}
 	q.grads[id] = gt
 	q.mu.Unlock()
 	err := q.enqueue(func(worker string) {
 		gt.mu.Lock()
+		if gt.cancelled {
+			gt.status = StatusFailed
+			gt.errMsg = "cancelled"
+			close(gt.done)
+			gt.mu.Unlock()
+			return
+		}
 		gt.status = StatusRunning
 		gt.mu.Unlock()
 		finish := q.rec.Span("exec-grad:"+spec.Name, worker)
@@ -538,28 +620,49 @@ func (q *QPM) Wait(id string) (*Result, error) {
 	return t.result, nil
 }
 
-// Delete removes a completed (or never-run) task or batch.
+// Delete removes a completed (or never-run) task or batch. Deleting a
+// queued item cancels it: its work items still pass through the QRC queue
+// but are dropped at the worker instead of executing. Running items refuse
+// deletion — the execution cannot be recalled from the backend.
 func (q *QPM) Delete(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if t, ok := q.tasks[id]; ok {
-		if t.snapshotStatus() == StatusRunning {
+		t.mu.Lock()
+		if t.status == StatusRunning {
+			t.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: task %s is running", q.backend, id)
 		}
+		if t.status == StatusQueued {
+			t.cancelled = true
+		}
+		t.mu.Unlock()
 		delete(q.tasks, id)
 		return nil
 	}
 	if bt, ok := q.batches[id]; ok {
-		if bt.snapshotStatus() == StatusRunning {
+		bt.mu.Lock()
+		if bt.status == StatusRunning {
+			bt.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: batch %s is running", q.backend, id)
 		}
+		if bt.status == StatusQueued {
+			bt.cancelled = true
+		}
+		bt.mu.Unlock()
 		delete(q.batches, id)
 		return nil
 	}
 	if gt, ok := q.grads[id]; ok {
-		if gt.snapshotStatus() == StatusRunning {
+		gt.mu.Lock()
+		if gt.status == StatusRunning {
+			gt.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: gradient batch %s is running", q.backend, id)
 		}
+		if gt.status == StatusQueued {
+			gt.cancelled = true
+		}
+		gt.mu.Unlock()
 		delete(q.grads, id)
 		return nil
 	}

@@ -213,6 +213,46 @@ func Launch(cfg Config) (*Session, error) {
 // additional jobs in tests and examples).
 func (s *Session) Scheduler() *slurm.Scheduler { return s.sched }
 
+// RegisterService exposes an additional handler on the session's DEFw
+// endpoint — the hook layers above core (e.g. the multi-tenant serving
+// layer) use to register themselves without core importing them.
+func (s *Session) RegisterService(name string, h defw.Handler) {
+	s.server.Register(name, h)
+}
+
+// QPM returns the session's QPM for a backend (nil when absent) so layers
+// above core can wrap its queue directly.
+func (s *Session) QPM(backend string) *QPM {
+	for _, q := range s.qpms {
+		if q.Backend() == backend {
+			return q
+		}
+	}
+	return nil
+}
+
+// Drain performs the admission half of a graceful shutdown: every QPM stops
+// accepting work immediately, then in-flight tasks get up to timeout to
+// finish. It reports whether all queues fully drained; Teardown still
+// applies afterwards either way.
+func (s *Session) Drain(timeout time.Duration) bool {
+	for _, q := range s.qpms {
+		q.Quiesce()
+	}
+	deadline := time.Now().Add(timeout)
+	drained := true
+	for _, q := range s.qpms {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if !q.Drain(remaining) {
+			drained = false
+		}
+	}
+	return drained
+}
+
 // Backends lists the backends this session serves.
 func (s *Session) Backends() []string {
 	var names []string

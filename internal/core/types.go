@@ -175,6 +175,22 @@ func IsInfeasible(err error) bool {
 	return strings.Contains(err.Error(), ErrInfeasible.Error())
 }
 
+// ErrDraining marks submissions rejected because the service is shutting
+// down gracefully: admission is closed while in-flight work finishes.
+var ErrDraining = errors.New("draining: admission closed")
+
+// IsDraining detects ErrDraining even after the error has crossed an RPC
+// boundary and been flattened to a string.
+func IsDraining(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrDraining) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrDraining.Error())
+}
+
 // ErrPending marks sub-backends that are integrated but blocked (Table 1's
 // "TTN pending" entry); ErrPlanned marks announced-but-unimplemented ones.
 var (
@@ -308,7 +324,14 @@ type Capabilities struct {
 	// amplitude access, so e.g. aer differentiates on statevector but not
 	// on matrix_product_state or stabilizer.
 	GradientSubs []string `json:"gradient_subs,omitempty"`
-	Notes        string   `json:"notes"`
+	// DeterministicSeeded declares that an execution with an explicit
+	// RunOptions.Seed is a pure function of (spec, bindings, options): the
+	// serving layer's exact-hit result cache is only sound on backends that
+	// set it. Local simulators qualify; the cloud path does not (its
+	// service-side RNG stream is shared across jobs, so counts depend on
+	// global submission order, not the request seed).
+	DeterministicSeeded bool   `json:"deterministic_seeded,omitempty"`
+	Notes               string `json:"notes"`
 }
 
 // SupportsGradientSub reports whether the capability row covers analytic

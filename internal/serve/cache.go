@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qfw/internal/core"
+)
+
+// cacheKey builds the content address of one execution: spec hash, the
+// element's parameter binding, and every engine-relevant run option. Any
+// option that can change the returned counts, expectation value, or
+// truncation profile — shots, seed, sub-backend/engine, placement, MPS
+// bond/cutoff knobs, the observable — is part of the key, so two requests
+// share an entry only when a replay is guaranteed bit-identical.
+//
+// Analytic (shots=0) expectation queries normalize the seed to zero: no
+// sampling consumes randomness, so every seed maps to the same exact value
+// and the memoization spans seeds.
+func cacheKey(spec core.CircuitSpec, binding core.Bindings, opts core.RunOptions, analytic bool) string {
+	var b strings.Builder
+	b.WriteString(spec.Hash())
+	b.WriteByte('\x00')
+	writeBinding(&b, binding)
+	b.WriteByte('\x00')
+	norm := opts
+	if analytic {
+		norm.Seed = 0
+	}
+	// RunOptions marshals with a fixed field order, so the JSON form is a
+	// canonical serialization of every engine-relevant knob — including
+	// fields added later, which then become part of the key automatically.
+	oj, _ := json.Marshal(norm)
+	b.Write(oj)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// writeBinding appends a canonical (sorted, exact hex-float) rendering of a
+// parameter binding.
+func writeBinding(b *strings.Builder, binding core.Bindings) {
+	if len(binding) == 0 {
+		return
+	}
+	names := make([]string, 0, len(binding))
+	for name := range binding {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(binding[name], 'x', -1, 64))
+		b.WriteByte(';')
+	}
+}
+
+// resultCache is a bounded LRU of finished execution results keyed by
+// content address. Values are treated as immutable: hits hand back a
+// shallow copy with zeroed timings so the stored entry never aliases a
+// caller-visible mutable struct.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, m: make(map[string]*list.Element, capacity)}
+}
+
+// Get returns a replay copy of the cached result of key, if present.
+func (c *resultCache) Get(key string) (*core.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	cp := *el.Value.(*cacheEntry).res
+	cp.Timings = core.Timings{} // a replay costs no queue or execution time
+	return &cp, true
+}
+
+// Put stores a finished result, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) Put(key string, res *core.Result) {
+	if res == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	for len(c.m) >= c.cap && c.lru.Len() > 0 {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Len returns the number of cached results.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,808 @@
+// Package serve is the multi-tenant serving layer between the DEFw RPC
+// surface and a backend QPM: the piece that turns the single-job demo
+// daemon into a traffic-bearing service. Three cooperating mechanisms make
+// repeated and concurrent traffic fast and keep tenants isolated:
+//
+//   - a content-addressed result cache (exact-hit replay of deterministic
+//     seeded runs, expectation-value memoization for analytic queries) with
+//     single-flight deduplication, so N concurrent identical submissions
+//     trigger one execution and repeats are served from memory;
+//   - session-affine batch coalescing: a short admission window merges many
+//     small submissions sharing a spec hash into one QPM batch, riding the
+//     compile-once-per-batch machinery of the execution engines;
+//   - a weighted fair-share scheduler (stride scheduling over per-tenant
+//     FIFO queues) with per-tenant quotas and bounded queues that shed load
+//     with a typed ErrOverloaded instead of growing without bound.
+//
+// Queue-depth and utilization telemetry rides the session's trace.Recorder
+// next to the execution spans.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qfw/internal/core"
+	"qfw/internal/trace"
+)
+
+// ErrOverloaded is the typed load-shedding error: the submission was
+// rejected because a queue bound or tenant quota was hit. Clients back off
+// and retry instead of growing the server's queues without bound.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// IsOverloaded detects ErrOverloaded even after the error has crossed an
+// RPC boundary and been flattened to a string.
+func IsOverloaded(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrOverloaded.Error())
+}
+
+// ServiceName returns the DEFw service a backend's serving layer registers
+// under (beside the raw "qpm.<backend>" service).
+func ServiceName(backend string) string { return "serve." + backend }
+
+// Config tunes one serving layer instance. The zero value gets sensible
+// production defaults; tests shrink the bounds to exercise the shedding and
+// eviction paths.
+type Config struct {
+	// CacheCap bounds the result cache (entries). 0 means the default
+	// (4096); negative disables caching and single-flight deduplication.
+	CacheCap int
+	// Window is the coalescing admission window: a queued submission waits
+	// this long for same-spec friends before dispatch. 0 disables the
+	// wait (bursts still coalesce while dispatch slots are busy).
+	Window time.Duration
+	// MaxBatch caps the elements of one coalesced dispatch (default 64).
+	MaxBatch int
+	// QueueCap bounds the total queued elements across tenants; submissions
+	// over the bound shed with ErrOverloaded (default 1024).
+	QueueCap int
+	// Quota is the default per-tenant bound on outstanding (queued +
+	// dispatched) elements (default QueueCap). SetTenant overrides it.
+	Quota int
+	// Inflight bounds concurrently dispatched QPM batches (default: the
+	// QPM's worker count).
+	Inflight int
+}
+
+func (c Config) withDefaults(workers int) Config {
+	if c.CacheCap == 0 {
+		c.CacheCap = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.Quota <= 0 {
+		c.Quota = c.QueueCap
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = workers
+	}
+	return c
+}
+
+// elem is one schedulable circuit execution owned by a submission.
+type elem struct {
+	sub     *submission
+	idx     int
+	binding core.Bindings
+	key     string // cache key; "" when the element is not cacheable
+	leader  bool   // owns the single-flight entry for key
+}
+
+// submission tracks one Exec call's elements until all resolve.
+type submission struct {
+	mu        sync.Mutex
+	settled   []bool
+	results   []*core.Result
+	errs      []string
+	remaining int
+	done      chan struct{}
+}
+
+func newSubmission(n int) *submission {
+	return &submission{
+		settled:   make([]bool, n),
+		results:   make([]*core.Result, n),
+		errs:      make([]string, n),
+		remaining: n,
+		done:      make(chan struct{}),
+	}
+}
+
+// resolve records one element outcome; it is idempotent so a cache hit
+// resolved early is not double-counted when its batch also recomputes it.
+func (s *submission) resolve(i int, res *core.Result, errStr string) {
+	s.mu.Lock()
+	if s.settled[i] {
+		s.mu.Unlock()
+		return
+	}
+	s.settled[i] = true
+	s.results[i] = res
+	s.errs[i] = errStr
+	s.remaining--
+	last := s.remaining == 0
+	s.mu.Unlock()
+	if last {
+		close(s.done)
+	}
+}
+
+// unit is one dispatchable group: a spec plus ordered elements that will
+// travel as a single QPM SubmitBatch. Mergeable units (analytic queries and
+// unseeded singles, where per-element seeds carry no replay contract) keep
+// absorbing same-group arrivals until dispatch.
+type unit struct {
+	tenant   string
+	groupKey string // "" = never merged (seed schedule is load-bearing)
+	spec     core.CircuitSpec
+	opts     core.RunOptions
+	elems    []*elem
+	enq      time.Time
+}
+
+// flight is one in-progress execution other submissions can ride instead of
+// recomputing (single-flight deduplication).
+type flight struct {
+	mu      sync.Mutex
+	done    bool
+	res     *core.Result
+	errStr  string
+	waiters []*elem
+}
+
+type tenantQueue struct {
+	name        string
+	weight      int
+	quota       int
+	pass        float64 // stride-scheduling virtual time
+	units       []*unit
+	open        map[string]*unit // queued mergeable units by group key
+	outstanding int              // queued + dispatched elements
+	served      int64
+	shed        int64
+}
+
+// Server is the serving layer of one backend QPM.
+type Server struct {
+	backend string
+	qpm     *core.QPM
+	caps    core.Capabilities
+	cfg     Config
+	cache   *resultCache // nil when disabled
+	rec     *trace.Recorder
+
+	mu        sync.Mutex
+	tenants   map[string]*tenantQueue
+	flights   map[string]*flight
+	queued    int // queued elements across tenants
+	peakDepth int
+	vtime     float64 // virtual time: pass of the last dispatched tenant
+	draining  bool
+	closed    bool
+
+	wake  chan struct{}
+	stopc chan struct{}
+	sem   chan struct{} // bounds concurrent dispatched batches
+	wg    sync.WaitGroup
+
+	start    time.Time
+	hits     atomic.Int64
+	misses   atomic.Int64
+	deduped  atomic.Int64
+	shedded  atomic.Int64
+	served   atomic.Int64
+	groups   atomic.Int64
+	grpElems atomic.Int64
+	busyNS   atomic.Int64
+}
+
+// New builds and starts the serving layer over a QPM. rec may be nil.
+func New(qpm *core.QPM, cfg Config, rec *trace.Recorder) *Server {
+	if rec == nil {
+		rec = qpm.Recorder()
+	}
+	cfg = cfg.withDefaults(qpm.Workers())
+	s := &Server{
+		backend: qpm.Backend(),
+		qpm:     qpm,
+		caps:    qpm.Capabilities(),
+		cfg:     cfg,
+		rec:     rec,
+		tenants: make(map[string]*tenantQueue),
+		flights: make(map[string]*flight),
+		wake:    make(chan struct{}, 1),
+		stopc:   make(chan struct{}),
+		sem:     make(chan struct{}, cfg.Inflight),
+		start:   time.Now(),
+	}
+	if cfg.CacheCap > 0 {
+		s.cache = newResultCache(cfg.CacheCap)
+	}
+	s.wg.Add(1)
+	go s.dispatcher()
+	return s
+}
+
+// Backend returns the backend this serving layer fronts.
+func (s *Server) Backend() string { return s.backend }
+
+// SetTenant configures a tenant's fair-share weight and outstanding-element
+// quota (zero values keep the defaults).
+func (s *Server) SetTenant(name string, weight, quota int) {
+	s.mu.Lock()
+	t := s.tenantLocked(name)
+	if weight > 0 {
+		t.weight = weight
+	}
+	if quota > 0 {
+		t.quota = quota
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) tenantLocked(name string) *tenantQueue {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantQueue{name: name, weight: 1, quota: s.cfg.Quota, open: make(map[string]*unit)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// ExecInfo summarizes how a submission was served.
+type ExecInfo struct {
+	CacheHits int `json:"cache_hits"`
+	Deduped   int `json:"deduped"`
+}
+
+// Exec runs one submission — a spec plus zero or more bindings — on behalf
+// of a tenant and blocks until every element resolves. Results come back
+// ordered with parallel per-element error strings ("" for success). The
+// top-level error is non-nil only when the whole submission was rejected
+// (draining, closed, bad spec, or shed with ErrOverloaded).
+func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, []string, ExecInfo, error) {
+	var info ExecInfo
+	if spec.QASM == "" {
+		return nil, nil, info, fmt.Errorf("serve[%s]: empty circuit spec", s.backend)
+	}
+	if tenant == "" {
+		tenant = "default"
+	}
+	single := len(bindings) <= 1
+	if len(bindings) == 0 {
+		bindings = []core.Bindings{nil}
+	}
+	k := len(bindings)
+
+	clientSeeded := opts.Seed != 0
+	analytic := opts.Shots == 0 && opts.Observable != nil
+	replayable := s.caps.DeterministicSeeded
+	// Mergeable elements carry no per-element seed contract: analytic
+	// queries (no sampling) and unseeded singles (caller accepted arbitrary
+	// sampling). Everything else keeps its submission's seed schedule and
+	// travels as one intact group.
+	mergeable := analytic || (single && !clientSeeded)
+
+	sub := newSubmission(k)
+	eopts := make([]core.RunOptions, k)
+	elems := make([]*elem, k)
+	for i := range bindings {
+		eo := opts
+		if !single {
+			// Element seeds follow the QPM batch schedule so serving a batch
+			// is bit-identical to submitting it to the QPM directly.
+			eo = opts.ForElement(i)
+		}
+		eopts[i] = eo
+		e := &elem{sub: sub, idx: i, binding: bindings[i]}
+		if replayable && (analytic || clientSeeded) && s.cache != nil {
+			e.key = cacheKey(spec, bindings[i], eo, analytic)
+		}
+		elems[i] = e
+	}
+
+	var groupKey string
+	if mergeable {
+		norm := opts
+		norm.Seed = 0
+		class := "u"
+		if analytic {
+			class = "a"
+		}
+		groupKey = class + "|" + cacheKey(spec, nil, norm, analytic)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, info, fmt.Errorf("serve[%s]: closed", s.backend)
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, nil, info, fmt.Errorf("serve[%s]: %w", s.backend, core.ErrDraining)
+	}
+	t := s.tenantLocked(tenant)
+
+	// Resolve what never needs the queue: cache hits and rides on in-flight
+	// identical executions.
+	var need []*elem
+	for _, e := range elems {
+		if e.key != "" {
+			if res, ok := s.cache.Get(e.key); ok {
+				s.hits.Add(1)
+				info.CacheHits++
+				e.sub.resolve(e.idx, res, "")
+				continue
+			}
+			s.misses.Add(1)
+			if single {
+				if fl, ok := s.flights[e.key]; ok {
+					s.deduped.Add(1)
+					info.Deduped++
+					attachFollower(fl, e)
+					continue
+				}
+			}
+		}
+		need = append(need, e)
+	}
+
+	if len(need) > 0 && !mergeable && len(need) < k {
+		// A seed-scheduled batch recomputes whole or not at all: partial
+		// replay would shift the remaining elements' dispatch indices (and
+		// thus seeds). Hits already resolved above stay resolved — resolve
+		// is idempotent, so recomputed duplicates are dropped.
+		need = elems
+	}
+
+	if len(need) > 0 {
+		if t.outstanding+len(need) > t.quota || s.queued+len(need) > s.cfg.QueueCap {
+			t.shed += int64(len(need))
+			s.shedded.Add(int64(len(need)))
+			depth := s.queued
+			s.mu.Unlock()
+			err := fmt.Errorf("serve[%s]: %w: tenant %q has %d outstanding (quota %d), %d queued (cap %d)",
+				s.backend, ErrOverloaded, tenant, t.outstanding, t.quota, depth, s.cfg.QueueCap)
+			for _, e := range need {
+				e.sub.resolve(e.idx, nil, err.Error())
+			}
+			<-sub.done
+			return sub.results, sub.errs, info, err
+		}
+		s.admitLocked(t, groupKey, spec, opts, eopts[0], need, single, clientSeeded)
+	}
+	s.mu.Unlock()
+	s.signal()
+
+	<-sub.done
+	return sub.results, sub.errs, info, nil
+}
+
+// admitLocked queues the elements that must execute. Mergeable elements
+// join an open same-group unit of their tenant when one is waiting;
+// everything else forms a new unit. Callers hold s.mu.
+func (s *Server) admitLocked(t *tenantQueue, groupKey string, spec core.CircuitSpec, opts, headOpts core.RunOptions, need []*elem, single, clientSeeded bool) {
+	if len(t.units) == 0 && t.outstanding == 0 {
+		// (Re)activation: start at the global virtual time so an idle tenant
+		// cannot bank credit and starve the others when it returns.
+		if t.pass < s.vtime {
+			t.pass = s.vtime
+		}
+	}
+	if groupKey != "" {
+		for _, e := range need {
+			u := t.open[groupKey]
+			if u == nil || len(u.elems) >= s.cfg.MaxBatch {
+				u = &unit{tenant: t.name, groupKey: groupKey, spec: spec, opts: headOpts, enq: time.Now()}
+				t.open[groupKey] = u
+				t.units = append(t.units, u)
+			}
+			u.elems = append(u.elems, e)
+			if single && e.key != "" {
+				e.leader = true
+				s.flights[e.key] = &flight{}
+			}
+		}
+	} else {
+		dispatchOpts := opts
+		if single {
+			dispatchOpts = headOpts
+		}
+		u := &unit{tenant: t.name, spec: spec, opts: dispatchOpts, elems: need, enq: time.Now()}
+		t.units = append(t.units, u)
+		if single && clientSeeded && need[0].key != "" {
+			need[0].leader = true
+			s.flights[need[0].key] = &flight{}
+		}
+	}
+	t.outstanding += len(need)
+	s.queued += len(need)
+	if s.queued > s.peakDepth {
+		s.peakDepth = s.queued
+	}
+	s.rec.Gauge("serve:queue-depth:"+s.backend, "serve/"+s.backend, float64(s.queued))
+}
+
+func attachFollower(fl *flight, e *elem) {
+	fl.mu.Lock()
+	if fl.done {
+		fl.mu.Unlock()
+		e.sub.resolve(e.idx, replayOf(fl.res), fl.errStr)
+		return
+	}
+	fl.waiters = append(fl.waiters, e)
+	fl.mu.Unlock()
+}
+
+// replayOf copies a result for a second consumer, zeroing the timings like
+// a cache hit would.
+func replayOf(res *core.Result) *core.Result {
+	if res == nil {
+		return nil
+	}
+	cp := *res
+	cp.Timings = core.Timings{}
+	return &cp
+}
+
+func (s *Server) signal() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatcher is the scheduling loop: it waits for a free dispatch slot,
+// then picks the ready unit of the minimum-pass tenant (weighted stride
+// scheduling), charges the tenant's virtual time, and dispatches it.
+// Acquiring the slot before choosing keeps every queued unit eligible until
+// the moment one can actually run, so scheduling decisions always see the
+// full backlog.
+func (s *Server) dispatcher() {
+	defer s.wg.Done()
+	for {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.stopc:
+			return
+		}
+		for {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			u, wait := s.nextUnitLocked(time.Now())
+			s.mu.Unlock()
+			if u != nil {
+				s.wg.Add(1)
+				go s.dispatch(u)
+				break
+			}
+			if wait <= 0 {
+				wait = time.Hour
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-s.wake:
+				timer.Stop()
+			case <-timer.C:
+			case <-s.stopc:
+				timer.Stop()
+				return
+			}
+		}
+	}
+}
+
+// nextUnitLocked removes and returns the next dispatchable unit, or the
+// time to wait until one matures. A unit is ready when its admission window
+// elapsed, it is full, or the server is draining.
+func (s *Server) nextUnitLocked(now time.Time) (*unit, time.Duration) {
+	var best *tenantQueue
+	wait := time.Duration(-1)
+	for _, t := range s.tenants {
+		if len(t.units) == 0 {
+			continue
+		}
+		u := t.units[0]
+		ready := s.draining || s.cfg.Window <= 0 ||
+			now.Sub(u.enq) >= s.cfg.Window || len(u.elems) >= s.cfg.MaxBatch
+		if !ready {
+			if d := u.enq.Add(s.cfg.Window).Sub(now); wait < 0 || d < wait {
+				wait = d
+			}
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	if best == nil {
+		return nil, wait
+	}
+	u := best.units[0]
+	best.units = best.units[1:]
+	if u.groupKey != "" && best.open[u.groupKey] == u {
+		delete(best.open, u.groupKey)
+	}
+	s.vtime = best.pass
+	best.pass += float64(len(u.elems)) / float64(best.weight)
+	s.queued -= len(u.elems)
+	s.rec.Gauge("serve:queue-depth:"+s.backend, "serve/"+s.backend, float64(s.queued))
+	return u, 0
+}
+
+// dispatch runs one unit through the QPM as a single batch and resolves its
+// elements, populating the cache and completing single-flight followers.
+func (s *Server) dispatch(u *unit) {
+	defer s.wg.Done()
+	defer func() { <-s.sem; s.signal() }()
+	start := time.Now()
+	finish := s.rec.Span("serve:dispatch:"+u.spec.Name, "serve/"+s.backend+"/"+u.tenant)
+	bindings := make([]core.Bindings, len(u.elems))
+	for i, e := range u.elems {
+		bindings[i] = e.binding
+	}
+	var results []*core.Result
+	var errs []string
+	id, err := s.qpm.SubmitBatch(u.spec, bindings, u.opts)
+	if err == nil {
+		results, errs, err = s.qpm.WaitBatch(id)
+		if err == nil {
+			// The serving layer owns the task lifecycle: reap the finished
+			// batch so a long-lived daemon's task table stays bounded.
+			_ = s.qpm.Delete(id)
+		}
+	}
+	finish()
+	s.busyNS.Add(int64(time.Since(start)))
+	s.groups.Add(1)
+	s.grpElems.Add(int64(len(u.elems)))
+
+	s.mu.Lock()
+	t := s.tenantLocked(u.tenant)
+	t.outstanding -= len(u.elems)
+	t.served += int64(len(u.elems))
+	s.mu.Unlock()
+	s.served.Add(int64(len(u.elems)))
+
+	for i, e := range u.elems {
+		var res *core.Result
+		errStr := ""
+		switch {
+		case err != nil:
+			errStr = err.Error()
+		case errs != nil && errs[i] != "":
+			errStr = errs[i]
+		default:
+			res = results[i]
+		}
+		if errStr == "" && e.key != "" && res != nil {
+			s.cache.Put(e.key, res)
+		}
+		if e.leader {
+			s.completeFlight(e.key, res, errStr)
+		}
+		e.sub.resolve(e.idx, res, errStr)
+	}
+}
+
+func (s *Server) completeFlight(key string, res *core.Result, errStr string) {
+	s.mu.Lock()
+	fl, ok := s.flights[key]
+	if ok {
+		delete(s.flights, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	fl.mu.Lock()
+	fl.done = true
+	fl.res = res
+	fl.errStr = errStr
+	waiters := fl.waiters
+	fl.waiters = nil
+	fl.mu.Unlock()
+	for _, e := range waiters {
+		e.sub.resolve(e.idx, replayOf(res), errStr)
+	}
+}
+
+func (s *Server) failUnit(u *unit, msg string) {
+	for _, e := range u.elems {
+		if e.leader {
+			s.completeFlight(e.key, nil, msg)
+		}
+		e.sub.resolve(e.idx, nil, msg)
+	}
+	s.mu.Lock()
+	t := s.tenantLocked(u.tenant)
+	t.outstanding -= len(u.elems)
+	s.mu.Unlock()
+}
+
+// Drain closes admission and waits up to timeout for every queued and
+// dispatched element to resolve, reporting whether the layer fully drained.
+// The admission window stops applying so queued work flushes immediately.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.signal()
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		idle := s.queued == 0
+		for _, t := range s.tenants {
+			idle = idle && t.outstanding == 0
+		}
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the scheduler, failing still-queued units. In-flight QPM
+// batches are awaited so no dispatch goroutine outlives the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var orphans []*unit
+	for _, t := range s.tenants {
+		orphans = append(orphans, t.units...)
+		t.units = nil
+		t.open = make(map[string]*unit)
+	}
+	s.queued = 0
+	s.mu.Unlock()
+	close(s.stopc)
+	for _, u := range orphans {
+		s.failUnit(u, fmt.Sprintf("serve[%s]: closed", s.backend))
+	}
+	s.wg.Wait()
+}
+
+// TenantStats is one tenant's accounting snapshot.
+type TenantStats struct {
+	Weight      int   `json:"weight"`
+	Quota       int   `json:"quota"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+	Outstanding int   `json:"outstanding"`
+}
+
+// Stats is the serving layer's observable state: cache effectiveness,
+// dedup/coalescing activity, shedding, queue depths, and utilization of the
+// dispatch slots since startup.
+type Stats struct {
+	Backend        string                 `json:"backend"`
+	CacheHits      int64                  `json:"cache_hits"`
+	CacheMisses    int64                  `json:"cache_misses"`
+	CacheLen       int                    `json:"cache_len"`
+	Deduped        int64                  `json:"deduped"`
+	Served         int64                  `json:"served"`
+	Shed           int64                  `json:"shed"`
+	DispatchGroups int64                  `json:"dispatch_groups"`
+	DispatchElems  int64                  `json:"dispatch_elems"`
+	QueueDepth     int                    `json:"queue_depth"`
+	PeakQueueDepth int                    `json:"peak_queue_depth"`
+	UtilizationPct float64                `json:"utilization_pct"`
+	Tenants        map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// Stats snapshots the serving layer counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Backend:        s.backend,
+		CacheHits:      s.hits.Load(),
+		CacheMisses:    s.misses.Load(),
+		Deduped:        s.deduped.Load(),
+		Served:         s.served.Load(),
+		Shed:           s.shedded.Load(),
+		DispatchGroups: s.groups.Load(),
+		DispatchElems:  s.grpElems.Load(),
+		Tenants:        make(map[string]TenantStats),
+	}
+	if s.cache != nil {
+		st.CacheLen = s.cache.Len()
+	}
+	wall := time.Since(s.start)
+	if wall > 0 {
+		st.UtilizationPct = 100 * float64(s.busyNS.Load()) / (float64(wall) * float64(s.cfg.Inflight))
+	}
+	s.mu.Lock()
+	st.QueueDepth = s.queued
+	st.PeakQueueDepth = s.peakDepth
+	for name, t := range s.tenants {
+		st.Tenants[name] = TenantStats{
+			Weight: t.weight, Quota: t.quota,
+			Served: t.served, Shed: t.shed, Outstanding: t.outstanding,
+		}
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// ---- DEFw RPC surface -------------------------------------------------
+
+// ExecReq is the payload of the "exec" method: one tenant-tagged
+// submission. Single runs ship an empty binding list.
+type ExecReq struct {
+	Tenant   string           `json:"tenant"`
+	Spec     core.CircuitSpec `json:"spec"`
+	Bindings []core.Bindings  `json:"bindings,omitempty"`
+	Opts     core.RunOptions  `json:"opts"`
+}
+
+// ExecResp is the "exec" reply: ordered results with parallel per-element
+// error strings, plus how the submission was served.
+type ExecResp struct {
+	Results []*core.Result `json:"results"`
+	Errs    []string       `json:"errs,omitempty"`
+	Info    ExecInfo       `json:"info"`
+}
+
+// tenantReq is the payload of "set_tenant".
+type tenantReq struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight,omitempty"`
+	Quota  int    `json:"quota,omitempty"`
+}
+
+// Handle implements defw.Handler: exec, stats, set_tenant. Each request
+// carries its tenant token, so one connection can serve many sessions.
+func (s *Server) Handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "exec":
+		var req ExecReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("serve[%s]: bad payload: %w", s.backend, err)
+		}
+		results, errs, info, err := s.Exec(req.Tenant, req.Spec, req.Bindings, req.Opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(ExecResp{Results: results, Errs: errs, Info: info})
+	case "stats":
+		return json.Marshal(s.Stats())
+	case "set_tenant":
+		var req tenantReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("serve[%s]: bad payload: %w", s.backend, err)
+		}
+		if req.Name == "" {
+			return nil, fmt.Errorf("serve[%s]: tenant name required", s.backend)
+		}
+		s.SetTenant(req.Name, req.Weight, req.Quota)
+		return json.Marshal(struct{}{})
+	default:
+		return nil, fmt.Errorf("serve[%s]: unknown method %q", s.backend, method)
+	}
+}

@@ -1,0 +1,636 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"qfw/internal/core"
+)
+
+// fakeExec is a deterministic batch-native executor that records every
+// dispatch, so tests can observe coalescing, dedup, and scheduling order.
+// Its results are pure functions of (spec, binding, effective options), and
+// analytic (shots=0, observable) queries ignore the seed — mirroring the
+// contract real simulators provide.
+type fakeExec struct {
+	deterministic bool
+	gate          chan struct{} // non-nil: executions block until opened
+	once          sync.Once
+
+	mu      sync.Mutex
+	batches []int    // size of every ExecuteBatch call, in dispatch order
+	order   []string // spec names in dispatch order
+}
+
+// open releases gated executions; safe to call more than once, and cleanup
+// calls it so a failing test cannot wedge Close behind a blocked executor.
+func (f *fakeExec) open() {
+	f.once.Do(func() {
+		if f.gate != nil {
+			close(f.gate)
+		}
+	})
+}
+
+func (f *fakeExec) Name() string { return "fake" }
+
+func (f *fakeExec) Capabilities() core.Capabilities {
+	return core.Capabilities{Backend: "fake", CPU: true, DeterministicSeeded: f.deterministic}
+}
+
+func (f *fakeExec) record(spec core.CircuitSpec, n int) {
+	f.mu.Lock()
+	f.batches = append(f.batches, n)
+	f.order = append(f.order, spec.Name)
+	f.mu.Unlock()
+	if f.gate != nil {
+		<-f.gate
+	}
+}
+
+func (f *fakeExec) calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.batches)
+}
+
+func (f *fakeExec) dispatchOrder() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+func fakeRun(spec core.CircuitSpec, b core.Bindings, o core.RunOptions) core.ExecResult {
+	analytic := o.Shots == 0 && o.Observable != nil
+	v := float64(o.Shots) + 7*float64(o.MaxBond) + 13*float64(o.Nodes) + 1e6*o.Cutoff
+	v += 17 * float64(len(o.Subbackend))
+	v += float64(len(spec.QASM))
+	if o.Observable != nil {
+		v += 0.5
+	}
+	if !analytic {
+		v += 1000 * float64(o.Seed)
+	}
+	for k, x := range b {
+		v += float64(len(k)) * x * 31
+	}
+	key := "analytic"
+	if !analytic {
+		key = "s" + strconv.FormatInt(o.Seed, 10)
+	}
+	shots := o.Shots
+	if shots <= 0 {
+		shots = 1
+	}
+	return core.ExecResult{Counts: map[string]int{key: shots}, ExpVal: &v}
+}
+
+func (f *fakeExec) Execute(spec core.CircuitSpec, opts core.RunOptions) (core.ExecResult, error) {
+	f.record(spec, 1)
+	return fakeRun(spec, nil, opts), nil
+}
+
+func (f *fakeExec) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]core.ExecResult, error) {
+	f.record(spec, len(bindings))
+	out := make([]core.ExecResult, len(bindings))
+	for i, b := range bindings {
+		out[i] = fakeRun(spec, b, opts.ForElement(i))
+	}
+	return out, nil
+}
+
+func testSpec(name string) core.CircuitSpec {
+	return core.CircuitSpec{Name: name, NQubits: 2, QASM: "OPENQASM 2.0; // " + name}
+}
+
+func newServe(t *testing.T, f *fakeExec, workers int, cfg Config) *Server {
+	t.Helper()
+	q := core.NewQPM(f, workers, nil)
+	s := New(q, cfg, nil)
+	t.Cleanup(func() {
+		f.open()
+		s.Close()
+		q.Close()
+	})
+	return s
+}
+
+func mustExec(t *testing.T, s *Server, tenant string, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) []*core.Result {
+	t.Helper()
+	results, errs, _, err := s.Exec(tenant, spec, bindings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if e != "" {
+			t.Fatalf("element %d: %s", i, e)
+		}
+	}
+	return results
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ---- cache behavior ---------------------------------------------------
+
+func TestSeededRunReplaysFromCache(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("ghz")
+	opts := core.RunOptions{Shots: 128, Seed: 7}
+
+	r1 := mustExec(t, s, "alice", sp, nil, opts)
+	r2 := mustExec(t, s, "alice", sp, nil, opts)
+	if f.calls() != 1 {
+		t.Fatalf("executor ran %d times, want 1 (second run should replay)", f.calls())
+	}
+	if got, want := fmt.Sprint(r2[0].Counts), fmt.Sprint(r1[0].Counts); got != want {
+		t.Fatalf("replay counts %s != original %s", got, want)
+	}
+	if *r2[0].ExpVal != *r1[0].ExpVal {
+		t.Fatalf("replay expval %v != original %v", *r2[0].ExpVal, *r1[0].ExpVal)
+	}
+	if r2[0].Timings.ExecMS != 0 || r2[0].Timings.TotalMS != 0 {
+		t.Fatalf("replay should report zero timings, got %+v", r2[0].Timings)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestUnseededSampledNeverCached(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("sampler")
+	opts := core.RunOptions{Shots: 64} // Seed 0: caller accepted fresh sampling
+
+	mustExec(t, s, "a", sp, nil, opts)
+	mustExec(t, s, "a", sp, nil, opts)
+	if f.calls() != 2 {
+		t.Fatalf("executor ran %d times, want 2 (unseeded runs must never replay)", f.calls())
+	}
+	if st := s.Stats(); st.CacheHits != 0 {
+		t.Fatalf("unseeded run hit the cache: %+v", st)
+	}
+}
+
+func TestAnalyticMemoizationSpansSeeds(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("expval")
+	obs := &core.Observable{Fields: []float64{1, -1}}
+
+	r1 := mustExec(t, s, "a", sp, nil, core.RunOptions{Observable: obs, Seed: 3})
+	r2 := mustExec(t, s, "a", sp, nil, core.RunOptions{Observable: obs, Seed: 9})
+	if f.calls() != 1 {
+		t.Fatalf("executor ran %d times, want 1 (analytic value is seed-independent)", f.calls())
+	}
+	if *r1[0].ExpVal != *r2[0].ExpVal {
+		t.Fatalf("analytic memo returned %v then %v", *r1[0].ExpVal, *r2[0].ExpVal)
+	}
+}
+
+func TestNonDeterministicBackendNeverCached(t *testing.T) {
+	f := &fakeExec{deterministic: false} // e.g. the cloud path: replay unsound
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("cloudish")
+	opts := core.RunOptions{Shots: 32, Seed: 5}
+
+	mustExec(t, s, "a", sp, nil, opts)
+	mustExec(t, s, "a", sp, nil, opts)
+	if f.calls() != 2 {
+		t.Fatalf("executor ran %d times, want 2 (non-replayable backend must not cache)", f.calls())
+	}
+	if st := s.Stats(); st.CacheHits != 0 || st.CacheLen != 0 {
+		t.Fatalf("non-deterministic backend populated the cache: %+v", st)
+	}
+}
+
+// TestCacheKeyCoversResultChangingOptions is the adversarial key test: any
+// option that can change the returned distribution must produce a distinct
+// cache entry. A false hit here would silently serve wrong physics.
+func TestCacheKeyCoversResultChangingOptions(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{})
+	base := core.RunOptions{Shots: 100, Seed: 7}
+	sp := testSpec("key-sensitivity")
+	mustExec(t, s, "a", sp, nil, base)
+
+	variants := map[string]struct {
+		spec core.CircuitSpec
+		bind []core.Bindings
+		opts func(core.RunOptions) core.RunOptions
+	}{
+		"seed":       {sp, nil, func(o core.RunOptions) core.RunOptions { o.Seed = 8; return o }},
+		"shots":      {sp, nil, func(o core.RunOptions) core.RunOptions { o.Shots = 200; return o }},
+		"subbackend": {sp, nil, func(o core.RunOptions) core.RunOptions { o.Subbackend = "mps"; return o }},
+		"max_bond":   {sp, nil, func(o core.RunOptions) core.RunOptions { o.MaxBond = 16; return o }},
+		"cutoff":     {sp, nil, func(o core.RunOptions) core.RunOptions { o.Cutoff = 1e-9; return o }},
+		"nodes":      {sp, nil, func(o core.RunOptions) core.RunOptions { o.Nodes = 2; return o }},
+		"observable": {sp, nil, func(o core.RunOptions) core.RunOptions {
+			o.Observable = &core.Observable{Fields: []float64{1, 1}}
+			return o
+		}},
+		"circuit": {testSpec("key-sensitivity-2"), nil, func(o core.RunOptions) core.RunOptions { return o }},
+		"binding": {sp, []core.Bindings{{"theta": 0.25}}, func(o core.RunOptions) core.RunOptions { return o }},
+	}
+	want := 1
+	for name, v := range variants {
+		want++
+		mustExec(t, s, "a", v.spec, v.bind, v.opts(base))
+		if got := f.calls(); got != want {
+			t.Fatalf("variant %q: executor ran %d times, want %d (false cache hit)", name, got, want)
+		}
+	}
+	if st := s.Stats(); st.CacheHits != 0 {
+		t.Fatalf("adversarial variants produced %d false hits", st.CacheHits)
+	}
+
+	// Sanity: the exact base request does replay.
+	mustExec(t, s, "a", sp, nil, base)
+	if f.calls() != want {
+		t.Fatalf("exact repeat recomputed (calls %d, want %d)", f.calls(), want)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{CacheCap: 2})
+	sp := testSpec("lru")
+	for seed := int64(1); seed <= 3; seed++ {
+		mustExec(t, s, "a", sp, nil, core.RunOptions{Shots: 10, Seed: seed})
+	}
+	if st := s.Stats(); st.CacheLen != 2 {
+		t.Fatalf("cache len %d, want 2 (bounded)", st.CacheLen)
+	}
+	mustExec(t, s, "a", sp, nil, core.RunOptions{Shots: 10, Seed: 1}) // evicted -> recompute
+	if f.calls() != 4 {
+		t.Fatalf("executor ran %d times, want 4 (seed 1 was evicted)", f.calls())
+	}
+	mustExec(t, s, "a", sp, nil, core.RunOptions{Shots: 10, Seed: 3}) // still resident
+	if f.calls() != 4 {
+		t.Fatalf("executor ran %d times, want 4 (seed 3 should replay)", f.calls())
+	}
+}
+
+// ---- single-flight and coalescing ------------------------------------
+
+func TestSingleFlightDeduplicatesConcurrentIdenticalRuns(t *testing.T) {
+	f := &fakeExec{deterministic: true, gate: make(chan struct{})}
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("dedup")
+	opts := core.RunOptions{Shots: 50, Seed: 11}
+
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]*core.Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, errs, _, err := s.Exec("a", sp, nil, opts)
+			if err == nil && errs[0] == "" {
+				results[i] = res[0]
+			}
+		}(i)
+	}
+	waitFor(t, "dispatch", func() bool { return f.calls() == 1 })
+	// Every other submission must already be riding the in-flight execution
+	// (none queued a duplicate) before we release it.
+	waitFor(t, "followers", func() bool { return s.Stats().Deduped == n-1 })
+	f.open()
+	wg.Wait()
+
+	if f.calls() != 1 {
+		t.Fatalf("executor ran %d times for %d identical submissions", f.calls(), n)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("submission %d failed", i)
+		}
+		if *r.ExpVal != *results[0].ExpVal {
+			t.Fatalf("submission %d diverged", i)
+		}
+	}
+}
+
+func TestAdmissionWindowCoalescesAnalyticSubmissions(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{Window: 150 * time.Millisecond})
+	sp := testSpec("coalesce")
+	obs := &core.Observable{Fields: []float64{1, -1}}
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bind := []core.Bindings{{"theta": float64(i) * 0.1}}
+			res, errs, _, err := s.Exec("a", sp, bind, core.RunOptions{Observable: obs})
+			if err != nil || errs[0] != "" || res[0].ExpVal == nil {
+				t.Errorf("submission %d: %v %v", i, err, errs)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.DispatchGroups != 1 || st.DispatchElems != n {
+		t.Fatalf("dispatched %d groups / %d elems, want 1 coalesced group of %d (batches %v)",
+			st.DispatchGroups, st.DispatchElems, n, f.batches)
+	}
+}
+
+func TestCoalescedUnitCapsAtMaxBatch(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{Window: 150 * time.Millisecond, MaxBatch: 4})
+	sp := testSpec("maxbatch")
+	obs := &core.Observable{Fields: []float64{1, -1}}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bind := []core.Bindings{{"theta": float64(i) * 0.1}}
+			_, _, _, err := s.Exec("a", sp, bind, core.RunOptions{Observable: obs})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.batches {
+		if n > 4 {
+			t.Fatalf("dispatch of %d elements exceeds MaxBatch=4 (batches %v)", n, f.batches)
+		}
+	}
+}
+
+// ---- seed schedule and batch correctness ------------------------------
+
+// TestServedBatchMatchesDirectQPM pins the bit-identical contract: a
+// multi-element seeded batch served through the scheduler must equal the
+// same batch submitted straight to a QPM, element by element.
+func TestServedBatchMatchesDirectQPM(t *testing.T) {
+	sp := testSpec("vqe-sweep")
+	bindings := []core.Bindings{{"t": 0.1}, {"t": 0.2}, {"t": 0.3}, {"t": 0.4}, {"t": 0.5}}
+	opts := core.RunOptions{Shots: 64, Seed: 42}
+
+	fServe := &fakeExec{deterministic: true}
+	s := newServe(t, fServe, 2, Config{})
+	served := mustExec(t, s, "a", sp, bindings, opts)
+
+	fDirect := &fakeExec{deterministic: true}
+	q := core.NewQPM(fDirect, 2, nil)
+	defer q.Close()
+	id, err := q.SubmitBatch(sp, bindings, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, errs, err := q.WaitBatch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bindings {
+		if errs[i] != "" {
+			t.Fatalf("direct element %d: %s", i, errs[i])
+		}
+		if *served[i].ExpVal != *direct[i].ExpVal {
+			t.Fatalf("element %d: served %v != direct %v", i, *served[i].ExpVal, *direct[i].ExpVal)
+		}
+		if fmt.Sprint(served[i].Counts) != fmt.Sprint(direct[i].Counts) {
+			t.Fatalf("element %d: served counts %v != direct %v", i, served[i].Counts, direct[i].Counts)
+		}
+	}
+
+	// The whole batch replays from cache, element-identical.
+	replay := mustExec(t, s, "a", sp, bindings, opts)
+	if fServe.calls() != 1 {
+		t.Fatalf("cached batch recomputed (executor calls %d)", fServe.calls())
+	}
+	for i := range bindings {
+		if *replay[i].ExpVal != *served[i].ExpVal {
+			t.Fatalf("replay element %d diverged", i)
+		}
+	}
+}
+
+// TestPartiallyCachedSeededBatchRecomputesWhole pins the rule that a
+// seed-scheduled batch never splits: replaying only some elements would
+// shift the dispatch indices (and thus seeds) of the rest.
+func TestPartiallyCachedSeededBatchRecomputesWhole(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	s := newServe(t, f, 2, Config{})
+	sp := testSpec("partial")
+	bindings := []core.Bindings{{"t": 0.1}, {"t": 0.2}, {"t": 0.3}}
+	opts := core.RunOptions{Shots: 32, Seed: 5}
+
+	// Prime the cache with exactly element 0's effective execution (a solo
+	// run with the batch base seed and the first binding).
+	solo := mustExec(t, s, "a", sp, bindings[:1], opts)
+	batch := mustExec(t, s, "a", sp, bindings, opts)
+
+	f.mu.Lock()
+	last := f.batches[len(f.batches)-1]
+	f.mu.Unlock()
+	if last != len(bindings) {
+		t.Fatalf("partially cached batch dispatched %d elements, want all %d", last, len(bindings))
+	}
+	if *batch[0].ExpVal != *solo[0].ExpVal {
+		t.Fatalf("element 0 of batch (%v) != solo run with base seed (%v)", *batch[0].ExpVal, *solo[0].ExpVal)
+	}
+}
+
+// ---- fair share, quotas, backpressure ---------------------------------
+
+func TestWeightedFairShareInterleavesTenants(t *testing.T) {
+	f := &fakeExec{deterministic: true, gate: make(chan struct{})}
+	s := newServe(t, f, 1, Config{Inflight: 1})
+	s.SetTenant("alice", 3, 0)
+	s.SetTenant("bob", 1, 0)
+
+	// Occupy the single dispatch slot so everything below queues up and the
+	// scheduler chooses an order among a full backlog.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustExec(t, s, "warm", testSpec("warm"), nil, core.RunOptions{Shots: 1, Seed: 100})
+	}()
+	waitFor(t, "warmup dispatch", func() bool { return f.calls() == 1 })
+
+	for i := 0; i < 9; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mustExec(t, s, "alice", testSpec("alice"), nil, core.RunOptions{Shots: 1, Seed: int64(i + 1)})
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mustExec(t, s, "bob", testSpec("bob"), nil, core.RunOptions{Shots: 1, Seed: int64(i + 201)})
+		}(i)
+	}
+	waitFor(t, "backlog", func() bool { return s.Stats().QueueDepth == 12 })
+	f.open()
+	wg.Wait()
+
+	order := f.dispatchOrder()[1:] // drop the warmup
+	if len(order) != 12 {
+		t.Fatalf("dispatched %d units, want 12", len(order))
+	}
+	aliceFirst8, bobFirst := 0, -1
+	for i, name := range order {
+		if name == "alice" && i < 8 {
+			aliceFirst8++
+		}
+		if name == "bob" && bobFirst < 0 {
+			bobFirst = i
+		}
+	}
+	// Weight 3:1 means alice should take ~6 of the first 8 slots while bob
+	// still lands early — weighted sharing, not strict priority.
+	if aliceFirst8 < 5 {
+		t.Fatalf("alice got %d of first 8 dispatch slots, want >=5 under 3:1 weights (order %v)", aliceFirst8, order)
+	}
+	if bobFirst < 0 || bobFirst > 5 {
+		t.Fatalf("bob's first dispatch at position %d, want early interleave (order %v)", bobFirst, order)
+	}
+}
+
+func TestTenantQuotaShedsWithTypedError(t *testing.T) {
+	f := &fakeExec{deterministic: true, gate: make(chan struct{})}
+	s := newServe(t, f, 1, Config{Inflight: 1})
+	s.SetTenant("t", 0, 2)
+	sp := testSpec("quota")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mustExec(t, s, "t", sp, nil, core.RunOptions{Shots: 1, Seed: int64(i + 1)})
+		}(i)
+	}
+	waitFor(t, "quota fill", func() bool {
+		st := s.Stats()
+		return st.Tenants["t"].Outstanding == 2
+	})
+
+	_, _, _, err := s.Exec("t", sp, nil, core.RunOptions{Shots: 1, Seed: 99})
+	if !IsOverloaded(err) {
+		t.Fatalf("over-quota submission returned %v, want ErrOverloaded", err)
+	}
+	// Another tenant is unaffected by t's quota.
+	var other error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, other = s.Exec("u", sp, nil, core.RunOptions{Shots: 1, Seed: 7})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	f.open()
+	wg.Wait()
+	if other != nil {
+		t.Fatalf("tenant u shed by tenant t's quota: %v", other)
+	}
+	if st := s.Stats(); st.Shed != 1 || st.Tenants["t"].Shed != 1 {
+		t.Fatalf("shed accounting %+v", st)
+	}
+}
+
+func TestGlobalQueueCapShedsWithTypedError(t *testing.T) {
+	f := &fakeExec{deterministic: true, gate: make(chan struct{})}
+	s := newServe(t, f, 1, Config{Inflight: 1, QueueCap: 1})
+	sp := testSpec("cap")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustExec(t, s, "a", sp, nil, core.RunOptions{Shots: 1, Seed: 1})
+	}()
+	waitFor(t, "first dispatch", func() bool { return f.calls() == 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustExec(t, s, "b", sp, nil, core.RunOptions{Shots: 1, Seed: 2})
+	}()
+	waitFor(t, "queued element", func() bool { return s.Stats().QueueDepth == 1 })
+
+	_, _, _, err := s.Exec("c", sp, nil, core.RunOptions{Shots: 1, Seed: 3})
+	if !IsOverloaded(err) {
+		t.Fatalf("over-cap submission returned %v, want ErrOverloaded", err)
+	}
+	f.open()
+	wg.Wait()
+}
+
+// ---- lifecycle --------------------------------------------------------
+
+func TestDrainFlushesWindowAndClosesAdmission(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	// An hour-long window: only draining can flush the queued unit in time.
+	s := newServe(t, f, 2, Config{Window: time.Hour})
+	sp := testSpec("drain")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustExec(t, s, "a", sp, nil, core.RunOptions{Shots: 8})
+	}()
+	waitFor(t, "queued unit", func() bool { return s.Stats().QueueDepth == 1 })
+
+	if !s.Drain(5 * time.Second) {
+		t.Fatal("drain timed out with an idle executor")
+	}
+	wg.Wait()
+	if f.calls() != 1 {
+		t.Fatalf("queued unit not flushed by drain (calls %d)", f.calls())
+	}
+
+	_, _, _, err := s.Exec("a", sp, nil, core.RunOptions{Shots: 8})
+	if !core.IsDraining(err) {
+		t.Fatalf("post-drain submission returned %v, want ErrDraining", err)
+	}
+}
+
+func TestQueueDepthTelemetryRecorded(t *testing.T) {
+	f := &fakeExec{deterministic: true}
+	q := core.NewQPM(f, 2, nil)
+	defer q.Close()
+	s := New(q, Config{}, nil)
+	defer s.Close()
+	sp := testSpec("telemetry")
+	results, errs, _, err := s.Exec("a", sp, nil, core.RunOptions{Shots: 4, Seed: 1})
+	if err != nil || errs[0] != "" || results[0] == nil {
+		t.Fatalf("exec: %v %v", err, errs)
+	}
+	if series := q.Recorder().GaugeSeries("serve:queue-depth:fake"); len(series) == 0 {
+		t.Fatal("no queue-depth gauge recorded")
+	}
+	if st := s.Stats(); st.PeakQueueDepth < 1 {
+		t.Fatalf("peak queue depth %d, want >=1", st.PeakQueueDepth)
+	}
+}

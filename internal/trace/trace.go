@@ -7,6 +7,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -52,6 +53,42 @@ func (r *Recorder) Span(name, worker string) func() {
 	return func() {
 		r.Record(name, worker, start, time.Now(), nil)
 	}
+}
+
+// Gauge records an instantaneous measurement (queue depth, utilization) as
+// a zero-duration event carrying the value as an attribute — the serving
+// layer's telemetry rides the same event stream as the execution spans, so
+// one recorder holds the full picture of a session.
+func (r *Recorder) Gauge(name, worker string, value float64) {
+	now := time.Now()
+	r.Record(name, worker, now, now, map[string]string{"value": strconv.FormatFloat(value, 'g', -1, 64)})
+}
+
+// GaugeSeries returns the recorded values of a gauge in time order.
+func (r *Recorder) GaugeSeries(name string) []float64 {
+	var out []float64
+	for _, e := range r.Events() {
+		if e.Name != name || e.Attrs == nil {
+			continue
+		}
+		if s, ok := e.Attrs["value"]; ok {
+			if v, err := strconv.ParseFloat(s, 64); err == nil {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// GaugeMax returns the peak recorded value of a gauge (0 when unseen).
+func (r *Recorder) GaugeMax(name string) float64 {
+	var peak float64
+	for _, v := range r.GaugeSeries(name) {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
 }
 
 // Events returns a copy of all recorded events sorted by start time.
