@@ -18,6 +18,7 @@ import (
 
 	"qfw/internal/cluster"
 	"qfw/internal/core"
+	"qfw/internal/faults"
 	"qfw/internal/serve"
 
 	_ "qfw/internal/backends"
@@ -58,6 +59,10 @@ func main() {
 	fmt.Printf("qfwd: DVM %s\n", session.DVM.URI)
 	fmt.Printf("qfwd: DEFw endpoint %s\n", session.Addr)
 	fmt.Printf("qfwd: backends: %v\n", session.Backends())
+	if sched := faults.FromEnv(); sched != nil {
+		fmt.Printf("qfwd: FAULT INJECTION ARMED (%s=%s): every executor wrapped in the deterministic injector\n",
+			faults.EnvVar, sched.String())
+	}
 
 	// One serving layer per backend, registered beside the raw qpm.<backend>
 	// service: applications that want the cache/coalescing/fair-share path

@@ -1,6 +1,7 @@
 package backends
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -276,5 +277,77 @@ func TestSingleExecuteRejectsParametricSpec(t *testing.T) {
 	}
 	if _, err := exec.Execute(spec, core.RunOptions{}); err == nil {
 		t.Fatal("parametric spec accepted by single-shot Execute")
+	}
+}
+
+func TestNWQSimMPIFallsBackLocal(t *testing.T) {
+	// When the MPI world cannot form — here the DVM is already shut down —
+	// the mpi sub-backend must degrade to the node-local engine instead of
+	// failing, tag every result with Extra["mpi_fallback"], and reproduce
+	// the same physics the local engine computes directly (seeds are
+	// derived identically on both routes).
+	env := testEnv(t)
+	exec, err := newNWQSim(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.DVM.Shutdown()
+
+	ansatz := circuit.New(3)
+	ansatz.Name = "fallback-sweep"
+	ansatz.H(0).CX(0, 1).CX(1, 2)
+	ansatz.RZ(2, circuit.Sym("theta", 1))
+	ansatz.MeasureAll()
+	spec, err := core.SpecFromParametric(ansatz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bindings := []core.Bindings{{"theta": 0.3}, {"theta": 0.9}, {"theta": 1.5}}
+	opts := core.RunOptions{Shots: 128, Seed: 7, Subbackend: "mpi", Nodes: 2, ProcsPerNode: 2}
+
+	res, err := exec.(core.BatchExecutor).ExecuteBatch(spec, bindings, opts)
+	if err != nil {
+		t.Fatalf("batch did not degrade: %v", err)
+	}
+	lopts := opts
+	lopts.Subbackend = "openmp"
+	want, err := exec.(core.BatchExecutor).ExecuteBatch(spec, bindings, lopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Extra["mpi_fallback"] != 1 {
+			t.Fatalf("element %d missing mpi_fallback tag: %+v", i, res[i].Extra)
+		}
+		if fmt.Sprint(res[i].Counts) != fmt.Sprint(want[i].Counts) {
+			t.Fatalf("element %d: fallback %v != local %v", i, res[i].Counts, want[i].Counts)
+		}
+	}
+
+	// The single-execution distributed path degrades the same way.
+	bell := circuit.New(2)
+	bell.Name = "fallback-bell"
+	bell.H(0).CX(0, 1)
+	bell.MeasureAll()
+	bspec, err := core.SpecFromCircuit(bell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := exec.Execute(bspec, core.RunOptions{Shots: 64, Seed: 11, Subbackend: "mpi", Nodes: 2, ProcsPerNode: 2})
+	if err != nil {
+		t.Fatalf("single execute did not degrade: %v", err)
+	}
+	if single.Extra["mpi_fallback"] != 1 {
+		t.Fatalf("single execute missing mpi_fallback tag: %+v", single.Extra)
+	}
+	total := 0
+	for key, n := range single.Counts {
+		if key != "00" && key != "11" {
+			t.Fatalf("bell outcome %q", key)
+		}
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("total %d", total)
 	}
 }

@@ -3,13 +3,21 @@ package backends
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"qfw/internal/circuit"
 	"qfw/internal/core"
+	"qfw/internal/faults"
 	"qfw/internal/mpi"
 	"qfw/internal/prte"
 	"qfw/internal/statevec"
 )
+
+// spawnRetry bounds the re-attempts at forming an MPI world when the DVM's
+// core slots are transiently exhausted by concurrent process groups. The
+// delays are sub-millisecond: slots free as soon as a neighbouring group
+// finishes its run.
+var spawnRetry = faults.Policy{MaxAttempts: 3, BaseDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond}
 
 // nwqsim is the SV-Sim analog: a state-vector engine whose native MPI
 // distribution makes it the strong performer on large entangled workloads
@@ -68,7 +76,10 @@ func (b *nwqsim) ExecuteBatch(spec core.CircuitSpec, bindings []core.Bindings, o
 	}
 	pg, world, total, err := b.spawnWorld(base.NQubits, opts)
 	if err != nil {
-		return nil, err
+		// The MPI world would not form even after retries: degrade to the
+		// node-local engine rather than failing the batch. Seeds are
+		// unchanged, so the fallback reproduces the distributed results.
+		return b.localFallbackBatch(spec, bindings, opts, err)
 	}
 	defer pg.Release()
 	seeds := make([]int64, len(bindings))
@@ -187,7 +198,12 @@ func (b *nwqsim) spawnWorld(nqubits int, opts core.RunOptions) (*prte.ProcGroup,
 	if total < nodes {
 		useNodes = total
 	}
-	pg, err := b.env.DVM.Spawn(prte.Placement{Nodes: useNodes, ProcsPerNode: (total + useNodes - 1) / useNodes})
+	var pg *prte.ProcGroup
+	err := spawnRetry.Do(func(int) error {
+		var err error
+		pg, err = b.env.DVM.Spawn(prte.Placement{Nodes: useNodes, ProcsPerNode: (total + useNodes - 1) / useNodes})
+		return err
+	})
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("nwqsim: %w", err)
 	}
@@ -198,12 +214,44 @@ func (b *nwqsim) spawnWorld(nqubits int, opts core.RunOptions) (*prte.ProcGroup,
 	return pg, world, total, nil
 }
 
+// localFallbackBatch is the graceful-degradation path when the MPI world
+// cannot form: the whole batch runs on the node-local openmp engine and
+// every result is tagged Extra["mpi_fallback"] so callers can see the
+// route change. Failures report both the spawn and the local error.
+func (b *nwqsim) localFallbackBatch(spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions, spawnErr error) ([]core.ExecResult, error) {
+	lopts := opts
+	lopts.Subbackend = "openmp"
+	results, err := runBatch(b.cache, spec, bindings, lopts, b.executeParsed)
+	if err != nil {
+		return nil, fmt.Errorf("nwqsim: local fallback failed: %w (after spawn failure: %v)", err, spawnErr)
+	}
+	for i := range results {
+		if results[i].Extra == nil {
+			results[i].Extra = map[string]float64{}
+		}
+		results[i].Extra["mpi_fallback"] = 1
+	}
+	return results, nil
+}
+
 // runDistributed executes one bound circuit on a fresh process group through
 // the fused distributed engine.
 func (b *nwqsim) runDistributed(c *circuitT, plan *circuit.FusionPlan, opts core.RunOptions) (core.ExecResult, error) {
 	pg, world, total, err := b.spawnWorld(c.NQubits, opts)
 	if err != nil {
-		return core.ExecResult{}, err
+		// Degrade a single distributed execution to the node-local engine,
+		// tagged so the route change is visible.
+		lopts := opts
+		lopts.Subbackend = "openmp"
+		res, lerr := b.executeParsed(c, plan, nil, lopts)
+		if lerr != nil {
+			return core.ExecResult{}, fmt.Errorf("nwqsim: local fallback failed: %w (after spawn failure: %v)", lerr, err)
+		}
+		if res.Extra == nil {
+			res.Extra = map[string]float64{}
+		}
+		res.Extra["mpi_fallback"] = 1
+		return res, nil
 	}
 	obs := distObsFor(opts.Observable, c.NQubits)
 	workers := workersPerRank(total)

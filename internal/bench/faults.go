@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qfw/internal/circuit"
+	"qfw/internal/core"
+	"qfw/internal/faults"
+	"qfw/internal/workloads"
+)
+
+// faultsWorkload builds the fault-injection ablation's sweep: a k-element
+// parametric batch on an entangled 4-qubit ansatz, seeded so every element
+// has a deterministic derived seed (the bit-identical recovery check relies
+// on it).
+func (h *Harness) faultsWorkload(k int) (core.CircuitSpec, []core.Bindings, core.RunOptions, error) {
+	ansatz := circuit.New(4)
+	ansatz.Name = "faults-sweep"
+	for q := 0; q < 4; q++ {
+		ansatz.H(q)
+	}
+	for q := 0; q+1 < 4; q++ {
+		ansatz.CX(q, q+1)
+	}
+	ansatz.RZ(3, circuit.Sym("theta", 1))
+	ansatz.MeasureAll()
+	spec, err := core.SpecFromParametric(ansatz)
+	if err != nil {
+		return core.CircuitSpec{}, nil, core.RunOptions{}, err
+	}
+	bindings := make([]core.Bindings, k)
+	for i := range bindings {
+		bindings[i] = core.Bindings{"theta": 0.05 * float64(i)}
+	}
+	opts := core.RunOptions{Shots: h.Shots, Seed: h.Seed + 7, Subbackend: "statevector"}
+	return spec, bindings, opts, nil
+}
+
+// runFaultBatch pushes the sweep through one QPM configuration and reports
+// goodput (elements recovered), failures, and wall-clock latency.
+func runFaultBatch(q *core.QPM, spec core.CircuitSpec, bindings []core.Bindings, opts core.RunOptions) ([]*core.Result, []string, time.Duration, error) {
+	start := time.Now()
+	id, err := q.SubmitBatch(spec, bindings, opts)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	res, errs, err := q.WaitBatch(id)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return res, errs, time.Since(start), nil
+}
+
+// RunFaultsAblation measures the fault-tolerant execution layer: the same
+// 64-element parametric sweep pushed through a deliberately faulty executor
+// (the seeded injector marks a fraction of elements for one transient
+// failure each) with the recovery machinery toggled. With retries and
+// chunk-degradation on, goodput must stay at 64/64 and the recovered
+// results must be bit-identical to a clean run; with a single-attempt
+// policy the marked elements surface as element errors. A final probe pins
+// runtime fallback re-routing: the auto executor rescues submissions from a
+// dead primary engine, and loses them with fallback disabled.
+func (h *Harness) RunFaultsAblation() (*Experiment, error) {
+	var spec AblationSpec
+	for _, ab := range AblationCatalog {
+		if ab.Name == "fault-injection" {
+			spec = ab
+		}
+	}
+	exp := &Experiment{
+		ID:    "ablation-faults",
+		Title: "Fault-tolerant execution: retry + degrade-to-element toggled under injected transient faults (" + spec.Describe + ")",
+		Notes: "X axis is the injected per-element fault rate in percent; goodput (throughput_rps) counts recovered elements per second, shed counts failed elements.",
+	}
+	inner := h.Session.Executor("aer")
+	if inner == nil {
+		return nil, fmt.Errorf("bench: session has no aer executor")
+	}
+	k := 64
+	cspec, bindings, opts, err := h.faultsWorkload(k)
+	if err != nil {
+		return nil, err
+	}
+
+	// Clean reference for the bit-identical recovery check.
+	refQ := core.NewQPM(inner, 4, h.Session.Rec)
+	ref, refErrs, _, err := runFaultBatch(refQ, cspec, bindings, opts)
+	refQ.Close()
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range refErrs {
+		if e != "" {
+			return nil, fmt.Errorf("bench: clean reference element %d failed: %s", i, e)
+		}
+	}
+
+	rates := []float64{0, 0.1, 0.2, 0.4}
+	configs := []struct {
+		label string
+		retry bool
+	}{
+		{"retry+degrade", true},
+		{"no retry", false},
+	}
+	identical := true
+	for _, c := range configs {
+		series := Series{Label: c.label}
+		for _, rate := range rates {
+			inj := faults.NewInjector(faults.Schedule{Rate: rate, Times: 1, Seed: h.Seed + 31})
+			fx := core.NewFaultyExecutor(inner, inj)
+			q := core.NewQPM(fx, 4, h.Session.Rec)
+			if !c.retry {
+				q.SetRetryPolicy(faults.Policy{MaxAttempts: 1})
+			}
+			res, errs, wall, err := runFaultBatch(q, cspec, bindings, opts)
+			q.Close() // leaves the shared session executor open
+			if err != nil {
+				return nil, err
+			}
+			good, failed := 0, 0
+			for i := range errs {
+				if errs[i] == "" {
+					good++
+					if c.retry && rate == 0.2 && fmt.Sprint(res[i].Counts) != fmt.Sprint(ref[i].Counts) {
+						identical = false
+					}
+				} else {
+					failed++
+				}
+			}
+			if c.retry && rate == 0.2 && good != k {
+				identical = false
+			}
+			series.Points = append(series.Points, Point{
+				X:          int(rate * 100),
+				Placement:  fmt.Sprintf("rate=%g injected=%d", rate, inj.Injected()),
+				RuntimeMS:  float64(wall) / float64(time.Millisecond),
+				Evals:      good,
+				Shed:       failed,
+				Throughput: float64(good) / wall.Seconds(),
+			})
+		}
+		exp.Series = append(exp.Series, series)
+	}
+	if identical {
+		exp.Notes += " At rate=0.2 with recovery on, all 64 elements succeeded bit-identical to the clean run."
+	} else {
+		exp.Notes += " WARNING: rate=0.2 recovery was NOT bit-identical to the clean run."
+	}
+
+	// Fallback re-routing probe: a dead primary rescued (or not) by the
+	// auto executor's runtime re-route, recorded as recovered vs lost runs.
+	exp.Series = append(exp.Series, h.fallbackProbe()...)
+	return exp, nil
+}
+
+// fallbackProbe runs a single bound circuit through two auto executors that
+// share a dead "aer" primary — one with runtime fallback re-routing on, one
+// with it off — and reports rescued vs lost submissions.
+func (h *Harness) fallbackProbe() []Series {
+	nwq := h.Session.Executor("nwqsim")
+	if nwq == nil {
+		return nil
+	}
+	spec, err := core.SpecFromCircuit(workloads.GHZ(4))
+	if err != nil {
+		return nil
+	}
+	ropts := core.RunOptions{Shots: h.Shots, Seed: h.Seed + 3}
+	// A primary that always faults: every call through the injector fails,
+	// so only runtime re-routing can rescue the submission.
+	mkDead := func() core.Executor {
+		return core.NewFaultyExecutor(h.Session.Executor("aer"),
+			faults.NewInjector(faults.Schedule{Rate: 1, Times: -1, Seed: h.Seed + 47})).WithName("aer")
+	}
+	var out []Series
+	for _, mode := range []struct {
+		label string
+		on    bool
+	}{{"fallback on", true}, {"fallback off", false}} {
+		auto := core.NewAutoExecutor(map[string]core.Executor{
+			"aer":    mkDead(),
+			"nwqsim": nwq,
+		}).WithModel(nil).WithFallback(mode.on)
+		start := time.Now()
+		res, err := auto.Execute(spec, ropts)
+		wall := time.Since(start)
+		p := Point{X: 100, Placement: "dead primary", RuntimeMS: float64(wall) / float64(time.Millisecond)}
+		if err != nil {
+			p.Err = err.Error()
+			p.Shed = 1
+		} else {
+			p.Evals = 1
+			p.Placement = res.Route
+		}
+		out = append(out, Series{Label: mode.label, Points: []Point{p}})
+	}
+	return out
+}

@@ -39,12 +39,23 @@ type AutoExecutor struct {
 	cache    *ParseCache
 	model    *cost.Model
 	memBytes int64 // dense-amplitude budget candidate sizing respects (0 = unbounded)
+	fallback bool  // re-route a failed submission to the next ranked engine
 }
 
 // NewAutoExecutor wraps the live executors of a session under the
-// process-wide cost model (cost.Current).
+// process-wide cost model (cost.Current). Runtime fallback re-routing is
+// on by default: when the chosen engine fails at execution time the
+// submission moves to the next ranked candidate instead of failing, and
+// the result's Route is annotated "fallback:<engine>".
 func NewAutoExecutor(execs map[string]Executor) *AutoExecutor {
-	return &AutoExecutor{execs: execs, cache: NewParseCache(), model: cost.Current()}
+	return &AutoExecutor{execs: execs, cache: NewParseCache(), model: cost.Current(), fallback: true}
+}
+
+// WithFallback toggles runtime fallback re-routing (the ablation-faults
+// bench measures both sides) and returns the executor.
+func (a *AutoExecutor) WithFallback(on bool) *AutoExecutor {
+	a.fallback = on
+	return a
 }
 
 // WithModel overrides the cost model (nil forces the structural rules) and
@@ -185,6 +196,60 @@ func (a *AutoExecutor) decide(spec CircuitSpec, k int) (Decision, error) {
 	return d, nil
 }
 
+// decideRanked returns the primary routing decision followed by the
+// ordered fallback candidates (empty tail when fallback is off). Model
+// alternates come from the cost ranking; structural alternates — every
+// registered local engine in sorted order — close the list so a session
+// without calibration still has somewhere to degrade to.
+func (a *AutoExecutor) decideRanked(spec CircuitSpec, k int) ([]Decision, error) {
+	primary, err := a.decide(spec, k)
+	if err != nil {
+		return nil, err
+	}
+	out := []Decision{primary}
+	if !a.fallback {
+		return out, nil
+	}
+	seen := map[string]bool{primary.Backend + "/" + primary.Sub: true}
+	add := func(backend, sub string, res cost.Resources, ms float64) {
+		key := backend + "/" + sub
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Decision{Backend: backend, Sub: sub, Rule: "fallback", Res: res, PredictedMS: ms})
+	}
+	if a.model != nil {
+		if f, ferr := a.cache.GetFeatures(spec); ferr == nil {
+			var engines []string
+			for name := range a.execs {
+				for _, sub := range candidateSubs[name] {
+					engines = append(engines, name+"/"+sub)
+				}
+			}
+			sort.Strings(engines)
+			env := cost.Env{Workers: statevec.CurrentTuning().Workers, Cores: runtime.GOMAXPROCS(0), MemBytes: a.memBytes}
+			for _, c := range a.model.Rank(f, engines, env) {
+				backend, sub, _ := strings.Cut(c.Engine, "/")
+				add(backend, sub, c.Res, c.MS())
+			}
+		}
+	}
+	var names []string
+	for name := range a.execs {
+		if name != "ionq" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, sub := range candidateSubs[name] {
+			add(name, sub, cost.Resources{}, 0)
+		}
+	}
+	return out, nil
+}
+
 // selectStructural applies the pre-calibration structural rules against the
 // available executors.
 func (a *AutoExecutor) selectStructural(spec CircuitSpec) (Decision, error) {
@@ -258,24 +323,44 @@ func annotate(res *ExecResult, route string, predictedMS, actualMS float64, spli
 }
 
 // Execute implements Executor: decide, delegate, and annotate the result
-// with the route plus predicted-vs-actual runtime.
+// with the route plus predicted-vs-actual runtime. When the chosen engine
+// fails and fallback is on, the next ranked candidate takes the
+// submission; the first (primary) error is what callers see if every
+// candidate fails.
 func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
-	d, err := a.decide(spec, 1)
+	cands, err := a.decideRanked(spec, 1)
 	if err != nil {
 		return ExecResult{}, err
 	}
-	target, ok := a.execs[d.Backend]
-	if !ok {
-		return ExecResult{}, fmt.Errorf("auto: selected backend %q not available", d.Backend)
+	var firstErr error
+	for ci, d := range cands {
+		target, ok := a.execs[d.Backend]
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("auto: selected backend %q not available", d.Backend)
+			}
+			continue
+		}
+		// applyResources mutates the options: each attempt sizes a fresh copy
+		// so a fallback engine is not constrained by the primary's sizing.
+		attemptOpts := opts
+		applyResources(d.Backend, d.Sub, d.Res, &attemptOpts)
+		start := time.Now()
+		res, err := target.Execute(spec, attemptOpts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("auto[%s->%s/%s]: %w", d.Rule, d.Backend, d.Sub, err)
+			}
+			continue
+		}
+		route := d.route()
+		if ci > 0 {
+			route = fmt.Sprintf("fallback:%s/%s (after %s/%s)", d.Backend, d.Sub, cands[0].Backend, cands[0].Sub)
+		}
+		annotate(&res, route, d.PredictedMS, float64(time.Since(start))/float64(time.Millisecond), false)
+		return res, nil
 	}
-	applyResources(d.Backend, d.Sub, d.Res, &opts)
-	start := time.Now()
-	res, err := target.Execute(spec, opts)
-	if err != nil {
-		return res, fmt.Errorf("auto[%s->%s/%s]: %w", d.Rule, d.Backend, d.Sub, err)
-	}
-	annotate(&res, d.route(), d.PredictedMS, float64(time.Since(start))/float64(time.Millisecond), false)
-	return res, nil
+	return ExecResult{}, firstErr
 }
 
 // ExecuteBatch implements BatchExecutor: the route is decided once per batch
@@ -287,11 +372,11 @@ func (a *AutoExecutor) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, e
 // base seed offset so every element keeps the exact seed it would have had
 // unsplit.
 func (a *AutoExecutor) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions) ([]ExecResult, error) {
-	d, err := a.decide(spec, len(bindings))
+	cands, err := a.decideRanked(spec, len(bindings))
 	if err != nil {
 		return nil, err
 	}
-	if d.SplitBackend != "" {
+	if d := cands[0]; d.SplitBackend != "" {
 		if results, err := a.executeSplit(d, spec, bindings, opts); err == nil {
 			return results, nil
 		}
@@ -299,16 +384,26 @@ func (a *AutoExecutor) ExecuteBatch(spec CircuitSpec, bindings []Bindings, opts 
 		// falls back to the primary engine whole rather than failing the
 		// submission.
 	}
-	rule := singleRule(d)
-	results, err := a.delegateBatch(d.Backend, d.Sub, d.Res, spec, bindings, opts, 0)
-	if err != nil {
-		return nil, fmt.Errorf("auto[%s->%s/%s]: %w", rule, d.Backend, d.Sub, err)
+	var firstErr error
+	for ci, d := range cands {
+		rule := singleRule(d)
+		results, err := a.delegateBatch(d.Backend, d.Sub, d.Res, spec, bindings, opts, 0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("auto[%s->%s/%s]: %w", rule, d.Backend, d.Sub, err)
+			}
+			continue
+		}
+		route := fmt.Sprintf("%s/%s (%s)", d.Backend, d.Sub, rule)
+		if ci > 0 {
+			route = fmt.Sprintf("fallback:%s/%s (after %s/%s)", d.Backend, d.Sub, cands[0].Backend, cands[0].Sub)
+		}
+		for i := range results {
+			annotate(&results[i], route, d.PredictedMS, 0, false)
+		}
+		return results, nil
 	}
-	route := fmt.Sprintf("%s/%s (%s)", d.Backend, d.Sub, rule)
-	for i := range results {
-		annotate(&results[i], route, d.PredictedMS, 0, false)
-	}
-	return results, nil
+	return nil, firstErr
 }
 
 // singleRule is the rule label when a split decision degrades to a whole-
@@ -416,15 +511,22 @@ func svKeyOf(backend string) (string, bool) {
 	return "", false
 }
 
-// gradientTarget is the single discovery point for gradient delegation:
+// gradCand is one gradient-capable delegation target.
+type gradCand struct {
+	name string
+	ge   GradientExecutor
+}
+
+// gradientTargets is the single discovery point for gradient delegation:
 // Capabilities and ExecuteGradient both consult it, so the advertised
 // capability can never disagree with the dispatch. With features and a
 // calibration the gradient-capable engines are ranked by predicted adjoint
 // cost (one forward plus two adjoint sweeps ≈ 3 circuit-equivalents of
 // dense statevector work); otherwise the known adjoint engines are
 // preferred in a fixed order, then any other GradientExecutor in
-// sorted-name order for determinism.
-func (a *AutoExecutor) gradientTarget(f *cost.Features) (string, GradientExecutor, bool) {
+// sorted-name order for determinism. The whole ordered list comes back so
+// a failed delegation can fall through to the next engine.
+func (a *AutoExecutor) gradientTargets(f *cost.Features) []gradCand {
 	var rest []string
 	for name := range a.execs {
 		if name != "aer" && name != "nwqsim" {
@@ -458,15 +560,24 @@ func (a *AutoExecutor) gradientTarget(f *cost.Features) (string, GradientExecuto
 			}
 			return sc[i].idx < sc[j].idx
 		})
+		out := make([]gradCand, 0, len(sc))
 		for _, s := range sc {
-			return s.name, a.execs[s.name].(GradientExecutor), true
+			out = append(out, gradCand{s.name, a.execs[s.name].(GradientExecutor)})
 		}
-		return "", nil, false
+		return out
 	}
+	var out []gradCand
 	for _, name := range names {
 		if ge, ok := a.execs[name].(GradientExecutor); ok {
-			return name, ge, true
+			out = append(out, gradCand{name, ge})
 		}
+	}
+	return out
+}
+
+func (a *AutoExecutor) gradientTarget(f *cost.Features) (string, GradientExecutor, bool) {
+	if cands := a.gradientTargets(f); len(cands) > 0 {
+		return cands[0].name, cands[0].ge, true
 	}
 	return "", nil, false
 }
@@ -483,16 +594,26 @@ func (a *AutoExecutor) ExecuteGradient(spec CircuitSpec, bindings []Bindings, op
 			f = ff
 		}
 	}
-	name, ge, ok := a.gradientTarget(f)
-	if !ok {
+	cands := a.gradientTargets(f)
+	if len(cands) == 0 {
 		return nil, fmt.Errorf("auto: no gradient-capable backend available")
 	}
 	opts.Subbackend = ""
-	res, err := ge.ExecuteGradient(spec, bindings, opts)
-	if err != nil {
-		return nil, fmt.Errorf("auto[gradient->%s]: %w", name, err)
+	var firstErr error
+	for _, c := range cands {
+		res, err := c.ge.ExecuteGradient(spec, bindings, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("auto[gradient->%s]: %w", c.name, err)
+			}
+			if !a.fallback {
+				break
+			}
+			continue
+		}
+		return res, nil
 	}
-	return res, nil
+	return nil, firstErr
 }
 
 // Decide exposes the full routing decision for a k-element submission

@@ -1,20 +1,23 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"qfw/internal/faults"
 	"qfw/internal/trace"
 )
 
 // task is one circuit-execution job tracked by a QPM.
 type task struct {
-	id   string
-	spec CircuitSpec
-	opts RunOptions
+	id       string
+	spec     CircuitSpec
+	opts     RunOptions
+	deadline time.Time // zero = none; from RunOptions.TimeoutMS at creation
 
 	mu        sync.Mutex
 	status    Status
@@ -42,6 +45,7 @@ type batchTask struct {
 	bindings []Bindings
 	opts     RunOptions
 	created  time.Time
+	deadline time.Time
 
 	mu        sync.Mutex
 	status    Status
@@ -62,8 +66,9 @@ func (bt *batchTask) snapshotStatus() Status {
 // evaluated through the backend's GradientExecutor as one work item (the
 // adjoint engine fans bindings across its own worker pool).
 type gradTask struct {
-	id      string
-	created time.Time
+	id       string
+	created  time.Time
+	deadline time.Time
 
 	mu        sync.Mutex
 	status    Status
@@ -100,6 +105,7 @@ type QPM struct {
 	quiesced bool
 	workers  int
 	workerWG sync.WaitGroup
+	retry    faults.Policy // guarded by mu; see SetRetryPolicy
 }
 
 // defaultQueueCap is the QPM task-queue depth (tests shrink it via
@@ -133,6 +139,7 @@ func newQPMWithQueueCap(exec Executor, workers int, rec *trace.Recorder, queueCa
 		batches:  make(map[string]*batchTask),
 		grads:    make(map[string]*gradTask),
 		workers:  workers,
+		retry:    DefaultRetryPolicy(),
 	}
 	for w := 0; w < workers; w++ {
 		q.workerWG.Add(1)
@@ -158,6 +165,96 @@ func (q *QPM) Recorder() *trace.Recorder { return q.rec }
 // (only the fallback path for executors without native batch support parses
 // at the QPM; batch-native executors parse in their own caches).
 func (q *QPM) ParseCount() int64 { return q.cache.Parses() }
+
+// DefaultRetryPolicy is the QPM's per-execution retry: up to three
+// attempts at transient failures with millisecond-scale full-jitter
+// backoff. Deadline misses and permanent errors are never retried.
+func DefaultRetryPolicy() faults.Policy {
+	return faults.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// SetRetryPolicy replaces the executor retry policy (MaxAttempts of 1
+// disables retrying). Tests and the fault-injection bench use it to
+// toggle the recovery machinery; it applies to work submitted afterwards.
+func (q *QPM) SetRetryPolicy(p faults.Policy) {
+	q.mu.Lock()
+	q.retry = p
+	q.mu.Unlock()
+}
+
+func (q *QPM) retryPolicy() faults.Policy {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.retry
+}
+
+// deadlineFor converts RunOptions.TimeoutMS into an absolute deadline
+// anchored at submission, so queue wait counts against the budget.
+func deadlineFor(created time.Time, opts RunOptions) time.Time {
+	if opts.TimeoutMS <= 0 {
+		return time.Time{}
+	}
+	return created.Add(time.Duration(opts.TimeoutMS) * time.Millisecond)
+}
+
+// guarded runs one executor call with panic isolation and an optional
+// deadline. The call executes on its own goroutine: a panic is recovered
+// into a transient error (one crashing element must never take the worker
+// or the daemon down), and a call still running at the deadline is
+// abandoned — the worker slot frees immediately and the stray goroutine
+// ends whenever the executor returns; its result is discarded. An
+// already-expired deadline fails fast without touching the backend.
+func guarded[T any](deadline time.Time, what string, call func() (T, error)) (T, error) {
+	var zero T
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return zero, fmt.Errorf("%s: %w (expired before execution)", what, ErrDeadlineExceeded)
+	}
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				var z T
+				// Recovered panics are classified transient: the isolation
+				// already contained the blast radius, and a bounded re-attempt
+				// on fresh state is exactly the graceful-degradation contract.
+				// A deterministic panic still fails after MaxAttempts.
+				ch <- outcome{z, fmt.Errorf("%s: %w: executor panic: %v", what, faults.ErrTransient, p)}
+			}
+		}()
+		v, err := call()
+		ch <- outcome{v, err}
+	}()
+	if deadline.IsZero() {
+		out := <-ch
+		return out.v, out.err
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.v, out.err
+	case <-timer.C:
+		return zero, fmt.Errorf("%s: %w (executor abandoned)", what, ErrDeadlineExceeded)
+	}
+}
+
+// execGuarded is one single-circuit execution under the full fault
+// envelope: panic isolation, deadline, and transient retry.
+func (q *QPM) execGuarded(spec CircuitSpec, opts RunOptions, deadline time.Time, what string) (ExecResult, error) {
+	var res ExecResult
+	err := q.retryPolicy().Do(func(int) error {
+		var err error
+		res, err = guarded(deadline, what, func() (ExecResult, error) {
+			return q.exec.Execute(spec, opts)
+		})
+		return err
+	})
+	return res, err
+}
 
 // qrcWorker is one Quantum Resource Controller thread: it pulls queued work
 // items and triggers backend executions (MPI runs for local simulators,
@@ -236,7 +333,7 @@ func (q *QPM) runTask(t *task, worker string) {
 	t.mu.Unlock()
 
 	finish := q.rec.Span("exec:"+t.spec.Name, worker)
-	res, err := q.exec.Execute(t.spec, t.opts)
+	res, err := q.execGuarded(t.spec, t.opts, t.deadline, "exec:"+t.spec.Name)
 	finish()
 
 	t.mu.Lock()
@@ -285,13 +382,15 @@ func (q *QPM) Create(spec CircuitSpec, opts RunOptions) (string, error) {
 		return "", fmt.Errorf("qpm[%s]: empty circuit spec", q.backend)
 	}
 	id := fmt.Sprintf("%s-%d", q.backend, q.nextID.Add(1))
+	created := time.Now()
 	t := &task{
-		id:      id,
-		spec:    spec,
-		opts:    opts,
-		status:  StatusQueued,
-		created: time.Now(),
-		done:    make(chan struct{}),
+		id:       id,
+		spec:     spec,
+		opts:     opts,
+		deadline: deadlineFor(created, opts),
+		status:   StatusQueued,
+		created:  created,
+		done:     make(chan struct{}),
 	}
 	q.mu.Lock()
 	if q.closed {
@@ -348,12 +447,14 @@ func (q *QPM) SubmitBatch(spec CircuitSpec, bindings []Bindings, opts RunOptions
 			nchunks = k
 		}
 	}
+	created := time.Now()
 	bt := &batchTask{
 		id:       id,
 		spec:     spec,
 		bindings: bindings,
 		opts:     opts,
-		created:  time.Now(),
+		created:  created,
+		deadline: deadlineFor(created, opts),
 		status:   StatusQueued,
 		results:  make([]*Result, k),
 		errs:     make([]string, k),
@@ -414,17 +515,18 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 	// identical to a serial loop over the full batch.
 	chunkOpts := bt.opts.ForElement(lo)
 	if be, ok := q.exec.(BatchExecutor); ok {
-		results, err := be.ExecuteBatch(bt.spec, sub, chunkOpts)
+		results, err := guarded(bt.deadline, fmt.Sprintf("exec-batch:%s[%d:%d]", bt.spec.Name, lo, hi), func() ([]ExecResult, error) {
+			return be.ExecuteBatch(bt.spec, sub, chunkOpts)
+		})
 		elapsed := time.Since(started)
 		if err == nil && len(results) != len(sub) {
 			err = fmt.Errorf("qpm[%s]: batch executor returned %d results for %d bindings", q.backend, len(results), len(sub))
 		}
 		if err != nil {
-			// One failing element aborts its whole chunk: every slot records
-			// the abort so callers see none of them produced a result.
-			for i := range sub {
-				bt.errs[lo+i] = "batch aborted: " + err.Error()
-			}
+			// A failing chunk degrades to element-isolated re-execution: each
+			// binding retries as its own single-element batch, so one bad
+			// element costs only itself instead of aborting every slot.
+			q.runElements(bt, be, lo, hi)
 			return
 		}
 		perElem := elapsed / time.Duration(len(sub))
@@ -448,12 +550,45 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 			continue
 		}
 		elemStart := time.Now()
-		res, err := q.exec.Execute(spec, chunkOpts.ForElement(i))
+		res, err := q.execGuarded(spec, chunkOpts.ForElement(i), bt.deadline, fmt.Sprintf("exec-batch:%s[%d]", bt.spec.Name, lo+i))
 		if err != nil {
 			bt.errs[lo+i] = err.Error()
 			continue
 		}
 		bt.results[lo+i] = q.batchResult(bt, lo+i, res, elemStart, time.Since(elemStart))
+	}
+}
+
+// runElements is the degraded path after a batch-native chunk failure:
+// bindings[lo:hi] re-execute as single-element batches, each under its own
+// retry envelope. Seeds stay globally indexed (ForElement(g) here equals
+// base+lo+i on the whole-chunk path), so elements that recover produce
+// bit-identical results to a clean run; elements that keep failing record
+// only their own error.
+func (q *QPM) runElements(bt *batchTask, be BatchExecutor, lo, hi int) {
+	retry := q.retryPolicy()
+	for g := lo; g < hi; g++ {
+		elemOpts := bt.opts.ForElement(g)
+		elemStart := time.Now()
+		var res ExecResult
+		err := retry.Do(func(int) error {
+			results, err := guarded(bt.deadline, fmt.Sprintf("exec-batch:%s[%d]", bt.spec.Name, g), func() ([]ExecResult, error) {
+				return be.ExecuteBatch(bt.spec, bt.bindings[g:g+1], elemOpts)
+			})
+			if err != nil {
+				return err
+			}
+			if len(results) != 1 {
+				return fmt.Errorf("qpm[%s]: batch executor returned %d results for 1 binding", q.backend, len(results))
+			}
+			res = results[0]
+			return nil
+		})
+		if err != nil {
+			bt.errs[g] = err.Error()
+			continue
+		}
+		bt.results[g] = q.batchResult(bt, g, res, elemStart, time.Since(elemStart))
 	}
 }
 
@@ -494,7 +629,8 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 		return "", fmt.Errorf("qpm[%s]: empty gradient batch", q.backend)
 	}
 	id := fmt.Sprintf("%s-grad-%d", q.backend, q.nextID.Add(1))
-	gt := &gradTask{id: id, created: time.Now(), status: StatusQueued, done: make(chan struct{})}
+	created := time.Now()
+	gt := &gradTask{id: id, created: created, deadline: deadlineFor(created, opts), status: StatusQueued, done: make(chan struct{})}
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -518,7 +654,14 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 		gt.status = StatusRunning
 		gt.mu.Unlock()
 		finish := q.rec.Span("exec-grad:"+spec.Name, worker)
-		results, err := ge.ExecuteGradient(spec, bindings, opts)
+		var results []GradResult
+		err := q.retryPolicy().Do(func(int) error {
+			var err error
+			results, err = guarded(gt.deadline, "exec-grad:"+spec.Name, func() ([]GradResult, error) {
+				return ge.ExecuteGradient(spec, bindings, opts)
+			})
+			return err
+		})
 		finish()
 		gt.mu.Lock()
 		if err != nil {
@@ -544,13 +687,24 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 // WaitGradient blocks until the gradient batch completes and returns the
 // ordered per-binding results.
 func (q *QPM) WaitGradient(id string) ([]GradResult, error) {
+	return q.WaitGradientCtx(context.Background(), id)
+}
+
+// WaitGradientCtx is WaitGradient with caller-side cancellation: when ctx
+// ends first the wait returns ctx's error while the work item keeps
+// running (use Delete on an expired deadline to reclaim the slot).
+func (q *QPM) WaitGradientCtx(ctx context.Context, id string) ([]GradResult, error) {
 	q.mu.Lock()
 	gt, ok := q.grads[id]
 	q.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("qpm[%s]: unknown gradient task %s", q.backend, id)
 	}
-	<-gt.done
+	select {
+	case <-gt.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("qpm[%s]: wait %s: %w", q.backend, id, ctx.Err())
+	}
 	gt.mu.Lock()
 	defer gt.mu.Unlock()
 	if gt.status == StatusFailed {
@@ -579,11 +733,20 @@ func (q *QPM) finishChunk(bt *batchTask) {
 // WaitBatch blocks until every element of the batch completes and returns
 // the ordered results plus per-element error strings ("" for success).
 func (q *QPM) WaitBatch(id string) ([]*Result, []string, error) {
+	return q.WaitBatchCtx(context.Background(), id)
+}
+
+// WaitBatchCtx is WaitBatch with caller-side cancellation.
+func (q *QPM) WaitBatchCtx(ctx context.Context, id string) ([]*Result, []string, error) {
 	bt, err := q.lookupBatch(id)
 	if err != nil {
 		return nil, nil, err
 	}
-	<-bt.done
+	select {
+	case <-bt.done:
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("qpm[%s]: wait %s: %w", q.backend, id, ctx.Err())
+	}
 	return bt.results, bt.errs, nil
 }
 
@@ -607,11 +770,20 @@ func (q *QPM) Status(id string) (Status, error) {
 
 // Wait blocks until the task completes and returns its result.
 func (q *QPM) Wait(id string) (*Result, error) {
+	return q.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx is Wait with caller-side cancellation.
+func (q *QPM) WaitCtx(ctx context.Context, id string) (*Result, error) {
 	t, err := q.lookup(id)
 	if err != nil {
 		return nil, err
 	}
-	<-t.done
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("qpm[%s]: wait %s: %w", q.backend, id, ctx.Err())
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.status == StatusFailed {
@@ -620,20 +792,30 @@ func (q *QPM) Wait(id string) (*Result, error) {
 	return t.result, nil
 }
 
+// deadlinePassed reports whether a work item's deadline exists and has
+// expired — the one case where deleting a "running" item is safe: the
+// guarded execution has already abandoned the backend call (or is about
+// to), so removing the bookkeeping cannot orphan a live result.
+func deadlinePassed(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
 // Delete removes a completed (or never-run) task or batch. Deleting a
 // queued item cancels it: its work items still pass through the QRC queue
 // but are dropped at the worker instead of executing. Running items refuse
-// deletion — the execution cannot be recalled from the backend.
+// deletion — the execution cannot be recalled from the backend — unless
+// their deadline has already passed, in which case the executor has been
+// abandoned and the entry would otherwise sit orphaned in the task table.
 func (q *QPM) Delete(id string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if t, ok := q.tasks[id]; ok {
 		t.mu.Lock()
-		if t.status == StatusRunning {
+		if t.status == StatusRunning && !deadlinePassed(t.deadline) {
 			t.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: task %s is running", q.backend, id)
 		}
-		if t.status == StatusQueued {
+		if t.status == StatusQueued || t.status == StatusRunning {
 			t.cancelled = true
 		}
 		t.mu.Unlock()
@@ -642,11 +824,11 @@ func (q *QPM) Delete(id string) error {
 	}
 	if bt, ok := q.batches[id]; ok {
 		bt.mu.Lock()
-		if bt.status == StatusRunning {
+		if bt.status == StatusRunning && !deadlinePassed(bt.deadline) {
 			bt.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: batch %s is running", q.backend, id)
 		}
-		if bt.status == StatusQueued {
+		if bt.status == StatusQueued || bt.status == StatusRunning {
 			bt.cancelled = true
 		}
 		bt.mu.Unlock()
@@ -655,11 +837,11 @@ func (q *QPM) Delete(id string) error {
 	}
 	if gt, ok := q.grads[id]; ok {
 		gt.mu.Lock()
-		if gt.status == StatusRunning {
+		if gt.status == StatusRunning && !deadlinePassed(gt.deadline) {
 			gt.mu.Unlock()
 			return fmt.Errorf("qpm[%s]: gradient batch %s is running", q.backend, id)
 		}
-		if gt.status == StatusQueued {
+		if gt.status == StatusQueued || gt.status == StatusRunning {
 			gt.cancelled = true
 		}
 		gt.mu.Unlock()

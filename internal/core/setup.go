@@ -9,6 +9,7 @@ import (
 
 	"qfw/internal/cluster"
 	"qfw/internal/defw"
+	"qfw/internal/faults"
 	"qfw/internal/prte"
 	"qfw/internal/slurm"
 	"qfw/internal/trace"
@@ -183,6 +184,13 @@ func Launch(cfg Config) (*Session, error) {
 			s.Teardown()
 			return nil, fmt.Errorf("core: backend %q failed to start: %w", name, err)
 		}
+		// An armed QFW_FAULTS schedule wraps every executor in the
+		// deterministic injector (unless the factory already did).
+		if sched := faults.FromEnv(); sched != nil {
+			if _, wrapped := exec.(*FaultyExecutor); !wrapped {
+				exec = NewFaultyExecutor(exec, faults.NewInjector(*sched))
+			}
+		}
 		byName[name] = exec
 		qpm := NewQPM(exec, workers, rec)
 		s.execs = append(s.execs, exec)
@@ -227,6 +235,16 @@ func (s *Session) QPM(backend string) *QPM {
 		if q.Backend() == backend {
 			return q
 		}
+	}
+	return nil
+}
+
+// Executor returns the live executor behind a backend's QPM (nil when
+// absent) — the fault-injection bench wraps it without re-running the
+// backend factory.
+func (s *Session) Executor(backend string) Executor {
+	if q := s.QPM(backend); q != nil {
+		return q.exec
 	}
 	return nil
 }

@@ -108,6 +108,13 @@ type RunOptions struct {
 	// Observable, when set, asks the backend to also return the expectation
 	// value of this diagonal operator over the final state.
 	Observable *Observable `json:"observable,omitempty"`
+
+	// TimeoutMS, when positive, is the per-task deadline in milliseconds,
+	// counted from submission (queue wait included). A task that misses it
+	// fails with ErrDeadlineExceeded; a hung executor is abandoned and its
+	// worker slot freed. Riding RunOptions, the deadline crosses the DEFw
+	// RPC boundary with every submission.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ForElement derives the options of one batch element: element i of a batch
@@ -189,6 +196,23 @@ func IsDraining(err error) bool {
 		return true
 	}
 	return strings.Contains(err.Error(), ErrDraining.Error())
+}
+
+// ErrDeadlineExceeded marks tasks that missed their RunOptions.TimeoutMS
+// deadline — while queued, mid-execution, or hung in a backend. It is
+// permanent by construction: the retry policy never re-attempts it.
+var ErrDeadlineExceeded = errors.New("deadline exceeded")
+
+// IsDeadlineExceeded detects ErrDeadlineExceeded even after the error has
+// crossed an RPC boundary and been flattened to a string.
+func IsDeadlineExceeded(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		return true
+	}
+	return strings.Contains(err.Error(), ErrDeadlineExceeded.Error())
 }
 
 // ErrPending marks sub-backends that are integrated but blocked (Table 1's

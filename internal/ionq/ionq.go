@@ -19,15 +19,20 @@ package ionq
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qfw/internal/circuit"
+	"qfw/internal/faults"
 	"qfw/internal/statevec"
 )
 
@@ -46,6 +51,11 @@ type Config struct {
 	// MaxQubits rejects circuits beyond the device/emulator size (default 29).
 	MaxQubits int
 	Seed      int64
+	// FaultEvery, when positive, makes every Nth API interaction fail with
+	// 503 + Retry-After — a deterministic stand-in for the throttling and
+	// transient outages a real shared cloud queue produces, used to
+	// exercise the client's retry path end to end.
+	FaultEvery int
 }
 
 func (c *Config) fill() {
@@ -108,6 +118,8 @@ type Service struct {
 	queue  chan *job
 	wg     sync.WaitGroup
 	closed bool
+
+	apiCalls atomic.Int64 // drives Config.FaultEvery
 }
 
 // Start launches the service on an ephemeral loopback port.
@@ -155,6 +167,21 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// maybeFault implements Config.FaultEvery: when this interaction is the
+// Nth, it answers 503 with a short Retry-After and reports true so the
+// handler returns without doing work.
+func (s *Service) maybeFault(w http.ResponseWriter) bool {
+	if s.cfg.FaultEvery <= 0 {
+		return false
+	}
+	if s.apiCalls.Add(1)%int64(s.cfg.FaultEvery) != 0 {
+		return false
+	}
+	w.Header().Set("Retry-After", "0.05")
+	http.Error(w, "service temporarily unavailable (injected)", http.StatusServiceUnavailable)
+	return true
+}
+
 // networkDelay sleeps for the configured latency + jitter, simulating the
 // internet round trip in front of every API interaction.
 func (s *Service) networkDelay() {
@@ -169,6 +196,9 @@ func (s *Service) networkDelay() {
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.networkDelay()
+	if s.maybeFault(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -245,6 +275,9 @@ func (s *Service) createJob(name, qasm string, shots int) (job, error) {
 // variational submission beat per-circuit submission on the cloud path.
 func (s *Service) handleJobsBatch(w http.ResponseWriter, r *http.Request) {
 	s.networkDelay()
+	if s.maybeFault(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -325,6 +358,9 @@ type batchResult struct {
 // array instead of one polling loop per job.
 func (s *Service) handleResultsBatch(w http.ResponseWriter, r *http.Request) {
 	s.networkDelay()
+	if s.maybeFault(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -369,6 +405,7 @@ func (s *Service) handleResultsBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if time.Now().After(deadline) {
+			w.Header().Set("Retry-After", "0.02")
 			http.Error(w, "job array not finished", http.StatusConflict)
 			return
 		}
@@ -378,6 +415,9 @@ func (s *Service) handleResultsBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.networkDelay()
+	if s.maybeFault(w) {
+		return
+	}
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
@@ -405,6 +445,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 		case StatusFailed:
 			http.Error(w, errMsg, http.StatusUnprocessableEntity)
 		default:
+			w.Header().Set("Retry-After", "0.02")
 			http.Error(w, "job not finished", http.StatusConflict)
 		}
 		return
@@ -459,16 +500,70 @@ func (s *Service) finishJob(j *job, counts map[string]int, err error) {
 
 // ---- Client ------------------------------------------------------------
 
+// httpError is a non-200 API answer with its HTTP code and any Retry-After
+// hint. Codes that describe a shared-queue condition rather than a broken
+// request — throttling, long-poll continuation, server-side trouble —
+// unwrap to faults.ErrTransient so the generic retry policy classifies
+// them without string matching.
+type httpError struct {
+	Code       int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("ionq: HTTP %d: %s", e.Code, e.Msg)
+}
+
+func (e *httpError) Unwrap() error {
+	if e.Code == http.StatusTooManyRequests || e.Code == http.StatusConflict || e.Code >= 500 {
+		return faults.ErrTransient
+	}
+	return nil
+}
+
+// RetryAfterOf extracts the server's Retry-After hint from an API error.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	var he *httpError
+	if errors.As(err, &he) && he.RetryAfter > 0 {
+		return he.RetryAfter, true
+	}
+	return 0, false
+}
+
+// isConflict reports the long-poll continuation answer (409).
+func isConflict(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.Code == http.StatusConflict
+}
+
 // Client is a minimal REST client for the service (what the IonQ backend
 // QPM uses under the hood; IonQ's real Qiskit plugin hides the same calls).
+// Every API call retries transient answers (429/409/5xx) under Retry with
+// jittered backoff, honouring the server's Retry-After hint.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	Retry   faults.Policy
 }
 
 // NewClient returns a client for the given base URL.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 120 * time.Second}}
+	return &Client{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 120 * time.Second},
+		Retry:   faults.Policy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 250 * time.Millisecond, Hint: RetryAfterOf},
+	}
+}
+
+// retryPolicy is Retry with the Retry-After hint always wired in (zero-value
+// clients constructed without NewClient still honour the header).
+func (c *Client) retryPolicy() faults.Policy {
+	p := c.Retry
+	if p.Hint == nil {
+		p.Hint = RetryAfterOf
+	}
+	return p
 }
 
 // Submit posts a QASM job and returns the job ID.
@@ -482,16 +577,19 @@ func (c *Client) Submit(name, qasm string, shots int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs", "application/json", strings.NewReader(string(data)))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", decodeHTTPError(resp)
-	}
 	var j job
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+	err = c.retryPolicy().Do(func(int) error {
+		resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs", "application/json", strings.NewReader(string(data)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeHTTPError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&j)
+	})
+	if err != nil {
 		return "", err
 	}
 	return j.ID, nil
@@ -509,18 +607,21 @@ func (c *Client) SubmitBatch(name string, qasms []string, shots int) ([]string, 
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/batch", "application/json", strings.NewReader(string(data)))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeHTTPError(resp)
-	}
 	var out struct {
 		Jobs []job `json:"jobs"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err = c.retryPolicy().Do(func(int) error {
+		resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/batch", "application/json", strings.NewReader(string(data)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeHTTPError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	ids := make([]string, len(out.Jobs))
@@ -531,9 +632,12 @@ func (c *Client) SubmitBatch(name string, qasms []string, shots int) ([]string, 
 }
 
 // WaitBatch long-polls the batch results endpoint until every job is
-// terminal (re-polling on the server's 409 "not finished" answer, like the
-// single-job Wait loop) and returns ordered per-job counts; any failed job
-// fails the whole call.
+// terminal and returns ordered per-job counts; any failed job fails the
+// whole call. The server's 409 "not finished" answer is the expected
+// long-poll continuation — the loop re-polls indefinitely, honouring the
+// Retry-After hint with jittered backoff instead of hammering the
+// endpoint. Other transient answers (429/5xx) are bounded by the retry
+// policy's attempt budget, counted consecutively.
 func (c *Client) WaitBatch(ids []string) ([]map[string]int, error) {
 	data, err := json.Marshal(map[string]any{"ids": ids})
 	if err != nil {
@@ -542,25 +646,40 @@ func (c *Client) WaitBatch(ids []string) ([]map[string]int, error) {
 	var out struct {
 		Results []batchResult `json:"results"`
 	}
+	policy := c.retryPolicy()
+	maxAttempts := policy.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoff := newBackoff(policy, seedFor(strings.Join(ids, ",")))
+	failures := 0
 	for {
-		resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/results/batch", "application/json", strings.NewReader(string(data)))
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode == http.StatusConflict {
-			resp.Body.Close()
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
+		err := func() error {
+			resp, err := c.HTTP.Post(c.BaseURL+"/v0.3/jobs/results/batch", "application/json", strings.NewReader(string(data)))
+			if err != nil {
+				return err
+			}
 			defer resp.Body.Close()
-			return nil, decodeHTTPError(resp)
+			if resp.StatusCode != http.StatusOK {
+				return decodeHTTPError(resp)
+			}
+			return json.NewDecoder(resp.Body).Decode(&out)
+		}()
+		if err == nil {
+			break
 		}
-		err = json.NewDecoder(resp.Body).Decode(&out)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
+		if isConflict(err) {
+			failures = 0 // expected continuation, not a failure
+		} else {
+			if !faults.IsTransient(err) {
+				return nil, err
+			}
+			failures++
+			if failures >= maxAttempts {
+				return nil, err
+			}
 		}
-		break
+		backoff.sleep(err)
 	}
 	if len(out.Results) != len(ids) {
 		return nil, fmt.Errorf("ionq: batch returned %d results for %d jobs", len(out.Results), len(ids))
@@ -577,16 +696,19 @@ func (c *Client) WaitBatch(ids []string) ([]map[string]int, error) {
 
 // Status fetches the job status string.
 func (c *Client) Status(id string) (string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id)
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return "", decodeHTTPError(resp)
-	}
 	var j job
-	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+	err := c.retryPolicy().Do(func(int) error {
+		resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeHTTPError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&j)
+	})
+	if err != nil {
 		return "", err
 	}
 	return j.Status, nil
@@ -594,28 +716,35 @@ func (c *Client) Status(id string) (string, error) {
 
 // Results fetches the counts of a completed job.
 func (c *Client) Results(id string) (map[string]int, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id + "/results")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeHTTPError(resp)
-	}
 	var out struct {
 		Counts map[string]int `json:"counts"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	err := c.retryPolicy().Do(func(int) error {
+		resp, err := c.HTTP.Get(c.BaseURL + "/v0.3/jobs/" + id + "/results")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return decodeHTTPError(resp)
+		}
+		return json.NewDecoder(resp.Body).Decode(&out)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out.Counts, nil
 }
 
 // Wait polls until the job reaches a terminal state and returns counts.
+// The polling interval backs off exponentially with deterministic jitter
+// (seeded from the job ID) up to 8× poll, so many concurrent waiters
+// spread their status requests instead of arriving in lockstep.
 func (c *Client) Wait(id string, poll time.Duration) (map[string]int, error) {
 	if poll <= 0 {
 		poll = 25 * time.Millisecond
 	}
+	b := newBackoff(faults.Policy{BaseDelay: poll, MaxDelay: 8 * poll}, seedFor(id))
 	for {
 		st, err := c.Status(id)
 		if err != nil {
@@ -631,12 +760,64 @@ func (c *Client) Wait(id string, poll time.Duration) (map[string]int, error) {
 			}
 			return nil, err
 		}
-		time.Sleep(poll)
+		b.sleep(nil)
 	}
 }
 
+// seedFor derives a deterministic jitter seed from an identifier (no
+// time-based seeding — replays stay reproducible).
+func seedFor(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+// backoff produces capped exponential jittered delays for poll loops. Each
+// delay is drawn from [ceiling/2, ceiling] and the ceiling doubles up to
+// the policy's MaxDelay; a Retry-After hint on the triggering error floors
+// the delay.
+type backoff struct {
+	base, max time.Duration
+	rng       *rand.Rand
+	n         uint
+}
+
+func newBackoff(p faults.Policy, seed int64) *backoff {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *backoff) sleep(err error) {
+	ceiling := b.base << b.n
+	if ceiling >= b.max || ceiling <= 0 {
+		ceiling = b.max
+	} else {
+		b.n++
+	}
+	d := ceiling/2 + time.Duration(b.rng.Int63n(int64(ceiling/2)+1))
+	if h, ok := RetryAfterOf(err); ok && h > d {
+		d = h
+	}
+	time.Sleep(d)
+}
+
+// decodeHTTPError turns a non-200 answer into a typed *httpError carrying
+// the status code and any Retry-After hint (seconds, fractional allowed).
 func decodeHTTPError(resp *http.Response) error {
 	buf := make([]byte, 512)
 	n, _ := resp.Body.Read(buf)
-	return fmt.Errorf("ionq: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(buf[:n])))
+	he := &httpError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(buf[:n]))}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.ParseFloat(ra, 64); err == nil && secs > 0 {
+			he.RetryAfter = time.Duration(secs * float64(time.Second))
+		}
+	}
+	return he
 }

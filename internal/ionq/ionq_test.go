@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qfw/internal/circuit"
+	"qfw/internal/faults"
 )
 
 func startService(t *testing.T, cfg Config) (*Service, *Client) {
@@ -74,7 +75,11 @@ func TestStatusTransitions(t *testing.T) {
 	if st != StatusSubmitted && st != StatusRunning {
 		t.Fatalf("early status %q", st)
 	}
-	if _, err := cl.Results(id); err == nil {
+	// The retrying client would ride out the 409 until the job completes;
+	// a single-attempt probe sees the raw "not finished" conflict.
+	impatient := NewClient(cl.BaseURL)
+	impatient.Retry.MaxAttempts = 1
+	if _, err := impatient.Results(id); err == nil {
 		t.Fatal("results before completion should fail")
 	}
 	if _, err := cl.Wait(id, 5*time.Millisecond); err != nil {
@@ -175,6 +180,71 @@ func TestBatchSubmitAndCollect(t *testing.T) {
 		if total != 64 {
 			t.Fatalf("job %d total %d", i, total)
 		}
+	}
+}
+
+func TestInjectedFaultsAreRetried(t *testing.T) {
+	// Every third API interaction answers 503 with a Retry-After hint. The
+	// retrying client must ride the faults out end-to-end on both the
+	// single-job and the batch path, with correct physics.
+	svc, cl := startService(t, Config{FaultEvery: 3})
+	qasm := bellQASM(t)
+
+	id, err := cl.Submit("bell", qasm, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := cl.Wait(id, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for key, n := range counts {
+		if key != "00" && key != "11" {
+			t.Fatalf("bell outcome %q", key)
+		}
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("total %d", total)
+	}
+
+	ids, err := cl.SubmitBatch("flaky-array", []string{qasm, qasm, qasm, qasm}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := cl.WaitBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range batch {
+		total := 0
+		for _, n := range c {
+			total += n
+		}
+		if total != 32 {
+			t.Fatalf("job %d total %d", i, total)
+		}
+	}
+	if calls := svc.apiCalls.Load(); calls < int64(svc.cfg.FaultEvery) {
+		t.Fatalf("only %d API interactions recorded; no fault can have fired", calls)
+	}
+}
+
+func TestRetryAfterHintSurfaces(t *testing.T) {
+	// A one-attempt client sees the raw injected 503: the error must be
+	// transient, and RetryAfterOf must recover the server's hint.
+	_, cl := startService(t, Config{FaultEvery: 1})
+	cl.Retry.MaxAttempts = 1
+	_, err := cl.Submit("bell", bellQASM(t), 10)
+	if err == nil {
+		t.Fatal("submit against an always-faulting service succeeded in one attempt")
+	}
+	if !faults.IsTransient(err) {
+		t.Fatalf("injected 503 not classified transient: %v", err)
+	}
+	if d, ok := RetryAfterOf(err); !ok || d <= 0 {
+		t.Fatalf("Retry-After hint lost: d=%v ok=%v err=%v", d, ok, err)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"qfw/internal/cluster"
+	"qfw/internal/faults"
 	"qfw/internal/mpi"
 	"qfw/internal/slurm"
 )
@@ -105,7 +106,10 @@ func (d *DVM) Spawn(p Placement) (*ProcGroup, error) {
 		nodePlaces, err := d.nodes[i].PlaceProcs(ppn)
 		if err != nil {
 			d.active.Done()
-			return nil, fmt.Errorf("prte: %w", err)
+			// Core exhaustion is contention, not a broken placement: earlier
+			// groups release their slots, so a retry can succeed where a
+			// closed DVM or an oversized placement never will.
+			return nil, fmt.Errorf("prte: %w", faults.Transient(err))
 		}
 		places = append(places, nodePlaces...)
 	}

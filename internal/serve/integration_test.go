@@ -166,5 +166,8 @@ func TestOverloadErrorSurvivesRPC(t *testing.T) {
 	if !IsOverloaded(err) {
 		t.Fatalf("RPC-flattened shed error %v does not satisfy IsOverloaded", err)
 	}
+	if d, ok := RetryAfterHint(err); !ok || d <= 0 {
+		t.Fatalf("client-side shed error carries no retry hint: %v", err)
+	}
 	f.open()
 }

@@ -48,6 +48,35 @@ func IsOverloaded(err error) bool {
 	return strings.Contains(err.Error(), ErrOverloaded.Error())
 }
 
+// retryAfterFor sizes the backoff hint a shed carries: deeper queues mean
+// longer waits before capacity frees, capped at a quarter second.
+func retryAfterFor(depth int) time.Duration {
+	d := time.Duration(1+depth) * time.Millisecond
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	return d
+}
+
+// RetryAfterHint extracts the retry_after_ms hint a shed error carries.
+// It works on flattened client-side errors (the hint rides in the message
+// exactly so it survives the RPC boundary).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	if err == nil {
+		return 0, false
+	}
+	msg := err.Error()
+	i := strings.Index(msg, "retry_after_ms=")
+	if i < 0 {
+		return 0, false
+	}
+	var ms int64
+	if _, serr := fmt.Sscanf(msg[i:], "retry_after_ms=%d", &ms); serr != nil || ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
 // ServiceName returns the DEFw service a backend's serving layer registers
 // under (beside the raw "qpm.<backend>" service).
 func ServiceName(backend string) string { return "serve." + backend }
@@ -377,8 +406,9 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 			s.shedded.Add(int64(len(need)))
 			depth := s.queued
 			s.mu.Unlock()
-			err := fmt.Errorf("serve[%s]: %w: tenant %q has %d outstanding (quota %d), %d queued (cap %d)",
-				s.backend, ErrOverloaded, tenant, t.outstanding, t.quota, depth, s.cfg.QueueCap)
+			err := fmt.Errorf("serve[%s]: %w: tenant %q has %d outstanding (quota %d), %d queued (cap %d); retry_after_ms=%d",
+				s.backend, ErrOverloaded, tenant, t.outstanding, t.quota, depth, s.cfg.QueueCap,
+				retryAfterFor(depth)/time.Millisecond)
 			for _, e := range need {
 				e.sub.resolve(e.idx, nil, err.Error())
 			}

@@ -541,6 +541,13 @@ func TestTenantQuotaShedsWithTypedError(t *testing.T) {
 	if !IsOverloaded(err) {
 		t.Fatalf("over-quota submission returned %v, want ErrOverloaded", err)
 	}
+	if d, ok := RetryAfterHint(err); !ok || d <= 0 {
+		t.Fatalf("shed error carries no retry hint: %v", err)
+	}
+	// The hint rides in the message, so it survives RPC flattening.
+	if d, ok := RetryAfterHint(fmt.Errorf("%s", err.Error())); !ok || d <= 0 {
+		t.Fatal("flattened shed error lost the retry hint")
+	}
 	// Another tenant is unaffected by t's quota.
 	var other error
 	wg.Add(1)
