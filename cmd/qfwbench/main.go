@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps,ablation-kernel,ablation-route,ablation-serve,ablation-faults or 'all'; fit-cost (explicit only) refits the cost calibration from recorded artifacts")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig3a,fig3b,fig3c,fig3c-strong,fig3d,fig3e,fig3f,fig4,fig5,ablation-batch,ablation-fusion,ablation-dist,ablation-grad,ablation-mps,ablation-kernel,ablation-route,ablation-serve,ablation-faults,ablation-obs or 'all'; fit-cost (explicit only) refits the cost calibration from recorded artifacts")
 		full       = flag.Bool("full", false, "use the paper's full size lists (quick laptop sizes otherwise)")
 		repeats    = flag.Int("repeats", 3, "repetitions per point (paper: 3)")
 		shots      = flag.Int("shots", 256, "shots per circuit execution")
@@ -48,6 +48,7 @@ func main() {
 		routeJSON  = flag.String("route-json", "BENCH_route.json", "path for the ablation-route JSON record (empty disables)")
 		serveJSON  = flag.String("serve-json", "BENCH_serve.json", "path for the ablation-serve JSON record (empty disables)")
 		faultsJSON = flag.String("faults-json", "BENCH_faults.json", "path for the ablation-faults JSON record (empty disables)")
+		obsJSON    = flag.String("obs-json", "BENCH_obs.json", "path for the ablation-obs JSON record (empty disables)")
 		costFrom   = flag.String("cost-from", "BENCH_kernel.json,BENCH_mps.json,BENCH_route.json", "comma-separated bench artifacts fit-cost regresses the calibration from")
 		costOut    = flag.String("cost-out", "cost_fit.json", "path fit-cost writes the fitted calibration to (QFW_COST=<path> loads it)")
 	)
@@ -219,6 +220,13 @@ func main() {
 		exp, err := h.RunFaultsAblation()
 		if err == nil {
 			writeJSON(*faultsJSON, exp)
+		}
+		return exp, err
+	})
+	run("ablation-obs", func() (*bench.Experiment, error) {
+		exp, err := h.RunObsAblation()
+		if err == nil {
+			writeJSON(*obsJSON, exp)
 		}
 		return exp, err
 	})

@@ -36,6 +36,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		machNodes  = flag.Int("machine-nodes", 4, "Frontier-model nodes")
 		top        = flag.Int("top", 8, "histogram rows to print")
+		traceOut   = flag.String("trace", "", "write the run's spans as Chrome trace-event JSON to this file (load in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -79,8 +80,18 @@ func main() {
 	fmt.Printf("wall %s | queue %.2f ms | exec %.2f ms | total %.2f ms\n",
 		time.Since(start).Round(time.Millisecond),
 		res.Timings.QueueMS, res.Timings.ExecMS, res.Timings.TotalMS)
+	if res.Timings.Attempts > 1 {
+		fmt.Printf("retries: %d attempts, %.2f ms backoff\n",
+			res.Timings.Attempts, res.Timings.RetryBackoffMS)
+	}
 	if res.TruncErr > 0 {
 		fmt.Printf("MPS truncation error: %.3g\n", res.TruncErr)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(session, *traceOut); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("trace: wrote %s\n", *traceOut)
 	}
 
 	type kv struct {
@@ -99,6 +110,18 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("  %s  %6d  %5.1f%%\n", r.key, r.n, 100*float64(r.n)/float64(*shots))
 	}
+}
+
+func writeTrace(session *core.Session, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := session.Rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(format string, args ...any) {

@@ -168,6 +168,11 @@ var AblationCatalog = []AblationSpec{
 		Ks:       []int{64},
 		Describe: "64-element parametric sweep through a seeded fault injector at rising per-element transient-failure rates: retry + degrade-to-element recovery vs a single-attempt policy, plus a dead-primary fallback re-routing probe",
 	},
+	{
+		Name:     "observability",
+		Ks:       []int{1},
+		Describe: "Deep-TFIM hot set with the result cache disabled (every request executes) from K serial clients: telemetry core on vs QFW_OBS=off in interleaved paired reps, measuring the span/metric instrumentation overhead at the request-latency floor",
+	},
 }
 
 // PlacementFor reproduces the paper's (#N, #P) schedule: placements grow

@@ -38,9 +38,10 @@ type Point struct {
 	// record of the calibration.
 	PredictedMS float64 `json:"predicted_ms,omitempty"`
 
-	// Serving-layer ablation fields: per-request latency percentiles,
-	// sustained request throughput, and typed load-shed counts under the
-	// multi-client load generator.
+	// Serving-layer ablation fields: per-request latency floor and
+	// percentiles, sustained request throughput, and typed load-shed counts
+	// under the multi-client load generator.
+	MinMS      float64 `json:"min_ms,omitempty"`
 	P50MS      float64 `json:"p50_ms,omitempty"`
 	P99MS      float64 `json:"p99_ms,omitempty"`
 	Throughput float64 `json:"throughput_rps,omitempty"`

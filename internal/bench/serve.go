@@ -125,6 +125,7 @@ func serveLoad(srv *serve.Server, hot []serveRequest, clients, reqs int) (Point,
 		Placement:  fmt.Sprintf("c=%d", clients),
 		RuntimeMS:  mean,
 		StdMS:      std,
+		MinMS:      all[0],
 		P50MS:      percentile(all, 50),
 		P99MS:      percentile(all, 99),
 		Throughput: float64(len(all)) / wall.Seconds(),

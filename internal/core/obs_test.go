@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qfw/internal/faults"
+	"qfw/internal/trace"
+)
+
+// flakyExec fails its first failFirst executions with a transient error,
+// then succeeds — the retry envelope's happy-path recovery case.
+type flakyExec struct {
+	name      string
+	failFirst int
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flakyExec) Name() string { return f.name }
+func (f *flakyExec) Capabilities() Capabilities {
+	return Capabilities{Backend: f.name, Subbackends: []string{"default"}, CPU: true}
+}
+func (f *flakyExec) Execute(spec CircuitSpec, opts RunOptions) (ExecResult, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.failFirst {
+		return ExecResult{}, faults.Transient(fmt.Errorf("flake %d", n))
+	}
+	return ExecResult{Counts: map[string]int{"00": 1}}, nil
+}
+
+// TestTaskTimingsReportRetryBreakdown pins the per-task Timings contract
+// on the retried path: a task recovered on its second attempt reports
+// Attempts=2, separates retry backoff from execution time, and sums its
+// components to TotalMS exactly. The QPM metrics and per-attempt executor
+// spans must agree with the same story.
+func TestTaskTimingsReportRetryBreakdown(t *testing.T) {
+	rec := trace.NewRecorder()
+	f := &flakyExec{name: "flaky", failFirst: 1}
+	q := NewQPM(f, 1, rec)
+	defer q.Close()
+	q.SetRetryPolicy(faults.Policy{
+		MaxAttempts: 3,
+		BaseDelay:   2 * time.Millisecond,
+		Sleep:       func(time.Duration) {}, // stub: backoff accounted, not slept
+	})
+
+	id, err := q.Submit(bell(t), RunOptions{Shots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tm := res.Timings
+	if tm.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2 (one flake, one success): %+v", tm.Attempts, tm)
+	}
+	if tm.QueueMS < 0 || tm.ExecMS < 0 || tm.RetryBackoffMS < 0 ||
+		tm.CacheLookupMS != 0 || tm.CoalesceWaitMS != 0 {
+		t.Fatalf("timing components out of contract: %+v", tm)
+	}
+	if tm.TotalMS != tm.Sum() {
+		t.Fatalf("TotalMS %v != component sum %v (%+v)", tm.TotalMS, tm.Sum(), tm)
+	}
+
+	met := rec.Metrics()
+	counter := func(base string) int64 {
+		return met.Counter(trace.LabeledName(base, "backend", "flaky")).Value()
+	}
+	if got := counter("qfw_qpm_tasks_total"); got != 1 {
+		t.Fatalf("tasks counter %d, want 1", got)
+	}
+	if got := counter("qfw_qpm_retries_total"); got != 1 {
+		t.Fatalf("retries counter %d, want 1", got)
+	}
+	if got := counter("qfw_qpm_failures_total"); got != 0 {
+		t.Fatalf("failures counter %d, want 0 (task recovered)", got)
+	}
+	for _, h := range []string{"qfw_qpm_queue_ms", "qfw_qpm_exec_ms"} {
+		if got := met.Histogram(trace.LabeledName(h, "backend", "flaky")).Count(); got != 1 {
+			t.Fatalf("%s observed %d, want 1", h, got)
+		}
+	}
+
+	attempts := 0
+	for _, e := range rec.Events() {
+		if strings.HasPrefix(e.Name, "executor:") {
+			attempts++
+		}
+	}
+	if attempts != 2 {
+		t.Fatalf("recorded %d executor attempt spans, want 2", attempts)
+	}
+}

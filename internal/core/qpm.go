@@ -97,6 +97,7 @@ type QPM struct {
 	queueCap int
 	nextID   atomic.Int64
 	inflight atomic.Int64 // queued + running work items
+	busyNS   atomic.Int64 // cumulative worker busy time (utilization source)
 	mu       sync.Mutex
 	tasks    map[string]*task
 	batches  map[string]*batchTask
@@ -106,6 +107,10 @@ type QPM struct {
 	workers  int
 	workerWG sync.WaitGroup
 	retry    faults.Policy // guarded by mu; see SetRetryPolicy
+
+	// Resolved metric handles (shared registry, labeled by backend).
+	mTasks, mFails, mRetries *trace.Counter
+	hQueue, hExec            *trace.Histogram
 }
 
 // defaultQueueCap is the QPM task-queue depth (tests shrink it via
@@ -141,6 +146,12 @@ func newQPMWithQueueCap(exec Executor, workers int, rec *trace.Recorder, queueCa
 		workers:  workers,
 		retry:    DefaultRetryPolicy(),
 	}
+	met := rec.Metrics()
+	q.mTasks = met.Counter(trace.LabeledName("qfw_qpm_tasks_total", "backend", q.backend))
+	q.mFails = met.Counter(trace.LabeledName("qfw_qpm_failures_total", "backend", q.backend))
+	q.mRetries = met.Counter(trace.LabeledName("qfw_qpm_retries_total", "backend", q.backend))
+	q.hQueue = met.Histogram(trace.LabeledName("qfw_qpm_queue_ms", "backend", q.backend))
+	q.hExec = met.Histogram(trace.LabeledName("qfw_qpm_exec_ms", "backend", q.backend))
 	for w := 0; w < workers; w++ {
 		q.workerWG.Add(1)
 		go q.qrcWorker(w)
@@ -160,6 +171,11 @@ func (q *QPM) Capabilities() Capabilities { return q.exec.Capabilities() }
 
 // Recorder exposes the timing instrumentation.
 func (q *QPM) Recorder() *trace.Recorder { return q.rec }
+
+// BusyNS returns the cumulative busy nanoseconds across the QRC workers —
+// the source a trace.UtilSampler turns into the backend's utilization
+// time series.
+func (q *QPM) BusyNS() int64 { return q.busyNS.Load() }
 
 // ParseCount reports how many QASM parses this QPM's spec cache performed
 // (only the fallback path for executors without native batch support parses
@@ -243,27 +259,38 @@ func guarded[T any](deadline time.Time, what string, call func() (T, error)) (T,
 }
 
 // execGuarded is one single-circuit execution under the full fault
-// envelope: panic isolation, deadline, and transient retry.
-func (q *QPM) execGuarded(spec CircuitSpec, opts RunOptions, deadline time.Time, what string) (ExecResult, error) {
+// envelope: panic isolation, deadline, and transient retry. Each attempt
+// records an "executor:" span on the worker's row (nesting under the
+// caller's "exec:" span in the Chrome trace), and the returned RetryStats
+// separate backoff time from execution time in the Timings breakdown.
+func (q *QPM) execGuarded(spec CircuitSpec, opts RunOptions, deadline time.Time, what, worker string) (ExecResult, faults.RetryStats, error) {
 	var res ExecResult
-	err := q.retryPolicy().Do(func(int) error {
+	rs, err := q.retryPolicy().DoStats(func(int) error {
+		finish := q.rec.Span("executor:"+spec.Name, worker)
+		defer finish()
 		var err error
 		res, err = guarded(deadline, what, func() (ExecResult, error) {
 			return q.exec.Execute(spec, opts)
 		})
 		return err
 	})
-	return res, err
+	if rs.Attempts > 1 {
+		q.mRetries.Add(int64(rs.Attempts - 1))
+	}
+	return res, rs, err
 }
 
 // qrcWorker is one Quantum Resource Controller thread: it pulls queued work
 // items and triggers backend executions (MPI runs for local simulators,
-// REST calls for cloud backends).
+// REST calls for cloud backends). Busy time accumulates per work item for
+// the utilization time series.
 func (q *QPM) qrcWorker(id int) {
 	defer q.workerWG.Done()
 	worker := fmt.Sprintf("%s/qrc-%d", q.backend, id)
 	for job := range q.queue {
+		start := time.Now()
 		job(worker)
+		q.busyNS.Add(int64(time.Since(start)))
 		q.inflight.Add(-1)
 	}
 }
@@ -333,7 +360,7 @@ func (q *QPM) runTask(t *task, worker string) {
 	t.mu.Unlock()
 
 	finish := q.rec.Span("exec:"+t.spec.Name, worker)
-	res, err := q.execGuarded(t.spec, t.opts, t.deadline, "exec:"+t.spec.Name)
+	res, rs, err := q.execGuarded(t.spec, t.opts, t.deadline, "exec:"+t.spec.Name, worker)
 	finish()
 
 	t.mu.Lock()
@@ -341,8 +368,11 @@ func (q *QPM) runTask(t *task, worker string) {
 	if err != nil {
 		t.status = StatusFailed
 		t.errMsg = err.Error()
+		q.mFails.Inc()
 	} else {
 		t.status = StatusDone
+		tm := taskTimings(t.created, t.started, t.finished, rs)
+		q.observeTimings(tm)
 		t.result = &Result{
 			TaskID:     t.id,
 			Backend:    q.backend,
@@ -352,15 +382,36 @@ func (q *QPM) runTask(t *task, worker string) {
 			TruncErr:   res.TruncErr,
 			Extra:      res.Extra,
 			Route:      res.Route,
-			Timings: Timings{
-				QueueMS: float64(t.started.Sub(t.created)) / float64(time.Millisecond),
-				ExecMS:  float64(t.finished.Sub(t.started)) / float64(time.Millisecond),
-				TotalMS: float64(t.finished.Sub(t.created)) / float64(time.Millisecond),
-			},
+			Timings:    tm,
 		}
 	}
 	close(t.done)
 	t.mu.Unlock()
+}
+
+// taskTimings assembles the breakdown of one executed work item: queue
+// wait, execution wall time with retry backoff split out, and the total
+// as the exact component sum (so clients can always reconcile the parts
+// against the whole).
+func taskTimings(created, started, finished time.Time, rs faults.RetryStats) Timings {
+	const ms = float64(time.Millisecond)
+	queue := float64(started.Sub(created)) / ms
+	backoff := float64(rs.Backoff) / ms
+	exec := float64(finished.Sub(started))/ms - backoff
+	if exec < 0 {
+		exec = 0
+	}
+	tm := Timings{QueueMS: queue, ExecMS: exec, RetryBackoffMS: backoff, Attempts: rs.Attempts}
+	tm.TotalMS = tm.Sum()
+	return tm
+}
+
+// observeTimings feeds one completed work item into the latency
+// histograms and task counter.
+func (q *QPM) observeTimings(tm Timings) {
+	q.mTasks.Inc()
+	q.hQueue.Observe(tm.QueueMS)
+	q.hExec.Observe(tm.ExecMS)
 }
 
 // Close drains the queue and stops the workers.
@@ -515,9 +566,11 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 	// identical to a serial loop over the full batch.
 	chunkOpts := bt.opts.ForElement(lo)
 	if be, ok := q.exec.(BatchExecutor); ok {
+		execFinish := q.rec.Span("executor:"+bt.spec.Name, worker)
 		results, err := guarded(bt.deadline, fmt.Sprintf("exec-batch:%s[%d:%d]", bt.spec.Name, lo, hi), func() ([]ExecResult, error) {
 			return be.ExecuteBatch(bt.spec, sub, chunkOpts)
 		})
+		execFinish()
 		elapsed := time.Since(started)
 		if err == nil && len(results) != len(sub) {
 			err = fmt.Errorf("qpm[%s]: batch executor returned %d results for %d bindings", q.backend, len(results), len(sub))
@@ -526,12 +579,12 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 			// A failing chunk degrades to element-isolated re-execution: each
 			// binding retries as its own single-element batch, so one bad
 			// element costs only itself instead of aborting every slot.
-			q.runElements(bt, be, lo, hi)
+			q.runElements(bt, be, lo, hi, worker)
 			return
 		}
 		perElem := elapsed / time.Duration(len(sub))
 		for i, res := range results {
-			bt.results[lo+i] = q.batchResult(bt, lo+i, res, started, perElem)
+			bt.results[lo+i] = q.batchResult(bt, lo+i, res, started, perElem, faults.RetryStats{Attempts: 1})
 		}
 		return
 	}
@@ -550,12 +603,12 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 			continue
 		}
 		elemStart := time.Now()
-		res, err := q.execGuarded(spec, chunkOpts.ForElement(i), bt.deadline, fmt.Sprintf("exec-batch:%s[%d]", bt.spec.Name, lo+i))
+		res, rs, err := q.execGuarded(spec, chunkOpts.ForElement(i), bt.deadline, fmt.Sprintf("exec-batch:%s[%d]", bt.spec.Name, lo+i), worker)
 		if err != nil {
 			bt.errs[lo+i] = err.Error()
 			continue
 		}
-		bt.results[lo+i] = q.batchResult(bt, lo+i, res, elemStart, time.Since(elemStart))
+		bt.results[lo+i] = q.batchResult(bt, lo+i, res, elemStart, time.Since(elemStart), rs)
 	}
 }
 
@@ -565,13 +618,15 @@ func (q *QPM) runBatchChunk(bt *batchTask, lo, hi int, worker string) {
 // base+lo+i on the whole-chunk path), so elements that recover produce
 // bit-identical results to a clean run; elements that keep failing record
 // only their own error.
-func (q *QPM) runElements(bt *batchTask, be BatchExecutor, lo, hi int) {
+func (q *QPM) runElements(bt *batchTask, be BatchExecutor, lo, hi int, worker string) {
 	retry := q.retryPolicy()
 	for g := lo; g < hi; g++ {
 		elemOpts := bt.opts.ForElement(g)
 		elemStart := time.Now()
 		var res ExecResult
-		err := retry.Do(func(int) error {
+		rs, err := retry.DoStats(func(int) error {
+			finish := q.rec.Span("executor:"+bt.spec.Name, worker)
+			defer finish()
 			results, err := guarded(bt.deadline, fmt.Sprintf("exec-batch:%s[%d]", bt.spec.Name, g), func() ([]ExecResult, error) {
 				return be.ExecuteBatch(bt.spec, bt.bindings[g:g+1], elemOpts)
 			})
@@ -584,18 +639,24 @@ func (q *QPM) runElements(bt *batchTask, be BatchExecutor, lo, hi int) {
 			res = results[0]
 			return nil
 		})
+		if rs.Attempts > 1 {
+			q.mRetries.Add(int64(rs.Attempts - 1))
+		}
 		if err != nil {
 			bt.errs[g] = err.Error()
 			continue
 		}
-		bt.results[g] = q.batchResult(bt, g, res, elemStart, time.Since(elemStart))
+		bt.results[g] = q.batchResult(bt, g, res, elemStart, time.Since(elemStart), rs)
 	}
 }
 
 // batchResult marshals one batch element's ExecResult into the unified
 // format. ExecMS for batch-native chunks is the chunk mean (elements share
-// one executor call).
-func (q *QPM) batchResult(bt *batchTask, idx int, res ExecResult, started time.Time, exec time.Duration) *Result {
+// one executor call); retry backoff is split out of it so TotalMS is the
+// exact sum of the reported components.
+func (q *QPM) batchResult(bt *batchTask, idx int, res ExecResult, started time.Time, exec time.Duration, rs faults.RetryStats) *Result {
+	tm := taskTimings(bt.created, started, started.Add(exec), rs)
+	q.observeTimings(tm)
 	return &Result{
 		TaskID:     fmt.Sprintf("%s#%d", bt.id, idx),
 		Backend:    q.backend,
@@ -605,11 +666,7 @@ func (q *QPM) batchResult(bt *batchTask, idx int, res ExecResult, started time.T
 		TruncErr:   res.TruncErr,
 		Extra:      res.Extra,
 		Route:      res.Route,
-		Timings: Timings{
-			QueueMS: float64(started.Sub(bt.created)) / float64(time.Millisecond),
-			ExecMS:  float64(exec) / float64(time.Millisecond),
-			TotalMS: float64(time.Since(bt.created)) / float64(time.Millisecond),
-		},
+		Timings:    tm,
 	}
 }
 
@@ -653,9 +710,12 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 		}
 		gt.status = StatusRunning
 		gt.mu.Unlock()
+		started := time.Now()
 		finish := q.rec.Span("exec-grad:"+spec.Name, worker)
 		var results []GradResult
-		err := q.retryPolicy().Do(func(int) error {
+		rs, err := q.retryPolicy().DoStats(func(int) error {
+			attemptFinish := q.rec.Span("executor:"+spec.Name, worker)
+			defer attemptFinish()
 			var err error
 			results, err = guarded(gt.deadline, "exec-grad:"+spec.Name, func() ([]GradResult, error) {
 				return ge.ExecuteGradient(spec, bindings, opts)
@@ -663,13 +723,18 @@ func (q *QPM) SubmitGradient(spec CircuitSpec, bindings []Bindings, opts RunOpti
 			return err
 		})
 		finish()
+		if rs.Attempts > 1 {
+			q.mRetries.Add(int64(rs.Attempts - 1))
+		}
 		gt.mu.Lock()
 		if err != nil {
 			gt.status = StatusFailed
 			gt.errMsg = err.Error()
+			q.mFails.Inc()
 		} else {
 			gt.status = StatusDone
 			gt.results = results
+			q.observeTimings(taskTimings(gt.created, started, time.Now(), rs))
 		}
 		close(gt.done)
 		gt.mu.Unlock()
@@ -721,11 +786,15 @@ func (q *QPM) finishChunk(bt *batchTask) {
 		return
 	}
 	bt.status = StatusDone
+	var failed int64
 	for _, e := range bt.errs {
 		if e != "" {
-			bt.status = StatusFailed
-			break
+			failed++
 		}
+	}
+	if failed > 0 {
+		bt.status = StatusFailed
+		q.mFails.Add(failed)
 	}
 	close(bt.done)
 }

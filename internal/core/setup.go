@@ -78,6 +78,10 @@ type Config struct {
 	CloudJitter      time.Duration
 	CloudConcurrency int
 	Seed             int64
+
+	// TraceCap bounds the span recorder's event ring (0 selects
+	// trace.DefaultCapacity); older spans are overwritten once full.
+	TraceCap int
 }
 
 // Session is a running QFw deployment: SLURM job, DVM, QPM services, and
@@ -97,6 +101,7 @@ type Session struct {
 	clients []*defw.Client
 	sched   *slurm.Scheduler
 	useTCP  bool
+	sampler *trace.UtilSampler
 }
 
 // Auto returns the session's workload-driven selector (nil when no local
@@ -145,7 +150,11 @@ func Launch(cfg Config) (*Session, error) {
 		job.Cancel()
 		return nil, err
 	}
-	rec := trace.NewRecorder()
+	traceCap := cfg.TraceCap
+	if traceCap <= 0 {
+		traceCap = trace.DefaultCapacity
+	}
+	rec := trace.NewRecorderCap(traceCap)
 	memBudget := cfg.MemBudgetBytes
 	if memBudget <= 0 {
 		memBudget = 1 << 30
@@ -206,6 +215,10 @@ func Launch(cfg Config) (*Session, error) {
 		s.qpms = append(s.qpms, qpm)
 		s.server.Register(ServiceName("auto"), qpm)
 	}
+	// The recorder doubles as the session's telemetry endpoint: metrics,
+	// Chrome-trace dumps, and ring stats are scrapable over the same RPC
+	// connection the application already holds.
+	s.server.Register(trace.ServiceName, &trace.Service{Rec: rec})
 	if cfg.UseTCP {
 		addr, err := s.server.ListenTCP("127.0.0.1:0")
 		if err != nil {
@@ -215,6 +228,29 @@ func Launch(cfg Config) (*Session, error) {
 		s.Addr = addr
 	}
 	return s, nil
+}
+
+// StartUtilizationSampler begins recording per-backend device-utilization
+// time series (gauge qfw_utilization{backend=...}, busy fraction across
+// each QPM's QRC workers per window). It returns the sampler so callers
+// can add further sources (e.g. serve-layer dispatch lanes); Teardown
+// stops it. A second call returns the already-running sampler.
+func (s *Session) StartUtilizationSampler(window time.Duration) *trace.UtilSampler {
+	s.mu.Lock()
+	if s.sampler != nil {
+		u := s.sampler
+		s.mu.Unlock()
+		return u
+	}
+	u := trace.NewUtilSampler(s.Rec.Metrics(), window)
+	s.sampler = u
+	s.mu.Unlock()
+	for _, q := range s.qpms {
+		q := q
+		u.Watch(trace.LabeledName("qfw_utilization", "backend", q.Backend()), q.Workers(), q.BusyNS)
+	}
+	u.Start()
+	return u
 }
 
 // Scheduler exposes the session's SLURM scheduler (for submitting
@@ -325,7 +361,12 @@ func (s *Session) Teardown() {
 	s.mu.Lock()
 	clients := s.clients
 	s.clients = nil
+	sampler := s.sampler
+	s.sampler = nil
 	s.mu.Unlock()
+	if sampler != nil {
+		sampler.Stop()
+	}
 	for _, c := range clients {
 		c.Close()
 	}

@@ -129,11 +129,37 @@ func (o RunOptions) ForElement(i int) RunOptions {
 }
 
 // Timings carries the per-task timing instrumentation QFw unifies across
-// backends (milliseconds).
+// backends (milliseconds): the full breakdown of where a request's time
+// went, populated layer by layer (serving layer, QPM, retry envelope) and
+// carried through the DEFw RPCs so clients see it. TotalMS is maintained
+// as the exact sum of the component fields (see Sum), so a breakdown
+// always accounts for the whole reported latency.
 type Timings struct {
+	// CacheLookupMS is the serving layer's content-addressed cache probe.
+	CacheLookupMS float64 `json:"cache_lookup_ms,omitempty"`
+	// CoalesceWaitMS is time spent in the serving layer's admission window
+	// and fair-share queue before the element's unit dispatched.
+	CoalesceWaitMS float64 `json:"coalesce_wait_ms,omitempty"`
+	// QueueMS is time waiting in the QPM queue for a QRC worker.
 	QueueMS float64 `json:"queue_ms"`
-	ExecMS  float64 `json:"exec_ms"`
-	TotalMS float64 `json:"total_ms"`
+	// ExecMS is backend execution time (retry backoff excluded; for
+	// batch-native chunks it is the chunk mean, elements share one call).
+	ExecMS float64 `json:"exec_ms"`
+	// RetryBackoffMS is the total backoff slept between retry attempts.
+	RetryBackoffMS float64 `json:"retry_backoff_ms,omitempty"`
+	// Attempts counts executor attempts (1 = first try succeeded).
+	Attempts int `json:"attempts,omitempty"`
+	// CacheHit marks results replayed from the serving layer's result
+	// cache or deduplicated onto an identical in-flight execution.
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	TotalMS  float64 `json:"total_ms"`
+}
+
+// Sum returns the component total of the breakdown; the layers populating
+// Timings set TotalMS to exactly this, so Sum() == TotalMS holds for every
+// served result.
+func (t Timings) Sum() float64 {
+	return t.CacheLookupMS + t.CoalesceWaitMS + t.QueueMS + t.ExecMS + t.RetryBackoffMS
 }
 
 // Result is QFw's unified return format.

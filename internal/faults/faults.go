@@ -88,20 +88,38 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
+// RetryStats summarizes one pass through the retry envelope: how many
+// attempts ran (>= 1) and the total backoff slept between them. The
+// timing instrumentation separates backoff from execution time with it.
+type RetryStats struct {
+	Attempts int
+	Backoff  time.Duration
+}
+
 // Do runs op until it succeeds, fails permanently, or exhausts the
 // attempt budget; op receives the zero-based attempt number. The error of
 // the final attempt is returned unwrapped, so typed classification (e.g.
 // core.IsDeadlineExceeded) still works on the result.
 func (p Policy) Do(op func(attempt int) error) error {
+	_, err := p.DoStats(op)
+	return err
+}
+
+// DoStats is Do returning the attempt/backoff accounting alongside the
+// final error. Backoff counts the delays handed to Sleep, so a stubbed
+// Sleep (tests) still yields the schedule the policy computed.
+func (p Policy) DoStats(op func(attempt int) error) (RetryStats, error) {
 	p = p.withDefaults()
 	rng := rand.New(rand.NewSource(p.Seed))
+	var stats RetryStats
 	for attempt := 0; ; attempt++ {
+		stats.Attempts++
 		err := op(attempt)
 		if err == nil {
-			return nil
+			return stats, nil
 		}
 		if attempt+1 >= p.MaxAttempts || !p.Classify(err) {
-			return err
+			return stats, err
 		}
 		ceiling := p.BaseDelay << uint(attempt)
 		if ceiling > p.MaxDelay || ceiling <= 0 {
@@ -113,6 +131,7 @@ func (p Policy) Do(op func(attempt int) error) error {
 				delay = h
 			}
 		}
+		stats.Backoff += delay
 		p.Sleep(delay)
 	}
 }

@@ -76,6 +76,39 @@ func TestPolicyDeterministicBackoff(t *testing.T) {
 	}
 }
 
+func TestDoStatsAccountsAttemptsAndBackoff(t *testing.T) {
+	var slept time.Duration
+	p := Policy{MaxAttempts: 4, Seed: 9, Sleep: func(d time.Duration) { slept += d }}
+	calls := 0
+	stats, err := p.DoStats(func(int) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flake"))
+		}
+		return nil
+	})
+	if err != nil || stats.Attempts != 3 {
+		t.Fatalf("err=%v stats=%+v", err, stats)
+	}
+	// Backoff must equal exactly what was handed to Sleep, even stubbed.
+	if stats.Backoff != slept {
+		t.Fatalf("stats backoff %s != slept %s", stats.Backoff, slept)
+	}
+
+	// Success on the first try: one attempt, zero backoff.
+	stats, err = p.DoStats(func(int) error { return nil })
+	if err != nil || stats.Attempts != 1 || stats.Backoff != 0 {
+		t.Fatalf("clean run stats=%+v err=%v", stats, err)
+	}
+
+	// Permanent failure: no retry, no backoff, error surfaced.
+	perm := errors.New("bad circuit")
+	stats, err = p.DoStats(func(int) error { return perm })
+	if !errors.Is(err, perm) || stats.Attempts != 1 || stats.Backoff != 0 {
+		t.Fatalf("permanent stats=%+v err=%v", stats, err)
+	}
+}
+
 func TestPolicyPermanentFailsFast(t *testing.T) {
 	calls := 0
 	perm := errors.New("bad circuit")

@@ -91,7 +91,9 @@ func (c *resultCache) Get(key string) (*core.Result, bool) {
 	}
 	c.lru.MoveToFront(el)
 	cp := *el.Value.(*cacheEntry).res
-	cp.Timings = core.Timings{} // a replay costs no queue or execution time
+	// A replay costs no queue or execution time: the breakdown resets to a
+	// cache-hit marker and the serving layer fills in the lookup cost.
+	cp.Timings = core.Timings{CacheHit: true}
 	return &cp, true
 }
 

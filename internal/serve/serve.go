@@ -126,11 +126,13 @@ func (c Config) withDefaults(workers int) Config {
 
 // elem is one schedulable circuit execution owned by a submission.
 type elem struct {
-	sub     *submission
-	idx     int
-	binding core.Bindings
-	key     string // cache key; "" when the element is not cacheable
-	leader  bool   // owns the single-flight entry for key
+	sub      *submission
+	idx      int
+	binding  core.Bindings
+	key      string // cache key; "" when the element is not cacheable
+	leader   bool   // owns the single-flight entry for key
+	enq      time.Time
+	lookupMS float64 // cache-lookup cost carried into the result's Timings
 }
 
 // submission tracks one Exec call's elements until all resolve.
@@ -239,6 +241,11 @@ type Server struct {
 	groups   atomic.Int64
 	grpElems atomic.Int64
 	busyNS   atomic.Int64
+
+	// Resolved metric handles (shared registry, labeled by backend).
+	mHits, mMisses, mDeduped, mShed, mServed *trace.Counter
+	hReq                                     *trace.Histogram
+	gDepth                                   *trace.Gauge
 }
 
 // New builds and starts the serving layer over a QPM. rec may be nil.
@@ -263,6 +270,14 @@ func New(qpm *core.QPM, cfg Config, rec *trace.Recorder) *Server {
 	if cfg.CacheCap > 0 {
 		s.cache = newResultCache(cfg.CacheCap)
 	}
+	met := rec.Metrics()
+	s.mHits = met.Counter(trace.LabeledName("qfw_serve_cache_hits_total", "backend", s.backend))
+	s.mMisses = met.Counter(trace.LabeledName("qfw_serve_cache_misses_total", "backend", s.backend))
+	s.mDeduped = met.Counter(trace.LabeledName("qfw_serve_deduped_total", "backend", s.backend))
+	s.mShed = met.Counter(trace.LabeledName("qfw_serve_shed_total", "backend", s.backend))
+	s.mServed = met.Counter(trace.LabeledName("qfw_serve_served_total", "backend", s.backend))
+	s.hReq = met.Histogram(trace.LabeledName("qfw_serve_request_ms", "backend", s.backend))
+	s.gDepth = met.Gauge(trace.LabeledName("qfw_serve_queue_depth", "backend", s.backend))
 	s.wg.Add(1)
 	go s.dispatcher()
 	return s
@@ -270,6 +285,15 @@ func New(qpm *core.QPM, cfg Config, rec *trace.Recorder) *Server {
 
 // Backend returns the backend this serving layer fronts.
 func (s *Server) Backend() string { return s.backend }
+
+// BusyNS returns the cumulative busy nanoseconds across the dispatch
+// slots — the source a trace.UtilSampler turns into the serving layer's
+// utilization time series.
+func (s *Server) BusyNS() int64 { return s.busyNS.Load() }
+
+// Slots returns the number of concurrent dispatch slots (the denominator
+// of the utilization fraction).
+func (s *Server) Slots() int { return s.cfg.Inflight }
 
 // SetTenant configures a tenant's fair-share weight and outstanding-element
 // quota (zero values keep the defaults).
@@ -313,6 +337,7 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 	if tenant == "" {
 		tenant = "default"
 	}
+	reqStart := time.Now()
 	single := len(bindings) <= 1
 	if len(bindings) == 0 {
 		bindings = []core.Bindings{nil}
@@ -373,16 +398,27 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 	var need []*elem
 	for _, e := range elems {
 		if e.key != "" {
-			if res, ok := s.cache.Get(e.key); ok {
+			lookStart := time.Now()
+			res, ok := s.cache.Get(e.key)
+			lookMS := float64(time.Since(lookStart)) / float64(time.Millisecond)
+			if ok {
 				s.hits.Add(1)
+				s.mHits.Inc()
 				info.CacheHits++
+				// A hit's entire cost is the lookup: report it instead of a
+				// zeroed breakdown so clients can still reconcile TotalMS.
+				res.Timings.CacheLookupMS = lookMS
+				res.Timings.TotalMS = res.Timings.Sum()
 				e.sub.resolve(e.idx, res, "")
 				continue
 			}
+			e.lookupMS = lookMS
 			s.misses.Add(1)
+			s.mMisses.Inc()
 			if single {
 				if fl, ok := s.flights[e.key]; ok {
 					s.deduped.Add(1)
+					s.mDeduped.Inc()
 					info.Deduped++
 					attachFollower(fl, e)
 					continue
@@ -404,6 +440,7 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 		if t.outstanding+len(need) > t.quota || s.queued+len(need) > s.cfg.QueueCap {
 			t.shed += int64(len(need))
 			s.shedded.Add(int64(len(need)))
+			s.mShed.Add(int64(len(need)))
 			depth := s.queued
 			s.mu.Unlock()
 			err := fmt.Errorf("serve[%s]: %w: tenant %q has %d outstanding (quota %d), %d queued (cap %d); retry_after_ms=%d",
@@ -413,6 +450,7 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 				e.sub.resolve(e.idx, nil, err.Error())
 			}
 			<-sub.done
+			s.hReq.Observe(float64(time.Since(reqStart)) / float64(time.Millisecond))
 			return sub.results, sub.errs, info, err
 		}
 		s.admitLocked(t, groupKey, spec, opts, eopts[0], need, single, clientSeeded)
@@ -421,6 +459,7 @@ func (s *Server) Exec(tenant string, spec core.CircuitSpec, bindings []core.Bind
 	s.signal()
 
 	<-sub.done
+	s.hReq.Observe(float64(time.Since(reqStart)) / float64(time.Millisecond))
 	return sub.results, sub.errs, info, nil
 }
 
@@ -461,12 +500,16 @@ func (s *Server) admitLocked(t *tenantQueue, groupKey string, spec core.CircuitS
 			s.flights[need[0].key] = &flight{}
 		}
 	}
+	now := time.Now()
+	for _, e := range need {
+		e.enq = now
+	}
 	t.outstanding += len(need)
 	s.queued += len(need)
 	if s.queued > s.peakDepth {
 		s.peakDepth = s.queued
 	}
-	s.rec.Gauge("serve:queue-depth:"+s.backend, "serve/"+s.backend, float64(s.queued))
+	s.gDepth.Record(float64(s.queued))
 }
 
 func attachFollower(fl *flight, e *elem) {
@@ -480,14 +523,15 @@ func attachFollower(fl *flight, e *elem) {
 	fl.mu.Unlock()
 }
 
-// replayOf copies a result for a second consumer, zeroing the timings like
-// a cache hit would.
+// replayOf copies a result for a second consumer. Like a cache hit, the
+// replay costs no queue or execution time, so the breakdown resets to a
+// bare cache-hit marker.
 func replayOf(res *core.Result) *core.Result {
 	if res == nil {
 		return nil
 	}
 	cp := *res
-	cp.Timings = core.Timings{}
+	cp.Timings = core.Timings{CacheHit: true}
 	return &cp
 }
 
@@ -575,7 +619,7 @@ func (s *Server) nextUnitLocked(now time.Time) (*unit, time.Duration) {
 	s.vtime = best.pass
 	best.pass += float64(len(u.elems)) / float64(best.weight)
 	s.queued -= len(u.elems)
-	s.rec.Gauge("serve:queue-depth:"+s.backend, "serve/"+s.backend, float64(s.queued))
+	s.gDepth.Record(float64(s.queued))
 	return u, 0
 }
 
@@ -612,6 +656,7 @@ func (s *Server) dispatch(u *unit) {
 	t.served += int64(len(u.elems))
 	s.mu.Unlock()
 	s.served.Add(int64(len(u.elems)))
+	s.mServed.Add(int64(len(u.elems)))
 
 	for i, e := range u.elems {
 		var res *core.Result
@@ -623,6 +668,13 @@ func (s *Server) dispatch(u *unit) {
 			errStr = errs[i]
 		default:
 			res = results[i]
+		}
+		if res != nil {
+			// Complete the breakdown with the serving-layer components the
+			// QPM cannot see; TotalMS stays the exact component sum.
+			res.Timings.CacheLookupMS = e.lookupMS
+			res.Timings.CoalesceWaitMS = float64(start.Sub(e.enq)) / float64(time.Millisecond)
+			res.Timings.TotalMS = res.Timings.Sum()
 		}
 		if errStr == "" && e.key != "" && res != nil {
 			s.cache.Put(e.key, res)

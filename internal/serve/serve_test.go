@@ -162,8 +162,15 @@ func TestSeededRunReplaysFromCache(t *testing.T) {
 	if *r2[0].ExpVal != *r1[0].ExpVal {
 		t.Fatalf("replay expval %v != original %v", *r2[0].ExpVal, *r1[0].ExpVal)
 	}
-	if r2[0].Timings.ExecMS != 0 || r2[0].Timings.TotalMS != 0 {
-		t.Fatalf("replay should report zero timings, got %+v", r2[0].Timings)
+	tm := r2[0].Timings
+	if !tm.CacheHit {
+		t.Fatalf("replay should be marked as a cache hit, got %+v", tm)
+	}
+	if tm.ExecMS != 0 || tm.QueueMS != 0 {
+		t.Fatalf("replay should report zero queue/exec timings, got %+v", tm)
+	}
+	if tm.TotalMS != tm.Sum() {
+		t.Fatalf("replay TotalMS %v != component sum %v", tm.TotalMS, tm.Sum())
 	}
 	st := s.Stats()
 	if st.CacheHits != 1 || st.CacheMisses != 1 {
@@ -634,7 +641,7 @@ func TestQueueDepthTelemetryRecorded(t *testing.T) {
 	if err != nil || errs[0] != "" || results[0] == nil {
 		t.Fatalf("exec: %v %v", err, errs)
 	}
-	if series := q.Recorder().GaugeSeries("serve:queue-depth:fake"); len(series) == 0 {
+	if series := q.Recorder().GaugeSeries(`qfw_serve_queue_depth{backend="fake"}`); len(series) == 0 {
 		t.Fatal("no queue-depth gauge recorded")
 	}
 	if st := s.Stats(); st.PeakQueueDepth < 1 {

@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentExact(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("hits_total")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 80000 {
+		t.Fatalf("counter %d, want 80000 exact", c.Value())
+	}
+	c.Add(-5)
+	if c.Value() != 80000 {
+		t.Fatal("negative delta moved a monotonic counter")
+	}
+	if m.Counter("hits_total") != c {
+		t.Fatal("registry handed out a second handle for the same name")
+	}
+}
+
+// TestHistogramQuantilesAgainstReference feeds a lognormal latency sample
+// and checks every reported quantile against the exact nearest-rank order
+// statistic: the log-bucketed estimate must sit at or above the exact
+// value and within the documented factor-sqrt(2) bound.
+func TestHistogramQuantilesAgainstReference(t *testing.T) {
+	h := NewMetrics().Histogram("lat_ms")
+	rng := rand.New(rand.NewSource(42))
+	const n = 5000
+	ref := make([]float64, 0, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := math.Exp(rng.NormFloat64()) // lognormal around 1ms
+		ref = append(ref, v)
+		sum += v
+		h.Observe(v)
+	}
+	sort.Float64s(ref)
+
+	if h.Count() != n {
+		t.Fatalf("count %d, want %d", h.Count(), n)
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9*sum {
+		t.Fatalf("sum %v, want %v exact", h.Sum(), sum)
+	}
+	if h.Max() != ref[n-1] {
+		t.Fatalf("max %v, want %v exact", h.Max(), ref[n-1])
+	}
+	for _, p := range []float64{0.50, 0.90, 0.99} {
+		exact := ref[int(math.Ceil(p*float64(n)))-1]
+		got := h.Quantile(p)
+		if got < exact || got > exact*math.Sqrt2*(1+1e-9) {
+			t.Fatalf("p%g: estimate %v outside [%v, %v*sqrt2]", 100*p, got, exact, exact)
+		}
+	}
+	if NewMetrics().Histogram("empty").Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile nonzero")
+	}
+	bounds := HistogramBounds()
+	if !sort.Float64sAreSorted(bounds) || len(bounds) == 0 {
+		t.Fatalf("bucket bounds malformed (%d bounds)", len(bounds))
+	}
+}
+
+func TestHistogramClampsNegative(t *testing.T) {
+	h := NewMetrics().Histogram("clamp_ms")
+	h.Observe(-3)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// TestGaugeDownsamplingInvariants records 100k observations and checks the
+// contract: the retained series stays under its sample budget and in time
+// order, while count/last/min/max/mean remain exact over every observation.
+func TestGaugeDownsamplingInvariants(t *testing.T) {
+	g := NewMetrics().Gauge("depth")
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g.Record(float64(i))
+	}
+	if g.Count() != n {
+		t.Fatalf("count %d, want %d", g.Count(), n)
+	}
+	if g.Last() != n-1 || g.Min() != 0 || g.Max() != n-1 {
+		t.Fatalf("aggregates last=%v min=%v max=%v", g.Last(), g.Min(), g.Max())
+	}
+	if mean := g.Mean(); mean != (n-1)/2.0 {
+		t.Fatalf("mean %v, want %v exact", mean, (n-1)/2.0)
+	}
+	if sc := g.SampleCount(); sc == 0 || sc > defaultGaugeSamples {
+		t.Fatalf("retained %d samples, want (0, %d]", sc, defaultGaugeSamples)
+	}
+	vals := g.Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] { // monotone input must stay monotone
+			t.Fatalf("downsampled series out of order at %d", i)
+		}
+	}
+	samples := g.Series()
+	for i := 1; i < len(samples); i++ {
+		if samples[i].T.Before(samples[i-1].T) {
+			t.Fatalf("sample timestamps out of order at %d", i)
+		}
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(LabeledName("qfw_serve_cache_hits_total", "backend", "aer")).Add(3)
+	depth := m.Gauge(LabeledName("qfw_serve_queue_depth", "backend", "aer"))
+	depth.Record(2)
+	depth.Record(5)
+	depth.Record(1)
+	h := m.Histogram(LabeledName("qfw_qpm_exec_ms", "backend", "aer"))
+	for _, v := range []float64{0.5, 1, 2, 4, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE qfw_serve_cache_hits_total counter",
+		`qfw_serve_cache_hits_total{backend="aer"} 3`,
+		"# TYPE qfw_serve_queue_depth gauge",
+		`qfw_serve_queue_depth{backend="aer"} 1`,
+		`qfw_serve_queue_depth_peak{backend="aer"} 5`,
+		"# TYPE qfw_qpm_exec_ms histogram",
+		`le="+Inf"} 5`,
+		`qfw_qpm_exec_ms_sum{backend="aer"} 107.5`,
+		`qfw_qpm_exec_ms_count{backend="aer"} 5`,
+		`qfw_qpm_exec_ms_p50{backend="aer"}`,
+		`qfw_qpm_exec_ms_p99{backend="aer"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be non-decreasing.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "qfw_qpm_exec_ms_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cum, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if cum < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = cum
+	}
+	if prev != 5 {
+		t.Fatalf("final cumulative bucket %d, want 5", prev)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Epoch()
+	r.Record("serve:dispatch", "serve-0", t0, t0.Add(4*time.Millisecond), nil)
+	r.Record("executor:ghz", "aer-0", t0.Add(time.Millisecond), t0.Add(3*time.Millisecond),
+		map[string]string{"attempt": "1"})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+	meta, complete := 0, 0
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Dur <= 0 || e.TID == 0 {
+				t.Fatalf("complete event malformed: %+v", e)
+			}
+			if e.Name == "executor:ghz" {
+				if e.Args["attempt"] != "1" {
+					t.Fatalf("attrs lost: %+v", e)
+				}
+				if math.Abs(e.TS-1000) > 1 || math.Abs(e.Dur-2000) > 1 {
+					t.Fatalf("microsecond timestamps wrong: ts=%v dur=%v", e.TS, e.Dur)
+				}
+			}
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Fatalf("events meta=%d complete=%d, want 2/2", meta, complete)
+	}
+}
+
+func TestTelemetryServiceHandle(t *testing.T) {
+	r := NewRecorder()
+	r.Metrics().Counter("svc_total").Inc()
+	t0 := r.Epoch()
+	r.Record("op", "w", t0, t0.Add(time.Millisecond), nil)
+	svc := &Service{Rec: r}
+
+	raw, err := svc.Handle("metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr struct {
+		Text string `json:"text"`
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil || !strings.Contains(mr.Text, "svc_total 1") {
+		t.Fatalf("metrics RPC: err=%v text=%q", err, mr.Text)
+	}
+
+	raw, err = svc.Handle("trace", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil || len(tr.TraceEvents) == 0 {
+		t.Fatalf("trace RPC: err=%v events=%d", err, len(tr.TraceEvents))
+	}
+
+	raw, err = svc.Handle("stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RecorderStats
+	if err := json.Unmarshal(raw, &st); err != nil || st.Recorded != 1 {
+		t.Fatalf("stats RPC: err=%v stats=%+v", err, st)
+	}
+
+	if _, err := svc.Handle("bogus", nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestUtilSamplerComputesBusyFraction(t *testing.T) {
+	m := NewMetrics()
+	u := NewUtilSampler(m, time.Hour) // ticker never fires; Sample driven by hand
+	var busy atomic.Int64
+	u.Watch("util_busy", 1, busy.Load)
+	u.Watch("util_idle", 2, func() int64 { return 0 })
+
+	time.Sleep(2 * time.Millisecond)
+	busy.Store(int64(time.Hour)) // vastly more than wall time: clamps to 1
+	u.Sample()
+	if got := m.Gauge("util_busy").Last(); got != 1 {
+		t.Fatalf("saturated source utilization %v, want clamp to 1", got)
+	}
+	if got := m.Gauge("util_idle").Last(); got != 0 {
+		t.Fatalf("idle source utilization %v, want 0", got)
+	}
+
+	// Stop records one final sample even without a tick.
+	u.Start()
+	time.Sleep(time.Millisecond)
+	u.Stop()
+	if m.Gauge("util_idle").Count() < 2 {
+		t.Fatalf("Stop did not record a final sample (count %d)", m.Gauge("util_idle").Count())
+	}
+}
+
+// TestRegistryConcurrentAccess hammers every instrument kind alongside the
+// exposition writer and the span ring; it exists to fail under -race.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRecorder()
+	m := r.Metrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				m.Counter("race_total").Inc()
+				m.Gauge("race_gauge").Record(float64(i))
+				m.Histogram("race_ms").Observe(float64(i % 7))
+				done := r.Span("race", "w")
+				done()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := m.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("exposition: %v", err)
+				return
+			}
+			_ = r.Events()
+			_ = r.Stats()
+			_ = m.Histogram("race_ms").Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	if m.Counter("race_total").Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", m.Counter("race_total").Value())
+	}
+	if m.Histogram("race_ms").Count() != 8000 {
+		t.Fatalf("histogram %d, want 8000", m.Histogram("race_ms").Count())
+	}
+}

@@ -1,17 +1,43 @@
-// Package trace provides the unified timing instrumentation QFw attaches to
-// every backend (Sec. 4.1 of the paper): spans recorded per worker/backend,
-// queryable as an event list and renderable as the iteration-level timeline
-// of Fig. 5.
+// Package trace is the production observability core QFw attaches to every
+// backend (Sec. 4.1 of the paper): a bounded ring-buffered span recorder
+// (queryable as an event list, renderable as the Fig. 5 timeline, dumpable
+// as Chrome trace-event JSON) plus a typed metrics registry — counters,
+// gauge time series, and latency histograms — exported over the telemetry
+// RPC and the qfwd Prometheus endpoint.
+//
+// The whole surface can be switched off (QFW_OBS=off or SetEnabled(false)),
+// turning every Record/Observe into a cheap no-op for overhead ablations.
 package trace
 
 import (
 	"fmt"
+	"os"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// EnvVar is the environment switch for the observability surface:
+// QFW_OBS=off (or 0/false) disables span recording and metric updates.
+const EnvVar = "QFW_OBS"
+
+var disabled atomic.Bool
+
+func init() {
+	switch strings.ToLower(os.Getenv(EnvVar)) {
+	case "off", "0", "false", "disabled":
+		disabled.Store(true)
+	}
+}
+
+// Enabled reports whether the observability surface records anything.
+func Enabled() bool { return !disabled.Load() }
+
+// SetEnabled toggles the whole observability surface at runtime (the
+// programmatic form of QFW_OBS). Reads keep working either way.
+func SetEnabled(on bool) { disabled.Store(!on) }
 
 // Event is one recorded span.
 type Event struct {
@@ -25,25 +51,67 @@ type Event struct {
 // Duration returns the span length.
 func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
 
-// Recorder collects events thread-safely.
+// DefaultCapacity is the span ring size of NewRecorder — large enough for
+// the bench timelines, small enough that a long-lived daemon's recorder
+// stays a few MB no matter how much traffic it serves.
+const DefaultCapacity = 16384
+
+// Recorder collects spans thread-safely into a bounded ring: once the
+// capacity is reached, each new span overwrites the oldest and the drop
+// counter advances, so memory stays flat under sustained traffic. Gauges
+// and other instantaneous measurements live in the attached Metrics
+// registry, not the event ring.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	t0     time.Time
+	mu       sync.Mutex
+	cap      int
+	buf      []Event // ring storage; grows to cap, then wraps
+	next     int     // write cursor (index of the oldest event once full)
+	recorded int64
+	dropped  int64
+	sorted   []Event // cached sorted view; valid when !dirty
+	dirty    bool
+	t0       time.Time
+	met      *Metrics
 }
 
-// NewRecorder returns a recorder with its epoch set to now.
-func NewRecorder() *Recorder {
-	return &Recorder{t0: time.Now()}
+// NewRecorder returns a recorder with the default ring capacity and its
+// epoch set to now.
+func NewRecorder() *Recorder { return NewRecorderCap(DefaultCapacity) }
+
+// NewRecorderCap returns a recorder retaining at most capacity spans
+// (<= 0 selects DefaultCapacity).
+func NewRecorderCap(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{cap: capacity, t0: time.Now(), met: NewMetrics()}
 }
 
 // Epoch returns the recorder's zero time.
 func (r *Recorder) Epoch() time.Time { return r.t0 }
 
-// Record appends a completed span.
+// Metrics returns the recorder's metrics registry. Every layer holding the
+// recorder (QPM, serving layer, daemon) shares one registry, so the export
+// endpoints see the whole stack.
+func (r *Recorder) Metrics() *Metrics { return r.met }
+
+// Record appends a completed span, overwriting the oldest one when the
+// ring is full.
 func (r *Recorder) Record(name, worker string, start, end time.Time, attrs map[string]string) {
+	if !Enabled() {
+		return
+	}
+	e := Event{Name: name, Worker: worker, Start: start, End: end, Attrs: attrs}
 	r.mu.Lock()
-	r.events = append(r.events, Event{Name: name, Worker: worker, Start: start, End: end, Attrs: attrs})
+	r.recorded++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % r.cap
+		r.dropped++
+	}
+	r.dirty = true
 	r.mu.Unlock()
 }
 
@@ -55,56 +123,76 @@ func (r *Recorder) Span(name, worker string) func() {
 	}
 }
 
-// Gauge records an instantaneous measurement (queue depth, utilization) as
-// a zero-duration event carrying the value as an attribute — the serving
-// layer's telemetry rides the same event stream as the execution spans, so
-// one recorder holds the full picture of a session.
+// Gauge records an instantaneous measurement (queue depth, utilization).
+// Gauges live in the metrics registry as bounded time series — not in the
+// span ring — so high-rate telemetry neither evicts execution spans nor
+// pollutes the timeline. The worker argument is accepted for call-site
+// symmetry with Span but is not part of the series identity.
 func (r *Recorder) Gauge(name, worker string, value float64) {
-	now := time.Now()
-	r.Record(name, worker, now, now, map[string]string{"value": strconv.FormatFloat(value, 'g', -1, 64)})
+	r.met.Gauge(name).Record(value)
 }
 
-// GaugeSeries returns the recorded values of a gauge in time order.
+// GaugeSeries returns the retained values of a gauge in time order (the
+// series is downsampled once it exceeds its sample budget; the aggregates
+// reported by GaugeMax stay exact).
 func (r *Recorder) GaugeSeries(name string) []float64 {
-	var out []float64
-	for _, e := range r.Events() {
-		if e.Name != name || e.Attrs == nil {
-			continue
-		}
-		if s, ok := e.Attrs["value"]; ok {
-			if v, err := strconv.ParseFloat(s, 64); err == nil {
-				out = append(out, v)
-			}
-		}
+	if g := r.met.LookupGauge(name); g != nil {
+		return g.Values()
 	}
-	return out
+	return nil
 }
 
-// GaugeMax returns the peak recorded value of a gauge (0 when unseen).
+// GaugeMax returns the peak recorded value of a gauge (0 when unseen) —
+// exact over every observation, including downsampled ones.
 func (r *Recorder) GaugeMax(name string) float64 {
-	var peak float64
-	for _, v := range r.GaugeSeries(name) {
-		if v > peak {
-			peak = v
-		}
+	if g := r.met.LookupGauge(name); g != nil {
+		return g.Max()
 	}
-	return peak
+	return 0
 }
 
-// Events returns a copy of all recorded events sorted by start time.
+// RecorderStats reports the ring occupancy of a recorder.
+type RecorderStats struct {
+	Capacity int   `json:"capacity"`
+	Retained int   `json:"retained"`
+	Recorded int64 `json:"recorded"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// Stats snapshots the ring accounting: Recorded counts every span ever
+// recorded, Dropped the ones overwritten by wraparound, and Retained the
+// spans currently readable (Recorded == Dropped + Retained).
+func (r *Recorder) Stats() RecorderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RecorderStats{Capacity: r.cap, Retained: len(r.buf), Recorded: r.recorded, Dropped: r.dropped}
+}
+
+// Events returns a copy of the retained events sorted by start time. The
+// sorted view is maintained incrementally: it is rebuilt only when new
+// events arrived since the last read (spans mostly complete in start
+// order, so the rebuild is usually a linear verification pass), and
+// repeated reads between writes reuse the cached ordering.
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
-	out := append([]Event(nil), r.events...)
+	if r.dirty {
+		r.sorted = append(r.sorted[:0], r.buf...)
+		if !sort.SliceIsSorted(r.sorted, func(i, j int) bool { return r.sorted[i].Start.Before(r.sorted[j].Start) }) {
+			sort.SliceStable(r.sorted, func(i, j int) bool { return r.sorted[i].Start.Before(r.sorted[j].Start) })
+		}
+		r.dirty = false
+	}
+	out := append([]Event(nil), r.sorted...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events (bounded by the ring capacity;
+// see Stats for the total recorded).
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return len(r.buf)
 }
 
 // MaxConcurrency returns the peak number of simultaneously open spans with
@@ -139,9 +227,16 @@ func (r *Recorder) MaxConcurrency(prefix string) int {
 }
 
 // Timeline renders an ASCII Gantt chart of the events grouped by worker,
-// the textual analog of the paper's Fig. 5.
+// the textual analog of the paper's Fig. 5. Instantaneous (zero-duration)
+// events are excluded: they carry no extent to draw and belong to the
+// metrics surface, not the execution timeline.
 func (r *Recorder) Timeline(width int) string {
-	events := r.Events()
+	var events []Event
+	for _, e := range r.Events() {
+		if e.Duration() > 0 {
+			events = append(events, e)
+		}
+	}
 	if len(events) == 0 {
 		return "(no events)\n"
 	}

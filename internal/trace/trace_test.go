@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -51,6 +53,121 @@ func TestMaxConcurrency(t *testing.T) {
 	}
 	if got := r.MaxConcurrency("other"); got != 1 {
 		t.Fatalf("other concurrency %d", got)
+	}
+}
+
+func TestRingBoundAndDrops(t *testing.T) {
+	r := NewRecorderCap(8)
+	t0 := r.Epoch()
+	for i := 0; i < 100; i++ {
+		s := t0.Add(time.Duration(i) * time.Millisecond)
+		r.Record(fmt.Sprintf("op-%d", i), "w", s, s.Add(time.Millisecond), nil)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring retained %d events, want 8", r.Len())
+	}
+	st := r.Stats()
+	if st.Capacity != 8 || st.Recorded != 100 || st.Dropped != 92 || st.Retained != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Recorded != st.Dropped+int64(st.Retained) {
+		t.Fatalf("accounting broken: %+v", st)
+	}
+	// The survivors are the newest spans, and Events still sorts them by
+	// start even though the ring storage has wrapped out of order.
+	ev := r.Events()
+	if len(ev) != 8 || ev[0].Name != "op-92" || ev[7].Name != "op-99" {
+		t.Fatalf("retained window wrong: %v ... %v", ev[0].Name, ev[len(ev)-1].Name)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start.Before(ev[i-1].Start) {
+			t.Fatalf("events out of start order at %d", i)
+		}
+	}
+}
+
+func TestDisabledSurfaceIsNoOp(t *testing.T) {
+	SetEnabled(false)
+	t.Cleanup(func() { SetEnabled(true) })
+	r := NewRecorder()
+	t0 := r.Epoch()
+	r.Record("op", "w", t0, t0.Add(time.Millisecond), nil)
+	r.Span("span", "w")()
+	m := r.Metrics()
+	m.Counter("c_total").Inc()
+	m.Gauge("g").Record(3)
+	m.Histogram("h_ms").Observe(5)
+	if r.Len() != 0 || r.Stats().Recorded != 0 {
+		t.Fatalf("disabled recorder accepted spans: %+v", r.Stats())
+	}
+	if m.Counter("c_total").Value() != 0 {
+		t.Fatal("disabled counter advanced")
+	}
+	if g := m.Gauge("g"); g.Count() != 0 || g.SampleCount() != 0 {
+		t.Fatal("disabled gauge recorded")
+	}
+	if m.Histogram("h_ms").Count() != 0 {
+		t.Fatal("disabled histogram observed")
+	}
+
+	SetEnabled(true)
+	r.Record("op", "w", t0, t0.Add(time.Millisecond), nil)
+	m.Counter("c_total").Inc()
+	if r.Len() != 1 || m.Counter("c_total").Value() != 1 {
+		t.Fatal("re-enabled surface still inert")
+	}
+}
+
+// TestRecorderSoakMemoryFlat drives 100k spans through a small ring and
+// checks both the accounting (everything counted, only cap retained) and
+// that heap growth stays bounded by the ring, not the traffic.
+func TestRecorderSoakMemoryFlat(t *testing.T) {
+	const (
+		cap  = 1024
+		soak = 100000
+	)
+	r := NewRecorderCap(cap)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < soak; i++ {
+		r.Record("soak", "w", start, start.Add(time.Microsecond), nil)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	st := r.Stats()
+	if st.Recorded != soak || st.Retained != cap || st.Dropped != soak-cap {
+		t.Fatalf("soak accounting %+v", st)
+	}
+	if got := len(r.Events()); got != cap {
+		t.Fatalf("events %d, want %d", got, cap)
+	}
+	// The ring itself is ~100KB; anything near the traffic volume means
+	// events leaked past the bound.
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 4<<20 {
+		t.Fatalf("heap grew %d bytes over a %d-span soak (ring cap %d)", growth, soak, cap)
+	}
+}
+
+func TestTimelineFiltersInstantaneousEvents(t *testing.T) {
+	r := NewRecorder()
+	t0 := r.Epoch()
+	r.Record("span", "worker-a", t0, t0.Add(10*time.Millisecond), nil)
+	r.Record("instant", "worker-b", t0.Add(5*time.Millisecond), t0.Add(5*time.Millisecond), nil)
+	out := r.Timeline(40)
+	if !strings.Contains(out, "worker-a") {
+		t.Fatalf("timeline lost the real span:\n%s", out)
+	}
+	if strings.Contains(out, "worker-b") {
+		t.Fatalf("zero-duration event drew a timeline row:\n%s", out)
+	}
+
+	only := NewRecorder()
+	only.Record("instant", "w", t0, t0, nil)
+	if got := only.Timeline(40); got != "(no events)\n" {
+		t.Fatalf("all-instantaneous recorder rendered bars:\n%s", got)
 	}
 }
 

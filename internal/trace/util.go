@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// utilSource is one watched busy-time counter.
+type utilSource struct {
+	gauge    string
+	slots    int
+	busyNS   func() int64
+	prevBusy int64
+	prevT    time.Time
+}
+
+// UtilSampler turns cumulative busy-time counters into per-backend
+// device-utilization time series: every window it reads each source's
+// busy nanoseconds, computes the busy fraction of the elapsed wall time
+// across the source's slots (workers or dispatch lanes), and records it
+// as a gauge sample — the QCloudSim-style utilization trace the serving
+// layer's telemetry was missing.
+type UtilSampler struct {
+	met    *Metrics
+	window time.Duration
+
+	mu      sync.Mutex
+	sources []*utilSource
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewUtilSampler builds a sampler recording into the given registry every
+// window (<= 0 selects one second).
+func NewUtilSampler(m *Metrics, window time.Duration) *UtilSampler {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &UtilSampler{met: m, window: window, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Watch adds a busy-time source: gauge is the series name (conventionally
+// LabeledName("qfw_utilization", "backend", name)), slots the number of
+// parallel lanes the busy time accumulates across, and busyNS a cumulative
+// busy-nanoseconds reader. Sources may be added after Start.
+func (u *UtilSampler) Watch(gauge string, slots int, busyNS func() int64) {
+	if slots <= 0 {
+		slots = 1
+	}
+	u.mu.Lock()
+	u.sources = append(u.sources, &utilSource{
+		gauge: gauge, slots: slots, busyNS: busyNS,
+		prevBusy: busyNS(), prevT: time.Now(),
+	})
+	u.mu.Unlock()
+}
+
+// Sample performs one sampling pass over every source — called by the
+// Start loop each window, and directly by tests that need deterministic
+// sample counts.
+func (u *UtilSampler) Sample() {
+	u.mu.Lock()
+	sources := append([]*utilSource(nil), u.sources...)
+	u.mu.Unlock()
+	now := time.Now()
+	for _, src := range sources {
+		wall := now.Sub(src.prevT)
+		if wall <= 0 {
+			continue
+		}
+		cur := src.busyNS()
+		frac := float64(cur-src.prevBusy) / (float64(wall) * float64(src.slots))
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		src.prevBusy = cur
+		src.prevT = now
+		u.met.Gauge(src.gauge).Record(frac)
+	}
+}
+
+// Start launches the periodic sampling loop; Stop ends it.
+func (u *UtilSampler) Start() {
+	u.mu.Lock()
+	if u.started {
+		u.mu.Unlock()
+		return
+	}
+	u.started = true
+	u.mu.Unlock()
+	go func() {
+		defer close(u.done)
+		ticker := time.NewTicker(u.window)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				u.Sample()
+			case <-u.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling loop after recording one final sample, so even
+// a short-lived session leaves a utilization data point behind.
+func (u *UtilSampler) Stop() {
+	u.mu.Lock()
+	started := u.started
+	u.started = false
+	u.mu.Unlock()
+	if !started {
+		return
+	}
+	close(u.stop)
+	<-u.done
+	u.Sample()
+	u.stop = make(chan struct{})
+	u.done = make(chan struct{})
+}
